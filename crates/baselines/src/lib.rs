@@ -1,0 +1,22 @@
+//! Baseline monitoring approaches the paper compares (or plans to
+//! compare) against.
+//!
+//! * [`robinhood`] — a Robinhood-policy-engine-style collector:
+//!   "a centralized approach to collecting and aggregating data events
+//!   from Lustre file systems, where metadata is sequentially extracted
+//!   from each metadata server by a single client" (§2), feeding a
+//!   database that supports bulk policy queries (find stale files,
+//!   usage reports). §6 lists a production comparison as future work;
+//!   bench `a3_robinhood` performs the modelled version.
+//! * [`polling`] — the crawl-and-diff approach Ripple explored before
+//!   the ChangeLog monitor: "crawling and recording file system data is
+//!   prohibitively expensive over large storage systems" (§3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod polling;
+pub mod robinhood;
+
+pub use polling::{PollingMonitor, PollingStats};
+pub use robinhood::{CentralizedModel, CentralizedReport, FindCriteria, RobinhoodDb, RobinhoodScanner};

@@ -1,0 +1,238 @@
+//! The crawl-and-diff (polling) baseline.
+//!
+//! Before the ChangeLog monitor, Ripple "explored an alternative
+//! approach using a polling technique to detect file system changes.
+//! However, crawling and recording file system data is prohibitively
+//! expensive over large storage systems." (§3)
+//!
+//! [`PollingMonitor`] snapshots the namespace on every poll and diffs it
+//! against the previous snapshot. Every poll touches every entry, so the
+//! cost per detected event grows with filesystem size — the scaling
+//! failure bench `a5_inotify_limits` quantifies.
+
+use sdci_types::{EventKind, SimTime};
+use simfs::SimFs;
+use std::collections::HashMap;
+use std::fmt;
+use std::path::PathBuf;
+
+/// A change detected by diffing snapshots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolledChange {
+    /// What happened (created/modified/deleted; renames appear as
+    /// delete + create — polling cannot correlate them).
+    pub kind: EventKind,
+    /// The affected path.
+    pub path: PathBuf,
+}
+
+/// Cumulative polling costs.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PollingStats {
+    /// Polls performed.
+    pub polls: u64,
+    /// Namespace entries visited across all polls (the crawl cost).
+    pub entries_visited: u64,
+    /// Changes detected.
+    pub changes_detected: u64,
+}
+
+impl PollingStats {
+    /// Entries visited per detected change — the inefficiency measure
+    /// (∞-like large when nothing changes on a big filesystem).
+    pub fn visits_per_change(&self) -> f64 {
+        if self.changes_detected == 0 {
+            self.entries_visited as f64
+        } else {
+            self.entries_visited as f64 / self.changes_detected as f64
+        }
+    }
+}
+
+/// A crawl-and-diff monitor over a [`SimFs`] namespace.
+///
+/// # Example
+///
+/// ```
+/// use sdci_baselines::PollingMonitor;
+/// use sdci_types::{EventKind, SimTime};
+/// use simfs::SimFs;
+///
+/// let mut fs = SimFs::new();
+/// let mut monitor = PollingMonitor::primed(&fs);
+/// fs.create("/new.txt", SimTime::from_secs(1))?;
+/// let changes = monitor.poll(&fs);
+/// assert_eq!(changes.len(), 1);
+/// assert_eq!(changes[0].kind, EventKind::Created);
+/// # Ok::<(), simfs::FsError>(())
+/// ```
+pub struct PollingMonitor {
+    previous: HashMap<PathBuf, SimTime>,
+    stats: PollingStats,
+}
+
+impl fmt::Debug for PollingMonitor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PollingMonitor")
+            .field("tracked", &self.previous.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Default for PollingMonitor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PollingMonitor {
+    /// A monitor with no baseline snapshot (the first poll reports
+    /// everything as created).
+    pub fn new() -> Self {
+        PollingMonitor { previous: HashMap::new(), stats: PollingStats::default() }
+    }
+
+    /// A monitor primed with the current state of `fs` (the initial
+    /// crawl, charged to the stats).
+    pub fn primed(fs: &SimFs) -> Self {
+        let mut monitor = PollingMonitor::new();
+        monitor.previous = monitor.crawl(fs);
+        monitor
+    }
+
+    fn crawl(&mut self, fs: &SimFs) -> HashMap<PathBuf, SimTime> {
+        let walked = fs.walk();
+        self.stats.entries_visited += walked.len() as u64;
+        walked.into_iter().map(|(path, stat)| (path, stat.mtime)).collect()
+    }
+
+    /// Crawls the namespace and returns changes since the previous poll.
+    pub fn poll(&mut self, fs: &SimFs) -> Vec<PolledChange> {
+        self.stats.polls += 1;
+        let current = self.crawl(fs);
+        let mut changes = Vec::new();
+        for (path, mtime) in &current {
+            match self.previous.get(path) {
+                None => {
+                    changes.push(PolledChange { kind: EventKind::Created, path: path.clone() })
+                }
+                Some(old) if old != mtime => {
+                    changes.push(PolledChange { kind: EventKind::Modified, path: path.clone() })
+                }
+                Some(_) => {}
+            }
+        }
+        for path in self.previous.keys() {
+            if !current.contains_key(path) {
+                changes.push(PolledChange { kind: EventKind::Deleted, path: path.clone() });
+            }
+        }
+        changes.sort_by(|a, b| a.path.cmp(&b.path));
+        self.stats.changes_detected += changes.len() as u64;
+        self.previous = current;
+        changes
+    }
+
+    /// Cumulative cost counters.
+    pub fn stats(&self) -> PollingStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn detects_create_modify_delete() {
+        let mut fs = SimFs::new();
+        fs.mkdir("/d", t(0)).unwrap();
+        fs.create("/d/a", t(0)).unwrap();
+        let mut monitor = PollingMonitor::primed(&fs);
+
+        fs.create("/d/b", t(1)).unwrap();
+        fs.write("/d/a", 10, t(2)).unwrap();
+        let changes = monitor.poll(&fs);
+        // The create also bumps /d's mtime, so the directory shows up as
+        // modified — polling cannot tell container churn from content.
+        assert_eq!(
+            changes,
+            vec![
+                PolledChange { kind: EventKind::Modified, path: "/d".into() },
+                PolledChange { kind: EventKind::Modified, path: "/d/a".into() },
+                PolledChange { kind: EventKind::Created, path: "/d/b".into() },
+            ]
+        );
+
+        fs.unlink("/d/a", t(3)).unwrap();
+        let changes = monitor.poll(&fs);
+        assert_eq!(
+            changes,
+            vec![
+                PolledChange { kind: EventKind::Modified, path: "/d".into() },
+                PolledChange { kind: EventKind::Deleted, path: "/d/a".into() },
+            ]
+        );
+    }
+
+    #[test]
+    fn misses_changes_between_polls() {
+        // The fundamental polling blind spot: a file created and deleted
+        // between polls is never seen, and N modifications collapse to
+        // one.
+        let mut fs = SimFs::new();
+        let mut monitor = PollingMonitor::primed(&fs);
+        fs.create("/fleeting", t(1)).unwrap();
+        fs.unlink("/fleeting", t(2)).unwrap();
+        fs.create("/steady", t(3)).unwrap();
+        for i in 0..5 {
+            fs.write("/steady", 1, t(4 + i)).unwrap();
+        }
+        let changes = monitor.poll(&fs);
+        assert_eq!(changes.len(), 1, "only /steady's net creation is visible");
+        assert_eq!(changes[0].path, PathBuf::from("/steady"));
+    }
+
+    #[test]
+    fn rename_appears_as_delete_plus_create() {
+        let mut fs = SimFs::new();
+        fs.create("/before", t(0)).unwrap();
+        let mut monitor = PollingMonitor::primed(&fs);
+        fs.rename("/before", "/after", t(1)).unwrap();
+        let changes = monitor.poll(&fs);
+        let kinds: Vec<EventKind> = changes.iter().map(|c| c.kind).collect();
+        assert_eq!(kinds, vec![EventKind::Created, EventKind::Deleted]);
+    }
+
+    #[test]
+    fn crawl_cost_scales_with_namespace_not_changes() {
+        let mut fs = SimFs::new();
+        for i in 0..500 {
+            fs.create(format!("/f{i}"), t(0)).unwrap();
+        }
+        let mut monitor = PollingMonitor::primed(&fs);
+        // Ten polls, one change total.
+        fs.write("/f0", 1, t(1)).unwrap();
+        for _ in 0..10 {
+            monitor.poll(&fs);
+        }
+        let stats = monitor.stats();
+        assert_eq!(stats.changes_detected, 1);
+        assert_eq!(stats.entries_visited, 500 + 10 * 500);
+        assert!(stats.visits_per_change() > 5_000.0);
+    }
+
+    #[test]
+    fn first_poll_without_priming_reports_everything() {
+        let mut fs = SimFs::new();
+        fs.create("/a", t(0)).unwrap();
+        fs.create("/b", t(0)).unwrap();
+        let mut monitor = PollingMonitor::new();
+        assert_eq!(monitor.poll(&fs).len(), 2);
+    }
+}

@@ -1,0 +1,506 @@
+//! A Robinhood-style centralized ChangeLog consumer.
+//!
+//! Robinhood maintains a database of filesystem entries fed by a single
+//! client that sequentially drains each MDS ChangeLog. The database then
+//! answers bulk policy queries ("find files not modified in 30 days",
+//! usage reports). Contrast with the paper's monitor: one Collector *per*
+//! MDS, and events are pushed to subscribers rather than queried.
+
+use lustre_sim::{ChangelogUser, LustreFs};
+use parking_lot::Mutex;
+use sdci_core::model::StageCosts;
+use sdci_des::{ArrivalProcess, ArrivalSchedule, Server, Simulation};
+use sdci_types::{ChangelogKind, EventsPerSec, MdtIndex, SimDuration, SimTime};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::path::PathBuf;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// One entry in the Robinhood-style database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DbEntry {
+    /// Last known modification/creation time.
+    pub mtime: SimTime,
+    /// Last record kind observed.
+    pub last_kind: ChangelogKind,
+}
+
+/// The entry database: path → latest state.
+#[derive(Debug, Default)]
+pub struct RobinhoodDb {
+    entries: HashMap<PathBuf, DbEntry>,
+    records_applied: u64,
+}
+
+impl RobinhoodDb {
+    /// An empty database.
+    pub fn new() -> Self {
+        RobinhoodDb::default()
+    }
+
+    fn apply(&mut self, path: PathBuf, kind: ChangelogKind, time: SimTime) {
+        self.records_applied += 1;
+        match kind {
+            ChangelogKind::Unlink | ChangelogKind::Rmdir => {
+                self.entries.remove(&path);
+            }
+            _ => {
+                self.entries.insert(path, DbEntry { mtime: time, last_kind: kind });
+            }
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// ChangeLog records applied so far.
+    pub fn records_applied(&self) -> u64 {
+        self.records_applied
+    }
+
+    /// Policy query: entries not modified since `cutoff` (Robinhood's
+    /// stale-data purge candidate list).
+    pub fn stale_since(&self, cutoff: SimTime) -> Vec<PathBuf> {
+        let mut out: Vec<PathBuf> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.mtime < cutoff)
+            .map(|(p, _)| p.clone())
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Policy query: entries under a path prefix (usage reports).
+    pub fn under(&self, prefix: &std::path::Path) -> Vec<PathBuf> {
+        let mut out: Vec<PathBuf> =
+            self.entries.keys().filter(|p| p.starts_with(prefix)).cloned().collect();
+        out.sort();
+        out
+    }
+
+    /// Robinhood's `rbh-find` equivalent: combined criteria over the
+    /// database — path prefix, shell-style name glob, and modification
+    /// window — without crawling the filesystem.
+    pub fn find(&self, criteria: &FindCriteria) -> Vec<PathBuf> {
+        let mut out: Vec<PathBuf> = self
+            .entries
+            .iter()
+            .filter(|(path, entry)| criteria.matches(path, entry))
+            .map(|(path, _)| path.clone())
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+/// Criteria for [`RobinhoodDb::find`]; all present fields must match.
+#[derive(Debug, Default, Clone)]
+pub struct FindCriteria {
+    /// Only entries under this prefix.
+    pub under: Option<PathBuf>,
+    /// Only entries whose file name matches this glob (`*`, `?`).
+    pub name_glob: Option<String>,
+    /// Only entries modified at or after this instant.
+    pub modified_since: Option<SimTime>,
+    /// Only entries modified strictly before this instant.
+    pub modified_before: Option<SimTime>,
+}
+
+impl FindCriteria {
+    /// Criteria matching everything.
+    pub fn any() -> Self {
+        FindCriteria::default()
+    }
+
+    /// Restricts to entries under `prefix`.
+    pub fn under(mut self, prefix: impl Into<PathBuf>) -> Self {
+        self.under = Some(prefix.into());
+        self
+    }
+
+    /// Restricts to names matching `glob`.
+    pub fn named(mut self, glob: impl Into<String>) -> Self {
+        self.name_glob = Some(glob.into());
+        self
+    }
+
+    /// Restricts to entries modified at or after `t`.
+    pub fn modified_since(mut self, t: SimTime) -> Self {
+        self.modified_since = Some(t);
+        self
+    }
+
+    /// Restricts to entries modified strictly before `t`.
+    pub fn modified_before(mut self, t: SimTime) -> Self {
+        self.modified_before = Some(t);
+        self
+    }
+
+    fn matches(&self, path: &std::path::Path, entry: &DbEntry) -> bool {
+        if let Some(prefix) = &self.under {
+            if !path.starts_with(prefix) {
+                return false;
+            }
+        }
+        if let Some(glob) = &self.name_glob {
+            let name =
+                path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+            if !glob_name_match(glob, &name) {
+                return false;
+            }
+        }
+        if let Some(since) = self.modified_since {
+            if entry.mtime < since {
+                return false;
+            }
+        }
+        if let Some(before) = self.modified_before {
+            if entry.mtime >= before {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Minimal `*`/`?` glob (same two-pointer algorithm the rule engine
+/// uses; duplicated here so the baseline crate stays independent of
+/// `ripple`).
+fn glob_name_match(pattern: &str, name: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let n: Vec<char> = name.chars().collect();
+    let (mut pi, mut ni) = (0usize, 0usize);
+    let (mut star_p, mut star_n) = (usize::MAX, 0usize);
+    while ni < n.len() {
+        if pi < p.len() && (p[pi] == '?' || p[pi] == n[ni]) {
+            pi += 1;
+            ni += 1;
+        } else if pi < p.len() && p[pi] == '*' {
+            star_p = pi;
+            star_n = ni;
+            pi += 1;
+        } else if star_p != usize::MAX {
+            pi = star_p + 1;
+            star_n += 1;
+            ni = star_n;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+/// The single-client scanner: sequentially drains every MDT ChangeLog
+/// into the database.
+pub struct RobinhoodScanner {
+    fs: Arc<Mutex<LustreFs>>,
+    users: Vec<(MdtIndex, ChangelogUser, u64)>,
+    db: RobinhoodDb,
+    batch: usize,
+}
+
+impl fmt::Debug for RobinhoodScanner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RobinhoodScanner")
+            .field("mdts", &self.users.len())
+            .field("db_entries", &self.db.len())
+            .finish()
+    }
+}
+
+impl RobinhoodScanner {
+    /// Registers the scanner as a ChangeLog user on every MDT.
+    pub fn new(fs: Arc<Mutex<LustreFs>>, batch: usize) -> Self {
+        let users = {
+            let mut guard = fs.lock();
+            (0..guard.mdt_count())
+                .map(|m| {
+                    let mdt = MdtIndex::new(m);
+                    let log = guard.changelog_mut(mdt);
+                    (mdt, log.register_user(), log.last_index())
+                })
+                .collect()
+        };
+        RobinhoodScanner { fs, users, db: RobinhoodDb::new(), batch: batch.max(1) }
+    }
+
+    /// One full sequential pass over all MDTs (the single client visits
+    /// each in turn). Returns records applied this pass.
+    pub fn scan_once(&mut self) -> u64 {
+        let mut applied = 0;
+        for (mdt, user, last_seen) in &mut self.users {
+            loop {
+                let batch = {
+                    let guard = self.fs.lock();
+                    guard.changelog(*mdt).read_from(*last_seen, self.batch)
+                };
+                if batch.is_empty() {
+                    break;
+                }
+                for record in &batch {
+                    *last_seen = record.index;
+                    let resolved = {
+                        let guard = self.fs.lock();
+                        guard.resolve_record_path(record)
+                    };
+                    if let Ok(path) = resolved {
+                        self.db.apply(path, record.kind, record.time);
+                        applied += 1;
+                    }
+                }
+                let mut guard = self.fs.lock();
+                let log = guard.changelog_mut(*mdt);
+                let _ = log.ack(*user, *last_seen);
+                log.purge();
+            }
+        }
+        applied
+    }
+
+    /// The database.
+    pub fn db(&self) -> &RobinhoodDb {
+        &self.db
+    }
+}
+
+/// Parameters of the modelled centralized collector (for the A3
+/// comparison bench).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CentralizedModel {
+    /// Number of MDTs being drained by the single client.
+    pub mdt_count: u32,
+    /// Total event-generation rate across all MDTs (events/s).
+    pub generation_rate: f64,
+    /// Generation window.
+    pub duration: SimDuration,
+    /// Stage costs (same calibration as the distributed monitor).
+    pub costs: StageCosts,
+    /// Per-MDT-switch overhead of the sequential client (connection
+    /// re-establishment / cursor seek).
+    pub switch_overhead: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Outcome of a centralized-model run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CentralizedReport {
+    /// Events generated in the window.
+    pub generated: u64,
+    /// Events ingested into the database within the window.
+    pub ingested_in_window: u64,
+    /// Achieved ingest rate.
+    pub ingest_rate: EventsPerSec,
+    /// Utilization of the single client.
+    pub client_utilization: f64,
+}
+
+impl CentralizedModel {
+    /// Runs the model: all events funnel through one sequential client
+    /// whose per-event service is extract + cold resolution + refactor
+    /// (Robinhood resolves paths the same way), plus amortized
+    /// MDT-switch overhead.
+    pub fn run(&self) -> CentralizedReport {
+        let mut sim = Simulation::new(self.seed);
+        let window_end = SimTime::EPOCH + self.duration;
+        let client = Server::new("robinhood-client", 1);
+        let ingested = Rc::new(RefCell::new((0u64, 0u64))); // (generated, ingested)
+
+        let per_event = self.costs.extract
+            + self.costs.resolve_fixed
+            + self.costs.resolve_marginal
+            + self.costs.refactor
+            // The sequential client round-robins MDTs; amortize one
+            // switch per event scaled by MDT count (it must visit all
+            // logs to make progress on any).
+            + SimDuration::from_nanos(
+                self.switch_overhead.as_nanos() * self.mdt_count as u64 / 64,
+            );
+
+        {
+            let client = client.clone();
+            let ingested = Rc::clone(&ingested);
+            ArrivalSchedule::new(ArrivalProcess::Uniform { rate: self.generation_rate })
+                .until(window_end)
+                .start(&mut sim, move |sim, _| {
+                    ingested.borrow_mut().0 += 1;
+                    let ingested = Rc::clone(&ingested);
+                    client.submit(sim, per_event, move |_, finish| {
+                        if finish <= window_end {
+                            ingested.borrow_mut().1 += 1;
+                        }
+                    });
+                });
+        }
+        sim.run();
+
+        let (generated, in_window) = *ingested.borrow();
+        CentralizedReport {
+            generated,
+            ingested_in_window: in_window,
+            ingest_rate: EventsPerSec::from_count(in_window, self.duration),
+            client_utilization: client.stats().utilization(self.duration, 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lustre_sim::{DnePolicy, LustreConfig};
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn scanner_builds_database() {
+        let fs = Arc::new(Mutex::new(LustreFs::new(LustreConfig::aws_testbed())));
+        let mut scanner = RobinhoodScanner::new(Arc::clone(&fs), 64);
+        {
+            let mut guard = fs.lock();
+            guard.mkdir("/proj", t(0)).unwrap();
+            for i in 0..20 {
+                guard.create(format!("/proj/f{i}"), t(i + 1)).unwrap();
+            }
+            guard.unlink("/proj/f3", t(30)).unwrap();
+        }
+        let applied = scanner.scan_once();
+        assert_eq!(applied, 22);
+        // 1 dir + 20 files - 1 unlinked.
+        assert_eq!(scanner.db().len(), 20);
+        assert!(!scanner
+            .db()
+            .under(std::path::Path::new("/proj"))
+            .contains(&PathBuf::from("/proj/f3")));
+        // ChangeLog purged behind the scan.
+        assert!(fs.lock().changelog(MdtIndex::new(0)).is_empty());
+    }
+
+    #[test]
+    fn scanner_covers_all_mdts() {
+        let fs = Arc::new(Mutex::new(LustreFs::new(
+            LustreConfig::builder("multi")
+                .mdt_count(4)
+                .dne_policy(DnePolicy::RoundRobinTopLevel)
+                .build(),
+        )));
+        let mut scanner = RobinhoodScanner::new(Arc::clone(&fs), 16);
+        {
+            let mut guard = fs.lock();
+            for d in 0..8 {
+                guard.mkdir(format!("/d{d}"), t(0)).unwrap();
+                guard.create(format!("/d{d}/f"), t(1)).unwrap();
+            }
+        }
+        assert_eq!(scanner.scan_once(), 16);
+        assert_eq!(scanner.db().len(), 16);
+    }
+
+    #[test]
+    fn stale_query_supports_purge_policy() {
+        let fs = Arc::new(Mutex::new(LustreFs::new(LustreConfig::aws_testbed())));
+        let mut scanner = RobinhoodScanner::new(Arc::clone(&fs), 64);
+        {
+            let mut guard = fs.lock();
+            guard.create("/old.dat", t(10)).unwrap();
+            guard.create("/new.dat", t(1000)).unwrap();
+        }
+        scanner.scan_once();
+        let stale = scanner.db().stale_since(t(500));
+        assert_eq!(stale, vec![PathBuf::from("/old.dat")]);
+        assert_eq!(scanner.db().under(std::path::Path::new("/")).len(), 2);
+    }
+
+    #[test]
+    fn find_combines_criteria() {
+        let fs = Arc::new(Mutex::new(LustreFs::new(LustreConfig::aws_testbed())));
+        let mut scanner = RobinhoodScanner::new(Arc::clone(&fs), 64);
+        {
+            let mut guard = fs.lock();
+            guard.mkdir("/proj", t(0)).unwrap();
+            guard.create("/proj/run-1.h5", t(10)).unwrap();
+            guard.create("/proj/run-2.h5", t(200)).unwrap();
+            guard.create("/proj/notes.txt", t(10)).unwrap();
+            guard.create("/other.h5", t(10)).unwrap();
+        }
+        scanner.scan_once();
+        let db = scanner.db();
+        assert_eq!(
+            db.find(&FindCriteria::any().named("*.h5")).len(),
+            3,
+            "all h5 files anywhere"
+        );
+        assert_eq!(
+            db.find(&FindCriteria::any().under("/proj").named("run-?.h5")).len(),
+            2
+        );
+        let old_h5 = db.find(
+            &FindCriteria::any()
+                .under("/proj")
+                .named("*.h5")
+                .modified_before(t(100)),
+        );
+        assert_eq!(old_h5, vec![PathBuf::from("/proj/run-1.h5")]);
+        assert_eq!(
+            db.find(&FindCriteria::any().modified_since(t(100))).len(),
+            1
+        );
+        assert_eq!(db.find(&FindCriteria::any()).len(), 5);
+    }
+
+    #[test]
+    fn incremental_scans_pick_up_where_left_off() {
+        let fs = Arc::new(Mutex::new(LustreFs::new(LustreConfig::aws_testbed())));
+        let mut scanner = RobinhoodScanner::new(Arc::clone(&fs), 8);
+        fs.lock().create("/a", t(1)).unwrap();
+        assert_eq!(scanner.scan_once(), 1);
+        assert_eq!(scanner.scan_once(), 0);
+        fs.lock().create("/b", t(2)).unwrap();
+        assert_eq!(scanner.scan_once(), 1);
+        assert_eq!(scanner.db().records_applied(), 2);
+    }
+
+    #[test]
+    fn centralized_model_does_not_scale_with_mdts() {
+        let costs = StageCosts {
+            extract: SimDuration::from_micros(4),
+            resolve_fixed: SimDuration::from_micros(95),
+            resolve_marginal: SimDuration::from_micros(23),
+            resolve_cached: SimDuration::from_nanos(300),
+            refactor: SimDuration::from_micros(4),
+            aggregate: SimDuration::from_nanos(100),
+            consume: SimDuration::from_nanos(100),
+        };
+        let base = CentralizedModel {
+            mdt_count: 1,
+            generation_rate: 20_000.0,
+            duration: SimDuration::from_secs(3),
+            costs,
+            switch_overhead: SimDuration::from_micros(640),
+            seed: 1,
+        };
+        let one = base.clone().run();
+        let four = CentralizedModel { mdt_count: 4, ..base }.run();
+        assert!(
+            four.ingest_rate.per_sec() <= one.ingest_rate.per_sec() * 1.01,
+            "centralized ingest cannot speed up with more MDTs: {} vs {}",
+            four.ingest_rate,
+            one.ingest_rate
+        );
+        assert!(one.client_utilization > 0.95, "client saturated under overload");
+    }
+}

@@ -1,0 +1,84 @@
+//! A3: centralized (Robinhood-style) vs hierarchical (this paper)
+//! collection.
+//!
+//! §2: Robinhood "employs a centralized approach ... where metadata is
+//! sequentially extracted from each metadata server by a single client.
+//! Our approach employs a distributed method of collecting, processing,
+//! and aggregating these data." §6 lists a production comparison as
+//! future work; this bench performs the modelled version.
+//!
+//! Offered load scales with MDS count (each MDS generates Iota's
+//! single-MDS rate); the hierarchical monitor adds a Collector per MDS,
+//! the centralized client stays single.
+
+use sdci_baselines::CentralizedModel;
+use sdci_bench::print_table;
+use sdci_core::model::{PipelineModel, PipelineParams};
+use sdci_types::SimDuration;
+use sdci_workloads::TestbedProfile;
+
+fn main() {
+    println!("== A3: hierarchical monitor vs Robinhood-style centralized client ==\n");
+    let profile = TestbedProfile::iota();
+    let per_mds_rate = profile.paper_generation_rate;
+    let mut rows = Vec::new();
+    let mut hier = Vec::new();
+    let mut cent = Vec::new();
+    for mdts in [1u32, 2, 4, 8] {
+        let offered = per_mds_rate * mdts as f64;
+        let hierarchical = PipelineModel::new(PipelineParams {
+            mdt_count: mdts,
+            generation_rate: offered,
+            duration: SimDuration::from_secs(20),
+            costs: profile.stage_costs,
+            cache_capacity: 0,
+            batch_size: 1,
+            directory_pool: 16,
+            poisson: false,
+            arrivals: None,
+            seed: 42,
+        })
+        .run();
+        let centralized = CentralizedModel {
+            mdt_count: mdts,
+            generation_rate: offered,
+            duration: SimDuration::from_secs(20),
+            costs: profile.stage_costs,
+            switch_overhead: SimDuration::from_micros(640),
+            seed: 42,
+        }
+        .run();
+        hier.push(hierarchical.report_rate.per_sec());
+        cent.push(centralized.ingest_rate.per_sec());
+        rows.push(vec![
+            mdts.to_string(),
+            format!("{offered:.0}"),
+            format!("{:.0}", hierarchical.report_rate.per_sec()),
+            format!("{:.0}", centralized.ingest_rate.per_sec()),
+            format!(
+                "{:.1}x",
+                hierarchical.report_rate.per_sec() / centralized.ingest_rate.per_sec()
+            ),
+        ]);
+    }
+    print_table(
+        &["MDS count", "offered/s", "hierarchical/s", "centralized/s", "speedup"],
+        &rows,
+    );
+
+    println!(
+        "\nthe hierarchical monitor scales with MDS count ({:.0} -> {:.0} events/s); the \
+         centralized client is flat ({:.0} -> {:.0}) — its single reader saturates.",
+        hier[0],
+        hier[3],
+        cent[0],
+        cent[3]
+    );
+    assert!(hier[3] > hier[0] * 6.0, "hierarchical must scale ~linearly");
+    assert!(cent[3] < cent[0] * 1.2, "centralized must stay flat");
+    println!(
+        "\nRobinhood still wins its own game: its database supports bulk policy \
+         queries (see sdci_baselines::RobinhoodDb::stale_since); the monitor's \
+         advantage is real-time site-wide event *streams* for engines like Ripple."
+    );
+}

@@ -1,0 +1,169 @@
+//! A4: message-passing techniques between collection and aggregation
+//! points (§6 future work: "exploring and evaluating different message
+//! passing techniques between the collection and aggregation points").
+//!
+//! Live (wall-clock) comparison of three in-process transports moving
+//! the same 200,000 `FileEvent`s from four producer threads (the
+//! Collectors) to one consumer (the Aggregator):
+//!
+//! * `push/pull` — bounded blocking pipeline (backpressure);
+//! * `pub/sub`   — ZeroMQ-style broker with HWM (load shedding);
+//! * `pub/sub batched` — same broker, events batched 64 per message.
+
+use sdci_mq::pipe::pipeline;
+use sdci_mq::pubsub::Broker;
+use sdci_types::{ChangelogKind, EventKind, Fid, FileEvent, MdtIndex, SimTime};
+use std::path::PathBuf;
+use std::thread;
+use std::time::Instant;
+
+const EVENTS: u64 = 200_000;
+const PRODUCERS: u64 = 4;
+
+fn event(i: u64) -> FileEvent {
+    FileEvent {
+        index: i,
+        mdt: MdtIndex::new((i % PRODUCERS) as u32),
+        changelog_kind: ChangelogKind::Create,
+        kind: EventKind::Created,
+        time: SimTime::from_nanos(i),
+        path: PathBuf::from(format!("/bench/dir{}/file{}", i % 64, i)),
+        src_path: None,
+        target: Fid::new(0x100, i as u32, 0),
+        is_dir: false,
+    }
+}
+
+fn run_push_pull() -> (f64, u64) {
+    let (push, pull) = pipeline::<FileEvent>(65_536);
+    let start = Instant::now();
+    let producers: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let push = push.clone();
+            thread::spawn(move || {
+                for i in 0..EVENTS / PRODUCERS {
+                    push.send(event(p * 1_000_000 + i));
+                }
+            })
+        })
+        .collect();
+    drop(push);
+    let mut received = 0u64;
+    while pull.recv().is_some() {
+        received += 1;
+    }
+    for p in producers {
+        p.join().unwrap();
+    }
+    (EVENTS as f64 / start.elapsed().as_secs_f64(), received)
+}
+
+fn run_pubsub() -> (f64, u64) {
+    let broker: Broker<FileEvent> = Broker::new(65_536);
+    let sub = broker.subscribe(&["events/"]);
+    let start = Instant::now();
+    let producers: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let publisher = broker.publisher();
+            thread::spawn(move || {
+                for i in 0..EVENTS / PRODUCERS {
+                    publisher.publish("events/all", event(p * 1_000_000 + i));
+                }
+            })
+        })
+        .collect();
+    let consumer = thread::spawn(move || {
+        let mut received = 0u64;
+        while received + sub.dropped() < EVENTS {
+            if sub.recv_timeout(std::time::Duration::from_millis(200)).is_some() {
+                received += 1;
+            } else {
+                break;
+            }
+        }
+        received
+    });
+    for p in producers {
+        p.join().unwrap();
+    }
+    let received = consumer.join().unwrap();
+    (EVENTS as f64 / start.elapsed().as_secs_f64(), received)
+}
+
+fn run_pubsub_batched(batch: usize) -> (f64, u64) {
+    let broker: Broker<Vec<FileEvent>> = Broker::new(65_536);
+    let sub = broker.subscribe(&["events/"]);
+    let batches = EVENTS / PRODUCERS / batch as u64;
+    let start = Instant::now();
+    let producers: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let publisher = broker.publisher();
+            thread::spawn(move || {
+                for b in 0..batches {
+                    let chunk: Vec<FileEvent> = (0..batch as u64)
+                        .map(|i| event(p * 1_000_000 + b * batch as u64 + i))
+                        .collect();
+                    publisher.publish("events/all", chunk);
+                }
+            })
+        })
+        .collect();
+    let total_batches = batches * PRODUCERS;
+    let consumer = thread::spawn(move || {
+        let mut received = 0u64;
+        let mut got_batches = 0u64;
+        while got_batches + sub.dropped() < total_batches {
+            match sub.recv_timeout(std::time::Duration::from_millis(200)) {
+                Some(msg) => {
+                    got_batches += 1;
+                    received += msg.payload.len() as u64;
+                }
+                None => break,
+            }
+        }
+        received
+    });
+    for p in producers {
+        p.join().unwrap();
+    }
+    let received = consumer.join().unwrap();
+    (EVENTS as f64 / start.elapsed().as_secs_f64(), received)
+}
+
+fn main() {
+    println!("== A4: Collector->Aggregator transport comparison ==");
+    println!("({EVENTS} events, {PRODUCERS} producers, 1 consumer, wall-clock)\n");
+    let (pp_rate, pp_recv) = run_push_pull();
+    let (ps_rate, ps_recv) = run_pubsub();
+    let (psb_rate, psb_recv) = run_pubsub_batched(64);
+
+    sdci_bench::print_table(
+        &["transport", "throughput (events/s)", "delivered", "semantics"],
+        &[
+            vec![
+                "push/pull".into(),
+                format!("{pp_rate:.0}"),
+                format!("{pp_recv}/{EVENTS}"),
+                "blocking backpressure, no loss".into(),
+            ],
+            vec![
+                "pub/sub".into(),
+                format!("{ps_rate:.0}"),
+                format!("{ps_recv}/{EVENTS}"),
+                "HWM sheds load on slow consumers".into(),
+            ],
+            vec![
+                "pub/sub batched x64".into(),
+                format!("{psb_rate:.0}"),
+                format!("{psb_recv}/{EVENTS}"),
+                "amortizes per-message overhead".into(),
+            ],
+        ],
+    );
+    assert_eq!(pp_recv, EVENTS, "push/pull may not lose events");
+    println!(
+        "\nbatching amortizes per-message broker overhead ({:.1}x vs unbatched pub/sub); \
+         push/pull trades peak rate for lossless backpressure.",
+        psb_rate / ps_rate
+    );
+}

@@ -1,0 +1,58 @@
+//! A7: event-delivery latency under load — the consumer-visible side of
+//! the throughput story.
+//!
+//! §5.2 reports rates; a Ripple deployment also cares how *stale* an
+//! event is by the time the rule engine sees it. This harness sweeps
+//! offered load as a fraction of the monitor's capacity on the Iota
+//! profile (Poisson arrivals, paper configuration) and reports
+//! end-to-end latency quantiles — the classic queueing knee: latency is
+//! flat until ~80% utilization, then explodes as the paper's measured
+//! operating point (offered > capacity) is approached.
+
+use sdci_bench::print_table;
+use sdci_core::model::{PipelineModel, PipelineParams};
+use sdci_types::SimDuration;
+use sdci_workloads::TestbedProfile;
+
+fn main() {
+    println!("== A7: end-to-end event latency vs load (Iota profile, Poisson) ==\n");
+    let profile = TestbedProfile::iota();
+    let capacity = profile.baseline_capacity();
+
+    let mut rows = Vec::new();
+    for fraction in [0.25f64, 0.5, 0.8, 0.95, 1.05] {
+        let report = PipelineModel::new(PipelineParams {
+            mdt_count: 1,
+            generation_rate: capacity * fraction,
+            duration: SimDuration::from_secs(30),
+            costs: profile.stage_costs,
+            cache_capacity: 0,
+            batch_size: 1,
+            directory_pool: 16,
+            poisson: true,
+            arrivals: None,
+            seed: 42,
+        })
+        .run();
+        rows.push(vec![
+            format!("{:.0}%", fraction * 100.0),
+            format!("{:.0}", capacity * fraction),
+            format!("{}", report.latency_quantile(0.50)),
+            format!("{}", report.latency_quantile(0.99)),
+            format!("{}", report.latency_quantile(1.0)),
+            format!("{:.2}%", report.shortfall_pct),
+        ]);
+    }
+    print_table(
+        &["load", "offered/s", "p50 latency", "p99 latency", "max latency", "shortfall"],
+        &rows,
+    );
+
+    println!(
+        "\nlatency stays near the ~{} service time until ~80% load, inflates \
+         at 95%, and grows without bound past capacity (105% ≈ the paper's \
+         measured operating point, where generation outruns the monitor by \
+         ~15%). Batching/caching (A1) or a second MDS (A2) restore headroom.",
+        SimDuration::from_secs_f64(1.0 / capacity)
+    );
+}

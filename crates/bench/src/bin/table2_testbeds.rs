@@ -1,0 +1,45 @@
+//! Table 2: testbed performance characteristics.
+//!
+//! Replays the §5.1 characterization — "a Python script to record the
+//! time taken to create, modify, or delete 10,000 files on each file
+//! system" plus the mixed generator for the total-event rate — against
+//! the calibrated AWS and Iota profiles, in virtual time.
+
+use sdci_bench::{print_table, vs_paper};
+use sdci_workloads::{measure_table2_rates, TestbedProfile};
+
+fn main() {
+    println!("== Table 2: Testbed Performance Characteristics ==\n");
+    let files = 10_000;
+
+    let mut rows = Vec::new();
+    for (profile, paper) in [
+        (TestbedProfile::aws(), [352.0, 534.0, 832.0, 1366.0]),
+        (TestbedProfile::iota(), [1389.0, 2538.0, 3442.0, 9593.0]),
+    ] {
+        let row = measure_table2_rates(&profile, files);
+        rows.push(vec![
+            profile.name.to_string(),
+            format!("{}", profile.capacity),
+            vs_paper(row.created.per_sec(), paper[0]),
+            vs_paper(row.modified.per_sec(), paper[1]),
+            vs_paper(row.deleted.per_sec(), paper[2]),
+            vs_paper(row.total.per_sec(), paper[3]),
+        ]);
+    }
+    print_table(
+        &[
+            "testbed",
+            "storage",
+            "created (events/s)",
+            "modified (events/s)",
+            "deleted (events/s)",
+            "total (events/s)",
+        ],
+        &rows,
+    );
+    println!(
+        "\n{files} files per operation class; total-events row uses the mixed \
+         create/modify/delete generator (multiple ChangeLog records per file)."
+    );
+}

@@ -1,0 +1,335 @@
+//! The Aggregator (§4, step 3).
+//!
+//! "Once an event is reported to the Aggregator it is immediately placed
+//! in a queue to be processed. The Aggregator is multi-threaded, enabling
+//! it to both publish events to subscribed consumers and store the events
+//! in a local database with minimal overhead."
+//!
+//! The implementation uses two threads: an *ingest* thread that receives
+//! Collector events, assigns global sequence numbers, and inserts into
+//! the [`EventStore`]; and a *publish* thread that fans stored events out
+//! to subscribed consumers. Store-before-publish ordering guarantees that
+//! anything a consumer has seen announced is retrievable from the
+//! historic API.
+
+use crate::store::EventStore;
+use parking_lot::Mutex;
+use sdci_mq::pipe::{pipeline, Pull, Push};
+use sdci_mq::pubsub::{Broker, Subscriber};
+use sdci_types::FileEvent;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A file event stamped with the Aggregator's global sequence number.
+///
+/// Sequence numbers are dense (1, 2, 3, ...), so consumers detect losses
+/// as gaps and recover via the store API.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SequencedEvent {
+    /// Global sequence number assigned at aggregation.
+    pub seq: u64,
+    /// The event.
+    pub event: FileEvent,
+}
+
+/// What the Aggregator publishes on the consumer feed.
+///
+/// Heartbeats carry the highest assigned sequence number so a consumer
+/// that missed the *tail* of a burst (shed at its high-water mark, with
+/// nothing following to reveal the gap) still learns how far behind it
+/// is and can recover from the store.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FeedMessage {
+    /// A sequenced file event.
+    Event(SequencedEvent),
+    /// A liveness/progress marker published while the feed is idle.
+    Heartbeat {
+        /// The highest sequence number assigned so far.
+        last_seq: u64,
+    },
+}
+
+/// Counters for the [`Aggregator`].
+#[derive(Debug, Default)]
+pub struct AggregatorStats {
+    /// Events received from Collectors.
+    pub received: AtomicU64,
+    /// Events inserted into the store.
+    pub stored: AtomicU64,
+    /// Events published to the consumer feed.
+    pub published: AtomicU64,
+}
+
+/// Snapshot of [`AggregatorStats`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct AggregatorSnapshot {
+    /// Events received from Collectors.
+    pub received: u64,
+    /// Events inserted into the store.
+    pub stored: u64,
+    /// Events published to the consumer feed.
+    pub published: u64,
+}
+
+/// The running Aggregator: two threads plus shared store.
+pub struct Aggregator {
+    store: Arc<Mutex<EventStore>>,
+    feed: Broker<FeedMessage>,
+    stats: Arc<AggregatorStats>,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl fmt::Debug for Aggregator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Aggregator").field("threads", &self.threads.len()).finish()
+    }
+}
+
+impl Aggregator {
+    /// Starts the Aggregator over `events` (the Collector-side
+    /// subscription), with a store retaining `store_capacity` events and
+    /// a consumer feed with the given high-water mark.
+    pub fn start(events: Subscriber<FileEvent>, store_capacity: usize, feed_hwm: usize) -> Self {
+        Self::start_with_store(events, EventStore::new(store_capacity), feed_hwm)
+    }
+
+    /// Starts the Aggregator with a pre-populated store (restored from a
+    /// [`EventStore::snapshot_to`] snapshot after a crash). Sequence
+    /// numbering resumes after the snapshot's last event, so consumers
+    /// reconnecting with `subscribe_from(old_seq)` recover seamlessly
+    /// across the restart.
+    pub fn start_with_store(
+        events: Subscriber<FileEvent>,
+        store: EventStore,
+        feed_hwm: usize,
+    ) -> Self {
+        let resume_seq = store.last_seq();
+        let store = Arc::new(Mutex::new(store));
+        let feed: Broker<FeedMessage> = Broker::new(feed_hwm);
+        let stats = Arc::new(AggregatorStats::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let last_seq = Arc::new(AtomicU64::new(0));
+        // The internal store->publish hand-off is sized independently of
+        // the consumer HWM: stalling it would back-pressure ingest and
+        // lose events *before* the store.
+        let (to_publish, publish_queue): (Push<SequencedEvent>, Pull<SequencedEvent>) =
+            pipeline(feed_hwm.max(65_536));
+
+        // Ingest thread: receive -> sequence -> store -> hand off.
+        let ingest = {
+            let store = Arc::clone(&store);
+            let stats = Arc::clone(&stats);
+            let stop = Arc::clone(&stop);
+            let last_seq = Arc::clone(&last_seq);
+            std::thread::spawn(move || {
+                let mut seq = resume_seq;
+                loop {
+                    match events.recv_timeout(Duration::from_millis(5)) {
+                        Some(msg) => {
+                            seq += 1;
+                            stats.received.fetch_add(1, Ordering::Relaxed);
+                            let sev = SequencedEvent { seq, event: msg.payload };
+                            store.lock().insert(sev.clone());
+                            stats.stored.fetch_add(1, Ordering::Relaxed);
+                            last_seq.store(seq, Ordering::Relaxed);
+                            if !to_publish.send(sev) {
+                                break; // publisher gone
+                            }
+                        }
+                        None => {
+                            if stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                        }
+                    }
+                }
+            })
+        };
+
+        // Publish thread: fan out to consumers, with idle heartbeats so
+        // consumers that shed the tail of a burst learn how far behind
+        // they are.
+        let publish = {
+            let feed = feed.clone();
+            let stats = Arc::clone(&stats);
+            let stop = Arc::clone(&stop);
+            let last_seq = Arc::clone(&last_seq);
+            std::thread::spawn(move || {
+                let publisher = feed.publisher();
+                let mut last_heartbeat = std::time::Instant::now();
+                loop {
+                    match publish_queue.recv_timeout(Duration::from_millis(5)) {
+                        Some(sev) => {
+                            publisher.publish("feed/all", FeedMessage::Event(sev));
+                            stats.published.fetch_add(1, Ordering::Relaxed);
+                        }
+                        None => {
+                            if stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            if last_heartbeat.elapsed() >= Duration::from_millis(20) {
+                                let seq = last_seq.load(Ordering::Relaxed);
+                                if seq > 0 {
+                                    publisher
+                                        .publish("feed/all", FeedMessage::Heartbeat { last_seq: seq });
+                                }
+                                last_heartbeat = std::time::Instant::now();
+                            }
+                        }
+                    }
+                }
+            })
+        };
+
+        Aggregator { store, feed, stats, stop, threads: vec![ingest, publish] }
+    }
+
+    /// The consumer-facing feed broker; subscribe with topic prefix
+    /// `"feed/"`.
+    pub fn feed(&self) -> &Broker<FeedMessage> {
+        &self.feed
+    }
+
+    /// The historic-event store (the Aggregator's query API).
+    pub fn store(&self) -> Arc<Mutex<EventStore>> {
+        Arc::clone(&self.store)
+    }
+
+    /// Counter snapshot.
+    pub fn snapshot(&self) -> AggregatorSnapshot {
+        AggregatorSnapshot {
+            received: self.stats.received.load(Ordering::Relaxed),
+            stored: self.stats.stored.load(Ordering::Relaxed),
+            published: self.stats.published.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Signals the threads to stop once their queues drain and joins
+    /// them.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Aggregator {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreQuery;
+    use sdci_types::{ChangelogKind, EventKind, Fid, MdtIndex, SimTime};
+    use std::path::PathBuf;
+
+    fn event(i: u64) -> FileEvent {
+        FileEvent {
+            index: i,
+            mdt: MdtIndex::new(0),
+            changelog_kind: ChangelogKind::Create,
+            kind: EventKind::Created,
+            time: SimTime::from_secs(i),
+            path: PathBuf::from(format!("/f{i}")),
+            src_path: None,
+            target: Fid::new(1, i as u32, 0),
+            is_dir: false,
+        }
+    }
+
+    fn wait_until(deadline: Duration, mut done: impl FnMut() -> bool) -> bool {
+        let end = std::time::Instant::now() + deadline;
+        while std::time::Instant::now() < end {
+            if done() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        false
+    }
+
+    #[test]
+    fn sequences_stores_and_publishes() {
+        let broker: Broker<FileEvent> = Broker::new(1024);
+        let agg = Aggregator::start(broker.subscribe(&["events/"]), 1000, 1024);
+        let consumer = agg.feed().subscribe(&["feed/"]);
+        let p = broker.publisher();
+        for i in 1..=50 {
+            p.publish("events/mdt0", event(i));
+        }
+        assert!(wait_until(Duration::from_secs(5), || agg.snapshot().published >= 50));
+        let mut seqs = Vec::new();
+        while let Some(msg) = consumer.try_recv() {
+            if let FeedMessage::Event(sev) = msg.payload {
+                seqs.push(sev.seq);
+            }
+        }
+        assert_eq!(seqs, (1..=50).collect::<Vec<_>>(), "dense, ordered sequence numbers");
+        let store = agg.store();
+        assert_eq!(store.lock().len(), 50);
+        agg.shutdown();
+    }
+
+    #[test]
+    fn store_is_ahead_of_feed() {
+        // Anything seen on the feed must already be in the store.
+        let broker: Broker<FileEvent> = Broker::new(1024);
+        let agg = Aggregator::start(broker.subscribe(&["events/"]), 1000, 1024);
+        let consumer = agg.feed().subscribe(&["feed/"]);
+        let store = agg.store();
+        let p = broker.publisher();
+        for i in 1..=200 {
+            p.publish("events/mdt0", event(i));
+        }
+        let mut checked = 0;
+        while checked < 200 {
+            if let Some(msg) = consumer.recv_timeout(Duration::from_secs(5)) {
+                let FeedMessage::Event(sev) = msg.payload else { continue };
+                let seq = sev.seq;
+                let found =
+                    store.lock().query(&StoreQuery::after_seq(seq - 1).limit(1));
+                assert!(
+                    found.first().is_some_and(|e| e.seq == seq),
+                    "event {seq} on feed but absent from store"
+                );
+                checked += 1;
+            } else {
+                panic!("feed stalled after {checked} events");
+            }
+        }
+        agg.shutdown();
+    }
+
+    #[test]
+    fn store_rotates_at_capacity() {
+        let broker: Broker<FileEvent> = Broker::new(1024);
+        let agg = Aggregator::start(broker.subscribe(&["events/"]), 10, 1024);
+        let p = broker.publisher();
+        for i in 1..=30 {
+            p.publish("events/mdt0", event(i));
+        }
+        assert!(wait_until(Duration::from_secs(5), || agg.snapshot().stored >= 30));
+        let store = agg.store();
+        let guard = store.lock();
+        assert_eq!(guard.len(), 10);
+        assert_eq!(guard.first_seq(), 21);
+        drop(guard);
+        agg.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly() {
+        let broker: Broker<FileEvent> = Broker::new(16);
+        let agg = Aggregator::start(broker.subscribe(&["events/"]), 10, 16);
+        agg.shutdown();
+    }
+}

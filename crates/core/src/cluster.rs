@@ -1,0 +1,340 @@
+//! Wiring: one Collector thread per MDT + the Aggregator (Figure 2).
+
+use crate::aggregator::{Aggregator, AggregatorSnapshot};
+use crate::collector::{Collector, CollectorStats};
+use crate::config::MonitorConfig;
+use crate::consumer::EventConsumer;
+use crate::store::StoreStats;
+use lustre_sim::LustreFs;
+use parking_lot::Mutex;
+use sdci_mq::pubsub::Broker;
+use sdci_types::{FileEvent, MdtIndex};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Builder for a [`MonitorCluster`].
+pub struct MonitorClusterBuilder {
+    fs: Arc<Mutex<LustreFs>>,
+    config: MonitorConfig,
+    restored_store: Option<crate::store::EventStore>,
+}
+
+impl fmt::Debug for MonitorClusterBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MonitorClusterBuilder").field("config", &self.config).finish()
+    }
+}
+
+impl MonitorClusterBuilder {
+    /// Starts building a monitor over a shared filesystem.
+    pub fn new(fs: Arc<Mutex<LustreFs>>) -> Self {
+        MonitorClusterBuilder { fs, config: MonitorConfig::default(), restored_store: None }
+    }
+
+    /// Overrides the configuration.
+    pub fn config(mut self, config: MonitorConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Seeds the Aggregator with a store restored from a snapshot
+    /// (see [`crate::EventStore::restore_from`]); sequence numbering
+    /// resumes after the snapshot.
+    pub fn restore_store(mut self, store: crate::store::EventStore) -> Self {
+        self.restored_store = Some(store);
+        self
+    }
+
+    /// Deploys one Collector thread per MDT plus the Aggregator, and
+    /// begins monitoring.
+    pub fn start(self) -> MonitorCluster {
+        let mdt_count = self.fs.lock().mdt_count();
+        let events_broker: Broker<FileEvent> = Broker::new(self.config.publish_hwm);
+        let aggregator = match self.restored_store {
+            Some(store) => Aggregator::start_with_store(
+                events_broker.subscribe(&["events/"]),
+                store,
+                self.config.feed_hwm,
+            ),
+            None => Aggregator::start(
+                events_broker.subscribe(&["events/"]),
+                self.config.store_capacity,
+                self.config.feed_hwm,
+            ),
+        };
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut threads = Vec::new();
+        let mut collector_stats: Vec<Arc<Mutex<CollectorStats>>> = Vec::new();
+        for mdt in 0..mdt_count {
+            let mut collector = Collector::new(
+                Arc::clone(&self.fs),
+                MdtIndex::new(mdt),
+                events_broker.publisher(),
+                self.config.clone(),
+            );
+            let shared = Arc::new(Mutex::new(CollectorStats::default()));
+            collector_stats.push(Arc::clone(&shared));
+            let stop = Arc::clone(&stop);
+            let poll = self.config.poll_interval;
+            threads.push(std::thread::spawn(move || {
+                loop {
+                    let handled = collector.run_once();
+                    *shared.lock() = collector.stats();
+                    if handled == 0 {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        std::thread::sleep(poll);
+                    }
+                }
+                collector.ack_and_purge();
+                *shared.lock() = collector.stats();
+            }));
+        }
+        MonitorCluster {
+            aggregator,
+            collector_stats,
+            threads,
+            stop,
+            last_consumer_seq: Mutex::new(0),
+        }
+    }
+}
+
+/// Statistics snapshot across the whole monitor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Per-MDT Collector counters.
+    pub collectors: Vec<CollectorStats>,
+    /// Aggregator counters.
+    pub aggregator: AggregatorSnapshot,
+    /// Store counters.
+    pub store: StoreStats,
+}
+
+impl ClusterStats {
+    /// Total events processed (post-resolution) across Collectors.
+    pub fn total_processed(&self) -> u64 {
+        self.collectors.iter().map(|c| c.processed).sum()
+    }
+
+    /// Total records extracted across Collectors.
+    pub fn total_extracted(&self) -> u64 {
+        self.collectors.iter().map(|c| c.extracted).sum()
+    }
+}
+
+/// A running monitor deployment (Collectors + Aggregator).
+pub struct MonitorCluster {
+    aggregator: Aggregator,
+    collector_stats: Vec<Arc<Mutex<CollectorStats>>>,
+    threads: Vec<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+    last_consumer_seq: Mutex<u64>,
+}
+
+impl fmt::Debug for MonitorCluster {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MonitorCluster")
+            .field("collectors", &self.collector_stats.len())
+            .finish()
+    }
+}
+
+impl MonitorCluster {
+    /// Subscribes a new consumer to the complete site-wide event feed.
+    pub fn subscribe(&self) -> EventConsumer {
+        let sub = self.aggregator.feed().subscribe(&["feed/"]);
+        EventConsumer::new(sub, self.aggregator.store(), *self.last_consumer_seq.lock())
+    }
+
+    /// Subscribes a consumer restricted to events under `prefix` — a
+    /// targeted rule over the site-wide feed.
+    pub fn subscribe_under(&self, prefix: impl Into<std::path::PathBuf>) -> EventConsumer {
+        self.subscribe().under(prefix)
+    }
+
+    /// Subscribes a consumer that resumes after `last_seen_seq` (a
+    /// reconnect), recovering the in-between events from the store.
+    pub fn subscribe_from(&self, last_seen_seq: u64) -> EventConsumer {
+        let sub = self.aggregator.feed().subscribe(&["feed/"]);
+        EventConsumer::new(sub, self.aggregator.store(), last_seen_seq)
+    }
+
+    /// Direct access to the Aggregator's historic store API.
+    pub fn store(&self) -> Arc<Mutex<crate::store::EventStore>> {
+        self.aggregator.store()
+    }
+
+    /// A statistics snapshot.
+    pub fn stats(&self) -> ClusterStats {
+        ClusterStats {
+            collectors: self.collector_stats.iter().map(|s| *s.lock()).collect(),
+            aggregator: self.aggregator.snapshot(),
+            store: self.aggregator.store().lock().stats(),
+        }
+    }
+
+    /// Blocks until the Aggregator has published at least `n` events or
+    /// `timeout` elapses. Returns `true` on success.
+    pub fn wait_for_published(&self, n: u64, timeout: std::time::Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while std::time::Instant::now() < deadline {
+            if self.aggregator.snapshot().published >= n {
+                return true;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        false
+    }
+
+    /// Stops Collectors (after they drain their ChangeLogs) and the
+    /// Aggregator, joining all threads.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        // Replace the aggregator with a shut-down husk by taking it out.
+        // (Aggregator::shutdown consumes; we own self.)
+        let MonitorCluster { aggregator, .. } = self;
+        aggregator.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lustre_sim::{DnePolicy, LustreConfig};
+    use sdci_types::SimTime;
+    use std::time::Duration;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn end_to_end_single_mdt() {
+        let fs = Arc::new(Mutex::new(LustreFs::new(LustreConfig::aws_testbed())));
+        let cluster = MonitorClusterBuilder::new(Arc::clone(&fs)).start();
+        let mut consumer = cluster.subscribe();
+        {
+            let mut guard = fs.lock();
+            guard.mkdir("/exp", t(0)).unwrap();
+            for i in 0..50 {
+                guard.create(format!("/exp/f{i}"), t(i)).unwrap();
+            }
+        }
+        let mut got = Vec::new();
+        while got.len() < 51 {
+            match consumer.next_timeout(Duration::from_secs(5)) {
+                Some(ev) => got.push(ev),
+                None => panic!("timed out after {} events", got.len()),
+            }
+        }
+        assert_eq!(got[0].path, std::path::PathBuf::from("/exp"));
+        assert_eq!(cluster.stats().total_processed(), 51);
+        cluster.shutdown();
+        // ChangeLog purged on shutdown.
+        assert!(fs.lock().changelog(MdtIndex::new(0)).is_empty());
+    }
+
+    #[test]
+    fn end_to_end_multi_mdt_captures_all_events() {
+        let fs = Arc::new(Mutex::new(LustreFs::new(
+            LustreConfig::builder("multi")
+                .mdt_count(4)
+                .dne_policy(DnePolicy::RoundRobinTopLevel)
+                .build(),
+        )));
+        let cluster = MonitorClusterBuilder::new(Arc::clone(&fs)).start();
+        let mut consumer = cluster.subscribe();
+        let total = {
+            let mut guard = fs.lock();
+            for d in 0..8 {
+                guard.mkdir(format!("/d{d}"), t(0)).unwrap();
+                for f in 0..10 {
+                    guard.create(format!("/d{d}/f{f}"), t(1)).unwrap();
+                }
+            }
+            guard.total_events()
+        };
+        assert_eq!(total, 88);
+        let mut got = 0;
+        while got < total {
+            if consumer.next_timeout(Duration::from_secs(5)).is_some() {
+                got += 1;
+            } else {
+                panic!("site-wide feed stalled at {got}/{total}");
+            }
+        }
+        let stats = cluster.stats();
+        assert_eq!(stats.collectors.len(), 4);
+        assert!(
+            stats.collectors.iter().filter(|c| c.processed > 0).count() >= 4,
+            "all four Collectors saw events: {stats:?}"
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn reconnecting_consumer_recovers_history() {
+        let fs = Arc::new(Mutex::new(LustreFs::new(LustreConfig::aws_testbed())));
+        let cluster = MonitorClusterBuilder::new(Arc::clone(&fs)).start();
+        {
+            let mut guard = fs.lock();
+            for i in 0..20 {
+                guard.create(format!("/f{i}"), t(i)).unwrap();
+            }
+        }
+        assert!(cluster.wait_for_published(20, Duration::from_secs(5)));
+        // A consumer connecting *now* missed all 20 live publications but
+        // recovers them through the store.
+        let mut consumer = cluster.subscribe_from(0);
+        {
+            let mut guard = fs.lock();
+            guard.create("/late", t(100)).unwrap();
+        }
+        let mut got = Vec::new();
+        while got.len() < 21 {
+            match consumer.next_timeout(Duration::from_secs(5)) {
+                Some(ev) => got.push(ev),
+                None => panic!("recovered only {}", got.len()),
+            }
+        }
+        assert_eq!(consumer.stats().recovered, 20);
+        assert_eq!(got.last().unwrap().path, std::path::PathBuf::from("/late"));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn no_loss_once_processed() {
+        // §5.2: "there is no loss of events once they have been
+        // processed" — every processed event reaches the store/feed.
+        let fs = Arc::new(Mutex::new(LustreFs::new(LustreConfig::aws_testbed())));
+        let cluster = MonitorClusterBuilder::new(Arc::clone(&fs)).start();
+        {
+            let mut guard = fs.lock();
+            guard.mkdir("/w", t(0)).unwrap();
+            for i in 0..500 {
+                guard.create(format!("/w/f{i}"), t(i)).unwrap();
+                if i % 3 == 0 {
+                    guard.write(format!("/w/f{i}"), 10, t(i)).unwrap();
+                }
+                if i % 5 == 0 {
+                    guard.unlink(format!("/w/f{i}"), t(i)).unwrap();
+                }
+            }
+        }
+        let total = fs.lock().total_events();
+        assert!(cluster.wait_for_published(total, Duration::from_secs(10)));
+        let stats = cluster.stats();
+        assert_eq!(stats.total_processed(), total);
+        assert_eq!(stats.aggregator.received, total);
+        assert_eq!(stats.aggregator.stored, total);
+        assert_eq!(stats.aggregator.published, total);
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,379 @@
+//! The consumer client: live feed plus gap recovery.
+//!
+//! "The monitor also maintains a rotating catalog of events and an API to
+//! retrieve recent events in order to provide fault tolerance" (§4). An
+//! [`EventConsumer`] tracks the Aggregator's dense sequence numbers; when
+//! it observes a gap (missed publications — e.g. it fell behind the
+//! pub-sub high-water mark, or it just reconnected), it backfills from
+//! the store before delivering newer events.
+
+use crate::aggregator::{FeedMessage, SequencedEvent};
+use crate::store::{EventStore, StoreQuery};
+use parking_lot::Mutex;
+use sdci_mq::pubsub::Subscriber;
+use sdci_types::FileEvent;
+use std::collections::VecDeque;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Counters for an [`EventConsumer`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ConsumerStats {
+    /// Events delivered to the application in order.
+    pub delivered: u64,
+    /// Events received directly from the live feed.
+    pub live: u64,
+    /// Events recovered from the historic store after a gap.
+    pub recovered: u64,
+    /// Events permanently lost (rotated out of the store before
+    /// recovery).
+    pub lost: u64,
+    /// Events consumed but suppressed by the path filter.
+    pub filtered_out: u64,
+}
+
+/// An ordered, gap-recovering event stream, optionally restricted to a
+/// path prefix.
+pub struct EventConsumer {
+    feed: Subscriber<FeedMessage>,
+    store: Arc<Mutex<EventStore>>,
+    next_seq: u64,
+    backlog: VecDeque<SequencedEvent>,
+    filter: Option<PathBuf>,
+    stats: ConsumerStats,
+}
+
+impl fmt::Debug for EventConsumer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventConsumer")
+            .field("next_seq", &self.next_seq)
+            .field("backlog", &self.backlog.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl EventConsumer {
+    /// Creates a consumer over a feed subscription and the Aggregator's
+    /// store handle, expecting sequence numbers to start after
+    /// `last_seen_seq` (0 for a fresh consumer).
+    pub fn new(
+        feed: Subscriber<FeedMessage>,
+        store: Arc<Mutex<EventStore>>,
+        last_seen_seq: u64,
+    ) -> Self {
+        EventConsumer {
+            feed,
+            store,
+            next_seq: last_seen_seq + 1,
+            backlog: VecDeque::new(),
+            filter: None,
+            stats: ConsumerStats::default(),
+        }
+    }
+
+    /// Restricts the stream to events whose path is under `prefix`.
+    /// Non-matching events are still consumed (and counted in
+    /// [`ConsumerStats::delivered`]'s complement, `filtered_out`), so
+    /// sequence tracking and gap recovery keep working.
+    pub fn under(mut self, prefix: impl Into<PathBuf>) -> Self {
+        self.filter = Some(prefix.into());
+        self
+    }
+
+    /// Returns the next event in sequence order, waiting up to `timeout`
+    /// for the live feed. Returns `None` on timeout.
+    pub fn next_timeout(&mut self, timeout: Duration) -> Option<FileEvent> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(ev) = self.pop_ready() {
+                if let Some(ev) = self.apply_filter(ev) {
+                    return Some(ev);
+                }
+                continue;
+            }
+            let remaining = deadline.checked_duration_since(Instant::now())?;
+            let msg = self.feed.recv_timeout(remaining)?;
+            self.ingest(msg.payload);
+        }
+    }
+
+    /// Non-blocking variant of [`EventConsumer::next_timeout`].
+    pub fn try_next(&mut self) -> Option<FileEvent> {
+        loop {
+            if let Some(ev) = self.pop_ready() {
+                if let Some(ev) = self.apply_filter(ev) {
+                    return Some(ev);
+                }
+                continue;
+            }
+            let msg = self.feed.try_recv()?;
+            self.ingest(msg.payload);
+        }
+    }
+
+    fn apply_filter(&mut self, ev: FileEvent) -> Option<FileEvent> {
+        match &self.filter {
+            Some(prefix) if !ev.path.starts_with(prefix) => {
+                self.stats.filtered_out += 1;
+                None
+            }
+            _ => {
+                self.stats.delivered += 1;
+                Some(ev)
+            }
+        }
+    }
+
+    fn pop_ready(&mut self) -> Option<FileEvent> {
+        // Drop stale duplicates (e.g. an event that arrived both live
+        // and via backfill).
+        while self.backlog.front().is_some_and(|f| f.seq < self.next_seq) {
+            self.backlog.pop_front();
+        }
+        let front = self.backlog.front()?;
+        if front.seq == self.next_seq {
+            let sev = self.backlog.pop_front().expect("peeked entry");
+            self.next_seq += 1;
+            Some(sev.event)
+        } else {
+            // Still gapped: try to backfill, then re-check.
+            self.backfill_to(front.seq);
+            let front = self.backlog.front()?;
+            if front.seq == self.next_seq {
+                self.pop_ready()
+            } else {
+                // Rotated out of the store: acknowledge the loss and move
+                // on rather than stalling forever.
+                self.stats.lost += front.seq - self.next_seq;
+                self.next_seq = front.seq;
+                self.pop_ready()
+            }
+        }
+    }
+
+    fn ingest(&mut self, msg: FeedMessage) {
+        match msg {
+            FeedMessage::Event(sev) => {
+                if sev.seq < self.next_seq {
+                    return; // duplicate/old
+                }
+                self.stats.live += 1;
+                self.backlog.push_back(sev);
+            }
+            FeedMessage::Heartbeat { last_seq } => self.on_heartbeat(last_seq),
+        }
+    }
+
+    /// A heartbeat tells us the Aggregator has assigned sequence numbers
+    /// up to `last_seq`; anything past our horizon is either recoverable
+    /// from the store or permanently lost.
+    fn on_heartbeat(&mut self, last_seq: u64) {
+        let horizon = self.backlog.back().map_or(self.next_seq - 1, |b| b.seq);
+        if last_seq <= horizon {
+            return; // nothing new beyond what we already know about
+        }
+        // Fetch (horizon, last_seq] from the store; results are ordered
+        // and all beyond the backlog, so appending keeps it sorted.
+        let missing: Vec<SequencedEvent> = {
+            let mut store = self.store.lock();
+            store.query(
+                &StoreQuery::after_seq(horizon).limit((last_seq - horizon) as usize),
+            )
+        };
+        self.stats.recovered += missing.len() as u64;
+        self.backlog.extend(missing);
+        // Whatever the store no longer retains is gone for good.
+        let recovered_to = self.backlog.back().map_or(self.next_seq - 1, |b| b.seq);
+        if recovered_to < last_seq {
+            self.stats.lost += last_seq - recovered_to;
+            if self.backlog.is_empty() {
+                self.next_seq = last_seq + 1;
+            }
+        }
+    }
+
+    /// Queries the store for the missing range `[next_seq, up_to)` and
+    /// prepends whatever is still retained.
+    fn backfill_to(&mut self, up_to: u64) {
+        let missing: Vec<SequencedEvent> = {
+            let mut store = self.store.lock();
+            store.query(
+                &StoreQuery::after_seq(self.next_seq - 1)
+                    .limit((up_to - self.next_seq) as usize),
+            )
+        };
+        let recovered: Vec<SequencedEvent> =
+            missing.into_iter().filter(|e| e.seq < up_to).collect();
+        self.stats.recovered += recovered.len() as u64;
+        for sev in recovered.into_iter().rev() {
+            self.backlog.push_front(sev);
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ConsumerStats {
+        self.stats
+    }
+
+    /// The next sequence number this consumer expects.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdci_mq::pubsub::Broker;
+    use sdci_types::{ChangelogKind, EventKind, Fid, MdtIndex, SimTime};
+    use std::path::PathBuf;
+
+    fn sev(seq: u64) -> SequencedEvent {
+        SequencedEvent {
+            seq,
+            event: FileEvent {
+                index: seq,
+                mdt: MdtIndex::new(0),
+                changelog_kind: ChangelogKind::Create,
+                kind: EventKind::Created,
+                time: SimTime::from_secs(seq),
+                path: PathBuf::from(format!("/f{seq}")),
+                src_path: None,
+                target: Fid::new(1, seq as u32, 0),
+                is_dir: false,
+            },
+        }
+    }
+
+    fn harness(store_cap: usize) -> (Broker<FeedMessage>, Arc<Mutex<EventStore>>, EventConsumer)
+    {
+        let broker: Broker<FeedMessage> = Broker::new(1024);
+        let store = Arc::new(Mutex::new(EventStore::new(store_cap)));
+        let consumer = EventConsumer::new(broker.subscribe(&["feed/"]), Arc::clone(&store), 0);
+        (broker, store, consumer)
+    }
+
+    #[test]
+    fn in_order_delivery() {
+        let (broker, store, mut consumer) = harness(100);
+        let p = broker.publisher();
+        for i in 1..=5 {
+            store.lock().insert(sev(i));
+            p.publish("feed/all", FeedMessage::Event(sev(i)));
+        }
+        for i in 1..=5 {
+            let ev = consumer.try_next().unwrap();
+            assert_eq!(ev.index, i);
+        }
+        assert!(consumer.try_next().is_none());
+        let s = consumer.stats();
+        assert_eq!(s.delivered, 5);
+        assert_eq!(s.recovered, 0);
+    }
+
+    #[test]
+    fn gap_is_backfilled_from_store() {
+        let (broker, store, mut consumer) = harness(100);
+        let p = broker.publisher();
+        // All 10 reach the store, but only 8..=10 reach the feed (the
+        // consumer "fell behind" its HWM for 1..=7).
+        for i in 1..=10 {
+            store.lock().insert(sev(i));
+        }
+        for i in 8..=10 {
+            p.publish("feed/all", FeedMessage::Event(sev(i)));
+        }
+        let got: Vec<u64> =
+            std::iter::from_fn(|| consumer.try_next().map(|e| e.index)).collect();
+        assert_eq!(got, (1..=10).collect::<Vec<_>>());
+        let s = consumer.stats();
+        assert_eq!(s.recovered, 7);
+        assert_eq!(s.lost, 0);
+    }
+
+    #[test]
+    fn rotated_out_events_count_as_lost() {
+        let (broker, store, mut consumer) = harness(3);
+        let p = broker.publisher();
+        for i in 1..=10 {
+            store.lock().insert(sev(i)); // store retains only 8, 9, 10
+        }
+        p.publish("feed/all", FeedMessage::Event(sev(10)));
+        let got: Vec<u64> =
+            std::iter::from_fn(|| consumer.try_next().map(|e| e.index)).collect();
+        assert_eq!(got, vec![8, 9, 10]);
+        let s = consumer.stats();
+        assert_eq!(s.lost, 7);
+        assert_eq!(s.recovered, 2);
+    }
+
+    #[test]
+    fn duplicates_are_ignored() {
+        let (broker, store, mut consumer) = harness(100);
+        let p = broker.publisher();
+        for i in 1..=3 {
+            store.lock().insert(sev(i));
+            p.publish("feed/all", FeedMessage::Event(sev(i)));
+        }
+        p.publish("feed/all", FeedMessage::Event(sev(2))); // duplicate
+        let got: Vec<u64> =
+            std::iter::from_fn(|| consumer.try_next().map(|e| e.index)).collect();
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn late_joiner_starts_from_checkpoint() {
+        let (broker, store, _fresh) = harness(100);
+        for i in 1..=20 {
+            store.lock().insert(sev(i));
+        }
+        // Consumer that had already seen up to 15 reconnects.
+        let mut consumer =
+            EventConsumer::new(broker.subscribe(&["feed/"]), Arc::clone(&store), 15);
+        let p = broker.publisher();
+        p.publish("feed/all", FeedMessage::Event(sev(20)));
+        let got: Vec<u64> =
+            std::iter::from_fn(|| consumer.try_next().map(|e| e.index)).collect();
+        assert_eq!(got, vec![16, 17, 18, 19, 20]);
+    }
+
+    #[test]
+    fn path_filter_suppresses_but_keeps_sequencing() {
+        let (broker, store, consumer) = harness(100);
+        let mut consumer = consumer.under("/f1");
+        let p = broker.publisher();
+        // Paths are /f1..=/f15; Path::starts_with is component-wise,
+        // so only "/f1" itself matches the "/f1" prefix.
+        for i in 1..=15 {
+            store.lock().insert(sev(i));
+        }
+        // Publish only the last one live: everything else recovers from
+        // the store, and the filter applies to recovered events too.
+        p.publish("feed/all", FeedMessage::Event(sev(15)));
+        let got: Vec<u64> =
+            std::iter::from_fn(|| consumer.try_next().map(|e| e.index)).collect();
+        assert_eq!(got, vec![1]);
+        let stats = consumer.stats();
+        assert_eq!(stats.delivered, 1);
+        assert_eq!(stats.filtered_out, 14);
+        assert_eq!(stats.lost, 0);
+    }
+
+    #[test]
+    fn next_timeout_waits() {
+        let (broker, store, mut consumer) = harness(100);
+        let p = broker.publisher();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            store.lock().insert(sev(1));
+            p.publish("feed/all", FeedMessage::Event(sev(1)));
+        });
+        let ev = consumer.next_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(ev.index, 1);
+        handle.join().unwrap();
+        assert!(consumer.next_timeout(Duration::from_millis(10)).is_none());
+    }
+}

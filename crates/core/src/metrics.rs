@@ -1,0 +1,189 @@
+//! Monitor self-monitoring: periodic snapshots and derived rates.
+//!
+//! §2 contrasts the monitor with infrastructure-health tools (MonALISA,
+//! Nagios): those "expose file system status, utilization, and
+//! performance statistics" but not individual events. A production
+//! monitor needs both — this module derives the *statistics* view from
+//! the event pipeline's own counters, so operators can watch extraction
+//! and publication rates, resolution failure counts, and cache
+//! efficiency over time.
+
+use crate::cluster::ClusterStats;
+use sdci_types::EventsPerSec;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// One timestamped snapshot of cluster counters.
+#[derive(Debug, Clone)]
+pub struct MetricsSample {
+    /// Wall-clock offset from recorder creation.
+    pub at: Duration,
+    /// The cluster counters at that instant.
+    pub stats: ClusterStats,
+}
+
+/// Rates derived between two samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntervalRates {
+    /// Records extracted from ChangeLogs per second.
+    pub extract_rate: EventsPerSec,
+    /// Events processed (path-resolved) per second.
+    pub process_rate: EventsPerSec,
+    /// Events published to consumers per second.
+    pub publish_rate: EventsPerSec,
+    /// Resolution failures in the interval.
+    pub resolution_failures: u64,
+}
+
+impl fmt::Display for IntervalRates {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "extract {}, process {}, publish {}, {} resolution failures",
+            self.extract_rate, self.process_rate, self.publish_rate, self.resolution_failures
+        )
+    }
+}
+
+/// Collects [`MetricsSample`]s and derives interval rates.
+#[derive(Debug)]
+pub struct MetricsRecorder {
+    started: Instant,
+    samples: Vec<MetricsSample>,
+}
+
+impl Default for MetricsRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRecorder {
+    /// An empty recorder anchored at the current instant.
+    pub fn new() -> Self {
+        MetricsRecorder { started: Instant::now(), samples: Vec::new() }
+    }
+
+    /// Records a snapshot (call on whatever cadence the operator wants).
+    pub fn record(&mut self, stats: ClusterStats) {
+        self.samples.push(MetricsSample { at: self.started.elapsed(), stats });
+    }
+
+    /// The recorded samples, oldest first.
+    pub fn samples(&self) -> &[MetricsSample] {
+        &self.samples
+    }
+
+    /// Rates between consecutive samples `i-1` and `i`.
+    ///
+    /// Returns `None` when `i` is 0 or out of range, or when the two
+    /// samples are coincident in time.
+    pub fn rates_at(&self, i: usize) -> Option<IntervalRates> {
+        if i == 0 || i >= self.samples.len() {
+            return None;
+        }
+        let (prev, cur) = (&self.samples[i - 1], &self.samples[i]);
+        let dt = cur.at.checked_sub(prev.at)?;
+        if dt.is_zero() {
+            return None;
+        }
+        let span = sdci_types::SimDuration::from_nanos(dt.as_nanos() as u64);
+        let delta = |f: fn(&ClusterStats) -> u64| {
+            EventsPerSec::from_count(f(&cur.stats).saturating_sub(f(&prev.stats)), span)
+        };
+        Some(IntervalRates {
+            extract_rate: delta(ClusterStats::total_extracted),
+            process_rate: delta(ClusterStats::total_processed),
+            publish_rate: delta(|s| s.aggregator.published),
+            resolution_failures: total_failures(&cur.stats)
+                .saturating_sub(total_failures(&prev.stats)),
+        })
+    }
+
+    /// Rates over the most recent interval, if two samples exist.
+    pub fn latest_rates(&self) -> Option<IntervalRates> {
+        self.rates_at(self.samples.len().saturating_sub(1))
+    }
+
+    /// Aggregate cache hit rate at the latest sample, `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let Some(sample) = self.samples.last() else {
+            return 0.0;
+        };
+        let hits: u64 = sample.stats.collectors.iter().map(|c| c.cache_hits).sum();
+        let calls: u64 = sample.stats.collectors.iter().map(|c| c.fid2path_calls).sum();
+        if hits + calls == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + calls) as f64
+        }
+    }
+}
+
+fn total_failures(stats: &ClusterStats) -> u64 {
+    stats.collectors.iter().map(|c| c.resolution_failures).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregator::AggregatorSnapshot;
+    use crate::collector::CollectorStats;
+    use crate::store::StoreStats;
+
+    fn stats(extracted: u64, processed: u64, published: u64) -> ClusterStats {
+        ClusterStats {
+            collectors: vec![CollectorStats {
+                extracted,
+                processed,
+                published: processed,
+                resolution_failures: extracted - processed,
+                fid2path_calls: processed / 2,
+                cache_hits: processed / 2,
+                purged: 0,
+            }],
+            aggregator: AggregatorSnapshot { received: published, stored: published, published },
+            store: StoreStats::default(),
+        }
+    }
+
+    #[test]
+    fn rates_derive_from_deltas() {
+        let mut recorder = MetricsRecorder::new();
+        recorder.record(stats(0, 0, 0));
+        std::thread::sleep(Duration::from_millis(20));
+        recorder.record(stats(1000, 900, 900));
+        let rates = recorder.latest_rates().expect("two samples");
+        assert!(rates.extract_rate.per_sec() > rates.process_rate.per_sec());
+        assert_eq!(rates.resolution_failures, 100);
+        assert!(rates.publish_rate.per_sec() > 0.0);
+    }
+
+    #[test]
+    fn no_rates_with_fewer_than_two_samples() {
+        let mut recorder = MetricsRecorder::new();
+        assert!(recorder.latest_rates().is_none());
+        recorder.record(stats(1, 1, 1));
+        assert!(recorder.latest_rates().is_none());
+        assert!(recorder.rates_at(5).is_none());
+    }
+
+    #[test]
+    fn cache_hit_rate_from_latest() {
+        let mut recorder = MetricsRecorder::new();
+        assert_eq!(recorder.cache_hit_rate(), 0.0);
+        recorder.record(stats(100, 100, 100));
+        assert!((recorder.cache_hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let mut recorder = MetricsRecorder::new();
+        recorder.record(stats(0, 0, 0));
+        std::thread::sleep(Duration::from_millis(5));
+        recorder.record(stats(10, 10, 10));
+        let s = recorder.latest_rates().unwrap().to_string();
+        assert!(s.contains("events/s"));
+        assert!(s.contains("resolution failures"));
+    }
+}

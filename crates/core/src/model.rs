@@ -1,0 +1,574 @@
+//! The calibrated discrete-event model of the monitor pipeline.
+//!
+//! The paper's throughput experiments (§5.2) drive the testbed at its
+//! maximum event-generation rate and measure how many events the monitor
+//! detects, processes, and reports. This module replays that pipeline in
+//! virtual time on the [`sdci_des`] kernel: events arrive at a
+//! configurable rate, flow through per-MDT *extract* and *process*
+//! stages, then a shared *aggregate* stage and a *consume* stage, each a
+//! FIFO server with calibrated service times.
+//!
+//! The processing stage's service time is dominated by `fid2path`
+//! resolution. Two remediations the paper proposes are modelled
+//! explicitly so they can be ablated:
+//!
+//! * **batching** amortizes the fixed invocation overhead over
+//!   [`PipelineParams::batch_size`] records;
+//! * **caching** skips resolution entirely when the record's parent
+//!   directory is in the [`PathCache`].
+//!
+//! The model is deterministic for a given seed and runs in milliseconds,
+//! which is what lets the benchmark suite regenerate every number in §5
+//! on a laptop.
+
+use crate::pathcache::PathCache;
+use sdci_des::{ArrivalProcess, ArrivalSchedule, Server, Simulation};
+use sdci_types::{EventsPerSec, Fid, SimDuration, SimTime};
+use rand::Rng;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Service-time calibration for each pipeline stage.
+///
+/// CPU-bound stages (`extract`, `refactor`, `aggregate`, `consume`)
+/// contribute to modelled CPU utilization; resolution time is I/O wait
+/// against the MDS (the collector blocks in `fid2path`, it does not
+/// spin), matching the low CPU figures of Table 3 alongside the
+/// resolution-bound throughput of §5.2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageCosts {
+    /// Per-record ChangeLog extraction (CPU).
+    pub extract: SimDuration,
+    /// Fixed overhead of one `fid2path` invocation (I/O wait).
+    pub resolve_fixed: SimDuration,
+    /// Marginal per-record resolution cost within an invocation (I/O
+    /// wait).
+    pub resolve_marginal: SimDuration,
+    /// Cost of a path-cache hit (CPU, near-zero).
+    pub resolve_cached: SimDuration,
+    /// Refactoring the raw tuple into a path-based event (CPU).
+    pub refactor: SimDuration,
+    /// Aggregator store+publish work per event (CPU).
+    pub aggregate: SimDuration,
+    /// Consumer handling per event (CPU).
+    pub consume: SimDuration,
+}
+
+/// Parameters of one modelled throughput run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineParams {
+    /// Number of MDTs, each with its own Collector (extract + process
+    /// servers).
+    pub mdt_count: u32,
+    /// Total event-generation rate across the filesystem (events/s).
+    pub generation_rate: f64,
+    /// Length of the generation window.
+    pub duration: SimDuration,
+    /// Stage service times.
+    pub costs: StageCosts,
+    /// Path-cache capacity per Collector (0 = paper baseline, no cache).
+    pub cache_capacity: usize,
+    /// Records extracted (and resolved) per batch (1 = paper baseline).
+    pub batch_size: usize,
+    /// Size of the directory working set events are drawn from; smaller
+    /// pools mean more cache locality. The paper's generator works in a
+    /// handful of directories.
+    pub directory_pool: usize,
+    /// Use Poisson arrivals instead of uniform spacing.
+    pub poisson: bool,
+    /// Overrides the arrival process entirely (e.g.
+    /// [`ArrivalProcess::Diurnal`] for day/night load shapes); when set,
+    /// `generation_rate` and `poisson` only describe the nominal load
+    /// for reporting.
+    pub arrivals: Option<ArrivalProcess>,
+    /// RNG seed (directory choice and Poisson gaps).
+    pub seed: u64,
+}
+
+impl Default for PipelineParams {
+    fn default() -> Self {
+        PipelineParams {
+            mdt_count: 1,
+            generation_rate: 1000.0,
+            duration: SimDuration::from_secs(10),
+            costs: StageCosts {
+                extract: SimDuration::from_micros(2),
+                resolve_fixed: SimDuration::from_micros(80),
+                resolve_marginal: SimDuration::from_micros(20),
+                resolve_cached: SimDuration::from_nanos(300),
+                refactor: SimDuration::from_micros(4),
+                aggregate: SimDuration::from_nanos(700),
+                consume: SimDuration::from_nanos(250),
+            },
+            cache_capacity: 0,
+            batch_size: 1,
+            directory_pool: 16,
+            poisson: false,
+            arrivals: None,
+            seed: 7,
+        }
+    }
+}
+
+/// Per-stage outcome of a modelled run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageReport {
+    /// Stage name (`extract`, `process`, `aggregate`, `consume`).
+    pub name: String,
+    /// Events completed by this stage (across all its servers).
+    pub completed: u64,
+    /// Mean utilization over the generation window, `[0, 1]`.
+    pub utilization: f64,
+    /// Mean queueing delay at this stage.
+    pub mean_wait: SimDuration,
+    /// Worst queueing delay at this stage (across its servers).
+    pub max_wait: SimDuration,
+}
+
+/// Outcome of one modelled throughput run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineReport {
+    /// Events generated during the window.
+    pub generated: u64,
+    /// Events fully reported (consumed) within the window — the paper's
+    /// headline number.
+    pub reported_in_window: u64,
+    /// Events fully reported once the pipeline drained.
+    pub reported_total: u64,
+    /// The generation window.
+    pub window: SimDuration,
+    /// Offered rate.
+    pub generation_rate: EventsPerSec,
+    /// Achieved report rate within the window.
+    pub report_rate: EventsPerSec,
+    /// How far the report rate falls below generation, in percent
+    /// (the paper's "14.91% lower" figure).
+    pub shortfall_pct: f64,
+    /// Per-stage details, pipeline order.
+    pub stages: Vec<StageReport>,
+    /// Name of the stage with the highest utilization.
+    pub bottleneck: String,
+    /// `fid2path` invocations performed.
+    pub fid2path_calls: u64,
+    /// Resolutions served by the cache.
+    pub cache_hits: u64,
+    /// Virtual instant at which the last event was reported.
+    pub drained_at: SimTime,
+    /// CPU-seconds consumed per component within the window (extract +
+    /// refactor for the Collector; aggregate; consume), counted at stage
+    /// completion — resolution wait is excluded, as it is I/O wait, not
+    /// CPU.
+    pub collector_cpu_seconds: f64,
+    /// Aggregator CPU-seconds over the window.
+    pub aggregator_cpu_seconds: f64,
+    /// Consumer CPU-seconds over the window.
+    pub consumer_cpu_seconds: f64,
+    /// End-to-end latencies (arrival → reported), sorted ascending.
+    pub latencies: Vec<SimDuration>,
+}
+
+impl PipelineReport {
+    /// Collector CPU utilization over the window, as a percentage.
+    pub fn collector_cpu_pct(&self) -> f64 {
+        self.collector_cpu_seconds / self.window.as_secs_f64() * 100.0
+    }
+
+    /// Aggregator CPU utilization over the window, as a percentage.
+    pub fn aggregator_cpu_pct(&self) -> f64 {
+        self.aggregator_cpu_seconds / self.window.as_secs_f64() * 100.0
+    }
+
+    /// Consumer CPU utilization over the window, as a percentage.
+    pub fn consumer_cpu_pct(&self) -> f64 {
+        self.consumer_cpu_seconds / self.window.as_secs_f64() * 100.0
+    }
+
+    /// The `q`-quantile (0.0–1.0) of end-to-end event latency.
+    /// Returns [`SimDuration::ZERO`] when no events completed.
+    pub fn latency_quantile(&self, q: f64) -> SimDuration {
+        if self.latencies.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let idx = ((self.latencies.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        self.latencies[idx]
+    }
+}
+
+struct RunState {
+    generated: u64,
+    reported_in_window: u64,
+    reported_total: u64,
+    fid2path_calls: u64,
+    cache_hits: u64,
+    collector_cpu: SimDuration,
+    aggregator_cpu: SimDuration,
+    consumer_cpu: SimDuration,
+    drained_at: SimTime,
+    latencies: Vec<SimDuration>,
+}
+
+/// The modelled pipeline. Construct with parameters, then [`run`].
+///
+/// [`run`]: PipelineModel::run
+#[derive(Debug, Clone)]
+pub struct PipelineModel {
+    params: PipelineParams,
+}
+
+impl PipelineModel {
+    /// Creates a model for `params`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `mdt_count`, `batch_size`, or `directory_pool` is 0,
+    /// or `generation_rate` is not positive.
+    pub fn new(params: PipelineParams) -> Self {
+        assert!(params.mdt_count > 0, "need at least one MDT");
+        assert!(params.batch_size > 0, "batch size must be >= 1");
+        assert!(params.directory_pool > 0, "directory pool must be >= 1");
+        assert!(params.generation_rate > 0.0, "generation rate must be positive");
+        PipelineModel { params }
+    }
+
+    /// The parameters this model runs with.
+    pub fn params(&self) -> &PipelineParams {
+        &self.params
+    }
+
+    /// Executes the model to completion and reports.
+    pub fn run(&self) -> PipelineReport {
+        let p = &self.params;
+        let mut sim = Simulation::new(p.seed);
+        let window_end = SimTime::EPOCH + p.duration;
+
+        let extract_servers: Vec<Server> = (0..p.mdt_count)
+            .map(|m| Server::new(format!("extract-mdt{m}"), 1))
+            .collect();
+        let process_servers: Vec<Server> = (0..p.mdt_count)
+            .map(|m| Server::new(format!("process-mdt{m}"), 1))
+            .collect();
+        let aggregate_server = Server::new("aggregate", 1);
+        let consume_server = Server::new("consume", 1);
+        let caches: Vec<Rc<RefCell<PathCache>>> = (0..p.mdt_count)
+            .map(|_| Rc::new(RefCell::new(PathCache::new(p.cache_capacity))))
+            .collect();
+
+        let state = Rc::new(RefCell::new(RunState {
+            generated: 0,
+            reported_in_window: 0,
+            reported_total: 0,
+            fid2path_calls: 0,
+            cache_hits: 0,
+            collector_cpu: SimDuration::ZERO,
+            aggregator_cpu: SimDuration::ZERO,
+            consumer_cpu: SimDuration::ZERO,
+            drained_at: SimTime::EPOCH,
+            latencies: Vec::new(),
+        }));
+
+        let arrivals = p.arrivals.unwrap_or(if p.poisson {
+            ArrivalProcess::Poisson { rate: p.generation_rate }
+        } else {
+            ArrivalProcess::Uniform { rate: p.generation_rate }
+        });
+
+        let costs = p.costs;
+        let batch = p.batch_size as u64;
+        let pool = p.directory_pool as u32;
+        let mdts = p.mdt_count as u64;
+
+        {
+            let state = Rc::clone(&state);
+            let extract_servers = extract_servers.clone();
+            let process_servers = process_servers.clone();
+            let aggregate_server = aggregate_server.clone();
+            let consume_server = consume_server.clone();
+            let caches = caches.clone();
+            ArrivalSchedule::new(arrivals).until(window_end).start(
+                &mut sim,
+                move |sim, index| {
+                    state.borrow_mut().generated += 1;
+                    let arrived = sim.now();
+                    let mdt = (index % mdts) as usize;
+                    let extract = extract_servers[mdt].clone();
+                    let process = process_servers[mdt].clone();
+                    let aggregate = aggregate_server.clone();
+                    let consume = consume_server.clone();
+                    let cache = Rc::clone(&caches[mdt]);
+                    let state = Rc::clone(&state);
+
+                    extract.submit(sim, costs.extract, move |sim, _| {
+                        if sim.now() <= window_end {
+                            state.borrow_mut().collector_cpu += costs.extract;
+                        }
+                        // Resolution cost decided at processing time from
+                        // live cache state.
+                        let dir = sim.rng().gen_range(0..pool);
+                        let dir_fid = Fid::new(0x9990, dir, 0);
+                        let resolve = {
+                            let mut cache = cache.borrow_mut();
+                            let mut st = state.borrow_mut();
+                            if cache.get(dir_fid).is_some() {
+                                st.cache_hits += 1;
+                                costs.resolve_cached
+                            } else {
+                                st.fid2path_calls += 1;
+                                cache.insert(dir_fid, format!("/pool/dir{dir}"));
+                                costs.resolve_fixed / batch + costs.resolve_marginal
+                            }
+                        };
+                        let service = resolve + costs.refactor;
+                        let state2 = Rc::clone(&state);
+                        process.submit(sim, service, move |sim, finish| {
+                            if finish <= window_end {
+                                state2.borrow_mut().collector_cpu += costs.refactor;
+                            }
+                            let state3 = Rc::clone(&state2);
+                            let consume = consume.clone();
+                            aggregate.submit(sim, costs.aggregate, move |sim, finish| {
+                                if finish <= window_end {
+                                    state3.borrow_mut().aggregator_cpu += costs.aggregate;
+                                }
+                                let state4 = Rc::clone(&state3);
+                                consume.submit(sim, costs.consume, move |_, finish| {
+                                    let mut st = state4.borrow_mut();
+                                    st.reported_total += 1;
+                                    if finish <= window_end {
+                                        st.reported_in_window += 1;
+                                        st.consumer_cpu += costs.consume;
+                                    }
+                                    st.latencies.push(finish - arrived);
+                                    st.drained_at = st.drained_at.max(finish);
+                                });
+                            });
+                        });
+                    });
+                },
+            );
+        }
+
+        sim.run();
+
+        let st = state.borrow();
+        let window = p.duration;
+        let stage_report = |name: &str, servers: &[Server]| {
+            let completed: u64 = servers.iter().map(|s| s.stats().completed).sum();
+            let utilization = servers
+                .iter()
+                .map(|s| s.stats().utilization(window, s.capacity()))
+                .sum::<f64>()
+                / servers.len() as f64;
+            let total_wait: u64 =
+                servers.iter().map(|s| s.stats().mean_wait().as_nanos()).sum();
+            let max_wait = servers
+                .iter()
+                .map(|s| s.stats().max_wait)
+                .max()
+                .unwrap_or(SimDuration::ZERO);
+            StageReport {
+                name: name.to_owned(),
+                completed,
+                utilization,
+                mean_wait: SimDuration::from_nanos(total_wait / servers.len() as u64),
+                max_wait,
+            }
+        };
+        let stages = vec![
+            stage_report("extract", &extract_servers),
+            stage_report("process", &process_servers),
+            stage_report("aggregate", std::slice::from_ref(&aggregate_server)),
+            stage_report("consume", std::slice::from_ref(&consume_server)),
+        ];
+        let bottleneck = stages
+            .iter()
+            .max_by(|a, b| a.utilization.total_cmp(&b.utilization))
+            .map(|s| s.name.clone())
+            .unwrap_or_default();
+
+        let generation_rate = EventsPerSec::from_count(st.generated, window);
+        let report_rate = EventsPerSec::from_count(st.reported_in_window, window);
+        let mut latencies = st.latencies.clone();
+        latencies.sort_unstable();
+
+        PipelineReport {
+            generated: st.generated,
+            reported_in_window: st.reported_in_window,
+            reported_total: st.reported_total,
+            window,
+            generation_rate,
+            report_rate,
+            shortfall_pct: report_rate.percent_below(generation_rate),
+            stages,
+            bottleneck,
+            fid2path_calls: st.fid2path_calls,
+            cache_hits: st.cache_hits,
+            drained_at: st.drained_at,
+            collector_cpu_seconds: st.collector_cpu.as_secs_f64(),
+            aggregator_cpu_seconds: st.aggregator_cpu.as_secs_f64(),
+            consumer_cpu_seconds: st.consumer_cpu.as_secs_f64(),
+            latencies,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_params() -> PipelineParams {
+        PipelineParams {
+            generation_rate: 1000.0,
+            duration: SimDuration::from_secs(5),
+            ..PipelineParams::default()
+        }
+    }
+
+    #[test]
+    fn underloaded_pipeline_reports_everything() {
+        // Resolution cost 100 us => capacity ~9.6k/s >> 1k/s offered.
+        let mut p = base_params();
+        p.costs.resolve_fixed = SimDuration::from_micros(50);
+        p.costs.resolve_marginal = SimDuration::from_micros(50);
+        let report = PipelineModel::new(p).run();
+        assert_eq!(report.generated, 5000);
+        assert_eq!(report.reported_total, 5000);
+        assert!(report.shortfall_pct < 2.0, "shortfall {}", report.shortfall_pct);
+    }
+
+    #[test]
+    fn overloaded_pipeline_is_resolution_bound() {
+        // Service ~2 ms/event => capacity ~500/s < 1000/s offered.
+        let mut p = base_params();
+        p.costs.resolve_fixed = SimDuration::from_millis(1);
+        p.costs.resolve_marginal = SimDuration::from_millis(1);
+        let report = PipelineModel::new(p).run();
+        assert_eq!(report.generated, 5000);
+        let rate = report.report_rate.per_sec();
+        assert!((rate - 500.0).abs() < 15.0, "rate {rate}");
+        assert_eq!(report.bottleneck, "process");
+        assert!(report.shortfall_pct > 45.0);
+        // Nothing is lost, only delayed: the pipeline drains eventually.
+        assert_eq!(report.reported_total, 5000);
+        assert!(report.drained_at > SimTime::EPOCH + p_duration());
+    }
+
+    fn p_duration() -> SimDuration {
+        SimDuration::from_secs(5)
+    }
+
+    #[test]
+    fn cache_converts_misses_to_hits() {
+        let mut p = base_params();
+        p.cache_capacity = 64;
+        p.directory_pool = 16;
+        let report = PipelineModel::new(p).run();
+        assert!(report.cache_hits > report.fid2path_calls * 10);
+        assert_eq!(report.cache_hits + report.fid2path_calls, report.generated);
+    }
+
+    #[test]
+    fn cache_raises_throughput_of_overloaded_pipeline() {
+        let mut slow = base_params();
+        slow.generation_rate = 2000.0;
+        slow.costs.resolve_fixed = SimDuration::from_micros(500);
+        slow.costs.resolve_marginal = SimDuration::from_micros(500);
+        let baseline = PipelineModel::new(slow.clone()).run();
+        slow.cache_capacity = 64;
+        let cached = PipelineModel::new(slow).run();
+        assert!(
+            cached.report_rate.per_sec() > baseline.report_rate.per_sec() * 1.5,
+            "cached {} vs baseline {}",
+            cached.report_rate,
+            baseline.report_rate
+        );
+    }
+
+    #[test]
+    fn batching_amortizes_fixed_cost() {
+        let mut p = base_params();
+        p.generation_rate = 5000.0;
+        p.costs.resolve_fixed = SimDuration::from_micros(900);
+        p.costs.resolve_marginal = SimDuration::from_micros(100);
+        let unbatched = PipelineModel::new(p.clone()).run();
+        p.batch_size = 64;
+        let batched = PipelineModel::new(p).run();
+        assert!(
+            batched.report_rate.per_sec() > unbatched.report_rate.per_sec() * 2.0,
+            "batched {} vs unbatched {}",
+            batched.report_rate,
+            unbatched.report_rate
+        );
+    }
+
+    #[test]
+    fn multi_mdt_scales_processing() {
+        let mut p = base_params();
+        p.generation_rate = 4000.0;
+        p.costs.resolve_fixed = SimDuration::from_micros(500);
+        p.costs.resolve_marginal = SimDuration::ZERO;
+        let single = PipelineModel::new(p.clone()).run();
+        p.mdt_count = 4;
+        let quad = PipelineModel::new(p).run();
+        assert!(
+            quad.report_rate.per_sec() > single.report_rate.per_sec() * 1.9,
+            "4 MDTs {} vs 1 MDT {}",
+            quad.report_rate,
+            single.report_rate
+        );
+    }
+
+    #[test]
+    fn latency_quantiles_grow_with_load() {
+        let run_at = |rate: f64| {
+            let mut p = base_params();
+            p.poisson = true;
+            p.generation_rate = rate;
+            PipelineModel::new(p).run()
+        };
+        // Capacity ≈ 1/(104us) ≈ 9.6k/s; compare light vs heavy load.
+        let light = run_at(1_000.0);
+        let heavy = run_at(9_000.0);
+        assert_eq!(light.latencies.len() as u64, light.reported_total);
+        assert!(light.latency_quantile(0.5) <= light.latency_quantile(0.99));
+        assert!(
+            heavy.latency_quantile(0.99) > light.latency_quantile(0.99) * 2,
+            "queueing delay must grow near saturation: light p99 {} heavy p99 {}",
+            light.latency_quantile(0.99),
+            heavy.latency_quantile(0.99)
+        );
+        assert_eq!(run_at(1_000.0).latency_quantile(0.0), run_at(1_000.0).latencies[0]);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let p = PipelineParams { poisson: true, ..base_params() };
+        let a = PipelineModel::new(p.clone()).run();
+        let b = PipelineModel::new(p).run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cpu_seconds_track_cpu_stages_only() {
+        // Underloaded pipeline: every event completes within the window,
+        // so CPU-seconds are exactly per-event CPU times event count.
+        let p = base_params();
+        let report = PipelineModel::new(p.clone()).run();
+        let per_event_cpu =
+            (p.costs.extract + p.costs.refactor).as_secs_f64();
+        let expected = per_event_cpu * report.reported_in_window as f64;
+        assert!(
+            (report.collector_cpu_seconds - expected).abs() < per_event_cpu * 10.0,
+            "collector cpu {} vs expected {expected}",
+            report.collector_cpu_seconds
+        );
+        assert!(report.collector_cpu_pct() < 100.0);
+        assert!(report.aggregator_cpu_pct() < report.collector_cpu_pct());
+        assert!(report.consumer_cpu_pct() < report.aggregator_cpu_pct());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one MDT")]
+    fn zero_mdts_panics() {
+        let _ = PipelineModel::new(PipelineParams { mdt_count: 0, ..base_params() });
+    }
+}

@@ -1,0 +1,218 @@
+//! The parent-FID → path LRU cache.
+//!
+//! §5.2: "we found the overhead to be caused by the repetitive use of the
+//! d2path tool when resolving an event's absolute path. To alleviate
+//! this problem we plan to process events in batches ... and temporarily
+//! cache path mappings to minimize the number of invocations." Most
+//! events in a burst share a handful of parent directories, so caching
+//! the *parent* resolution converts almost every lookup into a hit.
+
+use sdci_types::{ByteSize, Fid};
+use std::collections::HashMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Hit/miss counters for a [`PathCache`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to `fid2path`.
+    pub misses: u64,
+    /// Entries evicted by the LRU policy.
+    pub evictions: u64,
+    /// Entries invalidated explicitly (renames/removals).
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]` (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A bounded LRU map from directory FIDs to their absolute paths.
+///
+/// Capacity 0 disables the cache entirely (every lookup misses), which
+/// is the paper's measured baseline.
+pub struct PathCache {
+    capacity: usize,
+    map: HashMap<Fid, (PathBuf, u64)>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl fmt::Debug for PathCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PathCache")
+            .field("len", &self.map.len())
+            .field("capacity", &self.capacity)
+            .field("hit_rate", &self.stats.hit_rate())
+            .finish()
+    }
+}
+
+impl PathCache {
+    /// Creates a cache bounded to `capacity` entries (0 = disabled).
+    pub fn new(capacity: usize) -> Self {
+        PathCache { capacity, map: HashMap::new(), clock: 0, stats: CacheStats::default() }
+    }
+
+    /// Looks up a FID, refreshing its recency on hit.
+    pub fn get(&mut self, fid: Fid) -> Option<PathBuf> {
+        self.clock += 1;
+        let clock = self.clock;
+        match self.map.get_mut(&fid) {
+            Some((path, used)) => {
+                *used = clock;
+                self.stats.hits += 1;
+                Some(path.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a resolution, evicting the least-recently-used entry at
+    /// capacity. No-op when the cache is disabled.
+    pub fn insert(&mut self, fid: Fid, path: impl Into<PathBuf>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.clock += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&fid) {
+            if let Some((&lru, _)) =
+                self.map.iter().min_by_key(|(_, (_, used))| *used)
+            {
+                self.map.remove(&lru);
+                self.stats.evictions += 1;
+            }
+        }
+        self.map.insert(fid, (path.into(), self.clock));
+    }
+
+    /// Drops one entry (e.g. its directory was renamed or removed).
+    pub fn invalidate(&mut self, fid: Fid) {
+        if self.map.remove(&fid).is_some() {
+            self.stats.invalidations += 1;
+        }
+    }
+
+    /// Drops every entry whose cached path starts with `prefix` — used
+    /// when a directory rename moves a whole subtree.
+    pub fn invalidate_prefix(&mut self, prefix: &Path) {
+        let before = self.map.len();
+        self.map.retain(|_, (path, _)| !path.starts_with(prefix));
+        self.stats.invalidations += (before - self.map.len()) as u64;
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Approximate memory footprint (entries × (FID + path bytes)).
+    pub fn memory(&self) -> ByteSize {
+        let bytes: usize = self
+            .map
+            .values()
+            .map(|(p, _)| std::mem::size_of::<Fid>() + 16 + p.as_os_str().len())
+            .sum();
+        ByteSize::from_bytes(bytes as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fid(n: u32) -> Fid {
+        Fid::new(0x100, n, 0)
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = PathCache::new(4);
+        c.insert(fid(1), "/a/b");
+        assert_eq!(c.get(fid(1)), Some(PathBuf::from("/a/b")));
+        assert_eq!(c.get(fid(2)), None);
+        let s = c.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = PathCache::new(2);
+        c.insert(fid(1), "/one");
+        c.insert(fid(2), "/two");
+        c.get(fid(1)); // refresh 1; 2 is now LRU
+        c.insert(fid(3), "/three");
+        assert!(c.get(fid(1)).is_some());
+        assert!(c.get(fid(2)).is_none(), "2 was evicted");
+        assert!(c.get(fid(3)).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = PathCache::new(0);
+        c.insert(fid(1), "/x");
+        assert_eq!(c.get(fid(1)), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn reinsert_updates_without_evicting() {
+        let mut c = PathCache::new(2);
+        c.insert(fid(1), "/old");
+        c.insert(fid(2), "/two");
+        c.insert(fid(1), "/new");
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(fid(1)), Some(PathBuf::from("/new")));
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn invalidate_single_and_prefix() {
+        let mut c = PathCache::new(8);
+        c.insert(fid(1), "/data/a");
+        c.insert(fid(2), "/data/a/sub");
+        c.insert(fid(3), "/other");
+        c.invalidate(fid(3));
+        assert_eq!(c.get(fid(3)), None);
+        c.invalidate_prefix(Path::new("/data/a"));
+        assert_eq!(c.get(fid(1)), None);
+        assert_eq!(c.get(fid(2)), None);
+        assert_eq!(c.stats().invalidations, 3);
+    }
+
+    #[test]
+    fn memory_grows_with_entries() {
+        let mut c = PathCache::new(100);
+        assert_eq!(c.memory(), ByteSize::ZERO);
+        for i in 0..10 {
+            c.insert(fid(i), format!("/dir/{i}"));
+        }
+        assert!(c.memory().as_bytes() > 0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Resource-utilization modelling (Table 3).
+//!
+//! Table 3 reports the peak CPU and memory of the three monitor
+//! components during the Iota throughput runs. Two observations from the
+//! paper shape the model:
+//!
+//! * CPU cost is small even at full throughput, because resolution time
+//!   is spent *waiting* on the MDS, not computing. Modelled CPU% is the
+//!   CPU-bound stage time over the window (from
+//!   [`PipelineReport`](crate::model::PipelineReport)).
+//! * "The memory footprint is due to the use of a local store that
+//!   records a list of every event captured by the monitor" — memory
+//!   grows linearly in retained events until the store's rotation bound.
+
+use crate::model::PipelineReport;
+use sdci_types::ByteSize;
+use std::fmt;
+
+/// One component's modelled peak usage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComponentUsage {
+    /// Peak CPU utilization in percent.
+    pub cpu_pct: f64,
+    /// Peak resident memory.
+    pub memory: ByteSize,
+}
+
+impl fmt::Display for ComponentUsage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}% CPU, {:.1} MB", self.cpu_pct, self.memory.as_mib_f64())
+    }
+}
+
+/// Usage of the three components, Table 3's rows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceReport {
+    /// The Collector process.
+    pub collector: ComponentUsage,
+    /// The Aggregator process.
+    pub aggregator: ComponentUsage,
+    /// The consuming Ripple agent.
+    pub consumer: ComponentUsage,
+}
+
+/// Memory-footprint calibration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceModel {
+    /// Baseline interpreter/process footprint (every component pays it).
+    pub process_base: ByteSize,
+    /// Per-event footprint of the Collector's captured-event list (raw
+    /// record + processed event held for the experiment's audit log).
+    pub collector_bytes_per_event: ByteSize,
+    /// Per-event footprint of the Aggregator's store entries.
+    pub aggregator_bytes_per_event: ByteSize,
+    /// Events the consumer buffers at peak.
+    pub consumer_buffered_events: u64,
+    /// Per-event footprint of consumer buffers.
+    pub consumer_bytes_per_event: ByteSize,
+}
+
+impl ResourceModel {
+    /// Calibration matching the paper's experimental processes (Python
+    /// services keeping an in-memory list of every captured event).
+    pub fn paper_calibrated() -> Self {
+        ResourceModel {
+            process_base: ByteSize::from_bytes(12 * 1024 * 1024 + 800 * 1024), // ~12.8 MB
+            collector_bytes_per_event: ByteSize::from_bytes(575),
+            aggregator_bytes_per_event: ByteSize::from_bytes(438),
+            consumer_buffered_events: 0,
+            consumer_bytes_per_event: ByteSize::from_bytes(430),
+        }
+    }
+
+    /// A production-shaped calibration: bounded store, no audit lists.
+    pub fn production(store_capacity: u64) -> Self {
+        ResourceModel {
+            process_base: ByteSize::from_mib(8),
+            collector_bytes_per_event: ByteSize::ZERO,
+            aggregator_bytes_per_event: ByteSize::from_bytes(430),
+            consumer_buffered_events: store_capacity.min(1024),
+            consumer_bytes_per_event: ByteSize::from_bytes(430),
+        }
+    }
+
+    /// Builds the Table 3-style report for a finished pipeline run.
+    ///
+    /// `events_captured` is the number of events the run retained in
+    /// memory (the experiment keeps all of them; a production deployment
+    /// caps this at the store's rotation bound).
+    pub fn report(&self, pipeline: &PipelineReport, events_captured: u64) -> ResourceReport {
+        ResourceReport {
+            collector: ComponentUsage {
+                cpu_pct: pipeline.collector_cpu_pct(),
+                memory: self
+                    .process_base
+                    .saturating_add(self.collector_bytes_per_event.saturating_mul(events_captured)),
+            },
+            aggregator: ComponentUsage {
+                cpu_pct: pipeline.aggregator_cpu_pct(),
+                memory: self
+                    .process_base
+                    .saturating_add(
+                        self.aggregator_bytes_per_event.saturating_mul(events_captured),
+                    ),
+            },
+            consumer: ComponentUsage {
+                cpu_pct: pipeline.consumer_cpu_pct(),
+                memory: self.process_base.saturating_add(
+                    self.consumer_bytes_per_event
+                        .saturating_mul(self.consumer_buffered_events),
+                ),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{PipelineModel, PipelineParams};
+    use sdci_types::SimDuration;
+
+    fn run() -> PipelineReport {
+        PipelineModel::new(PipelineParams {
+            generation_rate: 2000.0,
+            duration: SimDuration::from_secs(10),
+            ..PipelineParams::default()
+        })
+        .run()
+    }
+
+    #[test]
+    fn collector_dominates_cpu() {
+        let report = run();
+        let usage = ResourceModel::paper_calibrated().report(&report, report.reported_total);
+        assert!(usage.collector.cpu_pct > usage.aggregator.cpu_pct);
+        assert!(usage.aggregator.cpu_pct > usage.consumer.cpu_pct);
+    }
+
+    #[test]
+    fn memory_grows_with_captured_events() {
+        let report = run();
+        let model = ResourceModel::paper_calibrated();
+        let small = model.report(&report, 1000);
+        let large = model.report(&report, 500_000);
+        assert!(large.collector.memory > small.collector.memory);
+        assert!(large.aggregator.memory > small.aggregator.memory);
+        assert_eq!(large.consumer.memory, small.consumer.memory);
+    }
+
+    #[test]
+    fn consumer_is_near_process_base() {
+        let report = run();
+        let model = ResourceModel::paper_calibrated();
+        let usage = model.report(&report, 500_000);
+        assert!((usage.consumer.memory.as_mib_f64() - 12.8).abs() < 0.1);
+    }
+
+    #[test]
+    fn production_model_bounds_collector() {
+        let report = run();
+        let usage = ResourceModel::production(10_000).report(&report, 10_000_000);
+        assert!(
+            usage.collector.memory < ByteSize::from_mib(16),
+            "production collector keeps no audit list"
+        );
+    }
+
+    #[test]
+    fn display_formats_like_table3() {
+        let usage = ComponentUsage { cpu_pct: 6.667, memory: ByteSize::from_mib(281) };
+        let s = usage.to_string();
+        assert!(s.contains("6.667% CPU"));
+        assert!(s.contains("281.0 MB"));
+    }
+}

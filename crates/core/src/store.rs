@@ -1,0 +1,390 @@
+//! The Aggregator's rotating event store.
+//!
+//! "The Aggregator ... store[s] the events in a local database ...
+//! maintains this database and exposes an API to enable consumers to
+//! retrieve historic events." (§4). The store is the source of the
+//! monitor's fault tolerance: a consumer that disconnects (or detects a
+//! gap in sequence numbers) queries it to catch up.
+//!
+//! Table 3 attributes the Aggregator's memory footprint to this store;
+//! rotation bounds it ("in a production setting we could further limit
+//! the size of this local store", §5.2).
+
+use crate::aggregator::SequencedEvent;
+use sdci_types::{ByteSize, SimTime};
+use std::collections::VecDeque;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Counters for an [`EventStore`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Events ever inserted.
+    pub inserted: u64,
+    /// Events rotated out at the capacity bound.
+    pub rotated: u64,
+    /// Queries served.
+    pub queries: u64,
+}
+
+/// A query against the store's retained window.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct StoreQuery {
+    /// Only events with sequence number > `after_seq`.
+    pub after_seq: Option<u64>,
+    /// Only events at or after this time.
+    pub since: Option<SimTime>,
+    /// Only events whose path starts with this prefix.
+    pub path_prefix: Option<PathBuf>,
+    /// At most this many results (0 = unlimited).
+    pub limit: usize,
+}
+
+impl StoreQuery {
+    /// Everything retained after sequence number `seq`.
+    pub fn after_seq(seq: u64) -> Self {
+        StoreQuery { after_seq: Some(seq), ..StoreQuery::default() }
+    }
+
+    /// Everything retained at or after `time`.
+    pub fn since(time: SimTime) -> Self {
+        StoreQuery { since: Some(time), ..StoreQuery::default() }
+    }
+
+    /// Restricts results to paths under `prefix`.
+    pub fn under(mut self, prefix: impl Into<PathBuf>) -> Self {
+        self.path_prefix = Some(prefix.into());
+        self
+    }
+
+    /// Caps the number of results.
+    pub fn limit(mut self, n: usize) -> Self {
+        self.limit = n;
+        self
+    }
+
+    fn matches(&self, ev: &SequencedEvent) -> bool {
+        if let Some(after) = self.after_seq {
+            if ev.seq <= after {
+                return false;
+            }
+        }
+        if let Some(since) = self.since {
+            if ev.event.time < since {
+                return false;
+            }
+        }
+        if let Some(prefix) = &self.path_prefix {
+            if !ev.event.path.starts_with(prefix) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// A bounded, rotating, in-memory event database ordered by sequence
+/// number.
+///
+/// # Example
+///
+/// ```
+/// use sdci_core::{EventStore, SequencedEvent, StoreQuery};
+/// use sdci_types::{ChangelogKind, EventKind, Fid, FileEvent, MdtIndex, SimTime};
+///
+/// let mut store = EventStore::new(1000);
+/// store.insert(SequencedEvent {
+///     seq: 1,
+///     event: FileEvent {
+///         index: 1,
+///         mdt: MdtIndex::new(0),
+///         changelog_kind: ChangelogKind::Create,
+///         kind: EventKind::Created,
+///         time: SimTime::EPOCH,
+///         path: "/data/run.h5".into(),
+///         src_path: None,
+///         target: Fid::ZERO,
+///         is_dir: false,
+///     },
+/// });
+/// let hits = store.query(&StoreQuery::after_seq(0).under("/data"));
+/// assert_eq!(hits.len(), 1);
+/// ```
+pub struct EventStore {
+    events: VecDeque<SequencedEvent>,
+    capacity: usize,
+    bytes: u64,
+    stats: StoreStats,
+}
+
+impl fmt::Debug for EventStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventStore")
+            .field("len", &self.events.len())
+            .field("capacity", &self.capacity)
+            .field("memory", &self.memory())
+            .finish()
+    }
+}
+
+impl EventStore {
+    /// Creates a store retaining at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        EventStore {
+            events: VecDeque::new(),
+            capacity: capacity.max(1),
+            bytes: 0,
+            stats: StoreStats::default(),
+        }
+    }
+
+    /// Inserts an event, rotating the oldest out at capacity.
+    ///
+    /// Events must arrive in sequence order (the Aggregator assigns
+    /// sequence numbers as it inserts).
+    pub fn insert(&mut self, event: SequencedEvent) {
+        debug_assert!(
+            self.events.back().is_none_or(|last| last.seq < event.seq),
+            "store insertions must be sequence-ordered"
+        );
+        self.bytes += event.event.footprint_bytes() as u64;
+        self.events.push_back(event);
+        self.stats.inserted += 1;
+        while self.events.len() > self.capacity {
+            if let Some(old) = self.events.pop_front() {
+                self.bytes -= old.event.footprint_bytes() as u64;
+                self.stats.rotated += 1;
+            }
+        }
+    }
+
+    /// Runs a query over the retained window, oldest first.
+    pub fn query(&mut self, query: &StoreQuery) -> Vec<SequencedEvent> {
+        self.stats.queries += 1;
+        let iter = self.events.iter().filter(|e| query.matches(e)).cloned();
+        if query.limit > 0 {
+            iter.take(query.limit).collect()
+        } else {
+            iter.collect()
+        }
+    }
+
+    /// The most recent `n` events, oldest first.
+    pub fn recent(&mut self, n: usize) -> Vec<SequencedEvent> {
+        self.stats.queries += 1;
+        let skip = self.events.len().saturating_sub(n);
+        self.events.iter().skip(skip).cloned().collect()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Sequence number of the newest retained event (0 when empty).
+    pub fn last_seq(&self) -> u64 {
+        self.events.back().map_or(0, |e| e.seq)
+    }
+
+    /// Sequence number of the oldest retained event (0 when empty).
+    pub fn first_seq(&self) -> u64 {
+        self.events.front().map_or(0, |e| e.seq)
+    }
+
+    /// Approximate memory footprint of retained events.
+    pub fn memory(&self) -> ByteSize {
+        ByteSize::from_bytes(self.bytes)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// Writes the retained window as newline-delimited JSON — the
+    /// Aggregator's crash-recovery snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from the writer.
+    pub fn snapshot_to(&self, mut sink: impl std::io::Write) -> std::io::Result<()> {
+        for event in &self.events {
+            let line = serde_json::to_string(event).expect("events always serialize");
+            sink.write_all(line.as_bytes())?;
+            sink.write_all(b"\n")?;
+        }
+        Ok(())
+    }
+
+    /// Rebuilds a store from a snapshot written by
+    /// [`EventStore::snapshot_to`], with the given rotation capacity.
+    /// Sequence numbering and memory accounting resume exactly where
+    /// the snapshot left off.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`std::io::Error`] with kind `InvalidData` on a
+    /// malformed line, or propagates reader failures.
+    pub fn restore_from(
+        source: impl std::io::BufRead,
+        capacity: usize,
+    ) -> std::io::Result<EventStore> {
+        let mut store = EventStore::new(capacity);
+        for line in source.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let event: SequencedEvent = serde_json::from_str(&line).map_err(|e| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+            })?;
+            store.insert(event);
+        }
+        // Restoration is not new ingestion; reset lifetime counters.
+        store.stats = StoreStats { inserted: store.events.len() as u64, ..Default::default() };
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdci_types::{ChangelogKind, EventKind, Fid, FileEvent, MdtIndex};
+
+    fn ev(seq: u64, secs: u64, path: &str) -> SequencedEvent {
+        SequencedEvent {
+            seq,
+            event: FileEvent {
+                index: seq,
+                mdt: MdtIndex::new(0),
+                changelog_kind: ChangelogKind::Create,
+                kind: EventKind::Created,
+                time: SimTime::from_secs(secs),
+                path: PathBuf::from(path),
+                src_path: None,
+                target: Fid::new(1, seq as u32, 0),
+                is_dir: false,
+            },
+        }
+    }
+
+    #[test]
+    fn insert_and_query_by_seq() {
+        let mut store = EventStore::new(100);
+        for i in 1..=10 {
+            store.insert(ev(i, i, "/f"));
+        }
+        let got = store.query(&StoreQuery::after_seq(7));
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].seq, 8);
+        assert_eq!(store.last_seq(), 10);
+        assert_eq!(store.first_seq(), 1);
+    }
+
+    #[test]
+    fn rotation_bounds_len_and_memory() {
+        let mut store = EventStore::new(5);
+        for i in 1..=20 {
+            store.insert(ev(i, i, "/some/longish/path/file.dat"));
+        }
+        assert_eq!(store.len(), 5);
+        assert_eq!(store.first_seq(), 16);
+        assert_eq!(store.stats().rotated, 15);
+        let five = store.memory();
+        store.insert(ev(21, 21, "/some/longish/path/file.dat"));
+        assert_eq!(store.memory(), five, "memory stays bounded under rotation");
+    }
+
+    #[test]
+    fn query_by_time_and_prefix() {
+        let mut store = EventStore::new(100);
+        store.insert(ev(1, 10, "/data/a"));
+        store.insert(ev(2, 20, "/data/b"));
+        store.insert(ev(3, 30, "/other/c"));
+        let got = store.query(&StoreQuery::since(SimTime::from_secs(20)));
+        assert_eq!(got.len(), 2);
+        let got = store.query(&StoreQuery::default().under("/data"));
+        assert_eq!(got.len(), 2);
+        let got = store.query(&StoreQuery::since(SimTime::from_secs(20)).under("/data"));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].seq, 2);
+    }
+
+    #[test]
+    fn query_limit() {
+        let mut store = EventStore::new(100);
+        for i in 1..=10 {
+            store.insert(ev(i, i, "/f"));
+        }
+        let got = store.query(&StoreQuery::after_seq(0).limit(4));
+        assert_eq!(got.len(), 4);
+        assert_eq!(got[0].seq, 1);
+    }
+
+    #[test]
+    fn recent_returns_tail() {
+        let mut store = EventStore::new(100);
+        for i in 1..=10 {
+            store.insert(ev(i, i, "/f"));
+        }
+        let got = store.recent(3);
+        assert_eq!(got.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![8, 9, 10]);
+        assert_eq!(store.recent(99).len(), 10);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut store = EventStore::new(100);
+        for i in 1..=25 {
+            store.insert(ev(i, i, &format!("/snap/f{i}")));
+        }
+        let mut buf = Vec::new();
+        store.snapshot_to(&mut buf).unwrap();
+        let mut restored = EventStore::restore_from(&buf[..], 100).unwrap();
+        assert_eq!(restored.len(), 25);
+        assert_eq!(restored.first_seq(), 1);
+        assert_eq!(restored.last_seq(), 25);
+        assert_eq!(restored.memory(), store.memory());
+        // Queries behave identically.
+        assert_eq!(
+            restored.query(&StoreQuery::after_seq(20)),
+            store.query(&StoreQuery::after_seq(20))
+        );
+        // Ingestion resumes past the snapshot.
+        restored.insert(ev(26, 26, "/snap/f26"));
+        assert_eq!(restored.last_seq(), 26);
+    }
+
+    #[test]
+    fn restore_respects_smaller_capacity() {
+        let mut store = EventStore::new(100);
+        for i in 1..=50 {
+            store.insert(ev(i, i, "/f"));
+        }
+        let mut buf = Vec::new();
+        store.snapshot_to(&mut buf).unwrap();
+        let restored = EventStore::restore_from(&buf[..], 10).unwrap();
+        assert_eq!(restored.len(), 10);
+        assert_eq!(restored.first_seq(), 41);
+    }
+
+    #[test]
+    fn restore_rejects_garbage() {
+        let err = EventStore::restore_from("not json\n".as_bytes(), 10).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn empty_store() {
+        let mut store = EventStore::new(10);
+        assert!(store.is_empty());
+        assert_eq!(store.last_seq(), 0);
+        assert!(store.query(&StoreQuery::default()).is_empty());
+        assert_eq!(store.memory(), ByteSize::ZERO);
+    }
+}

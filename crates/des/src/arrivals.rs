@@ -1,0 +1,320 @@
+//! Arrival processes: deterministic and Poisson event generators.
+//!
+//! The paper's §5 event-generation script drives the filesystem at its
+//! maximum sustainable rate; the NERSC analysis (§5.3) instead reasons
+//! about average rates spread over a day. [`ArrivalProcess`] models both:
+//! fixed-interval arrivals for calibrated max-rate runs, and exponential
+//! inter-arrival times for bursty open-loop workloads.
+
+use crate::Simulation;
+use rand::Rng;
+use sdci_types::{SimDuration, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// How inter-arrival gaps are drawn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Exactly `rate` arrivals per second, evenly spaced.
+    Uniform {
+        /// Arrivals per second.
+        rate: f64,
+    },
+    /// Poisson arrivals with mean `rate` per second (exponential gaps).
+    Poisson {
+        /// Mean arrivals per second.
+        rate: f64,
+    },
+    /// Every arrival happens exactly `gap` after the previous one.
+    FixedGap {
+        /// Gap between consecutive arrivals.
+        gap: SimDuration,
+    },
+    /// Poisson arrivals whose rate follows a sinusoidal day/night cycle
+    /// — the "sporadic nature of data generation" the paper's §5.3
+    /// analysis flattens away. The instantaneous rate oscillates between
+    /// `trough` and `peak` with the given period.
+    Diurnal {
+        /// Minimum (night-time) rate, arrivals per second.
+        trough: f64,
+        /// Maximum (mid-day) rate, arrivals per second.
+        peak: f64,
+        /// Length of one full cycle (24 h for a real diurnal pattern).
+        period: SimDuration,
+    },
+}
+
+impl ArrivalProcess {
+    /// Draws the next inter-arrival gap for an arrival at instant `now`.
+    pub fn next_gap(self, now: SimTime, rng: &mut impl Rng) -> SimDuration {
+        match self {
+            ArrivalProcess::Uniform { rate } => SimDuration::per_op(rate),
+            ArrivalProcess::FixedGap { gap } => gap,
+            ArrivalProcess::Poisson { rate } => Self::exponential_gap(rate, rng),
+            ArrivalProcess::Diurnal { .. } => {
+                Self::exponential_gap(self.rate_at(now), rng)
+            }
+        }
+    }
+
+    fn exponential_gap(rate: f64, rng: &mut impl Rng) -> SimDuration {
+        if rate <= 0.0 {
+            return SimDuration::MAX;
+        }
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        SimDuration::from_secs_f64(-u.ln() / rate)
+    }
+
+    /// The instantaneous rate at `now` (time-independent for all but
+    /// [`ArrivalProcess::Diurnal`]).
+    pub fn rate_at(self, now: SimTime) -> f64 {
+        match self {
+            ArrivalProcess::Uniform { rate } | ArrivalProcess::Poisson { rate } => rate,
+            ArrivalProcess::FixedGap { gap } => {
+                if gap.is_zero() {
+                    f64::INFINITY
+                } else {
+                    1.0 / gap.as_secs_f64()
+                }
+            }
+            ArrivalProcess::Diurnal { trough, peak, period } => {
+                if period.is_zero() {
+                    return trough;
+                }
+                let phase = (now.elapsed_since_epoch().as_secs_f64()
+                    / period.as_secs_f64())
+                    * std::f64::consts::TAU;
+                let mid = (trough + peak) / 2.0;
+                let amp = (peak - trough) / 2.0;
+                // Trough at t=0, peak at half-period.
+                mid - amp * phase.cos()
+            }
+        }
+    }
+
+    /// The mean rate in arrivals per second.
+    pub fn mean_rate(self) -> f64 {
+        match self {
+            ArrivalProcess::Uniform { rate } | ArrivalProcess::Poisson { rate } => rate,
+            ArrivalProcess::FixedGap { gap } => {
+                if gap.is_zero() {
+                    f64::INFINITY
+                } else {
+                    1.0 / gap.as_secs_f64()
+                }
+            }
+            ArrivalProcess::Diurnal { trough, peak, .. } => (trough + peak) / 2.0,
+        }
+    }
+}
+
+/// Drives a callback once per arrival until a count or deadline is hit.
+#[derive(Debug, Clone)]
+pub struct ArrivalSchedule {
+    process: ArrivalProcess,
+    /// Stop after this many arrivals (`None` = unbounded).
+    pub max_arrivals: Option<u64>,
+    /// Stop at this virtual instant (`None` = unbounded).
+    pub deadline: Option<SimTime>,
+}
+
+impl ArrivalSchedule {
+    /// A schedule over `process` with no count or time bound.
+    pub fn new(process: ArrivalProcess) -> Self {
+        ArrivalSchedule { process, max_arrivals: None, deadline: None }
+    }
+
+    /// Bounds the schedule to `n` arrivals.
+    pub fn take(mut self, n: u64) -> Self {
+        self.max_arrivals = Some(n);
+        self
+    }
+
+    /// Bounds the schedule to arrivals at or before `deadline`.
+    pub fn until(mut self, deadline: SimTime) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Starts the schedule: `on_arrival(sim, arrival_index)` fires per
+    /// arrival, beginning one gap after the current instant.
+    pub fn start(
+        self,
+        sim: &mut Simulation,
+        on_arrival: impl FnMut(&mut Simulation, u64) + 'static,
+    ) {
+        let callback = Rc::new(RefCell::new(on_arrival));
+        schedule_next(sim, self, callback, 0);
+    }
+}
+
+type ArrivalFn = Rc<RefCell<dyn FnMut(&mut Simulation, u64)>>;
+
+fn schedule_next(sim: &mut Simulation, sched: ArrivalSchedule, callback: ArrivalFn, index: u64) {
+    if sched.max_arrivals.is_some_and(|max| index >= max) {
+        return;
+    }
+    let now = sim.now();
+    let gap = sched.process.next_gap(now, sim.rng());
+    if gap == SimDuration::MAX {
+        return;
+    }
+    let at = sim.now() + gap;
+    if sched.deadline.is_some_and(|d| at > d) {
+        return;
+    }
+    sim.schedule_at(at, move |sim| {
+        (callback.borrow_mut())(sim, index);
+        schedule_next(sim, sched, callback, index + 1);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn uniform_arrivals_are_evenly_spaced() {
+        let mut sim = Simulation::new(0);
+        let times = Rc::new(RefCell::new(Vec::new()));
+        let t = Rc::clone(&times);
+        ArrivalSchedule::new(ArrivalProcess::Uniform { rate: 10.0 }).take(5).start(
+            &mut sim,
+            move |sim, _| t.borrow_mut().push(sim.now().elapsed_since_epoch().as_millis()),
+        );
+        sim.run();
+        assert_eq!(*times.borrow(), vec![100, 200, 300, 400, 500]);
+    }
+
+    #[test]
+    fn fixed_gap_matches_uniform() {
+        assert_eq!(
+            ArrivalProcess::FixedGap { gap: SimDuration::from_millis(100) }.mean_rate(),
+            10.0
+        );
+    }
+
+    #[test]
+    fn take_bounds_count() {
+        let mut sim = Simulation::new(0);
+        let n = Rc::new(Cell::new(0u64));
+        let c = Rc::clone(&n);
+        ArrivalSchedule::new(ArrivalProcess::Uniform { rate: 1000.0 })
+            .take(42)
+            .start(&mut sim, move |_, _| c.set(c.get() + 1));
+        sim.run();
+        assert_eq!(n.get(), 42);
+    }
+
+    #[test]
+    fn deadline_bounds_time() {
+        let mut sim = Simulation::new(0);
+        let n = Rc::new(Cell::new(0u64));
+        let c = Rc::clone(&n);
+        ArrivalSchedule::new(ArrivalProcess::Uniform { rate: 10.0 })
+            .until(SimTime::from_secs(1))
+            .start(&mut sim, move |_, _| c.set(c.get() + 1));
+        sim.run();
+        assert_eq!(n.get(), 10, "10 arrivals/s for 1 s inclusive of t=1.0");
+        assert!(sim.now() <= SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn poisson_mean_rate_is_approximately_right() {
+        let mut sim = Simulation::new(1234);
+        let n = Rc::new(Cell::new(0u64));
+        let c = Rc::clone(&n);
+        ArrivalSchedule::new(ArrivalProcess::Poisson { rate: 1000.0 })
+            .until(SimTime::from_secs(10))
+            .start(&mut sim, move |_, _| c.set(c.get() + 1));
+        sim.run();
+        let observed = n.get() as f64 / 10.0;
+        assert!(
+            (observed - 1000.0).abs() < 50.0,
+            "Poisson(1000/s) over 10 s gave {observed}/s"
+        );
+    }
+
+    #[test]
+    fn poisson_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut sim = Simulation::new(seed);
+            let times = Rc::new(RefCell::new(Vec::new()));
+            let t = Rc::clone(&times);
+            ArrivalSchedule::new(ArrivalProcess::Poisson { rate: 100.0 }).take(20).start(
+                &mut sim,
+                move |sim, _| t.borrow_mut().push(sim.now().as_nanos()),
+            );
+            sim.run();
+            Rc::try_unwrap(times).unwrap().into_inner()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn diurnal_rate_oscillates() {
+        let p = ArrivalProcess::Diurnal {
+            trough: 10.0,
+            peak: 110.0,
+            period: SimDuration::from_secs(86_400),
+        };
+        assert!((p.rate_at(SimTime::EPOCH) - 10.0).abs() < 1e-9, "trough at t=0");
+        assert!(
+            (p.rate_at(SimTime::from_secs(43_200)) - 110.0).abs() < 1e-9,
+            "peak at half-period"
+        );
+        assert!((p.mean_rate() - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diurnal_arrivals_cluster_at_peak() {
+        let mut sim = Simulation::new(9);
+        let buckets = Rc::new(RefCell::new([0u64; 4]));
+        let b = Rc::clone(&buckets);
+        let period = 86_400u64;
+        ArrivalSchedule::new(ArrivalProcess::Diurnal {
+            trough: 1.0,
+            peak: 50.0,
+            period: SimDuration::from_secs(period),
+        })
+        .until(SimTime::from_secs(period))
+        .start(&mut sim, move |sim, _| {
+            let quarter =
+                (sim.now().elapsed_since_epoch().as_secs() * 4 / period).min(3) as usize;
+            b.borrow_mut()[quarter] += 1;
+        });
+        sim.run();
+        let counts = *buckets.borrow();
+        // Middle two quarters (around the peak) dominate the edges.
+        assert!(
+            counts[1] + counts[2] > 3 * (counts[0] + counts[3]),
+            "daytime should dominate: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn zero_rate_produces_no_arrivals() {
+        let mut sim = Simulation::new(0);
+        let n = Rc::new(Cell::new(0u64));
+        let c = Rc::clone(&n);
+        ArrivalSchedule::new(ArrivalProcess::Poisson { rate: 0.0 })
+            .take(10)
+            .start(&mut sim, move |_, _| c.set(c.get() + 1));
+        sim.run();
+        assert_eq!(n.get(), 0);
+    }
+
+    #[test]
+    fn arrival_indices_increment() {
+        let mut sim = Simulation::new(0);
+        let idx = Rc::new(RefCell::new(Vec::new()));
+        let i = Rc::clone(&idx);
+        ArrivalSchedule::new(ArrivalProcess::Uniform { rate: 1.0 })
+            .take(3)
+            .start(&mut sim, move |_, k| i.borrow_mut().push(k));
+        sim.run();
+        assert_eq!(*idx.borrow(), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,50 @@
+//! A small deterministic discrete-event simulation (DES) kernel.
+//!
+//! The paper's evaluation reports *rates*: how many file events per second
+//! a testbed can generate (Table 2) and how many the monitor can detect,
+//! process, and report (§5.2). Our reproduction replaces the AWS and Iota
+//! hardware with calibrated service-time profiles and replays the same
+//! pipelines in virtual time. This crate is the substrate for that: an
+//! event queue over [`SimTime`], FIFO servers with utilization accounting,
+//! and arrival-process generators.
+//!
+//! The kernel is intentionally single-threaded and deterministic — two
+//! runs with the same seed produce identical results, which makes the
+//! benchmark harnesses reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use sdci_des::Simulation;
+//! use sdci_types::SimDuration;
+//! use std::cell::Cell;
+//! use std::rc::Rc;
+//!
+//! let mut sim = Simulation::new(42);
+//! let fired = Rc::new(Cell::new(0u32));
+//!
+//! for i in 1..=10 {
+//!     let fired = Rc::clone(&fired);
+//!     sim.schedule_in(SimDuration::from_millis(i), move |_| {
+//!         fired.set(fired.get() + 1);
+//!     });
+//! }
+//! sim.run();
+//! assert_eq!(fired.get(), 10);
+//! assert_eq!(sim.now().elapsed_since_epoch().as_millis(), 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arrivals;
+mod server;
+mod sim;
+mod stats;
+
+pub use arrivals::{ArrivalProcess, ArrivalSchedule};
+pub use server::{Server, ServerStats};
+pub use sim::{EventHandle, Simulation};
+pub use stats::{Counter, RateMeter, TimeWeighted};
+
+pub use sdci_types::{SimDuration, SimTime};

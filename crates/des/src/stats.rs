@@ -1,0 +1,181 @@
+//! Measurement helpers: counters, rate meters, time-weighted averages.
+
+use sdci_types::{EventsPerSec, SimDuration, SimTime};
+use std::cell::Cell;
+use std::fmt;
+use std::rc::Rc;
+
+/// A shared monotone counter, cloneable into many event closures.
+///
+/// # Example
+///
+/// ```
+/// use sdci_des::Counter;
+///
+/// let c = Counter::new();
+/// let c2 = c.clone();
+/// c2.add(3);
+/// c.incr();
+/// assert_eq!(c.get(), 4);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Counter(Rc<Cell<u64>>);
+
+impl Counter {
+    /// A counter starting at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.set(self.0.get() + n);
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.get())
+    }
+}
+
+/// Derives a rate from a counter observed over a virtual-time window.
+#[derive(Debug, Clone)]
+pub struct RateMeter {
+    counter: Counter,
+    started: SimTime,
+}
+
+impl RateMeter {
+    /// Starts metering `counter` from instant `now`.
+    pub fn start(counter: Counter, now: SimTime) -> Self {
+        RateMeter { counter, started: now }
+    }
+
+    /// The mean rate between the start instant and `now`.
+    pub fn rate_at(&self, now: SimTime) -> EventsPerSec {
+        EventsPerSec::from_count(self.counter.get(), now - self.started)
+    }
+
+    /// Events counted so far.
+    pub fn count(&self) -> u64 {
+        self.counter.get()
+    }
+}
+
+/// A time-weighted average of a piecewise-constant quantity (queue depth,
+/// memory footprint, ...).
+///
+/// Call [`TimeWeighted::record`] every time the value changes; the mean is
+/// weighted by how long each value was held.
+#[derive(Debug, Clone)]
+pub struct TimeWeighted {
+    last_value: f64,
+    last_time: SimTime,
+    weighted_sum: f64,
+    observed: SimDuration,
+    max: f64,
+}
+
+impl TimeWeighted {
+    /// Starts tracking at `now` with initial `value`.
+    pub fn new(now: SimTime, value: f64) -> Self {
+        TimeWeighted {
+            last_value: value,
+            last_time: now,
+            weighted_sum: 0.0,
+            observed: SimDuration::ZERO,
+            max: value,
+        }
+    }
+
+    /// Records that the quantity changed to `value` at `now`.
+    pub fn record(&mut self, now: SimTime, value: f64) {
+        let held = now - self.last_time;
+        self.weighted_sum += self.last_value * held.as_secs_f64();
+        self.observed += held;
+        self.last_time = now;
+        self.last_value = value;
+        self.max = self.max.max(value);
+    }
+
+    /// The time-weighted mean up to the last recorded instant.
+    pub fn mean(&self) -> f64 {
+        if self.observed.is_zero() {
+            self.last_value
+        } else {
+            self.weighted_sum / self.observed.as_secs_f64()
+        }
+    }
+
+    /// The maximum value ever recorded.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// The current value.
+    pub fn current(&self) -> f64 {
+        self.last_value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_shares_state_across_clones() {
+        let a = Counter::new();
+        let b = a.clone();
+        a.add(2);
+        b.incr();
+        assert_eq!(a.get(), 3);
+        assert_eq!(b.to_string(), "3");
+    }
+
+    #[test]
+    fn rate_meter_measures_rate() {
+        let c = Counter::new();
+        let meter = RateMeter::start(c.clone(), SimTime::from_secs(10));
+        c.add(500);
+        let rate = meter.rate_at(SimTime::from_secs(12));
+        assert!((rate.per_sec() - 250.0).abs() < 1e-9);
+        assert_eq!(meter.count(), 500);
+    }
+
+    #[test]
+    fn rate_meter_zero_window() {
+        let c = Counter::new();
+        c.add(5);
+        let meter = RateMeter::start(c, SimTime::from_secs(1));
+        assert_eq!(meter.rate_at(SimTime::from_secs(1)), EventsPerSec::ZERO);
+    }
+
+    #[test]
+    fn time_weighted_mean() {
+        let mut tw = TimeWeighted::new(SimTime::EPOCH, 0.0);
+        tw.record(SimTime::from_secs(4), 10.0); // 0.0 held 4 s
+        tw.record(SimTime::from_secs(6), 0.0); // 10.0 held 2 s
+        // mean = (0*4 + 10*2)/6
+        assert!((tw.mean() - 20.0 / 6.0).abs() < 1e-9);
+        assert_eq!(tw.max(), 10.0);
+        assert_eq!(tw.current(), 0.0);
+    }
+
+    #[test]
+    fn time_weighted_before_any_interval_is_current() {
+        let tw = TimeWeighted::new(SimTime::from_secs(3), 7.5);
+        assert_eq!(tw.mean(), 7.5);
+        assert_eq!(tw.max(), 7.5);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests for the DES kernel: event ordering, server
+//! conservation, and utilization bounds under random job mixes.
+
+use proptest::prelude::*;
+use sdci_des::{Server, SimDuration, Simulation};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Events always execute in nondecreasing time order, regardless of
+    /// the order they were scheduled in.
+    #[test]
+    fn events_execute_in_time_order(delays in prop::collection::vec(0u64..1_000_000, 1..100)) {
+        let mut sim = Simulation::new(0);
+        let times = Rc::new(RefCell::new(Vec::new()));
+        for d in &delays {
+            let times = Rc::clone(&times);
+            sim.schedule_in(SimDuration::from_nanos(*d), move |sim| {
+                times.borrow_mut().push(sim.now());
+            });
+        }
+        sim.run();
+        let times = times.borrow();
+        prop_assert_eq!(times.len(), delays.len());
+        for pair in times.windows(2) {
+            prop_assert!(pair[0] <= pair[1]);
+        }
+        prop_assert_eq!(sim.executed(), delays.len() as u64);
+    }
+
+    /// Server conservation: every submitted job completes exactly once;
+    /// completions are FIFO in submit order for a single-slot server;
+    /// busy time equals the sum of service times; utilization never
+    /// exceeds 1.
+    #[test]
+    fn server_conserves_jobs(
+        services in prop::collection::vec(1u64..10_000, 1..80),
+        capacity in 1usize..4,
+    ) {
+        let mut sim = Simulation::new(0);
+        let server = Server::new("s", capacity);
+        let completions = Rc::new(RefCell::new(Vec::new()));
+        for (i, svc) in services.iter().enumerate() {
+            let server = server.clone();
+            let completions = Rc::clone(&completions);
+            let svc = SimDuration::from_nanos(*svc);
+            sim.schedule_in(SimDuration::from_nanos(i as u64), move |sim| {
+                let completions = Rc::clone(&completions);
+                server.submit(sim, svc, move |_, _| completions.borrow_mut().push(i));
+            });
+        }
+        sim.run();
+        let stats = server.stats();
+        prop_assert_eq!(stats.completed, services.len() as u64);
+        prop_assert_eq!(
+            stats.busy.as_nanos(),
+            services.iter().sum::<u64>(),
+            "busy time = sum of service times"
+        );
+        let elapsed = sim.now().elapsed_since_epoch();
+        prop_assert!(stats.utilization(elapsed, capacity) <= 1.0 + 1e-9);
+        if capacity == 1 {
+            // Single slot: completion order == submission order.
+            prop_assert_eq!(
+                completions.borrow().clone(),
+                (0..services.len()).collect::<Vec<_>>()
+            );
+        } else {
+            let mut got = completions.borrow().clone();
+            got.sort_unstable();
+            prop_assert_eq!(got, (0..services.len()).collect::<Vec<_>>());
+        }
+    }
+
+    /// The simulation never runs backwards even with cancellations and
+    /// nested scheduling.
+    #[test]
+    fn cancellations_preserve_monotonicity(
+        plan in prop::collection::vec((0u64..1000, any::<bool>()), 1..60)
+    ) {
+        let mut sim = Simulation::new(0);
+        let mut handles = Vec::new();
+        let count = Rc::new(RefCell::new(0u64));
+        for (delay, _) in &plan {
+            let count = Rc::clone(&count);
+            handles.push(sim.schedule_in(SimDuration::from_micros(*delay), move |_| {
+                *count.borrow_mut() += 1;
+            }));
+        }
+        let mut cancelled = 0u64;
+        for (handle, (_, cancel)) in handles.into_iter().zip(&plan) {
+            if *cancel {
+                sim.cancel(handle);
+                cancelled += 1;
+            }
+        }
+        sim.run();
+        prop_assert_eq!(*count.borrow(), plan.len() as u64 - cancelled);
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type for the inotify simulator.
+
+use simfs::FsError;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Errors returned by [`Inotify`](crate::Inotify) operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InotifyError {
+    /// The per-instance watch limit (`max_user_watches`) was reached —
+    /// the condition the paper's §3 memory analysis is about.
+    WatchLimitReached {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// Watches can only be placed on directories.
+    NotADirectory(PathBuf),
+    /// A namespace lookup failed.
+    Fs(FsError),
+}
+
+impl fmt::Display for InotifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InotifyError::WatchLimitReached { limit } => {
+                write!(f, "watch limit reached ({limit} watches)")
+            }
+            InotifyError::NotADirectory(p) => write!(f, "not a directory: {}", p.display()),
+            InotifyError::Fs(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for InotifyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            InotifyError::Fs(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FsError> for InotifyError {
+    fn from(e: FsError) -> Self {
+        InotifyError::Fs(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            InotifyError::WatchLimitReached { limit: 8 }.to_string(),
+            "watch limit reached (8 watches)"
+        );
+        let e: InotifyError = FsError::NotFound("/x".into()).into();
+        assert!(e.to_string().contains("/x"));
+    }
+}

@@ -1,0 +1,524 @@
+//! The kernel-side inotify instance.
+
+use crate::InotifyError;
+use parking_lot::Mutex;
+use sdci_types::{ByteSize, EventKind, SimTime};
+use simfs::{FileType, FsOp, FsOpKind, InodeId, SimFs};
+use std::collections::HashMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Identifies one watch within an [`Inotify`] instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WatchDescriptor(u32);
+
+impl WatchDescriptor {
+    /// The raw descriptor number.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for WatchDescriptor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wd{}", self.0)
+    }
+}
+
+/// Tunables mirroring `/proc/sys/fs/inotify/*`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InotifyLimits {
+    /// Maximum watches per instance (`max_user_watches`; Linux default
+    /// 524,288 — the figure in §3 of the paper).
+    pub max_user_watches: usize,
+    /// Maximum queued events before overflow (`max_queued_events`;
+    /// Linux default 16,384).
+    pub max_queued_events: usize,
+    /// Kernel memory pinned per watch (≈1 KiB on 64-bit, per §3).
+    pub bytes_per_watch: ByteSize,
+}
+
+impl Default for InotifyLimits {
+    fn default() -> Self {
+        InotifyLimits {
+            max_user_watches: 524_288,
+            max_queued_events: 16_384,
+            bytes_per_watch: ByteSize::from_kib(1),
+        }
+    }
+}
+
+/// One delivered event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InotifyEvent {
+    /// The watch that produced the event.
+    pub wd: WatchDescriptor,
+    /// High-level kind (created/modified/moved/deleted/attrib).
+    pub kind: EventKind,
+    /// Entry name within the watched directory.
+    pub name: String,
+    /// Absolute path of the affected object.
+    pub path: PathBuf,
+    /// True for directory events.
+    pub is_dir: bool,
+    /// Event time.
+    pub time: SimTime,
+    /// Pairs the two halves of a rename (`IN_MOVED_FROM`/`IN_MOVED_TO`
+    /// share a cookie); 0 for non-move events.
+    pub cookie: u32,
+    /// True on the synthetic event that signals the queue overflowed and
+    /// events were lost (`IN_Q_OVERFLOW`).
+    pub overflow: bool,
+}
+
+/// Counters for one instance.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct InotifyStats {
+    /// Events delivered into the queue.
+    pub delivered: u64,
+    /// Events dropped because the queue was full.
+    pub dropped: u64,
+    /// `add_watch` calls that succeeded.
+    pub watches_added: u64,
+}
+
+#[derive(Default)]
+struct State {
+    limits: InotifyLimits,
+    watches: HashMap<InodeId, WatchDescriptor>,
+    watch_dirs: HashMap<WatchDescriptor, PathBuf>,
+    next_wd: u32,
+    next_cookie: u32,
+    /// Per-watch event-kind masks (absent = all kinds, `IN_ALL_EVENTS`).
+    masks: HashMap<WatchDescriptor, Vec<EventKind>>,
+    queue: Vec<InotifyEvent>,
+    overflowed: bool,
+    stats: InotifyStats,
+}
+
+impl State {
+    fn push(&mut self, event: InotifyEvent) {
+        if !event.overflow {
+            if let Some(mask) = self.masks.get(&event.wd) {
+                if !mask.contains(&event.kind) {
+                    return; // masked out, as if the watch never asked
+                }
+            }
+        }
+        if self.queue.len() >= self.limits.max_queued_events {
+            self.stats.dropped += 1;
+            if !self.overflowed {
+                self.overflowed = true;
+                // The overflow marker itself replaces the last slot's
+                // worth of headroom; real inotify appends IN_Q_OVERFLOW.
+                self.queue.push(InotifyEvent {
+                    wd: WatchDescriptor(0),
+                    kind: EventKind::Other,
+                    name: String::new(),
+                    path: PathBuf::new(),
+                    is_dir: false,
+                    time: event.time,
+                    cookie: 0,
+                    overflow: true,
+                });
+            }
+            return;
+        }
+        self.stats.delivered += 1;
+        self.queue.push(event);
+    }
+
+    fn on_op(&mut self, op: &FsOp) {
+        // Moves produce two events sharing a cookie: MovedFrom at the
+        // source directory, MovedTo at the destination (both
+        // EventKind::Moved here, as in Watchdog).
+        let mut cookie = 0u32;
+        if op.kind == FsOpKind::Rename {
+            self.next_cookie += 1;
+            cookie = self.next_cookie;
+        }
+        if let (FsOpKind::Rename, Some(src_parent), Some(src_path)) =
+            (op.kind, op.src_parent, op.src_path.as_ref())
+        {
+            if let Some(&wd) = self.watches.get(&src_parent) {
+                let name = src_path
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                self.push(InotifyEvent {
+                    wd,
+                    kind: EventKind::Moved,
+                    name,
+                    path: src_path.clone(),
+                    is_dir: op.is_dir,
+                    time: op.time,
+                    cookie,
+                    overflow: false,
+                });
+            }
+        }
+        let kind = match op.kind {
+            FsOpKind::Create | FsOpKind::Mkdir | FsOpKind::Symlink | FsOpKind::HardLink => {
+                EventKind::Created
+            }
+            FsOpKind::Unlink { .. } | FsOpKind::Rmdir => EventKind::Deleted,
+            FsOpKind::Rename => EventKind::Moved,
+            FsOpKind::Write | FsOpKind::Truncate => EventKind::Modified,
+            FsOpKind::SetAttr | FsOpKind::SetXattr => EventKind::AttribChanged,
+        };
+        if let Some(&wd) = self.watches.get(&op.parent) {
+            self.push(InotifyEvent {
+                wd,
+                kind,
+                name: op.name.clone(),
+                path: op.path.clone(),
+                is_dir: op.is_dir,
+                time: op.time,
+                cookie,
+                overflow: false,
+            });
+        }
+        // A removed/renamed directory invalidates its own watch.
+        if op.is_dir && matches!(op.kind, FsOpKind::Rmdir) {
+            if let Some(wd) = self.watches.remove(&op.inode) {
+                self.watch_dirs.remove(&wd);
+            }
+        }
+    }
+}
+
+/// A simulated inotify instance attached to one [`SimFs`].
+///
+/// Cloning the handle shares the same instance.
+#[derive(Clone)]
+pub struct Inotify {
+    state: Arc<Mutex<State>>,
+}
+
+impl fmt::Debug for Inotify {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("Inotify")
+            .field("watches", &st.watches.len())
+            .field("queued", &st.queue.len())
+            .finish()
+    }
+}
+
+impl Inotify {
+    /// Creates an instance with default limits and attaches it to `fs`.
+    pub fn attach(fs: &mut SimFs) -> Inotify {
+        Inotify::attach_with_limits(fs, InotifyLimits::default())
+    }
+
+    /// Creates an instance with explicit limits and attaches it to `fs`.
+    pub fn attach_with_limits(fs: &mut SimFs, limits: InotifyLimits) -> Inotify {
+        let state = Arc::new(Mutex::new(State { limits, next_wd: 1, ..State::default() }));
+        let hook = Arc::clone(&state);
+        fs.add_observer(move |op: &FsOp| hook.lock().on_op(op));
+        Inotify { state }
+    }
+
+    /// Places a watch on the directory at `path`, returning its
+    /// descriptor. Watching an already-watched directory returns the
+    /// existing descriptor (as in Linux).
+    ///
+    /// # Errors
+    ///
+    /// [`InotifyError::WatchLimitReached`] at the `max_user_watches`
+    /// limit, [`InotifyError::NotADirectory`] for non-directories, and
+    /// lookup failures.
+    pub fn add_watch(
+        &self,
+        fs: &SimFs,
+        path: impl AsRef<Path>,
+    ) -> Result<WatchDescriptor, InotifyError> {
+        self.add_watch_masked(fs, path, None)
+    }
+
+    /// Places a watch restricted to the given event kinds (the
+    /// `IN_CREATE | IN_DELETE | ...` mask of the real API). Re-watching
+    /// an already-watched directory replaces its mask, as `inotify_add_watch`
+    /// does.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Inotify::add_watch`].
+    pub fn add_watch_mask(
+        &self,
+        fs: &SimFs,
+        path: impl AsRef<Path>,
+        kinds: &[EventKind],
+    ) -> Result<WatchDescriptor, InotifyError> {
+        self.add_watch_masked(fs, path, Some(kinds.to_vec()))
+    }
+
+    fn add_watch_masked(
+        &self,
+        fs: &SimFs,
+        path: impl AsRef<Path>,
+        mask: Option<Vec<EventKind>>,
+    ) -> Result<WatchDescriptor, InotifyError> {
+        let norm = simfs::normalize_path(path.as_ref())?;
+        let inode = fs.lookup(&norm)?;
+        if fs.stat_inode(inode).file_type != FileType::Directory {
+            return Err(InotifyError::NotADirectory(norm));
+        }
+        let mut st = self.state.lock();
+        if let Some(&wd) = st.watches.get(&inode) {
+            match mask {
+                Some(kinds) => {
+                    st.masks.insert(wd, kinds);
+                }
+                None => {
+                    st.masks.remove(&wd);
+                }
+            }
+            return Ok(wd);
+        }
+        if st.watches.len() >= st.limits.max_user_watches {
+            return Err(InotifyError::WatchLimitReached { limit: st.limits.max_user_watches });
+        }
+        let wd = WatchDescriptor(st.next_wd);
+        st.next_wd += 1;
+        st.watches.insert(inode, wd);
+        st.watch_dirs.insert(wd, norm);
+        if let Some(kinds) = mask {
+            st.masks.insert(wd, kinds);
+        }
+        st.stats.watches_added += 1;
+        Ok(wd)
+    }
+
+    /// Removes a watch. Unknown descriptors are a no-op.
+    pub fn rm_watch(&self, wd: WatchDescriptor) {
+        let mut st = self.state.lock();
+        if st.watch_dirs.remove(&wd).is_some() {
+            st.watches.retain(|_, w| *w != wd);
+            st.masks.remove(&wd);
+        }
+    }
+
+    /// Drains all queued events, clearing any overflow condition.
+    pub fn read_events(&self) -> Vec<InotifyEvent> {
+        let mut st = self.state.lock();
+        st.overflowed = false;
+        std::mem::take(&mut st.queue)
+    }
+
+    /// The directory a descriptor watches, if it is still valid.
+    pub fn watch_dir(&self, wd: WatchDescriptor) -> Option<PathBuf> {
+        self.state.lock().watch_dirs.get(&wd).cloned()
+    }
+
+    /// Number of active watches.
+    pub fn watch_count(&self) -> usize {
+        self.state.lock().watches.len()
+    }
+
+    /// Unswappable kernel memory currently pinned by watches (§3: ~1 KiB
+    /// per watch).
+    pub fn kernel_memory(&self) -> ByteSize {
+        let st = self.state.lock();
+        st.limits.bytes_per_watch.saturating_mul(st.watches.len() as u64)
+    }
+
+    /// Instance counters.
+    pub fn stats(&self) -> InotifyStats {
+        self.state.lock().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn setup() -> (SimFs, Inotify) {
+        let mut fs = SimFs::new();
+        fs.mkdir("/watched", SimTime::EPOCH).unwrap();
+        fs.mkdir("/elsewhere", SimTime::EPOCH).unwrap();
+        let ino = Inotify::attach(&mut fs);
+        (fs, ino)
+    }
+
+    #[test]
+    fn events_only_from_watched_dirs() {
+        let (mut fs, ino) = setup();
+        ino.add_watch(&fs, "/watched").unwrap();
+        fs.create("/watched/a", t(1)).unwrap();
+        fs.create("/elsewhere/b", t(1)).unwrap();
+        let evs = ino.read_events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].path, PathBuf::from("/watched/a"));
+    }
+
+    #[test]
+    fn watch_is_not_recursive() {
+        let (mut fs, ino) = setup();
+        ino.add_watch(&fs, "/watched").unwrap();
+        fs.mkdir("/watched/sub", t(1)).unwrap();
+        fs.create("/watched/sub/deep", t(2)).unwrap();
+        let evs = ino.read_events();
+        assert_eq!(evs.len(), 1, "only the mkdir in the watched dir is seen");
+        assert_eq!(evs[0].kind, EventKind::Created);
+        assert!(evs[0].is_dir);
+    }
+
+    #[test]
+    fn event_kinds_map() {
+        let (mut fs, ino) = setup();
+        ino.add_watch(&fs, "/watched").unwrap();
+        fs.create("/watched/f", t(1)).unwrap();
+        fs.write("/watched/f", 10, t(2)).unwrap();
+        fs.set_attr("/watched/f", 0o600, t(3)).unwrap();
+        fs.unlink("/watched/f", t(4)).unwrap();
+        let kinds: Vec<EventKind> = ino.read_events().into_iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::Created,
+                EventKind::Modified,
+                EventKind::AttribChanged,
+                EventKind::Deleted
+            ]
+        );
+    }
+
+    #[test]
+    fn rename_emits_from_and_to() {
+        let (mut fs, ino) = setup();
+        ino.add_watch(&fs, "/watched").unwrap();
+        ino.add_watch(&fs, "/elsewhere").unwrap();
+        fs.create("/watched/f", t(1)).unwrap();
+        fs.rename("/watched/f", "/elsewhere/g", t(2)).unwrap();
+        let evs = ino.read_events();
+        assert_eq!(evs.len(), 3); // create + moved-from + moved-to
+        assert_eq!(evs[1].kind, EventKind::Moved);
+        assert_eq!(evs[1].path, PathBuf::from("/watched/f"));
+        assert_eq!(evs[2].kind, EventKind::Moved);
+        assert_eq!(evs[2].path, PathBuf::from("/elsewhere/g"));
+        assert_ne!(evs[1].cookie, 0, "move halves carry a cookie");
+        assert_eq!(evs[1].cookie, evs[2].cookie, "halves share the cookie");
+        assert_eq!(evs[0].cookie, 0, "non-moves have no cookie");
+    }
+
+    #[test]
+    fn duplicate_watch_returns_same_wd() {
+        let (fs, ino) = setup();
+        let a = ino.add_watch(&fs, "/watched").unwrap();
+        let b = ino.add_watch(&fs, "/watched").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(ino.watch_count(), 1);
+    }
+
+    #[test]
+    fn watch_limit_enforced() {
+        let mut fs = SimFs::new();
+        for i in 0..5 {
+            fs.mkdir(format!("/d{i}"), t(0)).unwrap();
+        }
+        let ino = Inotify::attach_with_limits(
+            &mut fs,
+            InotifyLimits { max_user_watches: 3, ..InotifyLimits::default() },
+        );
+        for i in 0..3 {
+            ino.add_watch(&fs, format!("/d{i}")).unwrap();
+        }
+        assert!(matches!(
+            ino.add_watch(&fs, "/d3"),
+            Err(InotifyError::WatchLimitReached { limit: 3 })
+        ));
+    }
+
+    #[test]
+    fn kernel_memory_is_1kib_per_watch() {
+        let (fs, ino) = setup();
+        ino.add_watch(&fs, "/watched").unwrap();
+        ino.add_watch(&fs, "/elsewhere").unwrap();
+        assert_eq!(ino.kernel_memory(), ByteSize::from_kib(2));
+    }
+
+    #[test]
+    fn queue_overflow_drops_and_marks() {
+        let mut fs = SimFs::new();
+        fs.mkdir("/w", t(0)).unwrap();
+        let ino = Inotify::attach_with_limits(
+            &mut fs,
+            InotifyLimits { max_queued_events: 5, ..InotifyLimits::default() },
+        );
+        ino.add_watch(&fs, "/w").unwrap();
+        for i in 0..10 {
+            fs.create(format!("/w/f{i}"), t(i)).unwrap();
+        }
+        let evs = ino.read_events();
+        assert_eq!(evs.len(), 6, "5 events + 1 overflow marker");
+        assert!(evs.last().unwrap().overflow);
+        assert_eq!(ino.stats().dropped, 5);
+        // Draining clears the overflow condition.
+        fs.create("/w/late", t(20)).unwrap();
+        let evs = ino.read_events();
+        assert_eq!(evs.len(), 1);
+        assert!(!evs[0].overflow);
+    }
+
+    #[test]
+    fn rm_watch_stops_events() {
+        let (mut fs, ino) = setup();
+        let wd = ino.add_watch(&fs, "/watched").unwrap();
+        ino.rm_watch(wd);
+        fs.create("/watched/f", t(1)).unwrap();
+        assert!(ino.read_events().is_empty());
+        assert_eq!(ino.watch_count(), 0);
+        assert_eq!(ino.watch_dir(wd), None);
+    }
+
+    #[test]
+    fn rmdir_invalidates_watch() {
+        let (mut fs, ino) = setup();
+        fs.mkdir("/watched/sub", t(0)).unwrap();
+        let wd = ino.add_watch(&fs, "/watched/sub").unwrap();
+        fs.rmdir("/watched/sub", t(1)).unwrap();
+        assert_eq!(ino.watch_count(), 0);
+        assert_eq!(ino.watch_dir(wd), None);
+    }
+
+    #[test]
+    fn masked_watch_filters_kinds() {
+        let (mut fs, ino) = setup();
+        ino.add_watch_mask(&fs, "/watched", &[EventKind::Created, EventKind::Deleted])
+            .unwrap();
+        fs.create("/watched/f", t(1)).unwrap();
+        fs.write("/watched/f", 10, t(2)).unwrap(); // masked out
+        fs.set_attr("/watched/f", 0o600, t(3)).unwrap(); // masked out
+        fs.unlink("/watched/f", t(4)).unwrap();
+        let kinds: Vec<EventKind> = ino.read_events().into_iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec![EventKind::Created, EventKind::Deleted]);
+    }
+
+    #[test]
+    fn rewatching_replaces_mask() {
+        let (mut fs, ino) = setup();
+        let wd1 = ino.add_watch_mask(&fs, "/watched", &[EventKind::Created]).unwrap();
+        // Re-watch with full coverage (as inotify_add_watch would).
+        let wd2 = ino.add_watch(&fs, "/watched").unwrap();
+        assert_eq!(wd1, wd2);
+        fs.create("/watched/f", t(1)).unwrap();
+        fs.write("/watched/f", 1, t(2)).unwrap();
+        assert_eq!(ino.read_events().len(), 2, "mask was cleared");
+    }
+
+    #[test]
+    fn watch_on_file_fails() {
+        let (mut fs, ino) = setup();
+        fs.create("/watched/f", t(0)).unwrap();
+        assert!(matches!(
+            ino.add_watch(&fs, "/watched/f"),
+            Err(InotifyError::NotADirectory(_))
+        ));
+    }
+}

@@ -1,0 +1,52 @@
+//! An inotify-semantics file monitor for [`simfs`] filesystems.
+//!
+//! Ripple's original event detection uses the Python Watchdog module over
+//! inotify/kqueue (§3 of the paper). The paper's motivation for building a
+//! ChangeLog-based monitor is precisely the *limitations* of this
+//! approach, which this crate reproduces faithfully so they can be
+//! measured (bench `a5_inotify_limits`):
+//!
+//! * watches are **per-directory** — monitoring a tree requires crawling
+//!   it and placing one watch per directory;
+//! * each watch pins ~1 KiB of unswappable kernel memory on a 64-bit
+//!   machine, and at the default limit of 524,288 watches that is >512 MiB
+//!   (§3 "Limitations");
+//! * the event queue is bounded; overruns drop events and surface only a
+//!   queue-overflow marker;
+//! * newly created subdirectories are not watched until user space reacts
+//!   (the race Watchdog papers over).
+//!
+//! [`Inotify`] is the kernel-side instance; [`RecursiveWatcher`] is the
+//! Watchdog-style recursive observer built on top of it.
+//!
+//! # Example
+//!
+//! ```
+//! use inotify_sim::Inotify;
+//! use sdci_types::{EventKind, SimTime};
+//! use simfs::SimFs;
+//!
+//! let mut fs = SimFs::new();
+//! fs.mkdir("/inbox", SimTime::EPOCH)?;
+//!
+//! let inotify = Inotify::attach(&mut fs);
+//! let wd = inotify.add_watch(&fs, "/inbox")?;
+//!
+//! fs.create("/inbox/new.dat", SimTime::from_secs(1))?;
+//! let events = inotify.read_events();
+//! assert_eq!(events.len(), 1);
+//! assert_eq!(events[0].wd, wd);
+//! assert_eq!(events[0].kind, EventKind::Created);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod instance;
+mod recursive;
+
+pub use error::InotifyError;
+pub use instance::{Inotify, InotifyEvent, InotifyLimits, InotifyStats, WatchDescriptor};
+pub use recursive::{CrawlStats, RecursiveWatcher};

@@ -1,0 +1,62 @@
+//! Error type for the Lustre simulator.
+
+use sdci_types::Fid;
+use simfs::FsError;
+use std::fmt;
+
+/// Errors returned by [`LustreFs`](crate::LustreFs) operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LustreError {
+    /// An underlying namespace operation failed.
+    Fs(FsError),
+    /// `fid2path` was asked about a FID that no longer (or never) existed.
+    UnknownFid(Fid),
+    /// A ChangeLog user id was not registered on this MDT.
+    UnknownUser(u32),
+    /// An operation referenced an MDT index outside the deployment.
+    UnknownMdt(u32),
+}
+
+impl fmt::Display for LustreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LustreError::Fs(e) => write!(f, "{e}"),
+            LustreError::UnknownFid(fid) => write!(f, "no object with FID {fid}"),
+            LustreError::UnknownUser(id) => write!(f, "unregistered changelog user cl{id}"),
+            LustreError::UnknownMdt(idx) => write!(f, "no such MDT index {idx}"),
+        }
+    }
+}
+
+impl std::error::Error for LustreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LustreError::Fs(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FsError> for LustreError {
+    fn from(e: FsError) -> Self {
+        LustreError::Fs(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert_eq!(
+            LustreError::UnknownFid(Fid::new(1, 2, 0)).to_string(),
+            "no object with FID [0x1:0x2:0x0]"
+        );
+        assert_eq!(LustreError::UnknownUser(3).to_string(), "unregistered changelog user cl3");
+        let fs_err: LustreError = FsError::NotFound("/x".into()).into();
+        assert!(fs_err.to_string().contains("/x"));
+        use std::error::Error;
+        assert!(fs_err.source().is_some());
+    }
+}

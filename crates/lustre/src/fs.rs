@@ -1,0 +1,796 @@
+//! The simulated Lustre filesystem: namespace + FIDs + ChangeLogs.
+
+use crate::changelog::Changelog;
+use crate::topology::{DnePolicy, LustreConfig};
+use crate::LustreError;
+use sdci_types::{ChangelogKind, Fid, FidSequence, MdtIndex, RawChangelogRecord, SimTime};
+use simfs::{FileType, InodeId, SimFs};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Flag set on `UNLNK` records that remove an object's last link
+/// (Lustre's `CLF_UNLINK_LAST`; visible as `0x1` in Table 1).
+pub(crate) const CLF_UNLINK_LAST: u32 = 0x1;
+
+/// A Lustre filesystem simulation (see the crate docs for an overview).
+///
+/// All mutating operations take the current virtual time; the caller (a
+/// workload generator or a live driver) owns the clock.
+pub struct LustreFs {
+    config: LustreConfig,
+    fs: SimFs,
+    fid_sequences: Vec<FidSequence>,
+    changelogs: Vec<Changelog>,
+    fid_to_inode: HashMap<Fid, InodeId>,
+    inode_to_fid: HashMap<InodeId, Fid>,
+    dir_mdt: HashMap<InodeId, MdtIndex>,
+    round_robin: u32,
+    resolutions: AtomicU64,
+    pub(crate) ost_usage: Vec<crate::ost::OstUsage>,
+    pub(crate) layouts: HashMap<InodeId, crate::ost::Layout>,
+    pub(crate) dir_default_stripe: HashMap<InodeId, u32>,
+    pub(crate) ost_round_robin: u32,
+}
+
+impl fmt::Debug for LustreFs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LustreFs")
+            .field("name", &self.config.name)
+            .field("mdts", &self.changelogs.len())
+            .field("files", &self.fs.file_count())
+            .field("dirs", &self.fs.dir_count())
+            .finish()
+    }
+}
+
+impl LustreFs {
+    /// Creates an empty filesystem per `config`.
+    pub fn new(config: LustreConfig) -> Self {
+        let mdts = config.mdt_count as usize;
+        let mut lfs = LustreFs {
+            fid_sequences: (0..config.mdt_count).map(FidSequence::for_mdt).collect(),
+            changelogs: (0..mdts).map(|_| Changelog::new(config.changelog_capacity)).collect(),
+            fid_to_inode: HashMap::new(),
+            inode_to_fid: HashMap::new(),
+            dir_mdt: HashMap::new(),
+            round_robin: 0,
+            resolutions: AtomicU64::new(0),
+            ost_usage: (0..config.ost_count as usize)
+                .map(|_| crate::ost::OstUsage::default())
+                .collect(),
+            layouts: HashMap::new(),
+            dir_default_stripe: HashMap::new(),
+            ost_round_robin: 0,
+            fs: SimFs::new(),
+            config,
+        };
+        lfs.fid_to_inode.insert(Fid::ROOT, InodeId::ROOT);
+        lfs.inode_to_fid.insert(InodeId::ROOT, Fid::ROOT);
+        lfs.dir_mdt.insert(InodeId::ROOT, MdtIndex::new(0));
+        lfs
+    }
+
+    /// The deployment configuration.
+    pub fn config(&self) -> &LustreConfig {
+        &self.config
+    }
+
+    /// Read-only access to the underlying namespace.
+    pub fn fs(&self) -> &SimFs {
+        &self.fs
+    }
+
+    /// Number of MDTs in the deployment.
+    pub fn mdt_count(&self) -> u32 {
+        self.config.mdt_count
+    }
+
+    /// The ChangeLog of one MDT.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `mdt` is out of range (a configuration error).
+    pub fn changelog(&self, mdt: MdtIndex) -> &Changelog {
+        &self.changelogs[mdt.as_usize()]
+    }
+
+    /// Mutable access to one MDT's ChangeLog (for user registration,
+    /// acknowledgement, and purging).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `mdt` is out of range.
+    pub fn changelog_mut(&mut self, mdt: MdtIndex) -> &mut Changelog {
+        &mut self.changelogs[mdt.as_usize()]
+    }
+
+    /// Total records ever appended across all MDTs.
+    pub fn total_events(&self) -> u64 {
+        self.changelogs.iter().map(|c| c.stats().appended).sum()
+    }
+
+    /// How many `fid2path` resolutions have been performed (the paper's
+    /// measured bottleneck; see §5.2).
+    pub fn resolution_count(&self) -> u64 {
+        self.resolutions.load(Ordering::Relaxed)
+    }
+
+    // ---- FID interfaces -------------------------------------------------
+
+    /// The FID of the object at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Namespace lookup errors.
+    pub fn fid_of_path(&self, path: impl AsRef<Path>) -> Result<Fid, LustreError> {
+        let inode = self.fs.lookup(path)?;
+        Ok(*self.inode_to_fid.get(&inode).expect("inode without FID"))
+    }
+
+    /// Resolves a FID to its absolute path — the simulator's `fid2path`.
+    /// Each call increments [`LustreFs::resolution_count`].
+    ///
+    /// # Errors
+    ///
+    /// [`LustreError::UnknownFid`] for FIDs that no longer (or never)
+    /// existed.
+    pub fn fid2path(&self, fid: Fid) -> Result<PathBuf, LustreError> {
+        self.resolutions.fetch_add(1, Ordering::Relaxed);
+        let inode = self.fid_to_inode.get(&fid).ok_or(LustreError::UnknownFid(fid))?;
+        Ok(self.fs.path_of(*inode))
+    }
+
+    /// Resolves the absolute path of the object a ChangeLog record refers
+    /// to — the monitor's processing step.
+    ///
+    /// Deletions (and the source side of renames) name objects that no
+    /// longer exist, so resolution goes through the *parent* FID plus the
+    /// recorded name, exactly as a real consumer must.
+    ///
+    /// # Errors
+    ///
+    /// [`LustreError::UnknownFid`] when even the parent is gone (e.g. the
+    /// whole subtree was removed before the record was processed).
+    pub fn resolve_record_path(
+        &self,
+        record: &RawChangelogRecord,
+    ) -> Result<PathBuf, LustreError> {
+        self.resolutions.fetch_add(1, Ordering::Relaxed);
+        if let Some(&inode) = self.fid_to_inode.get(&record.target) {
+            // Guard against FID reuse after rename chains: verify the
+            // inode still has the recorded name, else fall through to
+            // parent-based resolution.
+            let path = self.fs.path_of(inode);
+            return Ok(path);
+        }
+        let parent = self
+            .fid_to_inode
+            .get(&record.parent)
+            .ok_or(LustreError::UnknownFid(record.parent))?;
+        let mut path = self.fs.path_of(*parent);
+        path.push(&record.name);
+        Ok(path)
+    }
+
+    // ---- MDT assignment --------------------------------------------------
+
+    /// The MDT owning directory `inode`.
+    fn mdt_of_dir(&self, inode: InodeId) -> MdtIndex {
+        *self.dir_mdt.get(&inode).unwrap_or(&MdtIndex::new(0))
+    }
+
+    /// The MDT that will log operations under the directory at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Namespace lookup errors.
+    pub fn mdt_of_path(&self, path: impl AsRef<Path>) -> Result<MdtIndex, LustreError> {
+        let inode = self.fs.lookup(path)?;
+        Ok(self.mdt_of_dir(inode))
+    }
+
+    fn assign_mdt(&mut self, parent: InodeId, name: &str) -> MdtIndex {
+        match self.config.dne_policy {
+            DnePolicy::SingleMdt => MdtIndex::new(0),
+            DnePolicy::RoundRobinTopLevel => {
+                if parent == InodeId::ROOT {
+                    let idx = self.round_robin % self.config.mdt_count;
+                    self.round_robin = self.round_robin.wrapping_add(1);
+                    MdtIndex::new(idx)
+                } else {
+                    self.mdt_of_dir(parent)
+                }
+            }
+            DnePolicy::HashByName => {
+                let mut hasher = DefaultHasher::new();
+                name.hash(&mut hasher);
+                MdtIndex::new((hasher.finish() % self.config.mdt_count as u64) as u32)
+            }
+        }
+    }
+
+    fn log(&mut self, mdt: MdtIndex, record: RawChangelogRecord) {
+        self.changelogs[mdt.as_usize()].append(record);
+    }
+
+    fn record(
+        kind: ChangelogKind,
+        time: SimTime,
+        flags: u32,
+        target: Fid,
+        parent: Fid,
+        name: &str,
+    ) -> RawChangelogRecord {
+        RawChangelogRecord { index: 0, kind, time, flags, target, parent, name: name.into() }
+    }
+
+    fn fid_of_inode(&self, inode: InodeId) -> Fid {
+        *self.inode_to_fid.get(&inode).expect("inode without FID")
+    }
+
+    // ---- namespace operations -------------------------------------------
+
+    /// Creates a regular file, logging `01CREAT` on the parent's MDT.
+    ///
+    /// # Errors
+    ///
+    /// Namespace errors from [`simfs::SimFs::create`].
+    pub fn create(&mut self, path: impl AsRef<Path>, now: SimTime) -> Result<Fid, LustreError> {
+        let (parent_path, name) = simfs::parent_and_name(path.as_ref())?;
+        let parent_inode = self.fs.lookup(&parent_path)?;
+        let mdt = self.mdt_of_dir(parent_inode);
+        let inode = self.fs.create(path.as_ref(), now)?;
+        let fid = self.fid_sequences[mdt.as_usize()].next_fid();
+        self.fid_to_inode.insert(fid, inode);
+        self.inode_to_fid.insert(inode, fid);
+        self.allocate_layout(inode, parent_inode);
+        let parent_fid = self.fid_of_inode(parent_inode);
+        self.log(mdt, Self::record(ChangelogKind::Create, now, 0, fid, parent_fid, &name));
+        Ok(fid)
+    }
+
+    /// Creates a directory, logging `02MKDIR` on the parent's MDT. The
+    /// new directory itself is placed on an MDT per the DNE policy.
+    ///
+    /// # Errors
+    ///
+    /// Namespace errors from [`simfs::SimFs::mkdir`].
+    pub fn mkdir(&mut self, path: impl AsRef<Path>, now: SimTime) -> Result<Fid, LustreError> {
+        let (parent_path, name) = simfs::parent_and_name(path.as_ref())?;
+        let parent_inode = self.fs.lookup(&parent_path)?;
+        let log_mdt = self.mdt_of_dir(parent_inode);
+        let home_mdt = self.assign_mdt(parent_inode, &name);
+        let inode = self.fs.mkdir(path.as_ref(), now)?;
+        let fid = self.fid_sequences[home_mdt.as_usize()].next_fid();
+        self.fid_to_inode.insert(fid, inode);
+        self.inode_to_fid.insert(inode, fid);
+        self.dir_mdt.insert(inode, home_mdt);
+        let parent_fid = self.fid_of_inode(parent_inode);
+        self.log(log_mdt, Self::record(ChangelogKind::Mkdir, now, 0, fid, parent_fid, &name));
+        Ok(fid)
+    }
+
+    /// Creates a directory chain, logging one `02MKDIR` per directory
+    /// actually created.
+    ///
+    /// # Errors
+    ///
+    /// [`simfs::FsError::NotADirectory`] when a component is a file.
+    pub fn mkdir_all(&mut self, path: impl AsRef<Path>, now: SimTime) -> Result<Fid, LustreError> {
+        let norm = simfs::normalize_path(path.as_ref())?;
+        let mut cur = PathBuf::from("/");
+        let mut fid = Fid::ROOT;
+        for comp in norm.components().skip(1) {
+            cur.push(comp);
+            fid = match self.fs.lookup(&cur) {
+                Ok(inode) => {
+                    if self.fs.stat_inode(inode).file_type != FileType::Directory {
+                        return Err(simfs::FsError::NotADirectory(cur).into());
+                    }
+                    self.fid_of_inode(inode)
+                }
+                Err(simfs::FsError::NotFound(_)) => self.mkdir(&cur, now)?,
+                Err(e) => return Err(e.into()),
+            };
+        }
+        Ok(fid)
+    }
+
+    /// Creates a symlink, logging `04SLINK`.
+    ///
+    /// # Errors
+    ///
+    /// Namespace errors from [`simfs::SimFs::symlink`].
+    pub fn symlink(
+        &mut self,
+        path: impl AsRef<Path>,
+        target: &str,
+        now: SimTime,
+    ) -> Result<Fid, LustreError> {
+        let (parent_path, name) = simfs::parent_and_name(path.as_ref())?;
+        let parent_inode = self.fs.lookup(&parent_path)?;
+        let mdt = self.mdt_of_dir(parent_inode);
+        let inode = self.fs.symlink(path.as_ref(), target, now)?;
+        let fid = self.fid_sequences[mdt.as_usize()].next_fid();
+        self.fid_to_inode.insert(fid, inode);
+        self.inode_to_fid.insert(inode, fid);
+        let parent_fid = self.fid_of_inode(parent_inode);
+        self.log(mdt, Self::record(ChangelogKind::SoftLink, now, 0, fid, parent_fid, &name));
+        Ok(fid)
+    }
+
+    /// Creates a hard link, logging `03HLINK`.
+    ///
+    /// # Errors
+    ///
+    /// Namespace errors from [`simfs::SimFs::hardlink`].
+    pub fn hardlink(
+        &mut self,
+        existing: impl AsRef<Path>,
+        new_path: impl AsRef<Path>,
+        now: SimTime,
+    ) -> Result<(), LustreError> {
+        let target_fid = self.fid_of_path(existing.as_ref())?;
+        let (parent_path, name) = simfs::parent_and_name(new_path.as_ref())?;
+        let parent_inode = self.fs.lookup(&parent_path)?;
+        let mdt = self.mdt_of_dir(parent_inode);
+        self.fs.hardlink(existing.as_ref(), new_path.as_ref(), now)?;
+        let parent_fid = self.fid_of_inode(parent_inode);
+        self.log(
+            mdt,
+            Self::record(ChangelogKind::HardLink, now, 0, target_fid, parent_fid, &name),
+        );
+        Ok(())
+    }
+
+    /// Removes a file or symlink, logging `06UNLNK` (flags `0x1` when the
+    /// last link went away, as in Table 1).
+    ///
+    /// # Errors
+    ///
+    /// Namespace errors from [`simfs::SimFs::unlink`].
+    pub fn unlink(&mut self, path: impl AsRef<Path>, now: SimTime) -> Result<(), LustreError> {
+        let (parent_path, name) = simfs::parent_and_name(path.as_ref())?;
+        let parent_inode = self.fs.lookup(&parent_path)?;
+        let mdt = self.mdt_of_dir(parent_inode);
+        let inode = self.fs.lookup(path.as_ref())?;
+        let fid = self.fid_of_inode(inode);
+        let last_link = self.fs.stat_inode(inode).nlink == 1;
+        self.fs.unlink(path.as_ref(), now)?;
+        if last_link {
+            self.fid_to_inode.remove(&fid);
+            self.inode_to_fid.remove(&inode);
+            self.free_layout(inode);
+        }
+        let parent_fid = self.fid_of_inode(parent_inode);
+        let flags = if last_link { CLF_UNLINK_LAST } else { 0 };
+        self.log(mdt, Self::record(ChangelogKind::Unlink, now, flags, fid, parent_fid, &name));
+        Ok(())
+    }
+
+    /// Removes an empty directory, logging `07RMDIR`.
+    ///
+    /// # Errors
+    ///
+    /// Namespace errors from [`simfs::SimFs::rmdir`].
+    pub fn rmdir(&mut self, path: impl AsRef<Path>, now: SimTime) -> Result<(), LustreError> {
+        let (parent_path, name) = simfs::parent_and_name(path.as_ref())?;
+        let parent_inode = self.fs.lookup(&parent_path)?;
+        let mdt = self.mdt_of_dir(parent_inode);
+        let inode = self.fs.lookup(path.as_ref())?;
+        let fid = self.fid_of_inode(inode);
+        self.fs.rmdir(path.as_ref(), now)?;
+        self.fid_to_inode.remove(&fid);
+        self.inode_to_fid.remove(&inode);
+        self.dir_mdt.remove(&inode);
+        let parent_fid = self.fid_of_inode(parent_inode);
+        self.log(
+            mdt,
+            Self::record(ChangelogKind::Rmdir, now, CLF_UNLINK_LAST, fid, parent_fid, &name),
+        );
+        Ok(())
+    }
+
+    /// Renames an object, logging `08RENME` on the source parent's MDT
+    /// and `09RNMTO` on the destination parent's MDT (one record each,
+    /// as Lustre does). An overwritten destination file additionally
+    /// logs `06UNLNK`.
+    ///
+    /// # Errors
+    ///
+    /// Namespace errors from [`simfs::SimFs::rename`].
+    pub fn rename(
+        &mut self,
+        from: impl AsRef<Path>,
+        to: impl AsRef<Path>,
+        now: SimTime,
+    ) -> Result<(), LustreError> {
+        let from_norm = simfs::normalize_path(from.as_ref())?;
+        let to_norm = simfs::normalize_path(to.as_ref())?;
+        if from_norm == to_norm {
+            return Ok(());
+        }
+        let (from_parent_path, from_name) = simfs::parent_and_name(&from_norm)?;
+        let (to_parent_path, to_name) = simfs::parent_and_name(&to_norm)?;
+        let from_parent = self.fs.lookup(&from_parent_path)?;
+        let to_parent = self.fs.lookup(&to_parent_path)?;
+        let inode = self.fs.lookup(&from_norm)?;
+        let fid = self.fid_of_inode(inode);
+
+        // An existing destination file will be replaced: capture its FID
+        // for the implicit unlink record.
+        let overwritten = match self.fs.lookup(&to_norm) {
+            Ok(dest) if dest != inode
+                && self.fs.stat_inode(dest).file_type != FileType::Directory =>
+            {
+                Some((dest, self.fid_of_inode(dest), self.fs.stat_inode(dest).nlink == 1))
+            }
+            _ => None,
+        };
+
+        self.fs.rename(&from_norm, &to_norm, now)?;
+
+        let src_mdt = self.mdt_of_dir(from_parent);
+        let dst_mdt = self.mdt_of_dir(to_parent);
+        let from_parent_fid = self.fid_of_inode(from_parent);
+        let to_parent_fid = self.fid_of_inode(to_parent);
+
+        if let Some((dest_inode, dest_fid, last)) = overwritten {
+            if last {
+                self.fid_to_inode.remove(&dest_fid);
+                self.inode_to_fid.remove(&dest_inode);
+                self.free_layout(dest_inode);
+            }
+            let flags = if last { CLF_UNLINK_LAST } else { 0 };
+            self.log(
+                dst_mdt,
+                Self::record(ChangelogKind::Unlink, now, flags, dest_fid, to_parent_fid, &to_name),
+            );
+        }
+        self.log(
+            src_mdt,
+            Self::record(ChangelogKind::Rename, now, 0, fid, from_parent_fid, &from_name),
+        );
+        self.log(
+            dst_mdt,
+            Self::record(ChangelogKind::RenameTarget, now, 0, fid, to_parent_fid, &to_name),
+        );
+        Ok(())
+    }
+
+    /// Appends `bytes` to a file. Content writes surface in the ChangeLog
+    /// as `17MTIME` records (data I/O goes to OSTs; the MDS only sees the
+    /// resulting time change).
+    ///
+    /// # Errors
+    ///
+    /// Namespace errors from [`simfs::SimFs::write`].
+    pub fn write(
+        &mut self,
+        path: impl AsRef<Path>,
+        bytes: u64,
+        now: SimTime,
+    ) -> Result<(), LustreError> {
+        let (parent_fid, name, mdt, fid) = self.content_target(path.as_ref())?;
+        let inode = self.fs.lookup(path.as_ref())?;
+        self.fs.write(path.as_ref(), bytes, now)?;
+        self.account_write(inode, bytes);
+        self.log(mdt, Self::record(ChangelogKind::MtimeChange, now, 0, fid, parent_fid, &name));
+        Ok(())
+    }
+
+    /// Truncates a file, logging `13TRUNC`.
+    ///
+    /// # Errors
+    ///
+    /// Namespace errors from [`simfs::SimFs::truncate`].
+    pub fn truncate(
+        &mut self,
+        path: impl AsRef<Path>,
+        size: u64,
+        now: SimTime,
+    ) -> Result<(), LustreError> {
+        let (parent_fid, name, mdt, fid) = self.content_target(path.as_ref())?;
+        self.fs.truncate(path.as_ref(), size, now)?;
+        self.log(mdt, Self::record(ChangelogKind::Truncate, now, 0, fid, parent_fid, &name));
+        Ok(())
+    }
+
+    /// Changes permissions, logging `14SATTR`.
+    ///
+    /// # Errors
+    ///
+    /// Namespace errors from [`simfs::SimFs::set_attr`].
+    pub fn set_attr(
+        &mut self,
+        path: impl AsRef<Path>,
+        mode: u32,
+        now: SimTime,
+    ) -> Result<(), LustreError> {
+        let (parent_fid, name, mdt, fid) = self.content_target(path.as_ref())?;
+        self.fs.set_attr(path.as_ref(), mode, now)?;
+        self.log(mdt, Self::record(ChangelogKind::SetAttr, now, 0, fid, parent_fid, &name));
+        Ok(())
+    }
+
+    /// Sets an extended attribute, logging `15XATTR`.
+    ///
+    /// # Errors
+    ///
+    /// Namespace errors from [`simfs::SimFs::set_xattr`].
+    pub fn set_xattr(
+        &mut self,
+        path: impl AsRef<Path>,
+        key: impl Into<String>,
+        value: impl Into<Vec<u8>>,
+        now: SimTime,
+    ) -> Result<(), LustreError> {
+        let (parent_fid, name, mdt, fid) = self.content_target(path.as_ref())?;
+        self.fs.set_xattr(path.as_ref(), key, value, now)?;
+        self.log(mdt, Self::record(ChangelogKind::SetXattr, now, 0, fid, parent_fid, &name));
+        Ok(())
+    }
+
+    fn content_target(&self, path: &Path) -> Result<(Fid, String, MdtIndex, Fid), LustreError> {
+        let (parent_path, name) = simfs::parent_and_name(path)?;
+        let parent_inode = self.fs.lookup(&parent_path)?;
+        let inode = self.fs.lookup(path)?;
+        Ok((
+            self.fid_of_inode(parent_inode),
+            name,
+            self.mdt_of_dir(parent_inode),
+            self.fid_of_inode(inode),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LustreConfig;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn single() -> LustreFs {
+        LustreFs::new(LustreConfig::builder("t").mdt_count(1).build())
+    }
+
+    #[test]
+    fn create_logs_creat_record() {
+        let mut lfs = single();
+        let fid = lfs.create("/data1.txt", t(1)).unwrap();
+        let recs = lfs.changelog(MdtIndex::new(0)).read_from(0, 10);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].kind, ChangelogKind::Create);
+        assert_eq!(recs[0].target, fid);
+        assert_eq!(recs[0].parent, Fid::ROOT);
+        assert_eq!(recs[0].name, "data1.txt");
+        assert_eq!(recs[0].index, 1);
+    }
+
+    #[test]
+    fn table1_sequence_reproduces() {
+        // CREAT, MKDIR, UNLNK like Table 1.
+        let mut lfs = single();
+        lfs.create("/data1.txt", t(1)).unwrap();
+        lfs.mkdir("/DataDir", t(2)).unwrap();
+        lfs.unlink("/data1.txt", t(3)).unwrap();
+        let recs = lfs.changelog(MdtIndex::new(0)).read_from(0, 10);
+        let kinds: Vec<_> = recs.iter().map(|r| r.kind.type_column()).collect();
+        assert_eq!(kinds, vec!["01CREAT", "02MKDIR", "06UNLNK"]);
+        assert_eq!(recs[2].flags, CLF_UNLINK_LAST, "last-link unlink sets 0x1");
+    }
+
+    #[test]
+    fn fid2path_resolves_and_counts() {
+        let mut lfs = single();
+        lfs.mkdir_all("/a/b", t(0)).unwrap();
+        let fid = lfs.create("/a/b/f.dat", t(1)).unwrap();
+        assert_eq!(lfs.fid2path(fid).unwrap(), PathBuf::from("/a/b/f.dat"));
+        assert_eq!(lfs.resolution_count(), 1);
+        assert!(matches!(
+            lfs.fid2path(Fid::new(0xdead, 1, 0)),
+            Err(LustreError::UnknownFid(_))
+        ));
+    }
+
+    #[test]
+    fn resolve_record_path_handles_deletions() {
+        let mut lfs = single();
+        lfs.mkdir("/dir", t(0)).unwrap();
+        lfs.create("/dir/gone.txt", t(1)).unwrap();
+        lfs.unlink("/dir/gone.txt", t(2)).unwrap();
+        let recs = lfs.changelog(MdtIndex::new(0)).read_from(0, 10);
+        let unlink = recs.last().unwrap();
+        assert_eq!(unlink.kind, ChangelogKind::Unlink);
+        // Target FID is gone; resolution goes via the parent.
+        let path = lfs.resolve_record_path(unlink).unwrap();
+        assert_eq!(path, PathBuf::from("/dir/gone.txt"));
+    }
+
+    #[test]
+    fn rename_logs_renme_and_rnmto() {
+        let mut lfs = single();
+        lfs.mkdir("/a", t(0)).unwrap();
+        lfs.mkdir("/b", t(0)).unwrap();
+        lfs.create("/a/f", t(1)).unwrap();
+        lfs.rename("/a/f", "/b/g", t(2)).unwrap();
+        let recs = lfs.changelog(MdtIndex::new(0)).read_from(0, 10);
+        let kinds: Vec<_> = recs.iter().map(|r| r.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ChangelogKind::Mkdir,
+                ChangelogKind::Mkdir,
+                ChangelogKind::Create,
+                ChangelogKind::Rename,
+                ChangelogKind::RenameTarget,
+            ]
+        );
+        let renme = &recs[3];
+        assert_eq!(renme.name, "f");
+        let rnmto = &recs[4];
+        assert_eq!(rnmto.name, "g");
+        assert_eq!(renme.target, rnmto.target);
+    }
+
+    #[test]
+    fn rename_overwrite_logs_unlink() {
+        let mut lfs = single();
+        lfs.create("/a", t(0)).unwrap();
+        lfs.create("/b", t(0)).unwrap();
+        lfs.rename("/a", "/b", t(1)).unwrap();
+        let recs = lfs.changelog(MdtIndex::new(0)).read_from(0, 10);
+        let kinds: Vec<_> = recs.iter().map(|r| r.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ChangelogKind::Create,
+                ChangelogKind::Create,
+                ChangelogKind::Unlink,
+                ChangelogKind::Rename,
+                ChangelogKind::RenameTarget,
+            ]
+        );
+    }
+
+    #[test]
+    fn writes_log_mtime_truncate_setattr() {
+        let mut lfs = single();
+        lfs.create("/f", t(0)).unwrap();
+        lfs.write("/f", 100, t(1)).unwrap();
+        lfs.truncate("/f", 10, t(2)).unwrap();
+        lfs.set_attr("/f", 0o600, t(3)).unwrap();
+        let kinds: Vec<_> = lfs
+            .changelog(MdtIndex::new(0))
+            .read_from(0, 10)
+            .iter()
+            .map(|r| r.kind)
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ChangelogKind::Create,
+                ChangelogKind::MtimeChange,
+                ChangelogKind::Truncate,
+                ChangelogKind::SetAttr,
+            ]
+        );
+    }
+
+    #[test]
+    fn xattr_logs_record() {
+        let mut lfs = single();
+        lfs.create("/f", t(0)).unwrap();
+        lfs.set_xattr("/f", "user.tag", b"x".to_vec(), t(1)).unwrap();
+        let recs = lfs.changelog(MdtIndex::new(0)).read_from(0, 10);
+        assert_eq!(recs.last().unwrap().kind, ChangelogKind::SetXattr);
+        assert_eq!(recs.last().unwrap().kind.type_column(), "15XATTR");
+        assert_eq!(
+            lfs.fs().get_xattr("/f", "user.tag").unwrap(),
+            Some(b"x".to_vec())
+        );
+    }
+
+    #[test]
+    fn hardlink_keeps_fid_until_last_unlink() {
+        let mut lfs = single();
+        let fid = lfs.create("/a", t(0)).unwrap();
+        lfs.hardlink("/a", "/b", t(1)).unwrap();
+        lfs.unlink("/a", t(2)).unwrap();
+        // FID still resolves (one link left).
+        assert!(lfs.fid2path(fid).is_ok());
+        lfs.unlink("/b", t(3)).unwrap();
+        assert!(lfs.fid2path(fid).is_err());
+        let recs = lfs.changelog(MdtIndex::new(0)).read_from(0, 10);
+        let unlinks: Vec<u32> = recs
+            .iter()
+            .filter(|r| r.kind == ChangelogKind::Unlink)
+            .map(|r| r.flags)
+            .collect();
+        assert_eq!(unlinks, vec![0, CLF_UNLINK_LAST]);
+    }
+
+    #[test]
+    fn dne_round_robin_spreads_top_level_dirs() {
+        let mut lfs = LustreFs::new(
+            LustreConfig::builder("t")
+                .mdt_count(4)
+                .dne_policy(DnePolicy::RoundRobinTopLevel)
+                .build(),
+        );
+        for i in 0..8 {
+            lfs.mkdir(format!("/d{i}"), t(0)).unwrap();
+        }
+        let mdts: Vec<u32> =
+            (0..8).map(|i| lfs.mdt_of_path(format!("/d{i}")).unwrap().as_u32()).collect();
+        assert_eq!(mdts, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+        // Children inherit, and their events land on the parent's MDT.
+        lfs.create("/d1/f", t(1)).unwrap();
+        let recs = lfs.changelog(MdtIndex::new(1)).read_from(0, 10);
+        assert!(recs.iter().any(|r| r.kind == ChangelogKind::Create && r.name == "f"));
+    }
+
+    #[test]
+    fn dne_hash_covers_all_mdts() {
+        let mut lfs = LustreFs::new(
+            LustreConfig::builder("t").mdt_count(4).dne_policy(DnePolicy::HashByName).build(),
+        );
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..64 {
+            lfs.mkdir(format!("/dir{i}"), t(0)).unwrap();
+            seen.insert(lfs.mdt_of_path(format!("/dir{i}")).unwrap());
+        }
+        assert_eq!(seen.len(), 4, "hash policy should reach all MDTs");
+    }
+
+    #[test]
+    fn events_split_across_mdts_sum_to_total() {
+        let mut lfs = LustreFs::new(
+            LustreConfig::builder("t")
+                .mdt_count(3)
+                .dne_policy(DnePolicy::RoundRobinTopLevel)
+                .build(),
+        );
+        for i in 0..6 {
+            lfs.mkdir(format!("/d{i}"), t(0)).unwrap();
+            for j in 0..5 {
+                lfs.create(format!("/d{i}/f{j}"), t(1)).unwrap();
+            }
+        }
+        let per_mdt: u64 = (0..3)
+            .map(|m| lfs.changelog(MdtIndex::new(m)).stats().appended)
+            .sum();
+        assert_eq!(per_mdt, lfs.total_events());
+        assert_eq!(lfs.total_events(), 6 + 30);
+    }
+
+    #[test]
+    fn mkdir_all_logs_once_per_new_dir() {
+        let mut lfs = single();
+        lfs.mkdir_all("/x/y/z", t(0)).unwrap();
+        lfs.mkdir_all("/x/y/z", t(1)).unwrap(); // idempotent, no new records
+        assert_eq!(lfs.total_events(), 3);
+    }
+
+    #[test]
+    fn fid_of_path_and_back() {
+        let mut lfs = single();
+        lfs.mkdir_all("/deep/nest", t(0)).unwrap();
+        lfs.create("/deep/nest/file", t(1)).unwrap();
+        let fid = lfs.fid_of_path("/deep/nest/file").unwrap();
+        assert_eq!(lfs.fid2path(fid).unwrap(), PathBuf::from("/deep/nest/file"));
+    }
+
+    #[test]
+    fn lustre_fs_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<LustreFs>();
+    }
+}

@@ -1,0 +1,163 @@
+//! Deployment topology: MDTs, OSTs, and namespace distribution policy.
+
+use sdci_types::ByteSize;
+
+/// How directories are distributed across MetaData Targets (Lustre DNE).
+///
+/// Every metadata operation is logged on the MDT owning the *parent*
+/// directory, so this policy decides which Collector sees which events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DnePolicy {
+    /// Everything lives on MDT0 (the paper's experimental configuration:
+    /// "these tests were performed with just one MDS").
+    #[default]
+    SingleMdt,
+    /// New directories inherit their parent's MDT except top-level
+    /// directories, which are assigned round-robin (DNE phase 1 style
+    /// remote directories).
+    RoundRobinTopLevel,
+    /// Every directory is assigned by hashing its name (DNE phase 2
+    /// striped-namespace style; spreads load finely).
+    HashByName,
+}
+
+/// Static description of a simulated Lustre deployment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LustreConfig {
+    /// Filesystem name (e.g. `"testfs"`, `"iota"`).
+    pub name: String,
+    /// Number of MetaData Targets. The paper's AWS testbed has 1; Iota
+    /// has 4 (though only 1 was active in their tests).
+    pub mdt_count: u32,
+    /// Number of Object Storage Targets (capacity only; OSTs do not log
+    /// namespace events).
+    pub ost_count: u32,
+    /// Total storage capacity (20 GB on AWS, 897 TB on Iota).
+    pub capacity: ByteSize,
+    /// Namespace distribution policy.
+    pub dne_policy: DnePolicy,
+    /// Per-MDT ChangeLog capacity before oldest unconsumed records are
+    /// dropped (0 = unbounded). Real deployments size this generously;
+    /// the bound exists to model "overburdened" ChangeLogs (§4).
+    pub changelog_capacity: usize,
+}
+
+impl LustreConfig {
+    /// Starts building a config for a filesystem called `name`.
+    pub fn builder(name: impl Into<String>) -> LustreConfigBuilder {
+        LustreConfigBuilder {
+            config: LustreConfig {
+                name: name.into(),
+                mdt_count: 1,
+                ost_count: 1,
+                capacity: ByteSize::from_gib(20),
+                dne_policy: DnePolicy::SingleMdt,
+                changelog_capacity: 0,
+            },
+        }
+    }
+
+    /// The paper's AWS testbed: 20 GB over five t2.micro instances, one
+    /// MDS, one OSS.
+    pub fn aws_testbed() -> LustreConfig {
+        LustreConfig::builder("aws")
+            .mdt_count(1)
+            .ost_count(1)
+            .capacity(ByteSize::from_gib(20))
+            .build()
+    }
+
+    /// The paper's Iota testbed: 897 TB, four MDS (one active in their
+    /// experiments), high-performance hardware.
+    pub fn iota_testbed() -> LustreConfig {
+        LustreConfig::builder("iota")
+            .mdt_count(4)
+            .ost_count(16)
+            .capacity(ByteSize::from_tib(897))
+            .build()
+    }
+
+    /// The forthcoming Aurora filesystem the paper extrapolates to:
+    /// 150 PB with metadata load-balanced across four MDS.
+    pub fn aurora_projection() -> LustreConfig {
+        LustreConfig::builder("aurora")
+            .mdt_count(4)
+            .ost_count(64)
+            .capacity(ByteSize::from_pib(150))
+            .dne_policy(DnePolicy::HashByName)
+            .build()
+    }
+}
+
+/// Builder for [`LustreConfig`].
+#[derive(Debug, Clone)]
+pub struct LustreConfigBuilder {
+    config: LustreConfig,
+}
+
+impl LustreConfigBuilder {
+    /// Sets the number of MDTs (minimum 1).
+    pub fn mdt_count(mut self, n: u32) -> Self {
+        self.config.mdt_count = n.max(1);
+        self
+    }
+
+    /// Sets the number of OSTs (minimum 1).
+    pub fn ost_count(mut self, n: u32) -> Self {
+        self.config.ost_count = n.max(1);
+        self
+    }
+
+    /// Sets total capacity.
+    pub fn capacity(mut self, capacity: ByteSize) -> Self {
+        self.config.capacity = capacity;
+        self
+    }
+
+    /// Sets the namespace distribution policy.
+    pub fn dne_policy(mut self, policy: DnePolicy) -> Self {
+        self.config.dne_policy = policy;
+        self
+    }
+
+    /// Bounds each MDT's ChangeLog to `records` entries (0 = unbounded).
+    pub fn changelog_capacity(mut self, records: usize) -> Self {
+        self.config.changelog_capacity = records;
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> LustreConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults() {
+        let c = LustreConfig::builder("t").build();
+        assert_eq!(c.mdt_count, 1);
+        assert_eq!(c.dne_policy, DnePolicy::SingleMdt);
+        assert_eq!(c.changelog_capacity, 0);
+    }
+
+    #[test]
+    fn testbeds_match_paper() {
+        let aws = LustreConfig::aws_testbed();
+        assert_eq!(aws.capacity, ByteSize::from_gib(20));
+        assert_eq!(aws.mdt_count, 1);
+        let iota = LustreConfig::iota_testbed();
+        assert_eq!(iota.capacity, ByteSize::from_tib(897));
+        assert_eq!(iota.mdt_count, 4);
+        let aurora = LustreConfig::aurora_projection();
+        assert_eq!(aurora.capacity, ByteSize::from_pib(150));
+    }
+
+    #[test]
+    fn mdt_count_is_at_least_one() {
+        assert_eq!(LustreConfig::builder("t").mdt_count(0).build().mdt_count, 1);
+    }
+}

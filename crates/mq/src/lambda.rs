@@ -1,0 +1,214 @@
+//! A Lambda-like worker pool over an [`SqsQueue`].
+//!
+//! Ripple's cloud service runs serverless functions against the event
+//! queue: each invocation processes one entry and removes it on success;
+//! failures leave the entry to reappear after its visibility timeout,
+//! where the periodic cleanup sweep (here a dedicated thread calling
+//! [`SqsQueue::sweep`]) re-drives it.
+
+use crate::sqs::SqsQueue;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Counters for a [`LambdaPool`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LambdaStats {
+    /// Invocations that returned success (entry deleted).
+    pub succeeded: u64,
+    /// Invocations that returned failure (entry left for redelivery).
+    pub failed: u64,
+}
+
+/// A pool of worker threads consuming an [`SqsQueue`] with a handler
+/// function, plus a cleanup sweeper thread.
+///
+/// # Example
+///
+/// ```
+/// use sdci_mq::{LambdaPool, SqsConfig, SqsQueue};
+/// use std::sync::atomic::{AtomicU64, Ordering};
+/// use std::sync::Arc;
+/// use std::time::Duration;
+///
+/// let queue: SqsQueue<u32> = SqsQueue::new(SqsConfig::default());
+/// let sum = Arc::new(AtomicU64::new(0));
+/// let seen = Arc::clone(&sum);
+/// let pool = LambdaPool::start(queue.clone(), 2, move |n| {
+///     seen.fetch_add(n as u64, Ordering::Relaxed);
+///     Ok(())
+/// });
+/// for i in 1..=10 {
+///     queue.send(i);
+/// }
+/// pool.drain(Duration::from_secs(5));
+/// pool.shutdown();
+/// assert_eq!(sum.load(Ordering::Relaxed), 55);
+/// ```
+pub struct LambdaPool<T: Send + 'static> {
+    queue: SqsQueue<T>,
+    workers: Vec<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+    succeeded: Arc<AtomicU64>,
+    failed: Arc<AtomicU64>,
+}
+
+impl<T: Send + 'static> fmt::Debug for LambdaPool<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LambdaPool").field("workers", &self.workers.len()).finish()
+    }
+}
+
+impl<T: Clone + Send + 'static> LambdaPool<T> {
+    /// Spawns `workers` handler threads plus one cleanup sweeper.
+    ///
+    /// The handler returns `Ok(())` to acknowledge (delete) an entry or
+    /// `Err(reason)` to leave it for redelivery.
+    pub fn start(
+        queue: SqsQueue<T>,
+        workers: usize,
+        handler: impl Fn(T) -> Result<(), String> + Send + Sync + 'static,
+    ) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let succeeded = Arc::new(AtomicU64::new(0));
+        let failed = Arc::new(AtomicU64::new(0));
+        let handler = Arc::new(handler);
+        let mut handles = Vec::new();
+        for _ in 0..workers.max(1) {
+            let queue = queue.clone();
+            let stop = Arc::clone(&stop);
+            let handler = Arc::clone(&handler);
+            let succeeded = Arc::clone(&succeeded);
+            let failed = Arc::clone(&failed);
+            handles.push(thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    match queue.receive() {
+                        Some((receipt, body)) => match handler(body) {
+                            Ok(()) => {
+                                queue.delete(receipt);
+                                succeeded.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(_) => {
+                                failed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        },
+                        None => thread::sleep(Duration::from_millis(1)),
+                    }
+                }
+            }));
+        }
+        // The cleanup function: periodically requeue expired entries.
+        {
+            let queue = queue.clone();
+            let stop = Arc::clone(&stop);
+            handles.push(thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    queue.sweep();
+                    thread::sleep(Duration::from_millis(5));
+                }
+            }));
+        }
+        LambdaPool { queue, workers: handles, stop, succeeded, failed }
+    }
+
+    /// Blocks until the queue is fully drained (nothing visible or in
+    /// flight) or `timeout` elapses. Returns `true` when drained.
+    pub fn drain(&self, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while std::time::Instant::now() < deadline {
+            if self.queue.visible_len() == 0 && self.queue.in_flight_len() == 0 {
+                return true;
+            }
+            thread::sleep(Duration::from_millis(2));
+        }
+        false
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> LambdaStats {
+        LambdaStats {
+            succeeded: self.succeeded.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops all workers and joins them.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<T: Send + 'static> Drop for LambdaPool<T> {
+    fn drop(&mut self) {
+        // Signal stop; threads exit on their next poll. Joining here
+        // would block drop, so detached threads are left to finish.
+        self.stop.store(true, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sqs::SqsConfig;
+    use parking_lot::Mutex;
+
+    #[test]
+    fn processes_everything_once_on_success() {
+        let queue: SqsQueue<u32> = SqsQueue::new(SqsConfig::default());
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let pool = LambdaPool::start(queue.clone(), 4, move |n| {
+            sink.lock().push(n);
+            Ok(())
+        });
+        for i in 0..200 {
+            queue.send(i);
+        }
+        assert!(pool.drain(Duration::from_secs(10)));
+        pool.shutdown();
+        let mut got = seen.lock().clone();
+        got.sort_unstable();
+        assert_eq!(got, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn failed_entries_are_redriven() {
+        let queue: SqsQueue<u32> = SqsQueue::new(SqsConfig {
+            visibility_timeout: Duration::from_millis(10),
+            max_receive_count: 0,
+        });
+        let attempts = Arc::new(AtomicU64::new(0));
+        let counter = Arc::clone(&attempts);
+        // Fail the first two attempts, then succeed.
+        let pool = LambdaPool::start(queue.clone(), 1, move |_n| {
+            if counter.fetch_add(1, Ordering::SeqCst) < 2 {
+                Err("transient".into())
+            } else {
+                Ok(())
+            }
+        });
+        queue.send(99);
+        assert!(pool.drain(Duration::from_secs(10)));
+        let stats = pool.stats();
+        pool.shutdown();
+        assert_eq!(stats.succeeded, 1);
+        assert_eq!(stats.failed, 2);
+        assert_eq!(queue.stats().redelivered, 2);
+    }
+
+    #[test]
+    fn shutdown_stops_workers() {
+        let queue: SqsQueue<u32> = SqsQueue::new(SqsConfig::default());
+        let pool = LambdaPool::start(queue.clone(), 2, |_| Ok(()));
+        pool.shutdown();
+        // Messages sent after shutdown stay queued.
+        queue.send(1);
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(queue.visible_len(), 1);
+    }
+}

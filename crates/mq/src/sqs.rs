@@ -1,0 +1,360 @@
+//! An SQS-like reliable queue.
+//!
+//! Ripple's cloud service places every reported event "immediately ... in
+//! a reliable Simple Queue Service (SQS) queue. Serverless Amazon Lambda
+//! functions act on entries in this queue and remove them once
+//! successfully processed. A cleanup function periodically iterates
+//! through the queue and initiates additional processing for events that
+//! were unsuccessfully processed." (§3)
+//!
+//! The semantics that make that reliability story work are reproduced
+//! here: at-least-once delivery, per-message *visibility timeouts* (a
+//! received message is hidden, not removed; it reappears if not deleted
+//! in time), receipt handles tied to a specific delivery, and redelivery
+//! counting so dead-letter policies can be layered on.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration for an [`SqsQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SqsConfig {
+    /// How long a received message stays invisible before it is
+    /// redelivered (SQS default: 30 s).
+    pub visibility_timeout: Duration,
+    /// Deliveries after which a message is diverted to the dead-letter
+    /// store instead of being redelivered (0 = never).
+    pub max_receive_count: u32,
+}
+
+impl Default for SqsConfig {
+    fn default() -> Self {
+        SqsConfig { visibility_timeout: Duration::from_secs(30), max_receive_count: 0 }
+    }
+}
+
+/// Counters for a queue.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SqsStats {
+    /// Messages sent.
+    pub sent: u64,
+    /// Deliveries (first-time and re-deliveries).
+    pub received: u64,
+    /// Messages deleted after successful processing.
+    pub deleted: u64,
+    /// Redeliveries after visibility timeout expiry.
+    pub redelivered: u64,
+    /// Messages moved to the dead-letter store.
+    pub dead_lettered: u64,
+}
+
+/// A receipt identifying one *delivery* of a message; required to delete
+/// it. Stale receipts (from a delivery whose visibility timeout already
+/// expired) do not delete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Receipt {
+    message_id: u64,
+    delivery: u32,
+}
+
+struct Entry<T> {
+    id: u64,
+    body: T,
+    receive_count: u32,
+    /// `Some(expiry)` while in flight (invisible).
+    invisible_until: Option<Instant>,
+}
+
+struct QueueState<T> {
+    visible: VecDeque<Entry<T>>,
+    in_flight: Vec<Entry<T>>,
+    dead: Vec<T>,
+    next_id: u64,
+    stats: SqsStats,
+}
+
+/// An in-process reliable queue with SQS visibility semantics.
+///
+/// Cloning shares the queue; all methods take `&self`.
+pub struct SqsQueue<T> {
+    state: Arc<Mutex<QueueState<T>>>,
+    config: SqsConfig,
+}
+
+impl<T> Clone for SqsQueue<T> {
+    fn clone(&self) -> Self {
+        SqsQueue { state: Arc::clone(&self.state), config: self.config }
+    }
+}
+
+impl<T> fmt::Debug for SqsQueue<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("SqsQueue")
+            .field("visible", &st.visible.len())
+            .field("in_flight", &st.in_flight.len())
+            .field("dead", &st.dead.len())
+            .finish()
+    }
+}
+
+impl<T: Send + 'static> SqsQueue<T> {
+    /// Creates a queue with the given configuration.
+    pub fn new(config: SqsConfig) -> Self {
+        SqsQueue {
+            state: Arc::new(Mutex::new(QueueState {
+                visible: VecDeque::new(),
+                in_flight: Vec::new(),
+                dead: Vec::new(),
+                next_id: 1,
+                stats: SqsStats::default(),
+            })),
+            config,
+        }
+    }
+
+    /// Enqueues a message.
+    pub fn send(&self, body: T) {
+        let mut st = self.state.lock();
+        let id = st.next_id;
+        st.next_id += 1;
+        st.stats.sent += 1;
+        st.visible.push_back(Entry { id, body, receive_count: 0, invisible_until: None });
+    }
+
+    /// Receives the next message, hiding it for the visibility timeout.
+    /// Returns `None` when nothing is currently visible.
+    ///
+    /// The returned body is a clone; the queue retains the original until
+    /// [`SqsQueue::delete`] is called with the receipt.
+    pub fn receive(&self) -> Option<(Receipt, T)>
+    where
+        T: Clone,
+    {
+        let now = Instant::now();
+        let mut st = self.state.lock();
+        Self::requeue_expired(&mut st, now, self.config.max_receive_count);
+        let mut entry = st.visible.pop_front()?;
+        entry.receive_count += 1;
+        if entry.receive_count > 1 {
+            st.stats.redelivered += 1;
+        }
+        st.stats.received += 1;
+        entry.invisible_until = Some(now + self.config.visibility_timeout);
+        let receipt = Receipt { message_id: entry.id, delivery: entry.receive_count };
+        let body = entry.body.clone();
+        st.in_flight.push(entry);
+        Some((receipt, body))
+    }
+
+    /// Deletes a message using the receipt from its most recent delivery.
+    /// Returns `true` when the message was removed; `false` for stale
+    /// receipts (the message timed out and was redelivered, or was
+    /// already deleted).
+    pub fn delete(&self, receipt: Receipt) -> bool {
+        let mut st = self.state.lock();
+        let before = st.in_flight.len();
+        st.in_flight.retain(|e| {
+            !(e.id == receipt.message_id && e.receive_count == receipt.delivery)
+        });
+        let removed = st.in_flight.len() < before;
+        if removed {
+            st.stats.deleted += 1;
+        }
+        removed
+    }
+
+    /// The paper's "cleanup function": sweeps expired in-flight messages
+    /// back to visible (or to the dead-letter store once over the
+    /// receive-count limit). Returns how many were requeued.
+    ///
+    /// [`SqsQueue::receive`] performs the same sweep lazily, so calling
+    /// this is only needed to make stranded messages visible promptly.
+    pub fn sweep(&self) -> usize {
+        let mut st = self.state.lock();
+        Self::requeue_expired(&mut st, Instant::now(), self.config.max_receive_count)
+    }
+
+    fn requeue_expired(st: &mut QueueState<T>, now: Instant, max_receive: u32) -> usize {
+        let mut requeued = 0;
+        let mut i = 0;
+        while i < st.in_flight.len() {
+            let expired = st.in_flight[i]
+                .invisible_until
+                .is_some_and(|deadline| deadline <= now);
+            if expired {
+                let mut entry = st.in_flight.swap_remove(i);
+                entry.invisible_until = None;
+                if max_receive > 0 && entry.receive_count >= max_receive {
+                    st.stats.dead_lettered += 1;
+                    st.dead.push(entry.body);
+                } else {
+                    st.visible.push_back(entry);
+                    requeued += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        requeued
+    }
+
+    /// Messages currently visible (receivable now).
+    pub fn visible_len(&self) -> usize {
+        self.state.lock().visible.len()
+    }
+
+    /// Messages currently in flight (received, not yet deleted or
+    /// expired).
+    pub fn in_flight_len(&self) -> usize {
+        self.state.lock().in_flight.len()
+    }
+
+    /// Drains the dead-letter store.
+    pub fn take_dead_letters(&self) -> Vec<T> {
+        std::mem::take(&mut self.state.lock().dead)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> SqsStats {
+        self.state.lock().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn fast_config(vis_ms: u64) -> SqsConfig {
+        SqsConfig { visibility_timeout: Duration::from_millis(vis_ms), max_receive_count: 0 }
+    }
+
+    #[test]
+    fn send_receive_delete() {
+        let q: SqsQueue<String> = SqsQueue::new(fast_config(1000));
+        q.send("hello".into());
+        let (receipt, body) = q.receive().unwrap();
+        assert_eq!(body, "hello");
+        assert_eq!(q.visible_len(), 0);
+        assert_eq!(q.in_flight_len(), 1);
+        assert!(q.delete(receipt));
+        assert_eq!(q.in_flight_len(), 0);
+        assert_eq!(q.stats().deleted, 1);
+    }
+
+    #[test]
+    fn fifo_order_for_first_deliveries() {
+        let q: SqsQueue<u32> = SqsQueue::new(fast_config(1000));
+        for i in 0..5 {
+            q.send(i);
+        }
+        for i in 0..5 {
+            let (r, body) = q.receive().unwrap();
+            assert_eq!(body, i);
+            q.delete(r);
+        }
+        assert!(q.receive().is_none());
+    }
+
+    #[test]
+    fn visibility_timeout_redelivers() {
+        let q: SqsQueue<u32> = SqsQueue::new(fast_config(20));
+        q.send(42);
+        let (first_receipt, _) = q.receive().unwrap();
+        assert!(q.receive().is_none(), "invisible while in flight");
+        thread::sleep(Duration::from_millis(40));
+        let (second_receipt, body) = q.receive().unwrap();
+        assert_eq!(body, 42);
+        assert_ne!(first_receipt, second_receipt);
+        assert_eq!(q.stats().redelivered, 1);
+        // The stale receipt no longer deletes.
+        assert!(!q.delete(first_receipt));
+        assert!(q.delete(second_receipt));
+    }
+
+    #[test]
+    fn sweep_requeues_promptly() {
+        let q: SqsQueue<u32> = SqsQueue::new(fast_config(10));
+        q.send(1);
+        let _ = q.receive().unwrap();
+        thread::sleep(Duration::from_millis(30));
+        assert_eq!(q.sweep(), 1);
+        assert_eq!(q.visible_len(), 1);
+    }
+
+    #[test]
+    fn dead_letter_after_max_receives() {
+        let q: SqsQueue<u32> = SqsQueue::new(SqsConfig {
+            visibility_timeout: Duration::from_millis(5),
+            max_receive_count: 2,
+        });
+        q.send(7);
+        for _ in 0..2 {
+            let _ = q.receive().unwrap();
+            thread::sleep(Duration::from_millis(15));
+        }
+        q.sweep();
+        assert!(q.receive().is_none());
+        assert_eq!(q.take_dead_letters(), vec![7]);
+        assert_eq!(q.stats().dead_lettered, 1);
+    }
+
+    #[test]
+    fn at_least_once_under_worker_crash() {
+        // A "worker" receives and never deletes (crash); the message
+        // must survive and be redelivered to a healthy worker.
+        let q: SqsQueue<String> = SqsQueue::new(fast_config(10));
+        q.send("precious".into());
+        {
+            let _ = q.receive().unwrap(); // crashed worker drops receipt
+        }
+        thread::sleep(Duration::from_millis(25));
+        let (r, body) = q.receive().unwrap();
+        assert_eq!(body, "precious");
+        assert!(q.delete(r));
+        let stats = q.stats();
+        assert_eq!(stats.sent, 1);
+        assert_eq!(stats.received, 2);
+        assert_eq!(stats.deleted, 1);
+    }
+
+    #[test]
+    fn concurrent_producers_consumers_lose_nothing() {
+        let q: SqsQueue<u64> = SqsQueue::new(fast_config(5000));
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = q.clone();
+                thread::spawn(move || {
+                    for i in 0..250u64 {
+                        q.send(p * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = q.clone();
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some((r, body)) = q.receive() {
+                        assert!(q.delete(r));
+                        got.push(body);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all: Vec<u64> = consumers.into_iter().flat_map(|c| c.join().unwrap()).collect();
+        all.sort_unstable();
+        assert_eq!(all.len(), 1000);
+        all.dedup();
+        assert_eq!(all.len(), 1000, "no duplicates within visibility window");
+    }
+}

@@ -1,0 +1,73 @@
+//! Ripple: the SDCI rule engine (§3 of the paper; Figure 1).
+//!
+//! Ripple lets users "program their storage devices to respond to
+//! specific events and invoke custom actions" with If-Trigger-Then-Action
+//! rules. The implementation mirrors the paper's architecture:
+//!
+//! * **Agents** ([`Agent`]) are deployed on storage resources. An agent
+//!   detects data events (via a Watchdog-style recursive watcher on
+//!   personal devices, or via the scalable Lustre monitor on parallel
+//!   filesystems), filters them against the triggers of registered
+//!   rules, and reports relevant events to the cloud service — retrying
+//!   until the report is accepted. The agent also executes actions routed
+//!   to it (transfers, emails, containers, shell commands).
+//! * **The cloud service** ([`CloudService`]) receives reported events,
+//!   places each in a reliable SQS-style queue, and evaluates rules with
+//!   Lambda-style workers that dispatch actions to the responsible
+//!   agents. Entries are removed only after successful processing; a
+//!   cleanup sweep re-drives failures (see [`sdci_mq::sqs`]).
+//! * **Rules** ([`Rule`]) pair a [`Trigger`] (event kind + path scope +
+//!   filename glob) with an [`ActionSpec`] naming the action type, the
+//!   agent to run it on, and parameters. Rule chains emerge naturally:
+//!   an action that writes files produces events that can match further
+//!   rules.
+//!
+//! # Example: "when a .tif appears in /inbox, transfer it for analysis"
+//!
+//! ```
+//! use ripple::{ActionKind, ActionSpec, Rule, RippleBuilder, Trigger};
+//! use sdci_types::{AgentId, EventKind, SimTime};
+//! use std::time::Duration;
+//!
+//! let mut ripple = RippleBuilder::new().build();
+//! let lab = ripple.add_local_agent("lab-instrument");
+//! let _cluster = ripple.add_local_agent("analysis-cluster");
+//!
+//! ripple.add_rule(
+//!     Rule::when(
+//!         Trigger::on(AgentId::new("lab-instrument"))
+//!             .under("/inbox")
+//!             .kinds([EventKind::Created])
+//!             .glob("*.tif"),
+//!     )
+//!     .then(ActionSpec::transfer(
+//!         AgentId::new("analysis-cluster"),
+//!         "/staging",
+//!     )),
+//! );
+//!
+//! lab.fs().lock().mkdir_all("/inbox", SimTime::EPOCH)?;
+//! lab.fs().lock().create("/inbox/scan-001.tif", SimTime::from_secs(1))?;
+//! ripple.pump_until_idle(Duration::from_secs(5));
+//!
+//! let cluster_fs = ripple.agent(&AgentId::new("analysis-cluster")).unwrap().fs();
+//! assert!(cluster_fs.lock().exists("/staging/scan-001.tif"));
+//! # Ok::<(), simfs::FsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod action;
+mod agent;
+mod cloud;
+mod policy;
+mod rule;
+
+pub use action::{
+    ActionKind, ActionOutcome, ActionRecord, ActionRequest, ActionSpec, ExecutionLog,
+};
+pub use agent::{Agent, AgentStats, AgentStorage, EventSource, MonitorSource, WatchdogSource};
+pub use cloud::{AgentHandle, CloudService, CloudSnapshot, CloudStats, ReportedEvent, Ripple, RippleBuilder};
+pub use policy::BatchPolicy;
+pub use rule::{glob_match, Rule, Trigger};

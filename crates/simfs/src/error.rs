@@ -1,0 +1,74 @@
+//! Filesystem error type.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Errors returned by [`SimFs`](crate::SimFs) operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// The path (or a component of it) does not exist.
+    NotFound(PathBuf),
+    /// A non-final path component is not a directory.
+    NotADirectory(PathBuf),
+    /// The operation requires a non-directory but found a directory.
+    IsADirectory(PathBuf),
+    /// The target name already exists.
+    AlreadyExists(PathBuf),
+    /// `rmdir` on a directory that still has entries.
+    NotEmpty(PathBuf),
+    /// The path is not absolute or contains invalid components.
+    InvalidPath(PathBuf),
+    /// A rename would move a directory into its own subtree.
+    RenameIntoSelf(PathBuf),
+}
+
+impl FsError {
+    /// The path the error refers to.
+    pub fn path(&self) -> &PathBuf {
+        match self {
+            FsError::NotFound(p)
+            | FsError::NotADirectory(p)
+            | FsError::IsADirectory(p)
+            | FsError::AlreadyExists(p)
+            | FsError::NotEmpty(p)
+            | FsError::InvalidPath(p)
+            | FsError::RenameIntoSelf(p) => p,
+        }
+    }
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound(p) => write!(f, "no such file or directory: {}", p.display()),
+            FsError::NotADirectory(p) => write!(f, "not a directory: {}", p.display()),
+            FsError::IsADirectory(p) => write!(f, "is a directory: {}", p.display()),
+            FsError::AlreadyExists(p) => write!(f, "file exists: {}", p.display()),
+            FsError::NotEmpty(p) => write!(f, "directory not empty: {}", p.display()),
+            FsError::InvalidPath(p) => write!(f, "invalid path: {}", p.display()),
+            FsError::RenameIntoSelf(p) => {
+                write!(f, "cannot move directory into itself: {}", p.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_includes_path() {
+        let e = FsError::NotFound(PathBuf::from("/a/b"));
+        assert_eq!(e.to_string(), "no such file or directory: /a/b");
+        assert_eq!(e.path(), &PathBuf::from("/a/b"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FsError>();
+    }
+}

@@ -1,0 +1,179 @@
+//! Inodes and file types.
+
+use sdci_types::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of an inode within one [`SimFs`](crate::SimFs).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct InodeId(pub(crate) u64);
+
+impl InodeId {
+    /// The root directory's inode id.
+    pub const ROOT: InodeId = InodeId(1);
+
+    /// The raw id.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for InodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "inode:{}", self.0)
+    }
+}
+
+/// The type of a filesystem object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FileType {
+    /// Regular file.
+    File,
+    /// Directory.
+    Directory,
+    /// Symbolic link.
+    Symlink,
+}
+
+impl FileType {
+    /// True for [`FileType::Directory`].
+    pub const fn is_dir(self) -> bool {
+        matches!(self, FileType::Directory)
+    }
+}
+
+impl fmt::Display for FileType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FileType::File => "file",
+            FileType::Directory => "directory",
+            FileType::Symlink => "symlink",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One inode: type, size, times, link count, and (for directories) the
+/// entry map.
+#[derive(Debug, Clone)]
+pub(crate) struct Inode {
+    pub id: InodeId,
+    pub file_type: FileType,
+    pub size: u64,
+    pub mode: u32,
+    pub nlink: u32,
+    pub mtime: SimTime,
+    pub ctime: SimTime,
+    pub atime: SimTime,
+    /// Primary parent (for path reconstruction). Directories have exactly
+    /// one; hard-linked files keep the first surviving parent.
+    pub parent: Option<InodeId>,
+    /// Name under the primary parent.
+    pub name: String,
+    /// Directory entries (empty for non-directories). BTreeMap keeps
+    /// `read_dir` output deterministic.
+    pub entries: BTreeMap<String, InodeId>,
+    /// Symlink target (None for non-symlinks).
+    pub link_target: Option<String>,
+    /// Extended attributes.
+    pub xattrs: BTreeMap<String, Vec<u8>>,
+}
+
+impl Inode {
+    pub(crate) fn new_dir(id: InodeId, parent: Option<InodeId>, name: &str, now: SimTime) -> Self {
+        Inode {
+            id,
+            file_type: FileType::Directory,
+            size: 0,
+            mode: 0o755,
+            nlink: 2,
+            mtime: now,
+            ctime: now,
+            atime: now,
+            parent,
+            name: name.to_owned(),
+            entries: BTreeMap::new(),
+            link_target: None,
+            xattrs: BTreeMap::new(),
+        }
+    }
+
+    pub(crate) fn new_file(id: InodeId, parent: InodeId, name: &str, now: SimTime) -> Self {
+        Inode {
+            id,
+            file_type: FileType::File,
+            size: 0,
+            mode: 0o644,
+            nlink: 1,
+            mtime: now,
+            ctime: now,
+            atime: now,
+            parent: Some(parent),
+            name: name.to_owned(),
+            entries: BTreeMap::new(),
+            link_target: None,
+            xattrs: BTreeMap::new(),
+        }
+    }
+
+    pub(crate) fn new_symlink(
+        id: InodeId,
+        parent: InodeId,
+        name: &str,
+        target: &str,
+        now: SimTime,
+    ) -> Self {
+        Inode {
+            id,
+            file_type: FileType::Symlink,
+            size: target.len() as u64,
+            mode: 0o777,
+            nlink: 1,
+            mtime: now,
+            ctime: now,
+            atime: now,
+            parent: Some(parent),
+            name: name.to_owned(),
+            entries: BTreeMap::new(),
+            link_target: Some(target.to_owned()),
+            xattrs: BTreeMap::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_type_display() {
+        assert_eq!(FileType::File.to_string(), "file");
+        assert_eq!(FileType::Directory.to_string(), "directory");
+        assert_eq!(FileType::Symlink.to_string(), "symlink");
+        assert!(FileType::Directory.is_dir());
+        assert!(!FileType::File.is_dir());
+    }
+
+    #[test]
+    fn inode_constructors_set_types() {
+        let t = SimTime::EPOCH;
+        let d = Inode::new_dir(InodeId(1), None, "", t);
+        assert_eq!(d.file_type, FileType::Directory);
+        assert_eq!(d.nlink, 2);
+        let f = Inode::new_file(InodeId(2), InodeId(1), "f", t);
+        assert_eq!(f.file_type, FileType::File);
+        assert_eq!(f.nlink, 1);
+        let s = Inode::new_symlink(InodeId(3), InodeId(1), "s", "/target", t);
+        assert_eq!(s.file_type, FileType::Symlink);
+        assert_eq!(s.size, 7);
+    }
+
+    #[test]
+    fn inode_id_display() {
+        assert_eq!(InodeId::ROOT.to_string(), "inode:1");
+        assert_eq!(InodeId::ROOT.as_u64(), 1);
+    }
+}

@@ -1,0 +1,138 @@
+//! The operation bus: every namespace mutation is broadcast as an [`FsOp`].
+//!
+//! This is the seam between the generic filesystem and the two monitoring
+//! technologies the paper contrasts: the Lustre simulator turns `FsOp`s
+//! into ChangeLog records on the owning MDT, and the inotify simulator
+//! turns them into watch events on the affected directories.
+
+use crate::node::InodeId;
+use sdci_types::SimTime;
+use std::fmt;
+use std::path::PathBuf;
+
+/// What kind of mutation occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FsOpKind {
+    /// A regular file was created.
+    Create,
+    /// A directory was created.
+    Mkdir,
+    /// A symlink was created.
+    Symlink,
+    /// An extra hard link was created.
+    HardLink,
+    /// A regular file or symlink was unlinked. The payload notes whether
+    /// this removed the last link.
+    Unlink {
+        /// True when this unlink removed the object's final link.
+        last_link: bool,
+    },
+    /// A directory was removed.
+    Rmdir,
+    /// An object was renamed (possibly across directories).
+    Rename,
+    /// File contents were written/extended.
+    Write,
+    /// File contents were truncated.
+    Truncate,
+    /// Ownership/permissions changed.
+    SetAttr,
+    /// Extended attributes changed.
+    SetXattr,
+}
+
+impl fmt::Display for FsOpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FsOpKind::Create => "create",
+            FsOpKind::Mkdir => "mkdir",
+            FsOpKind::Symlink => "symlink",
+            FsOpKind::HardLink => "hardlink",
+            FsOpKind::Unlink { .. } => "unlink",
+            FsOpKind::Rmdir => "rmdir",
+            FsOpKind::Rename => "rename",
+            FsOpKind::Write => "write",
+            FsOpKind::Truncate => "truncate",
+            FsOpKind::SetAttr => "setattr",
+            FsOpKind::SetXattr => "setxattr",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A record of one namespace mutation, delivered to [`Observer`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FsOp {
+    /// What happened.
+    pub kind: FsOpKind,
+    /// When it happened.
+    pub time: SimTime,
+    /// The affected object.
+    pub inode: InodeId,
+    /// The object's parent directory after the operation (source parent
+    /// for unlink/rmdir).
+    pub parent: InodeId,
+    /// The object's name after the operation.
+    pub name: String,
+    /// Absolute path of the object after the operation.
+    pub path: PathBuf,
+    /// For renames: the previous parent directory.
+    pub src_parent: Option<InodeId>,
+    /// For renames: the previous absolute path.
+    pub src_path: Option<PathBuf>,
+    /// True when the object is a directory.
+    pub is_dir: bool,
+}
+
+/// A sink for filesystem operations.
+///
+/// Implementations must not call back into the originating
+/// [`SimFs`](crate::SimFs) (the filesystem is mutably borrowed while
+/// notifying).
+pub trait Observer {
+    /// Called after each successful namespace mutation.
+    fn on_op(&mut self, op: &FsOp);
+}
+
+impl<F: FnMut(&FsOp)> Observer for F {
+    fn on_op(&mut self, op: &FsOp) {
+        self(op)
+    }
+}
+
+/// Handle identifying a registered observer, used to detach it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ObserverId(pub(crate) u64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_kind_display() {
+        assert_eq!(FsOpKind::Create.to_string(), "create");
+        assert_eq!(FsOpKind::Unlink { last_link: true }.to_string(), "unlink");
+    }
+
+    #[test]
+    fn closures_are_observers() {
+        let mut count = 0;
+        {
+            let mut obs = |_op: &FsOp| count += 1;
+            let op = FsOp {
+                kind: FsOpKind::Create,
+                time: SimTime::EPOCH,
+                inode: InodeId(2),
+                parent: InodeId(1),
+                name: "x".into(),
+                path: PathBuf::from("/x"),
+                src_parent: None,
+                src_path: None,
+                is_dir: false,
+            };
+            obs.on_op(&op);
+            obs.on_op(&op);
+        }
+        assert_eq!(count, 2);
+    }
+}

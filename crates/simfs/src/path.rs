@@ -1,0 +1,116 @@
+//! Absolute-path helpers.
+//!
+//! `SimFs` works exclusively with normalized absolute paths ("/a/b/c").
+//! These helpers normalize user input and split paths into (parent, name)
+//! pairs without touching the real filesystem.
+
+use crate::FsError;
+use std::path::{Component, Path, PathBuf};
+
+/// Normalizes `path` to an absolute path with no `.`/`..` components.
+///
+/// `..` at the root stays at the root, as in POSIX.
+///
+/// # Errors
+///
+/// Returns [`FsError::InvalidPath`] for relative paths or paths with
+/// non-UTF8-representable prefixes (Windows prefixes).
+///
+/// # Example
+///
+/// ```
+/// use simfs::normalize_path;
+/// use std::path::PathBuf;
+///
+/// assert_eq!(normalize_path("/a/./b/../c")?, PathBuf::from("/a/c"));
+/// assert_eq!(normalize_path("/../x")?, PathBuf::from("/x"));
+/// assert!(normalize_path("relative/path").is_err());
+/// # Ok::<(), simfs::FsError>(())
+/// ```
+pub fn normalize_path(path: impl AsRef<Path>) -> Result<PathBuf, FsError> {
+    let path = path.as_ref();
+    let mut components = path.components();
+    match components.next() {
+        Some(Component::RootDir) => {}
+        _ => return Err(FsError::InvalidPath(path.to_path_buf())),
+    }
+    let mut out = PathBuf::from("/");
+    for comp in components {
+        match comp {
+            Component::Normal(name) => out.push(name),
+            Component::CurDir => {}
+            Component::ParentDir => {
+                out.pop();
+            }
+            Component::RootDir | Component::Prefix(_) => {
+                return Err(FsError::InvalidPath(path.to_path_buf()))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Splits a normalized absolute path into its parent directory and final
+/// name component.
+///
+/// # Errors
+///
+/// Returns [`FsError::InvalidPath`] for the root itself (it has no parent
+/// entry) and for non-absolute input.
+pub fn parent_and_name(path: impl AsRef<Path>) -> Result<(PathBuf, String), FsError> {
+    let norm = normalize_path(path.as_ref())?;
+    let name = norm
+        .file_name()
+        .ok_or_else(|| FsError::InvalidPath(norm.clone()))?
+        .to_string_lossy()
+        .into_owned();
+    let parent = norm.parent().unwrap_or(Path::new("/")).to_path_buf();
+    Ok((parent, name))
+}
+
+/// Joins a directory path and an entry name.
+pub fn join_path(dir: &Path, name: &str) -> PathBuf {
+    let mut p = dir.to_path_buf();
+    p.push(name);
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_removes_dots() {
+        assert_eq!(normalize_path("/a/b/./c").unwrap(), PathBuf::from("/a/b/c"));
+        assert_eq!(normalize_path("/a/b/../c").unwrap(), PathBuf::from("/a/c"));
+        assert_eq!(normalize_path("/").unwrap(), PathBuf::from("/"));
+        assert_eq!(normalize_path("/..").unwrap(), PathBuf::from("/"));
+    }
+
+    #[test]
+    fn normalize_rejects_relative() {
+        assert!(matches!(normalize_path("a/b"), Err(FsError::InvalidPath(_))));
+        assert!(matches!(normalize_path(""), Err(FsError::InvalidPath(_))));
+    }
+
+    #[test]
+    fn parent_and_name_splits() {
+        let (p, n) = parent_and_name("/a/b/c.txt").unwrap();
+        assert_eq!(p, PathBuf::from("/a/b"));
+        assert_eq!(n, "c.txt");
+        let (p, n) = parent_and_name("/top").unwrap();
+        assert_eq!(p, PathBuf::from("/"));
+        assert_eq!(n, "top");
+    }
+
+    #[test]
+    fn parent_and_name_rejects_root() {
+        assert!(parent_and_name("/").is_err());
+    }
+
+    #[test]
+    fn join_appends() {
+        assert_eq!(join_path(Path::new("/a"), "b"), PathBuf::from("/a/b"));
+        assert_eq!(join_path(Path::new("/"), "b"), PathBuf::from("/b"));
+    }
+}

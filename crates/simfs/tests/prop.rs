@@ -1,0 +1,130 @@
+//! Property-based tests: random operation sequences preserve namespace
+//! invariants.
+
+use proptest::prelude::*;
+use sdci_types::SimTime;
+use simfs::{FileType, SimFs};
+use std::collections::BTreeSet;
+
+/// A random filesystem operation over a small name universe, so that
+/// sequences frequently collide on paths and exercise the error paths.
+#[derive(Debug, Clone)]
+enum Op {
+    Create(String),
+    Mkdir(String),
+    Unlink(String),
+    Rmdir(String),
+    Rename(String, String),
+    Write(String, u64),
+}
+
+fn path_strategy() -> impl Strategy<Value = String> {
+    // Depth <= 3 paths over 4 names: plenty of collisions.
+    prop::collection::vec(prop::sample::select(vec!["a", "b", "c", "d"]), 1..=3)
+        .prop_map(|parts| format!("/{}", parts.join("/")))
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        path_strategy().prop_map(Op::Create),
+        path_strategy().prop_map(Op::Mkdir),
+        path_strategy().prop_map(Op::Unlink),
+        path_strategy().prop_map(Op::Rmdir),
+        (path_strategy(), path_strategy()).prop_map(|(a, b)| Op::Rename(a, b)),
+        (path_strategy(), 0u64..4096).prop_map(|(p, n)| Op::Write(p, n)),
+    ]
+}
+
+fn apply(fs: &mut SimFs, op: &Op, t: SimTime) {
+    // Errors are expected (colliding names, missing parents); the
+    // invariants must hold regardless.
+    match op {
+        Op::Create(p) => drop(fs.create(p, t)),
+        Op::Mkdir(p) => drop(fs.mkdir(p, t)),
+        Op::Unlink(p) => drop(fs.unlink(p, t)),
+        Op::Rmdir(p) => drop(fs.rmdir(p, t)),
+        Op::Rename(a, b) => drop(fs.rename(a, b, t)),
+        Op::Write(p, n) => drop(fs.write(p, *n, t)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// After any op sequence, walk() agrees with the file/dir counters.
+    #[test]
+    fn counters_match_walk(ops in prop::collection::vec(op_strategy(), 0..60)) {
+        let mut fs = SimFs::new();
+        for (i, op) in ops.iter().enumerate() {
+            apply(&mut fs, op, SimTime::from_secs(i as u64));
+        }
+        let walked = fs.walk();
+        let dirs = walked.iter().filter(|(_, s)| s.file_type == FileType::Directory).count() as u64;
+        let files = walked.iter().filter(|(_, s)| s.file_type != FileType::Directory).count() as u64;
+        prop_assert_eq!(fs.dir_count(), dirs + 1, "root is counted");
+        prop_assert_eq!(fs.file_count(), files);
+    }
+
+    /// Every path reported by walk() can be looked up, and path_of()
+    /// round-trips it (no hard links are created in this model).
+    #[test]
+    fn walk_paths_roundtrip(ops in prop::collection::vec(op_strategy(), 0..60)) {
+        let mut fs = SimFs::new();
+        for (i, op) in ops.iter().enumerate() {
+            apply(&mut fs, op, SimTime::from_secs(i as u64));
+        }
+        for (path, stat) in fs.walk() {
+            let id = fs.lookup(&path).expect("walked path must resolve");
+            prop_assert_eq!(id, stat.inode);
+            prop_assert_eq!(fs.path_of(id), path);
+        }
+    }
+
+    /// walk() yields no duplicate paths.
+    #[test]
+    fn walk_paths_unique(ops in prop::collection::vec(op_strategy(), 0..60)) {
+        let mut fs = SimFs::new();
+        for (i, op) in ops.iter().enumerate() {
+            apply(&mut fs, op, SimTime::from_secs(i as u64));
+        }
+        let paths: Vec<_> = fs.walk().into_iter().map(|(p, _)| p).collect();
+        let set: BTreeSet<_> = paths.iter().cloned().collect();
+        prop_assert_eq!(set.len(), paths.len());
+    }
+
+    /// Observer op stream mirrors the effective mutation count: replaying
+    /// the ops that report success must equal observer notifications.
+    #[test]
+    fn observer_fires_once_per_successful_mutation(
+        ops in prop::collection::vec(op_strategy(), 0..60)
+    ) {
+        use std::sync::{Arc, Mutex};
+        let notified = Arc::new(Mutex::new(0u64));
+        let sink = Arc::clone(&notified);
+        let mut fs = SimFs::new();
+        fs.add_observer(move |_: &simfs::FsOp| *sink.lock().unwrap() += 1);
+        let mut expected = 0u64;
+        for (i, op) in ops.iter().enumerate() {
+            let t = SimTime::from_secs(i as u64);
+            let before = *notified.lock().unwrap();
+            let ok = match op {
+                Op::Create(p) => fs.create(p, t).is_ok(),
+                Op::Mkdir(p) => fs.mkdir(p, t).is_ok(),
+                Op::Unlink(p) => fs.unlink(p, t).is_ok(),
+                Op::Rmdir(p) => fs.rmdir(p, t).is_ok(),
+                // A rename to an existing file emits unlink + rename; a
+                // same-path rename emits nothing. Count actual emissions.
+                Op::Rename(a, b) => {
+                    let _ = fs.rename(a, b, t);
+                    expected += *notified.lock().unwrap() - before;
+                    continue;
+                }
+                Op::Write(p, n) => fs.write(p, *n, t).is_ok(),
+            };
+            if ok {
+                expected += 1;
+            }
+        }
+        prop_assert_eq!(*notified.lock().unwrap(), expected);
+    }
+}

@@ -1,0 +1,418 @@
+//! ChangeLog records and processed file events.
+//!
+//! The monitor pipeline transforms [`RawChangelogRecord`]s (FID-based rows
+//! extracted from an MDT ChangeLog, §4 step 1) into [`FileEvent`]s
+//! (path-resolved, consumer-friendly events, §4 step 2) which the
+//! Aggregator stores and publishes (§4 step 3).
+
+use crate::{Fid, MdtIndex, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The Lustre ChangeLog record type.
+///
+/// Codes and mnemonics match Lustre's `changelog_rec_type` as they appear
+/// in `lfs changelog` output and in Table 1 of the paper (`01CREAT`,
+/// `02MKDIR`, `06UNLNK`, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // variants are the Lustre mnemonics, documented as a group
+pub enum ChangelogKind {
+    Mark,
+    Create,
+    Mkdir,
+    HardLink,
+    SoftLink,
+    Mknod,
+    Unlink,
+    Rmdir,
+    Rename,
+    RenameTarget,
+    Open,
+    Close,
+    Layout,
+    Truncate,
+    SetAttr,
+    SetXattr,
+    Hsm,
+    MtimeChange,
+    CtimeChange,
+    AtimeChange,
+    Migrate,
+}
+
+impl ChangelogKind {
+    /// All record kinds, in Lustre code order.
+    pub const ALL: [ChangelogKind; 21] = [
+        ChangelogKind::Mark,
+        ChangelogKind::Create,
+        ChangelogKind::Mkdir,
+        ChangelogKind::HardLink,
+        ChangelogKind::SoftLink,
+        ChangelogKind::Mknod,
+        ChangelogKind::Unlink,
+        ChangelogKind::Rmdir,
+        ChangelogKind::Rename,
+        ChangelogKind::RenameTarget,
+        ChangelogKind::Open,
+        ChangelogKind::Close,
+        ChangelogKind::Layout,
+        ChangelogKind::Truncate,
+        ChangelogKind::SetAttr,
+        ChangelogKind::SetXattr,
+        ChangelogKind::Hsm,
+        ChangelogKind::MtimeChange,
+        ChangelogKind::CtimeChange,
+        ChangelogKind::AtimeChange,
+        ChangelogKind::Migrate,
+    ];
+
+    /// The numeric Lustre record-type code (`Create` = 1, `Unlink` = 6...).
+    pub const fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// The five-character Lustre mnemonic (`CREAT`, `UNLNK`, ...).
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            ChangelogKind::Mark => "MARK",
+            ChangelogKind::Create => "CREAT",
+            ChangelogKind::Mkdir => "MKDIR",
+            ChangelogKind::HardLink => "HLINK",
+            ChangelogKind::SoftLink => "SLINK",
+            ChangelogKind::Mknod => "MKNOD",
+            ChangelogKind::Unlink => "UNLNK",
+            ChangelogKind::Rmdir => "RMDIR",
+            ChangelogKind::Rename => "RENME",
+            ChangelogKind::RenameTarget => "RNMTO",
+            ChangelogKind::Open => "OPEN",
+            ChangelogKind::Close => "CLOSE",
+            ChangelogKind::Layout => "LYOUT",
+            ChangelogKind::Truncate => "TRUNC",
+            ChangelogKind::SetAttr => "SATTR",
+            ChangelogKind::SetXattr => "XATTR",
+            ChangelogKind::Hsm => "HSM",
+            ChangelogKind::MtimeChange => "MTIME",
+            ChangelogKind::CtimeChange => "CTIME",
+            ChangelogKind::AtimeChange => "ATIME",
+            ChangelogKind::Migrate => "MIGRT",
+        }
+    }
+
+    /// The `lfs changelog` type column: zero-padded code + mnemonic,
+    /// e.g. `01CREAT`.
+    pub fn type_column(self) -> String {
+        format!("{:02}{}", self.code(), self.mnemonic())
+    }
+
+    /// Looks a kind up by its numeric code.
+    pub fn from_code(code: u8) -> Option<ChangelogKind> {
+        Self::ALL.get(code as usize).copied()
+    }
+
+    /// The high-level classification Ripple rules match against.
+    pub const fn event_kind(self) -> EventKind {
+        match self {
+            ChangelogKind::Create
+            | ChangelogKind::Mkdir
+            | ChangelogKind::HardLink
+            | ChangelogKind::SoftLink
+            | ChangelogKind::Mknod => EventKind::Created,
+            ChangelogKind::Unlink | ChangelogKind::Rmdir => EventKind::Deleted,
+            ChangelogKind::Rename | ChangelogKind::RenameTarget => EventKind::Moved,
+            ChangelogKind::Close
+            | ChangelogKind::Layout
+            | ChangelogKind::Truncate
+            | ChangelogKind::MtimeChange
+            | ChangelogKind::Migrate => EventKind::Modified,
+            ChangelogKind::SetAttr
+            | ChangelogKind::SetXattr
+            | ChangelogKind::Hsm
+            | ChangelogKind::CtimeChange
+            | ChangelogKind::AtimeChange => EventKind::AttribChanged,
+            ChangelogKind::Mark | ChangelogKind::Open => EventKind::Other,
+        }
+    }
+
+    /// True for record kinds affecting directories.
+    pub const fn is_directory_op(self) -> bool {
+        matches!(self, ChangelogKind::Mkdir | ChangelogKind::Rmdir)
+    }
+}
+
+impl fmt::Display for ChangelogKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// High-level file-event classification.
+///
+/// This is the vocabulary of Ripple triggers and of inotify-style
+/// monitors (Watchdog reports created/modified/moved/deleted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A file, directory, or link came into existence.
+    Created,
+    /// File contents changed (writes observed via close/truncate/mtime).
+    Modified,
+    /// The object was renamed or moved.
+    Moved,
+    /// The object was removed.
+    Deleted,
+    /// Ownership, permissions, or extended attributes changed.
+    AttribChanged,
+    /// Anything else (opens, internal marks).
+    Other,
+}
+
+impl EventKind {
+    /// All high-level kinds.
+    pub const ALL: [EventKind; 6] = [
+        EventKind::Created,
+        EventKind::Modified,
+        EventKind::Moved,
+        EventKind::Deleted,
+        EventKind::AttribChanged,
+        EventKind::Other,
+    ];
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EventKind::Created => "created",
+            EventKind::Modified => "modified",
+            EventKind::Moved => "moved",
+            EventKind::Deleted => "deleted",
+            EventKind::AttribChanged => "attrib",
+            EventKind::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One row of an MDT ChangeLog, exactly as Table 1 presents it: record
+/// number, type, timestamp/datestamp (both derived from [`SimTime`]),
+/// flags, target FID, parent FID, and target name.
+///
+/// FIDs are "not useful to external services" (§4) — the monitor's
+/// processing stage resolves them into a [`FileEvent`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RawChangelogRecord {
+    /// Record number: monotonically increasing per MDT ChangeLog.
+    pub index: u64,
+    /// Record type.
+    pub kind: ChangelogKind,
+    /// Event time (virtual).
+    pub time: SimTime,
+    /// Lustre record flags (e.g. `0x1` on the final unlink of a file).
+    pub flags: u32,
+    /// FID of the object the event applies to.
+    pub target: Fid,
+    /// FID of the parent directory.
+    pub parent: Fid,
+    /// Name of the target within the parent directory.
+    pub name: String,
+}
+
+impl RawChangelogRecord {
+    /// Renders the record as an `lfs changelog` text line, the format of
+    /// Table 1:
+    ///
+    /// ```text
+    /// 13106 01CREAT 20:15:37.1138 2017.09.06 0x0 t=[0x200000402:0xa046:0x0] p=[0x200000007:0x1:0x0] data1.txt
+    /// ```
+    pub fn to_lfs_line(&self) -> String {
+        format!(
+            "{} {} {} {} {:#x} t={} p={} {}",
+            self.index,
+            self.kind.type_column(),
+            self.time.timestamp_string(),
+            self.time.datestamp_string(),
+            self.flags,
+            self.target,
+            self.parent,
+            self.name
+        )
+    }
+
+    /// Approximate in-memory/wire footprint in bytes, used by the
+    /// resource-accounting model (Table 3).
+    pub fn footprint_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.name.len()
+    }
+}
+
+impl fmt::Display for RawChangelogRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_lfs_line())
+    }
+}
+
+/// A processed, path-resolved file event — what the Aggregator stores and
+/// publishes to consumers such as Ripple agents.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileEvent {
+    /// ChangeLog record number on the originating MDT.
+    pub index: u64,
+    /// Which MDT the event was recorded on.
+    pub mdt: MdtIndex,
+    /// Low-level record type.
+    pub changelog_kind: ChangelogKind,
+    /// High-level classification (derived from `changelog_kind`).
+    pub kind: EventKind,
+    /// Event time (virtual).
+    pub time: SimTime,
+    /// Absolute path of the affected object.
+    pub path: PathBuf,
+    /// For renames: the absolute source path.
+    pub src_path: Option<PathBuf>,
+    /// Target FID (kept for consumers that need stable identity).
+    pub target: Fid,
+    /// True when the event applies to a directory.
+    pub is_dir: bool,
+}
+
+impl FileEvent {
+    /// Builds the processed event for `record`, given the resolved
+    /// absolute path of its target.
+    pub fn from_record(record: &RawChangelogRecord, mdt: MdtIndex, path: PathBuf) -> FileEvent {
+        FileEvent {
+            index: record.index,
+            mdt,
+            changelog_kind: record.kind,
+            kind: record.kind.event_kind(),
+            time: record.time,
+            path,
+            src_path: None,
+            target: record.target,
+            is_dir: record.kind.is_directory_op(),
+        }
+    }
+
+    /// The absolute path of the affected object.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Approximate in-memory/wire footprint in bytes, used by the
+    /// resource-accounting model (Table 3).
+    pub fn footprint_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.path.as_os_str().len()
+            + self.src_path.as_ref().map_or(0, |p| p.as_os_str().len())
+    }
+}
+
+impl fmt::Display for FileEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} mdt{} #{} {}",
+            self.time,
+            self.kind,
+            self.mdt.as_u32(),
+            self.index,
+            self.path.display()
+        )?;
+        if let Some(src) = &self.src_path {
+            write!(f, " (from {})", src.display())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimDuration;
+
+    fn sample_record() -> RawChangelogRecord {
+        RawChangelogRecord {
+            index: 13106,
+            kind: ChangelogKind::Create,
+            time: SimTime::EPOCH
+                + SimDuration::from_secs(20 * 3600 + 15 * 60 + 37)
+                + SimDuration::from_millis(113) + SimDuration::from_micros(800),
+            flags: 0x0,
+            target: Fid::new(0x200000402, 0xa046, 0),
+            parent: Fid::ROOT,
+            name: "data1.txt".into(),
+        }
+    }
+
+    #[test]
+    fn type_column_matches_table1() {
+        assert_eq!(ChangelogKind::Create.type_column(), "01CREAT");
+        assert_eq!(ChangelogKind::Mkdir.type_column(), "02MKDIR");
+        assert_eq!(ChangelogKind::Unlink.type_column(), "06UNLNK");
+    }
+
+    #[test]
+    fn codes_are_lustre_codes() {
+        assert_eq!(ChangelogKind::Mark.code(), 0);
+        assert_eq!(ChangelogKind::Create.code(), 1);
+        assert_eq!(ChangelogKind::Unlink.code(), 6);
+        assert_eq!(ChangelogKind::Rename.code(), 8);
+        assert_eq!(ChangelogKind::SetAttr.code(), 14);
+        assert_eq!(ChangelogKind::Migrate.code(), 20);
+    }
+
+    #[test]
+    fn from_code_roundtrips() {
+        for kind in ChangelogKind::ALL {
+            assert_eq!(ChangelogKind::from_code(kind.code()), Some(kind));
+        }
+        assert_eq!(ChangelogKind::from_code(21), None);
+    }
+
+    #[test]
+    fn lfs_line_matches_table1_row() {
+        assert_eq!(
+            sample_record().to_lfs_line(),
+            "13106 01CREAT 20:15:37.1138 2017.09.06 0x0 \
+             t=[0x200000402:0xa046:0x0] p=[0x200000007:0x1:0x0] data1.txt"
+        );
+    }
+
+    #[test]
+    fn event_kind_classification() {
+        assert_eq!(ChangelogKind::Create.event_kind(), EventKind::Created);
+        assert_eq!(ChangelogKind::Mkdir.event_kind(), EventKind::Created);
+        assert_eq!(ChangelogKind::Unlink.event_kind(), EventKind::Deleted);
+        assert_eq!(ChangelogKind::Rmdir.event_kind(), EventKind::Deleted);
+        assert_eq!(ChangelogKind::Rename.event_kind(), EventKind::Moved);
+        assert_eq!(ChangelogKind::Close.event_kind(), EventKind::Modified);
+        assert_eq!(ChangelogKind::SetAttr.event_kind(), EventKind::AttribChanged);
+    }
+
+    #[test]
+    fn file_event_from_record() {
+        let rec = sample_record();
+        let ev = FileEvent::from_record(&rec, MdtIndex::new(0), PathBuf::from("/data1.txt"));
+        assert_eq!(ev.kind, EventKind::Created);
+        assert_eq!(ev.index, rec.index);
+        assert_eq!(ev.path(), Path::new("/data1.txt"));
+        assert!(!ev.is_dir);
+        assert!(ev.to_string().contains("/data1.txt"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let rec = sample_record();
+        let json = serde_json::to_string(&rec).unwrap();
+        assert_eq!(serde_json::from_str::<RawChangelogRecord>(&json).unwrap(), rec);
+        let ev = FileEvent::from_record(&rec, MdtIndex::new(2), PathBuf::from("/a/b"));
+        let json = serde_json::to_string(&ev).unwrap();
+        assert_eq!(serde_json::from_str::<FileEvent>(&json).unwrap(), ev);
+    }
+
+    #[test]
+    fn footprints_are_positive_and_grow_with_names() {
+        let mut rec = sample_record();
+        let small = rec.footprint_bytes();
+        rec.name = "x".repeat(100);
+        assert!(rec.footprint_bytes() > small);
+    }
+}

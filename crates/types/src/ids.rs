@@ -1,0 +1,183 @@
+//! Newtype identifiers for the components of the system.
+//!
+//! Using distinct types for MDT indices, collector ids, rule ids, and so on
+//! prevents the classic "which u32 was this again?" class of bug when the
+//! monitor cluster wires many components together.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! index_newtype {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Wraps a raw index.
+            pub const fn new(index: u32) -> Self {
+                $name(index)
+            }
+
+            /// The raw index.
+            pub const fn as_u32(self) -> u32 {
+                self.0
+            }
+
+            /// The raw index as a usize (for direct slice indexing).
+            pub const fn as_usize(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+
+        impl From<$name> for u32 {
+            fn from(v: $name) -> u32 {
+                v.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+index_newtype! {
+    /// Index of a MetaData Target (one per metadata server in the
+    /// simulated Lustre deployment). Displays as Lustre does: `MDT0003`
+    /// is `MdtIndex::new(3)`.
+    MdtIndex, "MDT"
+}
+
+index_newtype! {
+    /// Index of an Object Storage Target.
+    OstIndex, "OST"
+}
+
+index_newtype! {
+    /// Identifier of a Collector service (the paper deploys exactly one
+    /// per MDS).
+    CollectorId, "collector-"
+}
+
+index_newtype! {
+    /// Identifier of a consumer subscribed to the Aggregator (e.g. a
+    /// Ripple agent).
+    ConsumerId, "consumer-"
+}
+
+index_newtype! {
+    /// Identifier of a pub-sub subscription inside the message fabric.
+    SubscriptionId, "sub-"
+}
+
+/// Identifier of a Ripple agent deployed on a storage resource.
+///
+/// Agents are user-visible and user-named ("laptop", "alcf-lustre"), so
+/// unlike the numeric component ids this is a string newtype.
+#[derive(Debug, Default, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AgentId(String);
+
+impl AgentId {
+    /// Wraps an agent name.
+    pub fn new(name: impl Into<String>) -> Self {
+        AgentId(name.into())
+    }
+
+    /// The agent name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for AgentId {
+    fn from(s: &str) -> Self {
+        AgentId(s.to_owned())
+    }
+}
+
+impl From<String> for AgentId {
+    fn from(s: String) -> Self {
+        AgentId(s)
+    }
+}
+
+impl fmt::Display for AgentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Identifier of a Ripple rule registered with the cloud service.
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct RuleId(u64);
+
+impl RuleId {
+    /// Wraps a raw rule id.
+    pub const fn new(id: u64) -> Self {
+        RuleId(id)
+    }
+
+    /// The raw id.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rule-{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(MdtIndex::new(3).to_string(), "MDT3");
+        assert_eq!(OstIndex::new(0).to_string(), "OST0");
+        assert_eq!(CollectorId::new(2).to_string(), "collector-2");
+        assert_eq!(RuleId::new(7).to_string(), "rule-7");
+        assert_eq!(AgentId::new("laptop").to_string(), "laptop");
+    }
+
+    #[test]
+    fn conversions() {
+        let m: MdtIndex = 5u32.into();
+        assert_eq!(m.as_u32(), 5);
+        assert_eq!(m.as_usize(), 5);
+        assert_eq!(u32::from(m), 5);
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(MdtIndex::new(1));
+        set.insert(MdtIndex::new(1));
+        set.insert(MdtIndex::new(2));
+        assert_eq!(set.len(), 2);
+        assert!(MdtIndex::new(1) < MdtIndex::new(2));
+    }
+
+    #[test]
+    fn agent_id_from_string_types() {
+        assert_eq!(AgentId::from("a"), AgentId::new("a"));
+        assert_eq!(AgentId::from(String::from("a")).as_str(), "a");
+    }
+}

@@ -1,0 +1,260 @@
+//! Rates and sizes.
+//!
+//! The paper's headline measurements are event rates (Table 2, §5.2) and
+//! memory footprints (Table 3, §3's inotify analysis). [`EventsPerSec`]
+//! and [`ByteSize`] keep those quantities typed and render them the way
+//! the paper reports them.
+
+use crate::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+/// A rate in events per second.
+///
+/// # Example
+///
+/// ```
+/// use sdci_types::{EventsPerSec, SimDuration};
+///
+/// let rate = EventsPerSec::from_count(9593, SimDuration::from_secs(1));
+/// assert_eq!(rate.per_sec().round() as u64, 9593);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct EventsPerSec(f64);
+
+impl EventsPerSec {
+    /// The zero rate.
+    pub const ZERO: EventsPerSec = EventsPerSec(0.0);
+
+    /// Wraps a raw events-per-second value (negative values clamp to 0).
+    pub fn new(per_sec: f64) -> Self {
+        EventsPerSec(per_sec.max(0.0))
+    }
+
+    /// The rate implied by observing `count` events over `elapsed`.
+    ///
+    /// A zero elapsed time yields the zero rate rather than infinity, so
+    /// degenerate measurements stay finite.
+    pub fn from_count(count: u64, elapsed: SimDuration) -> Self {
+        if elapsed.is_zero() {
+            EventsPerSec::ZERO
+        } else {
+            EventsPerSec(count as f64 / elapsed.as_secs_f64())
+        }
+    }
+
+    /// Events per second.
+    pub fn per_sec(self) -> f64 {
+        self.0
+    }
+
+    /// The percentage by which this rate falls short of `other`
+    /// (the paper: Iota reporting is "14.91% lower than the maximum event
+    /// generation rate"). Returns 0 when `other` is zero.
+    pub fn percent_below(self, other: EventsPerSec) -> f64 {
+        if other.0 <= 0.0 {
+            0.0
+        } else {
+            ((other.0 - self.0) / other.0 * 100.0).max(0.0)
+        }
+    }
+
+    /// Scales the rate by a factor (e.g. the paper's ×25 Aurora
+    /// extrapolation).
+    pub fn scale(self, factor: f64) -> EventsPerSec {
+        EventsPerSec::new(self.0 * factor)
+    }
+}
+
+impl Add for EventsPerSec {
+    type Output = EventsPerSec;
+    fn add(self, rhs: EventsPerSec) -> EventsPerSec {
+        EventsPerSec(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for EventsPerSec {
+    fn add_assign(&mut self, rhs: EventsPerSec) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sum for EventsPerSec {
+    fn sum<I: Iterator<Item = EventsPerSec>>(iter: I) -> EventsPerSec {
+        iter.fold(EventsPerSec::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for EventsPerSec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.0} events/s", self.0)
+    }
+}
+
+/// A size in bytes, rendered with binary prefixes.
+///
+/// # Example
+///
+/// ```
+/// use sdci_types::ByteSize;
+///
+/// assert_eq!(ByteSize::from_mib(512).to_string(), "512.0 MiB");
+/// assert_eq!(ByteSize::from_kib(1).as_bytes(), 1024);
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ByteSize(u64);
+
+impl ByteSize {
+    /// Zero bytes.
+    pub const ZERO: ByteSize = ByteSize(0);
+
+    /// From raw bytes.
+    pub const fn from_bytes(bytes: u64) -> Self {
+        ByteSize(bytes)
+    }
+
+    /// From KiB.
+    pub const fn from_kib(kib: u64) -> Self {
+        ByteSize(kib * 1024)
+    }
+
+    /// From MiB.
+    pub const fn from_mib(mib: u64) -> Self {
+        ByteSize(mib * 1024 * 1024)
+    }
+
+    /// From GiB.
+    pub const fn from_gib(gib: u64) -> Self {
+        ByteSize(gib * 1024 * 1024 * 1024)
+    }
+
+    /// From TiB.
+    pub const fn from_tib(tib: u64) -> Self {
+        ByteSize(tib * 1024 * 1024 * 1024 * 1024)
+    }
+
+    /// From PiB.
+    pub const fn from_pib(pib: u64) -> Self {
+        ByteSize(pib * 1024 * 1024 * 1024 * 1024 * 1024)
+    }
+
+    /// Raw bytes.
+    pub const fn as_bytes(self) -> u64 {
+        self.0
+    }
+
+    /// Size in MiB as a float (Table 3 reports memory in MB).
+    pub fn as_mib_f64(self) -> f64 {
+        self.0 as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Saturating addition.
+    pub const fn saturating_add(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0.saturating_add(rhs.0))
+    }
+
+    /// Multiplies by a count, saturating.
+    pub const fn saturating_mul(self, count: u64) -> ByteSize {
+        ByteSize(self.0.saturating_mul(count))
+    }
+}
+
+impl Add for ByteSize {
+    type Output = ByteSize;
+    fn add(self, rhs: ByteSize) -> ByteSize {
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign for ByteSize {
+    fn add_assign(&mut self, rhs: ByteSize) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sum for ByteSize {
+    fn sum<I: Iterator<Item = ByteSize>>(iter: I) -> ByteSize {
+        iter.fold(ByteSize::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const UNITS: [(&str, u64); 5] = [
+            ("PiB", 1 << 50),
+            ("TiB", 1 << 40),
+            ("GiB", 1 << 30),
+            ("MiB", 1 << 20),
+            ("KiB", 1 << 10),
+        ];
+        for (unit, scale) in UNITS {
+            if self.0 >= scale {
+                return write!(f, "{:.1} {unit}", self.0 as f64 / scale as f64);
+            }
+        }
+        write!(f, "{} B", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_from_count() {
+        let r = EventsPerSec::from_count(1366, SimDuration::from_secs(1));
+        assert!((r.per_sec() - 1366.0).abs() < 1e-9);
+        let r = EventsPerSec::from_count(100, SimDuration::from_millis(500));
+        assert!((r.per_sec() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_zero_elapsed_is_zero() {
+        assert_eq!(EventsPerSec::from_count(100, SimDuration::ZERO), EventsPerSec::ZERO);
+    }
+
+    #[test]
+    fn percent_below_matches_paper_math() {
+        // Iota: 8162 reported vs 9593 generated => 14.91% lower.
+        let gap = EventsPerSec::new(8162.0).percent_below(EventsPerSec::new(9593.0));
+        assert!((gap - 14.91).abs() < 0.02, "gap was {gap}");
+        assert_eq!(EventsPerSec::new(5.0).percent_below(EventsPerSec::ZERO), 0.0);
+    }
+
+    #[test]
+    fn rate_sum_and_scale() {
+        let total: EventsPerSec =
+            [352.0, 534.0, 832.0].into_iter().map(EventsPerSec::new).sum();
+        assert!((total.per_sec() - 1718.0).abs() < 1e-9);
+        assert!((EventsPerSec::new(127.13).scale(25.0).per_sec() - 3178.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn byte_size_constructors() {
+        assert_eq!(ByteSize::from_kib(1).as_bytes(), 1024);
+        assert_eq!(ByteSize::from_mib(1).as_bytes(), 1 << 20);
+        assert_eq!(ByteSize::from_gib(1).as_bytes(), 1 << 30);
+        assert_eq!(ByteSize::from_tib(1).as_bytes(), 1 << 40);
+        assert_eq!(ByteSize::from_pib(1).as_bytes(), 1 << 50);
+    }
+
+    #[test]
+    fn byte_size_display() {
+        assert_eq!(ByteSize::from_bytes(100).to_string(), "100 B");
+        assert_eq!(ByteSize::from_kib(2).to_string(), "2.0 KiB");
+        assert_eq!(ByteSize::from_mib(512).to_string(), "512.0 MiB");
+        assert_eq!(ByteSize::from_pib(7).to_string(), "7.0 PiB");
+    }
+
+    #[test]
+    fn inotify_watch_memory_example() {
+        // §3: 1 KiB per watch × 524,288 directories > 512 MiB.
+        let total = ByteSize::from_kib(1).saturating_mul(524_288);
+        assert_eq!(total, ByteSize::from_mib(512));
+        assert!((total.as_mib_f64() - 512.0).abs() < 1e-9);
+    }
+}

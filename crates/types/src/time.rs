@@ -1,0 +1,429 @@
+//! Virtual time.
+//!
+//! The paper's experiments are rate measurements (events per second) on two
+//! hardware testbeds. Our reproduction replaces the testbeds with calibrated
+//! performance profiles driving a discrete-event simulation, so all
+//! timestamps in the system are *virtual*: nanoseconds since the simulation
+//! epoch. [`SimTime`] is an instant, [`SimDuration`] a span. Both are thin
+//! wrappers over `u64` nanoseconds with saturating arithmetic.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+use std::time::Duration;
+
+/// A span of virtual time, in nanoseconds.
+///
+/// # Example
+///
+/// ```
+/// use sdci_types::SimDuration;
+///
+/// let d = SimDuration::from_micros(1_500);
+/// assert_eq!(d.as_nanos(), 1_500_000);
+/// assert_eq!((d * 2).as_millis_f64(), 3.0);
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The longest representable duration.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Creates a duration from whole nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimDuration(nanos)
+    }
+
+    /// Creates a duration from whole microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow (more than ~584,942 years).
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros * 1_000)
+    }
+
+    /// Creates a duration from whole milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * 1_000_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1_000_000_000)
+    }
+
+    /// Creates a duration from fractional seconds, saturating on overflow.
+    ///
+    /// Negative or NaN inputs yield [`SimDuration::ZERO`].
+    pub fn from_secs_f64(secs: f64) -> Self {
+        // NaN and negative inputs both land here.
+        if secs.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return SimDuration::ZERO;
+        }
+        let nanos = secs * 1e9;
+        if nanos >= u64::MAX as f64 {
+            SimDuration::MAX
+        } else {
+            SimDuration(nanos as u64)
+        }
+    }
+
+    /// The duration of one operation at `rate` operations per second.
+    ///
+    /// Zero, negative, or NaN rates yield [`SimDuration::MAX`] (an operation
+    /// that never completes).
+    pub fn per_op(rate: f64) -> Self {
+        // NaN and non-positive rates both mean "never completes".
+        if rate.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            SimDuration::MAX
+        } else {
+            SimDuration::from_secs_f64(1.0 / rate)
+        }
+    }
+
+    /// Total nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Total microseconds, truncating.
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Total milliseconds, truncating.
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Total whole seconds, truncating.
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000_000_000
+    }
+
+    /// Fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// True when the duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating addition.
+    pub const fn saturating_add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction.
+    pub const fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Multiplies by a non-negative float, saturating.
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        SimDuration::from_secs_f64(self.as_secs_f64() * factor)
+    }
+}
+
+impl From<Duration> for SimDuration {
+    fn from(d: Duration) -> Self {
+        SimDuration(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+    }
+}
+
+impl From<SimDuration> for Duration {
+    fn from(d: SimDuration) -> Self {
+        Duration::from_nanos(d.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    /// # Panics
+    ///
+    /// Panics when `rhs` is zero.
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1_000 {
+            write!(f, "{}ns", self.0)
+        } else if self.0 < 1_000_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else if self.0 < 1_000_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        }
+    }
+}
+
+/// An instant of virtual time: nanoseconds since the simulation epoch.
+///
+/// The simulation epoch renders as `2017.09.06 00:00:00.0000` in ChangeLog
+/// text output, matching the datestamps in Table 1 of the paper.
+///
+/// # Example
+///
+/// ```
+/// use sdci_types::{SimDuration, SimTime};
+///
+/// let t = SimTime::EPOCH + SimDuration::from_secs(5);
+/// assert_eq!(t.elapsed_since_epoch().as_secs(), 5);
+/// assert!(t > SimTime::EPOCH);
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch (virtual time zero).
+    pub const EPOCH: SimTime = SimTime(0);
+    /// The end of virtual time.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// An instant `nanos` nanoseconds after the epoch.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// An instant `secs` seconds after the epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000_000_000)
+    }
+
+    /// Nanoseconds since the epoch.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Time elapsed since the epoch.
+    pub const fn elapsed_since_epoch(self) -> SimDuration {
+        SimDuration(self.0)
+    }
+
+    /// Time elapsed since `earlier`, saturating to zero when `earlier` is
+    /// in the future.
+    pub const fn duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Saturating instant + duration.
+    pub const fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+
+    /// Renders the wall-clock time-of-day component, `HH:MM:SS.ffff`,
+    /// with the paper's four fractional digits (hundreds of microseconds).
+    pub fn timestamp_string(self) -> String {
+        let total_secs = self.0 / 1_000_000_000;
+        let sub_100us = (self.0 % 1_000_000_000) / 100_000;
+        let (h, m, s) = (total_secs / 3600 % 24, total_secs / 60 % 60, total_secs % 60);
+        format!("{h:02}:{m:02}:{s:02}.{sub_100us:04}")
+    }
+
+    /// Renders the datestamp component, `YYYY.MM.DD`, counting days from
+    /// the fixed epoch date 2017.09.06 used in Table 1.
+    ///
+    /// Month lengths follow the real calendar from September 2017 onward;
+    /// this is presentation-only and has no effect on event semantics.
+    pub fn datestamp_string(self) -> String {
+        const DAYS_IN_MONTH: [u64; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+        let mut days = self.0 / 1_000_000_000 / 86_400;
+        let (mut year, mut month0, mut day) = (2017u64, 8u64, 6u64); // 2017 Sep 06
+        while days > 0 {
+            let leap = year % 4 == 0 && (year % 100 != 0 || year % 400 == 0);
+            let len = if month0 == 1 && leap { 29 } else { DAYS_IN_MONTH[month0 as usize] };
+            if day < len {
+                day += 1;
+            } else {
+                day = 1;
+                month0 += 1;
+                if month0 == 12 {
+                    month0 = 0;
+                    year += 1;
+                }
+            }
+            days -= 1;
+        }
+        format!("{year}.{:02}.{day:02}", month0 + 1)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.as_nanos()))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.duration_since(rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.timestamp_string(), self.datestamp_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(SimDuration::from_secs(2), SimDuration::from_millis(2_000));
+        assert_eq!(SimDuration::from_millis(3), SimDuration::from_micros(3_000));
+        assert_eq!(SimDuration::from_micros(5), SimDuration::from_nanos(5_000));
+    }
+
+    #[test]
+    fn duration_float_roundtrip() {
+        let d = SimDuration::from_secs_f64(1.25);
+        assert_eq!(d.as_nanos(), 1_250_000_000);
+        assert!((d.as_secs_f64() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duration_from_secs_f64_clamps_bad_input() {
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::INFINITY), SimDuration::MAX);
+    }
+
+    #[test]
+    fn per_op_inverts_rate() {
+        let d = SimDuration::per_op(1000.0);
+        assert_eq!(d.as_micros(), 1_000);
+        assert_eq!(SimDuration::per_op(0.0), SimDuration::MAX);
+        assert_eq!(SimDuration::per_op(-5.0), SimDuration::MAX);
+    }
+
+    #[test]
+    fn saturating_arithmetic() {
+        assert_eq!(SimDuration::MAX + SimDuration::from_secs(1), SimDuration::MAX);
+        assert_eq!(SimDuration::ZERO - SimDuration::from_secs(1), SimDuration::ZERO);
+        assert_eq!(SimTime::MAX + SimDuration::from_secs(1), SimTime::MAX);
+    }
+
+    #[test]
+    fn instant_duration_since_saturates() {
+        let a = SimTime::from_secs(10);
+        let b = SimTime::from_secs(4);
+        assert_eq!(a - b, SimDuration::from_secs(6));
+        assert_eq!(b - a, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn timestamp_renders_paper_format() {
+        // 20:15:37.1138 from Table 1: 20h 15m 37s + 113.8ms.
+        let t = SimTime::from_nanos(((20 * 3600 + 15 * 60 + 37) * 1_000_000_000) + 113_800_000);
+        assert_eq!(t.timestamp_string(), "20:15:37.1138");
+        assert_eq!(t.datestamp_string(), "2017.09.06");
+    }
+
+    #[test]
+    fn datestamp_advances_over_month_boundaries() {
+        // 2017.09.06 + 25 days = 2017.10.01
+        let t = SimTime::from_secs(25 * 86_400);
+        assert_eq!(t.datestamp_string(), "2017.10.01");
+        // + 120 days = 2018.01.04
+        let t = SimTime::from_secs(120 * 86_400);
+        assert_eq!(t.datestamp_string(), "2018.01.04");
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(SimDuration::from_nanos(12).to_string(), "12ns");
+        assert_eq!(SimDuration::from_micros(12).to_string(), "12.000us");
+        assert_eq!(SimDuration::from_millis(12).to_string(), "12.000ms");
+        assert_eq!(SimDuration::from_secs(12).to_string(), "12.000s");
+    }
+
+    #[test]
+    fn std_duration_conversion() {
+        let d: SimDuration = Duration::from_millis(7).into();
+        assert_eq!(d.as_millis(), 7);
+        let back: Duration = d.into();
+        assert_eq!(back, Duration::from_millis(7));
+    }
+}

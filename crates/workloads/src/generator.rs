@@ -1,0 +1,409 @@
+//! The §5 event-generation script.
+//!
+//! "Using a specifically built event generation script, we apply the
+//! monitor under high load to determine maximum throughput and identify
+//! bottlenecks." The script "combines file creation, modification, and
+//! deletion to generate multiple events for each file."
+//!
+//! [`EventGenerator`] drives a live [`LustreFs`] with that mix;
+//! [`measure_table2_rates`] replays the §5.1 characterization (create,
+//! modify, then delete 10,000 files) against a testbed's calibrated
+//! operation costs in virtual time, reproducing Table 2.
+
+use crate::profiles::{MetadataOpCosts, TestbedProfile};
+use lustre_sim::{LustreError, LustreFs};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sdci_types::{EventsPerSec, SimDuration, SimTime};
+use std::fmt;
+use std::sync::Arc;
+
+/// Relative weights of operations in a mixed workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpMix {
+    /// Weight of file creations.
+    pub create: f64,
+    /// Weight of modifications.
+    pub modify: f64,
+    /// Weight of deletions.
+    pub delete: f64,
+    /// Weight of renames (within the generator's directories).
+    pub rename: f64,
+    /// Weight of permission changes.
+    pub setattr: f64,
+    /// Weight of extended-attribute updates.
+    pub xattr: f64,
+}
+
+impl OpMix {
+    /// The paper's mixed generator: each file is created, modified, and
+    /// deleted — equal parts, no metadata-only churn.
+    pub fn paper() -> Self {
+        OpMix { create: 1.0, modify: 1.0, delete: 1.0, rename: 0.0, setattr: 0.0, xattr: 0.0 }
+    }
+
+    /// Creation-heavy ingest (instrument writing data).
+    pub fn ingest() -> Self {
+        OpMix { create: 8.0, modify: 2.0, delete: 1.0, rename: 0.0, setattr: 0.0, xattr: 0.0 }
+    }
+
+    /// Every record kind the monitor handles: creates, writes, deletes,
+    /// renames, permission changes, and xattr updates.
+    pub fn full() -> Self {
+        OpMix { create: 4.0, modify: 3.0, delete: 2.0, rename: 1.0, setattr: 1.0, xattr: 1.0 }
+    }
+
+    fn total(&self) -> f64 {
+        self.create + self.modify + self.delete + self.rename + self.setattr + self.xattr
+    }
+}
+
+/// What a live generator run produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GeneratorReport {
+    /// Files created.
+    pub created: u64,
+    /// Modifications applied.
+    pub modified: u64,
+    /// Files deleted.
+    pub deleted: u64,
+    /// Files renamed.
+    pub renamed: u64,
+    /// Permission or xattr changes applied.
+    pub attr_changed: u64,
+    /// ChangeLog records produced (as counted by the filesystem).
+    pub events: u64,
+}
+
+impl GeneratorReport {
+    /// Total operations performed.
+    pub fn total_ops(&self) -> u64 {
+        self.created + self.modified + self.deleted + self.renamed + self.attr_changed
+    }
+}
+
+/// Drives a live [`LustreFs`] with a mixed metadata workload.
+pub struct EventGenerator {
+    fs: Arc<Mutex<LustreFs>>,
+    dirs: Vec<String>,
+    rng: StdRng,
+    counter: u64,
+    live_files: Vec<String>,
+    mix: OpMix,
+}
+
+impl fmt::Debug for EventGenerator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventGenerator")
+            .field("dirs", &self.dirs.len())
+            .field("live_files", &self.live_files.len())
+            .finish()
+    }
+}
+
+impl EventGenerator {
+    /// Creates a generator working in `dir_count` directories under
+    /// `/gen`, with the given operation mix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn new(
+        fs: Arc<Mutex<LustreFs>>,
+        dir_count: usize,
+        mix: OpMix,
+        seed: u64,
+    ) -> Result<Self, LustreError> {
+        let mut dirs = Vec::new();
+        {
+            let mut guard = fs.lock();
+            for i in 0..dir_count.max(1) {
+                let dir = format!("/gen/d{i}");
+                guard.mkdir_all(&dir, SimTime::EPOCH)?;
+                dirs.push(dir);
+            }
+        }
+        Ok(EventGenerator {
+            fs,
+            dirs,
+            rng: StdRng::seed_from_u64(seed),
+            counter: 0,
+            live_files: Vec::new(),
+            mix,
+        })
+    }
+
+    /// Performs `ops` operations at time stamps supplied by `clock`
+    /// (called once per op). Returns what happened.
+    pub fn run(
+        &mut self,
+        ops: u64,
+        mut clock: impl FnMut() -> SimTime,
+    ) -> Result<GeneratorReport, LustreError> {
+        let before = self.fs.lock().total_events();
+        let mut report = GeneratorReport {
+            created: 0,
+            modified: 0,
+            deleted: 0,
+            renamed: 0,
+            attr_changed: 0,
+            events: 0,
+        };
+        let mix = self.mix;
+        for _ in 0..ops {
+            let now = clock();
+            let draw: f64 = self.rng.gen_range(0.0..mix.total());
+            let mut threshold = mix.create;
+            if draw < threshold || self.live_files.is_empty() {
+                let dir = &self.dirs[self.rng.gen_range(0..self.dirs.len())];
+                let path = format!("{dir}/f{}", self.counter);
+                self.counter += 1;
+                self.fs.lock().create(&path, now)?;
+                self.live_files.push(path);
+                report.created += 1;
+                continue;
+            }
+            threshold += mix.modify;
+            if draw < threshold {
+                let idx = self.rng.gen_range(0..self.live_files.len());
+                let path = self.live_files[idx].clone();
+                self.fs.lock().write(&path, 4096, now)?;
+                report.modified += 1;
+                continue;
+            }
+            threshold += mix.delete;
+            if draw < threshold {
+                let idx = self.rng.gen_range(0..self.live_files.len());
+                let path = self.live_files.swap_remove(idx);
+                self.fs.lock().unlink(&path, now)?;
+                report.deleted += 1;
+                continue;
+            }
+            threshold += mix.rename;
+            if draw < threshold {
+                let idx = self.rng.gen_range(0..self.live_files.len());
+                let from = self.live_files[idx].clone();
+                let dir = &self.dirs[self.rng.gen_range(0..self.dirs.len())];
+                let to = format!("{dir}/r{}", self.counter);
+                self.counter += 1;
+                self.fs.lock().rename(&from, &to, now)?;
+                self.live_files[idx] = to;
+                report.renamed += 1;
+                continue;
+            }
+            threshold += mix.setattr;
+            let idx = self.rng.gen_range(0..self.live_files.len());
+            let path = self.live_files[idx].clone();
+            if draw < threshold {
+                self.fs.lock().set_attr(&path, 0o640, now)?;
+            } else {
+                self.fs.lock().set_xattr(&path, "user.tag", b"gen".to_vec(), now)?;
+            }
+            report.attr_changed += 1;
+        }
+        report.events = self.fs.lock().total_events() - before;
+        Ok(report)
+    }
+}
+
+/// Per-phase outcome of an mdtest-style characterization run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseReport {
+    /// Files created in the create phase.
+    pub created: u64,
+    /// Files modified in the modify phase.
+    pub modified: u64,
+    /// Files deleted in the delete phase.
+    pub deleted: u64,
+    /// ChangeLog records the three phases produced.
+    pub events: u64,
+}
+
+/// Runs the paper's §5.1 characterization script live against a
+/// filesystem: create `files` files, modify each, then delete each (the
+/// mdtest-style phase structure behind Table 2). Timing comes from the
+/// caller-supplied clock; counts come back in the report.
+///
+/// # Errors
+///
+/// Propagates the first filesystem error (e.g. `/phase` already in use).
+pub fn run_phases_live(
+    fs: &Arc<Mutex<LustreFs>>,
+    files: u64,
+    mut clock: impl FnMut() -> SimTime,
+) -> Result<PhaseReport, LustreError> {
+    let before = fs.lock().total_events();
+    fs.lock().mkdir_all("/phase", clock())?;
+    for i in 0..files {
+        let now = clock();
+        fs.lock().create(format!("/phase/f{i}"), now)?;
+    }
+    for i in 0..files {
+        let now = clock();
+        fs.lock().write(format!("/phase/f{i}"), 4096, now)?;
+    }
+    for i in 0..files {
+        let now = clock();
+        fs.lock().unlink(format!("/phase/f{i}"), now)?;
+    }
+    let events = fs.lock().total_events() - before;
+    Ok(PhaseReport { created: files, modified: files, deleted: files, events })
+}
+
+/// One row of Table 2, as measured.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table2Row {
+    /// Files-created rate.
+    pub created: EventsPerSec,
+    /// Files-modified rate.
+    pub modified: EventsPerSec,
+    /// Files-deleted rate.
+    pub deleted: EventsPerSec,
+    /// Total mixed-workload event rate.
+    pub total: EventsPerSec,
+}
+
+/// Replays the §5.1 characterization in virtual time: create, modify,
+/// and delete `files` files against the testbed's calibrated operation
+/// costs; then a mixed run for the "Total Events" row.
+pub fn measure_table2_rates(profile: &TestbedProfile, files: u64) -> Table2Row {
+    let rate = |cost: SimDuration| {
+        // Sequential script: `files` ops back to back.
+        EventsPerSec::from_count(files, cost * files)
+    };
+    let costs: &MetadataOpCosts = &profile.op_costs;
+    // Mixed workload: each file goes through a create+modify+delete
+    // cycle; the ChangeLog logs `events_per_cycle` records per cycle.
+    let total_events = (costs.events_per_cycle * files as f64) as u64;
+    let total = EventsPerSec::from_count(total_events, costs.cycle() * files);
+    Table2Row {
+        created: rate(costs.create),
+        modified: rate(costs.modify),
+        deleted: rate(costs.delete),
+        total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lustre_sim::LustreConfig;
+
+    #[test]
+    fn table2_rates_reproduce_paper() {
+        let aws = measure_table2_rates(&TestbedProfile::aws(), 10_000);
+        assert!((aws.created.per_sec() - 352.0).abs() < 1.0);
+        assert!((aws.modified.per_sec() - 534.0).abs() < 1.0);
+        assert!((aws.deleted.per_sec() - 832.0).abs() < 1.0);
+        // Mixed total ≈ 1366 events/s (harmonic combination of the
+        // three op costs).
+        assert!((aws.total.per_sec() - 1366.0).abs() < 2.0, "total {}", aws.total);
+
+        let iota = measure_table2_rates(&TestbedProfile::iota(), 10_000);
+        assert!((iota.created.per_sec() - 1389.0).abs() < 2.0);
+        assert!((iota.total.per_sec() - 9593.0).abs() < 2.0, "total {}", iota.total);
+    }
+
+    #[test]
+    fn live_generator_produces_expected_event_counts() {
+        let fs = Arc::new(Mutex::new(LustreFs::new(LustreConfig::aws_testbed())));
+        let mut generator =
+            EventGenerator::new(Arc::clone(&fs), 4, OpMix::paper(), 11).unwrap();
+        let mut tick = 0u64;
+        let report = generator
+            .run(1000, || {
+                tick += 1;
+                SimTime::from_nanos(tick * 1000)
+            })
+            .unwrap();
+        assert_eq!(report.total_ops(), 1000);
+        assert!(report.created > 0 && report.modified > 0 && report.deleted > 0);
+        // Each op logs exactly one record (creates/writes/unlinks).
+        assert_eq!(report.events, 1000);
+    }
+
+    #[test]
+    fn phase_runner_counts_every_operation() {
+        let fs = Arc::new(Mutex::new(LustreFs::new(LustreConfig::aws_testbed())));
+        let mut tick = 0u64;
+        let report = run_phases_live(&fs, 100, || {
+            tick += 1;
+            SimTime::from_nanos(tick)
+        })
+        .unwrap();
+        assert_eq!(report.created, 100);
+        assert_eq!(report.modified, 100);
+        assert_eq!(report.deleted, 100);
+        // 1 mkdir + 3 records per file.
+        assert_eq!(report.events, 301);
+        // The namespace is clean afterwards (all files deleted).
+        assert_eq!(fs.lock().fs().file_count(), 0);
+    }
+
+    #[test]
+    fn generator_is_deterministic_per_seed() {
+        let run = |seed| {
+            let fs = Arc::new(Mutex::new(LustreFs::new(LustreConfig::aws_testbed())));
+            let mut generator =
+                EventGenerator::new(Arc::clone(&fs), 2, OpMix::paper(), seed).unwrap();
+            let report =
+                generator.run(200, || SimTime::EPOCH).unwrap();
+            (report.created, report.modified, report.deleted)
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn delete_never_targets_missing_files() {
+        // A delete-heavy mix must fall back to create when nothing is
+        // alive.
+        let fs = Arc::new(Mutex::new(LustreFs::new(LustreConfig::aws_testbed())));
+        let mut generator = EventGenerator::new(
+            Arc::clone(&fs),
+            1,
+            OpMix { create: 0.01, modify: 0.0, delete: 10.0, ..OpMix::paper() },
+            3,
+        )
+        .unwrap();
+        let report = generator.run(100, || SimTime::EPOCH).unwrap();
+        assert_eq!(report.total_ops(), 100);
+    }
+
+    #[test]
+    fn full_mix_exercises_every_record_kind() {
+        use sdci_types::{ChangelogKind, MdtIndex};
+        let fs = Arc::new(Mutex::new(LustreFs::new(LustreConfig::aws_testbed())));
+        let mut generator =
+            EventGenerator::new(Arc::clone(&fs), 4, OpMix::full(), 21).unwrap();
+        let mut tick = 0u64;
+        let report = generator
+            .run(2_000, || {
+                tick += 1;
+                SimTime::from_nanos(tick)
+            })
+            .unwrap();
+        assert_eq!(report.total_ops(), 2_000);
+        assert!(report.renamed > 0);
+        assert!(report.attr_changed > 0);
+        let kinds: std::collections::HashSet<ChangelogKind> = fs
+            .lock()
+            .changelog(MdtIndex::new(0))
+            .read_from(0, usize::MAX)
+            .iter()
+            .map(|r| r.kind)
+            .collect();
+        for expected in [
+            ChangelogKind::Create,
+            ChangelogKind::MtimeChange,
+            ChangelogKind::Unlink,
+            ChangelogKind::Rename,
+            ChangelogKind::RenameTarget,
+            ChangelogKind::SetAttr,
+            ChangelogKind::SetXattr,
+        ] {
+            assert!(kinds.contains(&expected), "missing {expected:?}");
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Workloads, testbed calibrations, and filesystem-population analysis.
+//!
+//! Everything the paper's evaluation (§5) drives its systems with lives
+//! here:
+//!
+//! * [`profiles`] — calibrated performance profiles of the two testbeds
+//!   (AWS t2.micro Lustre and ANL's Iota) plus the Aurora projection:
+//!   metadata-operation service times reproducing Table 2 and monitor
+//!   stage costs reproducing §5.2/Table 3.
+//! * [`generator`] — the "specifically built event generation script"
+//!   (§5): mixed create/modify/delete workloads, runnable live against a
+//!   [`lustre_sim::LustreFs`] or as service-time distributions for the
+//!   discrete-event model.
+//! * [`nersc`] — the §5.3 analysis: a synthetic stand-in for NERSC's
+//!   7.1 PB GPFS `tlproject2` population (850 M files, 16,506 users), a
+//!   36-day daily-dump series, the consecutive-day differ (with the
+//!   paper's stated blind spots), and the Aurora scaling extrapolation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod nersc;
+pub mod profiles;
+pub mod trace;
+
+pub use generator::{measure_table2_rates, run_phases_live, EventGenerator, GeneratorReport, OpMix, PhaseReport, Table2Row};
+pub use nersc::{DayOutcome, DaySeries, DiffCounts, DumpDiffer, NerscModel, ScalingAnalysis};
+pub use profiles::{MetadataOpCosts, TestbedProfile};
+pub use trace::{read_trace, replay_trace, write_trace, TraceError, TraceOp, TraceRecord};

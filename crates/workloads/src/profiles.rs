@@ -1,0 +1,229 @@
+//! Calibrated testbed profiles.
+//!
+//! The reproduction replaces the paper's hardware with service-time
+//! profiles. Each [`TestbedProfile`] carries two calibrations:
+//!
+//! * **Metadata operation costs** ([`MetadataOpCosts`]) — how fast the
+//!   filesystem itself can create/modify/delete files. Calibrated so the
+//!   §5.1 characterization reproduces Table 2 (AWS: 352/534/832 ops/s,
+//!   1,366 total events/s; Iota: 1,389/2,538/3,442, 9,593 events/s).
+//! * **Monitor stage costs** ([`sdci_core::model::StageCosts`]) —
+//!   service times of the monitor pipeline. Calibrated so the §5.2
+//!   throughput runs reproduce the reported rates (AWS 1,053 events/s;
+//!   Iota 8,162 events/s, 14.91% below generation) and the Table 3
+//!   CPU figures (Collector 6.667%, Aggregator 0.059%, Consumer 0.02%).
+//!
+//! The *shape* conclusions — processing/fid2path is the bottleneck, the
+//! monitor keeps up after batching+caching, multi-MDS distribution
+//! surpasses the generation rate — are properties of the pipeline
+//! structure, not of the constants.
+
+use sdci_core::model::StageCosts;
+use sdci_types::{ByteSize, SimDuration};
+
+/// Service times of the filesystem's metadata operations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetadataOpCosts {
+    /// One file creation.
+    pub create: SimDuration,
+    /// One file modification (write + mtime).
+    pub modify: SimDuration,
+    /// One file deletion.
+    pub delete: SimDuration,
+    /// ChangeLog records produced per create+modify+delete cycle. Lustre
+    /// logs more than the three primary records (opens, closes, time and
+    /// attribute changes, depending on the deployment's changelog mask),
+    /// which is how Table 2's "Total Events" rate exceeds the sum of the
+    /// per-op rates on Iota. Calibrated from Table 2.
+    pub events_per_cycle: f64,
+}
+
+impl MetadataOpCosts {
+    /// Costs implied by the observed per-op rates (ops/second) and the
+    /// observed total-event rate of the mixed workload.
+    pub fn from_rates(create: f64, modify: f64, delete: f64, total_events: f64) -> Self {
+        let cycle = 1.0 / create + 1.0 / modify + 1.0 / delete;
+        MetadataOpCosts {
+            create: SimDuration::per_op(create),
+            modify: SimDuration::per_op(modify),
+            delete: SimDuration::per_op(delete),
+            events_per_cycle: total_events * cycle,
+        }
+    }
+
+    /// The cost of one full create+modify+delete cycle (three events).
+    pub fn cycle(&self) -> SimDuration {
+        self.create + self.modify + self.delete
+    }
+
+    /// Sustainable mixed-workload ChangeLog-event rate (Table 2's
+    /// "Total Events" row).
+    pub fn mixed_event_rate(&self) -> f64 {
+        self.events_per_cycle / self.cycle().as_secs_f64()
+    }
+}
+
+/// A complete calibration of one testbed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestbedProfile {
+    /// Testbed name (`aws`, `iota`, `aurora`).
+    pub name: &'static str,
+    /// Total storage capacity.
+    pub capacity: ByteSize,
+    /// MDS count in the deployment.
+    pub mdt_count: u32,
+    /// MDS count active in the paper's experiments.
+    pub active_mdts: u32,
+    /// Filesystem metadata-operation costs.
+    pub op_costs: MetadataOpCosts,
+    /// Monitor pipeline stage costs.
+    pub stage_costs: StageCosts,
+    /// Paper-reported generation rate (events/s), for comparison tables.
+    pub paper_generation_rate: f64,
+    /// Paper-reported monitor throughput (events/s), for comparison
+    /// tables (0 when the paper reports none).
+    pub paper_report_rate: f64,
+}
+
+impl TestbedProfile {
+    /// The AWS testbed: Lustre Intel Cloud Edition 1.4, 20 GB over five
+    /// t2.micro instances, one MDS, one OSS (§5.1).
+    pub fn aws() -> Self {
+        TestbedProfile {
+            name: "aws",
+            capacity: ByteSize::from_gib(20),
+            mdt_count: 1,
+            active_mdts: 1,
+            // Table 2 row "AWS": 352 / 534 / 832 ops/s.
+            op_costs: MetadataOpCosts::from_rates(352.0, 534.0, 832.0, 1366.0),
+            // §5.2: 1,053 of 1,366 events/s reported; preprocessing is
+            // the bottleneck on t2.micro. Cold resolution dominates:
+            // extract + refactor + fixed + marginal = 1/1053 s.
+            stage_costs: StageCosts {
+                extract: SimDuration::from_micros(30),
+                resolve_fixed: SimDuration::from_micros(700),
+                resolve_marginal: SimDuration::from_nanos(219_700),
+                resolve_cached: SimDuration::from_micros(1),
+                refactor: SimDuration::from_micros(30),
+                aggregate: SimDuration::from_nanos(600),
+                consume: SimDuration::from_nanos(200),
+            },
+            paper_generation_rate: 1366.0,
+            paper_report_rate: 1053.0,
+        }
+    }
+
+    /// The Iota testbed: 897 TB, 44 nodes, four MDS of which one was
+    /// active, same hardware as planned for Aurora (§5.1).
+    pub fn iota() -> Self {
+        TestbedProfile {
+            name: "iota",
+            capacity: ByteSize::from_tib(897),
+            mdt_count: 4,
+            active_mdts: 1,
+            // Table 2 row "Iota": 1,389 / 2,538 / 3,442 ops/s.
+            op_costs: MetadataOpCosts::from_rates(1389.0, 2538.0, 3442.0, 9593.0),
+            // §5.2: 8,162 of 9,593 events/s reported (−14.91%), bound by
+            // repetitive d2path use. Table 3: Collector 6.667% CPU ⇒
+            // ~8.2 us CPU per event; the rest of the 1/8162 s service
+            // time is resolution wait.
+            stage_costs: StageCosts {
+                extract: SimDuration::from_nanos(2_500),
+                resolve_fixed: SimDuration::from_micros(95),
+                resolve_marginal: SimDuration::from_nanos(22_289),
+                resolve_cached: SimDuration::from_nanos(300),
+                refactor: SimDuration::from_nanos(5_231),
+                aggregate: SimDuration::from_nanos(72),
+                consume: SimDuration::from_nanos(25),
+            },
+            paper_generation_rate: 9593.0,
+            paper_report_rate: 8162.0,
+        }
+    }
+
+    /// The Aurora projection: 150 PB, metadata load-balanced across four
+    /// MDS (§5.3 assumes Iota-class hardware).
+    pub fn aurora() -> Self {
+        let iota = TestbedProfile::iota();
+        TestbedProfile {
+            name: "aurora",
+            capacity: ByteSize::from_pib(150),
+            mdt_count: 4,
+            active_mdts: 4,
+            paper_generation_rate: 3178.0, // §5.3 extrapolated demand
+            paper_report_rate: 0.0,
+            ..iota
+        }
+    }
+
+    /// Total cold-path service time of the processing stage (batch = 1).
+    pub fn unbatched_service(&self) -> SimDuration {
+        self.stage_costs.resolve_fixed
+            + self.stage_costs.resolve_marginal
+            + self.stage_costs.refactor
+    }
+
+    /// The monitor's modelled single-MDS capacity (events/s) without
+    /// batching or caching — the paper's measured configuration.
+    pub fn baseline_capacity(&self) -> f64 {
+        1.0 / self.unbatched_service().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aws_rates_match_table2() {
+        let p = TestbedProfile::aws();
+        assert!((1.0 / p.op_costs.create.as_secs_f64() - 352.0).abs() < 1.0);
+        assert!((1.0 / p.op_costs.modify.as_secs_f64() - 534.0).abs() < 1.0);
+        assert!((1.0 / p.op_costs.delete.as_secs_f64() - 832.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn iota_rates_match_table2() {
+        let p = TestbedProfile::iota();
+        assert!((1.0 / p.op_costs.create.as_secs_f64() - 1389.0).abs() < 2.0);
+        assert!((1.0 / p.op_costs.modify.as_secs_f64() - 2538.0).abs() < 3.0);
+        assert!((1.0 / p.op_costs.delete.as_secs_f64() - 3442.0).abs() < 4.0);
+    }
+
+    #[test]
+    fn baseline_capacity_matches_section_5_2() {
+        let aws = TestbedProfile::aws().baseline_capacity();
+        assert!((aws - 1053.0).abs() < 12.0, "AWS capacity {aws}");
+        let iota = TestbedProfile::iota().baseline_capacity();
+        assert!((iota - 8162.0).abs() < 80.0, "Iota capacity {iota}");
+    }
+
+    #[test]
+    fn iota_collector_cpu_calibration() {
+        // Extraction keeps up with generation (9,593/s) while refactoring
+        // completes at the processing rate (8,162/s); their CPU sums to
+        // Table 3's 6.667%.
+        let p = TestbedProfile::iota();
+        let pct = (p.stage_costs.extract.as_secs_f64() * 9_593.0
+            + p.stage_costs.refactor.as_secs_f64() * 8_162.0)
+            * 100.0;
+        assert!((pct - 6.667).abs() < 0.05, "collector CPU {pct}%");
+    }
+
+    #[test]
+    fn mixed_rate_reproduces_calibrated_total() {
+        let costs = MetadataOpCosts::from_rates(100.0, 100.0, 100.0, 250.0);
+        assert!((costs.mixed_event_rate() - 250.0).abs() < 1e-9);
+        assert!((costs.events_per_cycle - 7.5).abs() < 1e-9);
+        assert!((TestbedProfile::aws().op_costs.mixed_event_rate() - 1366.0).abs() < 0.5);
+        assert!((TestbedProfile::iota().op_costs.mixed_event_rate() - 9593.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn aurora_scales_iota() {
+        let a = TestbedProfile::aurora();
+        assert_eq!(a.capacity, ByteSize::from_pib(150));
+        assert_eq!(a.active_mdts, 4);
+        assert_eq!(a.op_costs, TestbedProfile::iota().op_costs);
+    }
+}

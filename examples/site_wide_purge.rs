@@ -1,0 +1,124 @@
+//! Site-wide scratch purging — the policy class inotify cannot support.
+//!
+//! §3: "Ripple cannot enforce rules which are applied to many
+//! directories, such as site-wide purging policies" when it relies on
+//! targeted inotify watches (each watch costs ~1 KiB of kernel memory
+//! and a crawl). The Lustre ChangeLog monitor removes that limit: one
+//! subscription sees *every* event on the filesystem.
+//!
+//! This example runs a Lustre-backed Ripple agent whose event source is
+//! the monitor feed, with a purge rule over `*.tmp` files anywhere under
+//! any user's scratch tree — then shows what the equivalent inotify
+//! deployment would have cost.
+//!
+//! Run with `cargo run --example site_wide_purge`.
+
+use parking_lot::Mutex;
+use sdci::inotify::{Inotify, RecursiveWatcher};
+use sdci::lustre::{DnePolicy, LustreConfig, LustreFs};
+use sdci::monitor::MonitorClusterBuilder;
+use sdci::ripple::{ActionSpec, AgentStorage, MonitorSource, Rule, RippleBuilder, Trigger};
+use sdci::types::{AgentId, EventKind, SimTime};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    // A four-MDT Lustre deployment with users spread across MDTs.
+    let lfs = Arc::new(Mutex::new(LustreFs::new(
+        LustreConfig::builder("alcf")
+            .mdt_count(4)
+            .dne_policy(DnePolicy::RoundRobinTopLevel)
+            .build(),
+    )));
+    let cluster = MonitorClusterBuilder::new(Arc::clone(&lfs)).start();
+
+    // A Ripple agent whose event source is the site-wide monitor feed.
+    let mut ripple = RippleBuilder::new().build();
+    ripple.add_agent(
+        AgentId::new("alcf-lustre"),
+        AgentStorage::Lustre(Arc::clone(&lfs)),
+        MonitorSource::new(cluster.subscribe()),
+    );
+    // One rule, the whole filesystem: purge scratch temporaries.
+    ripple.add_rule(
+        Rule::when(
+            Trigger::on(AgentId::new("alcf-lustre"))
+                .under("/")
+                .kinds([EventKind::Created])
+                .glob("*.tmp"),
+        )
+        .then(ActionSpec::purge()),
+    );
+
+    // 20 users × 5 project dirs; a mix of keepers and temporaries.
+    let (mut keepers, mut temporaries) = (0u64, 0u64);
+    {
+        let mut fs = lfs.lock();
+        for user in 0..20 {
+            for proj in 0..5 {
+                let dir = format!("/u{user}/proj{proj}");
+                fs.mkdir_all(&dir, SimTime::EPOCH).expect("mkdir");
+                fs.create(format!("{dir}/data.h5"), SimTime::from_secs(1)).expect("create");
+                keepers += 1;
+                if (user + proj) % 2 == 0 {
+                    fs.create(format!("{dir}/stage.tmp"), SimTime::from_secs(2))
+                        .expect("create");
+                    temporaries += 1;
+                }
+            }
+        }
+    }
+    println!("created {keepers} data files and {temporaries} temporaries across 100 dirs");
+
+    assert!(ripple.pump_until_idle(Duration::from_secs(20)), "fabric should quiesce");
+
+    // Every temporary is gone; every keeper survives.
+    let (mut gone, mut kept) = (0u64, 0u64);
+    {
+        let fs = lfs.lock();
+        for user in 0..20 {
+            for proj in 0..5 {
+                let dir = format!("/u{user}/proj{proj}");
+                if !fs.fs().exists(format!("{dir}/stage.tmp")) {
+                    gone += 1;
+                }
+                if fs.fs().exists(format!("{dir}/data.h5")) {
+                    kept += 1;
+                }
+            }
+        }
+    }
+    println!("temporaries purged: {temporaries}/{temporaries} (dirs without .tmp now: {gone})");
+    println!("data files kept:    {kept}/{keepers}");
+    assert_eq!(kept, keepers);
+
+    // What would targeted inotify coverage of the same namespace cost?
+    let watch_cost = {
+        let fs = lfs.lock();
+        let mut probe_fs = sdci::simfs::SimFs::new();
+        for (path, stat) in fs.fs().walk() {
+            if stat.file_type == sdci::simfs::FileType::Directory {
+                probe_fs.mkdir_all(&path, SimTime::EPOCH).expect("mkdir");
+            }
+        }
+        let ino = Inotify::attach(&mut probe_fs);
+        let mut watcher = RecursiveWatcher::new(ino);
+        watcher.watch_tree(&probe_fs, "/").expect("crawl");
+        watcher.stats()
+    };
+    println!(
+        "equivalent inotify deployment: {} watches, {} crawled dirs, {} kernel memory",
+        watch_cost.watches_placed,
+        watch_cost.directories_crawled,
+        watch_cost.kernel_memory()
+    );
+    println!(
+        "the ChangeLog monitor needed 0 watches and 0 crawl — {} events streamed from {} MDTs",
+        cluster.stats().total_processed(),
+        lfs.lock().mdt_count()
+    );
+
+    ripple.shutdown();
+    cluster.shutdown();
+    println!("site-wide purge complete");
+}

@@ -1,0 +1,149 @@
+//! `sdcimon` — a live demo of the monitor: spin up a simulated Lustre
+//! deployment, drive it with a mixed workload, and watch the monitor's
+//! operational metrics tick.
+//!
+//! ```text
+//! cargo run --release --bin sdcimon -- [--testbed aws|iota] [--mdts N]
+//!                                      [--seconds S] [--ops-per-tick N]
+//!                                      [--no-cache]
+//! ```
+
+use parking_lot::Mutex;
+use sdci::lustre::{DnePolicy, LustreConfig, LustreFs};
+use sdci::monitor::{MetricsRecorder, MonitorClusterBuilder, MonitorConfig};
+use sdci::types::{ByteSize, SimTime};
+use sdci::workloads::{EventGenerator, OpMix};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Options {
+    testbed: String,
+    mdts: u32,
+    seconds: u64,
+    ops_per_tick: u64,
+    cache: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        testbed: "iota".into(),
+        mdts: 4,
+        seconds: 5,
+        ops_per_tick: 20_000,
+        cache: true,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--testbed" => options.testbed = value("--testbed")?,
+            "--mdts" => {
+                options.mdts =
+                    value("--mdts")?.parse().map_err(|e| format!("--mdts: {e}"))?
+            }
+            "--seconds" => {
+                options.seconds =
+                    value("--seconds")?.parse().map_err(|e| format!("--seconds: {e}"))?
+            }
+            "--ops-per-tick" => {
+                options.ops_per_tick = value("--ops-per-tick")?
+                    .parse()
+                    .map_err(|e| format!("--ops-per-tick: {e}"))?
+            }
+            "--no-cache" => options.cache = false,
+            "--help" | "-h" => {
+                println!(
+                    "usage: sdcimon [--testbed aws|iota] [--mdts N] [--seconds S] \
+                     [--ops-per-tick N] [--no-cache]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(options)
+}
+
+fn main() {
+    let options = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("sdcimon: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let capacity = match options.testbed.as_str() {
+        "aws" => ByteSize::from_gib(20),
+        "iota" => ByteSize::from_tib(897),
+        other => {
+            eprintln!("sdcimon: unknown testbed {other} (use aws or iota)");
+            std::process::exit(2);
+        }
+    };
+    let config = LustreConfig::builder(options.testbed.clone())
+        .mdt_count(options.mdts)
+        .ost_count(8)
+        .capacity(capacity)
+        .dne_policy(DnePolicy::HashByName)
+        .build();
+    println!(
+        "sdcimon: {} ({} capacity, {} MDTs), path cache {}",
+        options.testbed,
+        capacity,
+        options.mdts,
+        if options.cache { "on" } else { "off" }
+    );
+
+    let lfs = Arc::new(Mutex::new(LustreFs::new(config)));
+    let monitor_config = MonitorConfig {
+        path_cache_capacity: if options.cache { 4096 } else { 0 },
+        ..MonitorConfig::default()
+    };
+    let cluster = MonitorClusterBuilder::new(Arc::clone(&lfs)).config(monitor_config).start();
+    let mut generator = EventGenerator::new(Arc::clone(&lfs), 32, OpMix::paper(), 1)
+        .expect("generator setup");
+
+    let mut metrics = MetricsRecorder::new();
+    metrics.record(cluster.stats());
+    let mut tick_time = 0u64;
+    let start = Instant::now();
+
+    println!("\n  t(s)  extract/s   process/s   publish/s  cache-hit  store-events");
+    for second in 1..=options.seconds {
+        let tick_deadline = start + Duration::from_secs(second);
+        while Instant::now() < tick_deadline {
+            generator
+                .run(options.ops_per_tick, || {
+                    tick_time += 1;
+                    SimTime::from_nanos(tick_time * 100)
+                })
+                .expect("workload");
+        }
+        metrics.record(cluster.stats());
+        let rates = metrics.latest_rates().expect("two samples");
+        let store_len = cluster.store().lock().len();
+        println!(
+            "  {second:>4}  {:>9.0}  {:>10.0}  {:>10.0}  {:>8.1}%  {store_len:>12}",
+            rates.extract_rate.per_sec(),
+            rates.process_rate.per_sec(),
+            rates.publish_rate.per_sec(),
+            metrics.cache_hit_rate() * 100.0,
+        );
+    }
+
+    let total = lfs.lock().total_events();
+    let caught_up = cluster.wait_for_published(total, Duration::from_secs(30));
+    let stats = cluster.stats();
+    println!(
+        "\n{} events generated, {} processed, {} published; caught up: {caught_up}",
+        total,
+        stats.total_processed(),
+        stats.aggregator.published
+    );
+    let report = lfs.lock().ost_report();
+    println!("storage after run: {} used across {} OSTs", report.used, report.osts.len());
+    cluster.shutdown();
+}
