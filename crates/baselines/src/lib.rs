@@ -19,4 +19,6 @@ pub mod polling;
 pub mod robinhood;
 
 pub use polling::{PollingMonitor, PollingStats};
-pub use robinhood::{CentralizedModel, CentralizedReport, FindCriteria, RobinhoodDb, RobinhoodScanner};
+pub use robinhood::{
+    CentralizedModel, CentralizedReport, FindCriteria, RobinhoodDb, RobinhoodScanner,
+};

@@ -114,9 +114,7 @@ impl PollingMonitor {
         let mut changes = Vec::new();
         for (path, mtime) in &current {
             match self.previous.get(path) {
-                None => {
-                    changes.push(PolledChange { kind: EventKind::Created, path: path.clone() })
-                }
+                None => changes.push(PolledChange { kind: EventKind::Created, path: path.clone() }),
                 Some(old) if old != mtime => {
                     changes.push(PolledChange { kind: EventKind::Modified, path: path.clone() })
                 }

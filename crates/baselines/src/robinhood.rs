@@ -70,12 +70,8 @@ impl RobinhoodDb {
     /// Policy query: entries not modified since `cutoff` (Robinhood's
     /// stale-data purge candidate list).
     pub fn stale_since(&self, cutoff: SimTime) -> Vec<PathBuf> {
-        let mut out: Vec<PathBuf> = self
-            .entries
-            .iter()
-            .filter(|(_, e)| e.mtime < cutoff)
-            .map(|(p, _)| p.clone())
-            .collect();
+        let mut out: Vec<PathBuf> =
+            self.entries.iter().filter(|(_, e)| e.mtime < cutoff).map(|(p, _)| p.clone()).collect();
         out.sort();
         out
     }
@@ -439,26 +435,12 @@ mod tests {
         }
         scanner.scan_once();
         let db = scanner.db();
-        assert_eq!(
-            db.find(&FindCriteria::any().named("*.h5")).len(),
-            3,
-            "all h5 files anywhere"
-        );
-        assert_eq!(
-            db.find(&FindCriteria::any().under("/proj").named("run-?.h5")).len(),
-            2
-        );
-        let old_h5 = db.find(
-            &FindCriteria::any()
-                .under("/proj")
-                .named("*.h5")
-                .modified_before(t(100)),
-        );
+        assert_eq!(db.find(&FindCriteria::any().named("*.h5")).len(), 3, "all h5 files anywhere");
+        assert_eq!(db.find(&FindCriteria::any().under("/proj").named("run-?.h5")).len(), 2);
+        let old_h5 =
+            db.find(&FindCriteria::any().under("/proj").named("*.h5").modified_before(t(100)));
         assert_eq!(old_h5, vec![PathBuf::from("/proj/run-1.h5")]);
-        assert_eq!(
-            db.find(&FindCriteria::any().modified_since(t(100))).len(),
-            1
-        );
+        assert_eq!(db.find(&FindCriteria::any().modified_since(t(100))).len(), 1);
         assert_eq!(db.find(&FindCriteria::any()).len(), 5);
     }
 

@@ -11,8 +11,8 @@ use sdci_core::PathCache;
 use sdci_mq::pubsub::Broker;
 use sdci_mq::{SqsConfig, SqsQueue};
 use sdci_types::{
-    AgentId, ChangelogKind, EventKind, Fid, FileEvent, MdtIndex, RawChangelogRecord,
-    SimDuration, SimTime,
+    AgentId, ChangelogKind, EventKind, Fid, FileEvent, MdtIndex, RawChangelogRecord, SimDuration,
+    SimTime,
 };
 use std::hint::black_box;
 use std::path::PathBuf;

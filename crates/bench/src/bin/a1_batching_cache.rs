@@ -49,9 +49,14 @@ fn main() {
                 format!("{rate:.0}"),
                 format!("{:.2}%", report.shortfall_pct),
                 format!("{}", report.fid2path_calls),
-                format!("{:.1}%", if report.generated > 0 {
-                    report.cache_hits as f64 / report.generated as f64 * 100.0
-                } else { 0.0 }),
+                format!(
+                    "{:.1}%",
+                    if report.generated > 0 {
+                        report.cache_hits as f64 / report.generated as f64 * 100.0
+                    } else {
+                        0.0
+                    }
+                ),
             ]);
         }
     }
@@ -65,8 +70,5 @@ fn main() {
         "best remediated: {best_remediated:.0} events/s — {}the 9,593 events/s generation rate",
         if best_remediated >= 9_593.0 * 0.999 { "meets " } else { "below " }
     );
-    assert!(
-        best_remediated > baseline * 1.1,
-        "remediations must materially raise throughput"
-    );
+    assert!(best_remediated > baseline * 1.1, "remediations must materially raise throughput");
 }

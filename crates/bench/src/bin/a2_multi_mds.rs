@@ -48,10 +48,7 @@ fn main() {
             if report.shortfall_pct < 0.5 { "keeps up".into() } else { "trails".into() },
         ]);
     }
-    print_table(
-        &["MDS count", "reported/s", "shortfall", "process utilization", "verdict"],
-        &rows,
-    );
+    print_table(&["MDS count", "reported/s", "shortfall", "process utilization", "verdict"], &rows);
 
     println!(
         "\n1 MDS trails generation by ~15% (paper's measurement); 2+ MDS surpass it \

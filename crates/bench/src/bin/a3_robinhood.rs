@@ -61,18 +61,12 @@ fn main() {
             ),
         ]);
     }
-    print_table(
-        &["MDS count", "offered/s", "hierarchical/s", "centralized/s", "speedup"],
-        &rows,
-    );
+    print_table(&["MDS count", "offered/s", "hierarchical/s", "centralized/s", "speedup"], &rows);
 
     println!(
         "\nthe hierarchical monitor scales with MDS count ({:.0} -> {:.0} events/s); the \
          centralized client is flat ({:.0} -> {:.0}) — its single reader saturates.",
-        hier[0],
-        hier[3],
-        cent[0],
-        cent[3]
+        hier[0], hier[3], cent[0], cent[3]
     );
     assert!(hier[3] > hier[0] * 6.0, "hierarchical must scale ~linearly");
     assert!(cent[3] < cent[0] * 1.2, "centralized must stay flat");

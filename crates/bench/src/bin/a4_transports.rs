@@ -8,10 +8,13 @@
 //!
 //! * `push/pull` — bounded blocking pipeline (backpressure);
 //! * `pub/sub`   — ZeroMQ-style broker with HWM (load shedding);
-//! * `pub/sub batched` — same broker, events batched 64 per message.
+//! * `pub/sub batched` — same broker, events batched 64 per message;
+//! * `tcp push/pull` — sdci-net's lossless framed-TCP transport over
+//!   loopback, the cross-process deployment path.
 
 use sdci_mq::pipe::pipeline;
 use sdci_mq::pubsub::Broker;
+use sdci_net::{NetConfig, TcpPullServer, TcpPush};
 use sdci_types::{ChangelogKind, EventKind, Fid, FileEvent, MdtIndex, SimTime};
 use std::path::PathBuf;
 use std::thread;
@@ -130,12 +133,48 @@ fn run_pubsub_batched(batch: usize) -> (f64, u64) {
     (EVENTS as f64 / start.elapsed().as_secs_f64(), received)
 }
 
+fn run_tcp_push_pull() -> (f64, u64) {
+    let cfg = NetConfig::default();
+    let server = TcpPullServer::<FileEvent>::bind("127.0.0.1:0", 65_536, cfg.clone())
+        .expect("bind loopback pull server");
+    let addr = server.local_addr();
+    let pull = server.pull();
+    let start = Instant::now();
+    let producers: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let cfg = cfg.clone();
+            thread::spawn(move || {
+                let push = TcpPush::<FileEvent>::connect(addr, format!("bench-p{p}"), cfg);
+                for i in 0..EVENTS / PRODUCERS {
+                    push.send(event(p * 1_000_000 + i));
+                }
+                push.drain(std::time::Duration::from_secs(60));
+            })
+        })
+        .collect();
+    let consumer = thread::spawn(move || {
+        let mut received = 0u64;
+        while received < EVENTS && pull.recv().is_some() {
+            received += 1;
+        }
+        received
+    });
+    for p in producers {
+        p.join().unwrap();
+    }
+    let received = consumer.join().unwrap();
+    let rate = EVENTS as f64 / start.elapsed().as_secs_f64();
+    server.shutdown();
+    (rate, received)
+}
+
 fn main() {
     println!("== A4: Collector->Aggregator transport comparison ==");
     println!("({EVENTS} events, {PRODUCERS} producers, 1 consumer, wall-clock)\n");
     let (pp_rate, pp_recv) = run_push_pull();
     let (ps_rate, ps_recv) = run_pubsub();
     let (psb_rate, psb_recv) = run_pubsub_batched(64);
+    let (tcp_rate, tcp_recv) = run_tcp_push_pull();
 
     sdci_bench::print_table(
         &["transport", "throughput (events/s)", "delivered", "semantics"],
@@ -158,12 +197,21 @@ fn main() {
                 format!("{psb_recv}/{EVENTS}"),
                 "amortizes per-message overhead".into(),
             ],
+            vec![
+                "tcp push/pull".into(),
+                format!("{tcp_rate:.0}"),
+                format!("{tcp_recv}/{EVENTS}"),
+                "framed TCP, acked resend, no loss".into(),
+            ],
         ],
     );
     assert_eq!(pp_recv, EVENTS, "push/pull may not lose events");
+    assert_eq!(tcp_recv, EVENTS, "tcp push/pull may not lose events");
     println!(
         "\nbatching amortizes per-message broker overhead ({:.1}x vs unbatched pub/sub); \
-         push/pull trades peak rate for lossless backpressure.",
-        psb_rate / ps_rate
+         push/pull trades peak rate for lossless backpressure; framed TCP pays \
+         {:.1}x for crossing a process boundary with the same guarantee.",
+        psb_rate / ps_rate,
+        pp_rate / tcp_rate
     );
 }

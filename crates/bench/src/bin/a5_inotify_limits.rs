@@ -74,8 +74,7 @@ fn main() {
         let mut monitor = PollingMonitor::primed(&fs);
         // 10 polls, 10 changes total.
         for i in 0..10u64 {
-            fs.write(format!("/g0/d0/f{}", i % 9), 1, SimTime::from_secs(i + 1))
-                .expect("write");
+            fs.write(format!("/g0/d0/f{}", i % 9), 1, SimTime::from_secs(i + 1)).expect("write");
             monitor.poll(&fs);
         }
         let stats = monitor.stats();
@@ -86,10 +85,7 @@ fn main() {
             format!("{:.0}", stats.visits_per_change()),
         ]);
     }
-    print_table(
-        &["namespace entries", "entries visited", "changes found", "visits/change"],
-        &rows,
-    );
+    print_table(&["namespace entries", "entries visited", "changes found", "visits/change"], &rows);
 
     println!(
         "\nthe ChangeLog monitor reads exactly one record per event (plus one \

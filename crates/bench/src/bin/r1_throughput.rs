@@ -71,12 +71,10 @@ fn main() {
     // one wall-clock second to confirm the implementation itself
     // comfortably exceeds the paper's rates on commodity hardware.
     println!("\n-- live pipeline sanity (wall-clock, this machine) --");
-    let lfs = Arc::new(Mutex::new(lustre_sim::LustreFs::new(
-        lustre_sim::LustreConfig::iota_testbed(),
-    )));
-    let cluster = MonitorClusterBuilder::new(Arc::clone(&lfs))
-        .config(MonitorConfig::default())
-        .start();
+    let lfs =
+        Arc::new(Mutex::new(lustre_sim::LustreFs::new(lustre_sim::LustreConfig::iota_testbed())));
+    let cluster =
+        MonitorClusterBuilder::new(Arc::clone(&lfs)).config(MonitorConfig::default()).start();
     let mut generator =
         EventGenerator::new(Arc::clone(&lfs), 16, OpMix::paper(), 7).expect("generator");
     let start = Instant::now();

@@ -18,18 +18,12 @@ fn main() {
     let analysis = ScalingAnalysis::from_series(&series);
 
     let rows = vec![
-        vec![
-            "mean over 24 h (peak day)".to_string(),
-            vs_paper(analysis.mean_rate.per_sec(), 42.0),
-        ],
+        vec!["mean over 24 h (peak day)".to_string(), vs_paper(analysis.mean_rate.per_sec(), 42.0)],
         vec![
             "worst case: 8-hour day".to_string(),
             vs_paper(analysis.compressed_rate.per_sec(), 127.0),
         ],
-        vec![
-            "Aurora 150 PB (x25)".to_string(),
-            vs_paper(analysis.aurora_rate.per_sec(), 3178.0),
-        ],
+        vec!["Aurora 150 PB (x25)".to_string(), vs_paper(analysis.aurora_rate.per_sec(), 3178.0)],
     ];
     print_table(&["demand scenario", "events/s"], &rows);
 

@@ -29,8 +29,7 @@ fn main() {
         seed: 42,
     };
     let pipeline = PipelineModel::new(params).run();
-    let usage =
-        ResourceModel::paper_calibrated().report(&pipeline, pipeline.reported_in_window);
+    let usage = ResourceModel::paper_calibrated().report(&pipeline, pipeline.reported_in_window);
 
     let paper = [
         ("Collector", 6.667, 281.6, usage.collector),
@@ -42,8 +41,11 @@ fn main() {
         .map(|(name, cpu_paper, mem_paper, measured)| {
             vec![
                 name.to_string(),
-                format!("{:.3} (paper {cpu_paper}, {:+.0}%)", measured.cpu_pct,
-                    pct_diff(measured.cpu_pct, *cpu_paper)),
+                format!(
+                    "{:.3} (paper {cpu_paper}, {:+.0}%)",
+                    measured.cpu_pct,
+                    pct_diff(measured.cpu_pct, *cpu_paper)
+                ),
                 format!(
                     "{:.1} (paper {mem_paper}, {:+.0}%)",
                     measured.memory.as_mib_f64(),

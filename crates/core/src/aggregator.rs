@@ -15,7 +15,8 @@
 use crate::store::EventStore;
 use parking_lot::Mutex;
 use sdci_mq::pipe::{pipeline, Pull, Push};
-use sdci_mq::pubsub::{Broker, Subscriber};
+use sdci_mq::pubsub::Broker;
+use sdci_mq::transport::Subscribe;
 use sdci_types::FileEvent;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -94,7 +95,14 @@ impl Aggregator {
     /// Starts the Aggregator over `events` (the Collector-side
     /// subscription), with a store retaining `store_capacity` events and
     /// a consumer feed with the given high-water mark.
-    pub fn start(events: Subscriber<FileEvent>, store_capacity: usize, feed_hwm: usize) -> Self {
+    ///
+    /// `events` is any [`Subscribe`] stream: an in-process broker
+    /// subscription, or (via `sdci-net`) a TCP PULL endpoint fed by
+    /// remote Collectors.
+    pub fn start<S>(events: S, store_capacity: usize, feed_hwm: usize) -> Self
+    where
+        S: Subscribe<FileEvent>,
+    {
         Self::start_with_store(events, EventStore::new(store_capacity), feed_hwm)
     }
 
@@ -103,11 +111,10 @@ impl Aggregator {
     /// numbering resumes after the snapshot's last event, so consumers
     /// reconnecting with `subscribe_from(old_seq)` recover seamlessly
     /// across the restart.
-    pub fn start_with_store(
-        events: Subscriber<FileEvent>,
-        store: EventStore,
-        feed_hwm: usize,
-    ) -> Self {
+    pub fn start_with_store<S>(events: S, store: EventStore, feed_hwm: usize) -> Self
+    where
+        S: Subscribe<FileEvent>,
+    {
         let resume_seq = store.last_seq();
         let store = Arc::new(Mutex::new(store));
         let feed: Broker<FeedMessage> = Broker::new(feed_hwm);
@@ -175,8 +182,10 @@ impl Aggregator {
                             if last_heartbeat.elapsed() >= Duration::from_millis(20) {
                                 let seq = last_seq.load(Ordering::Relaxed);
                                 if seq > 0 {
-                                    publisher
-                                        .publish("feed/all", FeedMessage::Heartbeat { last_seq: seq });
+                                    publisher.publish(
+                                        "feed/all",
+                                        FeedMessage::Heartbeat { last_seq: seq },
+                                    );
                                 }
                                 last_heartbeat = std::time::Instant::now();
                             }
@@ -295,8 +304,7 @@ mod tests {
             if let Some(msg) = consumer.recv_timeout(Duration::from_secs(5)) {
                 let FeedMessage::Event(sev) = msg.payload else { continue };
                 let seq = sev.seq;
-                let found =
-                    store.lock().query(&StoreQuery::after_seq(seq - 1).limit(1));
+                let found = store.lock().query(&StoreQuery::after_seq(seq - 1).limit(1));
                 assert!(
                     found.first().is_some_and(|e| e.seq == seq),
                     "event {seq} on feed but absent from store"

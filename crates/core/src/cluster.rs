@@ -8,6 +8,7 @@ use crate::store::StoreStats;
 use lustre_sim::LustreFs;
 use parking_lot::Mutex;
 use sdci_mq::pubsub::Broker;
+use sdci_mq::transport::Transport;
 use sdci_types::{FileEvent, MdtIndex};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -47,19 +48,27 @@ impl MonitorClusterBuilder {
         self
     }
 
-    /// Deploys one Collector thread per MDT plus the Aggregator, and
-    /// begins monitoring.
+    /// Deploys one Collector thread per MDT plus the Aggregator over an
+    /// in-process broker, and begins monitoring.
     pub fn start(self) -> MonitorCluster {
-        let mdt_count = self.fs.lock().mdt_count();
         let events_broker: Broker<FileEvent> = Broker::new(self.config.publish_hwm);
+        self.start_over(&events_broker)
+    }
+
+    /// Deploys the monitor over any [`Transport`] — the in-process
+    /// broker ([`MonitorClusterBuilder::start`] uses one) or a TCP
+    /// transport from `sdci-net`, which carries the Collector →
+    /// Aggregator leg over real sockets.
+    pub fn start_over<Tr: Transport<FileEvent>>(self, transport: &Tr) -> MonitorCluster {
+        let mdt_count = self.fs.lock().mdt_count();
         let aggregator = match self.restored_store {
             Some(store) => Aggregator::start_with_store(
-                events_broker.subscribe(&["events/"]),
+                transport.subscribe(&["events/"]),
                 store,
                 self.config.feed_hwm,
             ),
             None => Aggregator::start(
-                events_broker.subscribe(&["events/"]),
+                transport.subscribe(&["events/"]),
                 self.config.store_capacity,
                 self.config.feed_hwm,
             ),
@@ -71,7 +80,7 @@ impl MonitorClusterBuilder {
             let mut collector = Collector::new(
                 Arc::clone(&self.fs),
                 MdtIndex::new(mdt),
-                events_broker.publisher(),
+                transport.publisher(),
                 self.config.clone(),
             );
             let shared = Arc::new(Mutex::new(CollectorStats::default()));
@@ -137,9 +146,7 @@ pub struct MonitorCluster {
 
 impl fmt::Debug for MonitorCluster {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("MonitorCluster")
-            .field("collectors", &self.collector_stats.len())
-            .finish()
+        f.debug_struct("MonitorCluster").field("collectors", &self.collector_stats.len()).finish()
     }
 }
 

@@ -11,6 +11,7 @@ use crate::pathcache::PathCache;
 use lustre_sim::{ChangelogUser, LustreFs};
 use parking_lot::Mutex;
 use sdci_mq::pubsub::Publisher;
+use sdci_mq::transport::Publish;
 use sdci_types::{ChangelogKind, FileEvent, MdtIndex, RawChangelogRecord};
 use std::fmt;
 use std::path::PathBuf;
@@ -54,7 +55,11 @@ pub struct CollectorCheckpoint {
 }
 
 /// A Collector bound to one MDT of a shared [`LustreFs`].
-pub struct Collector {
+///
+/// The Collector publishes through any [`Publish`] implementation: the
+/// in-process broker's `Publisher` (the default) or `sdci-net`'s TCP
+/// endpoints when the monitor runs distributed.
+pub struct Collector<P = Publisher<FileEvent>> {
     mdt: MdtIndex,
     fs: Arc<Mutex<LustreFs>>,
     user: ChangelogUser,
@@ -62,12 +67,12 @@ pub struct Collector {
     last_acked: u64,
     unacked: usize,
     cache: PathCache,
-    publisher: Publisher<FileEvent>,
+    publisher: P,
     config: MonitorConfig,
     stats: CollectorStats,
 }
 
-impl fmt::Debug for Collector {
+impl<P> fmt::Debug for Collector<P> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Collector")
             .field("mdt", &self.mdt)
@@ -77,12 +82,12 @@ impl fmt::Debug for Collector {
     }
 }
 
-impl Collector {
+impl<P: Publish<FileEvent>> Collector<P> {
     /// Creates a Collector for `mdt`, registering it as a ChangeLog user.
     pub fn new(
         fs: Arc<Mutex<LustreFs>>,
         mdt: MdtIndex,
-        publisher: Publisher<FileEvent>,
+        publisher: P,
         config: MonitorConfig,
     ) -> Self {
         let (user, last_seen) = {
@@ -111,7 +116,7 @@ impl Collector {
     pub fn resume(
         fs: Arc<Mutex<LustreFs>>,
         checkpoint: CollectorCheckpoint,
-        publisher: Publisher<FileEvent>,
+        publisher: P,
         config: MonitorConfig,
     ) -> Self {
         Collector {
@@ -261,11 +266,14 @@ mod tests {
         SimTime::from_secs(secs)
     }
 
-    fn setup(config: MonitorConfig) -> (Arc<Mutex<LustreFs>>, Collector, sdci_mq::pubsub::Subscriber<FileEvent>) {
+    fn setup(
+        config: MonitorConfig,
+    ) -> (Arc<Mutex<LustreFs>>, Collector, sdci_mq::pubsub::Subscriber<FileEvent>) {
         let fs = Arc::new(Mutex::new(LustreFs::new(LustreConfig::aws_testbed())));
         let broker: Broker<FileEvent> = Broker::new(65_536);
         let sub = broker.subscribe(&["events/"]);
-        let collector = Collector::new(Arc::clone(&fs), MdtIndex::new(0), broker.publisher(), config);
+        let collector =
+            Collector::new(Arc::clone(&fs), MdtIndex::new(0), broker.publisher(), config);
         (fs, collector, sub)
     }
 
@@ -279,9 +287,8 @@ mod tests {
             guard.create("/d/f2", t(2)).unwrap();
         }
         assert_eq!(collector.run_once(), 3);
-        let paths: Vec<String> = (0..3)
-            .map(|_| sub.try_recv().unwrap().payload.path.display().to_string())
-            .collect();
+        let paths: Vec<String> =
+            (0..3).map(|_| sub.try_recv().unwrap().payload.path.display().to_string()).collect();
         assert_eq!(paths, vec!["/d", "/d/f1", "/d/f2"]);
         assert_eq!(collector.stats().processed, 3);
         assert_eq!(collector.stats().resolution_failures, 0);

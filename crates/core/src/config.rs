@@ -86,9 +86,6 @@ mod tests {
     #[test]
     fn store_bound_multiplies() {
         let c = MonitorConfig { store_capacity: 1000, ..MonitorConfig::default() };
-        assert_eq!(
-            c.store_memory_bound(ByteSize::from_bytes(200)),
-            ByteSize::from_bytes(200_000)
-        );
+        assert_eq!(c.store_memory_bound(ByteSize::from_bytes(200)), ByteSize::from_bytes(200_000));
     }
 }

@@ -8,14 +8,13 @@
 //! the store before delivering newer events.
 
 use crate::aggregator::{FeedMessage, SequencedEvent};
-use crate::store::{EventStore, StoreQuery};
-use parking_lot::Mutex;
+use crate::store::{SharedStore, StoreQuery, StoreReader};
 use sdci_mq::pubsub::Subscriber;
+use sdci_mq::transport::Subscribe;
 use sdci_types::FileEvent;
 use std::collections::VecDeque;
 use std::fmt;
 use std::path::PathBuf;
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Counters for an [`EventConsumer`].
@@ -36,16 +35,20 @@ pub struct ConsumerStats {
 
 /// An ordered, gap-recovering event stream, optionally restricted to a
 /// path prefix.
-pub struct EventConsumer {
-    feed: Subscriber<FeedMessage>,
-    store: Arc<Mutex<EventStore>>,
+///
+/// Generic over its two inputs so the same recovery logic runs in-process
+/// (the defaults: a broker [`Subscriber`] plus the [`SharedStore`]) or
+/// across machines (`sdci-net`'s `TcpSubscriber` plus `RemoteStore`).
+pub struct EventConsumer<F = Subscriber<FeedMessage>, R = SharedStore> {
+    feed: F,
+    store: R,
     next_seq: u64,
     backlog: VecDeque<SequencedEvent>,
     filter: Option<PathBuf>,
     stats: ConsumerStats,
 }
 
-impl fmt::Debug for EventConsumer {
+impl<F, R> fmt::Debug for EventConsumer<F, R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("EventConsumer")
             .field("next_seq", &self.next_seq)
@@ -55,15 +58,11 @@ impl fmt::Debug for EventConsumer {
     }
 }
 
-impl EventConsumer {
+impl<F: Subscribe<FeedMessage>, R: StoreReader> EventConsumer<F, R> {
     /// Creates a consumer over a feed subscription and the Aggregator's
     /// store handle, expecting sequence numbers to start after
     /// `last_seen_seq` (0 for a fresh consumer).
-    pub fn new(
-        feed: Subscriber<FeedMessage>,
-        store: Arc<Mutex<EventStore>>,
-        last_seen_seq: u64,
-    ) -> Self {
+    pub fn new(feed: F, store: R, last_seen_seq: u64) -> Self {
         EventConsumer {
             feed,
             store,
@@ -177,12 +176,8 @@ impl EventConsumer {
         }
         // Fetch (horizon, last_seq] from the store; results are ordered
         // and all beyond the backlog, so appending keeps it sorted.
-        let missing: Vec<SequencedEvent> = {
-            let mut store = self.store.lock();
-            store.query(
-                &StoreQuery::after_seq(horizon).limit((last_seq - horizon) as usize),
-            )
-        };
+        let missing =
+            self.store.query(&StoreQuery::after_seq(horizon).limit((last_seq - horizon) as usize));
         self.stats.recovered += missing.len() as u64;
         self.backlog.extend(missing);
         // Whatever the store no longer retains is gone for good.
@@ -198,13 +193,9 @@ impl EventConsumer {
     /// Queries the store for the missing range `[next_seq, up_to)` and
     /// prepends whatever is still retained.
     fn backfill_to(&mut self, up_to: u64) {
-        let missing: Vec<SequencedEvent> = {
-            let mut store = self.store.lock();
-            store.query(
-                &StoreQuery::after_seq(self.next_seq - 1)
-                    .limit((up_to - self.next_seq) as usize),
-            )
-        };
+        let missing = self.store.query(
+            &StoreQuery::after_seq(self.next_seq - 1).limit((up_to - self.next_seq) as usize),
+        );
         let recovered: Vec<SequencedEvent> =
             missing.into_iter().filter(|e| e.seq < up_to).collect();
         self.stats.recovered += recovered.len() as u64;
@@ -227,9 +218,12 @@ impl EventConsumer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::store::EventStore;
+    use parking_lot::Mutex;
     use sdci_mq::pubsub::Broker;
     use sdci_types::{ChangelogKind, EventKind, Fid, MdtIndex, SimTime};
     use std::path::PathBuf;
+    use std::sync::Arc;
 
     fn sev(seq: u64) -> SequencedEvent {
         SequencedEvent {
@@ -248,8 +242,7 @@ mod tests {
         }
     }
 
-    fn harness(store_cap: usize) -> (Broker<FeedMessage>, Arc<Mutex<EventStore>>, EventConsumer)
-    {
+    fn harness(store_cap: usize) -> (Broker<FeedMessage>, Arc<Mutex<EventStore>>, EventConsumer) {
         let broker: Broker<FeedMessage> = Broker::new(1024);
         let store = Arc::new(Mutex::new(EventStore::new(store_cap)));
         let consumer = EventConsumer::new(broker.subscribe(&["feed/"]), Arc::clone(&store), 0);
@@ -286,8 +279,7 @@ mod tests {
         for i in 8..=10 {
             p.publish("feed/all", FeedMessage::Event(sev(i)));
         }
-        let got: Vec<u64> =
-            std::iter::from_fn(|| consumer.try_next().map(|e| e.index)).collect();
+        let got: Vec<u64> = std::iter::from_fn(|| consumer.try_next().map(|e| e.index)).collect();
         assert_eq!(got, (1..=10).collect::<Vec<_>>());
         let s = consumer.stats();
         assert_eq!(s.recovered, 7);
@@ -302,8 +294,7 @@ mod tests {
             store.lock().insert(sev(i)); // store retains only 8, 9, 10
         }
         p.publish("feed/all", FeedMessage::Event(sev(10)));
-        let got: Vec<u64> =
-            std::iter::from_fn(|| consumer.try_next().map(|e| e.index)).collect();
+        let got: Vec<u64> = std::iter::from_fn(|| consumer.try_next().map(|e| e.index)).collect();
         assert_eq!(got, vec![8, 9, 10]);
         let s = consumer.stats();
         assert_eq!(s.lost, 7);
@@ -319,8 +310,7 @@ mod tests {
             p.publish("feed/all", FeedMessage::Event(sev(i)));
         }
         p.publish("feed/all", FeedMessage::Event(sev(2))); // duplicate
-        let got: Vec<u64> =
-            std::iter::from_fn(|| consumer.try_next().map(|e| e.index)).collect();
+        let got: Vec<u64> = std::iter::from_fn(|| consumer.try_next().map(|e| e.index)).collect();
         assert_eq!(got, vec![1, 2, 3]);
     }
 
@@ -331,12 +321,10 @@ mod tests {
             store.lock().insert(sev(i));
         }
         // Consumer that had already seen up to 15 reconnects.
-        let mut consumer =
-            EventConsumer::new(broker.subscribe(&["feed/"]), Arc::clone(&store), 15);
+        let mut consumer = EventConsumer::new(broker.subscribe(&["feed/"]), Arc::clone(&store), 15);
         let p = broker.publisher();
         p.publish("feed/all", FeedMessage::Event(sev(20)));
-        let got: Vec<u64> =
-            std::iter::from_fn(|| consumer.try_next().map(|e| e.index)).collect();
+        let got: Vec<u64> = std::iter::from_fn(|| consumer.try_next().map(|e| e.index)).collect();
         assert_eq!(got, vec![16, 17, 18, 19, 20]);
     }
 
@@ -353,8 +341,7 @@ mod tests {
         // Publish only the last one live: everything else recovers from
         // the store, and the filter applies to recovered events too.
         p.publish("feed/all", FeedMessage::Event(sev(15)));
-        let got: Vec<u64> =
-            std::iter::from_fn(|| consumer.try_next().map(|e| e.index)).collect();
+        let got: Vec<u64> = std::iter::from_fn(|| consumer.try_next().map(|e| e.index)).collect();
         assert_eq!(got, vec![1]);
         let stats = consumer.stats();
         assert_eq!(stats.delivered, 1);

@@ -76,7 +76,9 @@ mod pathcache;
 mod resource;
 mod store;
 
-pub use aggregator::{Aggregator, AggregatorSnapshot, AggregatorStats, FeedMessage, SequencedEvent};
+pub use aggregator::{
+    Aggregator, AggregatorSnapshot, AggregatorStats, FeedMessage, SequencedEvent,
+};
 pub use cluster::{ClusterStats, MonitorCluster, MonitorClusterBuilder};
 pub use collector::{Collector, CollectorCheckpoint, CollectorStats};
 pub use config::MonitorConfig;
@@ -84,4 +86,4 @@ pub use consumer::{ConsumerStats, EventConsumer};
 pub use metrics::{IntervalRates, MetricsRecorder, MetricsSample};
 pub use pathcache::{CacheStats, PathCache};
 pub use resource::{ComponentUsage, ResourceModel, ResourceReport};
-pub use store::{EventStore, StoreQuery, StoreStats};
+pub use store::{EventStore, SharedStore, StoreQuery, StoreReader, StoreStats};

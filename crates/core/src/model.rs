@@ -22,9 +22,9 @@
 //! on a laptop.
 
 use crate::pathcache::PathCache;
+use rand::Rng;
 use sdci_des::{ArrivalProcess, ArrivalSchedule, Server, Simulation};
 use sdci_types::{EventsPerSec, Fid, SimDuration, SimTime};
-use rand::Rng;
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -241,12 +241,10 @@ impl PipelineModel {
         let mut sim = Simulation::new(p.seed);
         let window_end = SimTime::EPOCH + p.duration;
 
-        let extract_servers: Vec<Server> = (0..p.mdt_count)
-            .map(|m| Server::new(format!("extract-mdt{m}"), 1))
-            .collect();
-        let process_servers: Vec<Server> = (0..p.mdt_count)
-            .map(|m| Server::new(format!("process-mdt{m}"), 1))
-            .collect();
+        let extract_servers: Vec<Server> =
+            (0..p.mdt_count).map(|m| Server::new(format!("extract-mdt{m}"), 1)).collect();
+        let process_servers: Vec<Server> =
+            (0..p.mdt_count).map(|m| Server::new(format!("process-mdt{m}"), 1)).collect();
         let aggregate_server = Server::new("aggregate", 1);
         let consume_server = Server::new("consume", 1);
         let caches: Vec<Rc<RefCell<PathCache>>> = (0..p.mdt_count)
@@ -284,67 +282,64 @@ impl PipelineModel {
             let aggregate_server = aggregate_server.clone();
             let consume_server = consume_server.clone();
             let caches = caches.clone();
-            ArrivalSchedule::new(arrivals).until(window_end).start(
-                &mut sim,
-                move |sim, index| {
-                    state.borrow_mut().generated += 1;
-                    let arrived = sim.now();
-                    let mdt = (index % mdts) as usize;
-                    let extract = extract_servers[mdt].clone();
-                    let process = process_servers[mdt].clone();
-                    let aggregate = aggregate_server.clone();
-                    let consume = consume_server.clone();
-                    let cache = Rc::clone(&caches[mdt]);
-                    let state = Rc::clone(&state);
+            ArrivalSchedule::new(arrivals).until(window_end).start(&mut sim, move |sim, index| {
+                state.borrow_mut().generated += 1;
+                let arrived = sim.now();
+                let mdt = (index % mdts) as usize;
+                let extract = extract_servers[mdt].clone();
+                let process = process_servers[mdt].clone();
+                let aggregate = aggregate_server.clone();
+                let consume = consume_server.clone();
+                let cache = Rc::clone(&caches[mdt]);
+                let state = Rc::clone(&state);
 
-                    extract.submit(sim, costs.extract, move |sim, _| {
-                        if sim.now() <= window_end {
-                            state.borrow_mut().collector_cpu += costs.extract;
+                extract.submit(sim, costs.extract, move |sim, _| {
+                    if sim.now() <= window_end {
+                        state.borrow_mut().collector_cpu += costs.extract;
+                    }
+                    // Resolution cost decided at processing time from
+                    // live cache state.
+                    let dir = sim.rng().gen_range(0..pool);
+                    let dir_fid = Fid::new(0x9990, dir, 0);
+                    let resolve = {
+                        let mut cache = cache.borrow_mut();
+                        let mut st = state.borrow_mut();
+                        if cache.get(dir_fid).is_some() {
+                            st.cache_hits += 1;
+                            costs.resolve_cached
+                        } else {
+                            st.fid2path_calls += 1;
+                            cache.insert(dir_fid, format!("/pool/dir{dir}"));
+                            costs.resolve_fixed / batch + costs.resolve_marginal
                         }
-                        // Resolution cost decided at processing time from
-                        // live cache state.
-                        let dir = sim.rng().gen_range(0..pool);
-                        let dir_fid = Fid::new(0x9990, dir, 0);
-                        let resolve = {
-                            let mut cache = cache.borrow_mut();
-                            let mut st = state.borrow_mut();
-                            if cache.get(dir_fid).is_some() {
-                                st.cache_hits += 1;
-                                costs.resolve_cached
-                            } else {
-                                st.fid2path_calls += 1;
-                                cache.insert(dir_fid, format!("/pool/dir{dir}"));
-                                costs.resolve_fixed / batch + costs.resolve_marginal
-                            }
-                        };
-                        let service = resolve + costs.refactor;
-                        let state2 = Rc::clone(&state);
-                        process.submit(sim, service, move |sim, finish| {
+                    };
+                    let service = resolve + costs.refactor;
+                    let state2 = Rc::clone(&state);
+                    process.submit(sim, service, move |sim, finish| {
+                        if finish <= window_end {
+                            state2.borrow_mut().collector_cpu += costs.refactor;
+                        }
+                        let state3 = Rc::clone(&state2);
+                        let consume = consume.clone();
+                        aggregate.submit(sim, costs.aggregate, move |sim, finish| {
                             if finish <= window_end {
-                                state2.borrow_mut().collector_cpu += costs.refactor;
+                                state3.borrow_mut().aggregator_cpu += costs.aggregate;
                             }
-                            let state3 = Rc::clone(&state2);
-                            let consume = consume.clone();
-                            aggregate.submit(sim, costs.aggregate, move |sim, finish| {
+                            let state4 = Rc::clone(&state3);
+                            consume.submit(sim, costs.consume, move |_, finish| {
+                                let mut st = state4.borrow_mut();
+                                st.reported_total += 1;
                                 if finish <= window_end {
-                                    state3.borrow_mut().aggregator_cpu += costs.aggregate;
+                                    st.reported_in_window += 1;
+                                    st.consumer_cpu += costs.consume;
                                 }
-                                let state4 = Rc::clone(&state3);
-                                consume.submit(sim, costs.consume, move |_, finish| {
-                                    let mut st = state4.borrow_mut();
-                                    st.reported_total += 1;
-                                    if finish <= window_end {
-                                        st.reported_in_window += 1;
-                                        st.consumer_cpu += costs.consume;
-                                    }
-                                    st.latencies.push(finish - arrived);
-                                    st.drained_at = st.drained_at.max(finish);
-                                });
+                                st.latencies.push(finish - arrived);
+                                st.drained_at = st.drained_at.max(finish);
                             });
                         });
                     });
-                },
-            );
+                });
+            });
         }
 
         sim.run();
@@ -353,18 +348,12 @@ impl PipelineModel {
         let window = p.duration;
         let stage_report = |name: &str, servers: &[Server]| {
             let completed: u64 = servers.iter().map(|s| s.stats().completed).sum();
-            let utilization = servers
-                .iter()
-                .map(|s| s.stats().utilization(window, s.capacity()))
-                .sum::<f64>()
-                / servers.len() as f64;
-            let total_wait: u64 =
-                servers.iter().map(|s| s.stats().mean_wait().as_nanos()).sum();
-            let max_wait = servers
-                .iter()
-                .map(|s| s.stats().max_wait)
-                .max()
-                .unwrap_or(SimDuration::ZERO);
+            let utilization =
+                servers.iter().map(|s| s.stats().utilization(window, s.capacity())).sum::<f64>()
+                    / servers.len() as f64;
+            let total_wait: u64 = servers.iter().map(|s| s.stats().mean_wait().as_nanos()).sum();
+            let max_wait =
+                servers.iter().map(|s| s.stats().max_wait).max().unwrap_or(SimDuration::ZERO);
             StageReport {
                 name: name.to_owned(),
                 completed,
@@ -553,8 +542,7 @@ mod tests {
         // so CPU-seconds are exactly per-event CPU times event count.
         let p = base_params();
         let report = PipelineModel::new(p.clone()).run();
-        let per_event_cpu =
-            (p.costs.extract + p.costs.refactor).as_secs_f64();
+        let per_event_cpu = (p.costs.extract + p.costs.refactor).as_secs_f64();
         let expected = per_event_cpu * report.reported_in_window as f64;
         assert!(
             (report.collector_cpu_seconds - expected).abs() < per_event_cpu * 10.0,

@@ -89,9 +89,7 @@ impl PathCache {
         }
         self.clock += 1;
         if self.map.len() >= self.capacity && !self.map.contains_key(&fid) {
-            if let Some((&lru, _)) =
-                self.map.iter().min_by_key(|(_, (_, used))| *used)
-            {
+            if let Some((&lru, _)) = self.map.iter().min_by_key(|(_, (_, used))| *used) {
                 self.map.remove(&lru);
                 self.stats.evictions += 1;
             }

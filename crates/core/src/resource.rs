@@ -97,17 +97,14 @@ impl ResourceModel {
             },
             aggregator: ComponentUsage {
                 cpu_pct: pipeline.aggregator_cpu_pct(),
-                memory: self
-                    .process_base
-                    .saturating_add(
-                        self.aggregator_bytes_per_event.saturating_mul(events_captured),
-                    ),
+                memory: self.process_base.saturating_add(
+                    self.aggregator_bytes_per_event.saturating_mul(events_captured),
+                ),
             },
             consumer: ComponentUsage {
                 cpu_pct: pipeline.consumer_cpu_pct(),
                 memory: self.process_base.saturating_add(
-                    self.consumer_bytes_per_event
-                        .saturating_mul(self.consumer_buffered_events),
+                    self.consumer_bytes_per_event.saturating_mul(self.consumer_buffered_events),
                 ),
             },
         }

@@ -11,10 +11,13 @@
 //! the size of this local store", §5.2).
 
 use crate::aggregator::SequencedEvent;
+use parking_lot::Mutex;
 use sdci_types::{ByteSize, SimTime};
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::fmt;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Counters for an [`EventStore`].
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -28,7 +31,10 @@ pub struct StoreStats {
 }
 
 /// A query against the store's retained window.
-#[derive(Debug, Default, Clone, PartialEq)]
+///
+/// Serializable so `sdci-net` can carry it over the wire: a remote
+/// consumer's backfill request is exactly this struct.
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StoreQuery {
     /// Only events with sequence number > `after_seq`.
     pub after_seq: Option<u64>,
@@ -240,14 +246,35 @@ impl EventStore {
             if line.trim().is_empty() {
                 continue;
             }
-            let event: SequencedEvent = serde_json::from_str(&line).map_err(|e| {
-                std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
-            })?;
+            let event: SequencedEvent = serde_json::from_str(&line)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
             store.insert(event);
         }
         // Restoration is not new ingestion; reset lifetime counters.
         store.stats = StoreStats { inserted: store.events.len() as u64, ..Default::default() };
         Ok(store)
+    }
+}
+
+/// The Aggregator's shared in-process store handle.
+pub type SharedStore = Arc<Mutex<EventStore>>;
+
+/// Read access to an Aggregator's historic-event store.
+///
+/// The [`EventConsumer`](crate::EventConsumer)'s gap recovery is written
+/// against this trait, so backfill works identically whether the store
+/// lives in the same process ([`SharedStore`]) or behind `sdci-net`'s
+/// query RPC (`RemoteStore`).
+pub trait StoreReader: Send + 'static {
+    /// Runs `query` over the retained window, oldest first. A reader
+    /// that cannot reach the store returns an empty result (the
+    /// consumer then accounts the gap as lost).
+    fn query(&self, query: &StoreQuery) -> Vec<SequencedEvent>;
+}
+
+impl StoreReader for SharedStore {
+    fn query(&self, query: &StoreQuery) -> Vec<SequencedEvent> {
+        self.lock().query(query)
     }
 }
 

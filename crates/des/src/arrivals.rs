@@ -51,9 +51,7 @@ impl ArrivalProcess {
             ArrivalProcess::Uniform { rate } => SimDuration::per_op(rate),
             ArrivalProcess::FixedGap { gap } => gap,
             ArrivalProcess::Poisson { rate } => Self::exponential_gap(rate, rng),
-            ArrivalProcess::Diurnal { .. } => {
-                Self::exponential_gap(self.rate_at(now), rng)
-            }
+            ArrivalProcess::Diurnal { .. } => Self::exponential_gap(self.rate_at(now), rng),
         }
     }
 
@@ -81,8 +79,7 @@ impl ArrivalProcess {
                 if period.is_zero() {
                     return trough;
                 }
-                let phase = (now.elapsed_since_epoch().as_secs_f64()
-                    / period.as_secs_f64())
+                let phase = (now.elapsed_since_epoch().as_secs_f64() / period.as_secs_f64())
                     * std::f64::consts::TAU;
                 let mid = (trough + peak) / 2.0;
                 let amp = (peak - trough) / 2.0;
@@ -179,10 +176,11 @@ mod tests {
         let mut sim = Simulation::new(0);
         let times = Rc::new(RefCell::new(Vec::new()));
         let t = Rc::clone(&times);
-        ArrivalSchedule::new(ArrivalProcess::Uniform { rate: 10.0 }).take(5).start(
-            &mut sim,
-            move |sim, _| t.borrow_mut().push(sim.now().elapsed_since_epoch().as_millis()),
-        );
+        ArrivalSchedule::new(ArrivalProcess::Uniform { rate: 10.0 })
+            .take(5)
+            .start(&mut sim, move |sim, _| {
+                t.borrow_mut().push(sim.now().elapsed_since_epoch().as_millis())
+            });
         sim.run();
         assert_eq!(*times.borrow(), vec![100, 200, 300, 400, 500]);
     }
@@ -230,10 +228,7 @@ mod tests {
             .start(&mut sim, move |_, _| c.set(c.get() + 1));
         sim.run();
         let observed = n.get() as f64 / 10.0;
-        assert!(
-            (observed - 1000.0).abs() < 50.0,
-            "Poisson(1000/s) over 10 s gave {observed}/s"
-        );
+        assert!((observed - 1000.0).abs() < 50.0, "Poisson(1000/s) over 10 s gave {observed}/s");
     }
 
     #[test]
@@ -242,10 +237,9 @@ mod tests {
             let mut sim = Simulation::new(seed);
             let times = Rc::new(RefCell::new(Vec::new()));
             let t = Rc::clone(&times);
-            ArrivalSchedule::new(ArrivalProcess::Poisson { rate: 100.0 }).take(20).start(
-                &mut sim,
-                move |sim, _| t.borrow_mut().push(sim.now().as_nanos()),
-            );
+            ArrivalSchedule::new(ArrivalProcess::Poisson { rate: 100.0 })
+                .take(20)
+                .start(&mut sim, move |sim, _| t.borrow_mut().push(sim.now().as_nanos()));
             sim.run();
             Rc::try_unwrap(times).unwrap().into_inner()
         };
@@ -281,8 +275,7 @@ mod tests {
         })
         .until(SimTime::from_secs(period))
         .start(&mut sim, move |sim, _| {
-            let quarter =
-                (sim.now().elapsed_since_epoch().as_secs() * 4 / period).min(3) as usize;
+            let quarter = (sim.now().elapsed_since_epoch().as_secs() * 4 / period).min(3) as usize;
             b.borrow_mut()[quarter] += 1;
         });
         sim.run();

@@ -10,8 +10,8 @@
 use crate::Simulation;
 use sdci_types::{SimDuration, SimTime};
 use std::cell::RefCell;
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::fmt;
 use std::rc::Rc;
 
@@ -168,13 +168,7 @@ impl Server {
     /// The instant the server becomes fully idle given currently booked
     /// work.
     pub fn drained_at(&self) -> SimTime {
-        self.state
-            .borrow()
-            .slots
-            .iter()
-            .map(|Reverse(t)| *t)
-            .max()
-            .unwrap_or(SimTime::EPOCH)
+        self.state.borrow().slots.iter().map(|Reverse(t)| *t).max().unwrap_or(SimTime::EPOCH)
     }
 
     /// A snapshot of cumulative statistics.

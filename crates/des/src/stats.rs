@@ -166,7 +166,7 @@ mod tests {
         let mut tw = TimeWeighted::new(SimTime::EPOCH, 0.0);
         tw.record(SimTime::from_secs(4), 10.0); // 0.0 held 4 s
         tw.record(SimTime::from_secs(6), 0.0); // 10.0 held 2 s
-        // mean = (0*4 + 10*2)/6
+                                               // mean = (0*4 + 10*2)/6
         assert!((tw.mean() - 20.0 / 6.0).abs() < 1e-9);
         assert_eq!(tw.max(), 10.0);
         assert_eq!(tw.current(), 0.0);

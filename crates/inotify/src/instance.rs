@@ -490,8 +490,7 @@ mod tests {
     #[test]
     fn masked_watch_filters_kinds() {
         let (mut fs, ino) = setup();
-        ino.add_watch_mask(&fs, "/watched", &[EventKind::Created, EventKind::Deleted])
-            .unwrap();
+        ino.add_watch_mask(&fs, "/watched", &[EventKind::Created, EventKind::Deleted]).unwrap();
         fs.create("/watched/f", t(1)).unwrap();
         fs.write("/watched/f", 10, t(2)).unwrap(); // masked out
         fs.set_attr("/watched/f", 0o600, t(3)).unwrap(); // masked out
@@ -516,9 +515,6 @@ mod tests {
     fn watch_on_file_fails() {
         let (mut fs, ino) = setup();
         fs.create("/watched/f", t(0)).unwrap();
-        assert!(matches!(
-            ino.add_watch(&fs, "/watched/f"),
-            Err(InotifyError::NotADirectory(_))
-        ));
+        assert!(matches!(ino.add_watch(&fs, "/watched/f"), Err(InotifyError::NotADirectory(_))));
     }
 }

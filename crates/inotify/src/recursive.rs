@@ -248,10 +248,7 @@ mod tests {
         // mkdir /data/b/x arrives live; /data/b/x/y and deep were
         // created before any watch covered them, so both arrive as
         // synthesized creates — deep exactly once.
-        let deep: Vec<_> = evs
-            .iter()
-            .filter(|e| e.path == Path::new("/data/b/x/y/deep"))
-            .collect();
+        let deep: Vec<_> = evs.iter().filter(|e| e.path == Path::new("/data/b/x/y/deep")).collect();
         assert_eq!(deep.len(), 1);
         // And future deep events are live.
         fs.create("/data/b/x/y/later", t(2)).unwrap();

@@ -155,10 +155,7 @@ impl LustreFs {
     ///
     /// [`LustreError::UnknownFid`] when even the parent is gone (e.g. the
     /// whole subtree was removed before the record was processed).
-    pub fn resolve_record_path(
-        &self,
-        record: &RawChangelogRecord,
-    ) -> Result<PathBuf, LustreError> {
+    pub fn resolve_record_path(&self, record: &RawChangelogRecord) -> Result<PathBuf, LustreError> {
         self.resolutions.fetch_add(1, Ordering::Relaxed);
         if let Some(&inode) = self.fid_to_inode.get(&record.target) {
             // Guard against FID reuse after rename chains: verify the
@@ -167,10 +164,8 @@ impl LustreFs {
             let path = self.fs.path_of(inode);
             return Ok(path);
         }
-        let parent = self
-            .fid_to_inode
-            .get(&record.parent)
-            .ok_or(LustreError::UnknownFid(record.parent))?;
+        let parent =
+            self.fid_to_inode.get(&record.parent).ok_or(LustreError::UnknownFid(record.parent))?;
         let mut path = self.fs.path_of(*parent);
         path.push(&record.name);
         Ok(path)
@@ -340,10 +335,7 @@ impl LustreFs {
         let mdt = self.mdt_of_dir(parent_inode);
         self.fs.hardlink(existing.as_ref(), new_path.as_ref(), now)?;
         let parent_fid = self.fid_of_inode(parent_inode);
-        self.log(
-            mdt,
-            Self::record(ChangelogKind::HardLink, now, 0, target_fid, parent_fid, &name),
-        );
+        self.log(mdt, Self::record(ChangelogKind::HardLink, now, 0, target_fid, parent_fid, &name));
         Ok(())
     }
 
@@ -424,8 +416,8 @@ impl LustreFs {
         // An existing destination file will be replaced: capture its FID
         // for the implicit unlink record.
         let overwritten = match self.fs.lookup(&to_norm) {
-            Ok(dest) if dest != inode
-                && self.fs.stat_inode(dest).file_type != FileType::Directory =>
+            Ok(dest)
+                if dest != inode && self.fs.stat_inode(dest).file_type != FileType::Directory =>
             {
                 Some((dest, self.fid_of_inode(dest), self.fs.stat_inode(dest).nlink == 1))
             }
@@ -594,10 +586,7 @@ mod tests {
         let fid = lfs.create("/a/b/f.dat", t(1)).unwrap();
         assert_eq!(lfs.fid2path(fid).unwrap(), PathBuf::from("/a/b/f.dat"));
         assert_eq!(lfs.resolution_count(), 1);
-        assert!(matches!(
-            lfs.fid2path(Fid::new(0xdead, 1, 0)),
-            Err(LustreError::UnknownFid(_))
-        ));
+        assert!(matches!(lfs.fid2path(Fid::new(0xdead, 1, 0)), Err(LustreError::UnknownFid(_))));
     }
 
     #[test]
@@ -667,12 +656,8 @@ mod tests {
         lfs.write("/f", 100, t(1)).unwrap();
         lfs.truncate("/f", 10, t(2)).unwrap();
         lfs.set_attr("/f", 0o600, t(3)).unwrap();
-        let kinds: Vec<_> = lfs
-            .changelog(MdtIndex::new(0))
-            .read_from(0, 10)
-            .iter()
-            .map(|r| r.kind)
-            .collect();
+        let kinds: Vec<_> =
+            lfs.changelog(MdtIndex::new(0)).read_from(0, 10).iter().map(|r| r.kind).collect();
         assert_eq!(
             kinds,
             vec![
@@ -692,10 +677,7 @@ mod tests {
         let recs = lfs.changelog(MdtIndex::new(0)).read_from(0, 10);
         assert_eq!(recs.last().unwrap().kind, ChangelogKind::SetXattr);
         assert_eq!(recs.last().unwrap().kind.type_column(), "15XATTR");
-        assert_eq!(
-            lfs.fs().get_xattr("/f", "user.tag").unwrap(),
-            Some(b"x".to_vec())
-        );
+        assert_eq!(lfs.fs().get_xattr("/f", "user.tag").unwrap(), Some(b"x".to_vec()));
     }
 
     #[test]
@@ -709,11 +691,8 @@ mod tests {
         lfs.unlink("/b", t(3)).unwrap();
         assert!(lfs.fid2path(fid).is_err());
         let recs = lfs.changelog(MdtIndex::new(0)).read_from(0, 10);
-        let unlinks: Vec<u32> = recs
-            .iter()
-            .filter(|r| r.kind == ChangelogKind::Unlink)
-            .map(|r| r.flags)
-            .collect();
+        let unlinks: Vec<u32> =
+            recs.iter().filter(|r| r.kind == ChangelogKind::Unlink).map(|r| r.flags).collect();
         assert_eq!(unlinks, vec![0, CLF_UNLINK_LAST]);
     }
 
@@ -764,9 +743,7 @@ mod tests {
                 lfs.create(format!("/d{i}/f{j}"), t(1)).unwrap();
             }
         }
-        let per_mdt: u64 = (0..3)
-            .map(|m| lfs.changelog(MdtIndex::new(m)).stats().appended)
-            .sum();
+        let per_mdt: u64 = (0..3).map(|m| lfs.changelog(MdtIndex::new(m)).stats().appended).sum();
         assert_eq!(per_mdt, lfs.total_events());
         assert_eq!(lfs.total_events(), 6 + 30);
     }

@@ -90,9 +90,8 @@ impl LustreFs {
 
     fn place_stripes(&mut self, inode: InodeId, count: u32) {
         let ost_count = self.config().ost_count;
-        let stripes: Vec<OstIndex> = (0..count)
-            .map(|k| OstIndex::new((self.ost_round_robin + k) % ost_count))
-            .collect();
+        let stripes: Vec<OstIndex> =
+            (0..count).map(|k| OstIndex::new((self.ost_round_robin + k) % ost_count)).collect();
         self.ost_round_robin = (self.ost_round_robin + count) % ost_count;
         for ost in &stripes {
             self.ost_usage[ost.as_usize()].objects += 1;
@@ -201,11 +200,7 @@ impl LustreFs {
     /// Space usage across OSTs (an `lfs df` stand-in).
     pub fn ost_report(&self) -> OstReport {
         let used = ByteSize::from_bytes(self.ost_usage.iter().map(|o| o.bytes).sum());
-        OstReport {
-            osts: self.ost_usage.clone(),
-            used,
-            capacity: self.config().capacity,
-        }
+        OstReport { osts: self.ost_usage.clone(), used, capacity: self.config().capacity }
     }
 }
 

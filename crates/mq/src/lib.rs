@@ -18,9 +18,11 @@
 //!   entries whose processing failed (§3 "Architecture"). Visibility
 //!   timeouts and at-least-once delivery match SQS semantics.
 //!
-//! Everything is in-process and thread-based: `Send + 'static` payloads
-//! over crossbeam channels. (The real deployments speak TCP; process
-//! boundaries are not load-bearing for any experiment in the paper.)
+//! Everything here is in-process and thread-based: `Send + 'static`
+//! payloads over crossbeam channels. The [`transport`] module abstracts
+//! the fabric behind [`Publish`]/[`Subscribe`]/[`Transport`] traits, and
+//! the `sdci-net` crate provides a real TCP implementation of the same
+//! contracts so the monitor's roles can run as separate OS processes.
 //!
 //! # Example: pub-sub with topic filtering
 //!
@@ -47,8 +49,10 @@ pub mod lambda;
 pub mod pipe;
 pub mod pubsub;
 pub mod sqs;
+pub mod transport;
 
 pub use lambda::{LambdaPool, LambdaStats};
 pub use pipe::{pipeline, Pull, Push};
 pub use pubsub::{BatchingPublisher, Broker, Message, Publisher, Subscriber};
 pub use sqs::{Receipt, SqsConfig, SqsQueue, SqsStats};
+pub use transport::{Publish, PullSubscriber, Subscribe, Transport};

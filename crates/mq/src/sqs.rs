@@ -157,9 +157,8 @@ impl<T: Send + 'static> SqsQueue<T> {
     pub fn delete(&self, receipt: Receipt) -> bool {
         let mut st = self.state.lock();
         let before = st.in_flight.len();
-        st.in_flight.retain(|e| {
-            !(e.id == receipt.message_id && e.receive_count == receipt.delivery)
-        });
+        st.in_flight
+            .retain(|e| !(e.id == receipt.message_id && e.receive_count == receipt.delivery));
         let removed = st.in_flight.len() < before;
         if removed {
             st.stats.deleted += 1;
@@ -182,9 +181,7 @@ impl<T: Send + 'static> SqsQueue<T> {
         let mut requeued = 0;
         let mut i = 0;
         while i < st.in_flight.len() {
-            let expired = st.in_flight[i]
-                .invisible_until
-                .is_some_and(|deadline| deadline <= now);
+            let expired = st.in_flight[i].invisible_until.is_some_and(|deadline| deadline <= now);
             if expired {
                 let mut entry = st.in_flight.swap_remove(i);
                 entry.invisible_until = None;

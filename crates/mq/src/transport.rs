@@ -1,0 +1,168 @@
+//! Transport abstraction: the seam between the monitor and its fabric.
+//!
+//! The monitor pipeline (Collector → Aggregator → consumers) is written
+//! against these traits rather than concrete channel types, so the same
+//! code runs over the in-process [`Broker`](crate::pubsub::Broker)
+//! (threads in one process, as in every simulation experiment) or over
+//! `sdci-net`'s TCP sockets (one OS process per monitor role, as in the
+//! paper's real deployment).
+//!
+//! * [`Publish`] — the sending side of a topic-addressed, lossy
+//!   (high-water-marked) fan-out.
+//! * [`Subscribe`] — the receiving side: a prefix-filtered stream of
+//!   [`Message`]s.
+//! * [`Transport`] — a factory tying the two together, implemented by
+//!   `pubsub::Broker` and by `sdci_net::TcpTransport`.
+//!
+//! [`PullSubscriber`] adapts a PUSH/PULL [`Pull`] endpoint (lossless,
+//! blocking) into a [`Subscribe`] stream so an Aggregator can ingest
+//! from either fabric.
+
+use crate::pipe::Pull;
+use crate::pubsub::{Broker, Message, Publisher, Subscriber};
+use std::time::Duration;
+
+/// The sending side of a topic-addressed event fan-out.
+///
+/// Delivery follows the PUB/SUB contract: best-effort, shedding at a
+/// high-water mark when a subscriber (or the wire) falls behind.
+pub trait Publish<T>: Send + 'static {
+    /// Publishes `payload` on `topic`. Never blocks on slow consumers.
+    fn publish(&self, topic: &str, payload: T);
+}
+
+/// The receiving side of a topic-addressed event fan-out.
+pub trait Subscribe<T>: Send + 'static {
+    /// Blocks until a message arrives; `None` when the stream is closed.
+    fn recv(&self) -> Option<Message<T>>;
+
+    /// Returns a message if one is queued, without blocking.
+    fn try_recv(&self) -> Option<Message<T>>;
+
+    /// Blocks up to `timeout`; `None` on timeout or close.
+    fn recv_timeout(&self, timeout: Duration) -> Option<Message<T>>;
+}
+
+/// A factory for matched [`Publish`]/[`Subscribe`] endpoints.
+///
+/// Implemented by the in-process [`Broker`] and by `sdci_net`'s
+/// `TcpTransport`; `MonitorClusterBuilder::start_over` accepts either.
+pub trait Transport<T> {
+    /// The publisher endpoint this transport hands out.
+    type Publisher: Publish<T>;
+    /// The subscriber endpoint this transport hands out.
+    type Subscriber: Subscribe<T>;
+
+    /// Creates a new publisher endpoint.
+    fn publisher(&self) -> Self::Publisher;
+
+    /// Creates a subscription filtered to topics starting with any of
+    /// `prefixes` (an empty prefix matches everything).
+    fn subscribe(&self, prefixes: &[&str]) -> Self::Subscriber;
+}
+
+impl<T: Clone + Send + 'static> Publish<T> for Publisher<T> {
+    fn publish(&self, topic: &str, payload: T) {
+        Publisher::publish(self, topic, payload);
+    }
+}
+
+impl<T: Send + 'static> Subscribe<T> for Subscriber<T> {
+    fn recv(&self) -> Option<Message<T>> {
+        Subscriber::recv(self)
+    }
+
+    fn try_recv(&self) -> Option<Message<T>> {
+        Subscriber::try_recv(self)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Option<Message<T>> {
+        Subscriber::recv_timeout(self, timeout)
+    }
+}
+
+impl<T: Clone + Send + 'static> Transport<T> for Broker<T> {
+    type Publisher = Publisher<T>;
+    type Subscriber = Subscriber<T>;
+
+    fn publisher(&self) -> Publisher<T> {
+        Broker::publisher(self)
+    }
+
+    fn subscribe(&self, prefixes: &[&str]) -> Subscriber<T> {
+        Broker::subscribe(self, prefixes)
+    }
+}
+
+/// Adapts the lossless PUSH/PULL [`Pull`] endpoint into a [`Subscribe`]
+/// stream by stamping every item with a fixed topic.
+///
+/// This is how a distributed Aggregator ingests Collector events that
+/// arrived over `sdci-net`'s acknowledged PUSH/PULL pipe (which carries
+/// no topics — the lossless leg doesn't filter).
+#[derive(Debug, Clone)]
+pub struct PullSubscriber<T> {
+    pull: Pull<T>,
+    topic: String,
+}
+
+impl<T: Send + 'static> PullSubscriber<T> {
+    /// Wraps `pull`, labelling every received item with `topic`.
+    pub fn new(pull: Pull<T>, topic: impl Into<String>) -> Self {
+        PullSubscriber { pull, topic: topic.into() }
+    }
+
+    fn message(&self, payload: T) -> Message<T> {
+        Message { topic: self.topic.clone(), payload }
+    }
+}
+
+impl<T: Send + 'static> Subscribe<T> for PullSubscriber<T> {
+    fn recv(&self) -> Option<Message<T>> {
+        self.pull.recv().map(|p| self.message(p))
+    }
+
+    fn try_recv(&self) -> Option<Message<T>> {
+        self.pull.try_recv().map(|p| self.message(p))
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Option<Message<T>> {
+        self.pull.recv_timeout(timeout).map(|p| self.message(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipe::pipeline;
+
+    fn publish_via<P: Publish<u32>>(p: &P) {
+        p.publish("events/t", 7);
+    }
+
+    fn drain_via<S: Subscribe<u32>>(s: &S) -> Vec<u32> {
+        std::iter::from_fn(|| s.try_recv().map(|m| m.payload)).collect()
+    }
+
+    #[test]
+    fn broker_satisfies_transport() {
+        let broker: Broker<u32> = Broker::new(16);
+        let sub = Transport::subscribe(&broker, &["events/"]);
+        let publisher = Transport::publisher(&broker);
+        publish_via(&publisher);
+        assert_eq!(drain_via(&sub), vec![7]);
+    }
+
+    #[test]
+    fn pull_subscriber_labels_topic() {
+        let (push, pull) = pipeline::<u32>(8);
+        let sub = PullSubscriber::new(pull, "events/remote");
+        push.send(1);
+        push.send(2);
+        let first = sub.recv().unwrap();
+        assert_eq!(first.topic, "events/remote");
+        assert_eq!(first.payload, 1);
+        assert_eq!(sub.recv_timeout(Duration::from_millis(10)).unwrap().payload, 2);
+        assert!(sub.try_recv().is_none());
+    }
+}

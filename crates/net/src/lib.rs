@@ -1,0 +1,47 @@
+//! sdci-net: the monitor's transport fabric over real TCP sockets.
+//!
+//! The in-process broker in [`sdci_mq`] carries the paper's ZeroMQ
+//! semantics inside one process; this crate carries the same semantics
+//! across processes, so Collector → Aggregator → Consumer can run as
+//! three OS processes (or three hosts):
+//!
+//! * [`wire`] — the framing: 4-byte big-endian length prefix + one
+//!   JSON-encoded [`wire::Frame`].
+//! * [`conn`] — supervision policy: jittered exponential reconnect
+//!   backoff, heartbeat/liveness tunables ([`conn::NetConfig`]).
+//! * [`pubsub`] — lossy PUB/SUB ([`TcpBroker`], [`TcpPublisher`],
+//!   [`TcpSubscriber`]) with per-subscriber high-water-mark shedding,
+//!   mirroring `sdci_mq::pubsub`. [`TcpTransport`] implements
+//!   `sdci_mq::transport::Transport`, so `MonitorClusterBuilder::
+//!   start_over` accepts it interchangeably with an in-process broker.
+//! * [`pipe`] — lossless PUSH/PULL ([`TcpPullServer`], [`TcpPush`]):
+//!   per-client sequence numbers, acknowledgements, and resend-on-
+//!   reconnect give at-least-once delivery with server-side dedup —
+//!   "no events are lost once they have been processed" (§5.2).
+//! * [`store_rpc`] — a minimal query RPC ([`StoreServer`],
+//!   [`RemoteStore`]) exposing the Aggregator's [`EventStore`] so a
+//!   remote `EventConsumer` can backfill gaps after reconnecting.
+//!
+//! Every client endpoint is supervised: constructors return
+//! immediately and a background worker connects (and re-connects,
+//! forever, with backoff) on the caller's behalf. Process failure
+//! therefore shows up downstream as a sequence gap — which the
+//! consumer already heals from the store — not as an error the
+//! application has to handle.
+//!
+//! [`EventStore`]: sdci_core::EventStore
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conn;
+pub mod pipe;
+pub mod pubsub;
+pub mod store_rpc;
+pub mod wire;
+
+pub use conn::{Backoff, NetConfig, RetryPolicy};
+pub use pipe::{TcpPullServer, TcpPush};
+pub use pubsub::{TcpBroker, TcpPublisher, TcpSubscriber, TcpTransport};
+pub use store_rpc::{RemoteStore, StoreServer};
+pub use wire::{Frame, FRAME_HEADER_LEN, MAX_FRAME_LEN};

@@ -1,0 +1,527 @@
+//! TCP PUSH/PULL: the lossless Collector → Aggregator leg.
+//!
+//! The paper's §5.2 observation — "no events are lost once they have
+//! been processed" — becomes a protocol here:
+//!
+//! * every [`TcpPush`] client has a stable identity and numbers its
+//!   items with a dense per-client sequence starting at 1;
+//! * the [`TcpPullServer`] acknowledges each item only after handing it
+//!   to the local (blocking, bounded) pipeline, and remembers the
+//!   highest sequence accepted per client;
+//! * after a reconnect the client re-sends everything unacknowledged
+//!   and the server discards duplicates by sequence number.
+//!
+//! The result is at-least-once delivery on the wire and exactly-once
+//! delivery into the pipeline, with backpressure end to end: the pusher
+//! blocks once [`NetConfig::window`] items are in flight, and the
+//! server blocks reading the socket while the local pipeline is full.
+
+use crate::conn::{Backoff, NetConfig};
+use crate::wire::{read_msg, write_msg, Frame};
+use sdci_mq::pipe::{pipeline, Pull, Push};
+use sdci_mq::transport::Publish;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Counter snapshot for a [`TcpPullServer`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PullServerStats {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Items handed to the local pipeline.
+    pub items: u64,
+    /// Re-sent items discarded as duplicates.
+    pub duplicates: u64,
+}
+
+#[derive(Debug, Default)]
+struct ServerCounters {
+    accepted: AtomicU64,
+    items: AtomicU64,
+    duplicates: AtomicU64,
+}
+
+/// The PULL side: accepts [`TcpPush`] clients and funnels their items,
+/// deduplicated and in per-client order, into a local bounded pipeline
+/// consumed via [`TcpPullServer::pull`].
+pub struct TcpPullServer<T> {
+    pull: Pull<T>,
+    push: Option<Push<T>>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<parking_lot::Mutex<Vec<JoinHandle<()>>>>,
+    counters: Arc<ServerCounters>,
+}
+
+impl<T> std::fmt::Debug for TcpPullServer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpPullServer").field("addr", &self.addr).finish()
+    }
+}
+
+impl<T> TcpPullServer<T>
+where
+    T: Send + Serialize + Deserialize + 'static,
+{
+    /// Binds `addr` and starts accepting pushers. `capacity` bounds the
+    /// local pipeline; when the puller falls that far behind, incoming
+    /// connections block (backpressure) rather than shed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the listener bind failure.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        capacity: usize,
+        cfg: NetConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let (push, pull) = pipeline::<T>(capacity);
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<parking_lot::Mutex<Vec<JoinHandle<()>>>> = Arc::default();
+        let counters = Arc::new(ServerCounters::default());
+        let seen: Arc<parking_lot::Mutex<HashMap<String, u64>>> = Arc::default();
+        let accept = {
+            let push = push.clone();
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            let counters = Arc::clone(&counters);
+            std::thread::Builder::new()
+                .name(format!("sdci-net-pull-{}", addr.port()))
+                .spawn(move || {
+                    pull_accept_loop(listener, push, seen, cfg, stop, conns, counters);
+                })
+                .expect("spawn pull accept thread")
+        };
+        Ok(TcpPullServer {
+            pull,
+            push: Some(push),
+            addr,
+            stop,
+            accept: Some(accept),
+            conns,
+            counters,
+        })
+    }
+
+    /// The address actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The local consuming end. `Pull::recv` returns `None` once the
+    /// server has shut down and every connection has drained.
+    pub fn pull(&self) -> Pull<T> {
+        self.pull.clone()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PullServerStats {
+        PullServerStats {
+            accepted: self.counters.accepted.load(Ordering::Relaxed),
+            items: self.counters.items.load(Ordering::Relaxed),
+            duplicates: self.counters.duplicates.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting, joins every connection (each finishes its
+    /// in-flight frame), and closes the local pipeline's push end so
+    /// pullers observe end-of-stream after draining.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        let handles: Vec<JoinHandle<()>> = self.conns.lock().drain(..).collect();
+        for t in handles {
+            let _ = t.join();
+        }
+        self.push = None;
+    }
+}
+
+impl<T> Drop for TcpPullServer<T> {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn pull_accept_loop<T>(
+    listener: TcpListener,
+    push: Push<T>,
+    seen: Arc<parking_lot::Mutex<HashMap<String, u64>>>,
+    cfg: NetConfig,
+    stop: Arc<AtomicBool>,
+    conns: Arc<parking_lot::Mutex<Vec<JoinHandle<()>>>>,
+    counters: Arc<ServerCounters>,
+) where
+    T: Send + Serialize + Deserialize + 'static,
+{
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                counters.accepted.fetch_add(1, Ordering::Relaxed);
+                let push = push.clone();
+                let seen = Arc::clone(&seen);
+                let cfg = cfg.clone();
+                let stop = Arc::clone(&stop);
+                let counters = Arc::clone(&counters);
+                let handle = std::thread::Builder::new()
+                    .name("sdci-net-pull-conn".into())
+                    .spawn(move || serve_pusher(stream, push, seen, cfg, stop, counters))
+                    .expect("spawn pull connection thread");
+                let mut guard = conns.lock();
+                guard.retain(|h| !h.is_finished());
+                guard.push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn serve_pusher<T>(
+    stream: TcpStream,
+    push: Push<T>,
+    seen: Arc<parking_lot::Mutex<HashMap<String, u64>>>,
+    cfg: NetConfig,
+    stop: Arc<AtomicBool>,
+    counters: Arc<ServerCounters>,
+) where
+    T: Send + Serialize + Deserialize + 'static,
+{
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(cfg.heartbeat)).is_err() {
+        return;
+    }
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    // Handshake: learn the client identity, tell it where we are.
+    let client = match read_msg::<Frame<T>>(&mut reader) {
+        Ok(Frame::HelloPush { client, .. }) => client,
+        _ => return,
+    };
+    let mut last = *seen.lock().entry(client.clone()).or_insert(0);
+    if write_msg(&mut writer, &Frame::<T>::Ack { up_to: last }).is_err() {
+        return;
+    }
+    let mut last_traffic = Instant::now();
+    // `stop` is checked every iteration, not just on timeouts, so a
+    // client streaming at full rate cannot pin the handler past
+    // shutdown. Unacked in-flight items are re-sent to the next server.
+    while !stop.load(Ordering::Relaxed) {
+        match read_msg::<Frame<T>>(&mut reader) {
+            Ok(Frame::Item { seq, payload }) => {
+                last_traffic = Instant::now();
+                if seq > last {
+                    // Ack only after the pipeline takes it: an ack means
+                    // "processed", so a crash before this point makes the
+                    // client re-send, never lose.
+                    if !push.send(payload) {
+                        return;
+                    }
+                    last = seq;
+                    seen.lock().insert(client.clone(), seq);
+                    counters.items.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    counters.duplicates.fetch_add(1, Ordering::Relaxed);
+                }
+                if write_msg(&mut writer, &Frame::<T>::Ack { up_to: last }).is_err() {
+                    return;
+                }
+            }
+            Ok(Frame::Ping) => {
+                last_traffic = Instant::now();
+                // Re-ack as a keepalive so an idle client still hears us.
+                if write_msg(&mut writer, &Frame::<T>::Ack { up_to: last }).is_err() {
+                    return;
+                }
+            }
+            Ok(Frame::Fin) => return,
+            Ok(_) => {}
+            Err(e) if timed_out(&e) => {
+                if last_traffic.elapsed() > cfg.liveness {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn timed_out(e: &std::io::Error) -> bool {
+    matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+}
+
+#[derive(Debug, Default)]
+struct PushState {
+    /// Items accepted by `send` and not yet acknowledged by the server.
+    pending: AtomicU64,
+    /// Items acknowledged (processed) by the server.
+    acked: AtomicU64,
+    /// Successful connections (>1 means the link was re-established).
+    connections: AtomicU64,
+}
+
+/// The PUSH side: a cloneable, supervised sender whose items are
+/// guaranteed to reach the [`TcpPullServer`]'s pipeline exactly once,
+/// surviving connection loss and server restarts.
+///
+/// `send` blocks while the in-flight window is full (backpressure);
+/// [`TcpPush::drain`] waits until everything sent has been acknowledged
+/// — call it before exiting to make "collector done" mean "aggregator
+/// has the events".
+pub struct TcpPush<T> {
+    tx: crossbeam_channel::Sender<T>,
+    state: Arc<PushState>,
+}
+
+impl<T> Clone for TcpPush<T> {
+    fn clone(&self) -> Self {
+        TcpPush { tx: self.tx.clone(), state: Arc::clone(&self.state) }
+    }
+}
+
+impl<T> std::fmt::Debug for TcpPush<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpPush").finish_non_exhaustive()
+    }
+}
+
+impl<T> TcpPush<T>
+where
+    T: Clone + Send + Serialize + Deserialize + 'static,
+{
+    /// Starts a supervised pusher toward `addr`. `client` must be
+    /// stable across restarts of the same logical pusher — it keys the
+    /// server's duplicate-suppression state.
+    pub fn connect(addr: SocketAddr, client: impl Into<String>, cfg: NetConfig) -> Self {
+        let client = client.into();
+        let (tx, rx) = crossbeam_channel::bounded::<T>(cfg.window.max(1));
+        let state = Arc::new(PushState::default());
+        {
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name(format!("sdci-net-push-{client}"))
+                .spawn(move || push_worker(addr, client, cfg, rx, state))
+                .expect("spawn push worker");
+        }
+        TcpPush { tx, state }
+    }
+
+    /// Queues one item, blocking while the window is full. Returns
+    /// `false` only if the worker has terminated (it never does while a
+    /// handle is alive).
+    pub fn send(&self, item: T) -> bool {
+        self.state.pending.fetch_add(1, Ordering::Relaxed);
+        if self.tx.send(item).is_ok() {
+            true
+        } else {
+            self.state.pending.fetch_sub(1, Ordering::Relaxed);
+            false
+        }
+    }
+
+    /// Waits until every item sent on any clone has been acknowledged
+    /// by the server, or `timeout` elapses. Returns `true` when fully
+    /// drained.
+    pub fn drain(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.state.pending.load(Ordering::Relaxed) > 0 {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        true
+    }
+
+    /// Items acknowledged (processed by the server) so far.
+    pub fn acked(&self) -> u64 {
+        self.state.acked.load(Ordering::Relaxed)
+    }
+
+    /// Successful connections so far (>1 means the link was re-established).
+    pub fn connections(&self) -> u64 {
+        self.state.connections.load(Ordering::Relaxed)
+    }
+}
+
+/// Lets a [`TcpPush`] stand in where a pub-sub publisher is expected
+/// (e.g. a `Collector`'s event output). The topic is dropped: the PUSH
+/// leg is point-to-point and events carry their own MDT index.
+impl<T> Publish<T> for TcpPush<T>
+where
+    T: Clone + Send + Serialize + Deserialize + 'static,
+{
+    fn publish(&self, _topic: &str, payload: T) {
+        self.send(payload);
+    }
+}
+
+fn push_worker<T>(
+    addr: SocketAddr,
+    client: String,
+    cfg: NetConfig,
+    rx: crossbeam_channel::Receiver<T>,
+    state: Arc<PushState>,
+) where
+    T: Clone + Send + Serialize + Deserialize + 'static,
+{
+    let window = cfg.window.max(1);
+    let mut backoff = Backoff::new(cfg.retry);
+    let mut unacked: VecDeque<(u64, T)> = VecDeque::new();
+    let mut next_seq: u64 = 1;
+    let mut last_acked: u64 = 0;
+    let mut senders_gone = false;
+
+    let ack_up_to =
+        |up_to: u64, unacked: &mut VecDeque<(u64, T)>, last_acked: &mut u64, state: &PushState| {
+            while unacked.front().is_some_and(|(seq, _)| *seq <= up_to) {
+                unacked.pop_front();
+                state.pending.fetch_sub(1, Ordering::Relaxed);
+                state.acked.fetch_add(1, Ordering::Relaxed);
+            }
+            if up_to > *last_acked {
+                *last_acked = up_to;
+            }
+        };
+
+    'reconnect: loop {
+        // `senders_gone` is only set once the queue reported
+        // Disconnected, which implies it was empty — so this is the
+        // all-delivered exit.
+        if senders_gone && unacked.is_empty() {
+            return;
+        }
+        let Ok(stream) = TcpStream::connect(addr) else {
+            std::thread::sleep(backoff.next_delay());
+            continue;
+        };
+        let _ = stream.set_nodelay(true);
+        if stream.set_read_timeout(Some(cfg.heartbeat)).is_err() {
+            continue;
+        }
+        let mut writer = match stream.try_clone() {
+            Ok(w) => w,
+            Err(_) => continue,
+        };
+        let mut reader = BufReader::new(stream);
+        let hello = Frame::<T>::HelloPush { client: client.clone(), resume_after: last_acked };
+        if write_msg(&mut writer, &hello).is_err() {
+            continue;
+        }
+        // The server replies with its own high-water mark, which may be
+        // ahead of ours (acks lost with the previous connection).
+        let hello_sent = Instant::now();
+        let server_mark = loop {
+            match read_msg::<Frame<T>>(&mut reader) {
+                Ok(Frame::Ack { up_to }) => break up_to,
+                Ok(_) => {}
+                Err(e) if timed_out(&e) => {
+                    if hello_sent.elapsed() > cfg.liveness {
+                        continue 'reconnect;
+                    }
+                }
+                Err(_) => continue 'reconnect,
+            }
+        };
+        ack_up_to(server_mark, &mut unacked, &mut last_acked, &state);
+        // Re-send everything the server has not seen.
+        for (seq, item) in &unacked {
+            let frame = Frame::Item { seq: *seq, payload: item.clone() };
+            if write_msg(&mut writer, &frame).is_err() {
+                continue 'reconnect;
+            }
+        }
+        backoff.reset();
+        state.connections.fetch_add(1, Ordering::Relaxed);
+        let mut last_write = Instant::now();
+        loop {
+            // Fill the window from the local queue.
+            let mut wrote = false;
+            while unacked.len() < window {
+                match rx.try_recv() {
+                    Ok(item) => {
+                        let seq = next_seq;
+                        next_seq += 1;
+                        unacked.push_back((seq, item.clone()));
+                        let frame = Frame::Item { seq, payload: item };
+                        if write_msg(&mut writer, &frame).is_err() {
+                            continue 'reconnect;
+                        }
+                        wrote = true;
+                    }
+                    Err(crossbeam_channel::TryRecvError::Empty) => break,
+                    Err(crossbeam_channel::TryRecvError::Disconnected) => {
+                        senders_gone = true;
+                        break;
+                    }
+                }
+            }
+            if wrote {
+                last_write = Instant::now();
+            }
+            if unacked.is_empty() {
+                if senders_gone {
+                    let _ = write_msg(&mut writer, &Frame::<T>::Fin);
+                    return;
+                }
+                // Idle: wait for new items, pinging to stay alive.
+                match rx.recv_timeout(cfg.heartbeat) {
+                    Ok(item) => {
+                        let seq = next_seq;
+                        next_seq += 1;
+                        unacked.push_back((seq, item.clone()));
+                        let frame = Frame::Item { seq, payload: item };
+                        if write_msg(&mut writer, &frame).is_err() {
+                            continue 'reconnect;
+                        }
+                        last_write = Instant::now();
+                    }
+                    Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
+                        if last_write.elapsed() >= cfg.heartbeat {
+                            if write_msg(&mut writer, &Frame::<T>::Ping).is_err() {
+                                continue 'reconnect;
+                            }
+                            last_write = Instant::now();
+                        }
+                    }
+                    Err(crossbeam_channel::RecvTimeoutError::Disconnected) => {
+                        senders_gone = true;
+                    }
+                }
+            } else {
+                // Window has items in flight: wait for acks.
+                match read_msg::<Frame<T>>(&mut reader) {
+                    Ok(Frame::Ack { up_to }) => {
+                        ack_up_to(up_to, &mut unacked, &mut last_acked, &state);
+                    }
+                    Ok(_) => {}
+                    Err(e) if timed_out(&e) => {}
+                    Err(_) => continue 'reconnect,
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,649 @@
+//! TCP PUB/SUB: the in-process broker's contract over real sockets.
+//!
+//! A [`TcpBroker`] owns (or bridges) a local [`Broker`] and accepts two
+//! kinds of client, distinguished by their handshake frame:
+//!
+//! * **publishers** ([`TcpPublisher`]) stream `Publish` frames that the
+//!   server republishes into the local broker;
+//! * **subscribers** ([`TcpSubscriber`]) send their topic-prefix list
+//!   and receive `Deliver` frames fanned out from a local subscription.
+//!
+//! Semantics match `sdci_mq::pubsub`: best-effort delivery with a
+//! per-subscriber high-water mark. Backpressure from a slow socket
+//! fills that subscriber's local queue, and the broker sheds newer
+//! messages for that subscriber only — exactly what happens in-process.
+//!
+//! Both client endpoints are supervised: they reconnect forever with
+//! jittered exponential backoff ([`Backoff`]), and both sides probe
+//! idle connections with `Ping` frames so a dead peer is detected
+//! within the configured liveness window.
+
+use crate::conn::{Backoff, NetConfig};
+use crate::wire::{read_msg, write_msg, Frame};
+use sdci_mq::pubsub::{Broker, Message};
+use sdci_mq::transport::{Publish, Subscribe, Transport};
+use serde::{Deserialize, Serialize};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Counter snapshot for a [`TcpBroker`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TcpBrokerStats {
+    /// Connections accepted (all roles).
+    pub accepted: u64,
+    /// Frames received from remote publishers.
+    pub frames_in: u64,
+    /// Frames delivered to remote subscribers.
+    pub frames_out: u64,
+}
+
+#[derive(Debug, Default)]
+struct BrokerCounters {
+    accepted: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+}
+
+/// A TCP-facing pub-sub broker bridging remote clients onto a local
+/// [`Broker`].
+///
+/// Local code keeps using the wrapped broker directly ([`TcpBroker::publisher`],
+/// [`TcpBroker::subscribe`]); remote processes connect with
+/// [`TcpPublisher`]/[`TcpSubscriber`]. Dropping the `TcpBroker` (or
+/// calling [`TcpBroker::shutdown`]) stops accepting, drains queued
+/// messages to connected subscribers, and sends them `Fin`.
+pub struct TcpBroker<T> {
+    local: Broker<T>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<parking_lot::Mutex<Vec<JoinHandle<()>>>>,
+    counters: Arc<BrokerCounters>,
+}
+
+impl<T> std::fmt::Debug for TcpBroker<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpBroker").field("addr", &self.addr).finish()
+    }
+}
+
+impl<T> TcpBroker<T>
+where
+    T: Clone + Send + Serialize + Deserialize + 'static,
+{
+    /// Binds `addr` and serves a freshly created broker with the given
+    /// high-water mark.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the listener bind failure.
+    pub fn bind(addr: impl ToSocketAddrs, hwm: usize, cfg: NetConfig) -> std::io::Result<Self> {
+        Self::serve(Broker::new(hwm), addr, cfg)
+    }
+
+    /// Binds `addr` and serves an existing broker — e.g. the
+    /// Aggregator's feed broker, exposing `feed/` to remote consumers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the listener bind failure.
+    pub fn serve(
+        local: Broker<T>,
+        addr: impl ToSocketAddrs,
+        cfg: NetConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<parking_lot::Mutex<Vec<JoinHandle<()>>>> = Arc::default();
+        let counters = Arc::new(BrokerCounters::default());
+        let accept = {
+            let local = local.clone();
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            let counters = Arc::clone(&counters);
+            std::thread::Builder::new()
+                .name(format!("sdci-net-accept-{}", addr.port()))
+                .spawn(move || {
+                    accept_loop(listener, local, cfg, stop, conns, counters);
+                })
+                .expect("spawn accept thread")
+        };
+        Ok(TcpBroker { local, addr, stop, accept: Some(accept), conns, counters })
+    }
+
+    /// The address actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The wrapped local broker.
+    pub fn local(&self) -> &Broker<T> {
+        &self.local
+    }
+
+    /// A publisher into the local broker (same-process side).
+    pub fn publisher(&self) -> sdci_mq::pubsub::Publisher<T> {
+        self.local.publisher()
+    }
+
+    /// A local subscription (same-process side).
+    pub fn subscribe(&self, prefixes: &[&str]) -> sdci_mq::pubsub::Subscriber<T> {
+        self.local.subscribe(prefixes)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> TcpBrokerStats {
+        TcpBrokerStats {
+            accepted: self.counters.accepted.load(Ordering::Relaxed),
+            frames_in: self.counters.frames_in.load(Ordering::Relaxed),
+            frames_out: self.counters.frames_out.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting, drains each connected subscriber's queue, sends
+    /// `Fin`, and joins every connection thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        let handles: Vec<JoinHandle<()>> = self.conns.lock().drain(..).collect();
+        for t in handles {
+            let _ = t.join();
+        }
+    }
+}
+
+impl<T> Drop for TcpBroker<T> {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop<T>(
+    listener: TcpListener,
+    local: Broker<T>,
+    cfg: NetConfig,
+    stop: Arc<AtomicBool>,
+    conns: Arc<parking_lot::Mutex<Vec<JoinHandle<()>>>>,
+    counters: Arc<BrokerCounters>,
+) where
+    T: Clone + Send + Serialize + Deserialize + 'static,
+{
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                counters.accepted.fetch_add(1, Ordering::Relaxed);
+                let local = local.clone();
+                let cfg = cfg.clone();
+                let stop = Arc::clone(&stop);
+                let counters = Arc::clone(&counters);
+                let handle = std::thread::Builder::new()
+                    .name("sdci-net-conn".into())
+                    .spawn(move || serve_connection(stream, local, cfg, stop, counters))
+                    .expect("spawn connection thread");
+                let mut guard = conns.lock();
+                guard.retain(|h| !h.is_finished());
+                guard.push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn serve_connection<T>(
+    stream: TcpStream,
+    local: Broker<T>,
+    cfg: NetConfig,
+    stop: Arc<AtomicBool>,
+    counters: Arc<BrokerCounters>,
+) where
+    T: Clone + Send + Serialize + Deserialize + 'static,
+{
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(cfg.liveness)).is_err() {
+        return;
+    }
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    match read_msg::<Frame<T>>(&mut reader) {
+        Ok(Frame::HelloPublisher) => {
+            serve_publisher(&mut reader, &mut writer, local, cfg, stop, counters)
+        }
+        Ok(Frame::HelloSubscriber { prefixes }) => {
+            serve_subscriber(&mut writer, local, &prefixes, cfg, stop, counters)
+        }
+        _ => {} // bad handshake: drop the connection
+    }
+}
+
+/// Reads `Publish` frames into the local broker until the peer goes
+/// quiet, finishes, or the server stops.
+fn serve_publisher<T>(
+    reader: &mut BufReader<TcpStream>,
+    _writer: &mut TcpStream,
+    local: Broker<T>,
+    cfg: NetConfig,
+    stop: Arc<AtomicBool>,
+    counters: Arc<BrokerCounters>,
+) where
+    T: Clone + Send + Serialize + Deserialize + 'static,
+{
+    let publisher = local.publisher();
+    let _ = reader.get_ref().set_read_timeout(Some(cfg.heartbeat));
+    let mut last_traffic = Instant::now();
+    // `stop` is checked every iteration, not just on timeouts: a peer
+    // that keeps traffic flowing must not be able to pin the handler
+    // past shutdown.
+    while !stop.load(Ordering::Relaxed) {
+        match read_msg::<Frame<T>>(reader) {
+            Ok(Frame::Publish { topic, payload }) => {
+                counters.frames_in.fetch_add(1, Ordering::Relaxed);
+                publisher.publish(&topic, payload);
+                last_traffic = Instant::now();
+            }
+            Ok(Frame::Ping) => last_traffic = Instant::now(),
+            Ok(Frame::Fin) => break,
+            Ok(_) => {}
+            Err(e) if timed_out(&e) => {
+                if last_traffic.elapsed() > cfg.liveness {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Fans a local subscription out to one remote subscriber, probing with
+/// `Ping` while idle; on shutdown drains the queue and sends `Fin`.
+fn serve_subscriber<T>(
+    writer: &mut TcpStream,
+    local: Broker<T>,
+    prefixes: &[String],
+    cfg: NetConfig,
+    stop: Arc<AtomicBool>,
+    counters: Arc<BrokerCounters>,
+) where
+    T: Clone + Send + Serialize + Deserialize + 'static,
+{
+    let refs: Vec<&str> = prefixes.iter().map(String::as_str).collect();
+    let sub = local.subscribe(&refs);
+    let mut last_write = Instant::now();
+    loop {
+        // Checked every iteration so a busy feed cannot pin the handler
+        // past shutdown.
+        if stop.load(Ordering::Relaxed) {
+            // Graceful drain: everything already queued still goes out.
+            while let Some(msg) = sub.try_recv() {
+                let frame = Frame::Deliver { topic: msg.topic, payload: msg.payload };
+                if write_msg(writer, &frame).is_err() {
+                    return;
+                }
+                counters.frames_out.fetch_add(1, Ordering::Relaxed);
+            }
+            let _ = write_msg(writer, &Frame::<T>::Fin);
+            return;
+        }
+        match sub.recv_timeout(cfg.heartbeat) {
+            Some(msg) => {
+                let frame = Frame::Deliver { topic: msg.topic, payload: msg.payload };
+                if write_msg(writer, &frame).is_err() {
+                    return; // peer gone; dropping `sub` detaches from the broker
+                }
+                counters.frames_out.fetch_add(1, Ordering::Relaxed);
+                last_write = Instant::now();
+            }
+            None => {
+                if last_write.elapsed() >= cfg.heartbeat
+                    && write_msg(writer, &Frame::<T>::Ping).is_err()
+                {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn timed_out(e: &std::io::Error) -> bool {
+    matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+}
+
+#[derive(Debug, Default)]
+struct ClientCounters {
+    /// Successful connections (1 = never lost the link).
+    connections: AtomicU64,
+    /// Messages shed because a queue was full (HWM) or the wire was down.
+    dropped: AtomicU64,
+}
+
+/// A supervised TCP publisher endpoint: `publish` enqueues, a background
+/// worker ships frames to the [`TcpBroker`], reconnecting with backoff
+/// whenever the link drops. Messages published while the queue is full
+/// or the link is down are shed and counted ([`TcpPublisher::dropped`])
+/// — the lossy PUB/SUB contract.
+pub struct TcpPublisher<T> {
+    tx: crossbeam_channel::Sender<(String, T)>,
+    stop: Arc<AtomicBool>,
+    counters: Arc<ClientCounters>,
+    _worker: JoinHandle<()>,
+}
+
+impl<T> std::fmt::Debug for TcpPublisher<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpPublisher").finish_non_exhaustive()
+    }
+}
+
+impl<T> TcpPublisher<T>
+where
+    T: Serialize + Send + 'static,
+{
+    /// Starts a supervised publisher toward `addr`. Returns immediately;
+    /// the connection is established (and re-established) in the
+    /// background.
+    pub fn connect(addr: SocketAddr, cfg: NetConfig) -> Self {
+        let (tx, rx) = crossbeam_channel::bounded::<(String, T)>(cfg.hwm.max(1));
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(ClientCounters::default());
+        let worker = {
+            let stop = Arc::clone(&stop);
+            let counters = Arc::clone(&counters);
+            std::thread::Builder::new()
+                .name("sdci-net-pub".into())
+                .spawn(move || publisher_worker(addr, cfg, rx, stop, counters))
+                .expect("spawn publisher worker")
+        };
+        TcpPublisher { tx, stop, counters, _worker: worker }
+    }
+
+    /// Publishes without blocking; sheds (and counts) when the outbound
+    /// queue is at its high-water mark.
+    pub fn publish(&self, topic: &str, payload: T) {
+        if self.tx.try_send((topic.to_string(), payload)).is_err() {
+            self.counters.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Messages shed at the high-water mark or lost to a dropped link.
+    pub fn dropped(&self) -> u64 {
+        self.counters.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Successful connections so far (>1 means the link was re-established).
+    pub fn connections(&self) -> u64 {
+        self.counters.connections.load(Ordering::Relaxed)
+    }
+}
+
+impl<T> Drop for TcpPublisher<T> {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+}
+
+impl<T> Publish<T> for TcpPublisher<T>
+where
+    T: Serialize + Send + 'static,
+{
+    fn publish(&self, topic: &str, payload: T) {
+        TcpPublisher::publish(self, topic, payload);
+    }
+}
+
+fn publisher_worker<T: Serialize + Send + 'static>(
+    addr: SocketAddr,
+    cfg: NetConfig,
+    rx: crossbeam_channel::Receiver<(String, T)>,
+    stop: Arc<AtomicBool>,
+    counters: Arc<ClientCounters>,
+) {
+    let mut backoff = Backoff::new(cfg.retry);
+    'reconnect: loop {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let Ok(mut stream) = TcpStream::connect(addr) else {
+            let delay = backoff.next_delay();
+            std::thread::sleep(delay);
+            continue;
+        };
+        let _ = stream.set_nodelay(true);
+        if write_msg(&mut stream, &Frame::<T>::HelloPublisher).is_err() {
+            continue;
+        }
+        backoff.reset();
+        counters.connections.fetch_add(1, Ordering::Relaxed);
+        loop {
+            match rx.recv_timeout(cfg.heartbeat) {
+                Ok((topic, payload)) => {
+                    let frame = Frame::Publish { topic, payload };
+                    if write_msg(&mut stream, &frame).is_err() {
+                        // The frame is lost with the link: lossy leg.
+                        counters.dropped.fetch_add(1, Ordering::Relaxed);
+                        continue 'reconnect;
+                    }
+                }
+                Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
+                    if stop.load(Ordering::Relaxed) {
+                        let _ = write_msg(&mut stream, &Frame::<T>::Fin);
+                        return;
+                    }
+                    if write_msg(&mut stream, &Frame::<T>::Ping).is_err() {
+                        continue 'reconnect;
+                    }
+                }
+                Err(crossbeam_channel::RecvTimeoutError::Disconnected) => {
+                    // All handles dropped and the queue is drained.
+                    let _ = write_msg(&mut stream, &Frame::<T>::Fin);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// A supervised TCP subscription: a background worker keeps a
+/// connection to the [`TcpBroker`], re-subscribing after every
+/// reconnect, and feeds received messages into a local bounded queue
+/// with the same drop-at-HWM behaviour as an in-process subscriber.
+///
+/// Implements [`Subscribe`], so an [`EventConsumer`] built on it
+/// detects the sequence gap a disconnection caused and backfills from
+/// the store — reconnection is invisible above this layer except as a
+/// gap.
+///
+/// [`EventConsumer`]: https://docs.rs/sdci-core
+pub struct TcpSubscriber<T> {
+    rx: crossbeam_channel::Receiver<Message<T>>,
+    stop: Arc<AtomicBool>,
+    counters: Arc<ClientCounters>,
+    _worker: JoinHandle<()>,
+}
+
+impl<T> std::fmt::Debug for TcpSubscriber<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpSubscriber").finish_non_exhaustive()
+    }
+}
+
+impl<T> TcpSubscriber<T>
+where
+    T: Serialize + Deserialize + Send + 'static,
+{
+    /// Starts a supervised subscription to `addr` for the given topic
+    /// prefixes. Returns immediately; connection management happens in
+    /// the background.
+    pub fn connect(addr: SocketAddr, prefixes: &[&str], cfg: NetConfig) -> Self {
+        let prefixes: Vec<String> = prefixes.iter().map(|s| s.to_string()).collect();
+        let (tx, rx) = crossbeam_channel::bounded::<Message<T>>(cfg.hwm.max(1));
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(ClientCounters::default());
+        let worker = {
+            let stop = Arc::clone(&stop);
+            let counters = Arc::clone(&counters);
+            std::thread::Builder::new()
+                .name("sdci-net-sub".into())
+                .spawn(move || subscriber_worker(addr, prefixes, cfg, tx, stop, counters))
+                .expect("spawn subscriber worker")
+        };
+        TcpSubscriber { rx, stop, counters, _worker: worker }
+    }
+
+    /// Messages shed because the local queue hit its high-water mark.
+    pub fn dropped(&self) -> u64 {
+        self.counters.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Successful connections so far (>1 means the link was re-established).
+    pub fn connections(&self) -> u64 {
+        self.counters.connections.load(Ordering::Relaxed)
+    }
+}
+
+impl<T> Drop for TcpSubscriber<T> {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+}
+
+impl<T> Subscribe<T> for TcpSubscriber<T>
+where
+    T: Serialize + Deserialize + Send + 'static,
+{
+    fn recv(&self) -> Option<Message<T>> {
+        self.rx.recv().ok()
+    }
+
+    fn try_recv(&self) -> Option<Message<T>> {
+        self.rx.try_recv().ok()
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Option<Message<T>> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+}
+
+fn subscriber_worker<T: Serialize + Deserialize + Send + 'static>(
+    addr: SocketAddr,
+    prefixes: Vec<String>,
+    cfg: NetConfig,
+    tx: crossbeam_channel::Sender<Message<T>>,
+    stop: Arc<AtomicBool>,
+    counters: Arc<ClientCounters>,
+) {
+    let mut backoff = Backoff::new(cfg.retry);
+    'reconnect: while !stop.load(Ordering::Relaxed) {
+        let Ok(stream) = TcpStream::connect(addr) else {
+            std::thread::sleep(backoff.next_delay());
+            continue;
+        };
+        let _ = stream.set_nodelay(true);
+        if stream.set_read_timeout(Some(cfg.heartbeat)).is_err() {
+            continue;
+        }
+        let mut writer = match stream.try_clone() {
+            Ok(w) => w,
+            Err(_) => continue,
+        };
+        let hello = Frame::<T>::HelloSubscriber { prefixes: prefixes.clone() };
+        if write_msg(&mut writer, &hello).is_err() {
+            continue;
+        }
+        backoff.reset();
+        counters.connections.fetch_add(1, Ordering::Relaxed);
+        let mut reader = BufReader::new(stream);
+        let mut last_traffic = Instant::now();
+        loop {
+            match read_msg::<Frame<T>>(&mut reader) {
+                Ok(Frame::Deliver { topic, payload }) => {
+                    last_traffic = Instant::now();
+                    match tx.try_send(Message { topic, payload }) {
+                        Ok(()) => {}
+                        Err(crossbeam_channel::TrySendError::Full(_)) => {
+                            counters.dropped.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(crossbeam_channel::TrySendError::Disconnected(_)) => return,
+                    }
+                }
+                Ok(Frame::Ping) => last_traffic = Instant::now(),
+                Ok(Frame::Fin) => {
+                    // Broker drained and went away; it may be restarted
+                    // (supervision!), so keep trying — the owner stops
+                    // us by dropping the subscriber.
+                    std::thread::sleep(cfg.retry.base);
+                    continue 'reconnect;
+                }
+                Ok(_) => {}
+                Err(e) if timed_out(&e) => {
+                    if stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    if last_traffic.elapsed() > cfg.liveness {
+                        continue 'reconnect;
+                    }
+                }
+                Err(_) => continue 'reconnect,
+            }
+        }
+    }
+}
+
+/// The TCP counterpart of the in-process [`Broker`]'s [`Transport`]
+/// implementation: a factory for supervised publisher/subscriber
+/// endpoints that all talk to one remote [`TcpBroker`].
+#[derive(Debug, Clone)]
+pub struct TcpTransport {
+    addr: SocketAddr,
+    cfg: NetConfig,
+}
+
+impl TcpTransport {
+    /// A transport whose endpoints connect to the broker at `addr`.
+    pub fn new(addr: SocketAddr) -> Self {
+        TcpTransport { addr, cfg: NetConfig::default() }
+    }
+
+    /// Overrides the endpoint configuration.
+    pub fn with_config(addr: SocketAddr, cfg: NetConfig) -> Self {
+        TcpTransport { addr, cfg }
+    }
+
+    /// The broker address endpoints connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl<T> Transport<T> for TcpTransport
+where
+    T: Clone + Send + Serialize + Deserialize + 'static,
+{
+    type Publisher = TcpPublisher<T>;
+    type Subscriber = TcpSubscriber<T>;
+
+    fn publisher(&self) -> TcpPublisher<T> {
+        TcpPublisher::connect(self.addr, self.cfg.clone())
+    }
+
+    fn subscribe(&self, prefixes: &[&str]) -> TcpSubscriber<T> {
+        TcpSubscriber::connect(self.addr, prefixes, self.cfg.clone())
+    }
+}

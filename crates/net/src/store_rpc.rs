@@ -1,0 +1,264 @@
+//! A minimal query RPC over the Aggregator's [`EventStore`].
+//!
+//! The in-process consumer backfills gaps by querying the store through
+//! a shared `Arc<Mutex<EventStore>>`. A remote consumer gets the same
+//! capability from [`RemoteStore`], which implements
+//! [`sdci_core::StoreReader`] by round-tripping a [`StoreRpc::Query`]
+//! to the Aggregator process's [`StoreServer`].
+//!
+//! The protocol is deliberately tiny: one request frame, one response
+//! frame, same length-prefixed JSON framing as the rest of sdci-net.
+//! Failure semantics follow `StoreReader`'s contract — a query that
+//! cannot be answered returns an empty slice, and the consumer simply
+//! retries at the next heartbeat-detected gap.
+//!
+//! [`EventStore`]: sdci_core::EventStore
+
+use crate::conn::NetConfig;
+use crate::wire::{read_msg, write_msg};
+use sdci_core::{SequencedEvent, SharedStore, StoreQuery, StoreReader};
+use serde::{Deserialize, Serialize};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One store-RPC message; requests and responses share the enum.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StoreRpc {
+    /// Consumer → server: run this query against the store.
+    Query {
+        /// The query to run.
+        query: StoreQuery,
+    },
+    /// Server → consumer: the matching events, in sequence order.
+    Batch {
+        /// Query results.
+        events: Vec<SequencedEvent>,
+    },
+    /// Liveness probe; the server echoes it.
+    Ping,
+}
+
+/// Serves [`StoreRpc`] queries against a [`SharedStore`].
+pub struct StoreServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<parking_lot::Mutex<Vec<JoinHandle<()>>>>,
+    queries: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for StoreServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreServer").field("addr", &self.addr).finish()
+    }
+}
+
+impl StoreServer {
+    /// Binds `addr` and answers queries against `store`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the listener bind failure.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        store: SharedStore,
+        cfg: NetConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<parking_lot::Mutex<Vec<JoinHandle<()>>>> = Arc::default();
+        let queries = Arc::new(AtomicU64::new(0));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            let queries = Arc::clone(&queries);
+            std::thread::Builder::new()
+                .name(format!("sdci-net-store-{}", addr.port()))
+                .spawn(move || store_accept_loop(listener, store, cfg, stop, conns, queries))
+                .expect("spawn store accept thread")
+        };
+        Ok(StoreServer { addr, stop, accept: Some(accept), conns, queries })
+    }
+
+    /// The address actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Queries answered so far.
+    pub fn queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting and joins every connection thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        let handles: Vec<JoinHandle<()>> = self.conns.lock().drain(..).collect();
+        for t in handles {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for StoreServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn store_accept_loop(
+    listener: TcpListener,
+    store: SharedStore,
+    cfg: NetConfig,
+    stop: Arc<AtomicBool>,
+    conns: Arc<parking_lot::Mutex<Vec<JoinHandle<()>>>>,
+    queries: Arc<AtomicU64>,
+) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let store = Arc::clone(&store);
+                let cfg = cfg.clone();
+                let stop = Arc::clone(&stop);
+                let queries = Arc::clone(&queries);
+                let handle = std::thread::Builder::new()
+                    .name("sdci-net-store-conn".into())
+                    .spawn(move || serve_store_client(stream, store, cfg, stop, queries))
+                    .expect("spawn store connection thread");
+                let mut guard = conns.lock();
+                guard.retain(|h| !h.is_finished());
+                guard.push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn serve_store_client(
+    stream: TcpStream,
+    store: SharedStore,
+    cfg: NetConfig,
+    stop: Arc<AtomicBool>,
+    queries: Arc<AtomicU64>,
+) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(cfg.heartbeat)).is_err() {
+        return;
+    }
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    // `stop` is checked every iteration so a chatty client cannot pin
+    // the handler past shutdown.
+    while !stop.load(Ordering::Relaxed) {
+        match read_msg::<StoreRpc>(&mut reader) {
+            Ok(StoreRpc::Query { query }) => {
+                let events = store.query(&query);
+                queries.fetch_add(1, Ordering::Relaxed);
+                if write_msg(&mut writer, &StoreRpc::Batch { events }).is_err() {
+                    return;
+                }
+            }
+            Ok(StoreRpc::Ping) => {
+                if write_msg(&mut writer, &StoreRpc::Ping).is_err() {
+                    return;
+                }
+            }
+            Ok(StoreRpc::Batch { .. }) => {} // nonsensical from a client; ignore
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Store clients are request/response; idleness is fine.
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// A [`StoreReader`] that queries a remote [`StoreServer`].
+///
+/// The connection is lazy and cached; a failed round trip drops it,
+/// retries once on a fresh connection, and then gives up with an empty
+/// result — the consumer's backfill loop will simply query again.
+pub struct RemoteStore {
+    addr: SocketAddr,
+    cfg: NetConfig,
+    conn: parking_lot::Mutex<Option<TcpStream>>,
+    failures: AtomicU64,
+}
+
+impl std::fmt::Debug for RemoteStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteStore").field("addr", &self.addr).finish()
+    }
+}
+
+impl RemoteStore {
+    /// A reader for the store served at `addr`. Does not connect until
+    /// the first query.
+    pub fn connect(addr: SocketAddr, cfg: NetConfig) -> Self {
+        RemoteStore { addr, cfg, conn: parking_lot::Mutex::new(None), failures: AtomicU64::new(0) }
+    }
+
+    /// Queries that exhausted their retry and returned empty.
+    pub fn failures(&self) -> u64 {
+        self.failures.load(Ordering::Relaxed)
+    }
+
+    fn round_trip(
+        &self,
+        stream: &mut TcpStream,
+        query: &StoreQuery,
+    ) -> std::io::Result<Vec<SequencedEvent>> {
+        write_msg(stream, &StoreRpc::Query { query: query.clone() })?;
+        loop {
+            match read_msg::<StoreRpc>(&mut &*stream)? {
+                StoreRpc::Batch { events } => return Ok(events),
+                _ => continue,
+            }
+        }
+    }
+}
+
+impl StoreReader for RemoteStore {
+    fn query(&self, query: &StoreQuery) -> Vec<SequencedEvent> {
+        for _attempt in 0..2 {
+            let mut guard = self.conn.lock();
+            if guard.is_none() {
+                *guard = TcpStream::connect(self.addr).ok().inspect(|s| {
+                    let _ = s.set_nodelay(true);
+                    let _ = s.set_read_timeout(Some(self.cfg.liveness));
+                });
+            }
+            let Some(stream) = guard.as_mut() else {
+                drop(guard);
+                std::thread::sleep(self.cfg.retry.base);
+                continue;
+            };
+            match self.round_trip(stream, query) {
+                Ok(events) => return events,
+                Err(_) => *guard = None, // stale connection; retry fresh
+            }
+        }
+        self.failures.fetch_add(1, Ordering::Relaxed);
+        Vec::new()
+    }
+}

@@ -1,0 +1,294 @@
+//! Wire format: 4-byte big-endian length prefix + a JSON-encoded frame.
+//!
+//! Every message on an sdci-net socket is one [`Frame`], serialized with
+//! the workspace's serde conventions (externally tagged enums) and
+//! prefixed with its byte length so the reader can frame the stream:
+//!
+//! ```text
+//! +------------+---------------------------+
+//! | len: u32be | body: len bytes of JSON   |
+//! +------------+---------------------------+
+//! ```
+//!
+//! JSON keeps the protocol debuggable with `nc`/`tcpdump`; the length
+//! prefix keeps parsing trivial and rejects runaway frames early.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::io::{self, Read, Write};
+
+/// Length-prefix size in bytes.
+pub const FRAME_HEADER_LEN: usize = 4;
+
+/// Upper bound on a single frame body; larger lengths are treated as a
+/// corrupt stream rather than an allocation request.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// One protocol message. `T` is the event payload type (e.g. `FileEvent`
+/// on the Collector leg, `FeedMessage` on the consumer leg).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame<T> {
+    /// Client handshake: "I will publish `Publish` frames."
+    HelloPublisher,
+    /// Client handshake: "stream me topics matching these prefixes."
+    HelloSubscriber {
+        /// Topic prefixes to subscribe to (empty string = everything).
+        prefixes: Vec<String>,
+    },
+    /// Client handshake for the lossless PUSH leg. `client` identifies
+    /// the pusher across reconnects so the server can deduplicate
+    /// re-sent items; `resume_after` is the highest sequence number the
+    /// client knows was acknowledged.
+    HelloPush {
+        /// Stable pusher identity (e.g. `"mdt0"`).
+        client: String,
+        /// Highest push sequence number the client saw acknowledged.
+        resume_after: u64,
+    },
+    /// Publisher → broker: publish `payload` on `topic` (lossy leg).
+    Publish {
+        /// Topic the payload is published on.
+        topic: String,
+        /// The payload.
+        payload: T,
+    },
+    /// Broker → subscriber: a matching publication (lossy leg).
+    Deliver {
+        /// Topic the payload was published on.
+        topic: String,
+        /// The payload.
+        payload: T,
+    },
+    /// Pusher → puller: item `seq` of this client's stream (lossless
+    /// leg; retransmitted verbatim after a reconnect until acked).
+    Item {
+        /// Per-client dense sequence number, starting at 1.
+        seq: u64,
+        /// The payload.
+        payload: T,
+    },
+    /// Puller → pusher: everything up to and including `up_to` has been
+    /// handed to the local pipeline — the pusher may drop it.
+    Ack {
+        /// Highest contiguously accepted sequence number.
+        up_to: u64,
+    },
+    /// Liveness probe, sent when a direction has been idle.
+    Ping,
+    /// Graceful end of stream: the peer drained and is going away.
+    Fin,
+}
+
+fn variant(name: &str, fields: Vec<(&str, Value)>) -> Value {
+    let map = fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
+    Value::Map(vec![(name.to_string(), Value::Map(map))])
+}
+
+impl<T: Serialize> Serialize for Frame<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Frame::HelloPublisher => Value::Str("HelloPublisher".into()),
+            Frame::HelloSubscriber { prefixes } => {
+                variant("HelloSubscriber", vec![("prefixes", prefixes.to_value())])
+            }
+            Frame::HelloPush { client, resume_after } => variant(
+                "HelloPush",
+                vec![("client", client.to_value()), ("resume_after", resume_after.to_value())],
+            ),
+            Frame::Publish { topic, payload } => variant(
+                "Publish",
+                vec![("topic", topic.to_value()), ("payload", payload.to_value())],
+            ),
+            Frame::Deliver { topic, payload } => variant(
+                "Deliver",
+                vec![("topic", topic.to_value()), ("payload", payload.to_value())],
+            ),
+            Frame::Item { seq, payload } => {
+                variant("Item", vec![("seq", seq.to_value()), ("payload", payload.to_value())])
+            }
+            Frame::Ack { up_to } => variant("Ack", vec![("up_to", up_to.to_value())]),
+            Frame::Ping => Value::Str("Ping".into()),
+            Frame::Fin => Value::Str("Fin".into()),
+        }
+    }
+}
+
+fn field<'v>(body: &'v Value, variant: &str, name: &str) -> Result<&'v Value, DeError> {
+    body.get(name).ok_or_else(|| DeError::msg(format!("Frame::{variant} missing field `{name}`")))
+}
+
+impl<T: Deserialize> Deserialize for Frame<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(name) => match name.as_str() {
+                "HelloPublisher" => Ok(Frame::HelloPublisher),
+                "Ping" => Ok(Frame::Ping),
+                "Fin" => Ok(Frame::Fin),
+                other => Err(DeError::msg(format!("unknown Frame variant `{other}`"))),
+            },
+            Value::Map(entries) if entries.len() == 1 => {
+                let (name, body) = &entries[0];
+                match name.as_str() {
+                    "HelloSubscriber" => Ok(Frame::HelloSubscriber {
+                        prefixes: Deserialize::from_value(field(
+                            body,
+                            "HelloSubscriber",
+                            "prefixes",
+                        )?)?,
+                    }),
+                    "HelloPush" => Ok(Frame::HelloPush {
+                        client: Deserialize::from_value(field(body, "HelloPush", "client")?)?,
+                        resume_after: Deserialize::from_value(field(
+                            body,
+                            "HelloPush",
+                            "resume_after",
+                        )?)?,
+                    }),
+                    "Publish" => Ok(Frame::Publish {
+                        topic: Deserialize::from_value(field(body, "Publish", "topic")?)?,
+                        payload: Deserialize::from_value(field(body, "Publish", "payload")?)?,
+                    }),
+                    "Deliver" => Ok(Frame::Deliver {
+                        topic: Deserialize::from_value(field(body, "Deliver", "topic")?)?,
+                        payload: Deserialize::from_value(field(body, "Deliver", "payload")?)?,
+                    }),
+                    "Item" => Ok(Frame::Item {
+                        seq: Deserialize::from_value(field(body, "Item", "seq")?)?,
+                        payload: Deserialize::from_value(field(body, "Item", "payload")?)?,
+                    }),
+                    "Ack" => Ok(Frame::Ack {
+                        up_to: Deserialize::from_value(field(body, "Ack", "up_to")?)?,
+                    }),
+                    other => Err(DeError::msg(format!("unknown Frame variant `{other}`"))),
+                }
+            }
+            other => Err(DeError::mismatch("Frame", other)),
+        }
+    }
+}
+
+fn invalid(err: impl std::fmt::Display) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, err.to_string())
+}
+
+/// Writes one length-prefixed message and flushes the writer.
+///
+/// # Errors
+///
+/// Propagates I/O failures from the underlying writer.
+pub fn write_msg<M: Serialize>(w: &mut impl Write, msg: &M) -> io::Result<()> {
+    let body = serde_json::to_string(msg).map_err(invalid)?;
+    let bytes = body.as_bytes();
+    let len = u32::try_from(bytes.len()).map_err(|_| invalid("frame exceeds u32 length prefix"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed message.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on oversized lengths, non-UTF-8 bodies, or JSON
+/// that does not decode as `M`; otherwise propagates reader failures
+/// (including timeouts configured on the stream).
+pub fn read_msg<M: Deserialize>(r: &mut impl Read) -> io::Result<M> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    r.read_exact(&mut header)?;
+    let len = u32::from_be_bytes(header) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(invalid(format!("frame length {len} exceeds {MAX_FRAME_LEN}")));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    let text = std::str::from_utf8(&body).map_err(invalid)?;
+    serde_json::from_str(text).map_err(invalid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdci_types::{ChangelogKind, EventKind, Fid, FileEvent, MdtIndex, SimTime};
+    use std::path::PathBuf;
+
+    fn event(i: u64) -> FileEvent {
+        FileEvent {
+            index: i,
+            mdt: MdtIndex::new(0),
+            changelog_kind: ChangelogKind::Create,
+            kind: EventKind::Created,
+            time: SimTime::from_nanos(i),
+            path: PathBuf::from(format!("/wire/f{i}")),
+            src_path: None,
+            target: Fid::new(1, i as u32, 0),
+            is_dir: false,
+        }
+    }
+
+    fn roundtrip(frame: Frame<FileEvent>) {
+        let mut buf = Vec::new();
+        write_msg(&mut buf, &frame).unwrap();
+        assert_eq!(
+            buf.len(),
+            FRAME_HEADER_LEN + {
+                let len = u32::from_be_bytes(buf[..4].try_into().unwrap());
+                len as usize
+            }
+        );
+        let back: Frame<FileEvent> = read_msg(&mut &buf[..]).unwrap();
+        assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        roundtrip(Frame::HelloPublisher);
+        roundtrip(Frame::HelloSubscriber { prefixes: vec!["events/".into(), String::new()] });
+        roundtrip(Frame::HelloPush { client: "mdt0".into(), resume_after: 41 });
+        roundtrip(Frame::Publish { topic: "events/mdt0".into(), payload: event(1) });
+        roundtrip(Frame::Deliver { topic: "feed/all".into(), payload: event(2) });
+        roundtrip(Frame::Item { seq: 9, payload: event(3) });
+        roundtrip(Frame::Ack { up_to: 9 });
+        roundtrip(Frame::Ping);
+        roundtrip(Frame::Fin);
+    }
+
+    #[test]
+    fn several_frames_stream_back_to_back() {
+        let mut buf = Vec::new();
+        for i in 0..5 {
+            write_msg(&mut buf, &Frame::Item { seq: i, payload: event(i) }).unwrap();
+        }
+        let mut cursor = &buf[..];
+        for i in 0..5 {
+            let frame: Frame<FileEvent> = read_msg(&mut cursor).unwrap();
+            assert_eq!(frame, Frame::Item { seq: i, payload: event(i) });
+        }
+        assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        buf.extend_from_slice(b"junk");
+        let err = read_msg::<Frame<FileEvent>>(&mut &buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_body_is_an_error() {
+        let mut buf = Vec::new();
+        write_msg(&mut buf, &Frame::<FileEvent>::Ping).unwrap();
+        buf.pop();
+        assert!(read_msg::<Frame<FileEvent>>(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn garbage_json_is_invalid_data() {
+        let body = b"not json";
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        buf.extend_from_slice(body);
+        let err = read_msg::<Frame<FileEvent>>(&mut &buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

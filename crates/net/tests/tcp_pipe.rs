@@ -1,0 +1,129 @@
+//! PUSH/PULL integration: lossless delivery, acknowledgement-gated
+//! drains, and survival of a server restart on the same port — the
+//! Collector-side guarantee that "no events are lost once they have
+//! been processed" (§5.2).
+
+use sdci_net::{NetConfig, RetryPolicy, TcpPullServer, TcpPush};
+use std::time::Duration;
+
+fn fast_cfg() -> NetConfig {
+    NetConfig {
+        hwm: 8192,
+        window: 1024,
+        retry: RetryPolicy { base: Duration::from_millis(10), max: Duration::from_millis(100) },
+        heartbeat: Duration::from_millis(20),
+        liveness: Duration::from_millis(500),
+    }
+}
+
+#[test]
+fn pushed_items_arrive_exactly_once_in_order() {
+    let cfg = fast_cfg();
+    let server = TcpPullServer::<u64>::bind("127.0.0.1:0", 4096, cfg.clone()).unwrap();
+    let push = TcpPush::connect(server.local_addr(), "c1", cfg);
+    const N: u64 = 1000;
+    for i in 0..N {
+        assert!(push.send(i));
+    }
+    assert!(push.drain(Duration::from_secs(10)), "acks never fully arrived");
+    assert_eq!(push.acked(), N);
+
+    let pull = server.pull();
+    let mut got = Vec::new();
+    while let Some(item) = pull.recv_timeout(Duration::from_secs(2)) {
+        got.push(item);
+        if got.len() == N as usize {
+            break;
+        }
+    }
+    assert_eq!(got, (0..N).collect::<Vec<_>>());
+    assert_eq!(server.stats().items, N);
+    assert_eq!(server.stats().duplicates, 0);
+    server.shutdown();
+}
+
+#[test]
+fn pusher_survives_a_server_restart_on_the_same_port_without_loss() {
+    let cfg = fast_cfg();
+    let server1 = TcpPullServer::<u64>::bind("127.0.0.1:0", 4096, cfg.clone()).unwrap();
+    let addr = server1.local_addr();
+    let push = TcpPush::connect(addr, "mdt0", cfg.clone());
+
+    // Batch 1: fully acknowledged before the server goes away, so the
+    // client must never re-send any of it.
+    const A: u64 = 150;
+    for i in 0..A {
+        assert!(push.send(i));
+    }
+    assert!(push.drain(Duration::from_secs(10)));
+    let pull1 = server1.pull();
+    let mut batch1 = Vec::new();
+    while let Some(item) = pull1.recv_timeout(Duration::from_secs(2)) {
+        batch1.push(item);
+        if batch1.len() == A as usize {
+            break;
+        }
+    }
+    assert_eq!(batch1, (0..A).collect::<Vec<_>>());
+    server1.shutdown();
+
+    // Batch 2 goes into the void: the client queues and retries with
+    // backoff while the port is closed.
+    const B: u64 = 150;
+    for i in A..A + B {
+        assert!(push.send(i));
+    }
+    std::thread::sleep(Duration::from_millis(50)); // let some attempts fail
+
+    let server2 = TcpPullServer::<u64>::bind(addr, 4096, cfg).unwrap();
+    assert!(push.drain(Duration::from_secs(10)), "pusher never caught up after the restart");
+    let pull2 = server2.pull();
+    let mut batch2 = Vec::new();
+    while let Some(item) = pull2.recv_timeout(Duration::from_secs(2)) {
+        batch2.push(item);
+        if batch2.len() == B as usize {
+            break;
+        }
+    }
+    assert_eq!(batch2, (A..A + B).collect::<Vec<_>>(), "restart lost or duplicated items");
+    assert!(push.connections() >= 2, "expected at least one reconnect");
+    server2.shutdown();
+}
+
+#[test]
+fn two_pushers_multiplex_without_crosstalk() {
+    let cfg = fast_cfg();
+    let server = TcpPullServer::<u64>::bind("127.0.0.1:0", 8192, cfg.clone()).unwrap();
+    let addr = server.local_addr();
+    let a = TcpPush::connect(addr, "a", cfg.clone());
+    let b = TcpPush::connect(addr, "b", cfg);
+    const N: u64 = 500;
+    let ta = {
+        let a = a.clone();
+        std::thread::spawn(move || (0..N).for_each(|i| assert!(a.send(i * 2))))
+    };
+    let tb = {
+        let b = b.clone();
+        std::thread::spawn(move || (0..N).for_each(|i| assert!(b.send(i * 2 + 1))))
+    };
+    ta.join().unwrap();
+    tb.join().unwrap();
+    assert!(a.drain(Duration::from_secs(10)));
+    assert!(b.drain(Duration::from_secs(10)));
+
+    let pull = server.pull();
+    let mut evens = Vec::new();
+    let mut odds = Vec::new();
+    for _ in 0..2 * N {
+        let item = pull.recv_timeout(Duration::from_secs(2)).expect("missing item");
+        if item.is_multiple_of(2) {
+            evens.push(item)
+        } else {
+            odds.push(item)
+        }
+    }
+    // Interleaving across clients is arbitrary; per-client order is not.
+    assert_eq!(evens, (0..N).map(|i| i * 2).collect::<Vec<_>>());
+    assert_eq!(odds, (0..N).map(|i| i * 2 + 1).collect::<Vec<_>>());
+    server.shutdown();
+}

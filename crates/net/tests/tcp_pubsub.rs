@@ -1,0 +1,113 @@
+//! Loopback PUB/SUB integration: ordering, drain-on-shutdown, and the
+//! lossy HWM contract over a real TCP connection.
+
+use sdci_mq::transport::Subscribe;
+use sdci_net::{NetConfig, RetryPolicy, TcpBroker, TcpPublisher, TcpSubscriber};
+use std::time::Duration;
+
+fn fast_cfg() -> NetConfig {
+    NetConfig {
+        hwm: 8192,
+        window: 1024,
+        retry: RetryPolicy { base: Duration::from_millis(10), max: Duration::from_millis(100) },
+        heartbeat: Duration::from_millis(20),
+        liveness: Duration::from_millis(500),
+    }
+}
+
+/// Publishes probes until the subscription demonstrably reaches the
+/// broker, so the lossy leg's setup race can't eat test messages.
+fn wait_ready(publisher: &TcpPublisher<u64>, subscriber: &TcpSubscriber<u64>) {
+    for _ in 0..1000 {
+        publisher.publish("probe/x", u64::MAX);
+        if subscriber.recv_timeout(Duration::from_millis(10)).is_some() {
+            return;
+        }
+    }
+    panic!("pub/sub loopback never became ready");
+}
+
+#[test]
+fn events_round_trip_in_publish_order() {
+    let cfg = fast_cfg();
+    let broker = TcpBroker::<u64>::bind("127.0.0.1:0", 8192, cfg.clone()).unwrap();
+    let addr = broker.local_addr();
+    let subscriber = TcpSubscriber::<u64>::connect(addr, &["events/", "probe/"], cfg.clone());
+    let publisher = TcpPublisher::<u64>::connect(addr, cfg);
+    wait_ready(&publisher, &subscriber);
+
+    const N: u64 = 500;
+    for i in 0..N {
+        publisher.publish("events/e", i);
+    }
+    let mut got = Vec::new();
+    while got.len() < N as usize {
+        let Some(msg) = subscriber.recv_timeout(Duration::from_secs(5)) else {
+            panic!("timed out after {} of {N} events", got.len());
+        };
+        if msg.topic.starts_with("events/") {
+            got.push(msg.payload);
+        }
+    }
+    assert_eq!(got, (0..N).collect::<Vec<_>>(), "events must arrive in publish order");
+    assert_eq!(subscriber.dropped(), 0);
+    assert_eq!(publisher.dropped(), 0);
+    broker.shutdown();
+}
+
+#[test]
+fn shutdown_drains_queued_messages_to_subscribers() {
+    let cfg = fast_cfg();
+    let broker = TcpBroker::<u64>::bind("127.0.0.1:0", 8192, cfg.clone()).unwrap();
+    let addr = broker.local_addr();
+    let subscriber = TcpSubscriber::<u64>::connect(addr, &["events/", "probe/"], cfg.clone());
+    let publisher = TcpPublisher::<u64>::connect(addr, cfg);
+    wait_ready(&publisher, &subscriber);
+
+    let before = broker.stats().frames_in;
+    const N: u64 = 200;
+    for i in 0..N {
+        publisher.publish("events/e", i);
+    }
+    // Wait until the broker has actually ingested all N frames, then
+    // shut down: the drain must still deliver every one of them.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while broker.stats().frames_in < before + N {
+        assert!(std::time::Instant::now() < deadline, "broker never ingested the frames");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    broker.shutdown();
+
+    let mut got = 0;
+    while got < N {
+        let Some(msg) = subscriber.recv_timeout(Duration::from_secs(5)) else {
+            panic!("shutdown lost queued messages: got {got} of {N}");
+        };
+        if msg.topic.starts_with("events/") {
+            got += 1;
+        }
+    }
+}
+
+#[test]
+fn slow_subscriber_sheds_at_hwm_instead_of_blocking_the_broker() {
+    let mut cfg = fast_cfg();
+    cfg.hwm = 8; // tiny client-side queue
+    let broker = TcpBroker::<u64>::bind("127.0.0.1:0", 8192, cfg.clone()).unwrap();
+    let addr = broker.local_addr();
+    let subscriber = TcpSubscriber::<u64>::connect(addr, &["events/", "probe/"], cfg.clone());
+    let publisher = TcpPublisher::<u64>::connect(addr, cfg);
+    wait_ready(&publisher, &subscriber);
+
+    // Nobody drains the subscriber: its bounded queue must fill and
+    // newer deliveries must be shed, not pile up unboundedly.
+    for i in 0..2000u64 {
+        publisher.publish("events/e", i);
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while subscriber.dropped() == 0 {
+        assert!(std::time::Instant::now() < deadline, "HWM shedding never engaged");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    broker.shutdown();
+}

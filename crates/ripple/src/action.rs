@@ -258,10 +258,7 @@ mod tests {
         });
         assert_eq!(log.len(), 2);
         assert_eq!(log.successes().len(), 1);
-        assert_eq!(
-            log.successes_where(|r| matches!(r.kind, ActionKind::Email { .. })).len(),
-            1
-        );
+        assert_eq!(log.successes_where(|r| matches!(r.kind, ActionKind::Email { .. })).len(), 1);
         let clone = log.clone();
         assert_eq!(clone.len(), 2, "clones share the log");
     }

@@ -45,10 +45,7 @@ impl WatchdogSource {
     /// # Errors
     ///
     /// Propagates watch-limit and lookup failures from the crawl.
-    pub fn new(
-        fs: Arc<Mutex<SimFs>>,
-        roots: &[&str],
-    ) -> Result<Self, inotify_sim::InotifyError> {
+    pub fn new(fs: Arc<Mutex<SimFs>>, roots: &[&str]) -> Result<Self, inotify_sim::InotifyError> {
         let mut guard = fs.lock();
         let inotify = Inotify::attach(&mut guard);
         let mut watcher = RecursiveWatcher::new(inotify);
@@ -101,11 +98,7 @@ impl EventSource for WatchdogSource {
             let guard = self.fs.lock();
             self.watcher.poll(&guard)
         };
-        events
-            .into_iter()
-            .filter(|e| !e.overflow)
-            .map(|e| self.file_event_from(e))
-            .collect()
+        events.into_iter().filter(|e| !e.overflow).map(|e| self.file_event_from(e)).collect()
     }
 }
 
@@ -383,12 +376,10 @@ impl Agent {
 /// final name component.
 fn substitute_params(kind: &ActionKind, event: &FileEvent) -> ActionKind {
     let apply = |command: &str| {
-        command
-            .replace("{path}", &event.path.display().to_string())
-            .replace(
-                "{name}",
-                &event.path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default(),
-            )
+        command.replace("{path}", &event.path.display().to_string()).replace(
+            "{name}",
+            &event.path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default(),
+        )
     };
     match kind {
         ActionKind::Bash { command } => ActionKind::Bash { command: apply(command) },
@@ -415,17 +406,17 @@ mod tests {
         }
         let fs = Arc::new(Mutex::new(fs));
         let source = WatchdogSource::new(Arc::clone(&fs), roots).unwrap();
-        let agent =
-            Agent::new(AgentId::new(id), AgentStorage::Local(Arc::clone(&fs)), source);
+        let agent = Agent::new(AgentId::new(id), AgentStorage::Local(Arc::clone(&fs)), source);
         (fs, agent)
     }
 
     #[test]
     fn watchdog_source_detects_and_filters() {
         let (fs, mut agent) = local_agent("laptop", &["/inbox"]);
-        agent.triggers().lock().push(
-            Trigger::on(AgentId::new("laptop")).under("/inbox").glob("*.tif"),
-        );
+        agent
+            .triggers()
+            .lock()
+            .push(Trigger::on(AgentId::new("laptop")).under("/inbox").glob("*.tif"));
         {
             let mut guard = fs.lock();
             guard.create("/inbox/scan.tif", t(1)).unwrap();
@@ -503,10 +494,7 @@ mod tests {
             },
             agent: AgentId::new("src"),
         };
-        assert!(matches!(
-            agent.execute(&request, &registry, t(2), &log),
-            ActionOutcome::Failed(_)
-        ));
+        assert!(matches!(agent.execute(&request, &registry, t(2), &log), ActionOutcome::Failed(_)));
         assert_eq!(agent.stats().actions_failed, 1);
     }
 
@@ -585,9 +573,7 @@ mod tests {
 
     #[test]
     fn lustre_storage_deposit_logs_events() {
-        let lfs = Arc::new(Mutex::new(LustreFs::new(
-            lustre_sim::LustreConfig::aws_testbed(),
-        )));
+        let lfs = Arc::new(Mutex::new(LustreFs::new(lustre_sim::LustreConfig::aws_testbed())));
         let storage = AgentStorage::Lustre(Arc::clone(&lfs));
         storage.deposit(Path::new("/project/in.dat"), 64, t(1)).unwrap();
         assert!(storage.exists(Path::new("/project/in.dat")));

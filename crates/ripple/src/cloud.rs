@@ -273,8 +273,7 @@ impl RippleBuilder {
             let inboxes = Arc::clone(&inboxes);
             LambdaPool::start(queue, self.workers, move |report: ReportedEvent| {
                 for rule in cloud.matching_rules(&report) {
-                    let agent =
-                        rule.action.agent.clone().unwrap_or_else(|| report.agent.clone());
+                    let agent = rule.action.agent.clone().unwrap_or_else(|| report.agent.clone());
                     let request = ActionRequest {
                         rule: rule.id,
                         event: report.event.clone(),
@@ -408,9 +407,8 @@ impl Ripple {
     ) -> Result<usize, String> {
         let executor = policy.action.agent.clone().unwrap_or_else(|| policy.agent.clone());
         let inboxes = self.inboxes.lock();
-        let inbox = inboxes
-            .get(&executor)
-            .ok_or_else(|| format!("agent {executor} not registered"))?;
+        let inbox =
+            inboxes.get(&executor).ok_or_else(|| format!("agent {executor} not registered"))?;
         let matches = policy.matches(db);
         let n = matches.len();
         for path in matches {
@@ -428,8 +426,7 @@ impl Ripple {
     /// Exports the registered rule set as JSON — the control-plane
     /// artifact an administrator versions and redeploys.
     pub fn export_rules(&self) -> String {
-        serde_json::to_string_pretty(&*self.cloud.rules.lock())
-            .expect("rules always serialize")
+        serde_json::to_string_pretty(&*self.cloud.rules.lock()).expect("rules always serialize")
     }
 
     /// Imports a rule set previously produced by
@@ -469,13 +466,11 @@ impl Ripple {
         let mut last_log_len = usize::MAX;
         while Instant::now() < deadline {
             let queues_empty = {
-                let intake_idle = self.event_queue.visible_len() == 0
-                    && self.event_queue.in_flight_len() == 0;
+                let intake_idle =
+                    self.event_queue.visible_len() == 0 && self.event_queue.in_flight_len() == 0;
                 let inboxes = self.inboxes.lock();
                 intake_idle
-                    && inboxes
-                        .values()
-                        .all(|q| q.visible_len() == 0 && q.in_flight_len() == 0)
+                    && inboxes.values().all(|q| q.visible_len() == 0 && q.in_flight_len() == 0)
             };
             let log_len = self.log.len();
             if queues_empty && log_len == last_log_len {
@@ -544,8 +539,7 @@ fn spawn_agent_thread(
             while let Some((receipt, request)) = inbox.receive() {
                 busy = true;
                 let registry_snapshot = registry.lock().clone();
-                let outcome =
-                    agent.execute(&request, &registry_snapshot, clock.now(), &log);
+                let outcome = agent.execute(&request, &registry_snapshot, clock.now(), &log);
                 if outcome == ActionOutcome::Success {
                     inbox.delete(receipt);
                 }
@@ -593,9 +587,8 @@ mod tests {
             guard.create("/photos/notes.txt", t(2)).unwrap();
         }
         assert!(ripple.pump_until_idle(Duration::from_secs(10)));
-        let emails = ripple
-            .execution_log()
-            .successes_where(|r| matches!(r.kind, ActionKind::Email { .. }));
+        let emails =
+            ripple.execution_log().successes_where(|r| matches!(r.kind, ActionKind::Email { .. }));
         assert_eq!(emails.len(), 1);
         assert_eq!(emails[0].trigger_path, std::path::PathBuf::from("/photos/cat.jpg"));
         let stats = laptop.stats();
@@ -659,17 +652,15 @@ mod tests {
             guard.create("/out/result.csv", t(1)).unwrap();
         }
         assert!(ripple.pump_until_idle(Duration::from_secs(10)));
-        let emails = ripple
-            .execution_log()
-            .successes_where(|r| matches!(r.kind, ActionKind::Email { .. }));
+        let emails =
+            ripple.execution_log().successes_where(|r| matches!(r.kind, ActionKind::Email { .. }));
         assert_eq!(emails.len(), 1, "the transfer's arrival re-triggered");
         ripple.shutdown();
     }
 
     #[test]
     fn reports_survive_transient_cloud_failures() {
-        let mut ripple =
-            RippleBuilder::new().report_fail_prob(0.5).seed(9).build();
+        let mut ripple = RippleBuilder::new().report_fail_prob(0.5).seed(9).build();
         let laptop = ripple.add_local_agent("flaky");
         ripple.add_rule(
             Rule::when(Trigger::on(AgentId::new("flaky")).under("/d"))
@@ -684,9 +675,8 @@ mod tests {
             }
         }
         assert!(ripple.pump_until_idle(Duration::from_secs(20)));
-        let emails = ripple
-            .execution_log()
-            .successes_where(|r| matches!(r.kind, ActionKind::Email { .. }));
+        let emails =
+            ripple.execution_log().successes_where(|r| matches!(r.kind, ActionKind::Email { .. }));
         assert_eq!(emails.len(), 21, "mkdir + 20 creates all reported despite failures");
         assert!(ripple.cloud_stats().rejected > 0, "failures actually injected");
         assert!(laptop.stats().report_retries > 0);
@@ -734,8 +724,7 @@ mod tests {
             .then(ActionSpec::transfer(AgentId::new("b"), "/in")),
         );
         source.add_rule(
-            Rule::when(Trigger::on(AgentId::new("a")).under("/tmp"))
-                .then(ActionSpec::purge()),
+            Rule::when(Trigger::on(AgentId::new("a")).under("/tmp")).then(ActionSpec::purge()),
         );
         let exported = source.export_rules();
         source.shutdown();
@@ -750,14 +739,12 @@ mod tests {
 
     #[test]
     fn batch_policy_sweeps_through_fabric() {
-        use sdci_baselines::{FindCriteria, RobinhoodScanner};
         use crate::agent::{AgentStorage, MonitorSource};
         use lustre_sim::{LustreConfig, LustreFs};
+        use sdci_baselines::{FindCriteria, RobinhoodScanner};
         use sdci_core::MonitorClusterBuilder;
 
-        let lfs = Arc::new(parking_lot::Mutex::new(LustreFs::new(
-            LustreConfig::aws_testbed(),
-        )));
+        let lfs = Arc::new(parking_lot::Mutex::new(LustreFs::new(LustreConfig::aws_testbed())));
         let mut scanner = RobinhoodScanner::new(Arc::clone(&lfs), 64);
         let cluster = MonitorClusterBuilder::new(Arc::clone(&lfs)).start();
         let mut ripple = RippleBuilder::new().build();
@@ -778,10 +765,7 @@ mod tests {
         scanner.scan_once();
         let policy = crate::BatchPolicy::new(
             AgentId::new("store"),
-            FindCriteria::any()
-                .under("/scratch")
-                .named("*.tmp")
-                .modified_before(t(1_000)),
+            FindCriteria::any().under("/scratch").named("*.tmp").modified_before(t(1_000)),
             ActionSpec::purge(),
         );
         let dispatched = ripple.execute_policy(&policy, scanner.db()).unwrap();

@@ -68,6 +68,8 @@ pub use action::{
     ActionKind, ActionOutcome, ActionRecord, ActionRequest, ActionSpec, ExecutionLog,
 };
 pub use agent::{Agent, AgentStats, AgentStorage, EventSource, MonitorSource, WatchdogSource};
-pub use cloud::{AgentHandle, CloudService, CloudSnapshot, CloudStats, ReportedEvent, Ripple, RippleBuilder};
+pub use cloud::{
+    AgentHandle, CloudService, CloudSnapshot, CloudStats, ReportedEvent, Ripple, RippleBuilder,
+};
 pub use policy::BatchPolicy;
 pub use rule::{glob_match, Rule, Trigger};

@@ -194,10 +194,8 @@ mod tests {
     #[test]
     fn trigger_matches_prefix_kind_glob() {
         let agent = AgentId::new("laptop");
-        let t = Trigger::on(agent.clone())
-            .under("/inbox")
-            .kinds([EventKind::Created])
-            .glob("*.tif");
+        let t =
+            Trigger::on(agent.clone()).under("/inbox").kinds([EventKind::Created]).glob("*.tif");
         assert!(t.matches(&agent, &event("/inbox/a.tif", EventKind::Created)));
         assert!(t.matches(&agent, &event("/inbox/deep/b.tif", EventKind::Created)));
         assert!(!t.matches(&agent, &event("/outbox/a.tif", EventKind::Created)));

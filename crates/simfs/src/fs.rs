@@ -74,14 +74,7 @@ impl SimFs {
     pub fn new() -> Self {
         let mut inodes = HashMap::new();
         inodes.insert(InodeId::ROOT, Inode::new_dir(InodeId::ROOT, None, "", SimTime::EPOCH));
-        SimFs {
-            inodes,
-            next_inode: 2,
-            observers: Vec::new(),
-            next_observer: 0,
-            files: 0,
-            dirs: 1,
-        }
+        SimFs { inodes, next_inode: 2, observers: Vec::new(), next_observer: 0, files: 0, dirs: 1 }
     }
 
     // ---- observers ----------------------------------------------------
@@ -131,10 +124,8 @@ impl SimFs {
             if node.file_type != FileType::Directory {
                 return Err(FsError::NotADirectory(self.path_of(cur)));
             }
-            cur = *node
-                .entries
-                .get(name.as_ref())
-                .ok_or_else(|| FsError::NotFound(norm.clone()))?;
+            cur =
+                *node.entries.get(name.as_ref()).ok_or_else(|| FsError::NotFound(norm.clone()))?;
         }
         Ok(cur)
     }
@@ -444,11 +435,8 @@ impl SimFs {
         let norm = normalize_path(path.as_ref())?;
         let (parent_path, name) = parent_and_name(&norm)?;
         let parent = self.lookup(&parent_path)?;
-        let id = *self
-            .node(parent)
-            .entries
-            .get(&name)
-            .ok_or_else(|| FsError::NotFound(norm.clone()))?;
+        let id =
+            *self.node(parent).entries.get(&name).ok_or_else(|| FsError::NotFound(norm.clone()))?;
         if self.node(id).file_type == FileType::Directory {
             return Err(FsError::IsADirectory(norm));
         }
@@ -493,11 +481,8 @@ impl SimFs {
         let norm = normalize_path(path.as_ref())?;
         let (parent_path, name) = parent_and_name(&norm)?;
         let parent = self.lookup(&parent_path)?;
-        let id = *self
-            .node(parent)
-            .entries
-            .get(&name)
-            .ok_or_else(|| FsError::NotFound(norm.clone()))?;
+        let id =
+            *self.node(parent).entries.get(&name).ok_or_else(|| FsError::NotFound(norm.clone()))?;
         let node = self.node(id);
         if node.file_type != FileType::Directory {
             return Err(FsError::NotADirectory(norm));
@@ -690,11 +675,7 @@ impl SimFs {
             let n = self.node_mut(id);
             n.xattrs.insert(key.into(), value.into());
             n.ctime = now;
-            (
-                n.parent.unwrap_or(InodeId::ROOT),
-                n.name.clone(),
-                n.file_type == FileType::Directory,
-            )
+            (n.parent.unwrap_or(InodeId::ROOT), n.name.clone(), n.file_type == FileType::Directory)
         };
         self.notify(FsOp {
             kind: FsOpKind::SetXattr,
@@ -715,11 +696,7 @@ impl SimFs {
     /// # Errors
     ///
     /// Propagates lookup errors.
-    pub fn get_xattr(
-        &self,
-        path: impl AsRef<Path>,
-        key: &str,
-    ) -> Result<Option<Vec<u8>>, FsError> {
+    pub fn get_xattr(&self, path: impl AsRef<Path>, key: &str) -> Result<Option<Vec<u8>>, FsError> {
         let id = self.lookup(path)?;
         Ok(self.node(id).xattrs.get(key).cloned())
     }
@@ -751,11 +728,7 @@ impl SimFs {
             let n = self.node_mut(id);
             n.mode = mode;
             n.ctime = now;
-            (
-                n.parent.unwrap_or(InodeId::ROOT),
-                n.name.clone(),
-                n.file_type == FileType::Directory,
-            )
+            (n.parent.unwrap_or(InodeId::ROOT), n.name.clone(), n.file_type == FileType::Directory)
         };
         self.notify(FsOp {
             kind: FsOpKind::SetAttr,
@@ -953,8 +926,7 @@ mod tests {
         for name in ["zeta", "alpha", "mid"] {
             fs.create(format!("/{name}"), t(0)).unwrap();
         }
-        let names: Vec<String> =
-            fs.read_dir("/").unwrap().into_iter().map(|e| e.name).collect();
+        let names: Vec<String> = fs.read_dir("/").unwrap().into_iter().map(|e| e.name).collect();
         assert_eq!(names, vec!["alpha", "mid", "zeta"]);
     }
 

@@ -334,7 +334,8 @@ mod tests {
             kind: ChangelogKind::Create,
             time: SimTime::EPOCH
                 + SimDuration::from_secs(20 * 3600 + 15 * 60 + 37)
-                + SimDuration::from_millis(113) + SimDuration::from_micros(800),
+                + SimDuration::from_millis(113)
+                + SimDuration::from_micros(800),
             flags: 0x0,
             target: Fid::new(0x200000402, 0xa046, 0),
             parent: Fid::ROOT,

@@ -86,7 +86,8 @@ impl FromStr for Fid {
         let mut parts = inner.split(':');
         let mut next_hex = |max: u64| -> Result<u64, ParseFidError> {
             let part = parts.next().ok_or_else(err)?.trim();
-            let digits = part.strip_prefix("0x").or_else(|| part.strip_prefix("0X")).unwrap_or(part);
+            let digits =
+                part.strip_prefix("0x").or_else(|| part.strip_prefix("0X")).unwrap_or(part);
             let v = u64::from_str_radix(digits, 16).map_err(|_| err())?;
             if v > max {
                 return Err(err());

@@ -227,8 +227,7 @@ mod tests {
 
     #[test]
     fn rate_sum_and_scale() {
-        let total: EventsPerSec =
-            [352.0, 534.0, 832.0].into_iter().map(EventsPerSec::new).sum();
+        let total: EventsPerSec = [352.0, 534.0, 832.0].into_iter().map(EventsPerSec::new).sum();
         assert!((total.per_sec() - 1718.0).abs() < 1e-9);
         assert!((EventsPerSec::new(127.13).scale(25.0).per_sec() - 3178.25).abs() < 1e-9);
     }

@@ -308,8 +308,7 @@ mod tests {
     #[test]
     fn live_generator_produces_expected_event_counts() {
         let fs = Arc::new(Mutex::new(LustreFs::new(LustreConfig::aws_testbed())));
-        let mut generator =
-            EventGenerator::new(Arc::clone(&fs), 4, OpMix::paper(), 11).unwrap();
+        let mut generator = EventGenerator::new(Arc::clone(&fs), 4, OpMix::paper(), 11).unwrap();
         let mut tick = 0u64;
         let report = generator
             .run(1000, || {
@@ -347,8 +346,7 @@ mod tests {
             let fs = Arc::new(Mutex::new(LustreFs::new(LustreConfig::aws_testbed())));
             let mut generator =
                 EventGenerator::new(Arc::clone(&fs), 2, OpMix::paper(), seed).unwrap();
-            let report =
-                generator.run(200, || SimTime::EPOCH).unwrap();
+            let report = generator.run(200, || SimTime::EPOCH).unwrap();
             (report.created, report.modified, report.deleted)
         };
         assert_eq!(run(5), run(5));
@@ -375,8 +373,7 @@ mod tests {
     fn full_mix_exercises_every_record_kind() {
         use sdci_types::{ChangelogKind, MdtIndex};
         let fs = Arc::new(Mutex::new(LustreFs::new(LustreConfig::aws_testbed())));
-        let mut generator =
-            EventGenerator::new(Arc::clone(&fs), 4, OpMix::full(), 21).unwrap();
+        let mut generator = EventGenerator::new(Arc::clone(&fs), 4, OpMix::full(), 21).unwrap();
         let mut tick = 0u64;
         let report = generator
             .run(2_000, || {

@@ -24,7 +24,10 @@ pub mod nersc;
 pub mod profiles;
 pub mod trace;
 
-pub use generator::{measure_table2_rates, run_phases_live, EventGenerator, GeneratorReport, OpMix, PhaseReport, Table2Row};
+pub use generator::{
+    measure_table2_rates, run_phases_live, EventGenerator, GeneratorReport, OpMix, PhaseReport,
+    Table2Row,
+};
 pub use nersc::{DayOutcome, DaySeries, DiffCounts, DumpDiffer, NerscModel, ScalingAnalysis};
 pub use profiles::{MetadataOpCosts, TestbedProfile};
 pub use trace::{read_trace, replay_trace, write_trace, TraceError, TraceOp, TraceRecord};

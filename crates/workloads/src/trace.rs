@@ -199,10 +199,7 @@ pub fn replay_trace(lfs: &mut LustreFs, records: &[TraceRecord]) -> Result<u64, 
             TraceOp::Rmdir => lfs.rmdir(&record.path, record.time),
             TraceOp::Rename(dest) => lfs.rename(&record.path, dest, record.time),
         };
-        result.map_err(|source| TraceError::Replay {
-            record: Box::new(record.clone()),
-            source,
-        })?;
+        result.map_err(|source| TraceError::Replay { record: Box::new(record.clone()), source })?;
         applied += 1;
     }
     Ok(applied)
@@ -261,12 +258,8 @@ mod tests {
         assert_eq!(lfs.total_events(), 5);
         // The short-lived file left UNLNK evidence in the ChangeLog —
         // exactly what dump diffing misses.
-        let kinds: Vec<_> = lfs
-            .changelog(MdtIndex::new(0))
-            .read_from(0, 10)
-            .iter()
-            .map(|r| r.kind)
-            .collect();
+        let kinds: Vec<_> =
+            lfs.changelog(MdtIndex::new(0)).read_from(0, 10).iter().map(|r| r.kind).collect();
         assert!(kinds.contains(&sdci_types::ChangelogKind::Unlink));
     }
 

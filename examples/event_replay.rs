@@ -34,9 +34,8 @@ fn main() {
     let mut seen_before_crash = 0u64;
     let mut last_seq = 0u64;
     while seen_before_crash < 11 {
-        let event = consumer
-            .next_timeout(Duration::from_secs(5))
-            .expect("live events before the crash");
+        let event =
+            consumer.next_timeout(Duration::from_secs(5)).expect("live events before the crash");
         seen_before_crash += 1;
         last_seq = consumer.next_seq() - 1;
         drop(event);

@@ -12,7 +12,7 @@
 //!
 //! Run with `cargo run --example lab_pipeline`.
 
-use sdci::ripple::{ActionKind, ActionSpec, Rule, RippleBuilder, Trigger};
+use sdci::ripple::{ActionKind, ActionSpec, RippleBuilder, Rule, Trigger};
 use sdci::types::{AgentId, EventKind, SimTime};
 use std::time::Duration;
 
@@ -37,10 +37,7 @@ fn main() {
     // Rule 2: analysis outputs replicate to the laptop.
     ripple.add_rule(
         Rule::when(
-            Trigger::on(lab_id.clone())
-                .under("/results")
-                .kinds([EventKind::Created])
-                .glob("*.h5"),
+            Trigger::on(lab_id.clone()).under("/results").kinds([EventKind::Created]).glob("*.h5"),
         )
         .then(ActionSpec::transfer(laptop_id.clone(), "/replicated")),
     );
@@ -71,9 +68,8 @@ fn main() {
 
     // The container invocations are recorded in the execution log; the
     // "analysis" itself is simulated here by writing its outputs.
-    let analyses = ripple
-        .execution_log()
-        .successes_where(|r| matches!(r.kind, ActionKind::DockerRun { .. }));
+    let analyses =
+        ripple.execution_log().successes_where(|r| matches!(r.kind, ActionKind::DockerRun { .. }));
     println!("analysis containers launched: {}", analyses.len());
     for record in &analyses {
         println!("  docker {} <- {}", record.kind, record.trigger_path.display());
@@ -99,9 +95,8 @@ fn main() {
     }
     assert_eq!(replicated.len(), 3);
 
-    let emails = ripple
-        .execution_log()
-        .successes_where(|r| matches!(r.kind, ActionKind::Email { .. }));
+    let emails =
+        ripple.execution_log().successes_where(|r| matches!(r.kind, ActionKind::Email { .. }));
     println!("notification emails sent: {}", emails.len());
     assert_eq!(emails.len(), 3);
 

@@ -10,7 +10,7 @@
 use parking_lot::Mutex;
 use sdci::lustre::{LustreConfig, LustreFs};
 use sdci::monitor::{MonitorClusterBuilder, MonitorConfig};
-use sdci::ripple::{ActionKind, ActionSpec, Rule, RippleBuilder, Trigger};
+use sdci::ripple::{ActionKind, ActionSpec, RippleBuilder, Rule, Trigger};
 use sdci::types::{AgentId, EventKind, SimTime};
 use std::sync::Arc;
 use std::time::Duration;
@@ -19,9 +19,8 @@ fn main() {
     // ---- Part 1: the scalable Lustre monitor --------------------------
     println!("== Part 1: Lustre ChangeLog monitor ==");
     let lfs = Arc::new(Mutex::new(LustreFs::new(LustreConfig::aws_testbed())));
-    let cluster = MonitorClusterBuilder::new(Arc::clone(&lfs))
-        .config(MonitorConfig::default())
-        .start();
+    let cluster =
+        MonitorClusterBuilder::new(Arc::clone(&lfs)).config(MonitorConfig::default()).start();
     let mut feed = cluster.subscribe();
 
     // Generate some filesystem activity.
@@ -38,9 +37,8 @@ fn main() {
 
     // Every event arrives on the subscribed feed, path-resolved.
     for _ in 0..8 {
-        let event = feed
-            .next_timeout(Duration::from_secs(5))
-            .expect("monitor should deliver all 8 events");
+        let event =
+            feed.next_timeout(Duration::from_secs(5)).expect("monitor should deliver all 8 events");
         println!("  [{}] {:<8} {}", event.mdt, event.kind.to_string(), event.path.display());
     }
     let stats = cluster.stats();

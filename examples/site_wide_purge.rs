@@ -17,7 +17,7 @@ use parking_lot::Mutex;
 use sdci::inotify::{Inotify, RecursiveWatcher};
 use sdci::lustre::{DnePolicy, LustreConfig, LustreFs};
 use sdci::monitor::MonitorClusterBuilder;
-use sdci::ripple::{ActionSpec, AgentStorage, MonitorSource, Rule, RippleBuilder, Trigger};
+use sdci::ripple::{ActionSpec, AgentStorage, MonitorSource, RippleBuilder, Rule, Trigger};
 use sdci::types::{AgentId, EventKind, SimTime};
 use std::sync::Arc;
 use std::time::Duration;
@@ -61,8 +61,7 @@ fn main() {
                 fs.create(format!("{dir}/data.h5"), SimTime::from_secs(1)).expect("create");
                 keepers += 1;
                 if (user + proj) % 2 == 0 {
-                    fs.create(format!("{dir}/stage.tmp"), SimTime::from_secs(2))
-                        .expect("create");
+                    fs.create(format!("{dir}/stage.tmp"), SimTime::from_secs(2)).expect("create");
                     temporaries += 1;
                 }
             }

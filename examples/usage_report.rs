@@ -97,8 +97,7 @@ fn main() {
     let monitor_events = cluster.stats().total_processed();
     cluster.shutdown();
     let fs = lfs.lock();
-    let remaining: usize =
-        (0..2).map(|m| fs.changelog(MdtIndex::new(m)).len()).sum();
+    let remaining: usize = (0..2).map(|m| fs.changelog(MdtIndex::new(m)).len()).sum();
     println!(
         "\nmonitor streamed {monitor_events} events in parallel; \
          {remaining} records remain after both consumers acknowledged"

@@ -1,20 +1,283 @@
-//! `sdcimon` — a live demo of the monitor: spin up a simulated Lustre
-//! deployment, drive it with a mixed workload, and watch the monitor's
-//! operational metrics tick.
+//! `sdcimon` — the monitor as a real deployment.
+//!
+//! With no subcommand, runs the original single-process live demo:
 //!
 //! ```text
-//! cargo run --release --bin sdcimon -- [--testbed aws|iota] [--mdts N]
-//!                                      [--seconds S] [--ops-per-tick N]
-//!                                      [--no-cache]
+//! sdcimon [--testbed aws|iota] [--mdts N] [--seconds S]
+//!         [--ops-per-tick N] [--no-cache]
 //! ```
+//!
+//! With a subcommand, runs one role of the distributed pipeline over
+//! `sdci-net` TCP, so Collector → Aggregator → Consumer are three OS
+//! processes:
+//!
+//! ```text
+//! sdcimon aggregator [--bind ADDR] [--store-capacity N] [--feed-hwm N]
+//!                    [--snapshot FILE]
+//! sdcimon collector  --connect ADDR [--client ID] [--files N]
+//! sdcimon consumer   --connect ADDR [--expect N] [--under PREFIX]
+//!                    [--timeout SECS]
+//! ```
+//!
+//! Port convention: the aggregator's `--bind` port `P` carries the
+//! Collector PUSH leg; `P+1` serves the consumer feed (PUB/SUB); `P+2`
+//! serves store-backfill RPC. `--connect` always takes the base
+//! address `P`. The aggregator prints `listening on HOST:P` once ready
+//! (with the resolved port when `--bind` used port 0).
 
 use parking_lot::Mutex;
 use sdci::lustre::{DnePolicy, LustreConfig, LustreFs};
-use sdci::monitor::{MetricsRecorder, MonitorClusterBuilder, MonitorConfig};
-use sdci::types::{ByteSize, SimTime};
+use sdci::monitor::{
+    Aggregator, Collector, EventConsumer, EventStore, MetricsRecorder, MonitorClusterBuilder,
+    MonitorConfig,
+};
+use sdci::mq::transport::PullSubscriber;
+use sdci::net::{
+    NetConfig, RemoteStore, StoreServer, TcpBroker, TcpPullServer, TcpPush, TcpSubscriber,
+};
+use sdci::types::{ByteSize, FileEvent, MdtIndex, SimTime};
 use sdci::workloads::{EventGenerator, OpMix};
+use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("aggregator") => run_aggregator(&args[1..]),
+        Some("collector") => run_collector(&args[1..]),
+        Some("consumer") => run_consumer(&args[1..]),
+        _ => run_demo(&args),
+    };
+    if let Err(e) = result {
+        eprintln!("sdcimon: {e}");
+        std::process::exit(2);
+    }
+}
+
+/// Pulls `--flag value` pairs out of `args`; every recognised flag
+/// takes a value.
+struct Flags<'a> {
+    args: &'a [String],
+}
+
+impl<'a> Flags<'a> {
+    fn new(args: &'a [String], allowed: &[&str]) -> Result<Self, String> {
+        let mut i = 0;
+        while i < args.len() {
+            let flag = args[i].as_str();
+            if !allowed.contains(&flag) {
+                return Err(format!("unknown argument {flag}"));
+            }
+            if i + 1 >= args.len() {
+                return Err(format!("{flag} requires a value"));
+            }
+            i += 2;
+        }
+        Ok(Flags { args })
+    }
+
+    fn get(&self, flag: &str) -> Option<&'a str> {
+        self.args.chunks_exact(2).find(|pair| pair[0] == flag).map(|pair| pair[1].as_str())
+    }
+
+    fn parse<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(flag) {
+            Some(raw) => raw.parse().map_err(|e| format!("{flag}: {e}")),
+            None => Ok(default),
+        }
+    }
+}
+
+fn offset_addr(base: SocketAddr, offset: u16) -> SocketAddr {
+    SocketAddr::new(base.ip(), base.port() + offset)
+}
+
+// ---------------------------------------------------------------------------
+// aggregator
+// ---------------------------------------------------------------------------
+
+fn run_aggregator(args: &[String]) -> Result<(), String> {
+    let flags = Flags::new(args, &["--bind", "--store-capacity", "--feed-hwm", "--snapshot"])?;
+    let bind: SocketAddr = flags.parse("--bind", "127.0.0.1:7070".parse().unwrap())?;
+    let store_capacity: usize = flags.parse("--store-capacity", 1_000_000)?;
+    let feed_hwm: usize = flags.parse("--feed-hwm", 65_536)?;
+    let snapshot = flags.get("--snapshot").map(std::path::PathBuf::from);
+
+    let cfg = NetConfig::default();
+    let events_srv = TcpPullServer::<FileEvent>::bind(bind, feed_hwm.max(65_536), cfg.clone())
+        .map_err(|e| format!("bind {bind}: {e}"))?;
+    let base = events_srv.local_addr();
+
+    // A crashed aggregator restarted with the same --snapshot resumes
+    // its store *and* its sequence numbering, so consumers recover the
+    // outage as an ordinary gap.
+    let restored = match &snapshot {
+        Some(path) if path.exists() => {
+            let file = std::fs::File::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
+            let store = EventStore::restore_from(std::io::BufReader::new(file), store_capacity)
+                .map_err(|e| format!("restore {}: {e}", path.display()))?;
+            eprintln!(
+                "sdcimon aggregator: restored {} events (last seq {}) from {}",
+                store.len(),
+                store.last_seq(),
+                path.display()
+            );
+            Some(store)
+        }
+        _ => None,
+    };
+    let events = PullSubscriber::new(events_srv.pull(), "events/remote");
+    let agg = match restored {
+        Some(store) => Aggregator::start_with_store(events, store, feed_hwm),
+        None => Aggregator::start(events, store_capacity, feed_hwm),
+    };
+    let feed_srv = TcpBroker::serve(agg.feed().clone(), offset_addr(base, 1), cfg.clone())
+        .map_err(|e| format!("bind feed {}: {e}", offset_addr(base, 1)))?;
+    let store_srv = StoreServer::bind(offset_addr(base, 2), agg.store(), cfg)
+        .map_err(|e| format!("bind store {}: {e}", offset_addr(base, 2)))?;
+
+    // Readiness line: tests and operators parse "listening on ADDR".
+    println!(
+        "sdcimon aggregator listening on {base} (feed {}, store {})",
+        feed_srv.local_addr(),
+        store_srv.local_addr()
+    );
+
+    loop {
+        std::thread::sleep(Duration::from_millis(200));
+        if let Some(path) = &snapshot {
+            if let Err(e) = write_snapshot_atomically(&agg, path) {
+                eprintln!("sdcimon aggregator: snapshot failed: {e}");
+            }
+        }
+    }
+}
+
+/// Writes the store snapshot to `path.tmp` then renames, so a crash
+/// mid-write never corrupts the snapshot a restart will restore from.
+fn write_snapshot_atomically(agg: &Aggregator, path: &std::path::Path) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let file = std::fs::File::create(&tmp)?;
+        let mut sink = std::io::BufWriter::new(file);
+        agg.store().lock().snapshot_to(&mut sink)?;
+        std::io::Write::flush(&mut sink)?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+// ---------------------------------------------------------------------------
+// collector
+// ---------------------------------------------------------------------------
+
+fn run_collector(args: &[String]) -> Result<(), String> {
+    let flags = Flags::new(args, &["--connect", "--client", "--files"])?;
+    let connect: SocketAddr = flags
+        .get("--connect")
+        .ok_or("collector requires --connect ADDR")?
+        .parse()
+        .map_err(|e| format!("--connect: {e}"))?;
+    let client = flags.get("--client").unwrap_or("collector").to_string();
+    let files: u64 = flags.parse("--files", 100)?;
+
+    // Each collector process monitors its own (simulated) MDT and
+    // drives a private workload under /<client>/.
+    let lfs = Arc::new(Mutex::new(LustreFs::new(
+        LustreConfig::builder(client.clone()).mdt_count(1).build(),
+    )));
+    let push = TcpPush::<FileEvent>::connect(connect, client.clone(), NetConfig::default());
+    let mut collector =
+        Collector::new(Arc::clone(&lfs), MdtIndex::new(0), push.clone(), MonitorConfig::default());
+    {
+        let mut guard = lfs.lock();
+        guard.mkdir(format!("/{client}"), SimTime::EPOCH).map_err(|e| e.to_string())?;
+        for i in 0..files {
+            guard
+                .create(format!("/{client}/f{i}"), SimTime::from_nanos(i + 1))
+                .map_err(|e| e.to_string())?;
+        }
+    }
+    let total = lfs.lock().total_events();
+
+    while collector.stats().processed < total {
+        if collector.run_once() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    collector.ack_and_purge();
+
+    // The §5.2 guarantee hinges on this: exit only once every processed
+    // event has been acknowledged by the aggregator.
+    let drained = push.drain(Duration::from_secs(60));
+    println!(
+        "sdcimon collector {client}: {} events processed, {} acked, drained: {drained}",
+        collector.stats().processed,
+        push.acked()
+    );
+    if drained {
+        Ok(())
+    } else {
+        std::process::exit(1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// consumer
+// ---------------------------------------------------------------------------
+
+fn run_consumer(args: &[String]) -> Result<(), String> {
+    let flags = Flags::new(args, &["--connect", "--expect", "--under", "--timeout"])?;
+    let connect: SocketAddr = flags
+        .get("--connect")
+        .ok_or("consumer requires --connect ADDR")?
+        .parse()
+        .map_err(|e| format!("--connect: {e}"))?;
+    let expect: Option<u64> = match flags.get("--expect") {
+        Some(raw) => Some(raw.parse().map_err(|e| format!("--expect: {e}"))?),
+        None => None,
+    };
+    let timeout = Duration::from_secs(flags.parse("--timeout", 30u64)?);
+
+    let cfg = NetConfig::default();
+    let feed = TcpSubscriber::connect(offset_addr(connect, 1), &["feed/"], cfg.clone());
+    let store = RemoteStore::connect(offset_addr(connect, 2), cfg);
+    let mut consumer = EventConsumer::new(feed, store, 0);
+    if let Some(prefix) = flags.get("--under") {
+        consumer = consumer.under(prefix);
+    }
+    println!("sdcimon consumer reading feed at {}", offset_addr(connect, 1));
+
+    let deadline = Instant::now() + timeout;
+    let mut delivered: u64 = 0;
+    while expect.is_none_or(|n| delivered < n) {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        let step = (deadline - now).min(Duration::from_millis(500));
+        if let Some(event) = consumer.next_timeout(step) {
+            println!("event {:?} {}", event.kind, event.path.display());
+            delivered += 1;
+        }
+    }
+    let stats = consumer.stats();
+    println!(
+        "sdcimon consumer done: delivered {} recovered {} lost {}",
+        stats.delivered, stats.recovered, stats.lost
+    );
+    match expect {
+        Some(n) if delivered < n => std::process::exit(1),
+        _ => Ok(()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// single-process demo (the original sdcimon)
+// ---------------------------------------------------------------------------
 
 struct Options {
     testbed: String,
@@ -24,39 +287,36 @@ struct Options {
     cache: bool,
 }
 
-fn parse_args() -> Result<Options, String> {
-    let mut options = Options {
-        testbed: "iota".into(),
-        mdts: 4,
-        seconds: 5,
-        ops_per_tick: 20_000,
-        cache: true,
-    };
-    let mut args = std::env::args().skip(1);
+fn parse_demo_args(args: &[String]) -> Result<Options, String> {
+    let mut options =
+        Options { testbed: "iota".into(), mdts: 4, seconds: 5, ops_per_tick: 20_000, cache: true };
+    let mut args = args.iter();
     while let Some(arg) = args.next() {
-        let mut value = |name: &str| {
-            args.next().ok_or_else(|| format!("{name} requires a value"))
-        };
+        let mut value =
+            |name: &str| args.next().cloned().ok_or_else(|| format!("{name} requires a value"));
         match arg.as_str() {
             "--testbed" => options.testbed = value("--testbed")?,
             "--mdts" => {
-                options.mdts =
-                    value("--mdts")?.parse().map_err(|e| format!("--mdts: {e}"))?
+                options.mdts = value("--mdts")?.parse().map_err(|e| format!("--mdts: {e}"))?
             }
             "--seconds" => {
                 options.seconds =
                     value("--seconds")?.parse().map_err(|e| format!("--seconds: {e}"))?
             }
             "--ops-per-tick" => {
-                options.ops_per_tick = value("--ops-per-tick")?
-                    .parse()
-                    .map_err(|e| format!("--ops-per-tick: {e}"))?
+                options.ops_per_tick =
+                    value("--ops-per-tick")?.parse().map_err(|e| format!("--ops-per-tick: {e}"))?
             }
             "--no-cache" => options.cache = false,
             "--help" | "-h" => {
                 println!(
                     "usage: sdcimon [--testbed aws|iota] [--mdts N] [--seconds S] \
-                     [--ops-per-tick N] [--no-cache]"
+                     [--ops-per-tick N] [--no-cache]\n\
+                     \x20      sdcimon aggregator [--bind ADDR] [--store-capacity N] \
+                     [--feed-hwm N] [--snapshot FILE]\n\
+                     \x20      sdcimon collector --connect ADDR [--client ID] [--files N]\n\
+                     \x20      sdcimon consumer --connect ADDR [--expect N] [--under PREFIX] \
+                     [--timeout SECS]"
                 );
                 std::process::exit(0);
             }
@@ -66,22 +326,13 @@ fn parse_args() -> Result<Options, String> {
     Ok(options)
 }
 
-fn main() {
-    let options = match parse_args() {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("sdcimon: {e}");
-            std::process::exit(2);
-        }
-    };
+fn run_demo(args: &[String]) -> Result<(), String> {
+    let options = parse_demo_args(args)?;
 
     let capacity = match options.testbed.as_str() {
         "aws" => ByteSize::from_gib(20),
         "iota" => ByteSize::from_tib(897),
-        other => {
-            eprintln!("sdcimon: unknown testbed {other} (use aws or iota)");
-            std::process::exit(2);
-        }
+        other => return Err(format!("unknown testbed {other} (use aws or iota)")),
     };
     let config = LustreConfig::builder(options.testbed.clone())
         .mdt_count(options.mdts)
@@ -103,8 +354,8 @@ fn main() {
         ..MonitorConfig::default()
     };
     let cluster = MonitorClusterBuilder::new(Arc::clone(&lfs)).config(monitor_config).start();
-    let mut generator = EventGenerator::new(Arc::clone(&lfs), 32, OpMix::paper(), 1)
-        .expect("generator setup");
+    let mut generator =
+        EventGenerator::new(Arc::clone(&lfs), 32, OpMix::paper(), 1).expect("generator setup");
 
     let mut metrics = MetricsRecorder::new();
     metrics.record(cluster.stats());
@@ -146,4 +397,5 @@ fn main() {
     let report = lfs.lock().ost_report();
     println!("storage after run: {} used across {} OSTs", report.used, report.osts.len());
     cluster.shutdown();
+    Ok(())
 }

@@ -22,6 +22,7 @@
 //! | [`inotify`] | `inotify-sim` | inotify semantics + Watchdog-style recursion |
 //! | [`mq`] | `sdci-mq` | PUB/SUB, PUSH/PULL, SQS queue, Lambda pool |
 //! | [`monitor`] | `sdci-core` | **The paper's contribution**: Collector → Aggregator → consumers |
+//! | [`net`] | `sdci-net` | TCP transport: the monitor across OS processes |
 //! | [`ripple`] | `ripple` | The SDCI rule engine |
 //! | [`baselines`] | `sdci-baselines` | Robinhood-style centralized scanner; polling |
 //! | [`workloads`] | `sdci-workloads` | Testbed calibrations, generators, NERSC analysis |
@@ -60,6 +61,7 @@ pub use sdci_baselines as baselines;
 pub use sdci_core as monitor;
 pub use sdci_des as des;
 pub use sdci_mq as mq;
+pub use sdci_net as net;
 pub use sdci_types as types;
 pub use sdci_workloads as workloads;
 pub use simfs;

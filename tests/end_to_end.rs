@@ -4,7 +4,9 @@
 use parking_lot::Mutex;
 use sdci::lustre::{DnePolicy, LustreConfig, LustreFs};
 use sdci::monitor::MonitorClusterBuilder;
-use sdci::ripple::{ActionKind, ActionSpec, AgentStorage, MonitorSource, Rule, RippleBuilder, Trigger};
+use sdci::ripple::{
+    ActionKind, ActionSpec, AgentStorage, MonitorSource, RippleBuilder, Rule, Trigger,
+};
 use sdci::types::{AgentId, EventKind, MdtIndex, SimTime};
 use sdci::workloads::{EventGenerator, OpMix};
 use std::sync::Arc;
@@ -57,10 +59,7 @@ fn monitor_delivers_complete_ordered_stream_under_mixed_load() {
 #[test]
 fn multi_mdt_monitor_sees_every_mdt_and_purges_all_changelogs() {
     let lfs = Arc::new(Mutex::new(LustreFs::new(
-        LustreConfig::builder("dne")
-            .mdt_count(4)
-            .dne_policy(DnePolicy::RoundRobinTopLevel)
-            .build(),
+        LustreConfig::builder("dne").mdt_count(4).dne_policy(DnePolicy::RoundRobinTopLevel).build(),
     )));
     let cluster = MonitorClusterBuilder::new(Arc::clone(&lfs)).start();
     {
@@ -82,10 +81,7 @@ fn multi_mdt_monitor_sees_every_mdt_and_purges_all_changelogs() {
     cluster.shutdown();
     let fs = lfs.lock();
     for m in 0..4 {
-        assert!(
-            fs.changelog(MdtIndex::new(m)).is_empty(),
-            "MDT{m} changelog purged on shutdown"
-        );
+        assert!(fs.changelog(MdtIndex::new(m)).is_empty(), "MDT{m} changelog purged on shutdown");
     }
 }
 
@@ -101,10 +97,7 @@ fn lustre_backed_ripple_agent_runs_site_wide_rules() {
     );
     ripple.add_rule(
         Rule::when(
-            Trigger::on(AgentId::new("hpc"))
-                .under("/")
-                .kinds([EventKind::Created])
-                .glob("*.core"),
+            Trigger::on(AgentId::new("hpc")).under("/").kinds([EventKind::Created]).glob("*.core"),
         )
         .then(ActionSpec::purge()),
     );
@@ -191,10 +184,7 @@ fn ripple_survives_transient_failures_and_executes_exactly_once_per_event() {
     let agent = ripple.add_local_agent("node");
     ripple.add_rule(
         Rule::when(
-            Trigger::on(AgentId::new("node"))
-                .under("/w")
-                .kinds([EventKind::Created])
-                .glob("*.dat"),
+            Trigger::on(AgentId::new("node")).under("/w").kinds([EventKind::Created]).glob("*.dat"),
         )
         .then(ActionSpec::email("ops@example.org")),
     );
@@ -207,9 +197,8 @@ fn ripple_survives_transient_failures_and_executes_exactly_once_per_event() {
         }
     }
     assert!(ripple.pump_until_idle(Duration::from_secs(30)));
-    let emails = ripple
-        .execution_log()
-        .successes_where(|r| matches!(r.kind, ActionKind::Email { .. }));
+    let emails =
+        ripple.execution_log().successes_where(|r| matches!(r.kind, ActionKind::Email { .. }));
     assert_eq!(emails.len(), 40, "each event fires exactly one action");
     assert!(ripple.cloud_stats().rejected > 0, "failures were actually injected");
     ripple.shutdown();

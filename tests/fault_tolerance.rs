@@ -18,11 +18,7 @@ fn t(secs: u64) -> SimTime {
 fn slow_consumer_recovers_hwm_losses_from_store() {
     // A tiny publish HWM forces the live feed to shed events for a
     // consumer that doesn't drain; the store backfills every loss.
-    let config = MonitorConfig {
-        feed_hwm: 8,
-        store_capacity: 100_000,
-        ..MonitorConfig::default()
-    };
+    let config = MonitorConfig { feed_hwm: 8, store_capacity: 100_000, ..MonitorConfig::default() };
     let lfs = Arc::new(Mutex::new(LustreFs::new(LustreConfig::iota_testbed())));
     let cluster = MonitorClusterBuilder::new(Arc::clone(&lfs)).config(config).start();
     let mut lazy = cluster.subscribe();
@@ -61,11 +57,7 @@ fn slow_consumer_recovers_hwm_losses_from_store() {
 fn bounded_store_under_overload_loses_countably_not_silently() {
     // Store smaller than the shed window: losses are inevitable, but
     // they are *counted*, and delivery stays ordered.
-    let config = MonitorConfig {
-        feed_hwm: 4,
-        store_capacity: 50,
-        ..MonitorConfig::default()
-    };
+    let config = MonitorConfig { feed_hwm: 4, store_capacity: 50, ..MonitorConfig::default() };
     let lfs = Arc::new(Mutex::new(LustreFs::new(LustreConfig::iota_testbed())));
     let cluster = MonitorClusterBuilder::new(Arc::clone(&lfs)).config(config).start();
     let mut lazy = cluster.subscribe();
@@ -225,10 +217,7 @@ fn aggregator_restarts_from_snapshot_without_losing_history() {
     }
     assert_eq!(resumed.stats().lost, 0, "no events lost across the restart");
     assert!(resumed.stats().recovered >= 10, "pre-crash tail came from the snapshot");
-    assert_eq!(
-        got.last().unwrap().path,
-        std::path::PathBuf::from("/persist/f39")
-    );
+    assert_eq!(got.last().unwrap().path, std::path::PathBuf::from("/persist/f39"));
     // Global sequence numbers continued (30 pre-crash + 11 new).
     assert_eq!(cluster.store().lock().last_seq(), 41);
     cluster.shutdown();

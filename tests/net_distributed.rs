@@ -1,0 +1,164 @@
+//! End-to-end tests of the distributed monitor: three `sdcimon` OS
+//! processes (collector → aggregator → consumer) wired over sdci-net's
+//! TCP transport, plus the §5.2 fault story — kill the aggregator
+//! mid-run and verify the collector's resend and the snapshot restore
+//! hand every event to the consumer exactly once.
+//!
+//! Children are managed strictly through [`std::process::Child`]
+//! handles (never `pkill`), so a crashed test cannot take unrelated
+//! processes down with it.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+const BIN: &str = env!("CARGO_BIN_EXE_sdcimon");
+
+/// Events one collector run emits: one mkdir plus `--files` creates.
+const EVENTS_PER_COLLECTOR: usize = 101;
+
+/// A child process that is SIGKILLed when the test panics.
+struct Reaped(Option<Child>);
+
+impl Reaped {
+    fn child(&mut self) -> &mut Child {
+        self.0.as_mut().expect("child already consumed")
+    }
+
+    /// Hands the child back for `wait_with_output`, disarming the reaper.
+    fn into_child(mut self) -> Child {
+        self.0.take().expect("child already consumed")
+    }
+}
+
+impl Drop for Reaped {
+    fn drop(&mut self) {
+        if let Some(mut child) = self.0.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+fn spawn(args: &[&str]) -> Reaped {
+    let child = Command::new(BIN)
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn sdcimon");
+    Reaped(Some(child))
+}
+
+/// Reads the aggregator's readiness line and returns the events address.
+///
+/// The line looks like:
+/// `sdcimon aggregator listening on 127.0.0.1:40089 (feed ..., store ...)`
+fn wait_for_listen_addr(agg: &mut Reaped) -> String {
+    let stdout = agg.child().stdout.take().expect("aggregator stdout piped");
+    let mut lines = BufReader::new(stdout).lines();
+    for line in &mut lines {
+        let line = line.expect("read aggregator stdout");
+        if let Some(rest) = line.split("listening on ").nth(1) {
+            let addr = rest.split_whitespace().next().expect("addr token");
+            // Keep draining stdout in the background so the child can
+            // never block on a full pipe.
+            std::thread::spawn(move || for _ in lines {});
+            return addr.to_string();
+        }
+    }
+    panic!("aggregator exited without printing a readiness line");
+}
+
+fn run_collector(addr: &str, client: &str) {
+    let status = Command::new(BIN)
+        .args(["collector", "--connect", addr, "--client", client, "--files", "100"])
+        .status()
+        .expect("run collector");
+    assert!(status.success(), "collector {client} failed: {status:?}");
+}
+
+/// Asserts the per-client `event` lines are path-resolved and arrive in
+/// creation order, and returns how many event lines were seen in total.
+fn check_consumer_output(out: &str, clients: &[&str]) -> usize {
+    for client in clients {
+        let prefix = format!("/{client}/f");
+        let indices: Vec<usize> = out
+            .lines()
+            .filter_map(|l| l.strip_prefix("event Created ")?.strip_prefix(&prefix)?.parse().ok())
+            .collect();
+        let expected: Vec<usize> = (0..100).collect();
+        assert_eq!(indices, expected, "client {client}: file events out of order or missing");
+    }
+    out.lines().filter(|l| l.starts_with("event ")).count()
+}
+
+#[test]
+fn three_processes_deliver_every_event_in_order() {
+    let mut agg = spawn(&["aggregator", "--bind", "127.0.0.1:0"]);
+    let addr = wait_for_listen_addr(&mut agg);
+
+    let expect = (2 * EVENTS_PER_COLLECTOR).to_string();
+    let consumer = spawn(&["consumer", "--connect", &addr, "--expect", &expect, "--timeout", "60"]);
+
+    run_collector(&addr, "c1");
+    run_collector(&addr, "c2");
+
+    let out = consumer.into_child().wait_with_output().expect("wait for consumer");
+    assert!(out.status.success(), "consumer failed: {:?}", out.status);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+
+    let events = check_consumer_output(&stdout, &["c1", "c2"]);
+    assert_eq!(events, 2 * EVENTS_PER_COLLECTOR, "wrong event count:\n{stdout}");
+    let done = stdout.lines().last().unwrap_or_default();
+    assert!(done.contains("lost 0"), "consumer reported loss: {done}");
+}
+
+#[test]
+fn killed_aggregator_restarts_from_snapshot_without_losing_events() {
+    let snapshot = std::env::temp_dir().join(format!("sdci-net-snap-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&snapshot);
+    let snap = snapshot.to_str().expect("utf-8 temp path");
+
+    let mut agg = spawn(&["aggregator", "--bind", "127.0.0.1:0", "--snapshot", snap]);
+    let addr = wait_for_listen_addr(&mut agg);
+
+    let expect = (2 * EVENTS_PER_COLLECTOR).to_string();
+    let consumer =
+        spawn(&["consumer", "--connect", &addr, "--expect", &expect, "--timeout", "120"]);
+
+    run_collector(&addr, "c1");
+    // Let the aggregator flush its 200ms-interval snapshot, then kill it
+    // hard — no graceful shutdown, exactly the §5.2 failure.
+    std::thread::sleep(Duration::from_millis(600));
+    agg.child().kill().expect("kill aggregator");
+    agg.child().wait().expect("reap aggregator");
+
+    // The second collector starts while the port is dead; its TcpPush
+    // retries with backoff until the aggregator returns.
+    let mut c2 = Reaped(Some(
+        Command::new(BIN)
+            .args(["collector", "--connect", &addr, "--client", "c2", "--files", "100"])
+            .stdout(Stdio::inherit())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn collector c2"),
+    ));
+    std::thread::sleep(Duration::from_millis(500));
+
+    let _agg2 = spawn(&["aggregator", "--bind", &addr, "--snapshot", snap]);
+
+    let c2_status = c2.child().wait().expect("wait collector c2");
+    assert!(c2_status.success(), "collector c2 failed: {c2_status:?}");
+
+    let out = consumer.into_child().wait_with_output().expect("wait for consumer");
+    assert!(out.status.success(), "consumer failed: {:?}", out.status);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+
+    let events = check_consumer_output(&stdout, &["c1", "c2"]);
+    assert_eq!(events, 2 * EVENTS_PER_COLLECTOR, "wrong event count:\n{stdout}");
+    let done = stdout.lines().last().unwrap_or_default();
+    assert!(done.contains("lost 0"), "consumer reported loss: {done}");
+
+    let _ = std::fs::remove_file(&snapshot);
+}

@@ -5,7 +5,9 @@
 use parking_lot::Mutex;
 use sdci::lustre::{DnePolicy, LustreConfig, LustreFs};
 use sdci::monitor::{MetricsRecorder, MonitorClusterBuilder, MonitorConfig};
-use sdci::ripple::{ActionKind, ActionSpec, AgentStorage, MonitorSource, Rule, RippleBuilder, Trigger};
+use sdci::ripple::{
+    ActionKind, ActionSpec, AgentStorage, MonitorSource, RippleBuilder, Rule, Trigger,
+};
 use sdci::types::{AgentId, EventKind, MdtIndex, SimTime};
 use sdci::workloads::{EventGenerator, OpMix};
 use std::sync::Arc;
@@ -34,10 +36,7 @@ fn sustained_mixed_load_full_stack() {
     );
     ripple.add_rule(
         Rule::when(
-            Trigger::on(AgentId::new("site"))
-                .under("/gen")
-                .kinds([EventKind::Created])
-                .glob("f8?"), // a narrow slice: files f80..f89 of each dir
+            Trigger::on(AgentId::new("site")).under("/gen").kinds([EventKind::Created]).glob("f8?"), // a narrow slice: files f80..f89 of each dir
         )
         .then(ActionSpec::email("soak@example.org")),
     );
@@ -83,9 +82,8 @@ fn sustained_mixed_load_full_stack() {
 
     // Ripple executed exactly one email per matching create.
     assert!(ripple.pump_until_idle(Duration::from_secs(20)));
-    let emails = ripple
-        .execution_log()
-        .successes_where(|r| matches!(r.kind, ActionKind::Email { .. }));
+    let emails =
+        ripple.execution_log().successes_where(|r| matches!(r.kind, ActionKind::Email { .. }));
     let expected = lfs
         .lock()
         .fs()
@@ -98,11 +96,7 @@ fn sustained_mixed_load_full_stack() {
         .count();
     // Every matching created file got an email; deleted ones did too
     // (their create preceded the delete), so emails >= surviving count.
-    assert!(
-        emails.len() >= expected,
-        "emails {} < surviving matches {expected}",
-        emails.len()
-    );
+    assert!(emails.len() >= expected, "emails {} < surviving matches {expected}", emails.len());
 
     // OST accounting stays conservative: used bytes equal the sum of
     // live file sizes.

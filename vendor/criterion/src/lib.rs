@@ -1,0 +1,204 @@
+// Vendored shim: exempt from workspace lint gates.
+#![allow(clippy::all)]
+//! Minimal, API-compatible subset of `criterion`.
+//!
+//! Times each benchmark with `std::time::Instant` over a fixed batch of
+//! iterations and prints a one-line mean. No warm-up tuning, outlier
+//! statistics, or HTML reports — just enough for the `--bench` targets
+//! in this workspace to compile, run quickly, and print comparable
+//! numbers.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export so call sites may use `criterion::black_box` (the
+/// workspace mostly uses `std::hint::black_box` directly).
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("func", param)` — renders as `func/param`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { name: name.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name }
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.into(), throughput: None, sample_size: 10 }
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation used for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.name, &mut routine);
+        self
+    }
+
+    /// Runs one benchmark that closes over an input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.run(&id.name, &mut |bencher: &mut Bencher| routine(bencher, input));
+        self
+    }
+
+    /// Ends the group (upstream renders summary reports here).
+    pub fn finish(self) {}
+
+    fn run(&self, bench_name: &str, routine: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher { iters: 0, elapsed: Duration::ZERO };
+        // One untimed warm-up pass, then the timed samples.
+        routine(&mut bencher);
+        bencher.iters = 0;
+        bencher.elapsed = Duration::ZERO;
+        for _ in 0..self.sample_size {
+            routine(&mut bencher);
+        }
+        let mean_ns = if bencher.iters == 0 {
+            0.0
+        } else {
+            bencher.elapsed.as_nanos() as f64 / bencher.iters as f64
+        };
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
+                format!(" ({:.3} Melem/s)", n as f64 * 1e3 / mean_ns)
+            }
+            Some(Throughput::Bytes(n)) if mean_ns > 0.0 => {
+                format!(" ({:.3} MiB/s)", n as f64 * 1e9 / mean_ns / (1024.0 * 1024.0))
+            }
+            _ => String::new(),
+        };
+        println!("{}/{:<32} time: [{:>12.1} ns/iter]{}", self.name, bench_name, mean_ns, rate);
+    }
+}
+
+/// Passed to benchmark closures; `iter` times the supplied routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over a small fixed batch and accumulates the
+    /// result into this sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        const BATCH: u64 = 16;
+        let start = Instant::now();
+        for _ in 0..BATCH {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += BATCH;
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("shim");
+        group.throughput(Throughput::Elements(1));
+        group.sample_size(2);
+        let mut calls = 0u32;
+        group.bench_function("count", |b| {
+            calls += 1;
+            b.iter(|| 1 + 1);
+        });
+        group.bench_with_input(BenchmarkId::new("with_input", 4), &4u32, |b, n| {
+            b.iter(|| n * 2);
+        });
+        group.finish();
+        // warm-up + 2 samples
+        assert_eq!(calls, 3);
+    }
+}

@@ -1,0 +1,497 @@
+// Vendored shim: exempt from workspace lint gates.
+#![allow(clippy::all)]
+//! Minimal, API-compatible subset of `crossbeam-channel`.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the slice of `crossbeam-channel` the workspace uses: a bounded MPMC
+//! channel with cloneable senders *and* receivers, `try_send` /
+//! `recv_timeout`, and queue-length introspection. Implementation is a
+//! `Mutex<VecDeque>` + two `Condvar`s — not lock-free like the real
+//! crate, but semantically equivalent and fast enough for the simulator.
+
+#![forbid(unsafe_code)]
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Error returned by [`Sender::send`] when all receivers are gone.
+#[derive(PartialEq, Eq, Clone, Copy)]
+pub struct SendError<T>(pub T);
+
+impl<T> SendError<T> {
+    /// Unwraps the message that could not be sent.
+    pub fn into_inner(self) -> T {
+        self.0
+    }
+}
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+impl<T> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Sender::try_send`].
+#[derive(PartialEq, Eq, Clone, Copy)]
+pub enum TrySendError<T> {
+    /// The channel is at capacity.
+    Full(T),
+    /// All receivers have been dropped.
+    Disconnected(T),
+}
+
+impl<T> TrySendError<T> {
+    /// Unwraps the message that could not be sent.
+    pub fn into_inner(self) -> T {
+        match self {
+            TrySendError::Full(t) | TrySendError::Disconnected(t) => t,
+        }
+    }
+
+    /// Returns `true` if the failure was due to a full channel.
+    pub fn is_full(&self) -> bool {
+        matches!(self, TrySendError::Full(_))
+    }
+
+    /// Returns `true` if the failure was due to disconnection.
+    pub fn is_disconnected(&self) -> bool {
+        matches!(self, TrySendError::Disconnected(_))
+    }
+}
+
+impl<T> fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("Full(..)"),
+            TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+        }
+    }
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("sending on a full channel"),
+            TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+        }
+    }
+}
+
+impl<T> std::error::Error for TrySendError<T> {}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and
+/// all senders are gone.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum TryRecvError {
+    /// The channel is currently empty.
+    Empty,
+    /// All senders have been dropped and the channel is drained.
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => f.write_str("receiving on an empty channel"),
+            TryRecvError::Disconnected => {
+                f.write_str("receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum RecvTimeoutError {
+    /// The timeout elapsed with no message available.
+    Timeout,
+    /// All senders have been dropped and the channel is drained.
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
+            RecvTimeoutError::Disconnected => f.write_str("channel is empty and disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
+struct Shared<T> {
+    queue: Mutex<VecDeque<T>>,
+    /// `None` means unbounded.
+    capacity: Option<usize>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+}
+
+impl<T> Shared<T> {
+    fn disconnected_senders(&self) -> bool {
+        self.senders.load(Ordering::SeqCst) == 0
+    }
+
+    fn disconnected_receivers(&self) -> bool {
+        self.receivers.load(Ordering::SeqCst) == 0
+    }
+}
+
+/// The sending half of a channel. Cloneable.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of a channel. Cloneable (MPMC).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a bounded channel with the given capacity.
+///
+/// Capacity 0 is treated as capacity 1 (the real crate implements
+/// rendezvous channels; the workspace never uses capacity 0).
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    with_capacity(Some(capacity.max(1)))
+}
+
+/// Creates an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_capacity(None)
+}
+
+fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        capacity,
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+    });
+    (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.senders.fetch_add(1, Ordering::SeqCst);
+        Sender { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last sender gone: wake all blocked receivers.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.receivers.fetch_add(1, Ordering::SeqCst);
+        Receiver { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        if self.shared.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last receiver gone: wake all blocked senders.
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends a message, blocking while the channel is full.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut queue = match self.shared.queue.lock() {
+            Ok(q) => q,
+            Err(p) => p.into_inner(),
+        };
+        loop {
+            if self.shared.disconnected_receivers() {
+                return Err(SendError(msg));
+            }
+            match self.shared.capacity {
+                Some(cap) if queue.len() >= cap => {
+                    queue = match self.shared.not_full.wait(queue) {
+                        Ok(q) => q,
+                        Err(p) => p.into_inner(),
+                    };
+                    // Loop re-checks capacity and disconnection.
+                }
+                _ => {
+                    queue.push_back(msg);
+                    self.shared.not_empty.notify_one();
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Attempts to send without blocking.
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let mut queue = match self.shared.queue.lock() {
+            Ok(q) => q,
+            Err(p) => p.into_inner(),
+        };
+        if self.shared.disconnected_receivers() {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        if let Some(cap) = self.shared.capacity {
+            if queue.len() >= cap {
+                return Err(TrySendError::Full(msg));
+            }
+        }
+        queue.push_back(msg);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        match self.shared.queue.lock() {
+            Ok(q) => q.len(),
+            Err(p) => p.into_inner().len(),
+        }
+    }
+
+    /// Whether the channel is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The channel's capacity (`None` if unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.shared.capacity
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receives a message, blocking while the channel is empty.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut queue = match self.shared.queue.lock() {
+            Ok(q) => q,
+            Err(p) => p.into_inner(),
+        };
+        loop {
+            if let Some(msg) = queue.pop_front() {
+                self.shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if self.shared.disconnected_senders() {
+                return Err(RecvError);
+            }
+            queue = match self.shared.not_empty.wait(queue) {
+                Ok(q) => q,
+                Err(p) => p.into_inner(),
+            };
+        }
+    }
+
+    /// Attempts to receive without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut queue = match self.shared.queue.lock() {
+            Ok(q) => q,
+            Err(p) => p.into_inner(),
+        };
+        if let Some(msg) = queue.pop_front() {
+            self.shared.not_full.notify_one();
+            return Ok(msg);
+        }
+        if self.shared.disconnected_senders() {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Receives a message, blocking for at most `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut queue = match self.shared.queue.lock() {
+            Ok(q) => q,
+            Err(p) => p.into_inner(),
+        };
+        loop {
+            if let Some(msg) = queue.pop_front() {
+                self.shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if self.shared.disconnected_senders() {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (q, result) = match self.shared.not_empty.wait_timeout(queue, deadline - now) {
+                Ok((q, r)) => (q, r),
+                Err(p) => {
+                    let (q, r) = p.into_inner();
+                    (q, r)
+                }
+            };
+            queue = q;
+            if result.timed_out() && queue.is_empty() {
+                if self.shared.disconnected_senders() {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                return Err(RecvTimeoutError::Timeout);
+            }
+        }
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        match self.shared.queue.lock() {
+            Ok(q) => q.len(),
+            Err(p) => p.into_inner().len(),
+        }
+    }
+
+    /// Whether the channel is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The channel's capacity (`None` if unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.shared.capacity
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn send_recv_in_order() {
+        let (tx, rx) = bounded(4);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn try_send_full() {
+        let (tx, _rx) = bounded(1);
+        tx.try_send(1).unwrap();
+        assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+        assert_eq!(tx.len(), 1);
+    }
+
+    #[test]
+    fn disconnect_sender_side() {
+        let (tx, rx) = bounded::<i32>(4);
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn disconnect_receiver_side() {
+        let (tx, rx) = bounded(4);
+        drop(rx);
+        assert!(matches!(tx.send(1), Err(SendError(1))));
+        assert!(matches!(tx.try_send(2), Err(TrySendError::Disconnected(2))));
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (_tx, rx) = bounded::<i32>(4);
+        let err = rx.recv_timeout(Duration::from_millis(10));
+        assert_eq!(err, Err(RecvTimeoutError::Timeout));
+    }
+
+    #[test]
+    fn blocking_send_unblocks() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let handle = thread::spawn(move || tx.send(2));
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1));
+        handle.join().unwrap().unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn mpmc_all_delivered() {
+        let (tx, rx) = bounded(8);
+        let mut handles = Vec::new();
+        for p in 0..4 {
+            let tx = tx.clone();
+            handles.push(thread::spawn(move || {
+                for i in 0..100 {
+                    tx.send(p * 1000 + i).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        let mut consumers = Vec::new();
+        for _ in 0..2 {
+            let rx = rx.clone();
+            consumers.push(thread::spawn(move || {
+                let mut n = 0;
+                while rx.recv().is_ok() {
+                    n += 1;
+                }
+                n
+            }));
+        }
+        drop(rx);
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(total, 400);
+    }
+}

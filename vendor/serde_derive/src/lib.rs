@@ -1,0 +1,426 @@
+// Vendored shim: exempt from workspace lint gates.
+#![allow(clippy::all)]
+//! Minimal `#[derive(Serialize, Deserialize)]` for the vendored `serde`.
+//!
+//! The build environment has no crates.io access, so `syn`/`quote` are
+//! unavailable; this crate walks the raw `proc_macro::TokenStream` by
+//! hand. It supports exactly the shapes this workspace derives on:
+//! non-generic structs (unit / newtype / tuple / named-field) and
+//! non-generic enums (unit / newtype / tuple / struct variants), with
+//! no `#[serde(...)]` attributes. Anything fancier panics with a clear
+//! message at compile time rather than silently mis-serializing.
+//!
+//! Output follows upstream `serde_json` conventions: named structs are
+//! maps, newtype structs are transparent, tuples are arrays, and enums
+//! are externally tagged (`"Variant"` / `{"Variant": payload}`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    UnitStruct,
+    NewtypeStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Derives `serde::Serialize` (the vendored Value-based trait).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    gen_serialize(&name, &shape)
+        .parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+/// Derives `serde::Deserialize` (the vendored Value-based trait).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    gen_deserialize(&name, &shape)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> (String, Shape) {
+    let mut tokens = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut tokens);
+
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic types are not supported by the vendored derive");
+        }
+    }
+
+    let shape = match keyword.as_str() {
+        "struct" => match tokens.next() {
+            // `struct Foo;`
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                match count_tuple_fields(g.stream()) {
+                    1 => Shape::NewtypeStruct,
+                    n => Shape::TupleStruct(n),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(named_field_names(g.stream()))
+            }
+            other => panic!("serde_derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    (name, shape)
+}
+
+fn skip_attrs_and_vis<I: Iterator<Item = TokenTree>>(tokens: &mut std::iter::Peekable<I>) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the `[...]` group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // `(crate)` / `(super)` / ...
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Counts the fields of a tuple struct / tuple variant: top-level commas
+/// at angle-bracket depth zero delimit fields.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0;
+    let mut saw_tokens = false;
+    let mut angle_depth = 0i32;
+    for token in stream {
+        match &token {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => {
+                    angle_depth += 1;
+                    saw_tokens = true;
+                }
+                '>' => {
+                    angle_depth -= 1;
+                    saw_tokens = true;
+                }
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    saw_tokens = false;
+                }
+                _ => saw_tokens = true,
+            },
+            _ => saw_tokens = true,
+        }
+    }
+    if saw_tokens {
+        count += 1; // no trailing comma after the last field
+    }
+    count
+}
+
+/// Extracts the field names of a named-field struct body or struct
+/// variant body.
+fn named_field_names(stream: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        names.push(name);
+        // Consume the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        for token in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &token {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    names
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        let kind = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                tokens.next();
+                if arity == 1 {
+                    VariantKind::Newtype
+                } else {
+                    VariantKind::Tuple(arity)
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = named_field_names(g.stream());
+                tokens.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '=' {
+                panic!("serde_derive: explicit enum discriminants are not supported");
+            }
+            if p.as_char() == ',' {
+                tokens.next();
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen (generated as source text, then re-parsed)
+// ---------------------------------------------------------------------------
+
+const VALUE: &str = "::serde::Value";
+const SER: &str = "::serde::Serialize";
+const DE: &str = "::serde::Deserialize";
+const ERR: &str = "::serde::DeError";
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::UnitStruct => format!("{VALUE}::Null"),
+        Shape::NewtypeStruct => format!("{SER}::to_value(&self.0)"),
+        Shape::TupleStruct(arity) => {
+            let items: Vec<String> =
+                (0..*arity).map(|i| format!("{SER}::to_value(&self.{i})")).collect();
+            format!("{VALUE}::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("(::std::string::String::from(\"{f}\"), {SER}::to_value(&self.{f}))")
+                })
+                .collect();
+            format!("{VALUE}::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| ser_variant_arm(name, v)).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!("impl {SER} for {name} {{ fn to_value(&self) -> {VALUE} {{ {body} }} }}")
+}
+
+fn ser_variant_arm(name: &str, variant: &Variant) -> String {
+    let v = &variant.name;
+    let tag = format!("::std::string::String::from(\"{v}\")");
+    match &variant.kind {
+        VariantKind::Unit => format!("{name}::{v} => {VALUE}::Str({tag}),"),
+        VariantKind::Newtype => format!(
+            "{name}::{v}(__f0) => {VALUE}::Map(::std::vec![({tag}, {SER}::to_value(__f0))]),"
+        ),
+        VariantKind::Tuple(arity) => {
+            let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+            let items: Vec<String> =
+                binds.iter().map(|b| format!("{SER}::to_value({b})")).collect();
+            format!(
+                "{name}::{v}({}) => {VALUE}::Map(::std::vec![({tag}, {VALUE}::Seq(::std::vec![{}]))]),",
+                binds.join(", "),
+                items.join(", ")
+            )
+        }
+        VariantKind::Struct(fields) => {
+            let binds = fields.join(", ");
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(::std::string::String::from(\"{f}\"), {SER}::to_value({f}))"))
+                .collect();
+            format!(
+                "{name}::{v} {{ {binds} }} => {VALUE}::Map(::std::vec![({tag}, {VALUE}::Map(::std::vec![{}]))]),",
+                entries.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::UnitStruct => format!(
+            "match value {{ {VALUE}::Null => ::std::result::Result::Ok({name}), \
+             other => ::std::result::Result::Err({ERR}::mismatch(\"unit struct {name}\", other)) }}"
+        ),
+        Shape::NewtypeStruct => {
+            format!("::std::result::Result::Ok({name}({DE}::from_value(value)?))")
+        }
+        Shape::TupleStruct(arity) => {
+            let items: Vec<String> =
+                (0..*arity).map(|i| format!("{DE}::from_value(&__items[{i}])?")).collect();
+            format!(
+                "match value {{ \
+                 {VALUE}::Seq(__items) if __items.len() == {arity} => \
+                 ::std::result::Result::Ok({name}({})), \
+                 other => ::std::result::Result::Err({ERR}::mismatch(\"tuple struct {name}\", other)) }}",
+                items.join(", ")
+            )
+        }
+        Shape::NamedStruct(fields) => {
+            let inits = named_field_inits(fields);
+            format!(
+                "match value {{ \
+                 {VALUE}::Map(_) => ::std::result::Result::Ok({name} {{ {inits} }}), \
+                 other => ::std::result::Result::Err({ERR}::mismatch(\"struct {name}\", other)) }}"
+            )
+        }
+        Shape::Enum(variants) => gen_enum_deserialize(name, variants),
+    };
+    format!(
+        "impl {DE} for {name} {{ \
+         fn from_value(value: &{VALUE}) -> ::std::result::Result<Self, {ERR}> {{ {body} }} }}"
+    )
+}
+
+/// `field: Deserialize::from_value(value.get("field").unwrap_or(&Null))?`
+/// for each field. A missing key reads as `Null`, so `Option` fields
+/// tolerate omission exactly like upstream's `default` for options.
+fn named_field_inits(fields: &[String]) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: {DE}::from_value(value.get(\"{f}\").unwrap_or(&{VALUE}::Null))\
+                 .map_err(|e| {ERR}::msg(::std::format!(\"field `{f}`: {{e}}\")))?,"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    // `"Variant"` string form — unit variants only.
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),", v = v.name))
+        .collect();
+
+    // `{"Variant": payload}` map form — payload-carrying variants (and
+    // unit variants with a null payload, which upstream also accepts).
+    let tagged_arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vn = &v.name;
+            let decode = match &v.kind {
+                VariantKind::Unit => format!("::std::result::Result::Ok({name}::{vn})"),
+                VariantKind::Newtype => format!(
+                    "::std::result::Result::Ok({name}::{vn}({DE}::from_value(__payload)?))"
+                ),
+                VariantKind::Tuple(arity) => {
+                    let items: Vec<String> = (0..*arity)
+                        .map(|i| format!("{DE}::from_value(&__items[{i}])?"))
+                        .collect();
+                    format!(
+                        "match __payload {{ \
+                         {VALUE}::Seq(__items) if __items.len() == {arity} => \
+                         ::std::result::Result::Ok({name}::{vn}({})), \
+                         other => ::std::result::Result::Err({ERR}::mismatch(\"variant {name}::{vn}\", other)) }}",
+                        items.join(", ")
+                    )
+                }
+                VariantKind::Struct(fields) => {
+                    let inits = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: {DE}::from_value(__payload.get(\"{f}\").unwrap_or(&{VALUE}::Null))\
+                                 .map_err(|e| {ERR}::msg(::std::format!(\"field `{f}`: {{e}}\")))?,"
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                        .join(" ");
+                    format!(
+                        "match __payload {{ \
+                         {VALUE}::Map(_) => ::std::result::Result::Ok({name}::{vn} {{ {inits} }}), \
+                         other => ::std::result::Result::Err({ERR}::mismatch(\"variant {name}::{vn}\", other)) }}"
+                    )
+                }
+            };
+            format!("\"{vn}\" => {{ {decode} }}")
+        })
+        .collect();
+
+    format!(
+        "match value {{ \
+         {VALUE}::Str(__s) => match __s.as_str() {{ \
+             {unit} \
+             other => ::std::result::Result::Err({ERR}::msg(::std::format!(\
+                 \"unknown variant `{{other}}` for {name}\"))), \
+         }}, \
+         {VALUE}::Map(__entries) if __entries.len() == 1 => {{ \
+             let (__tag, __payload) = &__entries[0]; \
+             let _ = __payload; \
+             match __tag.as_str() {{ \
+                 {tagged} \
+                 other => ::std::result::Result::Err({ERR}::msg(::std::format!(\
+                     \"unknown variant `{{other}}` for {name}\"))), \
+             }} \
+         }}, \
+         other => ::std::result::Result::Err({ERR}::mismatch(\"enum {name}\", other)), \
+         }}",
+        unit = unit_arms.join(" "),
+        tagged = tagged_arms.join(" ")
+    )
+}
