@@ -89,6 +89,23 @@ impl Backoff {
         self.attempt = 0;
     }
 
+    /// Records a failed connection attempt and sleeps the next delay.
+    ///
+    /// `session_lived` is how long the connection survived before it
+    /// failed (`Duration::ZERO` when it never got past the handshake);
+    /// a session that lived at least `healthy_after` proved the peer
+    /// genuinely up, so the backoff restarts from the base delay.
+    /// Gating the reset on session longevity — rather than resetting as
+    /// soon as a connection is established — means a peer that accepts
+    /// and immediately resets still drives the delay up instead of
+    /// being hammered in a tight reconnect loop.
+    pub fn sleep_after_failure(&mut self, session_lived: Duration, healthy_after: Duration) {
+        if session_lived >= healthy_after {
+            self.reset();
+        }
+        std::thread::sleep(self.next_delay());
+    }
+
     /// Connection attempts failed since the last reset.
     pub fn attempt(&self) -> u32 {
         self.attempt
@@ -123,6 +140,20 @@ mod tests {
         backoff.reset();
         assert_eq!(backoff.attempt(), 0);
         assert!(backoff.next_delay() < RetryPolicy::default().base);
+    }
+
+    #[test]
+    fn failure_sleep_resets_only_after_a_long_session() {
+        let policy = RetryPolicy { base: Duration::from_millis(1), max: Duration::from_millis(2) };
+        let mut backoff = Backoff::new(policy);
+        let healthy = Duration::from_millis(500);
+        backoff.sleep_after_failure(Duration::ZERO, healthy);
+        backoff.sleep_after_failure(Duration::from_millis(10), healthy);
+        // Two short-lived failures: attempts accumulate.
+        assert_eq!(backoff.attempt(), 2);
+        // A session that outlived the health threshold resets first.
+        backoff.sleep_after_failure(Duration::from_secs(1), healthy);
+        assert_eq!(backoff.attempt(), 1);
     }
 
     #[test]

@@ -4,7 +4,10 @@
 //! been processed" — becomes a protocol here:
 //!
 //! * every [`TcpPush`] client has a stable identity and numbers its
-//!   items with a dense per-client sequence starting at 1;
+//!   items with a dense per-client sequence; a fresh client adopts the
+//!   server's high-water mark for its identity at the first handshake,
+//!   so a restarted pusher resumes the numbering of its previous
+//!   incarnation instead of colliding with it;
 //! * the [`TcpPullServer`] acknowledges each item only after handing it
 //!   to the local (blocking, bounded) pipeline, and remembers the
 //!   highest sequence accepted per client;
@@ -15,14 +18,25 @@
 //! delivery into the pipeline, with backpressure end to end: the pusher
 //! blocks once [`NetConfig::window`] items are in flight, and the
 //! server blocks reading the socket while the local pipeline is full.
+//!
+//! # Durability is the deployment's job
+//!
+//! An `Ack` means "handed to the server's in-memory pipeline", not
+//! "durably stored". A server process that crashes can therefore lose
+//! items it acknowledged but had not yet persisted; how large that
+//! window is depends on how often the embedding process checkpoints
+//! (for `sdcimon aggregator --snapshot`, the 200 ms snapshot cadence).
+//! To keep a *restart* from also duplicating items that did reach the
+//! checkpoint, persist [`TcpPullServer::marks`] alongside it — captured
+//! *after* the durable state, see the method docs — and restore them
+//! with [`TcpPullServer::bind_with_marks`].
 
 use crate::conn::{Backoff, NetConfig};
-use crate::wire::{read_msg, write_msg, Frame};
+use crate::wire::{write_msg, Frame, FrameReader};
 use sdci_mq::pipe::{pipeline, Pull, Push};
 use sdci_mq::transport::Publish;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
-use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -47,6 +61,12 @@ struct ServerCounters {
     duplicates: AtomicU64,
 }
 
+/// Per-client dedup high-water marks. Each client's mark has its own
+/// mutex, held across the check-push-update of every item, so two
+/// connections claiming the same identity (a reconnect racing a handler
+/// still blocked on the pipeline) serialize instead of double-pushing.
+type SeenMarks = Arc<parking_lot::Mutex<HashMap<String, Arc<parking_lot::Mutex<u64>>>>>;
+
 /// The PULL side: accepts [`TcpPush`] clients and funnels their items,
 /// deduplicated and in per-client order, into a local bounded pipeline
 /// consumed via [`TcpPullServer::pull`].
@@ -58,6 +78,7 @@ pub struct TcpPullServer<T> {
     accept: Option<JoinHandle<()>>,
     conns: Arc<parking_lot::Mutex<Vec<JoinHandle<()>>>>,
     counters: Arc<ServerCounters>,
+    seen: SeenMarks,
 }
 
 impl<T> std::fmt::Debug for TcpPullServer<T> {
@@ -82,6 +103,24 @@ where
         capacity: usize,
         cfg: NetConfig,
     ) -> std::io::Result<Self> {
+        Self::bind_with_marks(addr, capacity, cfg, HashMap::new())
+    }
+
+    /// Like [`TcpPullServer::bind`], but seeds the per-client dedup
+    /// high-water marks — e.g. a [`TcpPullServer::marks`] capture
+    /// persisted next to the embedding process's durable state — so
+    /// that after a restart, items a reconnecting client re-sends are
+    /// discarded when the restored state already holds them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the listener bind failure.
+    pub fn bind_with_marks(
+        addr: impl ToSocketAddrs,
+        capacity: usize,
+        cfg: NetConfig,
+        marks: HashMap<String, u64>,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -89,9 +128,12 @@ where
         let stop = Arc::new(AtomicBool::new(false));
         let conns: Arc<parking_lot::Mutex<Vec<JoinHandle<()>>>> = Arc::default();
         let counters = Arc::new(ServerCounters::default());
-        let seen: Arc<parking_lot::Mutex<HashMap<String, u64>>> = Arc::default();
+        let seen: SeenMarks = Arc::new(parking_lot::Mutex::new(
+            marks.into_iter().map(|(c, m)| (c, Arc::new(parking_lot::Mutex::new(m)))).collect(),
+        ));
         let accept = {
             let push = push.clone();
+            let seen = Arc::clone(&seen);
             let stop = Arc::clone(&stop);
             let conns = Arc::clone(&conns);
             let counters = Arc::clone(&counters);
@@ -110,6 +152,7 @@ where
             accept: Some(accept),
             conns,
             counters,
+            seen,
         })
     }
 
@@ -131,6 +174,20 @@ where
             items: self.counters.items.load(Ordering::Relaxed),
             duplicates: self.counters.duplicates.load(Ordering::Relaxed),
         }
+    }
+
+    /// The per-client dedup high-water marks: for each client identity,
+    /// the highest sequence number handed to the pipeline.
+    ///
+    /// Persist this next to the embedding process's durable state and
+    /// restore it with [`TcpPullServer::bind_with_marks`]. Capture it
+    /// *after* checkpointing downstream state: a client's mark always
+    /// advances before its item can reach anything downstream of the
+    /// pipeline, so marks captured after the checkpoint are ≥ every
+    /// item the checkpoint holds — restored dedup then never discards a
+    /// re-sent item the checkpoint is missing.
+    pub fn marks(&self) -> HashMap<String, u64> {
+        self.seen.lock().iter().map(|(c, m)| (c.clone(), *m.lock())).collect()
     }
 
     /// Stops accepting, joins every connection (each finishes its
@@ -166,7 +223,7 @@ impl<T> Drop for TcpPullServer<T> {
 fn pull_accept_loop<T>(
     listener: TcpListener,
     push: Push<T>,
-    seen: Arc<parking_lot::Mutex<HashMap<String, u64>>>,
+    seen: SeenMarks,
     cfg: NetConfig,
     stop: Arc<AtomicBool>,
     conns: Arc<parking_lot::Mutex<Vec<JoinHandle<()>>>>,
@@ -202,7 +259,7 @@ fn pull_accept_loop<T>(
 fn serve_pusher<T>(
     stream: TcpStream,
     push: Push<T>,
-    seen: Arc<parking_lot::Mutex<HashMap<String, u64>>>,
+    seen: SeenMarks,
     cfg: NetConfig,
     stop: Arc<AtomicBool>,
     counters: Arc<ServerCounters>,
@@ -214,15 +271,41 @@ fn serve_pusher<T>(
         return;
     }
     let Ok(read_half) = stream.try_clone() else { return };
-    let mut reader = BufReader::new(read_half);
+    // A `FrameReader` rather than `read_msg` on the raw socket: the
+    // heartbeat read timeout may fire mid-frame, and losing the
+    // already-consumed length prefix would desynchronize the stream.
+    let mut reader = FrameReader::new(read_half);
     let mut writer = stream;
-    // Handshake: learn the client identity, tell it where we are.
-    let client = match read_msg::<Frame<T>>(&mut reader) {
-        Ok(Frame::HelloPush { client, .. }) => client,
-        _ => return,
+    // Handshake: learn the client identity, tell it where we are. A
+    // peer gets a full liveness window to complete its hello.
+    let opened = Instant::now();
+    let (client, resume_after) = loop {
+        match reader.read_msg::<Frame<T>>() {
+            Ok(Frame::HelloPush { client, resume_after }) => break (client, resume_after),
+            Err(e) if timed_out(&e) && opened.elapsed() <= cfg.liveness => {}
+            _ => return,
+        }
     };
-    let mut last = *seen.lock().entry(client.clone()).or_insert(0);
-    if write_msg(&mut writer, &Frame::<T>::Ack { up_to: last }).is_err() {
+    // One mark per client identity, shared by every connection that
+    // claims it — including the next one, when a reconnect races a
+    // handler still blocked on the pipeline.
+    let mark = {
+        let mut map = seen.lock();
+        Arc::clone(map.entry(client).or_default())
+    };
+    let greeting = {
+        let mut m = mark.lock();
+        // `resume_after` is the highest ack the client ever saw; it can
+        // be ahead of our mark when our dedup state is older than the
+        // client's (e.g. restored from a stale marks capture). Trust
+        // the client: never re-accept items it already dropped as
+        // acknowledged.
+        if resume_after > *m {
+            *m = resume_after;
+        }
+        *m
+    };
+    if write_msg(&mut writer, &Frame::<T>::Ack { up_to: greeting }).is_err() {
         return;
     }
     let mut last_traffic = Instant::now();
@@ -230,30 +313,37 @@ fn serve_pusher<T>(
     // client streaming at full rate cannot pin the handler past
     // shutdown. Unacked in-flight items are re-sent to the next server.
     while !stop.load(Ordering::Relaxed) {
-        match read_msg::<Frame<T>>(&mut reader) {
+        match reader.read_msg::<Frame<T>>() {
             Ok(Frame::Item { seq, payload }) => {
                 last_traffic = Instant::now();
-                if seq > last {
-                    // Ack only after the pipeline takes it: an ack means
-                    // "processed", so a crash before this point makes the
-                    // client re-send, never lose.
-                    if !push.send(payload) {
-                        return;
+                // The mark's mutex is held across check-push-update so
+                // the dedup decision and the pipeline hand-off are one
+                // atomic step per client.
+                let up_to = {
+                    let mut m = mark.lock();
+                    if seq > *m {
+                        // Ack only after the pipeline takes it: an ack
+                        // means "processed", so a crash before this
+                        // point makes the client re-send, never lose.
+                        if !push.send(payload) {
+                            return;
+                        }
+                        *m = seq;
+                        counters.items.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        counters.duplicates.fetch_add(1, Ordering::Relaxed);
                     }
-                    last = seq;
-                    seen.lock().insert(client.clone(), seq);
-                    counters.items.fetch_add(1, Ordering::Relaxed);
-                } else {
-                    counters.duplicates.fetch_add(1, Ordering::Relaxed);
-                }
-                if write_msg(&mut writer, &Frame::<T>::Ack { up_to: last }).is_err() {
+                    *m
+                };
+                if write_msg(&mut writer, &Frame::<T>::Ack { up_to }).is_err() {
                     return;
                 }
             }
             Ok(Frame::Ping) => {
                 last_traffic = Instant::now();
                 // Re-ack as a keepalive so an idle client still hears us.
-                if write_msg(&mut writer, &Frame::<T>::Ack { up_to: last }).is_err() {
+                let up_to = *mark.lock();
+                if write_msg(&mut writer, &Frame::<T>::Ack { up_to }).is_err() {
                     return;
                 }
             }
@@ -415,48 +505,72 @@ fn push_worker<T>(
             return;
         }
         let Ok(stream) = TcpStream::connect(addr) else {
-            std::thread::sleep(backoff.next_delay());
+            backoff.sleep_after_failure(Duration::ZERO, cfg.liveness);
             continue;
         };
+        let session = Instant::now();
         let _ = stream.set_nodelay(true);
         if stream.set_read_timeout(Some(cfg.heartbeat)).is_err() {
+            backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
             continue;
         }
         let mut writer = match stream.try_clone() {
             Ok(w) => w,
-            Err(_) => continue,
+            Err(_) => {
+                backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
+                continue;
+            }
         };
-        let mut reader = BufReader::new(stream);
+        // Timeout-tolerant reads: the heartbeat read timeout must not
+        // desynchronize the stream when it fires mid-frame.
+        let mut reader = FrameReader::new(stream);
         let hello = Frame::<T>::HelloPush { client: client.clone(), resume_after: last_acked };
         if write_msg(&mut writer, &hello).is_err() {
+            backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
             continue;
         }
         // The server replies with its own high-water mark, which may be
         // ahead of ours (acks lost with the previous connection).
         let hello_sent = Instant::now();
         let server_mark = loop {
-            match read_msg::<Frame<T>>(&mut reader) {
+            match reader.read_msg::<Frame<T>>() {
                 Ok(Frame::Ack { up_to }) => break up_to,
                 Ok(_) => {}
                 Err(e) if timed_out(&e) => {
                     if hello_sent.elapsed() > cfg.liveness {
+                        backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
                         continue 'reconnect;
                     }
                 }
-                Err(_) => continue 'reconnect,
+                Err(_) => {
+                    backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
+                    continue 'reconnect;
+                }
             }
         };
-        ack_up_to(server_mark, &mut unacked, &mut last_acked, &state);
+        if next_seq == 1 {
+            // First contact of a fresh pusher process: nothing has been
+            // sequenced locally yet. A nonzero server mark then belongs
+            // to a previous incarnation of this client identity — adopt
+            // it and number upward from there, rather than starting at
+            // 1 and having every new item discarded (and still acked!)
+            // as a duplicate of the old incarnation's.
+            next_seq = server_mark + 1;
+            last_acked = server_mark;
+        } else {
+            ack_up_to(server_mark, &mut unacked, &mut last_acked, &state);
+        }
         // Re-send everything the server has not seen.
         for (seq, item) in &unacked {
             let frame = Frame::Item { seq: *seq, payload: item.clone() };
             if write_msg(&mut writer, &frame).is_err() {
+                backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
                 continue 'reconnect;
             }
         }
-        backoff.reset();
         state.connections.fetch_add(1, Ordering::Relaxed);
         let mut last_write = Instant::now();
+        let mut last_traffic = Instant::now();
         loop {
             // Fill the window from the local queue.
             let mut wrote = false;
@@ -468,6 +582,7 @@ fn push_worker<T>(
                         unacked.push_back((seq, item.clone()));
                         let frame = Frame::Item { seq, payload: item };
                         if write_msg(&mut writer, &frame).is_err() {
+                            backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
                             continue 'reconnect;
                         }
                         wrote = true;
@@ -495,6 +610,7 @@ fn push_worker<T>(
                         unacked.push_back((seq, item.clone()));
                         let frame = Frame::Item { seq, payload: item };
                         if write_msg(&mut writer, &frame).is_err() {
+                            backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
                             continue 'reconnect;
                         }
                         last_write = Instant::now();
@@ -502,6 +618,7 @@ fn push_worker<T>(
                     Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
                         if last_write.elapsed() >= cfg.heartbeat {
                             if write_msg(&mut writer, &Frame::<T>::Ping).is_err() {
+                                backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
                                 continue 'reconnect;
                             }
                             last_write = Instant::now();
@@ -512,14 +629,36 @@ fn push_worker<T>(
                     }
                 }
             } else {
-                // Window has items in flight: wait for acks.
-                match read_msg::<Frame<T>>(&mut reader) {
+                // Window has items in flight: wait for acks, pinging to
+                // elicit one when the link goes quiet (the server
+                // re-acks every ping), and reconnecting — which re-sends
+                // the window — once nothing has been heard for a
+                // liveness interval. Without the liveness check a silent
+                // partition (no RST/FIN) would hang the lossless leg
+                // forever.
+                match reader.read_msg::<Frame<T>>() {
                     Ok(Frame::Ack { up_to }) => {
+                        last_traffic = Instant::now();
                         ack_up_to(up_to, &mut unacked, &mut last_acked, &state);
                     }
-                    Ok(_) => {}
-                    Err(e) if timed_out(&e) => {}
-                    Err(_) => continue 'reconnect,
+                    Ok(_) => last_traffic = Instant::now(),
+                    Err(e) if timed_out(&e) => {
+                        if last_traffic.elapsed() > cfg.liveness {
+                            backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
+                            continue 'reconnect;
+                        }
+                        if last_write.elapsed() >= cfg.heartbeat {
+                            if write_msg(&mut writer, &Frame::<T>::Ping).is_err() {
+                                backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
+                                continue 'reconnect;
+                            }
+                            last_write = Instant::now();
+                        }
+                    }
+                    Err(_) => {
+                        backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
+                        continue 'reconnect;
+                    }
                 }
             }
         }

@@ -19,11 +19,10 @@
 //! within the configured liveness window.
 
 use crate::conn::{Backoff, NetConfig};
-use crate::wire::{read_msg, write_msg, Frame};
+use crate::wire::{write_msg, Frame, FrameReader};
 use sdci_mq::pubsub::{Broker, Message};
 use sdci_mq::transport::{Publish, Subscribe, Transport};
 use serde::{Deserialize, Serialize};
-use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -221,9 +220,11 @@ fn serve_connection<T>(
         return;
     }
     let Ok(read_half) = stream.try_clone() else { return };
-    let mut reader = BufReader::new(read_half);
+    // Timeout-tolerant reads: a read timeout firing mid-frame must not
+    // desynchronize the stream.
+    let mut reader = FrameReader::new(read_half);
     let mut writer = stream;
-    match read_msg::<Frame<T>>(&mut reader) {
+    match reader.read_msg::<Frame<T>>() {
         Ok(Frame::HelloPublisher) => {
             serve_publisher(&mut reader, &mut writer, local, cfg, stop, counters)
         }
@@ -237,7 +238,7 @@ fn serve_connection<T>(
 /// Reads `Publish` frames into the local broker until the peer goes
 /// quiet, finishes, or the server stops.
 fn serve_publisher<T>(
-    reader: &mut BufReader<TcpStream>,
+    reader: &mut FrameReader<TcpStream>,
     _writer: &mut TcpStream,
     local: Broker<T>,
     cfg: NetConfig,
@@ -253,7 +254,7 @@ fn serve_publisher<T>(
     // that keeps traffic flowing must not be able to pin the handler
     // past shutdown.
     while !stop.load(Ordering::Relaxed) {
-        match read_msg::<Frame<T>>(reader) {
+        match reader.read_msg::<Frame<T>>() {
             Ok(Frame::Publish { topic, payload }) => {
                 counters.frames_in.fetch_add(1, Ordering::Relaxed);
                 publisher.publish(&topic, payload);
@@ -421,15 +422,17 @@ fn publisher_worker<T: Serialize + Send + 'static>(
             return;
         }
         let Ok(mut stream) = TcpStream::connect(addr) else {
-            let delay = backoff.next_delay();
-            std::thread::sleep(delay);
+            backoff.sleep_after_failure(Duration::ZERO, cfg.liveness);
             continue;
         };
+        let session = Instant::now();
         let _ = stream.set_nodelay(true);
         if write_msg(&mut stream, &Frame::<T>::HelloPublisher).is_err() {
+            // A server that accepts and immediately resets must hit the
+            // backoff like a refused connection, not a tight spin.
+            backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
             continue;
         }
-        backoff.reset();
         counters.connections.fetch_add(1, Ordering::Relaxed);
         loop {
             match rx.recv_timeout(cfg.heartbeat) {
@@ -438,6 +441,7 @@ fn publisher_worker<T: Serialize + Send + 'static>(
                     if write_msg(&mut stream, &frame).is_err() {
                         // The frame is lost with the link: lossy leg.
                         counters.dropped.fetch_add(1, Ordering::Relaxed);
+                        backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
                         continue 'reconnect;
                     }
                 }
@@ -447,6 +451,7 @@ fn publisher_worker<T: Serialize + Send + 'static>(
                         return;
                     }
                     if write_msg(&mut stream, &Frame::<T>::Ping).is_err() {
+                        backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
                         continue 'reconnect;
                     }
                 }
@@ -552,27 +557,34 @@ fn subscriber_worker<T: Serialize + Deserialize + Send + 'static>(
     let mut backoff = Backoff::new(cfg.retry);
     'reconnect: while !stop.load(Ordering::Relaxed) {
         let Ok(stream) = TcpStream::connect(addr) else {
-            std::thread::sleep(backoff.next_delay());
+            backoff.sleep_after_failure(Duration::ZERO, cfg.liveness);
             continue;
         };
+        let session = Instant::now();
         let _ = stream.set_nodelay(true);
         if stream.set_read_timeout(Some(cfg.heartbeat)).is_err() {
+            backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
             continue;
         }
         let mut writer = match stream.try_clone() {
             Ok(w) => w,
-            Err(_) => continue,
+            Err(_) => {
+                backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
+                continue;
+            }
         };
         let hello = Frame::<T>::HelloSubscriber { prefixes: prefixes.clone() };
         if write_msg(&mut writer, &hello).is_err() {
+            backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
             continue;
         }
-        backoff.reset();
         counters.connections.fetch_add(1, Ordering::Relaxed);
-        let mut reader = BufReader::new(stream);
+        // Timeout-tolerant reads: the heartbeat read timeout must not
+        // desynchronize the stream when it fires mid-frame.
+        let mut reader = FrameReader::new(stream);
         let mut last_traffic = Instant::now();
         loop {
-            match read_msg::<Frame<T>>(&mut reader) {
+            match reader.read_msg::<Frame<T>>() {
                 Ok(Frame::Deliver { topic, payload }) => {
                     last_traffic = Instant::now();
                     match tx.try_send(Message { topic, payload }) {
@@ -588,7 +600,7 @@ fn subscriber_worker<T: Serialize + Deserialize + Send + 'static>(
                     // Broker drained and went away; it may be restarted
                     // (supervision!), so keep trying — the owner stops
                     // us by dropping the subscriber.
-                    std::thread::sleep(cfg.retry.base);
+                    backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
                     continue 'reconnect;
                 }
                 Ok(_) => {}
@@ -597,10 +609,14 @@ fn subscriber_worker<T: Serialize + Deserialize + Send + 'static>(
                         return;
                     }
                     if last_traffic.elapsed() > cfg.liveness {
+                        backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
                         continue 'reconnect;
                     }
                 }
-                Err(_) => continue 'reconnect,
+                Err(_) => {
+                    backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
+                    continue 'reconnect;
+                }
             }
         }
     }

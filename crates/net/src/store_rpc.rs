@@ -15,10 +15,9 @@
 //! [`EventStore`]: sdci_core::EventStore
 
 use crate::conn::NetConfig;
-use crate::wire::{read_msg, write_msg};
+use crate::wire::{read_msg, write_msg, FrameReader};
 use sdci_core::{SequencedEvent, SharedStore, StoreQuery, StoreReader};
 use serde::{Deserialize, Serialize};
-use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -161,12 +160,14 @@ fn serve_store_client(
         return;
     }
     let Ok(read_half) = stream.try_clone() else { return };
-    let mut reader = BufReader::new(read_half);
+    // Timeout-tolerant reads: the heartbeat read timeout must not
+    // desynchronize the stream when it fires mid-frame.
+    let mut reader = FrameReader::new(read_half);
     let mut writer = stream;
     // `stop` is checked every iteration so a chatty client cannot pin
     // the handler past shutdown.
     while !stop.load(Ordering::Relaxed) {
-        match read_msg::<StoreRpc>(&mut reader) {
+        match reader.read_msg::<StoreRpc>() {
             Ok(StoreRpc::Query { query }) => {
                 let events = store.query(&query);
                 queries.fetch_add(1, Ordering::Relaxed);

@@ -186,6 +186,11 @@ pub fn write_msg<M: Serialize>(w: &mut impl Write, msg: &M) -> io::Result<()> {
 
 /// Reads one length-prefixed message.
 ///
+/// Not safe on sockets with a read timeout: a timeout that fires after
+/// the length prefix (or part of the body) has been consumed loses that
+/// progress, and the next call misparses body bytes as a header. Use
+/// [`FrameReader`] on any stream whose reads can time out mid-frame.
+///
 /// # Errors
 ///
 /// Returns `InvalidData` on oversized lengths, non-UTF-8 bodies, or JSON
@@ -202,6 +207,91 @@ pub fn read_msg<M: Deserialize>(r: &mut impl Read) -> io::Result<M> {
     r.read_exact(&mut body)?;
     let text = std::str::from_utf8(&body).map_err(invalid)?;
     serde_json::from_str(text).map_err(invalid)
+}
+
+/// Incremental, timeout-tolerant frame reader.
+///
+/// sdci-net sockets use a short read timeout as their heartbeat tick,
+/// and a timeout is perfectly able to fire *mid-frame* — the length
+/// prefix arrived but the body is still in flight (Nagle stalls, load,
+/// a slow network). [`read_msg`] would lose the consumed prefix and
+/// desynchronize the stream; `FrameReader` instead keeps the partial
+/// frame across calls, so a timed-out [`FrameReader::read_msg`] is
+/// simply called again and resumes where the stream left off.
+pub struct FrameReader<R> {
+    inner: R,
+    /// Bytes of the current frame received so far, header included.
+    buf: Vec<u8>,
+    /// Bytes needed before the next decode step: the header length
+    /// until the header is complete, then header + body.
+    need: usize,
+    /// Whether `need` already accounts for the body length.
+    have_header: bool,
+}
+
+impl<R> std::fmt::Debug for FrameReader<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrameReader").field("buffered", &self.buf.len()).finish()
+    }
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps a byte stream positioned on a frame boundary.
+    pub fn new(inner: R) -> Self {
+        FrameReader { inner, buf: Vec::new(), need: FRAME_HEADER_LEN, have_header: false }
+    }
+
+    /// The underlying stream (e.g. to adjust socket timeouts).
+    pub fn get_ref(&self) -> &R {
+        &self.inner
+    }
+
+    /// Reads one message, resuming any partially received frame.
+    ///
+    /// # Errors
+    ///
+    /// `WouldBlock`/`TimedOut` are resumable: call again to continue
+    /// the same frame. Any other error — including the `InvalidData`
+    /// cases of [`read_msg`] — means the stream is no longer usable.
+    pub fn read_msg<M: Deserialize>(&mut self) -> io::Result<M> {
+        loop {
+            while self.buf.len() < self.need {
+                let have = self.buf.len();
+                self.buf.resize(self.need, 0);
+                match self.inner.read(&mut self.buf[have..]) {
+                    Ok(0) => {
+                        self.buf.truncate(have);
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "connection closed mid-frame",
+                        ));
+                    }
+                    Ok(n) => self.buf.truncate(have + n),
+                    Err(e) => {
+                        self.buf.truncate(have);
+                        return Err(e);
+                    }
+                }
+            }
+            if self.have_header {
+                let result = std::str::from_utf8(&self.buf[FRAME_HEADER_LEN..])
+                    .map_err(invalid)
+                    .and_then(|text| serde_json::from_str(text).map_err(invalid));
+                self.buf.clear();
+                self.need = FRAME_HEADER_LEN;
+                self.have_header = false;
+                return result;
+            }
+            let header: [u8; FRAME_HEADER_LEN] =
+                self.buf[..FRAME_HEADER_LEN].try_into().expect("header length");
+            let len = u32::from_be_bytes(header) as usize;
+            if len > MAX_FRAME_LEN {
+                return Err(invalid(format!("frame length {len} exceeds {MAX_FRAME_LEN}")));
+            }
+            self.need = FRAME_HEADER_LEN + len;
+            self.have_header = true;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -280,6 +370,72 @@ mod tests {
         write_msg(&mut buf, &Frame::<FileEvent>::Ping).unwrap();
         buf.pop();
         assert!(read_msg::<Frame<FileEvent>>(&mut &buf[..]).is_err());
+    }
+
+    /// Yields at most one byte per call, returning `WouldBlock` before
+    /// every byte — the worst case of a socket whose read timeout keeps
+    /// firing while a frame trickles in.
+    struct Trickle {
+        data: Vec<u8>,
+        pos: usize,
+        ready: bool,
+    }
+
+    impl Read for Trickle {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if !self.ready {
+                self.ready = true;
+                return Err(io::Error::from(io::ErrorKind::WouldBlock));
+            }
+            self.ready = false;
+            if self.pos >= self.data.len() {
+                return Ok(0);
+            }
+            buf[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn frame_reader_survives_timeouts_mid_frame() {
+        let mut data = Vec::new();
+        for i in 0..3 {
+            write_msg(&mut data, &Frame::Item { seq: i, payload: event(i) }).unwrap();
+        }
+        let total = data.len();
+        let mut reader = FrameReader::new(Trickle { data, pos: 0, ready: false });
+        for i in 0..3 {
+            // Every byte costs one timed-out call; plain `read_msg`
+            // would desync on the first of them.
+            let frame = loop {
+                match reader.read_msg::<Frame<FileEvent>>() {
+                    Ok(frame) => break frame,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                    Err(e) => panic!("unexpected error: {e:?}"),
+                }
+            };
+            assert_eq!(frame, Frame::Item { seq: i, payload: event(i) });
+        }
+        assert!(total > 0);
+        // The stream is drained; the next read is a clean EOF.
+        let err = loop {
+            match reader.read_msg::<Frame<FileEvent>>() {
+                Ok(frame) => panic!("unexpected frame: {frame:?}"),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn frame_reader_rejects_oversized_lengths() {
+        let mut data = Vec::new();
+        data.extend_from_slice(&u32::MAX.to_be_bytes());
+        let mut reader = FrameReader::new(&data[..]);
+        let err = reader.read_msg::<Frame<FileEvent>>().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]

@@ -3,7 +3,11 @@
 //! Collector-side guarantee that "no events are lost once they have
 //! been processed" (§5.2).
 
+use sdci_net::wire::{read_msg, write_msg, Frame};
 use sdci_net::{NetConfig, RetryPolicy, TcpPullServer, TcpPush};
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
 use std::time::Duration;
 
 fn fast_cfg() -> NetConfig {
@@ -88,6 +92,136 @@ fn pusher_survives_a_server_restart_on_the_same_port_without_loss() {
     assert_eq!(batch2, (A..A + B).collect::<Vec<_>>(), "restart lost or duplicated items");
     assert!(push.connections() >= 2, "expected at least one reconnect");
     server2.shutdown();
+}
+
+#[test]
+fn restarted_pusher_with_same_client_id_loses_nothing() {
+    let cfg = fast_cfg();
+    let server = TcpPullServer::<u64>::bind("127.0.0.1:0", 4096, cfg.clone()).unwrap();
+    let addr = server.local_addr();
+    const A: u64 = 100;
+    {
+        let push = TcpPush::connect(addr, "mdt0", cfg.clone());
+        for i in 0..A {
+            assert!(push.send(i));
+        }
+        assert!(push.drain(Duration::from_secs(10)));
+        // Dropping the handle finishes the worker with a clean Fin.
+    }
+
+    // Second incarnation of the same logical pusher. It must adopt the
+    // server's high-water mark at the handshake and number upward from
+    // there — numbering from 1 again would have every item discarded
+    // (and still acked) as a duplicate of the first incarnation's.
+    let push2 = TcpPush::connect(addr, "mdt0", cfg);
+    const B: u64 = 100;
+    for i in A..A + B {
+        assert!(push2.send(i));
+    }
+    assert!(push2.drain(Duration::from_secs(10)), "second incarnation never fully acked");
+
+    let pull = server.pull();
+    let mut got = Vec::new();
+    while let Some(item) = pull.recv_timeout(Duration::from_secs(2)) {
+        got.push(item);
+        if got.len() == (A + B) as usize {
+            break;
+        }
+    }
+    assert_eq!(got, (0..A + B).collect::<Vec<_>>(), "restart lost or duplicated items");
+    assert_eq!(server.stats().duplicates, 0);
+    assert_eq!(server.marks().get("mdt0"), Some(&(A + B)));
+    server.shutdown();
+}
+
+#[test]
+fn marks_restored_at_bind_deduplicate_resends() {
+    let cfg = fast_cfg();
+    // A "restarted" server whose restored state already holds client
+    // c's items up to 50 — e.g. from a snapshot + marks sidecar.
+    let marks: HashMap<String, u64> = [("c".to_string(), 50u64)].into_iter().collect();
+    let server = TcpPullServer::<u64>::bind_with_marks("127.0.0.1:0", 64, cfg, marks).unwrap();
+
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    write_msg(&mut writer, &Frame::<u64>::HelloPush { client: "c".into(), resume_after: 48 })
+        .unwrap();
+    assert_eq!(read_msg::<Frame<u64>>(&mut reader).unwrap(), Frame::Ack { up_to: 50 });
+
+    // A resend of something the restored state already holds is
+    // discarded (but still acked)...
+    write_msg(&mut writer, &Frame::<u64>::Item { seq: 50, payload: 999 }).unwrap();
+    assert_eq!(read_msg::<Frame<u64>>(&mut reader).unwrap(), Frame::Ack { up_to: 50 });
+    // ...while genuinely new items are accepted.
+    write_msg(&mut writer, &Frame::<u64>::Item { seq: 51, payload: 51 }).unwrap();
+    assert_eq!(read_msg::<Frame<u64>>(&mut reader).unwrap(), Frame::Ack { up_to: 51 });
+    write_msg(&mut writer, &Frame::<u64>::Fin).unwrap();
+
+    assert_eq!(server.stats().duplicates, 1);
+    assert_eq!(server.stats().items, 1);
+    assert_eq!(server.pull().recv_timeout(Duration::from_secs(2)), Some(51));
+    assert_eq!(server.marks().get("c"), Some(&51));
+
+    // A client claiming acks beyond our mark is authoritative: it will
+    // never resend those items, so the mark fast-forwards.
+    let stream2 = TcpStream::connect(server.local_addr()).unwrap();
+    let mut writer2 = stream2.try_clone().unwrap();
+    let mut reader2 = BufReader::new(stream2);
+    write_msg(&mut writer2, &Frame::<u64>::HelloPush { client: "c".into(), resume_after: 70 })
+        .unwrap();
+    assert_eq!(read_msg::<Frame<u64>>(&mut reader2).unwrap(), Frame::Ack { up_to: 70 });
+    write_msg(&mut writer2, &Frame::<u64>::Fin).unwrap();
+    assert_eq!(server.marks().get("c"), Some(&70));
+    server.shutdown();
+}
+
+#[test]
+fn pusher_reconnects_when_acks_stop_flowing() {
+    // A fake server whose first connection accepts the handshake, then
+    // swallows everything without ever acking — a silent partition as
+    // far as the pusher can tell. The pusher must declare the link dead
+    // after its liveness window and reconnect; the second connection
+    // behaves and acks, so the re-sent window drains.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let fake = std::thread::spawn(move || {
+        let (first, _) = listener.accept().unwrap();
+        let mut writer = first.try_clone().unwrap();
+        let mut reader = BufReader::new(first);
+        let _hello: Frame<u64> = read_msg(&mut reader).unwrap();
+        write_msg(&mut writer, &Frame::<u64>::Ack { up_to: 0 }).unwrap();
+        // Swallow items and pings in the background; never respond.
+        std::thread::spawn(move || while read_msg::<Frame<u64>>(&mut reader).is_ok() {});
+
+        let (second, _) = listener.accept().unwrap();
+        let mut writer = second.try_clone().unwrap();
+        let mut reader = BufReader::new(second);
+        let _hello: Frame<u64> = read_msg(&mut reader).unwrap();
+        write_msg(&mut writer, &Frame::<u64>::Ack { up_to: 0 }).unwrap();
+        loop {
+            match read_msg::<Frame<u64>>(&mut reader) {
+                Ok(Frame::Item { seq, .. }) => {
+                    write_msg(&mut writer, &Frame::<u64>::Ack { up_to: seq }).unwrap();
+                }
+                Ok(Frame::Ping) => {
+                    write_msg(&mut writer, &Frame::<u64>::Ack { up_to: 0 }).unwrap();
+                }
+                Ok(Frame::Fin) | Err(_) => return,
+                Ok(_) => {}
+            }
+        }
+    });
+
+    let push = TcpPush::<u64>::connect(addr, "p", fast_cfg());
+    assert!(push.send(7));
+    assert!(
+        push.drain(Duration::from_secs(10)),
+        "pusher hung on the silent connection instead of reconnecting"
+    );
+    assert!(push.connections() >= 2, "expected a liveness-triggered reconnect");
+    drop(push);
+    fake.join().unwrap();
 }
 
 #[test]

@@ -24,6 +24,13 @@
 //! serves store-backfill RPC. `--connect` always takes the base
 //! address `P`. The aggregator prints `listening on HOST:P` once ready
 //! (with the resolved port when `--bind` used port 0).
+//!
+//! `--snapshot FILE` flushes the store every 200 ms and, beside it, a
+//! `FILE.marks` sidecar holding the per-collector push dedup marks; a
+//! restart restores both, so collectors that resend their unacked
+//! window are deduplicated against events the snapshot already holds.
+//! Events a hard kill catches acknowledged but not yet flushed — at
+//! most one snapshot interval's worth — are the durability window.
 
 use parking_lot::Mutex;
 use sdci::lustre::{DnePolicy, LustreConfig, LustreFs};
@@ -92,8 +99,15 @@ impl<'a> Flags<'a> {
     }
 }
 
-fn offset_addr(base: SocketAddr, offset: u16) -> SocketAddr {
-    SocketAddr::new(base.ip(), base.port() + offset)
+fn offset_addr(base: SocketAddr, offset: u16) -> Result<SocketAddr, String> {
+    let port = base.port().checked_add(offset).ok_or_else(|| {
+        format!(
+            "port {} has no room for the +{offset} listener; bind at {} or below",
+            base.port(),
+            u16::MAX - 2
+        )
+    })?;
+    Ok(SocketAddr::new(base.ip(), port))
 }
 
 // ---------------------------------------------------------------------------
@@ -108,8 +122,17 @@ fn run_aggregator(args: &[String]) -> Result<(), String> {
     let snapshot = flags.get("--snapshot").map(std::path::PathBuf::from);
 
     let cfg = NetConfig::default();
-    let events_srv = TcpPullServer::<FileEvent>::bind(bind, feed_hwm.max(65_536), cfg.clone())
-        .map_err(|e| format!("bind {bind}: {e}"))?;
+    // Dedup marks are restored before the listener opens, so even the
+    // first reconnecting collector is deduplicated against the events
+    // the restored store already holds.
+    let marks_file = snapshot.as_deref().map(marks_path);
+    let marks = match &marks_file {
+        Some(path) if path.exists() => read_marks(path)?,
+        _ => std::collections::HashMap::new(),
+    };
+    let events_srv =
+        TcpPullServer::<FileEvent>::bind_with_marks(bind, feed_hwm.max(65_536), cfg.clone(), marks)
+            .map_err(|e| format!("bind {bind}: {e}"))?;
     let base = events_srv.local_addr();
 
     // A crashed aggregator restarted with the same --snapshot resumes
@@ -135,10 +158,12 @@ fn run_aggregator(args: &[String]) -> Result<(), String> {
         Some(store) => Aggregator::start_with_store(events, store, feed_hwm),
         None => Aggregator::start(events, store_capacity, feed_hwm),
     };
-    let feed_srv = TcpBroker::serve(agg.feed().clone(), offset_addr(base, 1), cfg.clone())
-        .map_err(|e| format!("bind feed {}: {e}", offset_addr(base, 1)))?;
-    let store_srv = StoreServer::bind(offset_addr(base, 2), agg.store(), cfg)
-        .map_err(|e| format!("bind store {}: {e}", offset_addr(base, 2)))?;
+    let feed_addr = offset_addr(base, 1)?;
+    let store_addr = offset_addr(base, 2)?;
+    let feed_srv = TcpBroker::serve(agg.feed().clone(), feed_addr, cfg.clone())
+        .map_err(|e| format!("bind feed {feed_addr}: {e}"))?;
+    let store_srv = StoreServer::bind(store_addr, agg.store(), cfg)
+        .map_err(|e| format!("bind store {store_addr}: {e}"))?;
 
     // Readiness line: tests and operators parse "listening on ADDR".
     println!(
@@ -152,9 +177,47 @@ fn run_aggregator(args: &[String]) -> Result<(), String> {
         if let Some(path) = &snapshot {
             if let Err(e) = write_snapshot_atomically(&agg, path) {
                 eprintln!("sdcimon aggregator: snapshot failed: {e}");
+                continue;
+            }
+            // Marks are captured strictly after the store snapshot: a
+            // client's mark advances before its event can reach the
+            // store, so a marks file at least as new as the store file
+            // can never suppress the resend of an event the snapshot
+            // is missing. Events acked inside one snapshot interval
+            // before a hard kill are the remaining (documented)
+            // durability window.
+            if let Some(marks_file) = &marks_file {
+                if let Err(e) = write_marks_atomically(&events_srv, marks_file) {
+                    eprintln!("sdcimon aggregator: marks snapshot failed: {e}");
+                }
             }
         }
     }
+}
+
+/// The dedup-marks sidecar written next to the store snapshot.
+fn marks_path(snapshot: &std::path::Path) -> std::path::PathBuf {
+    std::path::PathBuf::from(format!("{}.marks", snapshot.display()))
+}
+
+fn read_marks(path: &std::path::Path) -> Result<std::collections::HashMap<String, u64>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let marks =
+        serde_json::from_str(&text).map_err(|e| format!("parse marks {}: {e}", path.display()))?;
+    eprintln!("sdcimon aggregator: restored push dedup marks from {}", path.display());
+    Ok(marks)
+}
+
+fn write_marks_atomically(
+    events_srv: &TcpPullServer<FileEvent>,
+    path: &std::path::Path,
+) -> std::io::Result<()> {
+    let tmp = path.with_extension("marks.tmp");
+    let body = serde_json::to_string(&events_srv.marks())
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(&tmp, body)?;
+    std::fs::rename(&tmp, path)
 }
 
 /// Writes the store snapshot to `path.tmp` then renames, so a crash
@@ -243,13 +306,15 @@ fn run_consumer(args: &[String]) -> Result<(), String> {
     let timeout = Duration::from_secs(flags.parse("--timeout", 30u64)?);
 
     let cfg = NetConfig::default();
-    let feed = TcpSubscriber::connect(offset_addr(connect, 1), &["feed/"], cfg.clone());
-    let store = RemoteStore::connect(offset_addr(connect, 2), cfg);
+    let feed_addr = offset_addr(connect, 1)?;
+    let store_addr = offset_addr(connect, 2)?;
+    let feed = TcpSubscriber::connect(feed_addr, &["feed/"], cfg.clone());
+    let store = RemoteStore::connect(store_addr, cfg);
     let mut consumer = EventConsumer::new(feed, store, 0);
     if let Some(prefix) = flags.get("--under") {
         consumer = consumer.under(prefix);
     }
-    println!("sdcimon consumer reading feed at {}", offset_addr(connect, 1));
+    println!("sdcimon consumer reading feed at {feed_addr}");
 
     let deadline = Instant::now() + timeout;
     let mut delivered: u64 = 0;

@@ -128,8 +128,13 @@ fn killed_aggregator_restarts_from_snapshot_without_losing_events() {
         spawn(&["consumer", "--connect", &addr, "--expect", &expect, "--timeout", "120"]);
 
     run_collector(&addr, "c1");
-    // Let the aggregator flush its 200ms-interval snapshot, then kill it
-    // hard — no graceful shutdown, exactly the §5.2 failure.
+    // Let the aggregator flush its 200ms-interval snapshot (and the
+    // `.marks` dedup sidecar captured right after it) before killing it
+    // hard — no graceful shutdown, exactly the §5.2 failure. Waiting
+    // past the flush matters: the documented durability window is one
+    // snapshot interval, so events acked between the last flush and the
+    // kill are allowed to vanish, and this test asserts the stronger
+    // "nothing lost" property that holds only for flushed state.
     std::thread::sleep(Duration::from_millis(600));
     agg.child().kill().expect("kill aggregator");
     agg.child().wait().expect("reap aggregator");
