@@ -12,8 +12,7 @@
 //! anything a consumer has seen announced is retrievable from the
 //! historic API.
 
-use crate::store::EventStore;
-use parking_lot::Mutex;
+use crate::store::{EventStore, SharedStore};
 use sdci_mq::pipe::{pipeline, Pull, Push};
 use sdci_mq::pubsub::Broker;
 use sdci_mq::transport::Subscribe;
@@ -78,7 +77,7 @@ pub struct AggregatorSnapshot {
 
 /// The running Aggregator: two threads plus shared store.
 pub struct Aggregator {
-    store: Arc<Mutex<EventStore>>,
+    store: SharedStore,
     feed: Broker<FeedMessage>,
     stats: Arc<AggregatorStats>,
     stop: Arc<AtomicBool>,
@@ -107,7 +106,7 @@ impl Aggregator {
     }
 
     /// Starts the Aggregator with a pre-populated store (restored from a
-    /// [`EventStore::snapshot_to`] snapshot after a crash). Sequence
+    /// snapshot after a crash). Sequence
     /// numbering resumes after the snapshot's last event, so consumers
     /// reconnecting with `subscribe_from(old_seq)` recover seamlessly
     /// across the restart.
@@ -116,7 +115,7 @@ impl Aggregator {
         S: Subscribe<FileEvent>,
     {
         let resume_seq = store.last_seq();
-        let store = Arc::new(Mutex::new(store));
+        let store: SharedStore = Arc::new(store);
         let feed: Broker<FeedMessage> = Broker::new(feed_hwm);
         let stats = Arc::new(AggregatorStats::default());
         let stop = Arc::new(AtomicBool::new(false));
@@ -141,7 +140,9 @@ impl Aggregator {
                             seq += 1;
                             stats.received.fetch_add(1, Ordering::Relaxed);
                             let sev = SequencedEvent { seq, event: msg.payload };
-                            store.lock().insert(sev.clone());
+                            store
+                                .insert(sev.clone())
+                                .expect("aggregator assigns dense increasing sequence numbers");
                             stats.stored.fetch_add(1, Ordering::Relaxed);
                             last_seq.store(seq, Ordering::Relaxed);
                             if !to_publish.send(sev) {
@@ -204,8 +205,9 @@ impl Aggregator {
         &self.feed
     }
 
-    /// The historic-event store (the Aggregator's query API).
-    pub fn store(&self) -> Arc<Mutex<EventStore>> {
+    /// The historic-event store (the Aggregator's query API). Reads
+    /// never block ingest: all query paths take `&self`.
+    pub fn store(&self) -> SharedStore {
         Arc::clone(&self.store)
     }
 
@@ -283,8 +285,7 @@ mod tests {
             }
         }
         assert_eq!(seqs, (1..=50).collect::<Vec<_>>(), "dense, ordered sequence numbers");
-        let store = agg.store();
-        assert_eq!(store.lock().len(), 50);
+        assert_eq!(agg.store().len(), 50);
         agg.shutdown();
     }
 
@@ -304,7 +305,7 @@ mod tests {
             if let Some(msg) = consumer.recv_timeout(Duration::from_secs(5)) {
                 let FeedMessage::Event(sev) = msg.payload else { continue };
                 let seq = sev.seq;
-                let found = store.lock().query(&StoreQuery::after_seq(seq - 1).limit(1));
+                let found = store.query(&StoreQuery::after_seq(seq - 1).limit(1));
                 assert!(
                     found.first().is_some_and(|e| e.seq == seq),
                     "event {seq} on feed but absent from store"
@@ -327,10 +328,8 @@ mod tests {
         }
         assert!(wait_until(Duration::from_secs(5), || agg.snapshot().stored >= 30));
         let store = agg.store();
-        let guard = store.lock();
-        assert_eq!(guard.len(), 10);
-        assert_eq!(guard.first_seq(), 21);
-        drop(guard);
+        assert_eq!(store.len(), 10);
+        assert_eq!(store.first_seq(), 21);
         agg.shutdown();
     }
 

@@ -41,8 +41,8 @@ impl MonitorClusterBuilder {
     }
 
     /// Seeds the Aggregator with a store restored from a snapshot
-    /// (see [`crate::EventStore::restore_from`]); sequence numbering
-    /// resumes after the snapshot.
+    /// (see [`crate::restore_snapshot`]); sequence numbering resumes
+    /// after the snapshot.
     pub fn restore_store(mut self, store: crate::store::EventStore) -> Self {
         self.restored_store = Some(store);
         self
@@ -170,8 +170,9 @@ impl MonitorCluster {
         EventConsumer::new(sub, self.aggregator.store(), last_seen_seq)
     }
 
-    /// Direct access to the Aggregator's historic store API.
-    pub fn store(&self) -> Arc<Mutex<crate::store::EventStore>> {
+    /// Direct access to the Aggregator's historic store API. All read
+    /// paths take `&self`, so callers query without any locking.
+    pub fn store(&self) -> crate::store::SharedStore {
         self.aggregator.store()
     }
 
@@ -180,7 +181,7 @@ impl MonitorCluster {
         ClusterStats {
             collectors: self.collector_stats.iter().map(|s| *s.lock()).collect(),
             aggregator: self.aggregator.snapshot(),
-            store: self.aggregator.store().lock().stats(),
+            store: self.aggregator.store().stats(),
         }
     }
 

@@ -219,7 +219,6 @@ impl<F: Subscribe<FeedMessage>, R: StoreReader> EventConsumer<F, R> {
 mod tests {
     use super::*;
     use crate::store::EventStore;
-    use parking_lot::Mutex;
     use sdci_mq::pubsub::Broker;
     use sdci_types::{ChangelogKind, EventKind, Fid, MdtIndex, SimTime};
     use std::path::PathBuf;
@@ -242,9 +241,9 @@ mod tests {
         }
     }
 
-    fn harness(store_cap: usize) -> (Broker<FeedMessage>, Arc<Mutex<EventStore>>, EventConsumer) {
+    fn harness(store_cap: usize) -> (Broker<FeedMessage>, Arc<EventStore>, EventConsumer) {
         let broker: Broker<FeedMessage> = Broker::new(1024);
-        let store = Arc::new(Mutex::new(EventStore::new(store_cap)));
+        let store = Arc::new(EventStore::new(store_cap));
         let consumer = EventConsumer::new(broker.subscribe(&["feed/"]), Arc::clone(&store), 0);
         (broker, store, consumer)
     }
@@ -254,7 +253,7 @@ mod tests {
         let (broker, store, mut consumer) = harness(100);
         let p = broker.publisher();
         for i in 1..=5 {
-            store.lock().insert(sev(i));
+            store.insert(sev(i)).unwrap();
             p.publish("feed/all", FeedMessage::Event(sev(i)));
         }
         for i in 1..=5 {
@@ -274,7 +273,7 @@ mod tests {
         // All 10 reach the store, but only 8..=10 reach the feed (the
         // consumer "fell behind" its HWM for 1..=7).
         for i in 1..=10 {
-            store.lock().insert(sev(i));
+            store.insert(sev(i)).unwrap();
         }
         for i in 8..=10 {
             p.publish("feed/all", FeedMessage::Event(sev(i)));
@@ -291,7 +290,7 @@ mod tests {
         let (broker, store, mut consumer) = harness(3);
         let p = broker.publisher();
         for i in 1..=10 {
-            store.lock().insert(sev(i)); // store retains only 8, 9, 10
+            store.insert(sev(i)).unwrap(); // store retains only 8, 9, 10
         }
         p.publish("feed/all", FeedMessage::Event(sev(10)));
         let got: Vec<u64> = std::iter::from_fn(|| consumer.try_next().map(|e| e.index)).collect();
@@ -306,7 +305,7 @@ mod tests {
         let (broker, store, mut consumer) = harness(100);
         let p = broker.publisher();
         for i in 1..=3 {
-            store.lock().insert(sev(i));
+            store.insert(sev(i)).unwrap();
             p.publish("feed/all", FeedMessage::Event(sev(i)));
         }
         p.publish("feed/all", FeedMessage::Event(sev(2))); // duplicate
@@ -318,7 +317,7 @@ mod tests {
     fn late_joiner_starts_from_checkpoint() {
         let (broker, store, _fresh) = harness(100);
         for i in 1..=20 {
-            store.lock().insert(sev(i));
+            store.insert(sev(i)).unwrap();
         }
         // Consumer that had already seen up to 15 reconnects.
         let mut consumer = EventConsumer::new(broker.subscribe(&["feed/"]), Arc::clone(&store), 15);
@@ -336,7 +335,7 @@ mod tests {
         // Paths are /f1..=/f15; Path::starts_with is component-wise,
         // so only "/f1" itself matches the "/f1" prefix.
         for i in 1..=15 {
-            store.lock().insert(sev(i));
+            store.insert(sev(i)).unwrap();
         }
         // Publish only the last one live: everything else recovers from
         // the store, and the filter applies to recovered events too.
@@ -355,7 +354,7 @@ mod tests {
         let p = broker.publisher();
         let handle = std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(20));
-            store.lock().insert(sev(1));
+            store.insert(sev(1)).unwrap();
             p.publish("feed/all", FeedMessage::Event(sev(1)));
         });
         let ev = consumer.next_timeout(Duration::from_secs(5)).unwrap();

@@ -86,4 +86,7 @@ pub use consumer::{ConsumerStats, EventConsumer};
 pub use metrics::{IntervalRates, MetricsRecorder, MetricsSample};
 pub use pathcache::{CacheStats, PathCache};
 pub use resource::{ComponentUsage, ResourceModel, ResourceReport};
-pub use store::{EventStore, SharedStore, StoreQuery, StoreReader, StoreStats};
+pub use store::{
+    restore_snapshot, EventStore, FlushStats, SharedStore, SnapshotDir, StoreOrderError,
+    StoreQuery, StoreReader, StoreStats,
+};

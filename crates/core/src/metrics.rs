@@ -9,6 +9,7 @@
 //! efficiency over time.
 
 use crate::cluster::ClusterStats;
+use crate::store::StoreStats;
 use sdci_types::EventsPerSec;
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -31,6 +32,8 @@ pub struct IntervalRates {
     pub process_rate: EventsPerSec,
     /// Events published to consumers per second.
     pub publish_rate: EventsPerSec,
+    /// Events inserted into the historic store per second.
+    pub store_insert_rate: EventsPerSec,
     /// Resolution failures in the interval.
     pub resolution_failures: u64,
 }
@@ -39,8 +42,12 @@ impl fmt::Display for IntervalRates {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "extract {}, process {}, publish {}, {} resolution failures",
-            self.extract_rate, self.process_rate, self.publish_rate, self.resolution_failures
+            "extract {}, process {}, publish {}, store {}, {} resolution failures",
+            self.extract_rate,
+            self.process_rate,
+            self.publish_rate,
+            self.store_insert_rate,
+            self.resolution_failures
         )
     }
 }
@@ -95,6 +102,7 @@ impl MetricsRecorder {
             extract_rate: delta(ClusterStats::total_extracted),
             process_rate: delta(ClusterStats::total_processed),
             publish_rate: delta(|s| s.aggregator.published),
+            store_insert_rate: delta(|s| s.store.inserted),
             resolution_failures: total_failures(&cur.stats)
                 .saturating_sub(total_failures(&prev.stats)),
         })
@@ -103,6 +111,11 @@ impl MetricsRecorder {
     /// Rates over the most recent interval, if two samples exist.
     pub fn latest_rates(&self) -> Option<IntervalRates> {
         self.rates_at(self.samples.len().saturating_sub(1))
+    }
+
+    /// The historic store's counters at the latest sample.
+    pub fn latest_store_stats(&self) -> Option<StoreStats> {
+        self.samples.last().map(|s| s.stats.store)
     }
 
     /// Aggregate cache hit rate at the latest sample, `[0, 1]`.
@@ -143,7 +156,7 @@ mod tests {
                 purged: 0,
             }],
             aggregator: AggregatorSnapshot { received: published, stored: published, published },
-            store: StoreStats::default(),
+            store: StoreStats { inserted: published, ..StoreStats::default() },
         }
     }
 
@@ -157,6 +170,8 @@ mod tests {
         assert!(rates.extract_rate.per_sec() > rates.process_rate.per_sec());
         assert_eq!(rates.resolution_failures, 100);
         assert!(rates.publish_rate.per_sec() > 0.0);
+        assert!(rates.store_insert_rate.per_sec() > 0.0);
+        assert_eq!(recorder.latest_store_stats().unwrap().inserted, 900);
     }
 
     #[test]

@@ -1,0 +1,936 @@
+//! The Aggregator's rotating event store — segmented and indexed.
+//!
+//! "The Aggregator ... store[s] the events in a local database ...
+//! maintains this database and exposes an API to enable consumers to
+//! retrieve historic events." (§4). The store is the source of the
+//! monitor's fault tolerance: a consumer that disconnects (or detects a
+//! gap in sequence numbers) queries it to catch up.
+//!
+//! Table 3 attributes the Aggregator's memory footprint to this store;
+//! rotation bounds it ("in a production setting we could further limit
+//! the size of this local store", §5.2).
+//!
+//! # Layout
+//!
+//! Internally the store is an actively-written **head** plus a chain of
+//! sealed, immutable [`Segment`]s:
+//!
+//! ```text
+//!  sealed chain (RwLock, Arc-shared)                 head (Mutex)
+//!  ┌─────────┐ ┌─────────┐ ┌─────────┐               ┌─────────────┐
+//!  │ seg 1..k│ │seg k+1..│ │  ...    │  ──────────>  │ appends here│
+//!  └─────────┘ └─────────┘ └─────────┘               └─────────────┘
+//!    ▲ trim offset: rotation advances it; a fully-
+//!      trimmed segment is dropped whole (O(1) amortized)
+//! ```
+//!
+//! Every segment carries its sequence range, its time range, and a
+//! sorted fingerprint of top-level path components, so a query
+//! binary-searches to the first candidate segment and skips segments
+//! that cannot overlap — query cost scales with the result, not the
+//! window. Ingest serializes on the head lock; queries read the sealed
+//! chain through `Arc`s without blocking it, and all counters are
+//! atomics, so every read path takes `&self`.
+//!
+//! Crash recovery is incremental: [`SnapshotDir`] flushes each sealed
+//! segment to its own file exactly once and rewrites only the manifest
+//! and the head per flush (see [`snapshot`](self) internals), while
+//! [`EventStore::snapshot_to`] / [`EventStore::restore_from`] keep the
+//! legacy single-file NDJSON form alive for migration.
+
+mod segment;
+mod snapshot;
+
+pub use snapshot::{restore_snapshot, FlushStats, SnapshotDir};
+
+use crate::aggregator::SequencedEvent;
+use parking_lot::{Mutex, RwLock};
+use sdci_types::{ByteSize, SimTime};
+use segment::Segment;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Counters and gauges for an [`EventStore`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Events ever inserted.
+    pub inserted: u64,
+    /// Events rotated out at the capacity bound.
+    pub rotated: u64,
+    /// Queries served.
+    pub queries: u64,
+    /// Sealed segments currently in the chain (the head is excluded).
+    pub segments: u64,
+    /// Approximate bytes of retained events.
+    pub resident_bytes: u64,
+}
+
+impl fmt::Display for StoreStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "inserted {} rotated {} queries {} segments {} resident {}",
+            self.inserted,
+            self.rotated,
+            self.queries,
+            self.segments,
+            ByteSize::from_bytes(self.resident_bytes)
+        )
+    }
+}
+
+/// An insert that would break the store's sequence-order invariant.
+///
+/// The Aggregator assigns dense, increasing sequence numbers as it
+/// inserts, so a violation means a corrupt snapshot or a buggy caller —
+/// both are real errors, not `debug_assert!` material: a query's
+/// binary searches silently misbehave on unsorted data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreOrderError {
+    /// The store's newest sequence number at the time of the insert.
+    pub last_seq: u64,
+    /// The out-of-order (or duplicate) sequence number offered.
+    pub offered_seq: u64,
+}
+
+impl fmt::Display for StoreOrderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "out-of-order insert: offered seq {} but store is already at seq {}",
+            self.offered_seq, self.last_seq
+        )
+    }
+}
+
+impl std::error::Error for StoreOrderError {}
+
+/// A query against the store's retained window.
+///
+/// Serializable so `sdci-net` can carry it over the wire: a remote
+/// consumer's backfill request is exactly this struct.
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoreQuery {
+    /// Only events with sequence number > `after_seq`.
+    pub after_seq: Option<u64>,
+    /// Only events at or after this time.
+    pub since: Option<SimTime>,
+    /// Only events whose path starts with this prefix.
+    pub path_prefix: Option<PathBuf>,
+    /// At most this many results (0 = unlimited).
+    pub limit: usize,
+}
+
+impl StoreQuery {
+    /// Everything retained after sequence number `seq`.
+    pub fn after_seq(seq: u64) -> Self {
+        StoreQuery { after_seq: Some(seq), ..StoreQuery::default() }
+    }
+
+    /// Everything retained at or after `time`.
+    pub fn since(time: SimTime) -> Self {
+        StoreQuery { since: Some(time), ..StoreQuery::default() }
+    }
+
+    /// Restricts results to paths under `prefix`.
+    pub fn under(mut self, prefix: impl Into<PathBuf>) -> Self {
+        self.path_prefix = Some(prefix.into());
+        self
+    }
+
+    /// Caps the number of results.
+    pub fn limit(mut self, n: usize) -> Self {
+        self.limit = n;
+        self
+    }
+
+    pub(crate) fn matches(&self, ev: &SequencedEvent) -> bool {
+        if let Some(after) = self.after_seq {
+            if ev.seq <= after {
+                return false;
+            }
+        }
+        if let Some(since) = self.since {
+            if ev.event.time < since {
+                return false;
+            }
+        }
+        if let Some(prefix) = &self.path_prefix {
+            if !ev.event.path.starts_with(prefix) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// The actively-written head: a short sequence-ordered run that seals
+/// into a [`Segment`] once it reaches the segment target.
+#[derive(Default)]
+struct Head {
+    events: VecDeque<SequencedEvent>,
+    bytes: u64,
+}
+
+/// The sealed chain, oldest segment first. `trim` is the count of
+/// events logically rotated out of the front segment; segments are
+/// immutable, so rotation advances the offset and drops the segment
+/// whole once it is fully trimmed.
+#[derive(Default)]
+struct Chain {
+    segs: VecDeque<Arc<Segment>>,
+    trim: usize,
+}
+
+/// A bounded, rotating, in-memory event database ordered by sequence
+/// number. All read paths take `&self`; a store shared as
+/// [`SharedStore`] serves concurrent queries while ingest appends.
+///
+/// # Example
+///
+/// ```
+/// use sdci_core::{EventStore, SequencedEvent, StoreQuery};
+/// use sdci_types::{ChangelogKind, EventKind, Fid, FileEvent, MdtIndex, SimTime};
+///
+/// let store = EventStore::new(1000);
+/// store
+///     .insert(SequencedEvent {
+///         seq: 1,
+///         event: FileEvent {
+///             index: 1,
+///             mdt: MdtIndex::new(0),
+///             changelog_kind: ChangelogKind::Create,
+///             kind: EventKind::Created,
+///             time: SimTime::EPOCH,
+///             path: "/data/run.h5".into(),
+///             src_path: None,
+///             target: Fid::ZERO,
+///             is_dir: false,
+///         },
+///     })
+///     .unwrap();
+/// let hits = store.query(&StoreQuery::after_seq(0).under("/data"));
+/// assert_eq!(hits.len(), 1);
+/// ```
+pub struct EventStore {
+    capacity: usize,
+    segment_events: usize,
+    head: Mutex<Head>,
+    sealed: RwLock<Chain>,
+    last_seq: AtomicU64,
+    len: AtomicUsize,
+    bytes: AtomicU64,
+    inserted: AtomicU64,
+    rotated: AtomicU64,
+    queries: AtomicU64,
+}
+
+impl fmt::Debug for EventStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventStore")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity)
+            .field("segments", &self.sealed.read().segs.len())
+            .field("memory", &self.memory())
+            .finish()
+    }
+}
+
+/// Default sealing threshold: aim for ~32 sealed segments per full
+/// window, bounded so tiny stores stay single-run and huge stores keep
+/// segments scan-friendly.
+fn default_segment_events(capacity: usize) -> usize {
+    (capacity / 32).clamp(64, 65_536)
+}
+
+impl EventStore {
+    /// Creates a store retaining at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self::with_segment_size(capacity, default_segment_events(capacity))
+    }
+
+    /// Creates a store that seals its head into an immutable segment
+    /// every `segment_events` events. [`EventStore::new`] picks a
+    /// sensible default; tests and benchmarks pin small sizes to force
+    /// deep chains.
+    pub fn with_segment_size(capacity: usize, segment_events: usize) -> Self {
+        EventStore {
+            capacity: capacity.max(1),
+            segment_events: segment_events.max(1),
+            head: Mutex::new(Head::default()),
+            sealed: RwLock::new(Chain::default()),
+            last_seq: AtomicU64::new(0),
+            len: AtomicUsize::new(0),
+            bytes: AtomicU64::new(0),
+            inserted: AtomicU64::new(0),
+            rotated: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+        }
+    }
+
+    /// Inserts an event, rotating the oldest out at capacity.
+    ///
+    /// # Errors
+    ///
+    /// Events must arrive in strictly increasing sequence order (the
+    /// Aggregator assigns sequence numbers as it inserts; numbering
+    /// starts at 1). An out-of-order or duplicate sequence number is
+    /// rejected with [`StoreOrderError`] and the store is unchanged.
+    pub fn insert(&self, event: SequencedEvent) -> Result<(), StoreOrderError> {
+        let mut head = self.head.lock();
+        let last = self.last_seq.load(Ordering::Relaxed);
+        if event.seq <= last {
+            return Err(StoreOrderError { last_seq: last, offered_seq: event.seq });
+        }
+        let footprint = event.event.footprint_bytes() as u64;
+        self.last_seq.store(event.seq, Ordering::Relaxed);
+        head.bytes += footprint;
+        head.events.push_back(event);
+        self.bytes.fetch_add(footprint, Ordering::Relaxed);
+        self.inserted.fetch_add(1, Ordering::Relaxed);
+        let mut len = self.len.fetch_add(1, Ordering::Relaxed) + 1;
+        if head.events.len() >= self.segment_events {
+            self.seal(&mut head);
+        }
+        while len > self.capacity {
+            self.rotate_one(&mut head);
+            len = self.len.fetch_sub(1, Ordering::Relaxed) - 1;
+        }
+        Ok(())
+    }
+
+    /// Seals the head into an immutable segment on the chain.
+    fn seal(&self, head: &mut Head) {
+        if head.events.is_empty() {
+            return;
+        }
+        let events: Vec<SequencedEvent> = head.events.drain(..).collect();
+        head.bytes = 0;
+        self.sealed.write().segs.push_back(Arc::new(Segment::build(events)));
+    }
+
+    /// Rotates the single oldest retained event out: advance the chain's
+    /// trim offset (dropping the front segment whole once exhausted), or
+    /// pop from the head when nothing is sealed yet.
+    fn rotate_one(&self, head: &mut Head) {
+        let dropped = {
+            let mut chain = self.sealed.write();
+            match chain.segs.front() {
+                Some(front) => {
+                    let footprint = front.events()[chain.trim].event.footprint_bytes() as u64;
+                    let front_len = front.len();
+                    chain.trim += 1;
+                    if chain.trim == front_len {
+                        chain.segs.pop_front();
+                        chain.trim = 0;
+                    }
+                    Some(footprint)
+                }
+                None => None,
+            }
+        };
+        let footprint = dropped.unwrap_or_else(|| {
+            let old = head.events.pop_front().expect("over-capacity store has a front event");
+            let footprint = old.event.footprint_bytes() as u64;
+            head.bytes -= footprint;
+            footprint
+        });
+        self.bytes.fetch_sub(footprint, Ordering::Relaxed);
+        self.rotated.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Runs a query over the retained window, oldest first.
+    ///
+    /// Sealed segments are shared out of the chain by `Arc` and scanned
+    /// without any store lock held; segments whose sequence range, time
+    /// range, or path fingerprint cannot overlap the query are skipped
+    /// entirely, and the in-segment start position is binary-searched.
+    pub fn query(&self, query: &StoreQuery) -> Vec<SequencedEvent> {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let limit = if query.limit == 0 { usize::MAX } else { query.limit };
+        // Head first: anything sealed between the two lock windows is
+        // then excluded from the chain scan by `head_first_seq`, so an
+        // event present when the query started is returned exactly once.
+        let (head_hits, head_first_seq) = {
+            let head = self.head.lock();
+            let first = head.events.front().map_or(u64::MAX, |e| e.seq);
+            let mut hits = Vec::new();
+            for sev in &head.events {
+                if hits.len() >= limit {
+                    break;
+                }
+                if query.matches(sev) {
+                    hits.push(sev.clone());
+                }
+            }
+            (hits, first)
+        };
+        let (segs, trim) = self.chain_snapshot();
+        let mut out = Vec::new();
+        let after = query.after_seq.unwrap_or(0);
+        let start = segs.partition_point(|s| s.last_seq() <= after);
+        for (i, seg) in segs.iter().enumerate().skip(start) {
+            if out.len() >= limit {
+                break;
+            }
+            if !seg.may_match(query) {
+                continue;
+            }
+            let lo = if i == 0 { trim } else { 0 };
+            seg.collect_into(query, lo, head_first_seq, limit, &mut out);
+        }
+        out.extend(head_hits);
+        out.truncate(limit);
+        out
+    }
+
+    /// The most recent `n` events, oldest first.
+    pub fn recent(&self, n: usize) -> Vec<SequencedEvent> {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let (head_tail, head_first_seq) = {
+            let head = self.head.lock();
+            let first = head.events.front().map_or(u64::MAX, |e| e.seq);
+            let skip = head.events.len().saturating_sub(n);
+            (head.events.iter().skip(skip).cloned().collect::<Vec<_>>(), first)
+        };
+        if head_tail.len() >= n {
+            return head_tail;
+        }
+        let need = n - head_tail.len();
+        let (segs, trim) = self.chain_snapshot();
+        let mut tail_rev: Vec<SequencedEvent> = Vec::with_capacity(need);
+        'chain: for (i, seg) in segs.iter().enumerate().rev() {
+            let lo = if i == 0 { trim } else { 0 };
+            for sev in seg.events()[lo..].iter().rev() {
+                if sev.seq >= head_first_seq {
+                    continue;
+                }
+                tail_rev.push(sev.clone());
+                if tail_rev.len() == need {
+                    break 'chain;
+                }
+            }
+        }
+        tail_rev.reverse();
+        tail_rev.extend(head_tail);
+        tail_rev
+    }
+
+    /// Clones the sealed chain's `Arc`s (cheap: one refcount bump per
+    /// segment) so callers scan without holding the chain lock.
+    fn chain_snapshot(&self) -> (Vec<Arc<Segment>>, usize) {
+        let chain = self.sealed.read();
+        (chain.segs.iter().cloned().collect(), chain.trim)
+    }
+
+    /// A fully consistent snapshot of the store: sealed segments, the
+    /// trim offset, and a copy of the head. Takes both locks briefly
+    /// (head before chain, the writer order) so nothing seals midway.
+    pub(crate) fn snapshot_state(&self) -> StoreState {
+        let head = self.head.lock();
+        let chain = self.sealed.read();
+        StoreState {
+            segs: chain.segs.iter().cloned().collect(),
+            trim: chain.trim,
+            head: head.events.iter().cloned().collect(),
+        }
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sequence number of the newest retained event (0 when empty).
+    pub fn last_seq(&self) -> u64 {
+        self.last_seq.load(Ordering::Relaxed)
+    }
+
+    /// Sequence number of the oldest retained event (0 when empty).
+    pub fn first_seq(&self) -> u64 {
+        let head = self.head.lock();
+        let chain = self.sealed.read();
+        match chain.segs.front() {
+            Some(front) => front.events()[chain.trim].seq,
+            None => head.events.front().map_or(0, |e| e.seq),
+        }
+    }
+
+    /// Approximate memory footprint of retained events.
+    pub fn memory(&self) -> ByteSize {
+        ByteSize::from_bytes(self.bytes.load(Ordering::Relaxed))
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            inserted: self.inserted.load(Ordering::Relaxed),
+            rotated: self.rotated.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            segments: self.sealed.read().segs.len() as u64,
+            resident_bytes: self.bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Writes the retained window as newline-delimited JSON — the
+    /// legacy single-file crash-recovery snapshot. New deployments use
+    /// the incremental [`SnapshotDir`] instead; this format remains the
+    /// wire/migration form.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from the writer.
+    pub fn snapshot_to(&self, mut sink: impl std::io::Write) -> std::io::Result<()> {
+        let state = self.snapshot_state();
+        for sev in state.iter() {
+            let line = serde_json::to_string(sev).expect("events always serialize");
+            sink.write_all(line.as_bytes())?;
+            sink.write_all(b"\n")?;
+        }
+        Ok(())
+    }
+
+    /// Rebuilds a store from a snapshot written by
+    /// [`EventStore::snapshot_to`], with the given rotation capacity.
+    /// Sequence numbering and memory accounting resume exactly where
+    /// the snapshot left off.
+    ///
+    /// Lines are re-sorted by sequence number before insertion, so a
+    /// hand-edited (or concatenated) snapshot restores as long as its
+    /// sequence numbers are unique.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`std::io::Error`] with kind `InvalidData` on a
+    /// malformed line or a duplicate sequence number, or propagates
+    /// reader failures.
+    pub fn restore_from(
+        source: impl std::io::BufRead,
+        capacity: usize,
+    ) -> std::io::Result<EventStore> {
+        let capacity = capacity.max(1);
+        Self::restore_from_sized(source, capacity, default_segment_events(capacity))
+    }
+
+    /// [`EventStore::restore_from`] with an explicit segment size.
+    pub fn restore_from_sized(
+        source: impl std::io::BufRead,
+        capacity: usize,
+        segment_events: usize,
+    ) -> std::io::Result<EventStore> {
+        let mut events: Vec<SequencedEvent> = Vec::new();
+        for line in source.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let event: SequencedEvent = serde_json::from_str(&line)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+            events.push(event);
+        }
+        events.sort_by_key(|e| e.seq);
+        let store = EventStore::with_segment_size(capacity, segment_events);
+        for event in events {
+            store.insert(event).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("snapshot holds duplicate sequence number {}", e.offered_seq),
+                )
+            })?;
+        }
+        // Restoration is not new ingestion; reset lifetime counters.
+        store.inserted.store(store.len() as u64, Ordering::Relaxed);
+        store.rotated.store(0, Ordering::Relaxed);
+        store.queries.store(0, Ordering::Relaxed);
+        Ok(store)
+    }
+
+    /// Rebuilds a store from restored parts, preserving the snapshot's
+    /// segment boundaries (so an incremental snapshot keeps reusing the
+    /// segment files it already wrote) and re-applying the capacity
+    /// bound. `segs` must be sequence-ordered and non-overlapping, with
+    /// `head` strictly after them — the snapshot reader validates this.
+    pub(crate) fn from_parts(
+        capacity: usize,
+        mut segs: VecDeque<Arc<Segment>>,
+        mut trim: usize,
+        head: Vec<SequencedEvent>,
+    ) -> EventStore {
+        let capacity = capacity.max(1);
+        let mut head: VecDeque<SequencedEvent> = head.into();
+        let mut len: usize = segs.iter().map(|s| s.len()).sum::<usize>() - trim + head.len();
+        // Re-apply the capacity bound (a restore may use a smaller
+        // window than the snapshot was taken with).
+        while len > capacity {
+            let excess = len - capacity;
+            match segs.front() {
+                Some(front) => {
+                    let avail = front.len() - trim;
+                    if avail <= excess {
+                        len -= avail;
+                        trim = 0;
+                        segs.pop_front();
+                    } else {
+                        trim += excess;
+                        len = capacity;
+                    }
+                }
+                None => {
+                    head.drain(..excess);
+                    len = capacity;
+                }
+            }
+        }
+        let bytes: u64 = segs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                if i == 0 && trim > 0 {
+                    s.events()[trim..].iter().map(|e| e.event.footprint_bytes() as u64).sum()
+                } else {
+                    s.bytes()
+                }
+            })
+            .sum::<u64>()
+            + head.iter().map(|e| e.event.footprint_bytes() as u64).sum::<u64>();
+        let last_seq =
+            head.back().map(|e| e.seq).or_else(|| segs.back().map(|s| s.last_seq())).unwrap_or(0);
+        let head_bytes = head.iter().map(|e| e.event.footprint_bytes() as u64).sum();
+        EventStore {
+            capacity,
+            segment_events: default_segment_events(capacity),
+            head: Mutex::new(Head { events: head, bytes: head_bytes }),
+            sealed: RwLock::new(Chain { segs, trim }),
+            last_seq: AtomicU64::new(last_seq),
+            len: AtomicUsize::new(len),
+            bytes: AtomicU64::new(bytes),
+            inserted: AtomicU64::new(len as u64),
+            rotated: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A consistent point-in-time view of the store's contents, used by the
+/// snapshot writers.
+pub(crate) struct StoreState {
+    pub(crate) segs: Vec<Arc<Segment>>,
+    pub(crate) trim: usize,
+    pub(crate) head: Vec<SequencedEvent>,
+}
+
+impl StoreState {
+    /// All retained events, oldest first, trim applied.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &SequencedEvent> {
+        let trim = self.trim;
+        self.segs
+            .iter()
+            .enumerate()
+            .flat_map(move |(i, s)| &s.events()[if i == 0 { trim } else { 0 }..])
+            .chain(self.head.iter())
+    }
+
+    /// Newest retained sequence number in this state (0 when empty).
+    pub(crate) fn last_seq(&self) -> u64 {
+        self.head
+            .last()
+            .map(|e| e.seq)
+            .or_else(|| self.segs.last().map(|s| s.last_seq()))
+            .unwrap_or(0)
+    }
+}
+
+/// The Aggregator's shared in-process store handle.
+///
+/// Since the store's read *and* write paths take `&self` (the head
+/// mutex and sealed-chain lock live inside), sharing is a plain `Arc` —
+/// readers no longer serialize behind a store-wide mutex.
+pub type SharedStore = Arc<EventStore>;
+
+/// Read access to an Aggregator's historic-event store.
+///
+/// The [`EventConsumer`](crate::EventConsumer)'s gap recovery is written
+/// against this trait, so backfill works identically whether the store
+/// lives in the same process ([`SharedStore`]) or behind `sdci-net`'s
+/// query RPC (`RemoteStore`).
+pub trait StoreReader: Send + 'static {
+    /// Runs `query` over the retained window, oldest first. A reader
+    /// that cannot reach the store returns an empty result (the
+    /// consumer then accounts the gap as lost).
+    fn query(&self, query: &StoreQuery) -> Vec<SequencedEvent>;
+}
+
+impl StoreReader for SharedStore {
+    fn query(&self, query: &StoreQuery) -> Vec<SequencedEvent> {
+        EventStore::query(self, query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdci_types::{ChangelogKind, EventKind, Fid, FileEvent, MdtIndex};
+
+    fn ev(seq: u64, secs: u64, path: &str) -> SequencedEvent {
+        SequencedEvent {
+            seq,
+            event: FileEvent {
+                index: seq,
+                mdt: MdtIndex::new(0),
+                changelog_kind: ChangelogKind::Create,
+                kind: EventKind::Created,
+                time: SimTime::from_secs(secs),
+                path: PathBuf::from(path),
+                src_path: None,
+                target: Fid::new(1, seq as u32, 0),
+                is_dir: false,
+            },
+        }
+    }
+
+    fn fill(store: &EventStore, range: std::ops::RangeInclusive<u64>) {
+        for i in range {
+            store.insert(ev(i, i, "/f")).unwrap();
+        }
+    }
+
+    #[test]
+    fn insert_and_query_by_seq() {
+        let store = EventStore::new(100);
+        fill(&store, 1..=10);
+        let got = store.query(&StoreQuery::after_seq(7));
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].seq, 8);
+        assert_eq!(store.last_seq(), 10);
+        assert_eq!(store.first_seq(), 1);
+    }
+
+    #[test]
+    fn rotation_bounds_len_and_memory() {
+        let store = EventStore::new(5);
+        for i in 1..=20 {
+            store.insert(ev(i, i, "/some/longish/path/file.dat")).unwrap();
+        }
+        assert_eq!(store.len(), 5);
+        assert_eq!(store.first_seq(), 16);
+        assert_eq!(store.stats().rotated, 15);
+        let five = store.memory();
+        store.insert(ev(21, 21, "/some/longish/path/file.dat")).unwrap();
+        assert_eq!(store.memory(), five, "memory stays bounded under rotation");
+    }
+
+    #[test]
+    fn rotation_trims_and_drops_sealed_segments() {
+        // 4-event segments, capacity 10: the chain must shed whole
+        // segments as the window slides, never growing without bound.
+        let store = EventStore::with_segment_size(10, 4);
+        for i in 1..=100 {
+            store.insert(ev(i, i, "/seg/f")).unwrap();
+            assert!(store.len() <= 10);
+            assert!(store.stats().segments <= 3, "fully trimmed segments must drop");
+        }
+        assert_eq!(store.len(), 10);
+        assert_eq!(store.first_seq(), 91);
+        assert_eq!(
+            store.query(&StoreQuery::default()).iter().map(|e| e.seq).collect::<Vec<_>>(),
+            (91..=100).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn query_by_time_and_prefix() {
+        let store = EventStore::new(100);
+        store.insert(ev(1, 10, "/data/a")).unwrap();
+        store.insert(ev(2, 20, "/data/b")).unwrap();
+        store.insert(ev(3, 30, "/other/c")).unwrap();
+        let got = store.query(&StoreQuery::since(SimTime::from_secs(20)));
+        assert_eq!(got.len(), 2);
+        let got = store.query(&StoreQuery::default().under("/data"));
+        assert_eq!(got.len(), 2);
+        let got = store.query(&StoreQuery::since(SimTime::from_secs(20)).under("/data"));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].seq, 2);
+    }
+
+    #[test]
+    fn query_spans_sealed_segments_and_head() {
+        let store = EventStore::with_segment_size(1000, 8);
+        for i in 1..=100 {
+            store.insert(ev(i, i, &format!("/p{}/f{i}", i % 3))).unwrap();
+        }
+        // 12 sealed segments + 4 head events; results must be seamless.
+        assert_eq!(store.stats().segments, 12);
+        let got = store.query(&StoreQuery::after_seq(90));
+        assert_eq!(got.iter().map(|e| e.seq).collect::<Vec<_>>(), (91..=100).collect::<Vec<_>>());
+        let got = store.query(&StoreQuery::default().under("/p1"));
+        assert_eq!(got.len(), 34);
+        assert!(got.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn query_limit() {
+        let store = EventStore::new(100);
+        fill(&store, 1..=10);
+        let got = store.query(&StoreQuery::after_seq(0).limit(4));
+        assert_eq!(got.len(), 4);
+        assert_eq!(got[0].seq, 1);
+    }
+
+    #[test]
+    fn query_limit_across_segment_boundary() {
+        let store = EventStore::with_segment_size(100, 4);
+        fill(&store, 1..=10);
+        let got = store.query(&StoreQuery::after_seq(2).limit(5));
+        assert_eq!(got.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn recent_returns_tail() {
+        let store = EventStore::new(100);
+        fill(&store, 1..=10);
+        let got = store.recent(3);
+        assert_eq!(got.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![8, 9, 10]);
+        assert_eq!(store.recent(99).len(), 10);
+    }
+
+    #[test]
+    fn recent_spans_sealed_segments() {
+        let store = EventStore::with_segment_size(100, 4);
+        fill(&store, 1..=10);
+        // Head holds 9..=10; the rest must come off the chain's tail.
+        let got = store.recent(7);
+        assert_eq!(got.iter().map(|e| e.seq).collect::<Vec<_>>(), (4..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn out_of_order_insert_is_rejected() {
+        let store = EventStore::new(100);
+        store.insert(ev(5, 5, "/f")).unwrap();
+        let err = store.insert(ev(5, 5, "/f")).unwrap_err();
+        assert_eq!(err, StoreOrderError { last_seq: 5, offered_seq: 5 });
+        let err = store.insert(ev(3, 3, "/f")).unwrap_err();
+        assert_eq!(err.offered_seq, 3);
+        assert!(err.to_string().contains("out-of-order"));
+        // The store is untouched by rejected inserts.
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.last_seq(), 5);
+        // Sequence numbering starts at 1; seq 0 is always rejected.
+        assert!(EventStore::new(10).insert(ev(0, 0, "/f")).is_err());
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let store = EventStore::with_segment_size(100, 8);
+        for i in 1..=25 {
+            store.insert(ev(i, i, &format!("/snap/f{i}"))).unwrap();
+        }
+        let mut buf = Vec::new();
+        store.snapshot_to(&mut buf).unwrap();
+        let restored = EventStore::restore_from(&buf[..], 100).unwrap();
+        assert_eq!(restored.len(), 25);
+        assert_eq!(restored.first_seq(), 1);
+        assert_eq!(restored.last_seq(), 25);
+        assert_eq!(restored.memory(), store.memory());
+        // Queries behave identically.
+        assert_eq!(
+            restored.query(&StoreQuery::after_seq(20)),
+            store.query(&StoreQuery::after_seq(20))
+        );
+        // Ingestion resumes past the snapshot.
+        restored.insert(ev(26, 26, "/snap/f26")).unwrap();
+        assert_eq!(restored.last_seq(), 26);
+    }
+
+    #[test]
+    fn restore_respects_smaller_capacity() {
+        let store = EventStore::new(100);
+        fill(&store, 1..=50);
+        let mut buf = Vec::new();
+        store.snapshot_to(&mut buf).unwrap();
+        let restored = EventStore::restore_from(&buf[..], 10).unwrap();
+        assert_eq!(restored.len(), 10);
+        assert_eq!(restored.first_seq(), 41);
+    }
+
+    #[test]
+    fn restore_resorts_shuffled_lines_and_rejects_duplicates() {
+        let store = EventStore::new(100);
+        fill(&store, 1..=6);
+        let mut buf = Vec::new();
+        store.snapshot_to(&mut buf).unwrap();
+        let mut lines: Vec<&str> = std::str::from_utf8(&buf).unwrap().lines().collect();
+        lines.reverse();
+        let shuffled = lines.join("\n");
+        let restored = EventStore::restore_from(shuffled.as_bytes(), 100).unwrap();
+        assert_eq!(restored.len(), 6);
+        assert_eq!(restored.first_seq(), 1);
+        assert_eq!(restored.last_seq(), 6);
+
+        let duplicated = format!("{}\n{}", lines[0], lines.join("\n"));
+        let err = EventStore::restore_from(duplicated.as_bytes(), 100).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("duplicate sequence number"));
+    }
+
+    #[test]
+    fn restore_rejects_garbage() {
+        let err = EventStore::restore_from("not json\n".as_bytes(), 10).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn empty_store() {
+        let store = EventStore::new(10);
+        assert!(store.is_empty());
+        assert_eq!(store.last_seq(), 0);
+        assert!(store.query(&StoreQuery::default()).is_empty());
+        assert_eq!(store.memory(), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn concurrent_queries_during_ingest_see_consistent_windows() {
+        // Reads take &self: hammer queries from two threads while a
+        // third ingests, and require every result to be gap-free.
+        let store: SharedStore = Arc::new(EventStore::with_segment_size(100_000, 64));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut seen = 0u64;
+                    let mut done = false;
+                    // One final query after `stop` so every reader ends
+                    // having observed the complete window.
+                    while !done {
+                        done = stop.load(Ordering::Relaxed);
+                        let got = store.query(&StoreQuery::after_seq(0));
+                        for pair in got.windows(2) {
+                            assert_eq!(pair[0].seq + 1, pair[1].seq, "gap in query result");
+                        }
+                        seen = seen.max(got.last().map_or(0, |e| e.seq));
+                    }
+                    seen
+                })
+            })
+            .collect();
+        for i in 1..=5_000 {
+            store.insert(ev(i, i, "/c/f")).unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            assert_eq!(r.join().unwrap(), 5_000, "readers observed the full ingest");
+        }
+        assert_eq!(store.query(&StoreQuery::after_seq(0)).len(), 5_000);
+    }
+}

@@ -1,0 +1,328 @@
+//! Incremental crash-recovery snapshots for the segmented store.
+//!
+//! The legacy snapshot ([`EventStore::snapshot_to`]) rewrites the whole
+//! retained window every flush interval — O(window) I/O every 200 ms.
+//! A [`SnapshotDir`] instead mirrors the store's internal structure on
+//! disk:
+//!
+//! ```text
+//! <dir>/
+//!   MANIFEST.json                        # commit point, tmp+rename
+//!   seg-00000000000000000001-00000000000000000064.ndjson
+//!   seg-00000000000000000065-00000000000000000128.ndjson
+//!   ...                                  # one file per sealed segment,
+//!                                        # written exactly once
+//!   head.ndjson                          # unsealed tail, rewritten per flush
+//! ```
+//!
+//! Sealed segments are immutable, so their files are written once and
+//! then only ever garbage-collected (when rotation drops the segment);
+//! a steady-state flush rewrites the manifest and the head — I/O
+//! proportional to the *new* data, not the window. The manifest rename
+//! is the commit point: a crash mid-flush leaves the previous manifest
+//! intact, and orphaned segment/tmp files are swept on the next flush.
+//!
+//! [`restore_snapshot`] accepts either form — a directory, or a legacy
+//! single-file NDJSON snapshot — and
+//! [`SnapshotDir::migrate_legacy`] converts the latter to the former
+//! via a staging directory, so a crash mid-migration loses nothing.
+
+use super::{EventStore, StoreState};
+use crate::store::segment::Segment;
+use sdci_types::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashSet, VecDeque};
+use std::fs;
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const MANIFEST_NAME: &str = "MANIFEST.json";
+const HEAD_NAME: &str = "head.ndjson";
+const MANIFEST_VERSION: u32 = 1;
+
+/// What one [`SnapshotDir::flush`] actually did, for observability and
+/// for tests pinning the incremental property.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FlushStats {
+    /// Sealed segments newly written to their own file this flush.
+    pub segments_written: u64,
+    /// Sealed segments whose file already existed and was left alone.
+    pub segments_reused: u64,
+    /// On-disk segment files garbage-collected (rotated out of the
+    /// window, or orphaned by a crashed flush).
+    pub files_removed: u64,
+    /// Events rewritten in `head.ndjson`.
+    pub head_events: u64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct ManifestSegment {
+    file: String,
+    first_seq: u64,
+    last_seq: u64,
+    len: usize,
+    /// Earliest/latest event times — for humans inspecting a snapshot
+    /// directory, and cross-checked against the file on restore.
+    min_time: SimTime,
+    max_time: SimTime,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Manifest {
+    version: u32,
+    /// Count of events logically rotated out of the oldest segment.
+    trim: usize,
+    /// Newest sequence number in the snapshot (0 when empty).
+    last_seq: u64,
+    segments: Vec<ManifestSegment>,
+    head_file: String,
+    head_len: usize,
+}
+
+/// A snapshot directory an Aggregator flushes its store into.
+#[derive(Debug)]
+pub struct SnapshotDir {
+    dir: PathBuf,
+}
+
+impl SnapshotDir {
+    /// Opens (creating if needed) a snapshot directory.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `dir` exists and is not a directory, or on I/O errors.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<SnapshotDir> {
+        let dir = dir.into();
+        if dir.exists() && !dir.is_dir() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "{} is a file, not a snapshot directory (restore it as a legacy \
+                     snapshot, or migrate it with SnapshotDir::migrate_legacy)",
+                    dir.display()
+                ),
+            ));
+        }
+        fs::create_dir_all(&dir)?;
+        Ok(SnapshotDir { dir })
+    }
+
+    /// The directory this snapshot lives in.
+    pub fn path(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Flushes the store's current state.
+    ///
+    /// Sealed segments already on disk are reused untouched; new ones
+    /// are written once; `head.ndjson` and `MANIFEST.json` are
+    /// rewritten (tmp + rename, the manifest rename being the commit
+    /// point); files no longer referenced are removed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures. On error the previous manifest remains
+    /// the committed state.
+    pub fn flush(&self, store: &EventStore) -> io::Result<FlushStats> {
+        self.flush_state(&store.snapshot_state())
+    }
+
+    pub(crate) fn flush_state(&self, state: &StoreState) -> io::Result<FlushStats> {
+        let mut stats = FlushStats::default();
+        let mut live: HashSet<String> = HashSet::new();
+        let mut manifest_segs = Vec::with_capacity(state.segs.len());
+        for seg in &state.segs {
+            let name = segment_file_name(seg.first_seq(), seg.last_seq());
+            let path = self.dir.join(&name);
+            if path.exists() {
+                stats.segments_reused += 1;
+            } else {
+                self.write_events_atomically(&path, seg.events().iter())?;
+                stats.segments_written += 1;
+            }
+            manifest_segs.push(ManifestSegment {
+                file: name.clone(),
+                first_seq: seg.first_seq(),
+                last_seq: seg.last_seq(),
+                len: seg.len(),
+                min_time: seg.min_time(),
+                max_time: seg.max_time(),
+            });
+            live.insert(name);
+        }
+        self.write_events_atomically(&self.dir.join(HEAD_NAME), state.head.iter())?;
+        stats.head_events = state.head.len() as u64;
+        let manifest = Manifest {
+            version: MANIFEST_VERSION,
+            trim: state.trim,
+            last_seq: state.last_seq(),
+            segments: manifest_segs,
+            head_file: HEAD_NAME.to_string(),
+            head_len: state.head.len(),
+        };
+        let json = serde_json::to_string(&manifest).expect("manifest always serializes");
+        let manifest_path = self.dir.join(MANIFEST_NAME);
+        let tmp = manifest_path.with_extension("json.tmp");
+        fs::write(&tmp, json.as_bytes())?;
+        fs::rename(&tmp, &manifest_path)?;
+        // Committed; sweep rotated-out segment files and stray tmps.
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let is_stale_segment =
+                name.starts_with("seg-") && name.ends_with(".ndjson") && !live.contains(&*name);
+            if is_stale_segment || name.ends_with(".tmp") {
+                fs::remove_file(entry.path())?;
+                stats.files_removed += 1;
+            }
+        }
+        Ok(stats)
+    }
+
+    fn write_events_atomically<'a>(
+        &self,
+        path: &Path,
+        events: impl Iterator<Item = &'a crate::aggregator::SequencedEvent>,
+    ) -> io::Result<()> {
+        let tmp = path.with_extension("ndjson.tmp");
+        {
+            let mut out = io::BufWriter::new(fs::File::create(&tmp)?);
+            for sev in events {
+                let line = serde_json::to_string(sev).expect("events always serialize");
+                out.write_all(line.as_bytes())?;
+                out.write_all(b"\n")?;
+            }
+            out.flush()?;
+        }
+        fs::rename(&tmp, path)
+    }
+
+    /// Converts a legacy single-file NDJSON snapshot at `legacy` into a
+    /// snapshot directory at the same path, using the already-restored
+    /// `store` as the source of truth.
+    ///
+    /// The new layout is staged at `<legacy>.migrating` and only swapped
+    /// into place once fully written, so a crash at any point leaves
+    /// either the legacy file or the complete directory — never neither.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; the legacy file is not removed unless
+    /// the staged directory was fully flushed.
+    pub fn migrate_legacy(legacy: &Path, store: &EventStore) -> io::Result<SnapshotDir> {
+        let mut staging = legacy.as_os_str().to_os_string();
+        staging.push(".migrating");
+        let staging = PathBuf::from(staging);
+        if staging.exists() {
+            // A previous migration died mid-way; its staging dir may be
+            // incomplete, so rebuild it from scratch.
+            fs::remove_dir_all(&staging)?;
+        }
+        let staged = SnapshotDir::open(&staging)?;
+        staged.flush(store)?;
+        fs::remove_file(legacy)?;
+        fs::rename(&staging, legacy)?;
+        SnapshotDir::open(legacy)
+    }
+}
+
+fn segment_file_name(first_seq: u64, last_seq: u64) -> String {
+    format!("seg-{first_seq:020}-{last_seq:020}.ndjson")
+}
+
+/// Restores a store from a snapshot at `path` — either a
+/// [`SnapshotDir`] layout or a legacy single-file NDJSON snapshot
+/// (auto-detected) — bounded to `capacity` events.
+///
+/// A directory restore preserves the snapshot's segment boundaries, so
+/// subsequent flushes keep reusing the segment files already on disk.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on a corrupt manifest, a segment file that
+/// disagrees with its manifest entry, or out-of-order/duplicate
+/// sequence numbers; propagates other I/O failures.
+pub fn restore_snapshot(path: &Path, capacity: usize) -> io::Result<EventStore> {
+    if fs::metadata(path)?.is_dir() {
+        restore_dir(path, capacity)
+    } else {
+        EventStore::restore_from(BufReader::new(fs::File::open(path)?), capacity)
+    }
+}
+
+fn restore_dir(dir: &Path, capacity: usize) -> io::Result<EventStore> {
+    let manifest_path = dir.join(MANIFEST_NAME);
+    let manifest: Manifest = serde_json::from_str(&fs::read_to_string(&manifest_path)?)
+        .map_err(|e| invalid(format!("corrupt snapshot manifest: {e}")))?;
+    if manifest.version != MANIFEST_VERSION {
+        return Err(invalid(format!(
+            "snapshot manifest version {} is not supported (expected {MANIFEST_VERSION})",
+            manifest.version
+        )));
+    }
+    let mut segs: VecDeque<Arc<Segment>> = VecDeque::with_capacity(manifest.segments.len());
+    let mut prev_last = 0u64;
+    for entry in &manifest.segments {
+        let events = read_events(&dir.join(&entry.file))?;
+        if events.len() != entry.len
+            || events.first().map(|e| e.seq) != Some(entry.first_seq)
+            || events.last().map(|e| e.seq) != Some(entry.last_seq)
+        {
+            return Err(invalid(format!(
+                "segment file {} does not match its manifest entry",
+                entry.file
+            )));
+        }
+        if !events.windows(2).all(|w| w[0].seq < w[1].seq)
+            || (entry.first_seq <= prev_last && prev_last != 0)
+            || entry.first_seq == 0
+        {
+            return Err(invalid(format!("segment file {} is out of order", entry.file)));
+        }
+        prev_last = entry.last_seq;
+        let seg = Segment::build(events);
+        if seg.min_time() != entry.min_time || seg.max_time() != entry.max_time {
+            return Err(invalid(format!(
+                "segment file {} time range disagrees with its manifest entry",
+                entry.file
+            )));
+        }
+        segs.push_back(Arc::new(seg));
+    }
+    if manifest.trim > 0 && segs.front().is_none_or(|front| manifest.trim >= front.len()) {
+        return Err(invalid("snapshot manifest trim exceeds its oldest segment"));
+    }
+    let head = read_events(&dir.join(&manifest.head_file))?;
+    if head.len() != manifest.head_len
+        || !head.windows(2).all(|w| w[0].seq < w[1].seq)
+        || head.first().is_some_and(|e| e.seq <= prev_last)
+    {
+        return Err(invalid("snapshot head does not match its manifest entry"));
+    }
+    let store = EventStore::from_parts(capacity, segs, manifest.trim, head);
+    if store.last_seq() != manifest.last_seq {
+        return Err(invalid("snapshot manifest last_seq disagrees with its contents"));
+    }
+    Ok(store)
+}
+
+fn read_events(path: &Path) -> io::Result<Vec<crate::aggregator::SequencedEvent>> {
+    let mut events = Vec::new();
+    for line in BufReader::new(fs::File::open(path)?).lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        events.push(
+            serde_json::from_str(&line)
+                .map_err(|e| invalid(format!("corrupt event line in {}: {e}", path.display())))?,
+        );
+    }
+    Ok(events)
+}
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}

@@ -2,7 +2,6 @@
 //! against a reference model, the event store's queries against naive
 //! filtering, and consumer gap recovery against arbitrary loss patterns.
 
-use parking_lot::Mutex;
 use proptest::prelude::*;
 use sdci_core::{EventConsumer, EventStore, FeedMessage, PathCache, SequencedEvent, StoreQuery};
 use sdci_mq::pubsub::Broker;
@@ -54,6 +53,72 @@ impl RefLru {
         }
         self.entries.push((fid, path));
     }
+}
+
+/// Naive reference model of the event store: one flat `VecDeque`,
+/// linear-scan queries — the behavior the segmented store must match
+/// exactly.
+struct NaiveStore {
+    events: std::collections::VecDeque<SequencedEvent>,
+    capacity: usize,
+}
+
+impl NaiveStore {
+    fn new(capacity: usize) -> Self {
+        NaiveStore { events: std::collections::VecDeque::new(), capacity: capacity.max(1) }
+    }
+
+    fn insert(&mut self, e: SequencedEvent) {
+        self.events.push_back(e);
+        while self.events.len() > self.capacity {
+            self.events.pop_front();
+        }
+    }
+
+    fn query(&self, q: &StoreQuery) -> Vec<SequencedEvent> {
+        let limit = if q.limit == 0 { usize::MAX } else { q.limit };
+        self.events
+            .iter()
+            .filter(|e| q.after_seq.is_none_or(|a| e.seq > a))
+            .filter(|e| q.since.is_none_or(|s| e.event.time >= s))
+            .filter(|e| q.path_prefix.as_ref().is_none_or(|p| e.event.path.starts_with(p)))
+            .take(limit)
+            .cloned()
+            .collect()
+    }
+
+    fn recent(&self, n: usize) -> Vec<SequencedEvent> {
+        let skip = self.events.len().saturating_sub(n);
+        self.events.iter().skip(skip).cloned().collect()
+    }
+}
+
+/// One step of the store/model equivalence drive.
+#[derive(Debug, Clone)]
+enum StoreOp {
+    /// Insert a run of events (sequence numbers may skip ahead).
+    Insert { count: u8, seq_step: u8 },
+    /// Compare an arbitrary query.
+    Query { after_frac: u8, since_frac: u8, prefix: Option<u8>, limit: u8 },
+    /// Compare the `recent` tail.
+    Recent(u8),
+    /// Legacy-snapshot the store and replace it with the restore.
+    Roundtrip,
+}
+
+fn store_op() -> impl Strategy<Value = StoreOp> {
+    prop_oneof![
+        4 => (1u8..20, 1u8..3).prop_map(|(count, seq_step)| StoreOp::Insert { count, seq_step }),
+        4 => (any::<u8>(), any::<u8>(), prop::option::of(0u8..3), 0u8..30)
+            .prop_map(|(after_frac, since_frac, prefix, limit)| StoreOp::Query {
+                after_frac,
+                since_frac,
+                prefix,
+                limit,
+            }),
+        2 => any::<u8>().prop_map(StoreOp::Recent),
+        1 => Just(StoreOp::Roundtrip),
+    ]
 }
 
 #[derive(Debug, Clone)]
@@ -114,11 +179,11 @@ proptest! {
         prefix in prop::option::of(0u64..3),
         limit in 0usize..20,
     ) {
-        let mut store = EventStore::new(capacity);
+        let store = EventStore::new(capacity);
         let mut retained: Vec<SequencedEvent> = Vec::new();
         for seq in 1..=n {
             let e = sev(seq);
-            store.insert(e.clone());
+            store.insert(e.clone()).unwrap();
             retained.push(e);
             if retained.len() > capacity {
                 retained.remove(0);
@@ -154,12 +219,12 @@ proptest! {
         live_mask in prop::collection::vec(any::<bool>(), 120),
     ) {
         let broker: Broker<FeedMessage> = Broker::new(4096);
-        let store = Arc::new(Mutex::new(EventStore::new(10_000)));
+        let store = Arc::new(EventStore::new(10_000));
         let mut consumer = EventConsumer::new(broker.subscribe(&[""]), Arc::clone(&store), 0);
         let publisher = broker.publisher();
         let mut live = 0u64;
         for seq in 1..=n {
-            store.lock().insert(sev(seq));
+            store.insert(sev(seq)).unwrap();
             if live_mask[(seq - 1) as usize] {
                 publisher.publish("feed", FeedMessage::Event(sev(seq)));
                 live += 1;
@@ -178,5 +243,58 @@ proptest! {
         // recovered; at most `live + 1` came from the feed.
         prop_assert!(stats.recovered >= n.saturating_sub(live + 1));
         prop_assert!(stats.recovered < n || live == 0);
+    }
+
+    /// The segmented store is observationally identical to the naive
+    /// VecDeque model under an arbitrary interleaving of inserts (with
+    /// rotation), queries, `recent` reads, and legacy snapshot/restore
+    /// cycles. Tiny segment sizes force deep sealed chains, partial
+    /// front-segment trims, and whole-segment drops.
+    #[test]
+    fn segmented_store_matches_naive_model(
+        ops in prop::collection::vec(store_op(), 1..60),
+        capacity in 1usize..64,
+        segment_events in 1usize..8,
+    ) {
+        let mut store = EventStore::with_segment_size(capacity, segment_events);
+        let mut model = NaiveStore::new(capacity);
+        let mut seq = 0u64;
+        for op in ops {
+            match op {
+                StoreOp::Insert { count, seq_step } => {
+                    for _ in 0..count {
+                        seq += seq_step as u64;
+                        let e = sev(seq);
+                        store.insert(e.clone()).unwrap();
+                        model.insert(e);
+                    }
+                }
+                StoreOp::Query { after_frac, since_frac, prefix, limit } => {
+                    let mut q = StoreQuery::after_seq((after_frac as u64 * seq) / 255);
+                    q.since = Some(SimTime::from_secs((since_frac as u64 * seq) / 255));
+                    if let Some(p) = prefix {
+                        q = q.under(format!("/p{p}"));
+                    }
+                    q = q.limit(limit as usize);
+                    prop_assert_eq!(store.query(&q), model.query(&q));
+                }
+                StoreOp::Recent(n) => {
+                    prop_assert_eq!(store.recent(n as usize), model.recent(n as usize));
+                }
+                StoreOp::Roundtrip => {
+                    let mut buf = Vec::new();
+                    store.snapshot_to(&mut buf).unwrap();
+                    store = EventStore::restore_from_sized(&buf[..], capacity, segment_events)
+                        .unwrap();
+                }
+            }
+            prop_assert_eq!(store.len(), model.events.len());
+            prop_assert_eq!(store.first_seq(), model.events.front().map_or(0, |e| e.seq));
+            prop_assert_eq!(store.last_seq(), seq);
+        }
+        prop_assert_eq!(
+            store.query(&StoreQuery::default()),
+            model.events.iter().cloned().collect::<Vec<_>>()
+        );
     }
 }

@@ -1,7 +1,8 @@
 //! A minimal query RPC over the Aggregator's [`EventStore`].
 //!
 //! The in-process consumer backfills gaps by querying the store through
-//! a shared `Arc<Mutex<EventStore>>`. A remote consumer gets the same
+//! a shared [`SharedStore`](sdci_core::SharedStore) handle. A remote
+//! consumer gets the same
 //! capability from [`RemoteStore`], which implements
 //! [`sdci_core::StoreReader`] by round-tripping a [`StoreRpc::Query`]
 //! to the Aggregator process's [`StoreServer`].

@@ -83,7 +83,7 @@ fn main() {
 
     // The store can also be queried directly (the REST API stand-in).
     let store = cluster.store();
-    let recent = store.lock().recent(5);
+    let recent = store.recent(5);
     println!("last 5 events in the rotating catalog:");
     for sev in recent {
         println!("  seq {:>3}  {}", sev.seq, sev.event.path.display());

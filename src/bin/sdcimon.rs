@@ -13,7 +13,7 @@
 //!
 //! ```text
 //! sdcimon aggregator [--bind ADDR] [--store-capacity N] [--feed-hwm N]
-//!                    [--snapshot FILE]
+//!                    [--snapshot DIR]
 //! sdcimon collector  --connect ADDR [--client ID] [--files N]
 //! sdcimon consumer   --connect ADDR [--expect N] [--under PREFIX]
 //!                    [--timeout SECS]
@@ -25,18 +25,24 @@
 //! address `P`. The aggregator prints `listening on HOST:P` once ready
 //! (with the resolved port when `--bind` used port 0).
 //!
-//! `--snapshot FILE` flushes the store every 200 ms and, beside it, a
-//! `FILE.marks` sidecar holding the per-collector push dedup marks; a
-//! restart restores both, so collectors that resend their unacked
-//! window are deduplicated against events the snapshot already holds.
-//! Events a hard kill catches acknowledged but not yet flushed — at
-//! most one snapshot interval's worth — are the durability window.
+//! `--snapshot DIR` flushes the store every 200 ms into a snapshot
+//! *directory*: immutable per-segment NDJSON files written exactly
+//! once, plus a rewritten `head.ndjson` and `MANIFEST.json` (the commit
+//! point) — so steady-state flush I/O is proportional to new events,
+//! not the retained window. Beside it, a `DIR.marks` sidecar holds the
+//! per-collector push dedup marks; a restart restores both, so
+//! collectors that resend their unacked window are deduplicated against
+//! events the snapshot already holds. A path left over from an older
+//! deployment's single-file NDJSON snapshot is restored and migrated to
+//! the directory form in place. Events a hard kill catches acknowledged
+//! but not yet flushed — at most one snapshot interval's worth — are
+//! the durability window.
 
 use parking_lot::Mutex;
 use sdci::lustre::{DnePolicy, LustreConfig, LustreFs};
 use sdci::monitor::{
-    Aggregator, Collector, EventConsumer, EventStore, MetricsRecorder, MonitorClusterBuilder,
-    MonitorConfig,
+    restore_snapshot, Aggregator, ClusterStats, Collector, EventConsumer, MetricsRecorder,
+    MonitorClusterBuilder, MonitorConfig, SnapshotDir,
 };
 use sdci::mq::transport::PullSubscriber;
 use sdci::net::{
@@ -137,11 +143,13 @@ fn run_aggregator(args: &[String]) -> Result<(), String> {
 
     // A crashed aggregator restarted with the same --snapshot resumes
     // its store *and* its sequence numbering, so consumers recover the
-    // outage as an ordinary gap.
+    // outage as an ordinary gap. The snapshot path is a directory
+    // (manifest + per-segment files); a single-file NDJSON snapshot from
+    // an older deployment is restored too, then migrated in place.
+    let mut snapshot_dir = None;
     let restored = match &snapshot {
         Some(path) if path.exists() => {
-            let file = std::fs::File::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
-            let store = EventStore::restore_from(std::io::BufReader::new(file), store_capacity)
+            let store = restore_snapshot(path, store_capacity)
                 .map_err(|e| format!("restore {}: {e}", path.display()))?;
             eprintln!(
                 "sdcimon aggregator: restored {} events (last seq {}) from {}",
@@ -149,9 +157,26 @@ fn run_aggregator(args: &[String]) -> Result<(), String> {
                 store.last_seq(),
                 path.display()
             );
+            if path.is_file() {
+                let dir = SnapshotDir::migrate_legacy(path, &store)
+                    .map_err(|e| format!("migrate {}: {e}", path.display()))?;
+                eprintln!(
+                    "sdcimon aggregator: migrated legacy single-file snapshot {} to directory form",
+                    path.display()
+                );
+                snapshot_dir = Some(dir);
+            } else {
+                snapshot_dir =
+                    Some(SnapshotDir::open(path).map_err(|e| format!("{}: {e}", path.display()))?);
+            }
             Some(store)
         }
-        _ => None,
+        Some(path) => {
+            snapshot_dir =
+                Some(SnapshotDir::open(path).map_err(|e| format!("{}: {e}", path.display()))?);
+            None
+        }
+        None => None,
     };
     let events = PullSubscriber::new(events_srv.pull(), "events/remote");
     let agg = match restored {
@@ -172,10 +197,14 @@ fn run_aggregator(args: &[String]) -> Result<(), String> {
         store_srv.local_addr()
     );
 
+    let mut metrics = MetricsRecorder::new();
+    metrics.record(aggregator_sample(&agg));
+    let mut ticks = 0u64;
     loop {
         std::thread::sleep(Duration::from_millis(200));
-        if let Some(path) = &snapshot {
-            if let Err(e) = write_snapshot_atomically(&agg, path) {
+        ticks += 1;
+        if let Some(dir) = &snapshot_dir {
+            if let Err(e) = dir.flush(&agg.store()) {
                 eprintln!("sdcimon aggregator: snapshot failed: {e}");
                 continue;
             }
@@ -192,7 +221,23 @@ fn run_aggregator(args: &[String]) -> Result<(), String> {
                 }
             }
         }
+        // Self-monitoring: sample the pipeline counters every 5 s and
+        // log ingest rate plus the store's gauges.
+        if ticks.is_multiple_of(25) {
+            metrics.record(aggregator_sample(&agg));
+            let store = metrics.latest_store_stats().expect("sample just recorded");
+            match metrics.latest_rates() {
+                Some(rates) => eprintln!("sdcimon aggregator: {rates}; store: {store}"),
+                None => eprintln!("sdcimon aggregator: store: {store}"),
+            }
+        }
     }
+}
+
+/// A [`MetricsRecorder`] sample for a standalone aggregator process
+/// (no in-process Collectors to report on).
+fn aggregator_sample(agg: &Aggregator) -> ClusterStats {
+    ClusterStats { collectors: Vec::new(), aggregator: agg.snapshot(), store: agg.store().stats() }
 }
 
 /// The dedup-marks sidecar written next to the store snapshot.
@@ -217,19 +262,6 @@ fn write_marks_atomically(
     let body = serde_json::to_string(&events_srv.marks())
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
     std::fs::write(&tmp, body)?;
-    std::fs::rename(&tmp, path)
-}
-
-/// Writes the store snapshot to `path.tmp` then renames, so a crash
-/// mid-write never corrupts the snapshot a restart will restore from.
-fn write_snapshot_atomically(agg: &Aggregator, path: &std::path::Path) -> std::io::Result<()> {
-    let tmp = path.with_extension("tmp");
-    {
-        let file = std::fs::File::create(&tmp)?;
-        let mut sink = std::io::BufWriter::new(file);
-        agg.store().lock().snapshot_to(&mut sink)?;
-        std::io::Write::flush(&mut sink)?;
-    }
     std::fs::rename(&tmp, path)
 }
 
@@ -378,7 +410,7 @@ fn parse_demo_args(args: &[String]) -> Result<Options, String> {
                     "usage: sdcimon [--testbed aws|iota] [--mdts N] [--seconds S] \
                      [--ops-per-tick N] [--no-cache]\n\
                      \x20      sdcimon aggregator [--bind ADDR] [--store-capacity N] \
-                     [--feed-hwm N] [--snapshot FILE]\n\
+                     [--feed-hwm N] [--snapshot DIR]\n\
                      \x20      sdcimon collector --connect ADDR [--client ID] [--files N]\n\
                      \x20      sdcimon consumer --connect ADDR [--expect N] [--under PREFIX] \
                      [--timeout SECS]"
@@ -440,7 +472,7 @@ fn run_demo(args: &[String]) -> Result<(), String> {
         }
         metrics.record(cluster.stats());
         let rates = metrics.latest_rates().expect("two samples");
-        let store_len = cluster.store().lock().len();
+        let store_len = cluster.store().len();
         println!(
             "  {second:>4}  {:>9.0}  {:>10.0}  {:>10.0}  {:>8.1}%  {store_len:>12}",
             rates.extract_rate.per_sec(),

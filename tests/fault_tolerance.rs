@@ -190,7 +190,7 @@ fn aggregator_restarts_from_snapshot_without_losing_history() {
         resume_seq = consumer.next_seq() - 1;
         assert!(cluster.wait_for_published(30, Duration::from_secs(5)));
         let mut buf = Vec::new();
-        cluster.store().lock().snapshot_to(&mut buf).expect("snapshot");
+        cluster.store().snapshot_to(&mut buf).expect("snapshot");
         snapshot = buf;
         cluster.shutdown();
     }
@@ -219,7 +219,7 @@ fn aggregator_restarts_from_snapshot_without_losing_history() {
     assert!(resumed.stats().recovered >= 10, "pre-crash tail came from the snapshot");
     assert_eq!(got.last().unwrap().path, std::path::PathBuf::from("/persist/f39"));
     // Global sequence numbers continued (30 pre-crash + 11 new).
-    assert_eq!(cluster.store().lock().last_seq(), 41);
+    assert_eq!(cluster.store().last_seq(), 41);
     cluster.shutdown();
 }
 

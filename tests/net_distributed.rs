@@ -116,8 +116,8 @@ fn three_processes_deliver_every_event_in_order() {
 
 #[test]
 fn killed_aggregator_restarts_from_snapshot_without_losing_events() {
-    let snapshot = std::env::temp_dir().join(format!("sdci-net-snap-{}.jsonl", std::process::id()));
-    let _ = std::fs::remove_file(&snapshot);
+    let snapshot = std::env::temp_dir().join(format!("sdci-net-snap-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&snapshot);
     let snap = snapshot.to_str().expect("utf-8 temp path");
 
     let mut agg = spawn(&["aggregator", "--bind", "127.0.0.1:0", "--snapshot", snap]);
@@ -165,5 +165,73 @@ fn killed_aggregator_restarts_from_snapshot_without_losing_events() {
     let done = stdout.lines().last().unwrap_or_default();
     assert!(done.contains("lost 0"), "consumer reported loss: {done}");
 
+    // The snapshot is a directory now: manifest + per-segment files.
+    assert!(snapshot.join("MANIFEST.json").is_file(), "snapshot directory has a manifest");
+
+    let _ = std::fs::remove_dir_all(&snapshot);
+}
+
+#[test]
+fn legacy_single_file_snapshot_is_restored_and_migrated() {
+    // Seed a legacy-deployment snapshot: the single-file NDJSON form the
+    // pre-segmented aggregator wrote. Build it from a real store so the
+    // line format is exactly what an old deployment left behind.
+    let snapshot =
+        std::env::temp_dir().join(format!("sdci-net-legacy-{}.jsonl", std::process::id()));
     let _ = std::fs::remove_file(&snapshot);
+    let _ = std::fs::remove_dir_all(&snapshot);
+    {
+        use sdci::monitor::{EventStore, SequencedEvent};
+        use sdci::types::{ChangelogKind, EventKind, Fid, FileEvent, MdtIndex, SimTime};
+        let store = EventStore::new(1000);
+        for i in 1..=25u64 {
+            store
+                .insert(SequencedEvent {
+                    seq: i,
+                    event: FileEvent {
+                        index: i,
+                        mdt: MdtIndex::new(0),
+                        changelog_kind: ChangelogKind::Create,
+                        kind: EventKind::Created,
+                        time: SimTime::from_secs(i),
+                        path: format!("/old/f{i}").into(),
+                        src_path: None,
+                        target: Fid::new(1, i as u32, 0),
+                        is_dir: false,
+                    },
+                })
+                .unwrap();
+        }
+        let mut buf = Vec::new();
+        store.snapshot_to(&mut buf).expect("serialize legacy snapshot");
+        std::fs::write(&snapshot, buf).expect("write legacy snapshot");
+    }
+    let snap = snapshot.to_str().expect("utf-8 temp path");
+
+    let mut agg = spawn(&["aggregator", "--bind", "127.0.0.1:0", "--snapshot", snap]);
+    let addr = wait_for_listen_addr(&mut agg);
+
+    // The restored 25 events arrive via backfill, the fresh collector's
+    // events via the live feed — sequence numbering continues across the
+    // restart, so the consumer sees one dense stream.
+    let expect = (25 + EVENTS_PER_COLLECTOR).to_string();
+    let consumer = spawn(&["consumer", "--connect", &addr, "--expect", &expect, "--timeout", "60"]);
+    run_collector(&addr, "c1");
+
+    let out = consumer.into_child().wait_with_output().expect("wait for consumer");
+    assert!(out.status.success(), "consumer failed: {:?}", out.status);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let events = check_consumer_output(&stdout, &["c1"]);
+    assert_eq!(events, 25 + EVENTS_PER_COLLECTOR, "wrong event count:\n{stdout}");
+    for i in 1..=25 {
+        assert!(stdout.contains(&format!("/old/f{i}")), "legacy event /old/f{i} missing from feed");
+    }
+    let done = stdout.lines().last().unwrap_or_default();
+    assert!(done.contains("lost 0"), "consumer reported loss: {done}");
+
+    // The legacy file was migrated in place to the directory form.
+    assert!(snapshot.is_dir(), "legacy snapshot migrated to a directory");
+    assert!(snapshot.join("MANIFEST.json").is_file(), "migrated snapshot has a manifest");
+
+    let _ = std::fs::remove_dir_all(&snapshot);
 }
