@@ -20,7 +20,10 @@
 //! a steady-state flush rewrites the manifest and the head — I/O
 //! proportional to the *new* data, not the window. The manifest rename
 //! is the commit point: a crash mid-flush leaves the previous manifest
-//! intact, and orphaned segment/tmp files are swept on the next flush.
+//! intact, and segment/tmp files the manifest does not reference are
+//! swept both when the directory is opened (required before any
+//! reuse-by-name decision — see [`SnapshotDir::open`]) and after each
+//! flush commits.
 //!
 //! [`restore_snapshot`] accepts either form — a directory, or a legacy
 //! single-file NDJSON snapshot — and
@@ -87,11 +90,15 @@ pub struct SnapshotDir {
 }
 
 impl SnapshotDir {
-    /// Opens (creating if needed) a snapshot directory.
+    /// Opens (creating if needed) a snapshot directory, sweeping any
+    /// segment/tmp files a crashed flush left behind that the committed
+    /// manifest does not reference (see [`Self::sweep_orphans`]).
     ///
     /// # Errors
     ///
-    /// Fails if `dir` exists and is not a directory, or on I/O errors.
+    /// Fails if `dir` exists and is not a directory, if an existing
+    /// manifest is unreadable (the orphan sweep needs it to know which
+    /// files are live), or on I/O errors.
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<SnapshotDir> {
         let dir = dir.into();
         if dir.exists() && !dir.is_dir() {
@@ -105,7 +112,44 @@ impl SnapshotDir {
             ));
         }
         fs::create_dir_all(&dir)?;
-        Ok(SnapshotDir { dir })
+        let snap = SnapshotDir { dir };
+        snap.sweep_orphans()?;
+        Ok(snap)
+    }
+
+    /// Removes files the committed manifest does not reference: stray
+    /// tmps and `seg-*.ndjson` orphans left by a flush that crashed
+    /// before its manifest rename.
+    ///
+    /// Sweeping *before* the first flush is a correctness requirement,
+    /// not hygiene: sequence numbers in the acked-but-unflushed
+    /// durability window are reassigned to different events after a
+    /// crash-restart, so a segment sealed by the restarted store can
+    /// collide with an orphan's seq-range file name. [`flush_state`]'s
+    /// reuse-by-name must therefore only ever see segment files the
+    /// manifest — and hence the store restored from it — vouches for.
+    fn sweep_orphans(&self) -> io::Result<()> {
+        let live: HashSet<String> = match fs::read_to_string(self.dir.join(MANIFEST_NAME)) {
+            Ok(json) => serde_json::from_str::<Manifest>(&json)
+                .map_err(|e| invalid(format!("corrupt snapshot manifest: {e}")))?
+                .segments
+                .into_iter()
+                .map(|seg| seg.file)
+                .collect(),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => HashSet::new(),
+            Err(e) => return Err(e),
+        };
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let is_orphan_segment =
+                name.starts_with("seg-") && name.ends_with(".ndjson") && !live.contains(&*name);
+            if is_orphan_segment || name.ends_with(".tmp") {
+                fs::remove_file(entry.path())?;
+            }
+        }
+        Ok(())
     }
 
     /// The directory this snapshot lives in.
@@ -166,16 +210,23 @@ impl SnapshotDir {
         let tmp = manifest_path.with_extension("json.tmp");
         fs::write(&tmp, json.as_bytes())?;
         fs::rename(&tmp, &manifest_path)?;
-        // Committed; sweep rotated-out segment files and stray tmps.
-        for entry in fs::read_dir(&self.dir)? {
-            let entry = entry?;
-            let name = entry.file_name();
-            let name = name.to_string_lossy();
-            let is_stale_segment =
-                name.starts_with("seg-") && name.ends_with(".ndjson") && !live.contains(&*name);
-            if is_stale_segment || name.ends_with(".tmp") {
-                fs::remove_file(entry.path())?;
-                stats.files_removed += 1;
+        // Committed. The sweep of rotated-out segment files and stray
+        // tmps is best-effort: the manifest rename above was the commit
+        // point, so a sweep failure must not report the flush as failed
+        // (callers would skip work that depends on a committed snapshot,
+        // e.g. sdcimon's dedup-marks sidecar). Anything left behind is
+        // retried next flush and swept again at open.
+        if let Ok(entries) = fs::read_dir(&self.dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                let is_stale_segment =
+                    name.starts_with("seg-") && name.ends_with(".ndjson") && !live.contains(&*name);
+                if (is_stale_segment || name.ends_with(".tmp"))
+                    && fs::remove_file(entry.path()).is_ok()
+                {
+                    stats.files_removed += 1;
+                }
             }
         }
         Ok(stats)
@@ -205,16 +256,18 @@ impl SnapshotDir {
     ///
     /// The new layout is staged at `<legacy>.migrating` and only swapped
     /// into place once fully written, so a crash at any point leaves
-    /// either the legacy file or the complete directory — never neither.
+    /// either the legacy file or the complete staged directory: the
+    /// legacy file is not removed until the staging dir is fully
+    /// flushed, and a crash in the window between removing the file and
+    /// renaming the directory into place is repaired by
+    /// [`SnapshotDir::adopt_interrupted_migration`] on the next start.
     ///
     /// # Errors
     ///
     /// Propagates I/O failures; the legacy file is not removed unless
     /// the staged directory was fully flushed.
     pub fn migrate_legacy(legacy: &Path, store: &EventStore) -> io::Result<SnapshotDir> {
-        let mut staging = legacy.as_os_str().to_os_string();
-        staging.push(".migrating");
-        let staging = PathBuf::from(staging);
+        let staging = staging_path(legacy);
         if staging.exists() {
             // A previous migration died mid-way; its staging dir may be
             // incomplete, so rebuild it from scratch.
@@ -226,6 +279,40 @@ impl SnapshotDir {
         fs::rename(&staging, legacy)?;
         SnapshotDir::open(legacy)
     }
+
+    /// Repairs a [`SnapshotDir::migrate_legacy`] that crashed between
+    /// removing the legacy file and renaming the staged directory into
+    /// place: if nothing exists at `path` but a *complete*
+    /// `<path>.migrating` directory (one with a committed manifest)
+    /// does, it is renamed into place and `true` is returned.
+    ///
+    /// Call this before testing whether the snapshot path exists — a
+    /// restart that skips it would treat the crashed migration as a
+    /// fresh start and silently lose the retained window and sequence
+    /// numbering. An *incomplete* staging dir (no manifest) is left
+    /// alone: the legacy file was still present when that crash hit, so
+    /// it remains the source of truth and `migrate_legacy` will rebuild
+    /// the staging dir from it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the rename failure.
+    pub fn adopt_interrupted_migration(path: &Path) -> io::Result<bool> {
+        let staging = staging_path(path);
+        if path.exists() || !staging.join(MANIFEST_NAME).is_file() {
+            return Ok(false);
+        }
+        fs::rename(&staging, path)?;
+        Ok(true)
+    }
+}
+
+/// Where [`SnapshotDir::migrate_legacy`] stages the directory form of
+/// a legacy snapshot at `path`.
+fn staging_path(path: &Path) -> PathBuf {
+    let mut staging = path.as_os_str().to_os_string();
+    staging.push(".migrating");
+    PathBuf::from(staging)
 }
 
 fn segment_file_name(first_seq: u64, last_seq: u64) -> String {
@@ -238,6 +325,8 @@ fn segment_file_name(first_seq: u64, last_seq: u64) -> String {
 ///
 /// A directory restore preserves the snapshot's segment boundaries, so
 /// subsequent flushes keep reusing the segment files already on disk.
+/// A directory with no manifest — created, but no flush ever committed
+/// — restores as an empty store.
 ///
 /// # Errors
 ///
@@ -254,7 +343,19 @@ pub fn restore_snapshot(path: &Path, capacity: usize) -> io::Result<EventStore> 
 
 fn restore_dir(dir: &Path, capacity: usize) -> io::Result<EventStore> {
     let manifest_path = dir.join(MANIFEST_NAME);
-    let manifest: Manifest = serde_json::from_str(&fs::read_to_string(&manifest_path)?)
+    let json = match fs::read_to_string(&manifest_path) {
+        Ok(json) => json,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            // The directory exists but no flush ever committed (e.g. a
+            // crash before the first flush interval). The manifest is
+            // the commit point, so this is an empty snapshot, not
+            // corruption — restore a fresh store rather than refusing
+            // to start.
+            return Ok(EventStore::new(capacity));
+        }
+        Err(e) => return Err(e),
+    };
+    let manifest: Manifest = serde_json::from_str(&json)
         .map_err(|e| invalid(format!("corrupt snapshot manifest: {e}")))?;
     if manifest.version != MANIFEST_VERSION {
         return Err(invalid(format!(

@@ -262,6 +262,130 @@ fn tampered_segment_file_is_rejected() {
     assert!(err.to_string().contains(&name), "unhelpful error: {err}");
 }
 
+fn seg_file_name(first: u64, last: u64) -> String {
+    format!("seg-{first:020}-{last:020}.ndjson")
+}
+
+#[test]
+fn orphan_segment_file_from_a_crashed_flush_is_swept_not_reused() {
+    let scratch = Scratch::new("orphan");
+    // Capacity 2048 so a restored store seals at the default minimum of
+    // 64 events — the collision below needs the restarted store to seal
+    // the same seq range the crashed flush did.
+    let store = EventStore::with_segment_size(2048, 64);
+    for i in 1..=100 {
+        store.insert(sev(i, &format!("/committed/f{i}"))).unwrap();
+    }
+    // Committed state: segment [1-64], head 65..=100.
+    SnapshotDir::open(scratch.path()).unwrap().flush(&store).unwrap();
+
+    // Simulate a later flush crashing after writing the segment file
+    // for [65-128] but before the manifest rename, then a hard kill:
+    // the acked-but-unflushed events are lost (the documented
+    // durability window), and after restart their sequence numbers are
+    // reassigned to *different* events. The orphan holds the pre-crash
+    // events — same seqs and times, different paths — so reuse-by-name
+    // would silently resurrect them.
+    let collision = seg_file_name(65, 128);
+    let stale: String =
+        (65..=128).map(|i| serde_json::to_string(&sev(i, "/stale/f")).unwrap() + "\n").collect();
+    std::fs::write(scratch.path().join(&collision), stale).unwrap();
+
+    // Restart: restore the committed snapshot, reopen the directory.
+    let restored = restore_snapshot(scratch.path(), 2048).unwrap();
+    assert_eq!(restored.last_seq(), 100);
+    let dir = SnapshotDir::open(scratch.path()).unwrap();
+    assert!(
+        !scratch.path().join(&collision).exists(),
+        "open must sweep segment files the manifest does not reference"
+    );
+
+    // Re-ingest: seqs 101..=128 now carry different events, and sealing
+    // produces a segment whose name collides with the orphan's.
+    for i in 101..=128 {
+        restored.insert(sev(i, &format!("/fresh/f{i}"))).unwrap();
+    }
+    let stats = dir.flush(&restored).unwrap();
+    assert_eq!(stats.segments_written, 1, "the colliding segment must be written, not reused");
+    assert_eq!(stats.segments_reused, 1);
+
+    let roundtrip = restore_snapshot(scratch.path(), 2048).unwrap();
+    let all = roundtrip.query(&StoreQuery::after_seq(0));
+    assert_eq!(all.len(), 128);
+    assert!(
+        all.iter().all(|e| !e.event.path.starts_with("/stale")),
+        "restore resurrected events from the crashed flush's orphan file"
+    );
+    assert_eq!(
+        roundtrip.query(&StoreQuery::after_seq(100)),
+        restored.query(&StoreQuery::after_seq(100))
+    );
+}
+
+#[test]
+fn interrupted_migration_is_adopted() {
+    let scratch = Scratch::new("adopt");
+    let staging = PathBuf::from(format!("{}.migrating", scratch.path().display()));
+    let _ = std::fs::remove_dir_all(&staging);
+    let _staging_cleanup = Scratch(staging.clone());
+    let store = EventStore::with_segment_size(1000, 8);
+    for i in 1..=30 {
+        store.insert(sev(i, "/m/f")).unwrap();
+    }
+    // Stage the migration completely, then "crash" after the legacy
+    // file was removed but before the staging dir was renamed into
+    // place: nothing at the snapshot path, a complete dir beside it.
+    SnapshotDir::open(&staging).unwrap().flush(&store).unwrap();
+    assert!(!scratch.path().exists());
+
+    assert!(SnapshotDir::adopt_interrupted_migration(scratch.path()).unwrap());
+    assert!(scratch.path().is_dir());
+    assert!(!staging.exists());
+    let restored = restore_snapshot(scratch.path(), 1000).unwrap();
+    assert_eq!(restored.len(), 30);
+    assert_eq!(restored.last_seq(), 30, "sequence numbering survives the adopted migration");
+
+    // Idempotent once the snapshot path exists.
+    assert!(!SnapshotDir::adopt_interrupted_migration(scratch.path()).unwrap());
+}
+
+#[test]
+fn incomplete_staging_dir_is_not_adopted() {
+    let scratch = Scratch::new("no-adopt");
+    let staging = PathBuf::from(format!("{}.migrating", scratch.path().display()));
+    let _ = std::fs::remove_dir_all(&staging);
+    let _staging_cleanup = Scratch(staging.clone());
+    // No manifest: the crash hit before the staged flush committed, so
+    // the legacy file (wherever it is) is still the source of truth.
+    std::fs::create_dir_all(&staging).unwrap();
+    assert!(!SnapshotDir::adopt_interrupted_migration(scratch.path()).unwrap());
+    assert!(!scratch.path().exists());
+    assert!(staging.is_dir(), "incomplete staging dir is left for migrate_legacy to rebuild");
+}
+
+#[test]
+fn directory_without_manifest_restores_as_empty() {
+    let scratch = Scratch::new("no-manifest");
+    // A crash after the directory was created but before the first
+    // flush committed: no MANIFEST.json, possibly debris from the
+    // crashed flush itself.
+    std::fs::create_dir_all(scratch.path()).unwrap();
+    std::fs::write(scratch.path().join(seg_file_name(1, 8)), "not json\n").unwrap();
+    std::fs::write(scratch.path().join("head.ndjson.tmp"), "").unwrap();
+
+    let restored = restore_snapshot(scratch.path(), 100).unwrap();
+    assert!(restored.is_empty(), "a dir with no committed manifest is an empty snapshot");
+    assert_eq!(restored.last_seq(), 0);
+
+    // Reopening sweeps the debris, and the snapshot works from there.
+    let dir = SnapshotDir::open(scratch.path()).unwrap();
+    assert!(!scratch.path().join(seg_file_name(1, 8)).exists());
+    assert!(!scratch.path().join("head.ndjson.tmp").exists());
+    restored.insert(sev(1, "/n/f")).unwrap();
+    dir.flush(&restored).unwrap();
+    assert_eq!(restore_snapshot(scratch.path(), 100).unwrap().len(), 1);
+}
+
 #[test]
 fn legacy_single_file_snapshot_restores_and_migrates() {
     let scratch = Scratch::new("legacy");

@@ -147,6 +147,20 @@ fn run_aggregator(args: &[String]) -> Result<(), String> {
     // (manifest + per-segment files); a single-file NDJSON snapshot from
     // an older deployment is restored too, then migrated in place.
     let mut snapshot_dir = None;
+    // A legacy-file migration that crashed between its remove and
+    // rename steps leaves the finished directory at DIR.migrating and
+    // nothing at DIR; adopt it before the exists() check below, which
+    // would otherwise mistake the crash for a fresh start.
+    if let Some(path) = &snapshot {
+        match SnapshotDir::adopt_interrupted_migration(path) {
+            Ok(true) => eprintln!(
+                "sdcimon aggregator: adopted interrupted snapshot migration at {}",
+                path.display()
+            ),
+            Ok(false) => {}
+            Err(e) => return Err(format!("adopt migration {}: {e}", path.display())),
+        }
+    }
     let restored = match &snapshot {
         Some(path) if path.exists() => {
             let store = restore_snapshot(path, store_capacity)
