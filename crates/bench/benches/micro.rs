@@ -40,6 +40,7 @@ fn file_event(i: u64) -> FileEvent {
         src_path: None,
         target: Fid::new(0x100, i as u32, 0),
         is_dir: false,
+        extracted_unix_ns: None,
     }
 }
 

@@ -22,6 +22,7 @@ fn sev(seq: u64) -> SequencedEvent {
             src_path: None,
             target: Fid::new(0x100, seq as u32, 0),
             is_dir: false,
+            extracted_unix_ns: None,
         },
     }
 }

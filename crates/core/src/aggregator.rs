@@ -139,11 +139,26 @@ impl Aggregator {
                         Some(msg) => {
                             seq += 1;
                             stats.received.fetch_add(1, Ordering::Relaxed);
+                            sdci_obs::static_metric!(counter, "sdci_aggregator_received_total")
+                                .inc();
                             let sev = SequencedEvent { seq, event: msg.payload };
                             store
                                 .insert(sev.clone())
                                 .expect("aggregator assigns dense increasing sequence numbers");
                             stats.stored.fetch_add(1, Ordering::Relaxed);
+                            sdci_obs::static_metric!(counter, "sdci_aggregator_stored_total").inc();
+                            // Extract -> resolve -> publish -> store-insert:
+                            // the first half of the paper's Fig. 5/6 e2e
+                            // latency, measured against the collector's
+                            // wall-clock stamp (same host).
+                            if let Some(extracted) = sev.event.extracted_unix_ns {
+                                let now = sdci_obs::unix_now_ns();
+                                sdci_obs::static_metric!(
+                                    histogram,
+                                    "sdci_e2e_store_insert_latency_seconds"
+                                )
+                                .observe_ns(now.saturating_sub(extracted));
+                            }
                             last_seq.store(seq, Ordering::Relaxed);
                             if !to_publish.send(sev) {
                                 break; // publisher gone
@@ -175,6 +190,8 @@ impl Aggregator {
                         Some(sev) => {
                             publisher.publish("feed/all", FeedMessage::Event(sev));
                             stats.published.fetch_add(1, Ordering::Relaxed);
+                            sdci_obs::static_metric!(counter, "sdci_aggregator_published_total")
+                                .inc();
                         }
                         None => {
                             if stop.load(Ordering::Relaxed) {
@@ -254,6 +271,7 @@ mod tests {
             src_path: None,
             target: Fid::new(1, i as u32, 0),
             is_dir: false,
+            extracted_unix_ns: None,
         }
     }
 

@@ -153,16 +153,34 @@ impl<P: Publish<FileEvent>> Collector<P> {
         if batch.is_empty() {
             return 0;
         }
+        // Wall-clock extraction stamp: travels inside each event so the
+        // aggregator/consumer processes can measure e2e latency.
+        let extracted_ns = sdci_obs::unix_now_ns();
         self.stats.extracted += batch.len() as u64;
+        sdci_obs::static_metric!(counter, "sdci_collector_extracted_total").add(batch.len() as u64);
         for record in &batch {
             self.last_seen = record.index;
-            match self.process(record) {
+            let resolve_timer =
+                sdci_obs::static_metric!(histogram, "sdci_collector_resolve_latency_seconds")
+                    .start_timer();
+            let processed = self.process(record);
+            resolve_timer.observe();
+            match processed {
                 Some(event) => {
                     self.stats.processed += 1;
-                    self.publisher.publish(&format!("events/mdt{}", self.mdt.as_u32()), event);
+                    sdci_obs::static_metric!(counter, "sdci_collector_processed_total").inc();
+                    self.publisher.publish(
+                        &format!("events/mdt{}", self.mdt.as_u32()),
+                        event.with_extracted_unix_ns(extracted_ns),
+                    );
                     self.stats.published += 1;
+                    sdci_obs::static_metric!(counter, "sdci_collector_published_total").inc();
                 }
-                None => self.stats.resolution_failures += 1,
+                None => {
+                    self.stats.resolution_failures += 1;
+                    sdci_obs::static_metric!(counter, "sdci_collector_resolution_failures_total")
+                        .inc();
+                }
             }
         }
         self.unacked += batch.len();
@@ -182,10 +200,12 @@ impl<P: Publish<FileEvent>> Collector<P> {
         let parent_path = match self.cache.get(record.parent) {
             Some(path) => {
                 self.stats.cache_hits += 1;
+                sdci_obs::static_metric!(counter, "sdci_collector_cache_hits_total").inc();
                 path
             }
             None => {
                 self.stats.fid2path_calls += 1;
+                sdci_obs::static_metric!(counter, "sdci_collector_fid2path_calls_total").inc();
                 let resolved = {
                     let guard = self.fs.lock();
                     guard.fid2path(record.parent)

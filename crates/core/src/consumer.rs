@@ -121,6 +121,13 @@ impl<F: Subscribe<FeedMessage>, R: StoreReader> EventConsumer<F, R> {
             }
             _ => {
                 self.stats.delivered += 1;
+                sdci_obs::static_metric!(counter, "sdci_consumer_delivered_total").inc();
+                // Extract -> consumer-delivery: the full Fig. 5/6 e2e
+                // latency, against the collector's wall-clock stamp.
+                if let Some(extracted) = ev.extracted_unix_ns {
+                    sdci_obs::static_metric!(histogram, "sdci_e2e_delivery_latency_seconds")
+                        .observe_ns(sdci_obs::unix_now_ns().saturating_sub(extracted));
+                }
                 Some(ev)
             }
         }
@@ -146,7 +153,9 @@ impl<F: Subscribe<FeedMessage>, R: StoreReader> EventConsumer<F, R> {
             } else {
                 // Rotated out of the store: acknowledge the loss and move
                 // on rather than stalling forever.
-                self.stats.lost += front.seq - self.next_seq;
+                let lost = front.seq - self.next_seq;
+                self.stats.lost += lost;
+                sdci_obs::static_metric!(counter, "sdci_consumer_lost_total").add(lost);
                 self.next_seq = front.seq;
                 self.pop_ready()
             }
@@ -179,11 +188,15 @@ impl<F: Subscribe<FeedMessage>, R: StoreReader> EventConsumer<F, R> {
         let missing =
             self.store.query(&StoreQuery::after_seq(horizon).limit((last_seq - horizon) as usize));
         self.stats.recovered += missing.len() as u64;
+        sdci_obs::static_metric!(counter, "sdci_consumer_recovered_total")
+            .add(missing.len() as u64);
         self.backlog.extend(missing);
         // Whatever the store no longer retains is gone for good.
         let recovered_to = self.backlog.back().map_or(self.next_seq - 1, |b| b.seq);
         if recovered_to < last_seq {
             self.stats.lost += last_seq - recovered_to;
+            sdci_obs::static_metric!(counter, "sdci_consumer_lost_total")
+                .add(last_seq - recovered_to);
             if self.backlog.is_empty() {
                 self.next_seq = last_seq + 1;
             }
@@ -199,6 +212,8 @@ impl<F: Subscribe<FeedMessage>, R: StoreReader> EventConsumer<F, R> {
         let recovered: Vec<SequencedEvent> =
             missing.into_iter().filter(|e| e.seq < up_to).collect();
         self.stats.recovered += recovered.len() as u64;
+        sdci_obs::static_metric!(counter, "sdci_consumer_recovered_total")
+            .add(recovered.len() as u64);
         for sev in recovered.into_iter().rev() {
             self.backlog.push_front(sev);
         }
@@ -237,6 +252,7 @@ mod tests {
                 src_path: None,
                 target: Fid::new(1, seq as u32, 0),
                 is_dir: false,
+                extracted_unix_ns: None,
             },
         }
     }

@@ -52,11 +52,20 @@ impl fmt::Display for IntervalRates {
     }
 }
 
+/// Default bound on retained samples: enough for ~17 minutes at a 1 s
+/// cadence while keeping a long-running aggregator's memory flat.
+pub const DEFAULT_SAMPLE_CAPACITY: usize = 1024;
+
 /// Collects [`MetricsSample`]s and derives interval rates.
+///
+/// Retention is bounded: once `capacity` samples are held, recording a
+/// new one drops the oldest (ring-buffer semantics), so a long-running
+/// aggregator's recorder does not grow without limit.
 #[derive(Debug)]
 pub struct MetricsRecorder {
     started: Instant,
-    samples: Vec<MetricsSample>,
+    samples: std::collections::VecDeque<MetricsSample>,
+    capacity: usize,
 }
 
 impl Default for MetricsRecorder {
@@ -66,19 +75,45 @@ impl Default for MetricsRecorder {
 }
 
 impl MetricsRecorder {
-    /// An empty recorder anchored at the current instant.
+    /// An empty recorder anchored at the current instant, retaining at
+    /// most [`DEFAULT_SAMPLE_CAPACITY`] samples.
     pub fn new() -> Self {
-        MetricsRecorder { started: Instant::now(), samples: Vec::new() }
+        Self::with_capacity(DEFAULT_SAMPLE_CAPACITY)
+    }
+
+    /// An empty recorder retaining at most `capacity` samples
+    /// (minimum 2, so interval rates stay derivable).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(2);
+        MetricsRecorder {
+            started: Instant::now(),
+            samples: std::collections::VecDeque::with_capacity(capacity),
+            capacity,
+        }
     }
 
     /// Records a snapshot (call on whatever cadence the operator wants).
+    /// At capacity, the oldest sample is dropped.
     pub fn record(&mut self, stats: ClusterStats) {
-        self.samples.push(MetricsSample { at: self.started.elapsed(), stats });
+        if self.samples.len() == self.capacity {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(MetricsSample { at: self.started.elapsed(), stats });
     }
 
-    /// The recorded samples, oldest first.
-    pub fn samples(&self) -> &[MetricsSample] {
-        &self.samples
+    /// The retained samples, oldest first.
+    pub fn samples(&self) -> impl Iterator<Item = &MetricsSample> {
+        self.samples.iter()
+    }
+
+    /// How many samples are currently retained.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples have been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
     }
 
     /// Rates between consecutive samples `i-1` and `i`.
@@ -115,12 +150,21 @@ impl MetricsRecorder {
 
     /// The historic store's counters at the latest sample.
     pub fn latest_store_stats(&self) -> Option<StoreStats> {
-        self.samples.last().map(|s| s.stats.store)
+        self.samples.back().map(|s| s.stats.store)
     }
 
     /// Aggregate cache hit rate at the latest sample, `[0, 1]`.
+    ///
+    /// The denominator is the total number of *resolutions attempted*:
+    /// `cache_hits + fid2path_calls`. These two counters are disjoint by
+    /// construction — `Collector::process` increments `fid2path_calls`
+    /// **only on a cache miss** (it is the count of fallback `fid2path`
+    /// RPCs, not of all lookups), and `cache_hits` only on a hit — so
+    /// the sum does not double-count and the ratio is the true hit
+    /// fraction. A resolution that misses the cache counts once, under
+    /// `fid2path_calls`, whether or not the RPC then succeeds.
     pub fn cache_hit_rate(&self) -> f64 {
-        let Some(sample) = self.samples.last() else {
+        let Some(sample) = self.samples.back() else {
             return 0.0;
         };
         let hits: u64 = sample.stats.collectors.iter().map(|c| c.cache_hits).sum();
@@ -189,6 +233,91 @@ mod tests {
         assert_eq!(recorder.cache_hit_rate(), 0.0);
         recorder.record(stats(100, 100, 100));
         assert!((recorder.cache_hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn samples_are_bounded_by_a_ring_buffer() {
+        let mut recorder = MetricsRecorder::with_capacity(4);
+        for i in 0..10 {
+            recorder.record(stats(i, i, i));
+        }
+        assert_eq!(recorder.len(), 4, "capacity caps retention");
+        let extracted: Vec<u64> =
+            recorder.samples().map(|s| s.stats.collectors[0].extracted).collect();
+        assert_eq!(extracted, vec![6, 7, 8, 9], "oldest samples dropped first");
+        // Rates still derive over the retained window.
+        assert!(recorder.rates_at(1).is_some() || recorder.samples().count() < 2);
+        // Default capacity is the documented 1024.
+        let mut big = MetricsRecorder::new();
+        for i in 0..(DEFAULT_SAMPLE_CAPACITY as u64 + 100) {
+            big.record(stats(i, i, i));
+        }
+        assert_eq!(big.len(), DEFAULT_SAMPLE_CAPACITY);
+    }
+
+    #[test]
+    fn cache_hit_rate_denominator_is_attempted_resolutions() {
+        // Pin the semantics: `fid2path_calls` counts ONLY cache misses
+        // (see `Collector::process`), so hits/(hits + fid2path_calls)
+        // is hits over total attempts — 30 hits out of 40 lookups is
+        // 0.75, not 30/(30+40) as it would be if the denominator
+        // double-counted hits.
+        let mut recorder = MetricsRecorder::new();
+        let mut s = stats(100, 100, 100);
+        s.collectors[0].cache_hits = 30;
+        s.collectors[0].fid2path_calls = 10;
+        recorder.record(s);
+        assert!((recorder.cache_hit_rate() - 0.75).abs() < 1e-9);
+
+        // All misses -> 0; all hits -> 1.
+        let mut recorder = MetricsRecorder::new();
+        let mut s = stats(10, 10, 10);
+        s.collectors[0].cache_hits = 0;
+        s.collectors[0].fid2path_calls = 10;
+        recorder.record(s);
+        assert_eq!(recorder.cache_hit_rate(), 0.0);
+        let mut s = stats(10, 10, 10);
+        s.collectors[0].cache_hits = 10;
+        s.collectors[0].fid2path_calls = 0;
+        recorder.record(s);
+        assert_eq!(recorder.cache_hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn cache_hit_rate_matches_a_live_collector() {
+        // End-to-end pin against the real Collector counters: 1 fid2path
+        // call (the root, cold) + 20 sibling hits -> 20/21.
+        use crate::config::MonitorConfig;
+        use lustre_sim::{LustreConfig, LustreFs};
+        use parking_lot::Mutex;
+        use sdci_mq::pubsub::Broker;
+        use sdci_types::{FileEvent, MdtIndex, SimTime};
+        use std::sync::Arc;
+
+        let fs = Arc::new(Mutex::new(LustreFs::new(LustreConfig::aws_testbed())));
+        let broker: Broker<FileEvent> = Broker::new(65_536);
+        let _sub = broker.subscribe(&["events/"]);
+        let mut collector = crate::collector::Collector::new(
+            Arc::clone(&fs),
+            MdtIndex::new(0),
+            broker.publisher(),
+            MonitorConfig::default(),
+        );
+        {
+            let mut guard = fs.lock();
+            guard.mkdir("/d", SimTime::from_secs(0)).unwrap();
+            for i in 0..20 {
+                guard.create(format!("/d/f{i}"), SimTime::from_secs(1)).unwrap();
+            }
+        }
+        while collector.run_once() > 0 {}
+        let mut recorder = MetricsRecorder::new();
+        recorder.record(ClusterStats {
+            collectors: vec![collector.stats()],
+            aggregator: AggregatorSnapshot::default(),
+            store: StoreStats::default(),
+        });
+        assert!((recorder.cache_hit_rate() - 20.0 / 21.0).abs() < 1e-9);
     }
 
     #[test]

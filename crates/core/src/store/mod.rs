@@ -210,6 +210,7 @@ struct Chain {
 ///             src_path: None,
 ///             target: Fid::ZERO,
 ///             is_dir: false,
+///             extracted_unix_ns: None,
 ///         },
 ///     })
 ///     .unwrap();
@@ -301,6 +302,9 @@ impl EventStore {
             self.rotate_one(&mut head);
             len = self.len.fetch_sub(1, Ordering::Relaxed) - 1;
         }
+        sdci_obs::static_metric!(gauge, "sdci_store_head_events").set(head.events.len() as i64);
+        sdci_obs::static_metric!(gauge, "sdci_store_resident_bytes")
+            .set(self.bytes.load(Ordering::Relaxed) as i64);
         Ok(())
     }
 
@@ -311,7 +315,9 @@ impl EventStore {
         }
         let events: Vec<SequencedEvent> = head.events.drain(..).collect();
         head.bytes = 0;
-        self.sealed.write().segs.push_back(Arc::new(Segment::build(events)));
+        let mut chain = self.sealed.write();
+        chain.segs.push_back(Arc::new(Segment::build(events)));
+        sdci_obs::static_metric!(gauge, "sdci_store_segments").set(chain.segs.len() as i64);
     }
 
     /// Rotates the single oldest retained event out: advance the chain's
@@ -328,6 +334,8 @@ impl EventStore {
                     if chain.trim == front_len {
                         chain.segs.pop_front();
                         chain.trim = 0;
+                        sdci_obs::static_metric!(gauge, "sdci_store_segments")
+                            .set(chain.segs.len() as i64);
                     }
                     Some(footprint)
                 }
@@ -694,6 +702,7 @@ mod tests {
                 src_path: None,
                 target: Fid::new(1, seq as u32, 0),
                 is_dir: false,
+                extracted_unix_ns: None,
             },
         }
     }

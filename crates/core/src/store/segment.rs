@@ -188,6 +188,7 @@ mod tests {
                 src_path: None,
                 target: Fid::new(1, seq as u32, 0),
                 is_dir: false,
+                extracted_unix_ns: None,
             },
         }
     }

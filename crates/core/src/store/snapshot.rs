@@ -173,6 +173,8 @@ impl SnapshotDir {
     }
 
     pub(crate) fn flush_state(&self, state: &StoreState) -> io::Result<FlushStats> {
+        let _flush_timer =
+            sdci_obs::static_metric!(histogram, "sdci_store_flush_seconds").start_timer();
         let mut stats = FlushStats::default();
         let mut live: HashSet<String> = HashSet::new();
         let mut manifest_segs = Vec::with_capacity(state.segs.len());

@@ -235,6 +235,7 @@ fn pull_accept_loop<T>(
         match listener.accept() {
             Ok((stream, _peer)) => {
                 counters.accepted.fetch_add(1, Ordering::Relaxed);
+                sdci_obs::static_metric!(counter, "sdci_net_pull_accepted_total").inc();
                 let push = push.clone();
                 let seen = Arc::clone(&seen);
                 let cfg = cfg.clone();
@@ -330,8 +331,10 @@ fn serve_pusher<T>(
                         }
                         *m = seq;
                         counters.items.fetch_add(1, Ordering::Relaxed);
+                        sdci_obs::static_metric!(counter, "sdci_net_pull_items_total").inc();
                     } else {
                         counters.duplicates.fetch_add(1, Ordering::Relaxed);
+                        sdci_obs::static_metric!(counter, "sdci_net_dedup_hits_total").inc();
                     }
                     *m
                 };
@@ -480,22 +483,29 @@ fn push_worker<T>(
 {
     let window = cfg.window.max(1);
     let mut backoff = Backoff::new(cfg.retry);
-    let mut unacked: VecDeque<(u64, T)> = VecDeque::new();
+    // Each entry carries its last transmission instant, so an ack's
+    // round-trip is measured against the send (or resend) it answers.
+    let mut unacked: VecDeque<(u64, T, Instant)> = VecDeque::new();
     let mut next_seq: u64 = 1;
     let mut last_acked: u64 = 0;
     let mut senders_gone = false;
 
-    let ack_up_to =
-        |up_to: u64, unacked: &mut VecDeque<(u64, T)>, last_acked: &mut u64, state: &PushState| {
-            while unacked.front().is_some_and(|(seq, _)| *seq <= up_to) {
-                unacked.pop_front();
-                state.pending.fetch_sub(1, Ordering::Relaxed);
-                state.acked.fetch_add(1, Ordering::Relaxed);
+    let ack_up_to = |up_to: u64,
+                     unacked: &mut VecDeque<(u64, T, Instant)>,
+                     last_acked: &mut u64,
+                     state: &PushState| {
+        while unacked.front().is_some_and(|(seq, _, _)| *seq <= up_to) {
+            if let Some((_, _, sent_at)) = unacked.pop_front() {
+                sdci_obs::static_metric!(histogram, "sdci_net_ack_rtt_seconds")
+                    .observe_duration(sent_at.elapsed());
             }
-            if up_to > *last_acked {
-                *last_acked = up_to;
-            }
-        };
+            state.pending.fetch_sub(1, Ordering::Relaxed);
+            state.acked.fetch_add(1, Ordering::Relaxed);
+        }
+        if up_to > *last_acked {
+            *last_acked = up_to;
+        }
+    };
 
     'reconnect: loop {
         // `senders_gone` is only set once the queue reported
@@ -561,14 +571,18 @@ fn push_worker<T>(
             ack_up_to(server_mark, &mut unacked, &mut last_acked, &state);
         }
         // Re-send everything the server has not seen.
-        for (seq, item) in &unacked {
+        sdci_obs::static_metric!(counter, "sdci_net_push_resends_total").add(unacked.len() as u64);
+        for (seq, item, sent_at) in unacked.iter_mut() {
+            *sent_at = Instant::now();
             let frame = Frame::Item { seq: *seq, payload: item.clone() };
             if write_msg(&mut writer, &frame).is_err() {
                 backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
                 continue 'reconnect;
             }
         }
-        state.connections.fetch_add(1, Ordering::Relaxed);
+        if state.connections.fetch_add(1, Ordering::Relaxed) > 0 {
+            sdci_obs::static_metric!(counter, "sdci_net_pusher_reconnects_total").inc();
+        }
         let mut last_write = Instant::now();
         let mut last_traffic = Instant::now();
         loop {
@@ -579,7 +593,7 @@ fn push_worker<T>(
                     Ok(item) => {
                         let seq = next_seq;
                         next_seq += 1;
-                        unacked.push_back((seq, item.clone()));
+                        unacked.push_back((seq, item.clone(), Instant::now()));
                         let frame = Frame::Item { seq, payload: item };
                         if write_msg(&mut writer, &frame).is_err() {
                             backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
@@ -607,7 +621,7 @@ fn push_worker<T>(
                     Ok(item) => {
                         let seq = next_seq;
                         next_seq += 1;
-                        unacked.push_back((seq, item.clone()));
+                        unacked.push_back((seq, item.clone(), Instant::now()));
                         let frame = Frame::Item { seq, payload: item };
                         if write_msg(&mut writer, &frame).is_err() {
                             backoff.sleep_after_failure(session.elapsed(), cfg.liveness);

@@ -378,8 +378,12 @@ where
     /// Publishes without blocking; sheds (and counts) when the outbound
     /// queue is at its high-water mark.
     pub fn publish(&self, topic: &str, payload: T) {
+        sdci_obs::static_metric!(counter, "sdci_net_publish_total").inc();
         if self.tx.try_send((topic.to_string(), payload)).is_err() {
             self.counters.dropped.fetch_add(1, Ordering::Relaxed);
+            sdci_obs::registry()
+                .counter_with("sdci_net_pub_dropped_total", &[("topic", topic)])
+                .inc();
         }
     }
 
@@ -433,7 +437,9 @@ fn publisher_worker<T: Serialize + Send + 'static>(
             backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
             continue;
         }
-        counters.connections.fetch_add(1, Ordering::Relaxed);
+        if counters.connections.fetch_add(1, Ordering::Relaxed) > 0 {
+            sdci_obs::static_metric!(counter, "sdci_net_publisher_reconnects_total").inc();
+        }
         loop {
             match rx.recv_timeout(cfg.heartbeat) {
                 Ok((topic, payload)) => {
@@ -441,6 +447,7 @@ fn publisher_worker<T: Serialize + Send + 'static>(
                     if write_msg(&mut stream, &frame).is_err() {
                         // The frame is lost with the link: lossy leg.
                         counters.dropped.fetch_add(1, Ordering::Relaxed);
+                        sdci_obs::static_metric!(counter, "sdci_net_pub_link_lost_total").inc();
                         backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
                         continue 'reconnect;
                     }
@@ -578,7 +585,9 @@ fn subscriber_worker<T: Serialize + Deserialize + Send + 'static>(
             backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
             continue;
         }
-        counters.connections.fetch_add(1, Ordering::Relaxed);
+        if counters.connections.fetch_add(1, Ordering::Relaxed) > 0 {
+            sdci_obs::static_metric!(counter, "sdci_net_subscriber_reconnects_total").inc();
+        }
         // Timeout-tolerant reads: the heartbeat read timeout must not
         // desynchronize the stream when it fires mid-frame.
         let mut reader = FrameReader::new(stream);
@@ -589,8 +598,14 @@ fn subscriber_worker<T: Serialize + Deserialize + Send + 'static>(
                     last_traffic = Instant::now();
                     match tx.try_send(Message { topic, payload }) {
                         Ok(()) => {}
-                        Err(crossbeam_channel::TrySendError::Full(_)) => {
+                        Err(crossbeam_channel::TrySendError::Full(msg)) => {
                             counters.dropped.fetch_add(1, Ordering::Relaxed);
+                            sdci_obs::registry()
+                                .counter_with(
+                                    "sdci_net_sub_dropped_total",
+                                    &[("topic", &msg.topic)],
+                                )
+                                .inc();
                         }
                         Err(crossbeam_channel::TrySendError::Disconnected(_)) => return,
                     }

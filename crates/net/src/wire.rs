@@ -181,7 +181,11 @@ pub fn write_msg<M: Serialize>(w: &mut impl Write, msg: &M) -> io::Result<()> {
     let len = u32::try_from(bytes.len()).map_err(|_| invalid("frame exceeds u32 length prefix"))?;
     w.write_all(&len.to_be_bytes())?;
     w.write_all(bytes)?;
-    w.flush()
+    w.flush()?;
+    sdci_obs::static_metric!(counter, "sdci_net_frames_out_total").inc();
+    sdci_obs::static_metric!(counter, "sdci_net_bytes_out_total")
+        .add((FRAME_HEADER_LEN + bytes.len()) as u64);
+    Ok(())
 }
 
 /// Reads one length-prefixed message.
@@ -205,6 +209,9 @@ pub fn read_msg<M: Deserialize>(r: &mut impl Read) -> io::Result<M> {
     }
     let mut body = vec![0u8; len];
     r.read_exact(&mut body)?;
+    sdci_obs::static_metric!(counter, "sdci_net_frames_in_total").inc();
+    sdci_obs::static_metric!(counter, "sdci_net_bytes_in_total")
+        .add((FRAME_HEADER_LEN + len) as u64);
     let text = std::str::from_utf8(&body).map_err(invalid)?;
     serde_json::from_str(text).map_err(invalid)
 }
@@ -274,6 +281,9 @@ impl<R: Read> FrameReader<R> {
                 }
             }
             if self.have_header {
+                sdci_obs::static_metric!(counter, "sdci_net_frames_in_total").inc();
+                sdci_obs::static_metric!(counter, "sdci_net_bytes_in_total")
+                    .add(self.buf.len() as u64);
                 let result = std::str::from_utf8(&self.buf[FRAME_HEADER_LEN..])
                     .map_err(invalid)
                     .and_then(|text| serde_json::from_str(text).map_err(invalid));
@@ -311,6 +321,7 @@ mod tests {
             src_path: None,
             target: Fid::new(1, i as u32, 0),
             is_dir: false,
+            extracted_unix_ns: None,
         }
     }
 

@@ -31,6 +31,7 @@ fn event(i: u64) -> FileEvent {
         src_path: None,
         target: Fid::new(1, i as u32, 0),
         is_dir: false,
+        extracted_unix_ns: None,
     }
 }
 

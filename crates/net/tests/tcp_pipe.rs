@@ -261,3 +261,60 @@ fn two_pushers_multiplex_without_crosstalk() {
     assert_eq!(odds, (0..N).map(|i| i * 2 + 1).collect::<Vec<_>>());
     server.shutdown();
 }
+
+#[test]
+fn server_stats_stay_exact_across_an_abrupt_pusher_death_and_resend() {
+    let cfg = fast_cfg();
+    let server = TcpPullServer::<u64>::bind("127.0.0.1:0", 64, cfg).unwrap();
+
+    // First incarnation: delivers items 1..=5, then dies mid-stream
+    // (socket dropped with no Fin), as a SIGKILLed collector would.
+    {
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        write_msg(&mut writer, &Frame::<u64>::HelloPush { client: "c".into(), resume_after: 0 })
+            .unwrap();
+        assert_eq!(read_msg::<Frame<u64>>(&mut reader).unwrap(), Frame::Ack { up_to: 0 });
+        for seq in 1..=5u64 {
+            write_msg(&mut writer, &Frame::<u64>::Item { seq, payload: seq }).unwrap();
+            assert_eq!(read_msg::<Frame<u64>>(&mut reader).unwrap(), Frame::Ack { up_to: seq });
+        }
+    }
+
+    // Second incarnation restarts from a stale checkpoint (acks only
+    // recorded through 2) and resends 3..=5 before new items 6..=7. The
+    // server's counters must attribute the overlap to `duplicates` and
+    // keep `items` exactly equal to what the pipeline received.
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    write_msg(&mut writer, &Frame::<u64>::HelloPush { client: "c".into(), resume_after: 2 })
+        .unwrap();
+    // The handshake ack fast-forwards the restarted pusher to the
+    // server's authoritative mark.
+    assert_eq!(read_msg::<Frame<u64>>(&mut reader).unwrap(), Frame::Ack { up_to: 5 });
+    for seq in 3..=7u64 {
+        write_msg(&mut writer, &Frame::<u64>::Item { seq, payload: seq }).unwrap();
+        let expect = seq.max(5);
+        assert_eq!(read_msg::<Frame<u64>>(&mut reader).unwrap(), Frame::Ack { up_to: expect });
+    }
+    write_msg(&mut writer, &Frame::<u64>::Fin).unwrap();
+
+    let pull = server.pull();
+    let mut got = Vec::new();
+    while let Some(item) = pull.recv_timeout(Duration::from_secs(2)) {
+        got.push(item);
+        if got.len() == 7 {
+            break;
+        }
+    }
+    assert_eq!(got, (1..=7).collect::<Vec<_>>(), "pipeline saw a duplicate or a gap");
+
+    let stats = server.stats();
+    assert_eq!(stats.accepted, 2, "one original connection plus one reconnect");
+    assert_eq!(stats.items, 7, "exactly the de-duplicated item count");
+    assert_eq!(stats.duplicates, 3, "the 3..=5 overlap, nothing else");
+    assert_eq!(server.marks().get("c"), Some(&7));
+    server.shutdown();
+}

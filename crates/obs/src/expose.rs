@@ -1,0 +1,197 @@
+//! A minimal HTTP/1.1 responder serving the metrics registry in
+//! Prometheus text exposition format.
+//!
+//! Hand-rolled over `std::net::TcpListener` — the build is `--offline`,
+//! so no hyper/axum. GET-only, `Connection: close`, one thread, one
+//! connection at a time: a scrape every few seconds is the entire
+//! expected load.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Longest request head we will buffer before giving up on a client.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// A background thread serving `GET /metrics` (and `GET /`) with the
+/// global registry rendered as Prometheus text format.
+///
+/// The listener is bound synchronously in [`MetricsServer::bind`] — once
+/// it returns, the port is scrapeable. Dropping the server stops the
+/// accept loop and joins the thread.
+pub struct MetricsServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` and starts the accept loop.
+    pub fn bind(addr: impl ToSocketAddrs) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        // Nonblocking accept + short sleep lets the loop notice the
+        // stop flag promptly without platform-specific wakeups.
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("sdci-metrics-http".into())
+            .spawn(move || accept_loop(listener, thread_stop))?;
+        Ok(MetricsServer { local_addr, stop, handle: Some(handle) })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops the accept loop and joins the serving thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: TcpListener, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Serve inline: scrapes are rare and the response is
+                // small, so a second thread buys nothing.
+                let _ = serve_connection(stream);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn serve_connection(mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+
+    // Read until the end of the request head; the body (if any) is
+    // irrelevant for GET and we never read it.
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 512];
+    while !head_complete(&head) {
+        if head.len() > MAX_REQUEST_BYTES {
+            return respond(&mut stream, "400 Bad Request", "request head too large\n");
+        }
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Ok(()); // client went away
+        }
+        head.extend_from_slice(&buf[..n]);
+    }
+
+    let request_line = head
+        .split(|&b| b == b'\n')
+        .next()
+        .map(|l| String::from_utf8_lossy(l).trim_end().to_string())
+        .unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+
+    if method != "GET" {
+        return respond(&mut stream, "405 Method Not Allowed", "GET only\n");
+    }
+    match path {
+        "/" | "/metrics" => {
+            let body = crate::metrics::registry().render_prometheus();
+            let mut response = String::with_capacity(body.len() + 128);
+            response.push_str("HTTP/1.1 200 OK\r\n");
+            response.push_str("Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n");
+            response.push_str(&format!("Content-Length: {}\r\n", body.len()));
+            response.push_str("Connection: close\r\n\r\n");
+            response.push_str(&body);
+            stream.write_all(response.as_bytes())
+        }
+        _ => respond(&mut stream, "404 Not Found", "try /metrics\n"),
+    }
+}
+
+fn head_complete(head: &[u8]) -> bool {
+    head.windows(4).any(|w| w == b"\r\n\r\n") || head.windows(2).any(|w| w == b"\n\n")
+}
+
+fn respond(stream: &mut TcpStream, status: &str, body: &str) -> std::io::Result<()> {
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+
+    fn http_get(addr: SocketAddr, path: &str, method: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(format!("{method} {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut status = String::new();
+        reader.read_line(&mut status).unwrap();
+        let mut body = String::new();
+        // Skip headers, then read to EOF (Connection: close).
+        let mut line = String::new();
+        while reader.read_line(&mut line).unwrap() > 0 {
+            if line == "\r\n" || line == "\n" {
+                break;
+            }
+            line.clear();
+        }
+        reader.read_to_string(&mut body).unwrap();
+        (status.trim_end().to_string(), body)
+    }
+
+    #[test]
+    fn serves_prometheus_text_and_handles_bad_requests() {
+        crate::metrics::registry().counter("sdci_obs_test_http_total").add(9);
+        let server = MetricsServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+
+        let (status, body) = http_get(addr, "/metrics", "GET");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("sdci_obs_test_http_total 9"), "{body}");
+
+        let (status, _) = http_get(addr, "/", "GET");
+        assert!(status.contains("200"), "{status}");
+
+        let (status, _) = http_get(addr, "/nope", "GET");
+        assert!(status.contains("404"), "{status}");
+
+        let (status, _) = http_get(addr, "/metrics", "POST");
+        assert!(status.contains("405"), "{status}");
+
+        server.shutdown();
+        // Port is released after shutdown: a fresh connect fails or the
+        // bind succeeds again.
+        assert!(MetricsServer::bind(addr).is_ok());
+    }
+}

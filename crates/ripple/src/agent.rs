@@ -88,6 +88,8 @@ impl WatchdogSource {
             src_path: None,
             target: Fid::ZERO,
             is_dir: ev.is_dir,
+            // The watchdog source is itself an extraction point.
+            extracted_unix_ns: Some(sdci_obs::unix_now_ns()),
         }
     }
 }
@@ -286,12 +288,16 @@ impl Agent {
         let triggers = self.triggers.lock();
         let mut stats = self.stats.lock();
         stats.detected += events.len() as u64;
+        sdci_obs::static_metric!(counter, "sdci_ripple_events_detected_total")
+            .add(events.len() as u64);
         let mut relevant = Vec::new();
         for event in events {
             if triggers.iter().any(|t| t.matches(&self.id, &event)) {
+                sdci_obs::static_metric!(counter, "sdci_ripple_rule_matches_total").inc();
                 relevant.push(event);
             } else {
                 stats.filtered_out += 1;
+                sdci_obs::static_metric!(counter, "sdci_ripple_filtered_out_total").inc();
             }
         }
         stats.reported += relevant.len() as u64;
@@ -312,10 +318,19 @@ impl Agent {
         let outcome = self.execute_inner(request, registry, now);
         {
             let mut stats = self.stats.lock();
-            match outcome {
-                ActionOutcome::Success => stats.actions_succeeded += 1,
-                ActionOutcome::Failed(_) => stats.actions_failed += 1,
-            }
+            let outcome_label = match outcome {
+                ActionOutcome::Success => {
+                    stats.actions_succeeded += 1;
+                    "success"
+                }
+                ActionOutcome::Failed(_) => {
+                    stats.actions_failed += 1;
+                    "failed"
+                }
+            };
+            sdci_obs::registry()
+                .counter_with("sdci_ripple_actions_total", &[("outcome", outcome_label)])
+                .inc();
         }
         log.record(ActionRecord {
             agent: self.id.clone(),
@@ -456,6 +471,7 @@ mod tests {
                 src_path: None,
                 target: Fid::ZERO,
                 is_dir: false,
+                extracted_unix_ns: None,
             },
             kind: ActionKind::Transfer {
                 dest_agent: AgentId::new("dst"),
@@ -487,6 +503,7 @@ mod tests {
                 src_path: None,
                 target: Fid::ZERO,
                 is_dir: false,
+                extracted_unix_ns: None,
             },
             kind: ActionKind::Transfer {
                 dest_agent: AgentId::new("dst"),
@@ -515,6 +532,7 @@ mod tests {
                 src_path: None,
                 target: Fid::ZERO,
                 is_dir: false,
+                extracted_unix_ns: None,
             },
             kind: ActionKind::Purge,
             agent: AgentId::new("store"),
@@ -537,6 +555,7 @@ mod tests {
             src_path: None,
             target: Fid::ZERO,
             is_dir: false,
+            extracted_unix_ns: None,
         };
         for kind in [
             ActionKind::Bash { command: "analyze {path} --tag {name}".into() },

@@ -55,6 +55,7 @@ impl BatchPolicy {
             src_path: None,
             target: Fid::ZERO,
             is_dir: false,
+            extracted_unix_ns: None,
         }
     }
 }

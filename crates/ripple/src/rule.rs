@@ -173,6 +173,7 @@ mod tests {
             src_path: None,
             target: Fid::new(1, 1, 0),
             is_dir: false,
+            extracted_unix_ns: None,
         }
     }
 

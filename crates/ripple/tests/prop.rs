@@ -71,6 +71,7 @@ fn event(path: &str, kind: EventKind) -> FileEvent {
         src_path: None,
         target: Fid::ZERO,
         is_dir: false,
+        extracted_unix_ns: None,
     }
 }
 

@@ -272,6 +272,13 @@ pub struct FileEvent {
     pub target: Fid,
     /// True when the event applies to a directory.
     pub is_dir: bool,
+    /// Wall-clock nanoseconds since the UNIX epoch when the collector
+    /// extracted the underlying changelog record. Travels with the
+    /// event across process boundaries so downstream stages can compute
+    /// end-to-end delivery latency (the paper's Fig. 5/6 metric).
+    /// `None` for events that predate the field (e.g. old snapshot
+    /// lines) or synthetic events built outside the extraction path.
+    pub extracted_unix_ns: Option<u64>,
 }
 
 impl FileEvent {
@@ -288,7 +295,14 @@ impl FileEvent {
             src_path: None,
             target: record.target,
             is_dir: record.kind.is_directory_op(),
+            extracted_unix_ns: None,
         }
+    }
+
+    /// Sets the extraction wall-clock stamp (builder style).
+    pub fn with_extracted_unix_ns(mut self, ns: u64) -> FileEvent {
+        self.extracted_unix_ns = Some(ns);
+        self
     }
 
     /// The absolute path of the affected object.

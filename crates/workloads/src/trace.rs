@@ -296,6 +296,7 @@ mod tests {
             src_path: None,
             target: Fid::ZERO,
             is_dir: false,
+            extracted_unix_ns: None,
         };
         assert_eq!(TraceRecord::from_event(&event).unwrap().op, TraceOp::Create);
         event.is_dir = true;

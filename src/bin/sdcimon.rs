@@ -55,6 +55,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn main() {
+    // Anchor the log timestamp offset at process start; filtering is
+    // configured from SDCI_LOG (default: info).
+    sdci_obs::log::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("aggregator") => run_aggregator(&args[1..]),
@@ -63,22 +66,36 @@ fn main() {
         _ => run_demo(&args),
     };
     if let Err(e) = result {
-        eprintln!("sdcimon: {e}");
+        sdci_obs::error!(target: "sdcimon", "{}", e);
         std::process::exit(2);
     }
 }
 
-/// Pulls `--flag value` pairs out of `args`; every recognised flag
-/// takes a value.
+/// Pulls `--flag value` pairs and bare `--switch` flags out of `args`.
 struct Flags<'a> {
     args: &'a [String],
+    switches: Vec<&'a str>,
 }
 
 impl<'a> Flags<'a> {
     fn new(args: &'a [String], allowed: &[&str]) -> Result<Self, String> {
+        Self::with_switches(args, allowed, &[])
+    }
+
+    fn with_switches(
+        args: &'a [String],
+        allowed: &[&str],
+        allowed_switches: &[&str],
+    ) -> Result<Self, String> {
         let mut i = 0;
+        let mut switches = Vec::new();
         while i < args.len() {
             let flag = args[i].as_str();
+            if allowed_switches.contains(&flag) {
+                switches.push(flag);
+                i += 1;
+                continue;
+            }
             if !allowed.contains(&flag) {
                 return Err(format!("unknown argument {flag}"));
             }
@@ -87,11 +104,26 @@ impl<'a> Flags<'a> {
             }
             i += 2;
         }
-        Ok(Flags { args })
+        Ok(Flags { args, switches })
     }
 
     fn get(&self, flag: &str) -> Option<&'a str> {
-        self.args.chunks_exact(2).find(|pair| pair[0] == flag).map(|pair| pair[1].as_str())
+        let mut i = 0;
+        while i + 1 < self.args.len() {
+            if self.switches.contains(&self.args[i].as_str()) {
+                i += 1;
+                continue;
+            }
+            if self.args[i] == flag {
+                return Some(self.args[i + 1].as_str());
+            }
+            i += 2;
+        }
+        None
+    }
+
+    fn has(&self, switch: &str) -> bool {
+        self.switches.contains(&switch)
     }
 
     fn parse<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, String>
@@ -121,7 +153,10 @@ fn offset_addr(base: SocketAddr, offset: u16) -> Result<SocketAddr, String> {
 // ---------------------------------------------------------------------------
 
 fn run_aggregator(args: &[String]) -> Result<(), String> {
-    let flags = Flags::new(args, &["--bind", "--store-capacity", "--feed-hwm", "--snapshot"])?;
+    let flags = Flags::new(
+        args,
+        &["--bind", "--store-capacity", "--feed-hwm", "--snapshot", "--metrics-addr"],
+    )?;
     let bind: SocketAddr = flags.parse("--bind", "127.0.0.1:7070".parse().unwrap())?;
     let store_capacity: usize = flags.parse("--store-capacity", 1_000_000)?;
     let feed_hwm: usize = flags.parse("--feed-hwm", 65_536)?;
@@ -153,9 +188,10 @@ fn run_aggregator(args: &[String]) -> Result<(), String> {
     // would otherwise mistake the crash for a fresh start.
     if let Some(path) = &snapshot {
         match SnapshotDir::adopt_interrupted_migration(path) {
-            Ok(true) => eprintln!(
-                "sdcimon aggregator: adopted interrupted snapshot migration at {}",
-                path.display()
+            Ok(true) => sdci_obs::warn!(
+                target: "sdcimon::aggregator",
+                "adopted interrupted snapshot migration";
+                path = path,
             ),
             Ok(false) => {}
             Err(e) => return Err(format!("adopt migration {}: {e}", path.display())),
@@ -165,18 +201,20 @@ fn run_aggregator(args: &[String]) -> Result<(), String> {
         Some(path) if path.exists() => {
             let store = restore_snapshot(path, store_capacity)
                 .map_err(|e| format!("restore {}: {e}", path.display()))?;
-            eprintln!(
-                "sdcimon aggregator: restored {} events (last seq {}) from {}",
-                store.len(),
-                store.last_seq(),
-                path.display()
+            sdci_obs::info!(
+                target: "sdcimon::aggregator",
+                "restored store from snapshot";
+                events = store.len(),
+                last_seq = store.last_seq(),
+                path = path,
             );
             if path.is_file() {
                 let dir = SnapshotDir::migrate_legacy(path, &store)
                     .map_err(|e| format!("migrate {}: {e}", path.display()))?;
-                eprintln!(
-                    "sdcimon aggregator: migrated legacy single-file snapshot {} to directory form",
-                    path.display()
+                sdci_obs::info!(
+                    target: "sdcimon::aggregator",
+                    "migrated legacy single-file snapshot to directory form";
+                    path = path,
                 );
                 snapshot_dir = Some(dir);
             } else {
@@ -203,12 +241,18 @@ fn run_aggregator(args: &[String]) -> Result<(), String> {
         .map_err(|e| format!("bind feed {feed_addr}: {e}"))?;
     let store_srv = StoreServer::bind(store_addr, agg.store(), cfg)
         .map_err(|e| format!("bind store {store_addr}: {e}"))?;
+    // The scrape endpoint defaults to base port + 3, next to the feed
+    // (+1) and store RPC (+2) listeners.
+    let metrics_addr: SocketAddr = flags.parse("--metrics-addr", offset_addr(base, 3)?)?;
+    let metrics_srv = sdci_obs::MetricsServer::bind(metrics_addr)
+        .map_err(|e| format!("bind metrics {metrics_addr}: {e}"))?;
 
     // Readiness line: tests and operators parse "listening on ADDR".
     println!(
-        "sdcimon aggregator listening on {base} (feed {}, store {})",
+        "sdcimon aggregator listening on {base} (feed {}, store {}, metrics {})",
         feed_srv.local_addr(),
-        store_srv.local_addr()
+        store_srv.local_addr(),
+        metrics_srv.local_addr()
     );
 
     let mut metrics = MetricsRecorder::new();
@@ -219,7 +263,7 @@ fn run_aggregator(args: &[String]) -> Result<(), String> {
         ticks += 1;
         if let Some(dir) = &snapshot_dir {
             if let Err(e) = dir.flush(&agg.store()) {
-                eprintln!("sdcimon aggregator: snapshot failed: {e}");
+                sdci_obs::error!(target: "sdcimon::aggregator", "snapshot failed: {}", e);
                 continue;
             }
             // Marks are captured strictly after the store snapshot: a
@@ -231,7 +275,11 @@ fn run_aggregator(args: &[String]) -> Result<(), String> {
             // durability window.
             if let Some(marks_file) = &marks_file {
                 if let Err(e) = write_marks_atomically(&events_srv, marks_file) {
-                    eprintln!("sdcimon aggregator: marks snapshot failed: {e}");
+                    sdci_obs::error!(
+                        target: "sdcimon::aggregator",
+                        "marks snapshot failed: {}",
+                        e
+                    );
                 }
             }
         }
@@ -241,9 +289,25 @@ fn run_aggregator(args: &[String]) -> Result<(), String> {
             metrics.record(aggregator_sample(&agg));
             let store = metrics.latest_store_stats().expect("sample just recorded");
             match metrics.latest_rates() {
-                Some(rates) => eprintln!("sdcimon aggregator: {rates}; store: {store}"),
-                None => eprintln!("sdcimon aggregator: store: {store}"),
+                Some(rates) => sdci_obs::info!(
+                    target: "sdcimon::aggregator",
+                    "pipeline status";
+                    rates = format!("{rates}"),
+                    store = format!("{store}"),
+                ),
+                None => sdci_obs::info!(
+                    target: "sdcimon::aggregator",
+                    "pipeline status";
+                    store = format!("{store}"),
+                ),
             }
+            // The same registry snapshot the scrape endpoint serves,
+            // embedded as a structured record for log-only deployments.
+            sdci_obs::info!(
+                target: "sdcimon::metrics",
+                "metrics snapshot";
+                metrics = sdci_obs::log::Field::raw(sdci_obs::registry().render_json()),
+            );
         }
     }
 }
@@ -264,7 +328,11 @@ fn read_marks(path: &std::path::Path) -> Result<std::collections::HashMap<String
         std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
     let marks =
         serde_json::from_str(&text).map_err(|e| format!("parse marks {}: {e}", path.display()))?;
-    eprintln!("sdcimon aggregator: restored push dedup marks from {}", path.display());
+    sdci_obs::info!(
+        target: "sdcimon::aggregator",
+        "restored push dedup marks";
+        path = path,
+    );
     Ok(marks)
 }
 
@@ -339,7 +407,12 @@ fn run_collector(args: &[String]) -> Result<(), String> {
 // ---------------------------------------------------------------------------
 
 fn run_consumer(args: &[String]) -> Result<(), String> {
-    let flags = Flags::new(args, &["--connect", "--expect", "--under", "--timeout"])?;
+    let flags = Flags::with_switches(
+        args,
+        &["--connect", "--expect", "--under", "--timeout"],
+        &["--verbose"],
+    )?;
+    let verbose = flags.has("--verbose");
     let connect: SocketAddr = flags
         .get("--connect")
         .ok_or("consumer requires --connect ADDR")?
@@ -364,14 +437,30 @@ fn run_consumer(args: &[String]) -> Result<(), String> {
 
     let deadline = Instant::now() + timeout;
     let mut delivered: u64 = 0;
+    let mut last_summary = Instant::now();
     while expect.is_none_or(|n| delivered < n) {
         let now = Instant::now();
         if now >= deadline {
             break;
         }
+        // A periodic progress record keeps the quiet (non-verbose) mode
+        // observable during long feeds.
+        if now.duration_since(last_summary) >= Duration::from_secs(5) {
+            last_summary = now;
+            let stats = consumer.stats();
+            sdci_obs::info!(
+                target: "sdcimon::consumer",
+                "consumer progress";
+                delivered = stats.delivered,
+                recovered = stats.recovered,
+                lost = stats.lost,
+            );
+        }
         let step = (deadline - now).min(Duration::from_millis(500));
         if let Some(event) = consumer.next_timeout(step) {
-            println!("event {:?} {}", event.kind, event.path.display());
+            if verbose {
+                println!("event {:?} {}", event.kind, event.path.display());
+            }
             delivered += 1;
         }
     }

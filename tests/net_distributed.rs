@@ -53,7 +53,7 @@ fn spawn(args: &[&str]) -> Reaped {
 /// Reads the aggregator's readiness line and returns the events address.
 ///
 /// The line looks like:
-/// `sdcimon aggregator listening on 127.0.0.1:40089 (feed ..., store ...)`
+/// `sdcimon aggregator listening on 127.0.0.1:40089 (feed ..., store ..., metrics ...)`
 fn wait_for_listen_addr(agg: &mut Reaped) -> String {
     let stdout = agg.child().stdout.take().expect("aggregator stdout piped");
     let mut lines = BufReader::new(stdout).lines();
@@ -68,6 +68,22 @@ fn wait_for_listen_addr(agg: &mut Reaped) -> String {
         }
     }
     panic!("aggregator exited without printing a readiness line");
+}
+
+/// Scrapes the aggregator's Prometheus endpoint (events port + 3) and
+/// returns the response body.
+fn scrape_metrics(events_addr: &str) -> String {
+    use std::io::{Read, Write};
+    let base: std::net::SocketAddr = events_addr.parse().expect("events addr");
+    let metrics_addr = std::net::SocketAddr::new(base.ip(), base.port() + 3);
+    let mut stream = std::net::TcpStream::connect(metrics_addr).expect("connect metrics endpoint");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    write!(stream, "GET /metrics HTTP/1.1\r\nHost: sdci\r\nConnection: close\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read metrics response");
+    assert!(response.starts_with("HTTP/1.1 200"), "unexpected scrape status: {response}");
+    let body_at = response.find("\r\n\r\n").expect("header/body separator") + 4;
+    response[body_at..].to_string()
 }
 
 fn run_collector(addr: &str, client: &str) {
@@ -99,10 +115,36 @@ fn three_processes_deliver_every_event_in_order() {
     let addr = wait_for_listen_addr(&mut agg);
 
     let expect = (2 * EVENTS_PER_COLLECTOR).to_string();
-    let consumer = spawn(&["consumer", "--connect", &addr, "--expect", &expect, "--timeout", "60"]);
+    let consumer = spawn(&[
+        "consumer",
+        "--connect",
+        &addr,
+        "--verbose",
+        "--expect",
+        &expect,
+        "--timeout",
+        "60",
+    ]);
 
     run_collector(&addr, "c1");
     run_collector(&addr, "c2");
+
+    // With the full pipeline warm, the aggregator's scrape endpoint
+    // must expose a broad registry (>= 15 series) including an
+    // end-to-end latency histogram with real observations.
+    let body = scrape_metrics(&addr);
+    let series = body.lines().filter(|l| !l.is_empty() && !l.starts_with('#')).count();
+    assert!(series >= 15, "expected >= 15 metric series, got {series}:\n{body}");
+    let e2e_count = body
+        .lines()
+        .find_map(|l| l.strip_prefix("sdci_e2e_store_insert_latency_seconds_count "))
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .expect("e2e store-insert latency histogram exported");
+    assert!(e2e_count > 0, "e2e latency histogram has no observations:\n{body}");
+    assert!(
+        body.contains("sdci_e2e_store_insert_latency_seconds_bucket"),
+        "histogram buckets missing:\n{body}"
+    );
 
     let out = consumer.into_child().wait_with_output().expect("wait for consumer");
     assert!(out.status.success(), "consumer failed: {:?}", out.status);
@@ -124,8 +166,16 @@ fn killed_aggregator_restarts_from_snapshot_without_losing_events() {
     let addr = wait_for_listen_addr(&mut agg);
 
     let expect = (2 * EVENTS_PER_COLLECTOR).to_string();
-    let consumer =
-        spawn(&["consumer", "--connect", &addr, "--expect", &expect, "--timeout", "120"]);
+    let consumer = spawn(&[
+        "consumer",
+        "--connect",
+        &addr,
+        "--verbose",
+        "--expect",
+        &expect,
+        "--timeout",
+        "120",
+    ]);
 
     run_collector(&addr, "c1");
     // Let the aggregator flush its 200ms-interval snapshot (and the
@@ -198,6 +248,7 @@ fn legacy_single_file_snapshot_is_restored_and_migrated() {
                         src_path: None,
                         target: Fid::new(1, i as u32, 0),
                         is_dir: false,
+                        extracted_unix_ns: None,
                     },
                 })
                 .unwrap();
@@ -215,7 +266,16 @@ fn legacy_single_file_snapshot_is_restored_and_migrated() {
     // events via the live feed — sequence numbering continues across the
     // restart, so the consumer sees one dense stream.
     let expect = (25 + EVENTS_PER_COLLECTOR).to_string();
-    let consumer = spawn(&["consumer", "--connect", &addr, "--expect", &expect, "--timeout", "60"]);
+    let consumer = spawn(&[
+        "consumer",
+        "--connect",
+        &addr,
+        "--verbose",
+        "--expect",
+        &expect,
+        "--timeout",
+        "60",
+    ]);
     run_collector(&addr, "c1");
 
     let out = consumer.into_child().wait_with_output().expect("wait for consumer");
