@@ -2,26 +2,55 @@
 //! points (§6 future work: "exploring and evaluating different message
 //! passing techniques between the collection and aggregation points").
 //!
-//! Live (wall-clock) comparison of three in-process transports moving
-//! the same 200,000 `FileEvent`s from four producer threads (the
-//! Collectors) to one consumer (the Aggregator):
+//! Live (wall-clock) comparison of the transports moving the same
+//! `FileEvent` stream from four producer threads (the Collectors) to
+//! one consumer (the Aggregator):
 //!
 //! * `push/pull` — bounded blocking pipeline (backpressure);
 //! * `pub/sub`   — ZeroMQ-style broker with HWM (load shedding);
 //! * `pub/sub batched` — same broker, events batched 64 per message;
-//! * `tcp push/pull` — sdci-net's lossless framed-TCP transport over
-//!   loopback, the cross-process deployment path.
+//! * `tcp per-event` — sdci-net framed TCP forced to wire proto 1
+//!   (one `Item` frame per event, one ack each), the pre-batching wire;
+//! * `tcp batched` — the same transport with proto-2 `ItemBatch`
+//!   frames and the adaptive flush (size threshold or deadline).
+//!
+//! Emits `BENCH_a4_transports.json` with both TCP rates and their
+//! ratio, and exits non-zero if the batched wire is slower than the
+//! per-event wire — CI runs `--smoke` so frame batching can't silently
+//! regress into overhead.
+//!
+//! ```text
+//! a4_transports [--smoke]
+//! ```
 
 use sdci_mq::pipe::pipeline;
 use sdci_mq::pubsub::Broker;
 use sdci_net::{NetConfig, TcpPullServer, TcpPush};
 use sdci_types::{ChangelogKind, EventKind, Fid, FileEvent, MdtIndex, SimTime};
+use serde::Serialize;
 use std::path::PathBuf;
 use std::thread;
 use std::time::Instant;
 
-const EVENTS: u64 = 200_000;
 const PRODUCERS: u64 = 4;
+
+/// The machine-readable result CI archives (`BENCH_a4_transports.json`).
+#[derive(Serialize)]
+struct A4Report {
+    bench: &'static str,
+    mode: &'static str,
+    events: u64,
+    producers: u64,
+    max_batch: usize,
+    flush_interval_us: u64,
+    push_pull_events_per_sec: f64,
+    pubsub_events_per_sec: f64,
+    pubsub_batched_events_per_sec: f64,
+    tcp_per_event_events_per_sec: f64,
+    tcp_batched_events_per_sec: f64,
+    tcp_batched_frames: u64,
+    tcp_batched_speedup: f64,
+}
 
 fn event(i: u64) -> FileEvent {
     FileEvent {
@@ -38,14 +67,14 @@ fn event(i: u64) -> FileEvent {
     }
 }
 
-fn run_push_pull() -> (f64, u64) {
+fn run_push_pull(events: u64) -> (f64, u64) {
     let (push, pull) = pipeline::<FileEvent>(65_536);
     let start = Instant::now();
     let producers: Vec<_> = (0..PRODUCERS)
         .map(|p| {
             let push = push.clone();
             thread::spawn(move || {
-                for i in 0..EVENTS / PRODUCERS {
+                for i in 0..events / PRODUCERS {
                     push.send(event(p * 1_000_000 + i));
                 }
             })
@@ -59,10 +88,10 @@ fn run_push_pull() -> (f64, u64) {
     for p in producers {
         p.join().unwrap();
     }
-    (EVENTS as f64 / start.elapsed().as_secs_f64(), received)
+    (events as f64 / start.elapsed().as_secs_f64(), received)
 }
 
-fn run_pubsub() -> (f64, u64) {
+fn run_pubsub(events: u64) -> (f64, u64) {
     let broker: Broker<FileEvent> = Broker::new(65_536);
     let sub = broker.subscribe(&["events/"]);
     let start = Instant::now();
@@ -70,7 +99,7 @@ fn run_pubsub() -> (f64, u64) {
         .map(|p| {
             let publisher = broker.publisher();
             thread::spawn(move || {
-                for i in 0..EVENTS / PRODUCERS {
+                for i in 0..events / PRODUCERS {
                     publisher.publish("events/all", event(p * 1_000_000 + i));
                 }
             })
@@ -78,7 +107,7 @@ fn run_pubsub() -> (f64, u64) {
         .collect();
     let consumer = thread::spawn(move || {
         let mut received = 0u64;
-        while received + sub.dropped() < EVENTS {
+        while received + sub.dropped() < events {
             if sub.recv_timeout(std::time::Duration::from_millis(200)).is_some() {
                 received += 1;
             } else {
@@ -91,13 +120,13 @@ fn run_pubsub() -> (f64, u64) {
         p.join().unwrap();
     }
     let received = consumer.join().unwrap();
-    (EVENTS as f64 / start.elapsed().as_secs_f64(), received)
+    (events as f64 / start.elapsed().as_secs_f64(), received)
 }
 
-fn run_pubsub_batched(batch: usize) -> (f64, u64) {
+fn run_pubsub_batched(events: u64, batch: usize) -> (f64, u64) {
     let broker: Broker<Vec<FileEvent>> = Broker::new(65_536);
     let sub = broker.subscribe(&["events/"]);
-    let batches = EVENTS / PRODUCERS / batch as u64;
+    let batches = events / PRODUCERS / batch as u64;
     let start = Instant::now();
     let producers: Vec<_> = (0..PRODUCERS)
         .map(|p| {
@@ -131,11 +160,13 @@ fn run_pubsub_batched(batch: usize) -> (f64, u64) {
         p.join().unwrap();
     }
     let received = consumer.join().unwrap();
-    (EVENTS as f64 / start.elapsed().as_secs_f64(), received)
+    (events as f64 / start.elapsed().as_secs_f64(), received)
 }
 
-fn run_tcp_push_pull() -> (f64, u64) {
-    let cfg = NetConfig::default();
+/// One loopback PULL server, `PRODUCERS` pusher clients, `events`
+/// `FileEvent`s end to end, under the given wire config. Returns
+/// (events/s, delivered, batch frames seen by the server).
+fn run_tcp_push_pull(events: u64, cfg: NetConfig) -> (f64, u64, u64) {
     let server = TcpPullServer::<FileEvent>::bind("127.0.0.1:0", 65_536, cfg.clone())
         .expect("bind loopback pull server");
     let addr = server.local_addr();
@@ -146,7 +177,7 @@ fn run_tcp_push_pull() -> (f64, u64) {
             let cfg = cfg.clone();
             thread::spawn(move || {
                 let push = TcpPush::<FileEvent>::connect(addr, format!("bench-p{p}"), cfg);
-                for i in 0..EVENTS / PRODUCERS {
+                for i in 0..events / PRODUCERS {
                     push.send(event(p * 1_000_000 + i));
                 }
                 push.drain(std::time::Duration::from_secs(60));
@@ -155,7 +186,7 @@ fn run_tcp_push_pull() -> (f64, u64) {
         .collect();
     let consumer = thread::spawn(move || {
         let mut received = 0u64;
-        while received < EVENTS && pull.recv().is_some() {
+        while received < events && pull.recv().is_some() {
             received += 1;
         }
         received
@@ -164,18 +195,30 @@ fn run_tcp_push_pull() -> (f64, u64) {
         p.join().unwrap();
     }
     let received = consumer.join().unwrap();
-    let rate = EVENTS as f64 / start.elapsed().as_secs_f64();
+    let rate = events as f64 / start.elapsed().as_secs_f64();
+    let batches = server.stats().batches;
     server.shutdown();
-    (rate, received)
+    (rate, received, batches)
 }
 
 fn main() {
-    println!("== A4: Collector->Aggregator transport comparison ==");
-    println!("({EVENTS} events, {PRODUCERS} producers, 1 consumer, wall-clock)\n");
-    let (pp_rate, pp_recv) = run_push_pull();
-    let (ps_rate, ps_recv) = run_pubsub();
-    let (psb_rate, psb_recv) = run_pubsub_batched(64);
-    let (tcp_rate, tcp_recv) = run_tcp_push_pull();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let events: u64 = if smoke { 40_000 } else { 200_000 };
+
+    println!(
+        "== A4: Collector->Aggregator transport comparison{} ==",
+        if smoke { " (smoke)" } else { "" }
+    );
+    println!("({events} events, {PRODUCERS} producers, 1 consumer, wall-clock)\n");
+    let (pp_rate, pp_recv) = run_push_pull(events);
+    let (ps_rate, ps_recv) = run_pubsub(events);
+    let (psb_rate, psb_recv) = run_pubsub_batched(events, 64);
+
+    let batched_cfg = NetConfig::default();
+    let per_event_cfg = NetConfig { proto: 1, ..NetConfig::default() };
+    let (tcp1_rate, tcp1_recv, tcp1_batches) = run_tcp_push_pull(events, per_event_cfg);
+    let (tcp2_rate, tcp2_recv, tcp2_batches) = run_tcp_push_pull(events, batched_cfg.clone());
+    let wire_speedup = tcp2_rate / tcp1_rate;
 
     sdci_bench::print_table(
         &["transport", "throughput (events/s)", "delivered", "semantics"],
@@ -183,36 +226,72 @@ fn main() {
             vec![
                 "push/pull".into(),
                 format!("{pp_rate:.0}"),
-                format!("{pp_recv}/{EVENTS}"),
+                format!("{pp_recv}/{events}"),
                 "blocking backpressure, no loss".into(),
             ],
             vec![
                 "pub/sub".into(),
                 format!("{ps_rate:.0}"),
-                format!("{ps_recv}/{EVENTS}"),
+                format!("{ps_recv}/{events}"),
                 "HWM sheds load on slow consumers".into(),
             ],
             vec![
                 "pub/sub batched x64".into(),
                 format!("{psb_rate:.0}"),
-                format!("{psb_recv}/{EVENTS}"),
+                format!("{psb_recv}/{events}"),
                 "amortizes per-message overhead".into(),
             ],
             vec![
-                "tcp push/pull".into(),
-                format!("{tcp_rate:.0}"),
-                format!("{tcp_recv}/{EVENTS}"),
-                "framed TCP, acked resend, no loss".into(),
+                "tcp per-event (proto 1)".into(),
+                format!("{tcp1_rate:.0}"),
+                format!("{tcp1_recv}/{events}"),
+                "one frame + one ack per event".into(),
+            ],
+            vec![
+                format!("tcp batched x{}", batched_cfg.max_batch),
+                format!("{tcp2_rate:.0}"),
+                format!("{tcp2_recv}/{events}"),
+                "ItemBatch frames, one ack per batch".into(),
             ],
         ],
     );
-    assert_eq!(pp_recv, EVENTS, "push/pull may not lose events");
-    assert_eq!(tcp_recv, EVENTS, "tcp push/pull may not lose events");
+    assert_eq!(pp_recv, events, "push/pull may not lose events");
+    assert_eq!(tcp1_recv, events, "tcp per-event may not lose events");
+    assert_eq!(tcp2_recv, events, "tcp batched may not lose events");
+    assert_eq!(tcp1_batches, 0, "a proto-1 session must not carry batch frames");
+    assert!(tcp2_batches > 0, "a proto-2 session at this rate should coalesce frames");
     println!(
         "\nbatching amortizes per-message broker overhead ({:.1}x vs unbatched pub/sub); \
-         push/pull trades peak rate for lossless backpressure; framed TCP pays \
-         {:.1}x for crossing a process boundary with the same guarantee.",
+         on the wire, ItemBatch frames buy {wire_speedup:.1}x over per-event framing \
+         with the same exactly-once guarantee.",
         psb_rate / ps_rate,
-        pp_rate / tcp_rate
     );
+
+    let report = A4Report {
+        bench: "a4_transports",
+        mode: if smoke { "smoke" } else { "full" },
+        events,
+        producers: PRODUCERS,
+        max_batch: batched_cfg.max_batch,
+        flush_interval_us: batched_cfg.flush_interval.as_micros() as u64,
+        push_pull_events_per_sec: pp_rate,
+        pubsub_events_per_sec: ps_rate,
+        pubsub_batched_events_per_sec: psb_rate,
+        tcp_per_event_events_per_sec: tcp1_rate,
+        tcp_batched_events_per_sec: tcp2_rate,
+        tcp_batched_frames: tcp2_batches,
+        tcp_batched_speedup: wire_speedup,
+    };
+    let out = "BENCH_a4_transports.json";
+    let body = serde_json::to_string_pretty(&report).expect("serialize bench report");
+    std::fs::write(out, body + "\n").expect("write bench report");
+    println!("\nwrote {out}");
+
+    if wire_speedup < 1.0 {
+        eprintln!(
+            "\nA4 REGRESSION: batched wire slower than per-event \
+             ({tcp2_rate:.0} vs {tcp1_rate:.0} events/s, {wire_speedup:.2}x)"
+        );
+        std::process::exit(1);
+    }
 }

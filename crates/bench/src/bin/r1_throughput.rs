@@ -100,4 +100,40 @@ fn main() {
     );
     cluster.shutdown();
     assert!(caught_up, "live pipeline must keep up with the generator");
+
+    // ---- wire framing sanity -----------------------------------------
+    // The distributed deployment ships Collector events over sdci-net;
+    // confirm the batched wire (proto 2 `ItemBatch` frames) out-runs
+    // per-event framing here too. `a4_transports` measures this in
+    // depth and emits BENCH_a4_transports.json; this is one line of
+    // context next to the throughput numbers above.
+    println!("\n-- wire framing (collector->aggregator TCP, 20k events) --");
+    let per_event = wire_rate(sdci_net::NetConfig { proto: 1, ..sdci_net::NetConfig::default() });
+    let batched = wire_rate(sdci_net::NetConfig::default());
+    println!(
+        "per-event {per_event:.0} events/s; batched {batched:.0} events/s ({:.1}x)",
+        batched / per_event
+    );
+}
+
+/// Wall-clock rate of one pusher streaming 20k `u64`s through a
+/// loopback PULL server under the given wire config.
+fn wire_rate(cfg: sdci_net::NetConfig) -> f64 {
+    const N: u64 = 20_000;
+    let server =
+        sdci_net::TcpPullServer::<u64>::bind("127.0.0.1:0", 65_536, cfg.clone()).expect("bind");
+    let pull = server.pull();
+    let start = Instant::now();
+    let push = sdci_net::TcpPush::<u64>::connect(server.local_addr(), "r1-wire", cfg);
+    for i in 0..N {
+        push.send(i);
+    }
+    let mut received = 0u64;
+    while received < N && pull.recv().is_some() {
+        received += 1;
+    }
+    let rate = N as f64 / start.elapsed().as_secs_f64();
+    assert_eq!(received, N, "the lossless wire may not drop events");
+    server.shutdown();
+    rate
 }

@@ -11,7 +11,7 @@ use crate::pathcache::PathCache;
 use lustre_sim::{ChangelogUser, LustreFs};
 use parking_lot::Mutex;
 use sdci_mq::pubsub::Publisher;
-use sdci_mq::transport::Publish;
+use sdci_mq::transport::{Publish, PublishOutcome};
 use sdci_types::{ChangelogKind, FileEvent, MdtIndex, RawChangelogRecord};
 use std::fmt;
 use std::path::PathBuf;
@@ -24,8 +24,14 @@ pub struct CollectorStats {
     pub extracted: u64,
     /// Records successfully processed into events.
     pub processed: u64,
-    /// Events published toward the Aggregator.
+    /// Events accepted by at least one downstream queue (or with nobody
+    /// subscribed yet). This is what `published` always claimed to be;
+    /// it no longer counts events every subscriber shed at its HWM.
     pub published: u64,
+    /// Events that matched subscribers but were shed by *all* of them at
+    /// their high-water marks — published in the ZeroMQ sense, delivered
+    /// to no one. Consumers recover these from the store by seq gap.
+    pub shed: u64,
     /// Records whose path could not be resolved (object and parent both
     /// gone by processing time); these are dropped and counted.
     pub resolution_failures: u64,
@@ -169,12 +175,17 @@ impl<P: Publish<FileEvent>> Collector<P> {
                 Some(event) => {
                     self.stats.processed += 1;
                     sdci_obs::static_metric!(counter, "sdci_collector_processed_total").inc();
-                    self.publisher.publish(
+                    let outcome = self.publisher.publish(
                         &format!("events/mdt{}", self.mdt.as_u32()),
                         event.with_extracted_unix_ns(extracted_ns),
                     );
-                    self.stats.published += 1;
-                    sdci_obs::static_metric!(counter, "sdci_collector_published_total").inc();
+                    if outcome == PublishOutcome::Shed {
+                        self.stats.shed += 1;
+                        sdci_obs::static_metric!(counter, "sdci_collector_shed_total").inc();
+                    } else {
+                        self.stats.published += 1;
+                        sdci_obs::static_metric!(counter, "sdci_collector_published_total").inc();
+                    }
                 }
                 None => {
                     self.stats.resolution_failures += 1;
@@ -505,6 +516,33 @@ mod tests {
             );
         }
         assert!(fs.lock().changelog(MdtIndex::new(0)).is_empty());
+    }
+
+    #[test]
+    fn sheds_are_not_counted_as_published() {
+        // HWM 1 and a subscriber that never drains: the first event is
+        // queued, every later one is shed by the only subscriber. The
+        // old accounting claimed all of them "published".
+        let fs = Arc::new(Mutex::new(LustreFs::new(LustreConfig::aws_testbed())));
+        let broker: Broker<FileEvent> = Broker::new(1);
+        let _stuck = broker.subscribe(&["events/"]);
+        let mut collector = Collector::new(
+            Arc::clone(&fs),
+            MdtIndex::new(0),
+            broker.publisher(),
+            MonitorConfig::default(),
+        );
+        {
+            let mut guard = fs.lock();
+            for i in 0..5 {
+                guard.create(format!("/f{i}"), t(i)).unwrap();
+            }
+        }
+        while collector.run_once() > 0 {}
+        let stats = collector.stats();
+        assert_eq!(stats.processed, 5);
+        assert_eq!(stats.published, 1, "only the queued event was delivered anywhere");
+        assert_eq!(stats.shed, 4, "the rest were shed at the subscriber's HWM");
     }
 
     #[test]

@@ -194,12 +194,18 @@ mod tests {
                 extracted,
                 processed,
                 published: processed,
+                shed: 0,
                 resolution_failures: extracted - processed,
                 fid2path_calls: processed / 2,
                 cache_hits: processed / 2,
                 purged: 0,
             }],
-            aggregator: AggregatorSnapshot { received: published, stored: published, published },
+            aggregator: AggregatorSnapshot {
+                received: published,
+                stored: published,
+                published,
+                insert_errors: 0,
+            },
             store: StoreStats { inserted: published, ..StoreStats::default() },
         }
     }

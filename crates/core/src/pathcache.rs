@@ -8,7 +8,7 @@
 //! the *parent* resolution converts almost every lookup into a hit.
 
 use sdci_types::{ByteSize, Fid};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -44,6 +44,11 @@ impl CacheStats {
 pub struct PathCache {
     capacity: usize,
     map: HashMap<Fid, (PathBuf, u64)>,
+    /// Recency index: last-use clock tick → FID. Clock ticks are unique
+    /// (one per mutating call), so this is a total order; the first key
+    /// is always the least-recently-used entry, making eviction
+    /// O(log n) instead of a full scan of `map`.
+    by_recency: BTreeMap<u64, Fid>,
     clock: u64,
     stats: CacheStats,
 }
@@ -61,7 +66,13 @@ impl fmt::Debug for PathCache {
 impl PathCache {
     /// Creates a cache bounded to `capacity` entries (0 = disabled).
     pub fn new(capacity: usize) -> Self {
-        PathCache { capacity, map: HashMap::new(), clock: 0, stats: CacheStats::default() }
+        PathCache {
+            capacity,
+            map: HashMap::new(),
+            by_recency: BTreeMap::new(),
+            clock: 0,
+            stats: CacheStats::default(),
+        }
     }
 
     /// Looks up a FID, refreshing its recency on hit.
@@ -70,6 +81,8 @@ impl PathCache {
         let clock = self.clock;
         match self.map.get_mut(&fid) {
             Some((path, used)) => {
+                self.by_recency.remove(used);
+                self.by_recency.insert(clock, fid);
                 *used = clock;
                 self.stats.hits += 1;
                 Some(path.clone())
@@ -88,18 +101,23 @@ impl PathCache {
             return;
         }
         self.clock += 1;
-        if self.map.len() >= self.capacity && !self.map.contains_key(&fid) {
-            if let Some((&lru, _)) = self.map.iter().min_by_key(|(_, (_, used))| *used) {
+        if let Some((_, used)) = self.map.get(&fid) {
+            // Re-insert: recycle the recency slot, no eviction needed.
+            self.by_recency.remove(used);
+        } else if self.map.len() >= self.capacity {
+            if let Some((_, lru)) = self.by_recency.pop_first() {
                 self.map.remove(&lru);
                 self.stats.evictions += 1;
             }
         }
+        self.by_recency.insert(self.clock, fid);
         self.map.insert(fid, (path.into(), self.clock));
     }
 
     /// Drops one entry (e.g. its directory was renamed or removed).
     pub fn invalidate(&mut self, fid: Fid) {
-        if self.map.remove(&fid).is_some() {
+        if let Some((_, used)) = self.map.remove(&fid) {
+            self.by_recency.remove(&used);
             self.stats.invalidations += 1;
         }
     }
@@ -108,7 +126,14 @@ impl PathCache {
     /// when a directory rename moves a whole subtree.
     pub fn invalidate_prefix(&mut self, prefix: &Path) {
         let before = self.map.len();
-        self.map.retain(|_, (path, _)| !path.starts_with(prefix));
+        let by_recency = &mut self.by_recency;
+        self.map.retain(|_, (path, used)| {
+            let keep = !path.starts_with(prefix);
+            if !keep {
+                by_recency.remove(used);
+            }
+            keep
+        });
         self.stats.invalidations += (before - self.map.len()) as u64;
     }
 
@@ -202,6 +227,37 @@ mod tests {
         assert_eq!(c.get(fid(1)), None);
         assert_eq!(c.get(fid(2)), None);
         assert_eq!(c.stats().invalidations, 3);
+    }
+
+    #[test]
+    fn recency_index_stays_consistent_across_all_mutations() {
+        // Exercise every path that touches the BTreeMap recency index —
+        // hit-refresh, re-insert, eviction, invalidate, prefix
+        // invalidation — and check the LRU order is still exact.
+        let mut c = PathCache::new(3);
+        c.insert(fid(1), "/a");
+        c.insert(fid(2), "/b");
+        c.insert(fid(3), "/c");
+        c.get(fid(1)); // order now: 2, 3, 1
+        c.insert(fid(2), "/b2"); // re-insert refreshes: 3, 1, 2
+        c.insert(fid(4), "/d"); // evicts 3
+        assert!(c.get(fid(3)).is_none(), "3 was the LRU entry");
+        assert_eq!(c.stats().evictions, 1);
+
+        c.invalidate(fid(1)); // order now: 2, 4
+        c.insert(fid(5), "/e"); // fits, no eviction
+        assert_eq!(c.stats().evictions, 1);
+        c.insert(fid(6), "/f"); // evicts 2
+        assert!(c.get(fid(2)).is_none(), "2 was the LRU entry after 1 left");
+
+        c.invalidate_prefix(Path::new("/d")); // drops 4
+        assert_eq!(c.len(), 2);
+        c.insert(fid(7), "/g");
+        c.insert(fid(8), "/h"); // evicts 5 (oldest survivor)
+        assert!(c.get(fid(5)).is_none(), "5 was the LRU entry after the prefix purge");
+        assert!(c.get(fid(6)).is_some());
+        assert!(c.get(fid(7)).is_some());
+        assert!(c.get(fid(8)).is_some());
     }
 
     #[test]

@@ -288,24 +288,68 @@ impl EventStore {
         if event.seq <= last {
             return Err(StoreOrderError { last_seq: last, offered_seq: event.seq });
         }
+        self.append_locked(&mut head, event);
+        self.finish_locked(&mut head);
+        Ok(())
+    }
+
+    /// Inserts a batch of events under one head-lock acquisition —
+    /// sealing and rotation bookkeeping run once per batch instead of
+    /// once per event (the ingest hot path for batched wire frames).
+    ///
+    /// # Errors
+    ///
+    /// The whole batch must continue the strictly increasing sequence
+    /// order, internally and against the store; the first offending
+    /// sequence is reported via [`StoreOrderError`] and the store is
+    /// left entirely unchanged (all-or-nothing).
+    pub fn insert_batch(&self, events: Vec<SequencedEvent>) -> Result<(), StoreOrderError> {
+        if events.is_empty() {
+            return Ok(());
+        }
+        let mut head = self.head.lock();
+        // Validate everything up front so a mid-batch violation cannot
+        // leave a prefix behind.
+        let mut last = self.last_seq.load(Ordering::Relaxed);
+        for event in &events {
+            if event.seq <= last {
+                return Err(StoreOrderError { last_seq: last, offered_seq: event.seq });
+            }
+            last = event.seq;
+        }
+        for event in events {
+            self.append_locked(&mut head, event);
+        }
+        self.finish_locked(&mut head);
+        Ok(())
+    }
+
+    /// Appends one pre-validated event to the head. Caller holds the
+    /// head lock and runs [`EventStore::finish_locked`] afterwards.
+    fn append_locked(&self, head: &mut Head, event: SequencedEvent) {
         let footprint = event.event.footprint_bytes() as u64;
         self.last_seq.store(event.seq, Ordering::Relaxed);
         head.bytes += footprint;
         head.events.push_back(event);
         self.bytes.fetch_add(footprint, Ordering::Relaxed);
         self.inserted.fetch_add(1, Ordering::Relaxed);
-        let mut len = self.len.fetch_add(1, Ordering::Relaxed) + 1;
+        self.len.fetch_add(1, Ordering::Relaxed);
         if head.events.len() >= self.segment_events {
-            self.seal(&mut head);
+            self.seal(head);
         }
+    }
+
+    /// Post-append bookkeeping: rotate down to capacity and refresh the
+    /// occupancy gauges. Caller holds the head lock.
+    fn finish_locked(&self, head: &mut Head) {
+        let mut len = self.len.load(Ordering::Relaxed);
         while len > self.capacity {
-            self.rotate_one(&mut head);
+            self.rotate_one(head);
             len = self.len.fetch_sub(1, Ordering::Relaxed) - 1;
         }
         sdci_obs::static_metric!(gauge, "sdci_store_head_events").set(head.events.len() as i64);
         sdci_obs::static_metric!(gauge, "sdci_store_resident_bytes")
             .set(self.bytes.load(Ordering::Relaxed) as i64);
-        Ok(())
     }
 
     /// Seals the head into an immutable segment on the chain.
@@ -722,6 +766,45 @@ mod tests {
         assert_eq!(got[0].seq, 8);
         assert_eq!(store.last_seq(), 10);
         assert_eq!(store.first_seq(), 1);
+    }
+
+    #[test]
+    fn insert_batch_matches_per_event_inserts() {
+        let batched = EventStore::with_segment_size(10, 4);
+        let single = EventStore::with_segment_size(10, 4);
+        let events: Vec<SequencedEvent> = (1..=25).map(|i| ev(i, i, "/b/f")).collect();
+        for chunk in events.chunks(7) {
+            batched.insert_batch(chunk.to_vec()).unwrap();
+        }
+        for e in events {
+            single.insert(e).unwrap();
+        }
+        assert_eq!(batched.len(), single.len());
+        assert_eq!(batched.first_seq(), single.first_seq());
+        assert_eq!(batched.last_seq(), single.last_seq());
+        assert_eq!(batched.memory(), single.memory());
+        assert_eq!(batched.query(&StoreQuery::default()), single.query(&StoreQuery::default()),);
+    }
+
+    #[test]
+    fn insert_batch_is_all_or_nothing_on_order_violations() {
+        let store = EventStore::new(100);
+        store.insert(ev(5, 5, "/f")).unwrap();
+        // Stale against the store.
+        let err = store.insert_batch(vec![ev(6, 6, "/f"), ev(5, 5, "/f")]).unwrap_err();
+        assert_eq!(err.last_seq, 6);
+        assert_eq!(err.offered_seq, 5);
+        assert_eq!(store.len(), 1, "rejected batch must leave no prefix behind");
+        assert_eq!(store.last_seq(), 5);
+        // Internally out of order.
+        assert!(store.insert_batch(vec![ev(8, 8, "/f"), ev(7, 7, "/f")]).is_err());
+        assert_eq!(store.last_seq(), 5);
+        // Empty batch is a no-op.
+        store.insert_batch(Vec::new()).unwrap();
+        // A valid batch still lands.
+        store.insert_batch(vec![ev(6, 6, "/f"), ev(9, 9, "/f")]).unwrap();
+        assert_eq!(store.last_seq(), 9);
+        assert_eq!(store.len(), 3);
     }
 
     #[test]

@@ -55,4 +55,4 @@ pub use lambda::{LambdaPool, LambdaStats};
 pub use pipe::{pipeline, Pull, Push};
 pub use pubsub::{BatchingPublisher, Broker, Message, Publisher, Subscriber};
 pub use sqs::{Receipt, SqsConfig, SqsQueue, SqsStats};
-pub use transport::{Publish, PullSubscriber, Subscribe, Transport};
+pub use transport::{Publish, PublishOutcome, PublishReport, PullSubscriber, Subscribe, Transport};

@@ -6,6 +6,7 @@
 //! when it is full the message is dropped *for that subscriber only* and
 //! counted, exactly as a ZeroMQ PUB socket sheds load.
 
+use crate::transport::PublishOutcome;
 use crossbeam_channel::{bounded, Receiver, Sender, TryRecvError};
 use parking_lot::Mutex;
 use std::fmt;
@@ -111,19 +112,23 @@ impl<T: Clone + Send + 'static> Broker<T> {
         self.dropped.load(Ordering::Relaxed)
     }
 
-    fn publish(&self, topic: &str, payload: T) {
+    fn publish(&self, topic: &str, payload: T) -> PublishOutcome {
         self.published.fetch_add(1, Ordering::Relaxed);
         let mut state = self.state.lock();
+        let mut matched = 0u64;
+        let mut accepted = 0u64;
         // Deliver to matching subscribers, reaping any whose receiving
         // end is gone.
         state.subscribers.retain(|slot| {
             if !slot.prefixes.iter().any(|p| topic.starts_with(p.as_str())) {
                 return true;
             }
+            matched += 1;
             let msg = Message { topic: topic.to_owned(), payload: payload.clone() };
             match slot.sender.try_send(msg) {
                 Ok(()) => {
                     self.delivered.fetch_add(1, Ordering::Relaxed);
+                    accepted += 1;
                     true
                 }
                 Err(crossbeam_channel::TrySendError::Full(_)) => {
@@ -131,9 +136,21 @@ impl<T: Clone + Send + 'static> Broker<T> {
                     self.dropped.fetch_add(1, Ordering::Relaxed);
                     true
                 }
-                Err(crossbeam_channel::TrySendError::Disconnected(_)) => false,
+                Err(crossbeam_channel::TrySendError::Disconnected(_)) => {
+                    // A vanished subscriber is not a shed: it will never
+                    // miss anything again.
+                    matched -= 1;
+                    false
+                }
             }
         });
+        // Zero matches is vacuous delivery — only "everyone who wanted
+        // it shed it" counts as a shed.
+        if matched > 0 && accepted == 0 {
+            PublishOutcome::Shed
+        } else {
+            PublishOutcome::Delivered
+        }
     }
 }
 
@@ -151,8 +168,10 @@ impl<T> fmt::Debug for Publisher<T> {
 impl<T: Clone + Send + 'static> Publisher<T> {
     /// Publishes `payload` under `topic`, fanning out to matching
     /// subscribers; slow subscribers shed the message at their HWM.
-    pub fn publish(&self, topic: &str, payload: T) {
-        self.broker.publish(topic, payload);
+    /// Reports [`PublishOutcome::Shed`] only when every matching
+    /// subscriber shed it.
+    pub fn publish(&self, topic: &str, payload: T) -> PublishOutcome {
+        self.broker.publish(topic, payload)
     }
 }
 
@@ -392,6 +411,40 @@ mod tests {
         batcher.flush();
         assert!(sub.try_recv().is_none());
         assert_eq!(batcher.flushed(), 0);
+    }
+
+    #[test]
+    fn publish_outcome_reports_sheds_honestly() {
+        let broker: Broker<u32> = Broker::new(1);
+        let p = broker.publisher();
+        // No subscribers at all: vacuous delivery, not a shed.
+        assert_eq!(p.publish("t", 0), PublishOutcome::Delivered);
+        let slow = broker.subscribe(&["t"]);
+        assert_eq!(p.publish("t", 1), PublishOutcome::Delivered);
+        // `slow`'s queue (hwm 1) is now full: everyone who matched shed.
+        assert_eq!(p.publish("t", 2), PublishOutcome::Shed);
+        // A fresh subscriber accepts, so the fan-out partially lands.
+        let fresh = broker.subscribe(&["t"]);
+        assert_eq!(p.publish("t", 3), PublishOutcome::Delivered);
+        // Non-matching topic: vacuous again.
+        assert_eq!(p.publish("other", 4), PublishOutcome::Delivered);
+        drop((slow, fresh));
+        // Only reaped (disconnected) subscribers left: vacuous, and the
+        // reap must not report a shed.
+        assert_eq!(p.publish("t", 5), PublishOutcome::Delivered);
+    }
+
+    #[test]
+    fn publish_batch_tallies_outcomes() {
+        use crate::transport::Publish;
+        let broker: Broker<u32> = Broker::new(2);
+        let sub = broker.subscribe(&[""]);
+        let p = broker.publisher();
+        let report = Publish::publish_batch(&p, "t", (0..5).collect());
+        assert_eq!(report.delivered, 2);
+        assert_eq!(report.shed, 3);
+        assert_eq!(report.queued, 0);
+        assert_eq!(sub.queued(), 2);
     }
 
     #[test]

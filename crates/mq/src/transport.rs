@@ -22,13 +22,62 @@ use crate::pipe::Pull;
 use crate::pubsub::{Broker, Message, Publisher, Subscriber};
 use std::time::Duration;
 
+/// What became of one published payload, as far as the publishing
+/// endpoint can tell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PublishOutcome {
+    /// Every matched subscriber (possibly zero — fan-out is vacuous
+    /// then) accepted the payload into its queue.
+    Delivered,
+    /// At least one subscriber matched and every one of them shed the
+    /// payload at its high-water mark — nobody will ever see it.
+    Shed,
+    /// Accepted into an outbound queue whose far end can't be observed
+    /// from here (e.g. a TCP publisher's wire queue).
+    Queued,
+}
+
+/// Per-payload outcome tallies for a batch publish.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PublishReport {
+    /// Payloads that came back [`PublishOutcome::Delivered`].
+    pub delivered: u64,
+    /// Payloads that came back [`PublishOutcome::Shed`].
+    pub shed: u64,
+    /// Payloads that came back [`PublishOutcome::Queued`].
+    pub queued: u64,
+}
+
+impl PublishReport {
+    /// Folds one outcome into the tallies.
+    pub fn record(&mut self, outcome: PublishOutcome) {
+        match outcome {
+            PublishOutcome::Delivered => self.delivered += 1,
+            PublishOutcome::Shed => self.shed += 1,
+            PublishOutcome::Queued => self.queued += 1,
+        }
+    }
+}
+
 /// The sending side of a topic-addressed event fan-out.
 ///
 /// Delivery follows the PUB/SUB contract: best-effort, shedding at a
 /// high-water mark when a subscriber (or the wire) falls behind.
 pub trait Publish<T>: Send + 'static {
-    /// Publishes `payload` on `topic`. Never blocks on slow consumers.
-    fn publish(&self, topic: &str, payload: T);
+    /// Publishes `payload` on `topic`. Never blocks on slow consumers;
+    /// reports what happened so callers can count sheds honestly.
+    fn publish(&self, topic: &str, payload: T) -> PublishOutcome;
+
+    /// Publishes several payloads on one topic, tallying the outcomes.
+    /// Endpoints with a wire-level batch format may override this; the
+    /// default simply loops [`Publish::publish`].
+    fn publish_batch(&self, topic: &str, payloads: Vec<T>) -> PublishReport {
+        let mut report = PublishReport::default();
+        for payload in payloads {
+            report.record(self.publish(topic, payload));
+        }
+        report
+    }
 }
 
 /// The receiving side of a topic-addressed event fan-out.
@@ -62,8 +111,8 @@ pub trait Transport<T> {
 }
 
 impl<T: Clone + Send + 'static> Publish<T> for Publisher<T> {
-    fn publish(&self, topic: &str, payload: T) {
-        Publisher::publish(self, topic, payload);
+    fn publish(&self, topic: &str, payload: T) -> PublishOutcome {
+        Publisher::publish(self, topic, payload)
     }
 }
 

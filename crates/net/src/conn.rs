@@ -43,6 +43,16 @@ pub struct NetConfig {
     pub heartbeat: Duration,
     /// A connection that produced no traffic for this long is dead.
     pub liveness: Duration,
+    /// Most payloads coalesced into one batched frame (proto ≥ 2).
+    /// `1` disables batching without downgrading the protocol.
+    pub max_batch: usize,
+    /// How long a partially filled batch may wait for more payloads
+    /// before it is flushed anyway (the adaptive-flush deadline).
+    pub flush_interval: Duration,
+    /// Wire protocol version this endpoint offers at the handshake
+    /// ([`crate::WIRE_PROTO`]). Set to `1` to emulate a per-event-frame
+    /// peer, e.g. in mixed-version tests.
+    pub proto: u32,
 }
 
 impl Default for NetConfig {
@@ -53,6 +63,9 @@ impl Default for NetConfig {
             retry: RetryPolicy::default(),
             heartbeat: Duration::from_millis(100),
             liveness: Duration::from_secs(3),
+            max_batch: 512,
+            flush_interval: Duration::from_millis(1),
+            proto: crate::WIRE_PROTO,
         }
     }
 }

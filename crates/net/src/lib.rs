@@ -6,7 +6,9 @@
 //! three OS processes (or three hosts):
 //!
 //! * [`wire`] — the framing: 4-byte big-endian length prefix + one
-//!   JSON-encoded [`wire::Frame`].
+//!   JSON-encoded [`wire::Frame`]. Proto ≥ 2 sessions (negotiated at
+//!   the `Hello*` handshake, see [`wire::WIRE_PROTO`]) may coalesce
+//!   many payloads into one `ItemBatch`/`PublishBatch` frame.
 //! * [`conn`] — supervision policy: jittered exponential reconnect
 //!   backoff, heartbeat/liveness tunables ([`conn::NetConfig`]).
 //! * [`pubsub`] — lossy PUB/SUB ([`TcpBroker`], [`TcpPublisher`],
@@ -44,4 +46,4 @@ pub use conn::{Backoff, NetConfig, RetryPolicy};
 pub use pipe::{TcpPullServer, TcpPush};
 pub use pubsub::{TcpBroker, TcpPublisher, TcpSubscriber, TcpTransport};
 pub use store_rpc::{RemoteStore, StoreServer};
-pub use wire::{Frame, FRAME_HEADER_LEN, MAX_FRAME_LEN};
+pub use wire::{Frame, FRAME_HEADER_LEN, MAX_FRAME_LEN, WIRE_PROTO};

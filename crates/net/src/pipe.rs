@@ -32,9 +32,9 @@
 //! with [`TcpPullServer::bind_with_marks`].
 
 use crate::conn::{Backoff, NetConfig};
-use crate::wire::{write_msg, Frame, FrameReader};
+use crate::wire::{write_item_batch, write_msg, Frame, FrameReader};
 use sdci_mq::pipe::{pipeline, Pull, Push};
-use sdci_mq::transport::Publish;
+use sdci_mq::transport::{Publish, PublishOutcome};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -52,6 +52,9 @@ pub struct PullServerStats {
     pub items: u64,
     /// Re-sent items discarded as duplicates.
     pub duplicates: u64,
+    /// `ItemBatch` frames received (each acked once, however many
+    /// items it carried).
+    pub batches: u64,
 }
 
 #[derive(Debug, Default)]
@@ -59,6 +62,7 @@ struct ServerCounters {
     accepted: AtomicU64,
     items: AtomicU64,
     duplicates: AtomicU64,
+    batches: AtomicU64,
 }
 
 /// Per-client dedup high-water marks. Each client's mark has its own
@@ -173,6 +177,7 @@ where
             accepted: self.counters.accepted.load(Ordering::Relaxed),
             items: self.counters.items.load(Ordering::Relaxed),
             duplicates: self.counters.duplicates.load(Ordering::Relaxed),
+            batches: self.counters.batches.load(Ordering::Relaxed),
         }
     }
 
@@ -282,7 +287,9 @@ fn serve_pusher<T>(
     let opened = Instant::now();
     let (client, resume_after) = loop {
         match reader.read_msg::<Frame<T>>() {
-            Ok(Frame::HelloPush { client, resume_after }) => break (client, resume_after),
+            Ok(Frame::HelloPush { client, resume_after, proto: _ }) => {
+                break (client, resume_after)
+            }
             Err(e) if timed_out(&e) && opened.elapsed() <= cfg.liveness => {}
             _ => return,
         }
@@ -306,7 +313,12 @@ fn serve_pusher<T>(
         }
         *m
     };
-    if write_msg(&mut writer, &Frame::<T>::Ack { up_to: greeting }).is_err() {
+    // The greeting `Ack` doubles as version negotiation: it carries our
+    // protocol version so the client knows whether it may batch. A
+    // proto-1 server (emulated with `cfg.proto == 1`) omits the field,
+    // and the greeting is byte-identical to the PR 1 wire.
+    let offered = (cfg.proto >= 2).then_some(cfg.proto);
+    if write_msg(&mut writer, &Frame::<T>::Ack { up_to: greeting, proto: offered }).is_err() {
         return;
     }
     let mut last_traffic = Instant::now();
@@ -338,7 +350,42 @@ fn serve_pusher<T>(
                     }
                     *m
                 };
-                if write_msg(&mut writer, &Frame::<T>::Ack { up_to }).is_err() {
+                if write_msg(&mut writer, &Frame::<T>::Ack { up_to, proto: None }).is_err() {
+                    return;
+                }
+            }
+            Ok(Frame::ItemBatch { first_seq, payloads }) => {
+                last_traffic = Instant::now();
+                counters.batches.fetch_add(1, Ordering::Relaxed);
+                sdci_obs::static_metric!(counter, "sdci_net_pull_batches_total").inc();
+                // Same atomicity as the single-item path — the mark's
+                // mutex spans every member's check-push-update — but the
+                // lock is taken once and the whole run gets one `Ack`.
+                let up_to = {
+                    let mut m = mark.lock();
+                    let mut fresh = 0u64;
+                    let mut dups = 0u64;
+                    for (i, payload) in payloads.into_iter().enumerate() {
+                        let seq = first_seq + i as u64;
+                        if seq > *m {
+                            if !push.send(payload) {
+                                return;
+                            }
+                            *m = seq;
+                            fresh += 1;
+                        } else {
+                            // A re-sent batch may be only partially
+                            // stale: accept the tail, drop the prefix.
+                            dups += 1;
+                        }
+                    }
+                    counters.items.fetch_add(fresh, Ordering::Relaxed);
+                    sdci_obs::static_metric!(counter, "sdci_net_pull_items_total").add(fresh);
+                    counters.duplicates.fetch_add(dups, Ordering::Relaxed);
+                    sdci_obs::static_metric!(counter, "sdci_net_dedup_hits_total").add(dups);
+                    *m
+                };
+                if write_msg(&mut writer, &Frame::<T>::Ack { up_to, proto: None }).is_err() {
                     return;
                 }
             }
@@ -346,7 +393,7 @@ fn serve_pusher<T>(
                 last_traffic = Instant::now();
                 // Re-ack as a keepalive so an idle client still hears us.
                 let up_to = *mark.lock();
-                if write_msg(&mut writer, &Frame::<T>::Ack { up_to }).is_err() {
+                if write_msg(&mut writer, &Frame::<T>::Ack { up_to, proto: None }).is_err() {
                     return;
                 }
             }
@@ -467,8 +514,14 @@ impl<T> Publish<T> for TcpPush<T>
 where
     T: Clone + Send + Serialize + Deserialize + 'static,
 {
-    fn publish(&self, _topic: &str, payload: T) {
-        self.send(payload);
+    fn publish(&self, _topic: &str, payload: T) -> PublishOutcome {
+        // `send` only fails when the worker is gone, which never
+        // happens while a handle is alive — everything else queues.
+        if self.send(payload) {
+            PublishOutcome::Queued
+        } else {
+            PublishOutcome::Shed
+        }
     }
 }
 
@@ -534,17 +587,22 @@ fn push_worker<T>(
         // Timeout-tolerant reads: the heartbeat read timeout must not
         // desynchronize the stream when it fires mid-frame.
         let mut reader = FrameReader::new(stream);
-        let hello = Frame::<T>::HelloPush { client: client.clone(), resume_after: last_acked };
+        let hello = Frame::<T>::HelloPush {
+            client: client.clone(),
+            resume_after: last_acked,
+            proto: (cfg.proto >= 2).then_some(cfg.proto),
+        };
         if write_msg(&mut writer, &hello).is_err() {
             backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
             continue;
         }
         // The server replies with its own high-water mark, which may be
-        // ahead of ours (acks lost with the previous connection).
+        // ahead of ours (acks lost with the previous connection), and —
+        // on proto ≥ 2 servers — its protocol version.
         let hello_sent = Instant::now();
-        let server_mark = loop {
+        let (server_mark, server_proto) = loop {
             match reader.read_msg::<Frame<T>>() {
-                Ok(Frame::Ack { up_to }) => break up_to,
+                Ok(Frame::Ack { up_to, proto }) => break (up_to, proto.unwrap_or(1)),
                 Ok(_) => {}
                 Err(e) if timed_out(&e) => {
                     if hello_sent.elapsed() > cfg.liveness {
@@ -558,6 +616,11 @@ fn push_worker<T>(
                 }
             }
         };
+        // Effective session version: batch only when *both* ends speak
+        // proto ≥ 2 — a proto-1 server would kill the connection on an
+        // unknown `ItemBatch` variant and the resends would livelock.
+        let batched = cfg.proto.min(server_proto) >= 2 && cfg.max_batch > 1;
+        let max_batch = if batched { cfg.max_batch } else { 1 };
         if next_seq == 1 {
             // First contact of a fresh pusher process: nothing has been
             // sequenced locally yet. A nonzero server mark then belongs
@@ -570,14 +633,37 @@ fn push_worker<T>(
         } else {
             ack_up_to(server_mark, &mut unacked, &mut last_acked, &state);
         }
-        // Re-send everything the server has not seen.
+        // Re-send everything the server has not seen. Sequences in
+        // `unacked` are dense, so on a batched session the whole window
+        // re-ships as a few `ItemBatch` runs instead of one frame per
+        // item.
         sdci_obs::static_metric!(counter, "sdci_net_push_resends_total").add(unacked.len() as u64);
-        for (seq, item, sent_at) in unacked.iter_mut() {
-            *sent_at = Instant::now();
-            let frame = Frame::Item { seq: *seq, payload: item.clone() };
-            if write_msg(&mut writer, &frame).is_err() {
-                backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
-                continue 'reconnect;
+        if batched && unacked.len() > 1 {
+            let now = Instant::now();
+            let first_seq = unacked.front().map_or(0, |(seq, _, _)| *seq);
+            let payloads: Vec<T> = unacked
+                .iter_mut()
+                .map(|(_, item, sent_at)| {
+                    *sent_at = now;
+                    item.clone()
+                })
+                .collect();
+            let mut offset = 0u64;
+            for chunk in payloads.chunks(max_batch) {
+                if write_item_batch(&mut writer, first_seq + offset, chunk).is_err() {
+                    backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
+                    continue 'reconnect;
+                }
+                offset += chunk.len() as u64;
+            }
+        } else {
+            for (seq, item, sent_at) in unacked.iter_mut() {
+                *sent_at = Instant::now();
+                let frame = Frame::Item { seq: *seq, payload: item.clone() };
+                if write_msg(&mut writer, &frame).is_err() {
+                    backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
+                    continue 'reconnect;
+                }
             }
         }
         if state.connections.fetch_add(1, Ordering::Relaxed) > 0 {
@@ -585,22 +671,21 @@ fn push_worker<T>(
         }
         let mut last_write = Instant::now();
         let mut last_traffic = Instant::now();
+        // An item taken out of the queue by the idle wait, fed back
+        // into the next fill so it can coalesce with whatever arrived
+        // behind it.
+        let mut carry: Option<T> = None;
         loop {
-            // Fill the window from the local queue.
-            let mut wrote = false;
-            while unacked.len() < window {
+            // Fill phase: coalesce whatever is already queued, bounded
+            // by the free send window and the per-frame batch cap.
+            let mut batch: Vec<T> = Vec::new();
+            let budget = window.saturating_sub(unacked.len()).min(max_batch);
+            if let Some(item) = carry.take() {
+                batch.push(item);
+            }
+            while batch.len() < budget {
                 match rx.try_recv() {
-                    Ok(item) => {
-                        let seq = next_seq;
-                        next_seq += 1;
-                        unacked.push_back((seq, item.clone(), Instant::now()));
-                        let frame = Frame::Item { seq, payload: item };
-                        if write_msg(&mut writer, &frame).is_err() {
-                            backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
-                            continue 'reconnect;
-                        }
-                        wrote = true;
-                    }
+                    Ok(item) => batch.push(item),
                     Err(crossbeam_channel::TryRecvError::Empty) => break,
                     Err(crossbeam_channel::TryRecvError::Disconnected) => {
                         senders_gone = true;
@@ -608,7 +693,57 @@ fn push_worker<T>(
                     }
                 }
             }
-            if wrote {
+            // Adaptive flush: a partially filled batch waits up to the
+            // flush deadline for stragglers, so a trickle still
+            // coalesces without adding more than ~flush_interval of
+            // latency. A full batch (or a full window) flushes at once.
+            if batched && !batch.is_empty() && batch.len() < budget && !senders_gone {
+                let deadline = Instant::now() + cfg.flush_interval;
+                loop {
+                    let now = Instant::now();
+                    if now >= deadline || batch.len() >= budget {
+                        break;
+                    }
+                    match rx.recv_timeout(deadline - now) {
+                        Ok(item) => batch.push(item),
+                        Err(crossbeam_channel::RecvTimeoutError::Timeout) => break,
+                        Err(crossbeam_channel::RecvTimeoutError::Disconnected) => {
+                            senders_gone = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if !batch.is_empty() {
+                let first_seq = next_seq;
+                let now = Instant::now();
+                for item in &batch {
+                    unacked.push_back((next_seq, item.clone(), now));
+                    next_seq += 1;
+                }
+                if batched {
+                    let reason = if batch.len() >= budget { "size" } else { "deadline" };
+                    sdci_obs::registry()
+                        .counter_with("sdci_net_batch_flush_total", &[("reason", reason)])
+                        .inc();
+                    // The histogram's base unit is seconds; recording
+                    // `len` seconds as nanoseconds makes the exported
+                    // values read directly as batch sizes.
+                    sdci_obs::static_metric!(histogram, "sdci_net_batch_size")
+                        .observe_ns(batch.len() as u64 * 1_000_000_000);
+                }
+                // A lone item still travels as a plain `Item` — same
+                // bytes as proto 1, and nothing to split.
+                let ok = if batch.len() == 1 {
+                    let payload = batch.pop().expect("batch has one item");
+                    write_msg(&mut writer, &Frame::Item { seq: first_seq, payload }).is_ok()
+                } else {
+                    write_item_batch(&mut writer, first_seq, &batch).is_ok()
+                };
+                if !ok {
+                    backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
+                    continue 'reconnect;
+                }
                 last_write = Instant::now();
             }
             if unacked.is_empty() {
@@ -616,19 +751,11 @@ fn push_worker<T>(
                     let _ = write_msg(&mut writer, &Frame::<T>::Fin);
                     return;
                 }
-                // Idle: wait for new items, pinging to stay alive.
+                // Idle: wait for new items, pinging to stay alive. The
+                // item is carried into the next fill phase rather than
+                // written here, so it can still form a batch.
                 match rx.recv_timeout(cfg.heartbeat) {
-                    Ok(item) => {
-                        let seq = next_seq;
-                        next_seq += 1;
-                        unacked.push_back((seq, item.clone(), Instant::now()));
-                        let frame = Frame::Item { seq, payload: item };
-                        if write_msg(&mut writer, &frame).is_err() {
-                            backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
-                            continue 'reconnect;
-                        }
-                        last_write = Instant::now();
-                    }
+                    Ok(item) => carry = Some(item),
                     Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
                         if last_write.elapsed() >= cfg.heartbeat {
                             if write_msg(&mut writer, &Frame::<T>::Ping).is_err() {
@@ -651,7 +778,7 @@ fn push_worker<T>(
                 // partition (no RST/FIN) would hang the lossless leg
                 // forever.
                 match reader.read_msg::<Frame<T>>() {
-                    Ok(Frame::Ack { up_to }) => {
+                    Ok(Frame::Ack { up_to, proto: _ }) => {
                         last_traffic = Instant::now();
                         ack_up_to(up_to, &mut unacked, &mut last_acked, &state);
                     }

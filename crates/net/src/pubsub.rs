@@ -19,10 +19,11 @@
 //! within the configured liveness window.
 
 use crate::conn::{Backoff, NetConfig};
-use crate::wire::{write_msg, Frame, FrameReader};
+use crate::wire::{write_msg, write_publish_batch, Frame, FrameReader};
 use sdci_mq::pubsub::{Broker, Message};
-use sdci_mq::transport::{Publish, Subscribe, Transport};
+use sdci_mq::transport::{Publish, PublishOutcome, Subscribe, Transport};
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -34,8 +35,12 @@ use std::time::{Duration, Instant};
 pub struct TcpBrokerStats {
     /// Connections accepted (all roles).
     pub accepted: u64,
-    /// Frames received from remote publishers.
+    /// Frames received from remote publishers. A `PublishBatch` frame
+    /// counts once regardless of how many messages it carries.
     pub frames_in: u64,
+    /// Messages received from remote publishers (each batched payload
+    /// counts individually).
+    pub messages_in: u64,
     /// Frames delivered to remote subscribers.
     pub frames_out: u64,
 }
@@ -44,6 +49,7 @@ pub struct TcpBrokerStats {
 struct BrokerCounters {
     accepted: AtomicU64,
     frames_in: AtomicU64,
+    messages_in: AtomicU64,
     frames_out: AtomicU64,
 }
 
@@ -141,6 +147,7 @@ where
         TcpBrokerStats {
             accepted: self.counters.accepted.load(Ordering::Relaxed),
             frames_in: self.counters.frames_in.load(Ordering::Relaxed),
+            messages_in: self.counters.messages_in.load(Ordering::Relaxed),
             frames_out: self.counters.frames_out.load(Ordering::Relaxed),
         }
     }
@@ -239,7 +246,7 @@ fn serve_connection<T>(
 /// quiet, finishes, or the server stops.
 fn serve_publisher<T>(
     reader: &mut FrameReader<TcpStream>,
-    _writer: &mut TcpStream,
+    writer: &mut TcpStream,
     local: Broker<T>,
     cfg: NetConfig,
     stop: Arc<AtomicBool>,
@@ -249,6 +256,16 @@ fn serve_publisher<T>(
 {
     let publisher = local.publisher();
     let _ = reader.get_ref().set_read_timeout(Some(cfg.heartbeat));
+    // Version negotiation: `HelloPublisher` is a bare string and cannot
+    // carry a version, so the broker volunteers its own in a greeting
+    // `Ack`. A proto-1 publisher never reads its socket and is
+    // unaffected; a proto-2 one waits briefly for this frame and falls
+    // back to per-event `Publish` frames when it doesn't arrive.
+    if cfg.proto >= 2
+        && write_msg(writer, &Frame::<T>::Ack { up_to: 0, proto: Some(cfg.proto) }).is_err()
+    {
+        return;
+    }
     let mut last_traffic = Instant::now();
     // `stop` is checked every iteration, not just on timeouts: a peer
     // that keeps traffic flowing must not be able to pin the handler
@@ -257,7 +274,16 @@ fn serve_publisher<T>(
         match reader.read_msg::<Frame<T>>() {
             Ok(Frame::Publish { topic, payload }) => {
                 counters.frames_in.fetch_add(1, Ordering::Relaxed);
+                counters.messages_in.fetch_add(1, Ordering::Relaxed);
                 publisher.publish(&topic, payload);
+                last_traffic = Instant::now();
+            }
+            Ok(Frame::PublishBatch { topic, payloads }) => {
+                counters.frames_in.fetch_add(1, Ordering::Relaxed);
+                counters.messages_in.fetch_add(payloads.len() as u64, Ordering::Relaxed);
+                for payload in payloads {
+                    publisher.publish(&topic, payload);
+                }
                 last_traffic = Instant::now();
             }
             Ok(Frame::Ping) => last_traffic = Instant::now(),
@@ -377,13 +403,16 @@ where
 
     /// Publishes without blocking; sheds (and counts) when the outbound
     /// queue is at its high-water mark.
-    pub fn publish(&self, topic: &str, payload: T) {
+    pub fn publish(&self, topic: &str, payload: T) -> PublishOutcome {
         sdci_obs::static_metric!(counter, "sdci_net_publish_total").inc();
         if self.tx.try_send((topic.to_string(), payload)).is_err() {
             self.counters.dropped.fetch_add(1, Ordering::Relaxed);
             sdci_obs::registry()
                 .counter_with("sdci_net_pub_dropped_total", &[("topic", topic)])
                 .inc();
+            PublishOutcome::Shed
+        } else {
+            PublishOutcome::Queued
         }
     }
 
@@ -408,8 +437,8 @@ impl<T> Publish<T> for TcpPublisher<T>
 where
     T: Serialize + Send + 'static,
 {
-    fn publish(&self, topic: &str, payload: T) {
-        TcpPublisher::publish(self, topic, payload);
+    fn publish(&self, topic: &str, payload: T) -> PublishOutcome {
+        TcpPublisher::publish(self, topic, payload)
     }
 }
 
@@ -437,19 +466,99 @@ fn publisher_worker<T: Serialize + Send + 'static>(
             backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
             continue;
         }
+        // A proto ≥ 2 broker answers the hello with a greeting `Ack`
+        // carrying its version; a proto-1 broker sends nothing. Wait at
+        // most a heartbeat for it, then settle on per-event frames —
+        // messages queue locally in the meantime, nothing is lost that
+        // the lossy leg wouldn't shed anyway.
+        let batched = cfg.proto >= 2 && cfg.max_batch > 1 && {
+            let mut server_proto = 1u32;
+            if let Ok(read_half) = stream.try_clone() {
+                let _ = read_half.set_read_timeout(Some(cfg.heartbeat));
+                let mut reader = FrameReader::new(read_half);
+                let greeted = Instant::now();
+                loop {
+                    // `Frame<()>`: the greeting carries no payloads, and
+                    // the publisher leg never requires `T: Deserialize`.
+                    match reader.read_msg::<Frame<()>>() {
+                        Ok(Frame::Ack { up_to: _, proto }) => {
+                            server_proto = proto.unwrap_or(1);
+                            break;
+                        }
+                        Ok(_) => {}
+                        Err(e) if timed_out(&e) => {
+                            if greeted.elapsed() >= cfg.heartbeat {
+                                break;
+                            }
+                        }
+                        Err(_) => break,
+                    }
+                }
+            }
+            server_proto >= 2
+        };
         if counters.connections.fetch_add(1, Ordering::Relaxed) > 0 {
             sdci_obs::static_metric!(counter, "sdci_net_publisher_reconnects_total").inc();
         }
         loop {
             match rx.recv_timeout(cfg.heartbeat) {
                 Ok((topic, payload)) => {
-                    let frame = Frame::Publish { topic, payload };
-                    if write_msg(&mut stream, &frame).is_err() {
-                        // The frame is lost with the link: lossy leg.
-                        counters.dropped.fetch_add(1, Ordering::Relaxed);
-                        sdci_obs::static_metric!(counter, "sdci_net_pub_link_lost_total").inc();
-                        backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
-                        continue 'reconnect;
+                    // Coalesce whatever else is already queued (plus, on
+                    // a lone message, up to a flush-interval of
+                    // stragglers) and ship maximal same-topic runs as
+                    // `PublishBatch` frames, preserving publish order.
+                    let mut batch: VecDeque<(String, T)> = VecDeque::new();
+                    batch.push_back((topic, payload));
+                    if batched {
+                        while batch.len() < cfg.max_batch {
+                            match rx.try_recv() {
+                                Ok(pair) => batch.push_back(pair),
+                                Err(_) => break,
+                            }
+                        }
+                        if batch.len() == 1 {
+                            let deadline = Instant::now() + cfg.flush_interval;
+                            while batch.len() < cfg.max_batch {
+                                let now = Instant::now();
+                                if now >= deadline {
+                                    break;
+                                }
+                                match rx.recv_timeout(deadline - now) {
+                                    Ok(pair) => batch.push_back(pair),
+                                    Err(_) => break,
+                                }
+                            }
+                        }
+                        let reason = if batch.len() >= cfg.max_batch { "size" } else { "deadline" };
+                        sdci_obs::registry()
+                            .counter_with("sdci_net_batch_flush_total", &[("reason", reason)])
+                            .inc();
+                        // Seconds are the histogram's base unit, so `len`
+                        // seconds exports directly as the batch size.
+                        sdci_obs::static_metric!(histogram, "sdci_net_batch_size")
+                            .observe_ns(batch.len() as u64 * 1_000_000_000);
+                    }
+                    while let Some((topic, payload)) = batch.pop_front() {
+                        let mut run: Vec<T> = vec![payload];
+                        while batch.front().is_some_and(|(t, _)| *t == topic) {
+                            run.push(batch.pop_front().map(|(_, p)| p).expect("peeked front"));
+                        }
+                        let ok = if run.len() == 1 {
+                            let payload = run.pop().expect("run has one payload");
+                            write_msg(&mut stream, &Frame::Publish { topic, payload }).is_ok()
+                        } else {
+                            write_publish_batch(&mut stream, &topic, &run).is_ok()
+                        };
+                        if !ok {
+                            // Everything not yet on the wire is lost
+                            // with the link: lossy leg.
+                            let lost = (run.len().max(1) + batch.len()) as u64;
+                            counters.dropped.fetch_add(lost, Ordering::Relaxed);
+                            sdci_obs::static_metric!(counter, "sdci_net_pub_link_lost_total")
+                                .add(lost);
+                            backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
+                            continue 'reconnect;
+                        }
                     }
                 }
                 Err(crossbeam_channel::RecvTimeoutError::Timeout) => {

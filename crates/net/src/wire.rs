@@ -23,6 +23,18 @@ pub const FRAME_HEADER_LEN: usize = 4;
 /// corrupt stream rather than an allocation request.
 pub const MAX_FRAME_LEN: usize = 64 << 20;
 
+/// Highest wire protocol version this build speaks.
+///
+/// * **1** — the PR 1 protocol: one event per `Item`/`Publish` frame.
+/// * **2** — adds the batched variants [`Frame::ItemBatch`] and
+///   [`Frame::PublishBatch`].
+///
+/// Versions are exchanged at the `Hello*` handshake as an *optional*
+/// field: a proto-1 peer never sends it and ignores unknown fields, so
+/// both directions of a mixed-version session degrade to per-event
+/// frames. The effective session version is `min(ours, theirs)`.
+pub const WIRE_PROTO: u32 = 2;
+
 /// One protocol message. `T` is the event payload type (e.g. `FileEvent`
 /// on the Collector leg, `FeedMessage` on the consumer leg).
 #[derive(Debug, Clone, PartialEq)]
@@ -43,6 +55,9 @@ pub enum Frame<T> {
         client: String,
         /// Highest push sequence number the client saw acknowledged.
         resume_after: u64,
+        /// Wire protocol version the client speaks ([`WIRE_PROTO`]).
+        /// Omitted on the wire when `None`; absent means proto 1.
+        proto: Option<u32>,
     },
     /// Publisher → broker: publish `payload` on `topic` (lossy leg).
     Publish {
@@ -66,11 +81,32 @@ pub enum Frame<T> {
         /// The payload.
         payload: T,
     },
+    /// Pusher → puller: a contiguous run of items in one frame
+    /// (proto ≥ 2). Member `i` carries sequence `first_seq + i`; the
+    /// puller acks the whole run with a single `Ack`.
+    ItemBatch {
+        /// Sequence number of `payloads[0]`.
+        first_seq: u64,
+        /// The payloads, in sequence order. Never empty.
+        payloads: Vec<T>,
+    },
+    /// Publisher → broker: several payloads for one topic in one frame
+    /// (proto ≥ 2, lossy leg).
+    PublishBatch {
+        /// Topic every payload is published on.
+        topic: String,
+        /// The payloads, in publish order. Never empty.
+        payloads: Vec<T>,
+    },
     /// Puller → pusher: everything up to and including `up_to` has been
     /// handed to the local pipeline — the pusher may drop it.
     Ack {
         /// Highest contiguously accepted sequence number.
         up_to: u64,
+        /// Wire protocol version the server speaks, echoed in the
+        /// greeting `Ack` that answers a `HelloPush`; `None` (omitted
+        /// on the wire) on regular acks and from proto-1 servers.
+        proto: Option<u32>,
     },
     /// Liveness probe, sent when a direction has been idle.
     Ping,
@@ -90,10 +126,14 @@ impl<T: Serialize> Serialize for Frame<T> {
             Frame::HelloSubscriber { prefixes } => {
                 variant("HelloSubscriber", vec![("prefixes", prefixes.to_value())])
             }
-            Frame::HelloPush { client, resume_after } => variant(
-                "HelloPush",
-                vec![("client", client.to_value()), ("resume_after", resume_after.to_value())],
-            ),
+            Frame::HelloPush { client, resume_after, proto } => {
+                let mut fields =
+                    vec![("client", client.to_value()), ("resume_after", resume_after.to_value())];
+                if let Some(p) = proto {
+                    fields.push(("proto", p.to_value()));
+                }
+                variant("HelloPush", fields)
+            }
             Frame::Publish { topic, payload } => variant(
                 "Publish",
                 vec![("topic", topic.to_value()), ("payload", payload.to_value())],
@@ -105,7 +145,21 @@ impl<T: Serialize> Serialize for Frame<T> {
             Frame::Item { seq, payload } => {
                 variant("Item", vec![("seq", seq.to_value()), ("payload", payload.to_value())])
             }
-            Frame::Ack { up_to } => variant("Ack", vec![("up_to", up_to.to_value())]),
+            Frame::ItemBatch { first_seq, payloads } => variant(
+                "ItemBatch",
+                vec![("first_seq", first_seq.to_value()), ("payloads", payloads.to_value())],
+            ),
+            Frame::PublishBatch { topic, payloads } => variant(
+                "PublishBatch",
+                vec![("topic", topic.to_value()), ("payloads", payloads.to_value())],
+            ),
+            Frame::Ack { up_to, proto } => {
+                let mut fields = vec![("up_to", up_to.to_value())];
+                if let Some(p) = proto {
+                    fields.push(("proto", p.to_value()));
+                }
+                variant("Ack", fields)
+            }
             Frame::Ping => Value::Str("Ping".into()),
             Frame::Fin => Value::Str("Fin".into()),
         }
@@ -142,6 +196,11 @@ impl<T: Deserialize> Deserialize for Frame<T> {
                             "HelloPush",
                             "resume_after",
                         )?)?,
+                        // Absent on proto-1 wires; treat as "not stated".
+                        proto: match body.get("proto") {
+                            Some(v) => Deserialize::from_value(v)?,
+                            None => None,
+                        },
                     }),
                     "Publish" => Ok(Frame::Publish {
                         topic: Deserialize::from_value(field(body, "Publish", "topic")?)?,
@@ -155,8 +214,24 @@ impl<T: Deserialize> Deserialize for Frame<T> {
                         seq: Deserialize::from_value(field(body, "Item", "seq")?)?,
                         payload: Deserialize::from_value(field(body, "Item", "payload")?)?,
                     }),
+                    "ItemBatch" => Ok(Frame::ItemBatch {
+                        first_seq: Deserialize::from_value(field(body, "ItemBatch", "first_seq")?)?,
+                        payloads: Deserialize::from_value(field(body, "ItemBatch", "payloads")?)?,
+                    }),
+                    "PublishBatch" => Ok(Frame::PublishBatch {
+                        topic: Deserialize::from_value(field(body, "PublishBatch", "topic")?)?,
+                        payloads: Deserialize::from_value(field(
+                            body,
+                            "PublishBatch",
+                            "payloads",
+                        )?)?,
+                    }),
                     "Ack" => Ok(Frame::Ack {
                         up_to: Deserialize::from_value(field(body, "Ack", "up_to")?)?,
+                        proto: match body.get("proto") {
+                            Some(v) => Deserialize::from_value(v)?,
+                            None => None,
+                        },
                     }),
                     other => Err(DeError::msg(format!("unknown Frame variant `{other}`"))),
                 }
@@ -177,6 +252,11 @@ fn invalid(err: impl std::fmt::Display) -> io::Error {
 /// Propagates I/O failures from the underlying writer.
 pub fn write_msg<M: Serialize>(w: &mut impl Write, msg: &M) -> io::Result<()> {
     let body = serde_json::to_string(msg).map_err(invalid)?;
+    write_body(w, &body)
+}
+
+/// Writes one already-serialized frame body with its length prefix.
+fn write_body(w: &mut impl Write, body: &str) -> io::Result<()> {
     let bytes = body.as_bytes();
     let len = u32::try_from(bytes.len()).map_err(|_| invalid("frame exceeds u32 length prefix"))?;
     w.write_all(&len.to_be_bytes())?;
@@ -186,6 +266,104 @@ pub fn write_msg<M: Serialize>(w: &mut impl Write, msg: &M) -> io::Result<()> {
     sdci_obs::static_metric!(counter, "sdci_net_bytes_out_total")
         .add((FRAME_HEADER_LEN + bytes.len()) as u64);
     Ok(())
+}
+
+/// Adapter so a pre-built frame [`Value`] can go through `serde_json`
+/// without re-serializing every payload on a batch split.
+struct RawValue<'a>(&'a Value);
+
+impl Serialize for RawValue<'_> {
+    fn to_value(&self) -> Value {
+        self.0.clone()
+    }
+}
+
+/// Writes `payloads` as one [`Frame::ItemBatch`] (member `i` carrying
+/// sequence `first_seq + i`), splitting into several frames when the
+/// encoded batch would exceed [`MAX_FRAME_LEN`]. Returns the number of
+/// frames written.
+///
+/// # Errors
+///
+/// Propagates I/O failures from the underlying writer.
+pub fn write_item_batch<T: Serialize>(
+    w: &mut impl Write,
+    first_seq: u64,
+    payloads: &[T],
+) -> io::Result<usize> {
+    write_item_batch_capped(w, first_seq, payloads, MAX_FRAME_LEN)
+}
+
+/// [`write_item_batch`] with an explicit frame-size cap (exercised with
+/// a tiny cap in tests; production callers use [`MAX_FRAME_LEN`]).
+pub(crate) fn write_item_batch_capped<T: Serialize>(
+    w: &mut impl Write,
+    first_seq: u64,
+    payloads: &[T],
+    max_len: usize,
+) -> io::Result<usize> {
+    let values: Vec<Value> = payloads.iter().map(Serialize::to_value).collect();
+    write_split(w, &values, 0, max_len, &|lo, chunk| {
+        batch_frame("ItemBatch", ("first_seq", (first_seq + lo as u64).to_value()), chunk)
+    })
+}
+
+/// Writes `payloads` as one [`Frame::PublishBatch`] on `topic`,
+/// splitting into several frames when the encoded batch would exceed
+/// [`MAX_FRAME_LEN`]. Returns the number of frames written.
+///
+/// # Errors
+///
+/// Propagates I/O failures from the underlying writer.
+pub fn write_publish_batch<T: Serialize>(
+    w: &mut impl Write,
+    topic: &str,
+    payloads: &[T],
+) -> io::Result<usize> {
+    write_publish_batch_capped(w, topic, payloads, MAX_FRAME_LEN)
+}
+
+/// [`write_publish_batch`] with an explicit frame-size cap.
+pub(crate) fn write_publish_batch_capped<T: Serialize>(
+    w: &mut impl Write,
+    topic: &str,
+    payloads: &[T],
+    max_len: usize,
+) -> io::Result<usize> {
+    let values: Vec<Value> = payloads.iter().map(Serialize::to_value).collect();
+    write_split(w, &values, 0, max_len, &|_, chunk| {
+        batch_frame("PublishBatch", ("topic", topic.to_value()), chunk)
+    })
+}
+
+fn batch_frame(name: &str, head: (&str, Value), chunk: &[Value]) -> Value {
+    variant(name, vec![head, ("payloads", Value::Seq(chunk.to_vec()))])
+}
+
+/// Recursively halves `values` until each frame fits `max_len`, writing
+/// the resulting frames in order. A single payload whose frame still
+/// exceeds the cap is written anyway — it cannot be split further, and
+/// the u32/`MAX_FRAME_LEN` length checks remain the backstop.
+fn write_split(
+    w: &mut impl Write,
+    values: &[Value],
+    offset: usize,
+    max_len: usize,
+    frame_for: &dyn Fn(usize, &[Value]) -> Value,
+) -> io::Result<usize> {
+    if values.is_empty() {
+        return Ok(0);
+    }
+    let frame = frame_for(offset, values);
+    let body = serde_json::to_string(&RawValue(&frame)).map_err(invalid)?;
+    if body.len() <= max_len || values.len() == 1 {
+        write_body(w, &body)?;
+        return Ok(1);
+    }
+    let mid = values.len() / 2;
+    let left = write_split(w, &values[..mid], offset, max_len, frame_for)?;
+    let right = write_split(w, &values[mid..], offset + mid, max_len, frame_for)?;
+    Ok(left + right)
 }
 
 /// Reads one length-prefixed message.
@@ -343,13 +521,108 @@ mod tests {
     fn frames_roundtrip() {
         roundtrip(Frame::HelloPublisher);
         roundtrip(Frame::HelloSubscriber { prefixes: vec!["events/".into(), String::new()] });
-        roundtrip(Frame::HelloPush { client: "mdt0".into(), resume_after: 41 });
+        roundtrip(Frame::HelloPush { client: "mdt0".into(), resume_after: 41, proto: None });
+        roundtrip(Frame::HelloPush {
+            client: "mdt0".into(),
+            resume_after: 41,
+            proto: Some(WIRE_PROTO),
+        });
         roundtrip(Frame::Publish { topic: "events/mdt0".into(), payload: event(1) });
         roundtrip(Frame::Deliver { topic: "feed/all".into(), payload: event(2) });
         roundtrip(Frame::Item { seq: 9, payload: event(3) });
-        roundtrip(Frame::Ack { up_to: 9 });
+        roundtrip(Frame::ItemBatch { first_seq: 7, payloads: vec![event(7), event(8)] });
+        roundtrip(Frame::PublishBatch {
+            topic: "events/mdt0".into(),
+            payloads: vec![event(1), event(2), event(3)],
+        });
+        roundtrip(Frame::Ack { up_to: 9, proto: None });
+        roundtrip(Frame::Ack { up_to: 0, proto: Some(WIRE_PROTO) });
         roundtrip(Frame::Ping);
         roundtrip(Frame::Fin);
+    }
+
+    /// Proto-1 peers serialize `HelloPush`/`Ack` without a `proto`
+    /// field; those exact bytes must keep parsing (as `proto: None`),
+    /// and a proto-`None` frame we write must not grow new fields a
+    /// proto-1 peer would choke on.
+    #[test]
+    fn proto1_hello_and_ack_wire_compat() {
+        let old_hello = r#"{"HelloPush":{"client":"mdt0","resume_after":41}}"#;
+        let frame: Frame<FileEvent> = serde_json::from_str(old_hello).unwrap();
+        assert_eq!(
+            frame,
+            Frame::HelloPush { client: "mdt0".into(), resume_after: 41, proto: None }
+        );
+        assert_eq!(serde_json::to_string(&frame).unwrap(), old_hello);
+
+        let old_ack = r#"{"Ack":{"up_to":9}}"#;
+        let frame: Frame<FileEvent> = serde_json::from_str(old_ack).unwrap();
+        assert_eq!(frame, Frame::Ack { up_to: 9, proto: None });
+        assert_eq!(serde_json::to_string(&frame).unwrap(), old_ack);
+    }
+
+    #[test]
+    fn item_batch_writer_matches_frame_encoding() {
+        let payloads = vec![event(1), event(2), event(3)];
+        let mut via_helper = Vec::new();
+        let frames = write_item_batch(&mut via_helper, 5, &payloads).unwrap();
+        assert_eq!(frames, 1);
+        let mut via_frame = Vec::new();
+        write_msg(&mut via_frame, &Frame::ItemBatch { first_seq: 5, payloads }).unwrap();
+        assert_eq!(via_helper, via_frame);
+    }
+
+    #[test]
+    fn oversized_batches_split_and_read_back_in_order() {
+        let payloads: Vec<FileEvent> = (0..16).map(event).collect();
+        let one_event_frame = {
+            let mut buf = Vec::new();
+            write_msg(&mut buf, &Frame::ItemBatch { first_seq: 1, payloads: vec![event(0)] })
+                .unwrap();
+            buf.len()
+        };
+        // A cap of roughly three events forces recursive splitting.
+        let cap = one_event_frame * 3;
+        let mut buf = Vec::new();
+        let frames = write_item_batch_capped(&mut buf, 1, &payloads, cap).unwrap();
+        assert!(frames > 1, "cap {cap} should split 16 events, got {frames} frame(s)");
+
+        let mut cursor = &buf[..];
+        let mut next_seq = 1u64;
+        let mut got = Vec::new();
+        for _ in 0..frames {
+            match read_msg::<Frame<FileEvent>>(&mut cursor).unwrap() {
+                Frame::ItemBatch { first_seq, payloads } => {
+                    assert_eq!(first_seq, next_seq, "split frames must stay contiguous");
+                    next_seq += payloads.len() as u64;
+                    got.extend(payloads);
+                }
+                other => panic!("expected ItemBatch, got {other:?}"),
+            }
+        }
+        assert!(cursor.is_empty());
+        assert_eq!(got, payloads);
+    }
+
+    #[test]
+    fn publish_batch_split_preserves_topic_and_order() {
+        let payloads: Vec<FileEvent> = (0..8).map(event).collect();
+        let mut buf = Vec::new();
+        let frames = write_publish_batch_capped(&mut buf, "events/mdt0", &payloads, 256).unwrap();
+        assert!(frames > 1);
+        let mut cursor = &buf[..];
+        let mut got = Vec::new();
+        for _ in 0..frames {
+            match read_msg::<Frame<FileEvent>>(&mut cursor).unwrap() {
+                Frame::PublishBatch { topic, payloads } => {
+                    assert_eq!(topic, "events/mdt0");
+                    got.extend(payloads);
+                }
+                other => panic!("expected PublishBatch, got {other:?}"),
+            }
+        }
+        assert!(cursor.is_empty());
+        assert_eq!(got, payloads);
     }
 
     #[test]

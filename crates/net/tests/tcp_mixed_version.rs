@@ -1,0 +1,160 @@
+//! Mixed-version wire sessions: a proto-2 (batching) peer and a
+//! proto-1 (per-event) peer must interoperate losslessly in either
+//! direction, and batched sessions must keep the exactly-once contract
+//! across a server kill-restart — including deduplication of a resent
+//! partially-applied batch.
+
+use sdci_net::wire::{read_msg, write_item_batch, write_msg, Frame};
+use sdci_net::{NetConfig, RetryPolicy, TcpPullServer, TcpPush};
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn fast_cfg() -> NetConfig {
+    NetConfig {
+        hwm: 8192,
+        window: 1024,
+        retry: RetryPolicy { base: Duration::from_millis(10), max: Duration::from_millis(100) },
+        heartbeat: Duration::from_millis(20),
+        liveness: Duration::from_millis(500),
+        ..NetConfig::default()
+    }
+}
+
+/// A config that emulates a peer from before the batch protocol existed.
+fn proto1_cfg() -> NetConfig {
+    NetConfig { proto: 1, ..fast_cfg() }
+}
+
+fn drain_all(server: &TcpPullServer<u64>, n: usize) -> Vec<u64> {
+    let pull = server.pull();
+    let mut got = Vec::new();
+    while let Some(item) = pull.recv_timeout(Duration::from_secs(2)) {
+        got.push(item);
+        if got.len() == n {
+            break;
+        }
+    }
+    got
+}
+
+#[test]
+fn batched_pusher_against_per_event_server_falls_back_losslessly() {
+    // The server speaks proto 1: its greeting carries no version, so the
+    // proto-2 pusher must settle on per-event `Item` frames.
+    let server = TcpPullServer::<u64>::bind("127.0.0.1:0", 4096, proto1_cfg()).unwrap();
+    let push = TcpPush::connect(server.local_addr(), "new-client", fast_cfg());
+    const N: u64 = 500;
+    for i in 0..N {
+        assert!(push.send(i));
+    }
+    assert!(push.drain(Duration::from_secs(10)), "mixed-version session never drained");
+    assert_eq!(drain_all(&server, N as usize), (0..N).collect::<Vec<_>>());
+    let stats = server.stats();
+    assert_eq!(stats.items, N);
+    assert_eq!(stats.duplicates, 0);
+    assert_eq!(stats.batches, 0, "a proto-1 server must never receive batch frames");
+    server.shutdown();
+}
+
+#[test]
+fn per_event_pusher_against_batched_server_is_lossless() {
+    // The pusher predates batching (proto 1): it ignores the greeting's
+    // advertised version and streams per-event frames; the proto-2
+    // server must accept them unchanged.
+    let server = TcpPullServer::<u64>::bind("127.0.0.1:0", 4096, fast_cfg()).unwrap();
+    let push = TcpPush::connect(server.local_addr(), "old-client", proto1_cfg());
+    const N: u64 = 500;
+    for i in 0..N {
+        assert!(push.send(i));
+    }
+    assert!(push.drain(Duration::from_secs(10)), "mixed-version session never drained");
+    assert_eq!(drain_all(&server, N as usize), (0..N).collect::<Vec<_>>());
+    let stats = server.stats();
+    assert_eq!(stats.items, N);
+    assert_eq!(stats.duplicates, 0);
+    assert_eq!(stats.batches, 0, "a proto-1 pusher never sends batch frames");
+    server.shutdown();
+}
+
+#[test]
+fn batched_session_survives_server_kill_restart_without_loss() {
+    let cfg = fast_cfg();
+    let server1 = TcpPullServer::<u64>::bind("127.0.0.1:0", 8192, cfg.clone()).unwrap();
+    let addr = server1.local_addr();
+    let push = TcpPush::connect(addr, "mdt0", cfg.clone());
+
+    const A: u64 = 2000;
+    for i in 0..A {
+        assert!(push.send(i));
+    }
+    assert!(push.drain(Duration::from_secs(10)));
+    assert_eq!(drain_all(&server1, A as usize), (0..A).collect::<Vec<_>>());
+    assert!(
+        server1.stats().batches > 0,
+        "a burst of {A} rapid sends on a proto-2 session should coalesce into batch frames"
+    );
+    server1.shutdown();
+
+    // Unacked items queue while the port is dark — at most a window's
+    // worth, since `send` blocks on the full queue and nobody drains it
+    // until the link is back. The restarted server (fresh marks) must
+    // receive the batched resend exactly once.
+    const B: u64 = 800;
+    for i in A..A + B {
+        assert!(push.send(i));
+    }
+    std::thread::sleep(Duration::from_millis(50));
+    let server2 = TcpPullServer::<u64>::bind(addr, 8192, cfg).unwrap();
+    assert!(push.drain(Duration::from_secs(10)), "pusher never caught up after the restart");
+    assert_eq!(
+        drain_all(&server2, B as usize),
+        (A..A + B).collect::<Vec<_>>(),
+        "kill-restart lost or duplicated batched items"
+    );
+    assert_eq!(server2.stats().items, B);
+    assert_eq!(server2.stats().duplicates, 0);
+    assert!(push.connections() >= 2, "expected at least one reconnect");
+    server2.shutdown();
+}
+
+#[test]
+fn resent_partial_batch_is_deduplicated_not_reapplied() {
+    // A server restored from a snapshot already holding client c's
+    // items through seq 5 — as if it crashed mid-batch after applying a
+    // prefix. The client, restarted from a stale checkpoint, resends
+    // the whole batch 1..=10 in a single `ItemBatch`. The server must
+    // accept only the fresh tail, count the prefix as duplicates, and
+    // ack the batch once.
+    let marks: HashMap<String, u64> = [("c".to_string(), 5u64)].into_iter().collect();
+    let server =
+        TcpPullServer::<u64>::bind_with_marks("127.0.0.1:0", 64, fast_cfg(), marks).unwrap();
+
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    write_msg(
+        &mut writer,
+        &Frame::<u64>::HelloPush { client: "c".into(), resume_after: 0, proto: Some(2) },
+    )
+    .unwrap();
+    assert_eq!(
+        read_msg::<Frame<u64>>(&mut reader).unwrap(),
+        Frame::Ack { up_to: 5, proto: Some(2) }
+    );
+
+    let payloads: Vec<u64> = (1..=10).collect();
+    write_item_batch(&mut writer, 1, &payloads).unwrap();
+    // One ack for the whole batch, at the post-batch mark.
+    assert_eq!(read_msg::<Frame<u64>>(&mut reader).unwrap(), Frame::Ack { up_to: 10, proto: None });
+    write_msg(&mut writer, &Frame::<u64>::Fin).unwrap();
+
+    let stats = server.stats();
+    assert_eq!(stats.items, 5, "only the fresh tail 6..=10 is accepted");
+    assert_eq!(stats.duplicates, 5, "the already-applied prefix 1..=5 is deduplicated");
+    assert_eq!(stats.batches, 1);
+    assert_eq!(drain_all(&server, 5), (6..=10).collect::<Vec<_>>());
+    assert_eq!(server.marks().get("c"), Some(&10));
+    server.shutdown();
+}

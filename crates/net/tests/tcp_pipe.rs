@@ -17,6 +17,7 @@ fn fast_cfg() -> NetConfig {
         retry: RetryPolicy { base: Duration::from_millis(10), max: Duration::from_millis(100) },
         heartbeat: Duration::from_millis(20),
         liveness: Duration::from_millis(500),
+        ..NetConfig::default()
     }
 }
 
@@ -145,17 +146,25 @@ fn marks_restored_at_bind_deduplicate_resends() {
     let stream = TcpStream::connect(server.local_addr()).unwrap();
     let mut writer = stream.try_clone().unwrap();
     let mut reader = BufReader::new(stream);
-    write_msg(&mut writer, &Frame::<u64>::HelloPush { client: "c".into(), resume_after: 48 })
-        .unwrap();
-    assert_eq!(read_msg::<Frame<u64>>(&mut reader).unwrap(), Frame::Ack { up_to: 50 });
+    write_msg(
+        &mut writer,
+        &Frame::<u64>::HelloPush { client: "c".into(), resume_after: 48, proto: None },
+    )
+    .unwrap();
+    // The greeting advertises the server's wire protocol; this proto-1
+    // client simply ignores it.
+    assert_eq!(
+        read_msg::<Frame<u64>>(&mut reader).unwrap(),
+        Frame::Ack { up_to: 50, proto: Some(2) }
+    );
 
     // A resend of something the restored state already holds is
     // discarded (but still acked)...
     write_msg(&mut writer, &Frame::<u64>::Item { seq: 50, payload: 999 }).unwrap();
-    assert_eq!(read_msg::<Frame<u64>>(&mut reader).unwrap(), Frame::Ack { up_to: 50 });
+    assert_eq!(read_msg::<Frame<u64>>(&mut reader).unwrap(), Frame::Ack { up_to: 50, proto: None });
     // ...while genuinely new items are accepted.
     write_msg(&mut writer, &Frame::<u64>::Item { seq: 51, payload: 51 }).unwrap();
-    assert_eq!(read_msg::<Frame<u64>>(&mut reader).unwrap(), Frame::Ack { up_to: 51 });
+    assert_eq!(read_msg::<Frame<u64>>(&mut reader).unwrap(), Frame::Ack { up_to: 51, proto: None });
     write_msg(&mut writer, &Frame::<u64>::Fin).unwrap();
 
     assert_eq!(server.stats().duplicates, 1);
@@ -168,9 +177,15 @@ fn marks_restored_at_bind_deduplicate_resends() {
     let stream2 = TcpStream::connect(server.local_addr()).unwrap();
     let mut writer2 = stream2.try_clone().unwrap();
     let mut reader2 = BufReader::new(stream2);
-    write_msg(&mut writer2, &Frame::<u64>::HelloPush { client: "c".into(), resume_after: 70 })
-        .unwrap();
-    assert_eq!(read_msg::<Frame<u64>>(&mut reader2).unwrap(), Frame::Ack { up_to: 70 });
+    write_msg(
+        &mut writer2,
+        &Frame::<u64>::HelloPush { client: "c".into(), resume_after: 70, proto: None },
+    )
+    .unwrap();
+    assert_eq!(
+        read_msg::<Frame<u64>>(&mut reader2).unwrap(),
+        Frame::Ack { up_to: 70, proto: Some(2) }
+    );
     write_msg(&mut writer2, &Frame::<u64>::Fin).unwrap();
     assert_eq!(server.marks().get("c"), Some(&70));
     server.shutdown();
@@ -190,7 +205,7 @@ fn pusher_reconnects_when_acks_stop_flowing() {
         let mut writer = first.try_clone().unwrap();
         let mut reader = BufReader::new(first);
         let _hello: Frame<u64> = read_msg(&mut reader).unwrap();
-        write_msg(&mut writer, &Frame::<u64>::Ack { up_to: 0 }).unwrap();
+        write_msg(&mut writer, &Frame::<u64>::Ack { up_to: 0, proto: None }).unwrap();
         // Swallow items and pings in the background; never respond.
         std::thread::spawn(move || while read_msg::<Frame<u64>>(&mut reader).is_ok() {});
 
@@ -198,14 +213,14 @@ fn pusher_reconnects_when_acks_stop_flowing() {
         let mut writer = second.try_clone().unwrap();
         let mut reader = BufReader::new(second);
         let _hello: Frame<u64> = read_msg(&mut reader).unwrap();
-        write_msg(&mut writer, &Frame::<u64>::Ack { up_to: 0 }).unwrap();
+        write_msg(&mut writer, &Frame::<u64>::Ack { up_to: 0, proto: None }).unwrap();
         loop {
             match read_msg::<Frame<u64>>(&mut reader) {
                 Ok(Frame::Item { seq, .. }) => {
-                    write_msg(&mut writer, &Frame::<u64>::Ack { up_to: seq }).unwrap();
+                    write_msg(&mut writer, &Frame::<u64>::Ack { up_to: seq, proto: None }).unwrap();
                 }
                 Ok(Frame::Ping) => {
-                    write_msg(&mut writer, &Frame::<u64>::Ack { up_to: 0 }).unwrap();
+                    write_msg(&mut writer, &Frame::<u64>::Ack { up_to: 0, proto: None }).unwrap();
                 }
                 Ok(Frame::Fin) | Err(_) => return,
                 Ok(_) => {}
@@ -273,12 +288,21 @@ fn server_stats_stay_exact_across_an_abrupt_pusher_death_and_resend() {
         let stream = TcpStream::connect(server.local_addr()).unwrap();
         let mut writer = stream.try_clone().unwrap();
         let mut reader = BufReader::new(stream);
-        write_msg(&mut writer, &Frame::<u64>::HelloPush { client: "c".into(), resume_after: 0 })
-            .unwrap();
-        assert_eq!(read_msg::<Frame<u64>>(&mut reader).unwrap(), Frame::Ack { up_to: 0 });
+        write_msg(
+            &mut writer,
+            &Frame::<u64>::HelloPush { client: "c".into(), resume_after: 0, proto: None },
+        )
+        .unwrap();
+        assert_eq!(
+            read_msg::<Frame<u64>>(&mut reader).unwrap(),
+            Frame::Ack { up_to: 0, proto: Some(2) }
+        );
         for seq in 1..=5u64 {
             write_msg(&mut writer, &Frame::<u64>::Item { seq, payload: seq }).unwrap();
-            assert_eq!(read_msg::<Frame<u64>>(&mut reader).unwrap(), Frame::Ack { up_to: seq });
+            assert_eq!(
+                read_msg::<Frame<u64>>(&mut reader).unwrap(),
+                Frame::Ack { up_to: seq, proto: None }
+            );
         }
     }
 
@@ -289,15 +313,24 @@ fn server_stats_stay_exact_across_an_abrupt_pusher_death_and_resend() {
     let stream = TcpStream::connect(server.local_addr()).unwrap();
     let mut writer = stream.try_clone().unwrap();
     let mut reader = BufReader::new(stream);
-    write_msg(&mut writer, &Frame::<u64>::HelloPush { client: "c".into(), resume_after: 2 })
-        .unwrap();
+    write_msg(
+        &mut writer,
+        &Frame::<u64>::HelloPush { client: "c".into(), resume_after: 2, proto: None },
+    )
+    .unwrap();
     // The handshake ack fast-forwards the restarted pusher to the
     // server's authoritative mark.
-    assert_eq!(read_msg::<Frame<u64>>(&mut reader).unwrap(), Frame::Ack { up_to: 5 });
+    assert_eq!(
+        read_msg::<Frame<u64>>(&mut reader).unwrap(),
+        Frame::Ack { up_to: 5, proto: Some(2) }
+    );
     for seq in 3..=7u64 {
         write_msg(&mut writer, &Frame::<u64>::Item { seq, payload: seq }).unwrap();
         let expect = seq.max(5);
-        assert_eq!(read_msg::<Frame<u64>>(&mut reader).unwrap(), Frame::Ack { up_to: expect });
+        assert_eq!(
+            read_msg::<Frame<u64>>(&mut reader).unwrap(),
+            Frame::Ack { up_to: expect, proto: None }
+        );
     }
     write_msg(&mut writer, &Frame::<u64>::Fin).unwrap();
 

@@ -12,6 +12,7 @@ fn fast_cfg() -> NetConfig {
         retry: RetryPolicy { base: Duration::from_millis(10), max: Duration::from_millis(100) },
         heartbeat: Duration::from_millis(20),
         liveness: Duration::from_millis(500),
+        ..NetConfig::default()
     }
 }
 
@@ -64,15 +65,16 @@ fn shutdown_drains_queued_messages_to_subscribers() {
     let publisher = TcpPublisher::<u64>::connect(addr, cfg);
     wait_ready(&publisher, &subscriber);
 
-    let before = broker.stats().frames_in;
+    let before = broker.stats().messages_in;
     const N: u64 = 200;
     for i in 0..N {
         publisher.publish("events/e", i);
     }
-    // Wait until the broker has actually ingested all N frames, then
-    // shut down: the drain must still deliver every one of them.
+    // Wait until the broker has actually ingested all N messages (the
+    // publisher may coalesce them into fewer batch frames), then shut
+    // down: the drain must still deliver every one of them.
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
-    while broker.stats().frames_in < before + N {
+    while broker.stats().messages_in < before + N {
         assert!(std::time::Instant::now() < deadline, "broker never ingested the frames");
         std::thread::sleep(Duration::from_millis(5));
     }

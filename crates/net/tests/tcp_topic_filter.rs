@@ -15,6 +15,7 @@ fn fast_cfg() -> NetConfig {
         retry: RetryPolicy { base: Duration::from_millis(10), max: Duration::from_millis(100) },
         heartbeat: Duration::from_millis(20),
         liveness: Duration::from_millis(500),
+        ..NetConfig::default()
     }
 }
 

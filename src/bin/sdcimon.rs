@@ -142,7 +142,7 @@ fn offset_addr(base: SocketAddr, offset: u16) -> Result<SocketAddr, String> {
         format!(
             "port {} has no room for the +{offset} listener; bind at {} or below",
             base.port(),
-            u16::MAX - 2
+            u16::MAX - offset
         )
     })?;
     Ok(SocketAddr::new(base.ip(), port))
@@ -242,8 +242,14 @@ fn run_aggregator(args: &[String]) -> Result<(), String> {
     let store_srv = StoreServer::bind(store_addr, agg.store(), cfg)
         .map_err(|e| format!("bind store {store_addr}: {e}"))?;
     // The scrape endpoint defaults to base port + 3, next to the feed
-    // (+1) and store RPC (+2) listeners.
-    let metrics_addr: SocketAddr = flags.parse("--metrics-addr", offset_addr(base, 3)?)?;
+    // (+1) and store RPC (+2) listeners. The default is only derived
+    // when the flag is absent: an explicit --metrics-addr must work
+    // even when base+3 would overflow the port range (base up at
+    // 65533 still has room for feed and store).
+    let metrics_addr: SocketAddr = match flags.get("--metrics-addr") {
+        Some(raw) => raw.parse().map_err(|e| format!("--metrics-addr: {e}"))?,
+        None => offset_addr(base, 3)?,
+    };
     let metrics_srv = sdci_obs::MetricsServer::bind(metrics_addr)
         .map_err(|e| format!("bind metrics {metrics_addr}: {e}"))?;
 
@@ -598,4 +604,39 @@ fn run_demo(args: &[String]) -> Result<(), String> {
     println!("storage after run: {} used across {} OSTs", report.used, report.osts.len());
     cluster.shutdown();
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offset_addr_derives_and_errors_cleanly_near_the_ceiling() {
+        let base: SocketAddr = "127.0.0.1:7070".parse().unwrap();
+        assert_eq!(offset_addr(base, 3).unwrap().port(), 7073);
+
+        let high: SocketAddr = format!("127.0.0.1:{}", u16::MAX - 2).parse().unwrap();
+        assert_eq!(offset_addr(high, 2).unwrap().port(), u16::MAX);
+        let err = offset_addr(high, 3).unwrap_err();
+        assert!(err.contains("no room"), "unexpected message: {err}");
+        assert!(
+            err.contains(&(u16::MAX - 3).to_string()),
+            "ceiling hint must match the requested offset: {err}"
+        );
+    }
+
+    #[test]
+    fn explicit_metrics_addr_skips_default_derivation() {
+        // `--metrics-addr` given explicitly must not require base+3 to
+        // be a representable port (the old code derived the default
+        // eagerly and failed even when the flag was present).
+        let args = vec!["--metrics-addr".to_string(), "127.0.0.1:9100".to_string()];
+        let flags = Flags::new(&args, &["--metrics-addr"]).unwrap();
+        let base: SocketAddr = format!("127.0.0.1:{}", u16::MAX - 2).parse().unwrap();
+        let metrics_addr: SocketAddr = match flags.get("--metrics-addr") {
+            Some(raw) => raw.parse().map_err(|e| format!("--metrics-addr: {e}")).unwrap(),
+            None => offset_addr(base, 3).unwrap(),
+        };
+        assert_eq!(metrics_addr, "127.0.0.1:9100".parse().unwrap());
+    }
 }
