@@ -357,6 +357,12 @@ impl EventStore {
         if head.events.is_empty() {
             return;
         }
+        // Sealing is in-memory and infallible, so an error-mode crash
+        // point cannot propagate: escalate it to a panic (abort mode
+        // never returns). Unarmed, this is one relaxed atomic load.
+        if let Err(e) = sdci_faults::crash_point("store.seal") {
+            panic!("{e}");
+        }
         let events: Vec<SequencedEvent> = head.events.drain(..).collect();
         head.bytes = 0;
         let mut chain = self.sealed.write();

@@ -12,18 +12,27 @@
 //!   seg-00000000000000000065-00000000000000000128.ndjson
 //!   ...                                  # one file per sealed segment,
 //!                                        # written exactly once
-//!   head.ndjson                          # unsealed tail, rewritten per flush
+//!   head-0000000000000007.ndjson         # unsealed tail, one fresh
+//!                                        # generation per flush
 //! ```
 //!
 //! Sealed segments are immutable, so their files are written once and
 //! then only ever garbage-collected (when rotation drops the segment);
-//! a steady-state flush rewrites the manifest and the head — I/O
-//! proportional to the *new* data, not the window. The manifest rename
-//! is the commit point: a crash mid-flush leaves the previous manifest
-//! intact, and segment/tmp files the manifest does not reference are
-//! swept both when the directory is opened (required before any
-//! reuse-by-name decision — see [`SnapshotDir::open`]) and after each
-//! flush commits.
+//! a steady-state flush writes a fresh head generation and the manifest
+//! — I/O proportional to the *new* data, not the window. The manifest
+//! rename is the commit point: a crash mid-flush leaves the previous
+//! manifest intact, and segment/head/tmp files the manifest does not
+//! reference are swept both when the directory is opened (required
+//! before any reuse-by-name decision — see [`SnapshotDir::open`]) and
+//! after each flush commits.
+//!
+//! The head gets a *new* file name every flush (the generation counter
+//! in its name) precisely so the flush never touches the file the
+//! committed manifest references: rewriting a single `head.ndjson` in
+//! place meant a crash between the head rename and the manifest rename
+//! left a committed manifest pointing at a head it disagreed with —
+//! an unrestorable snapshot (found by crash-point injection at
+//! `store.flush.manifest_commit`).
 //!
 //! [`restore_snapshot`] accepts either form — a directory, or a legacy
 //! single-file NDJSON snapshot — and
@@ -41,8 +50,31 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 const MANIFEST_NAME: &str = "MANIFEST.json";
-const HEAD_NAME: &str = "head.ndjson";
+/// The fixed head name older snapshots used; still restorable, swept
+/// once the first generation-named head commits.
+const LEGACY_HEAD_NAME: &str = "head.ndjson";
 const MANIFEST_VERSION: u32 = 1;
+
+fn is_segment_name(name: &str) -> bool {
+    name.starts_with("seg-") && name.ends_with(".ndjson")
+}
+
+fn is_head_name(name: &str) -> bool {
+    name == LEGACY_HEAD_NAME || (name.starts_with("head-") && name.ends_with(".ndjson"))
+}
+
+fn head_file_name(generation: u64) -> String {
+    format!("head-{generation:016}.ndjson")
+}
+
+/// The generation encoded in a head file name (0 for the legacy fixed
+/// name, so the first generation-named head is always newer).
+fn head_generation(name: &str) -> u64 {
+    name.strip_prefix("head-")
+        .and_then(|rest| rest.strip_suffix(".ndjson"))
+        .and_then(|digits| digits.parse().ok())
+        .unwrap_or(0)
+}
 
 /// What one [`SnapshotDir::flush`] actually did, for observability and
 /// for tests pinning the incremental property.
@@ -55,7 +87,7 @@ pub struct FlushStats {
     /// On-disk segment files garbage-collected (rotated out of the
     /// window, or orphaned by a crashed flush).
     pub files_removed: u64,
-    /// Events rewritten in `head.ndjson`.
+    /// Events written to this flush's head file.
     pub head_events: u64,
 }
 
@@ -87,6 +119,10 @@ struct Manifest {
 #[derive(Debug)]
 pub struct SnapshotDir {
     dir: PathBuf,
+    /// Generation for the *next* head file, strictly above the
+    /// committed manifest's — the flush must never write to the head
+    /// file the committed manifest references.
+    head_gen: std::sync::atomic::AtomicU64,
 }
 
 impl SnapshotDir {
@@ -112,14 +148,18 @@ impl SnapshotDir {
             ));
         }
         fs::create_dir_all(&dir)?;
-        let snap = SnapshotDir { dir };
-        snap.sweep_orphans()?;
+        let snap = SnapshotDir { dir, head_gen: std::sync::atomic::AtomicU64::new(1) };
+        if let Some(committed_head) = snap.sweep_orphans()? {
+            snap.head_gen
+                .store(head_generation(&committed_head) + 1, std::sync::atomic::Ordering::Relaxed);
+        }
         Ok(snap)
     }
 
     /// Removes files the committed manifest does not reference: stray
-    /// tmps and `seg-*.ndjson` orphans left by a flush that crashed
-    /// before its manifest rename.
+    /// tmps, and `seg-*`/`head-*` orphans left by a flush that crashed
+    /// before its manifest rename. Returns the committed manifest's
+    /// head file name, if a manifest exists.
     ///
     /// Sweeping *before* the first flush is a correctness requirement,
     /// not hygiene: sequence numbers in the acked-but-unflushed
@@ -128,28 +168,31 @@ impl SnapshotDir {
     /// collide with an orphan's seq-range file name. [`flush_state`]'s
     /// reuse-by-name must therefore only ever see segment files the
     /// manifest — and hence the store restored from it — vouches for.
-    fn sweep_orphans(&self) -> io::Result<()> {
-        let live: HashSet<String> = match fs::read_to_string(self.dir.join(MANIFEST_NAME)) {
-            Ok(json) => serde_json::from_str::<Manifest>(&json)
-                .map_err(|e| invalid(format!("corrupt snapshot manifest: {e}")))?
-                .segments
-                .into_iter()
-                .map(|seg| seg.file)
-                .collect(),
-            Err(e) if e.kind() == io::ErrorKind::NotFound => HashSet::new(),
-            Err(e) => return Err(e),
-        };
+    fn sweep_orphans(&self) -> io::Result<Option<String>> {
+        let (live, committed_head): (HashSet<String>, Option<String>) =
+            match fs::read_to_string(self.dir.join(MANIFEST_NAME)) {
+                Ok(json) => {
+                    let manifest: Manifest = serde_json::from_str(&json)
+                        .map_err(|e| invalid(format!("corrupt snapshot manifest: {e}")))?;
+                    let mut live: HashSet<String> =
+                        manifest.segments.into_iter().map(|seg| seg.file).collect();
+                    live.insert(manifest.head_file.clone());
+                    (live, Some(manifest.head_file))
+                }
+                Err(e) if e.kind() == io::ErrorKind::NotFound => (HashSet::new(), None),
+                Err(e) => return Err(e),
+            };
         for entry in fs::read_dir(&self.dir)? {
             let entry = entry?;
             let name = entry.file_name();
             let name = name.to_string_lossy();
-            let is_orphan_segment =
-                name.starts_with("seg-") && name.ends_with(".ndjson") && !live.contains(&*name);
-            if is_orphan_segment || name.ends_with(".tmp") {
+            let is_orphan =
+                (is_segment_name(&name) || is_head_name(&name)) && !live.contains(&*name);
+            if is_orphan || name.ends_with(".tmp") {
                 fs::remove_file(entry.path())?;
             }
         }
-        Ok(())
+        Ok(committed_head)
     }
 
     /// The directory this snapshot lives in.
@@ -160,9 +203,10 @@ impl SnapshotDir {
     /// Flushes the store's current state.
     ///
     /// Sealed segments already on disk are reused untouched; new ones
-    /// are written once; `head.ndjson` and `MANIFEST.json` are
-    /// rewritten (tmp + rename, the manifest rename being the commit
-    /// point); files no longer referenced are removed.
+    /// are written once; the head goes into a fresh generation-named
+    /// file and `MANIFEST.json` is rewritten (tmp + rename, the
+    /// manifest rename being the commit point); files no longer
+    /// referenced are removed.
     ///
     /// # Errors
     ///
@@ -184,6 +228,7 @@ impl SnapshotDir {
             if path.exists() {
                 stats.segments_reused += 1;
             } else {
+                sdci_faults::crash_point("store.flush.segment")?;
                 self.write_events_atomically(&path, seg.events().iter())?;
                 stats.segments_written += 1;
             }
@@ -197,21 +242,31 @@ impl SnapshotDir {
             });
             live.insert(name);
         }
-        self.write_events_atomically(&self.dir.join(HEAD_NAME), state.head.iter())?;
+        // The head is written under a name no committed manifest
+        // references: overwriting the committed head file here, before
+        // the manifest rename below, would corrupt the snapshot if
+        // this flush dies between the two renames.
+        let head_name =
+            head_file_name(self.head_gen.fetch_add(1, std::sync::atomic::Ordering::Relaxed));
+        sdci_faults::crash_point("store.flush.head")?;
+        self.write_events_atomically(&self.dir.join(&head_name), state.head.iter())?;
         stats.head_events = state.head.len() as u64;
+        live.insert(head_name.clone());
         let manifest = Manifest {
             version: MANIFEST_VERSION,
             trim: state.trim,
             last_seq: state.last_seq(),
             segments: manifest_segs,
-            head_file: HEAD_NAME.to_string(),
+            head_file: head_name,
             head_len: state.head.len(),
         };
         let json = serde_json::to_string(&manifest).expect("manifest always serializes");
         let manifest_path = self.dir.join(MANIFEST_NAME);
         let tmp = manifest_path.with_extension("json.tmp");
         fs::write(&tmp, json.as_bytes())?;
+        sdci_faults::crash_point("store.flush.manifest_commit")?;
         fs::rename(&tmp, &manifest_path)?;
+        sdci_faults::crash_point("store.flush.committed")?;
         // Committed. The sweep of rotated-out segment files and stray
         // tmps is best-effort: the manifest rename above was the commit
         // point, so a sweep failure must not report the flush as failed
@@ -222,11 +277,14 @@ impl SnapshotDir {
             for entry in entries.flatten() {
                 let name = entry.file_name();
                 let name = name.to_string_lossy();
-                let is_stale_segment =
-                    name.starts_with("seg-") && name.ends_with(".ndjson") && !live.contains(&*name);
-                if (is_stale_segment || name.ends_with(".tmp"))
-                    && fs::remove_file(entry.path()).is_ok()
-                {
+                let is_stale_segment = is_segment_name(&name) && !live.contains(&*name);
+                // Previous head generations (and any legacy fixed-name
+                // head) are swept too, but only segment GC is reported
+                // in the stats — the head turnover is a constant of
+                // the commit protocol, not data leaving the window.
+                let is_stale_head = is_head_name(&name) && !live.contains(&*name);
+                let sweep = is_stale_segment || is_stale_head || name.ends_with(".tmp");
+                if sweep && fs::remove_file(entry.path()).is_ok() && is_stale_segment {
                     stats.files_removed += 1;
                 }
             }
@@ -278,6 +336,7 @@ impl SnapshotDir {
         let staged = SnapshotDir::open(&staging)?;
         staged.flush(store)?;
         fs::remove_file(legacy)?;
+        sdci_faults::crash_point("store.migrate.swap")?;
         fs::rename(&staging, legacy)?;
         SnapshotDir::open(legacy)
     }

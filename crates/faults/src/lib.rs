@@ -1,0 +1,35 @@
+//! Deterministic, seed-reproducible fault injection for the monitor's
+//! I/O path.
+//!
+//! Two cooperating mechanisms live here:
+//!
+//! * [`FaultPlan`] — a declarative schedule of stochastic *wire* faults
+//!   (per-direction drop / duplicate / truncate / delay probabilities
+//!   plus scripted partition windows). A plan is parsed from a compact
+//!   spec string (`seed=42,drop=0.05,...`), installed on an endpoint's
+//!   `NetConfig`, and enforced by `sdci-net` at the frame boundary.
+//!   Every random decision is drawn from the vendored `rand` seeded by
+//!   `seed` mixed with a per-connection counter, so a failing run is
+//!   replayed exactly by re-running with the printed spec.
+//! * [`crash_point`] — named crash/fail points compiled into the store
+//!   flush path (and the net accept paths). Armed via the
+//!   `SDCI_CRASH_POINTS` env var or programmatically, a point either
+//!   aborts the process (simulating `kill -9` mid-flush) or returns an
+//!   injected `io::Error` (simulating a transient syscall failure).
+//!   Unarmed points cost one relaxed atomic load.
+//!
+//! Neither mechanism is `cfg`-gated out of release builds: the paper's
+//! monitor is a long-running distributed system, and the reproduction
+//! treats fault schedules as first-class runtime configuration, not a
+//! test-only build flavor.
+
+#![forbid(unsafe_code)]
+
+mod crash;
+mod plan;
+
+pub use crash::{arm, armed_spec, crash_point, disarm, disarm_all, init_from_env, CrashMode};
+pub use plan::{
+    load_env_plan, Direction, FaultPlan, FaultProfile, FrameFault, PartitionWindow, StreamFaults,
+    ENV_FAULTS,
+};

@@ -9,6 +9,7 @@
 use crate::transport::PublishOutcome;
 use crossbeam_channel::{bounded, Receiver, Sender, TryRecvError};
 use parking_lot::Mutex;
+use sdci_faults::{Direction, FaultPlan, FrameFault, StreamFaults};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -42,6 +43,8 @@ pub struct Broker<T> {
     published: Arc<AtomicU64>,
     delivered: Arc<AtomicU64>,
     dropped: Arc<AtomicU64>,
+    faults: Option<Arc<Mutex<StreamFaults>>>,
+    injected: Arc<AtomicU64>,
 }
 
 impl<T> Clone for Broker<T> {
@@ -52,6 +55,8 @@ impl<T> Clone for Broker<T> {
             published: Arc::clone(&self.published),
             delivered: Arc::clone(&self.delivered),
             dropped: Arc::clone(&self.dropped),
+            faults: self.faults.clone(),
+            injected: Arc::clone(&self.injected),
         }
     }
 }
@@ -75,7 +80,26 @@ impl<T: Clone + Send + 'static> Broker<T> {
             published: Arc::new(AtomicU64::new(0)),
             delivered: Arc::new(AtomicU64::new(0)),
             dropped: Arc::new(AtomicU64::new(0)),
+            faults: None,
+            injected: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// Installs a deterministic [`FaultPlan`] on this broker: each
+    /// publish draws one decision from the plan's `send` profile —
+    /// drop (and truncate, which degenerates to drop in-process),
+    /// duplicate, or delay — so in-process simulations see the same
+    /// chaos the TCP transport would inject on the wire. A `None` or
+    /// no-op plan leaves the broker fault-free.
+    #[must_use]
+    pub fn with_faults(mut self, plan: Option<Arc<FaultPlan>>) -> Self {
+        self.faults = plan.filter(|p| !p.is_noop()).map(|p| Arc::new(Mutex::new(p.stream())));
+        self
+    }
+
+    /// Publishes swallowed or doubled by an installed fault plan.
+    pub fn faults_injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
     }
 
     /// A handle for publishing into this broker.
@@ -113,6 +137,40 @@ impl<T: Clone + Send + 'static> Broker<T> {
     }
 
     fn publish(&self, topic: &str, payload: T) -> PublishOutcome {
+        match self.next_fault() {
+            None | Some(FrameFault::Deliver) => self.fan_out(topic, payload),
+            // In-process there is no half-written frame, so a truncation
+            // degenerates to a drop; a partition window also swallows
+            // everything published inside it (see `next_fault`).
+            Some(FrameFault::Drop) | Some(FrameFault::Truncate) => {
+                self.published.fetch_add(1, Ordering::Relaxed);
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                PublishOutcome::Shed
+            }
+            Some(FrameFault::Duplicate) => {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                let outcome = self.fan_out(topic, payload.clone());
+                self.fan_out(topic, payload);
+                outcome
+            }
+            Some(FrameFault::Delay(pause)) => {
+                std::thread::sleep(pause);
+                self.fan_out(topic, payload)
+            }
+        }
+    }
+
+    fn next_fault(&self) -> Option<FrameFault> {
+        let faults = self.faults.as_ref()?;
+        let mut stream = faults.lock();
+        if stream.partitioned() {
+            Some(FrameFault::Drop)
+        } else {
+            Some(stream.decide(Direction::Send))
+        }
+    }
+
+    fn fan_out(&self, topic: &str, payload: T) -> PublishOutcome {
         self.published.fetch_add(1, Ordering::Relaxed);
         let mut state = self.state.lock();
         let mut matched = 0u64;
@@ -445,6 +503,43 @@ mod tests {
         assert_eq!(report.shed, 3);
         assert_eq!(report.queued, 0);
         assert_eq!(sub.queued(), 2);
+    }
+
+    #[test]
+    fn fault_plan_drops_deterministically() {
+        let plan = Arc::new(FaultPlan::parse("seed=7,drop=1.0").unwrap());
+        let broker: Broker<u32> = Broker::new(16).with_faults(Some(plan));
+        let sub = broker.subscribe(&[""]);
+        let p = broker.publisher();
+        for i in 0..10 {
+            assert_eq!(p.publish("t", i), PublishOutcome::Shed);
+        }
+        assert!(sub.try_recv().is_none());
+        assert_eq!(broker.published(), 10);
+        assert_eq!(broker.delivered(), 0);
+        assert_eq!(broker.faults_injected(), 10);
+    }
+
+    #[test]
+    fn fault_plan_duplicates_messages() {
+        let plan = Arc::new(FaultPlan::parse("seed=7,dup=1.0").unwrap());
+        let broker: Broker<u32> = Broker::new(16).with_faults(Some(plan));
+        let sub = broker.subscribe(&[""]);
+        broker.publisher().publish("t", 42);
+        assert_eq!(sub.try_recv().unwrap().payload, 42);
+        assert_eq!(sub.try_recv().unwrap().payload, 42);
+        assert!(sub.try_recv().is_none());
+        assert_eq!(broker.faults_injected(), 1);
+    }
+
+    #[test]
+    fn noop_fault_plan_is_free() {
+        let plan = Arc::new(FaultPlan::parse("seed=7").unwrap());
+        let broker: Broker<u32> = Broker::new(16).with_faults(Some(plan));
+        let sub = broker.subscribe(&[""]);
+        broker.publisher().publish("t", 1);
+        assert_eq!(sub.try_recv().unwrap().payload, 1);
+        assert_eq!(broker.faults_injected(), 0);
     }
 
     #[test]

@@ -7,6 +7,10 @@
 //! when nothing arrives for a liveness window.
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
+use sdci_faults::FaultPlan;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Reconnect backoff policy: delays grow `base`, `2*base`, `4*base`, …
@@ -53,6 +57,14 @@ pub struct NetConfig {
     /// ([`crate::WIRE_PROTO`]). Set to `1` to emulate a per-event-frame
     /// peer, e.g. in mixed-version tests.
     pub proto: u32,
+    /// Bound on every blocking outbound `connect` — a black-holed peer
+    /// address fails within this window instead of the kernel's
+    /// minutes-long SYN retry budget.
+    pub connect_timeout: Duration,
+    /// Deterministic fault schedule enforced at the frame boundary of
+    /// every connection this config opens or accepts; `None` (the
+    /// default) is a clean wire.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for NetConfig {
@@ -66,7 +78,41 @@ impl Default for NetConfig {
             max_batch: 512,
             flush_interval: Duration::from_millis(1),
             proto: crate::WIRE_PROTO,
+            connect_timeout: Duration::from_secs(1),
+            faults: None,
         }
+    }
+}
+
+impl NetConfig {
+    /// Returns this config with `plan` installed (noop plans are
+    /// dropped so endpoints skip the fault wrappers entirely).
+    #[must_use]
+    pub fn with_faults(mut self, plan: Option<Arc<FaultPlan>>) -> Self {
+        self.faults = plan.filter(|p| !p.is_noop());
+        self
+    }
+
+    /// Opens an outbound connection bounded by
+    /// [`NetConfig::connect_timeout`]. While the installed fault plan
+    /// scripts a partition, the attempt fails like a black-holed SYN:
+    /// a short stall, then `TimedOut`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the kernel connect failure, or `TimedOut` after the
+    /// configured bound.
+    pub fn connect(&self, addr: SocketAddr) -> io::Result<TcpStream> {
+        if let Some(plan) = &self.faults {
+            if plan.partitioned() {
+                std::thread::sleep(self.connect_timeout.min(Duration::from_millis(20)));
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "injected partition: connect black-holed",
+                ));
+            }
+        }
+        TcpStream::connect_timeout(&addr, self.connect_timeout)
     }
 }
 

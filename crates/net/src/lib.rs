@@ -23,6 +23,10 @@
 //! * [`store_rpc`] — a minimal query RPC ([`StoreServer`],
 //!   [`RemoteStore`]) exposing the Aggregator's [`EventStore`] so a
 //!   remote `EventConsumer` can backfill gaps after reconnecting.
+//! * [`faulted`] — enforcement of an `sdci_faults::FaultPlan`
+//!   installed on [`conn::NetConfig`]: every endpoint above inherits
+//!   deterministic frame drop/duplicate/truncate/delay and scripted
+//!   partitions at the conn/wire boundary.
 //!
 //! Every client endpoint is supervised: constructors return
 //! immediately and a background worker connects (and re-connects,
@@ -37,12 +41,14 @@
 #![warn(missing_docs)]
 
 pub mod conn;
+pub mod faulted;
 pub mod pipe;
 pub mod pubsub;
 pub mod store_rpc;
 pub mod wire;
 
 pub use conn::{Backoff, NetConfig, RetryPolicy};
+pub use faulted::FaultedWriter;
 pub use pipe::{TcpPullServer, TcpPush};
 pub use pubsub::{TcpBroker, TcpPublisher, TcpSubscriber, TcpTransport};
 pub use store_rpc::{RemoteStore, StoreServer};

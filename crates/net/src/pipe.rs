@@ -32,6 +32,7 @@
 //! with [`TcpPullServer::bind_with_marks`].
 
 use crate::conn::{Backoff, NetConfig};
+use crate::faulted::{conn_faults, spawn_worker, FaultedWriter};
 use crate::wire::{write_item_batch, write_msg, Frame, FrameReader};
 use sdci_mq::pipe::{pipeline, Pull, Push};
 use sdci_mq::transport::{Publish, PublishOutcome};
@@ -55,6 +56,10 @@ pub struct PullServerStats {
     /// `ItemBatch` frames received (each acked once, however many
     /// items it carried).
     pub batches: u64,
+    /// Connections dropped because an item arrived beyond the client's
+    /// next dense sequence number — frames were lost in transit, and
+    /// accepting the jump would silently lose the gap forever.
+    pub gap_rejects: u64,
 }
 
 #[derive(Debug, Default)]
@@ -63,6 +68,7 @@ struct ServerCounters {
     items: AtomicU64,
     duplicates: AtomicU64,
     batches: AtomicU64,
+    gap_rejects: AtomicU64,
 }
 
 /// Per-client dedup high-water marks. Each client's mark has its own
@@ -141,12 +147,13 @@ where
             let stop = Arc::clone(&stop);
             let conns = Arc::clone(&conns);
             let counters = Arc::clone(&counters);
-            std::thread::Builder::new()
-                .name(format!("sdci-net-pull-{}", addr.port()))
-                .spawn(move || {
+            spawn_worker(
+                format!("sdci-net-pull-{}", addr.port()),
+                "net.pipe.spawn_accept",
+                move || {
                     pull_accept_loop(listener, push, seen, cfg, stop, conns, counters);
-                })
-                .expect("spawn pull accept thread")
+                },
+            )?
         };
         Ok(TcpPullServer {
             pull,
@@ -178,6 +185,7 @@ where
             items: self.counters.items.load(Ordering::Relaxed),
             duplicates: self.counters.duplicates.load(Ordering::Relaxed),
             batches: self.counters.batches.load(Ordering::Relaxed),
+            gap_rejects: self.counters.gap_rejects.load(Ordering::Relaxed),
         }
     }
 
@@ -238,7 +246,7 @@ fn pull_accept_loop<T>(
 {
     while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
-            Ok((stream, _peer)) => {
+            Ok((stream, peer)) => {
                 counters.accepted.fetch_add(1, Ordering::Relaxed);
                 sdci_obs::static_metric!(counter, "sdci_net_pull_accepted_total").inc();
                 let push = push.clone();
@@ -246,13 +254,24 @@ fn pull_accept_loop<T>(
                 let cfg = cfg.clone();
                 let stop = Arc::clone(&stop);
                 let counters = Arc::clone(&counters);
-                let handle = std::thread::Builder::new()
-                    .name("sdci-net-pull-conn".into())
-                    .spawn(move || serve_pusher(stream, push, seen, cfg, stop, counters))
-                    .expect("spawn pull connection thread");
-                let mut guard = conns.lock();
-                guard.retain(|h| !h.is_finished());
-                guard.push(handle);
+                let spawned =
+                    spawn_worker("sdci-net-pull-conn".into(), "net.pipe.spawn_conn", move || {
+                        serve_pusher(stream, push, seen, cfg, stop, counters)
+                    });
+                match spawned {
+                    Ok(handle) => {
+                        let mut guard = conns.lock();
+                        guard.retain(|h| !h.is_finished());
+                        guard.push(handle);
+                    }
+                    Err(e) => {
+                        // Dropping the stream makes the pusher
+                        // reconnect and re-send; a transient EAGAIN
+                        // must not kill the whole server.
+                        sdci_obs::error!("pull conn thread spawn failed; dropping connection"; peer = peer, error = e.to_string());
+                        sdci_obs::static_metric!(counter, "sdci_net_spawn_failures_total").inc();
+                    }
+                }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(10));
@@ -280,8 +299,9 @@ fn serve_pusher<T>(
     // A `FrameReader` rather than `read_msg` on the raw socket: the
     // heartbeat read timeout may fire mid-frame, and losing the
     // already-consumed length prefix would desynchronize the stream.
-    let mut reader = FrameReader::new(read_half);
-    let mut writer = stream;
+    let (send_faults, recv_faults) = conn_faults(&cfg);
+    let mut reader = FrameReader::with_faults(read_half, recv_faults);
+    let mut writer = FaultedWriter::new(stream, send_faults);
     // Handshake: learn the client identity, tell it where we are. A
     // peer gets a full liveness window to complete its hello.
     let opened = Instant::now();
@@ -334,6 +354,18 @@ fn serve_pusher<T>(
                 // atomic step per client.
                 let up_to = {
                     let mut m = mark.lock();
+                    // A client sends densely from its last ack, so a
+                    // jump past mark+1 means frames vanished in
+                    // transit. Advancing the mark over the gap would
+                    // ack — and thereby lose — items that never
+                    // arrived; killing the connection instead makes
+                    // the client resend its unacked window. (The
+                    // client treats non-advancing acks as liveness, so
+                    // stalling acks here would livelock, not recover.)
+                    if seq > *m + 1 {
+                        gap_reject(&counters, *m, seq);
+                        return;
+                    }
                     if seq > *m {
                         // Ack only after the pipeline takes it: an ack
                         // means "processed", so a crash before this
@@ -363,6 +395,13 @@ fn serve_pusher<T>(
                 // lock is taken once and the whole run gets one `Ack`.
                 let up_to = {
                     let mut m = mark.lock();
+                    // Batch members are dense from `first_seq`, so one
+                    // check covers the whole frame — same gap policy
+                    // as the single-item path above.
+                    if first_seq > *m + 1 {
+                        gap_reject(&counters, *m, first_seq);
+                        return;
+                    }
                     let mut fresh = 0u64;
                     let mut dups = 0u64;
                     for (i, payload) in payloads.into_iter().enumerate() {
@@ -411,6 +450,18 @@ fn serve_pusher<T>(
 
 fn timed_out(e: &std::io::Error) -> bool {
     matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+}
+
+/// Accounts a sequence-gap rejection before the handler drops the
+/// connection (see the gap checks in `serve_pusher`).
+fn gap_reject(counters: &ServerCounters, mark: u64, offered: u64) {
+    counters.gap_rejects.fetch_add(1, Ordering::Relaxed);
+    sdci_obs::static_metric!(counter, "sdci_net_gap_rejects_total").inc();
+    sdci_obs::warn!(
+        "sequence gap on the push leg; dropping connection to force a resend";
+        mark = mark,
+        offered_seq = offered,
+    );
 }
 
 #[derive(Debug, Default)]
@@ -567,7 +618,7 @@ fn push_worker<T>(
         if senders_gone && unacked.is_empty() {
             return;
         }
-        let Ok(stream) = TcpStream::connect(addr) else {
+        let Ok(stream) = cfg.connect(addr) else {
             backoff.sleep_after_failure(Duration::ZERO, cfg.liveness);
             continue;
         };
@@ -577,8 +628,9 @@ fn push_worker<T>(
             backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
             continue;
         }
+        let (send_faults, recv_faults) = conn_faults(&cfg);
         let mut writer = match stream.try_clone() {
-            Ok(w) => w,
+            Ok(w) => FaultedWriter::new(w, send_faults),
             Err(_) => {
                 backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
                 continue;
@@ -586,7 +638,7 @@ fn push_worker<T>(
         };
         // Timeout-tolerant reads: the heartbeat read timeout must not
         // desynchronize the stream when it fires mid-frame.
-        let mut reader = FrameReader::new(stream);
+        let mut reader = FrameReader::with_faults(stream, recv_faults);
         let hello = Frame::<T>::HelloPush {
             client: client.clone(),
             resume_after: last_acked,

@@ -19,6 +19,7 @@
 //! within the configured liveness window.
 
 use crate::conn::{Backoff, NetConfig};
+use crate::faulted::{conn_faults, spawn_worker, FaultedWriter};
 use crate::wire::{write_msg, write_publish_batch, Frame, FrameReader};
 use sdci_mq::pubsub::{Broker, Message};
 use sdci_mq::transport::{Publish, PublishOutcome, Subscribe, Transport};
@@ -112,12 +113,13 @@ where
             let stop = Arc::clone(&stop);
             let conns = Arc::clone(&conns);
             let counters = Arc::clone(&counters);
-            std::thread::Builder::new()
-                .name(format!("sdci-net-accept-{}", addr.port()))
-                .spawn(move || {
+            spawn_worker(
+                format!("sdci-net-accept-{}", addr.port()),
+                "net.pubsub.spawn_accept",
+                move || {
                     accept_loop(listener, local, cfg, stop, conns, counters);
-                })
-                .expect("spawn accept thread")
+                },
+            )?
         };
         Ok(TcpBroker { local, addr, stop, accept: Some(accept), conns, counters })
     }
@@ -191,19 +193,29 @@ fn accept_loop<T>(
 {
     while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
-            Ok((stream, _peer)) => {
+            Ok((stream, peer)) => {
                 counters.accepted.fetch_add(1, Ordering::Relaxed);
                 let local = local.clone();
                 let cfg = cfg.clone();
                 let stop = Arc::clone(&stop);
                 let counters = Arc::clone(&counters);
-                let handle = std::thread::Builder::new()
-                    .name("sdci-net-conn".into())
-                    .spawn(move || serve_connection(stream, local, cfg, stop, counters))
-                    .expect("spawn connection thread");
-                let mut guard = conns.lock();
-                guard.retain(|h| !h.is_finished());
-                guard.push(handle);
+                let spawned =
+                    spawn_worker("sdci-net-conn".into(), "net.pubsub.spawn_conn", move || {
+                        serve_connection(stream, local, cfg, stop, counters)
+                    });
+                match spawned {
+                    Ok(handle) => {
+                        let mut guard = conns.lock();
+                        guard.retain(|h| !h.is_finished());
+                        guard.push(handle);
+                    }
+                    Err(e) => {
+                        // Lossy leg: the client reconnects with backoff;
+                        // one EAGAIN must not take the broker down.
+                        sdci_obs::error!("broker conn thread spawn failed; dropping connection"; peer = peer, error = e.to_string());
+                        sdci_obs::static_metric!(counter, "sdci_net_spawn_failures_total").inc();
+                    }
+                }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(10));
@@ -229,8 +241,9 @@ fn serve_connection<T>(
     let Ok(read_half) = stream.try_clone() else { return };
     // Timeout-tolerant reads: a read timeout firing mid-frame must not
     // desynchronize the stream.
-    let mut reader = FrameReader::new(read_half);
-    let mut writer = stream;
+    let (send_faults, recv_faults) = conn_faults(&cfg);
+    let mut reader = FrameReader::with_faults(read_half, recv_faults);
+    let mut writer = FaultedWriter::new(stream, send_faults);
     match reader.read_msg::<Frame<T>>() {
         Ok(Frame::HelloPublisher) => {
             serve_publisher(&mut reader, &mut writer, local, cfg, stop, counters)
@@ -246,7 +259,7 @@ fn serve_connection<T>(
 /// quiet, finishes, or the server stops.
 fn serve_publisher<T>(
     reader: &mut FrameReader<TcpStream>,
-    writer: &mut TcpStream,
+    writer: &mut FaultedWriter<TcpStream>,
     local: Broker<T>,
     cfg: NetConfig,
     stop: Arc<AtomicBool>,
@@ -302,7 +315,7 @@ fn serve_publisher<T>(
 /// Fans a local subscription out to one remote subscriber, probing with
 /// `Ping` while idle; on shutdown drains the queue and sends `Fin`.
 fn serve_subscriber<T>(
-    writer: &mut TcpStream,
+    writer: &mut FaultedWriter<TcpStream>,
     local: Broker<T>,
     prefixes: &[String],
     cfg: NetConfig,
@@ -454,12 +467,14 @@ fn publisher_worker<T: Serialize + Send + 'static>(
         if stop.load(Ordering::Relaxed) {
             return;
         }
-        let Ok(mut stream) = TcpStream::connect(addr) else {
+        let Ok(raw) = cfg.connect(addr) else {
             backoff.sleep_after_failure(Duration::ZERO, cfg.liveness);
             continue;
         };
         let session = Instant::now();
-        let _ = stream.set_nodelay(true);
+        let _ = raw.set_nodelay(true);
+        let (send_faults, recv_faults) = conn_faults(&cfg);
+        let mut stream = FaultedWriter::new(raw, send_faults);
         if write_msg(&mut stream, &Frame::<T>::HelloPublisher).is_err() {
             // A server that accepts and immediately resets must hit the
             // backoff like a refused connection, not a tight spin.
@@ -473,9 +488,9 @@ fn publisher_worker<T: Serialize + Send + 'static>(
         // the lossy leg wouldn't shed anyway.
         let batched = cfg.proto >= 2 && cfg.max_batch > 1 && {
             let mut server_proto = 1u32;
-            if let Ok(read_half) = stream.try_clone() {
+            if let Ok(read_half) = stream.get_ref().try_clone() {
                 let _ = read_half.set_read_timeout(Some(cfg.heartbeat));
-                let mut reader = FrameReader::new(read_half);
+                let mut reader = FrameReader::with_faults(read_half, recv_faults);
                 let greeted = Instant::now();
                 loop {
                     // `Frame<()>`: the greeting carries no payloads, and
@@ -672,7 +687,7 @@ fn subscriber_worker<T: Serialize + Deserialize + Send + 'static>(
 ) {
     let mut backoff = Backoff::new(cfg.retry);
     'reconnect: while !stop.load(Ordering::Relaxed) {
-        let Ok(stream) = TcpStream::connect(addr) else {
+        let Ok(stream) = cfg.connect(addr) else {
             backoff.sleep_after_failure(Duration::ZERO, cfg.liveness);
             continue;
         };
@@ -682,8 +697,9 @@ fn subscriber_worker<T: Serialize + Deserialize + Send + 'static>(
             backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
             continue;
         }
+        let (send_faults, recv_faults) = conn_faults(&cfg);
         let mut writer = match stream.try_clone() {
-            Ok(w) => w,
+            Ok(w) => FaultedWriter::new(w, send_faults),
             Err(_) => {
                 backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
                 continue;
@@ -699,7 +715,7 @@ fn subscriber_worker<T: Serialize + Deserialize + Send + 'static>(
         }
         // Timeout-tolerant reads: the heartbeat read timeout must not
         // desynchronize the stream when it fires mid-frame.
-        let mut reader = FrameReader::new(stream);
+        let mut reader = FrameReader::with_faults(stream, recv_faults);
         let mut last_traffic = Instant::now();
         loop {
             match reader.read_msg::<Frame<T>>() {

@@ -16,14 +16,15 @@
 //! [`EventStore`]: sdci_core::EventStore
 
 use crate::conn::NetConfig;
-use crate::wire::{read_msg, write_msg, FrameReader};
+use crate::faulted::{conn_faults, spawn_worker, FaultedWriter};
+use crate::wire::{write_msg, FrameReader};
 use sdci_core::{SequencedEvent, SharedStore, StoreQuery, StoreReader};
 use serde::{Deserialize, Serialize};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// One store-RPC message; requests and responses share the enum.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -62,7 +63,9 @@ impl StoreServer {
     ///
     /// # Errors
     ///
-    /// Propagates the listener bind failure.
+    /// Propagates the listener bind failure — including a failure to
+    /// spawn the accept thread (a server that cannot accept is not
+    /// bound, so `bind` reports it instead of panicking the process).
     pub fn bind(
         addr: impl ToSocketAddrs,
         store: SharedStore,
@@ -78,10 +81,11 @@ impl StoreServer {
             let stop = Arc::clone(&stop);
             let conns = Arc::clone(&conns);
             let queries = Arc::clone(&queries);
-            std::thread::Builder::new()
-                .name(format!("sdci-net-store-{}", addr.port()))
-                .spawn(move || store_accept_loop(listener, store, cfg, stop, conns, queries))
-                .expect("spawn store accept thread")
+            spawn_worker(
+                format!("sdci-net-store-{}", addr.port()),
+                "net.store_rpc.spawn_accept",
+                move || store_accept_loop(listener, store, cfg, stop, conns, queries),
+            )?
         };
         Ok(StoreServer { addr, stop, accept: Some(accept), conns, queries })
     }
@@ -128,18 +132,31 @@ fn store_accept_loop(
 ) {
     while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
-            Ok((stream, _peer)) => {
+            Ok((stream, peer)) => {
                 let store = Arc::clone(&store);
                 let cfg = cfg.clone();
                 let stop = Arc::clone(&stop);
                 let queries = Arc::clone(&queries);
-                let handle = std::thread::Builder::new()
-                    .name("sdci-net-store-conn".into())
-                    .spawn(move || serve_store_client(stream, store, cfg, stop, queries))
-                    .expect("spawn store connection thread");
-                let mut guard = conns.lock();
-                guard.retain(|h| !h.is_finished());
-                guard.push(handle);
+                let spawned = spawn_worker(
+                    "sdci-net-store-conn".into(),
+                    "net.store_rpc.spawn_conn",
+                    move || serve_store_client(stream, store, cfg, stop, queries),
+                );
+                match spawned {
+                    Ok(handle) => {
+                        let mut guard = conns.lock();
+                        guard.retain(|h| !h.is_finished());
+                        guard.push(handle);
+                    }
+                    Err(e) => {
+                        // A transient spawn failure (EAGAIN) costs one
+                        // connection, not the whole aggregator: the
+                        // stream drops (the peer reconnects) and the
+                        // accept loop keeps going.
+                        sdci_obs::error!("store conn thread spawn failed; dropping connection"; peer = peer, error = e.to_string());
+                        sdci_obs::static_metric!(counter, "sdci_net_spawn_failures_total").inc();
+                    }
+                }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(10));
@@ -163,8 +180,9 @@ fn serve_store_client(
     let Ok(read_half) = stream.try_clone() else { return };
     // Timeout-tolerant reads: the heartbeat read timeout must not
     // desynchronize the stream when it fires mid-frame.
-    let mut reader = FrameReader::new(read_half);
-    let mut writer = stream;
+    let (send_faults, recv_faults) = conn_faults(&cfg);
+    let mut reader = FrameReader::with_faults(read_half, recv_faults);
+    let mut writer = FaultedWriter::new(stream, send_faults);
     // `stop` is checked every iteration so a chatty client cannot pin
     // the handler past shutdown.
     while !stop.load(Ordering::Relaxed) {
@@ -195,16 +213,34 @@ fn serve_store_client(
     }
 }
 
+/// Non-`Batch` frames tolerated per round trip before the reply stream
+/// is declared garbage. One in-flight `Ping` echo is legitimate; a peer
+/// streaming junk must not wedge the consumer forever.
+const MAX_STRAY_REPLIES: u32 = 8;
+
+/// An established store-RPC connection: faulted write half + resumable
+/// read half.
+struct StoreConn {
+    writer: FaultedWriter<TcpStream>,
+    reader: FrameReader<TcpStream>,
+}
+
 /// A [`StoreReader`] that queries a remote [`StoreServer`].
 ///
 /// The connection is lazy and cached; a failed round trip drops it,
 /// retries once on a fresh connection, and then gives up with an empty
 /// result — the consumer's backfill loop will simply query again.
+///
+/// Connects are bounded by [`NetConfig::connect_timeout`] and happen
+/// *outside* the connection cache's lock, so one black-holed aggregator
+/// address cannot stall every concurrent querier behind one SYN that
+/// the kernel retries for minutes.
 pub struct RemoteStore {
     addr: SocketAddr,
     cfg: NetConfig,
-    conn: parking_lot::Mutex<Option<TcpStream>>,
+    conn: parking_lot::Mutex<Option<StoreConn>>,
     failures: AtomicU64,
+    connect_failures: AtomicU64,
 }
 
 impl std::fmt::Debug for RemoteStore {
@@ -217,7 +253,13 @@ impl RemoteStore {
     /// A reader for the store served at `addr`. Does not connect until
     /// the first query.
     pub fn connect(addr: SocketAddr, cfg: NetConfig) -> Self {
-        RemoteStore { addr, cfg, conn: parking_lot::Mutex::new(None), failures: AtomicU64::new(0) }
+        RemoteStore {
+            addr,
+            cfg,
+            conn: parking_lot::Mutex::new(None),
+            failures: AtomicU64::new(0),
+            connect_failures: AtomicU64::new(0),
+        }
     }
 
     /// Queries that exhausted their retry and returned empty.
@@ -225,16 +267,73 @@ impl RemoteStore {
         self.failures.load(Ordering::Relaxed)
     }
 
+    /// Connection attempts that failed or timed out.
+    pub fn connect_failures(&self) -> u64 {
+        self.connect_failures.load(Ordering::Relaxed)
+    }
+
+    /// Dials the server with the configured connect timeout. Never
+    /// called with the cache lock held.
+    fn open(&self) -> Option<StoreConn> {
+        match self.cfg.connect(self.addr) {
+            Ok(stream) => {
+                let _ = stream.set_nodelay(true);
+                // The heartbeat tick bounds each read; round_trip's own
+                // deadline bounds the whole exchange.
+                let _ = stream.set_read_timeout(Some(self.cfg.heartbeat));
+                let read_half = stream.try_clone().ok()?;
+                let (send_faults, recv_faults) = conn_faults(&self.cfg);
+                Some(StoreConn {
+                    writer: FaultedWriter::new(stream, send_faults),
+                    reader: FrameReader::with_faults(read_half, recv_faults),
+                })
+            }
+            Err(e) => {
+                self.connect_failures.fetch_add(1, Ordering::Relaxed);
+                sdci_obs::static_metric!(counter, "sdci_net_store_connect_failures_total").inc();
+                sdci_obs::debug!("store connect failed"; addr = self.addr, error = e.to_string());
+                None
+            }
+        }
+    }
+
     fn round_trip(
         &self,
-        stream: &mut TcpStream,
+        conn: &mut StoreConn,
         query: &StoreQuery,
     ) -> std::io::Result<Vec<SequencedEvent>> {
-        write_msg(stream, &StoreRpc::Query { query: query.clone() })?;
+        write_msg(&mut conn.writer, &StoreRpc::Query { query: query.clone() })?;
+        let deadline = Instant::now() + self.cfg.liveness;
+        let mut strays = 0u32;
         loop {
-            match read_msg::<StoreRpc>(&mut &*stream)? {
-                StoreRpc::Batch { events } => return Ok(events),
-                _ => continue,
+            match conn.reader.read_msg::<StoreRpc>() {
+                Ok(StoreRpc::Batch { events }) => return Ok(events),
+                Ok(_) => {
+                    // A stray `Ping` echo is fine; an unbounded stream
+                    // of non-`Batch` frames would wedge the consumer,
+                    // so the tolerance is finite.
+                    strays += 1;
+                    if strays > MAX_STRAY_REPLIES {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            "store reply stream flooded with non-Batch frames",
+                        ));
+                    }
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if Instant::now() >= deadline {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            "store query exceeded the liveness window",
+                        ));
+                    }
+                }
+                Err(e) => return Err(e),
             }
         }
     }
@@ -242,22 +341,28 @@ impl RemoteStore {
 
 impl StoreReader for RemoteStore {
     fn query(&self, query: &StoreQuery) -> Vec<SequencedEvent> {
-        for _attempt in 0..2 {
-            let mut guard = self.conn.lock();
-            if guard.is_none() {
-                *guard = TcpStream::connect(self.addr).ok().inspect(|s| {
-                    let _ = s.set_nodelay(true);
-                    let _ = s.set_read_timeout(Some(self.cfg.liveness));
-                });
-            }
-            let Some(stream) = guard.as_mut() else {
-                drop(guard);
-                std::thread::sleep(self.cfg.retry.base);
-                continue;
+        for attempt in 0..2 {
+            // Take the cached connection *out* of the lock: the slow
+            // parts (connect, round trip, retry sleep) must not
+            // serialize concurrent queriers behind one dead peer.
+            let cached = self.conn.lock().take();
+            let mut conn = match cached.or_else(|| self.open()) {
+                Some(conn) => conn,
+                None => {
+                    if attempt == 0 {
+                        std::thread::sleep(self.cfg.retry.base);
+                    }
+                    continue;
+                }
             };
-            match self.round_trip(stream, query) {
-                Ok(events) => return events,
-                Err(_) => *guard = None, // stale connection; retry fresh
+            // On error the stale connection is dropped and the next
+            // attempt dials fresh.
+            if let Ok(events) = self.round_trip(&mut conn, query) {
+                // Another querier may have cached its own fresh
+                // connection meanwhile; last one wins, the loser is
+                // simply closed.
+                *self.conn.lock() = Some(conn);
+                return events;
             }
         }
         self.failures.fetch_add(1, Ordering::Relaxed);

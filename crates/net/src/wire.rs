@@ -15,6 +15,7 @@
 
 use serde::{DeError, Deserialize, Serialize, Value};
 use std::io::{self, Read, Write};
+use std::time::Duration;
 
 /// Length-prefix size in bytes.
 pub const FRAME_HEADER_LEN: usize = 4;
@@ -412,6 +413,11 @@ pub struct FrameReader<R> {
     need: usize,
     /// Whether `need` already accounts for the body length.
     have_header: bool,
+    /// Installed recv-side fault stream; `None` is a clean wire.
+    faults: Option<sdci_faults::StreamFaults>,
+    /// Raw body of a frame an injected *duplicate* fault will deliver
+    /// again on the next call.
+    replay: Option<Vec<u8>>,
 }
 
 impl<R> std::fmt::Debug for FrameReader<R> {
@@ -423,7 +429,25 @@ impl<R> std::fmt::Debug for FrameReader<R> {
 impl<R: Read> FrameReader<R> {
     /// Wraps a byte stream positioned on a frame boundary.
     pub fn new(inner: R) -> Self {
-        FrameReader { inner, buf: Vec::new(), need: FRAME_HEADER_LEN, have_header: false }
+        Self::with_faults(inner, None)
+    }
+
+    /// Like [`FrameReader::new`], with a recv-side fault stream: each
+    /// complete frame draws one decision — drop discards it and reads
+    /// on, duplicate delivers it twice, truncate poisons it into
+    /// `InvalidData` (killing the connection, like a real mid-body
+    /// cut), delay stalls before delivering. While the plan scripts a
+    /// partition, reads stall briefly and return `WouldBlock` so the
+    /// caller's liveness window — not a read error — detects it.
+    pub fn with_faults(inner: R, faults: Option<sdci_faults::StreamFaults>) -> Self {
+        FrameReader {
+            inner,
+            buf: Vec::new(),
+            need: FRAME_HEADER_LEN,
+            have_header: false,
+            faults,
+            replay: None,
+        }
     }
 
     /// The underlying stream (e.g. to adjust socket timeouts).
@@ -439,6 +463,20 @@ impl<R: Read> FrameReader<R> {
     /// the same frame. Any other error — including the `InvalidData`
     /// cases of [`read_msg`] — means the stream is no longer usable.
     pub fn read_msg<M: Deserialize>(&mut self) -> io::Result<M> {
+        if let Some(body) = self.replay.take() {
+            // The second delivery of an injected duplicate.
+            let text = std::str::from_utf8(&body).map_err(invalid)?;
+            return serde_json::from_str(text).map_err(invalid);
+        }
+        if let Some(faults) = &self.faults {
+            if faults.partitioned() {
+                std::thread::sleep(Duration::from_millis(2));
+                return Err(io::Error::new(
+                    io::ErrorKind::WouldBlock,
+                    "injected partition: nothing arrives",
+                ));
+            }
+        }
         loop {
             while self.buf.len() < self.need {
                 let have = self.buf.len();
@@ -462,6 +500,34 @@ impl<R: Read> FrameReader<R> {
                 sdci_obs::static_metric!(counter, "sdci_net_frames_in_total").inc();
                 sdci_obs::static_metric!(counter, "sdci_net_bytes_in_total")
                     .add(self.buf.len() as u64);
+                match self.faults.as_mut().map(|f| f.decide(sdci_faults::Direction::Recv)) {
+                    Some(sdci_faults::FrameFault::Drop) => {
+                        // The frame evaporates; read the next one.
+                        crate::faulted::record_fault("recv", "drop");
+                        self.buf.clear();
+                        self.need = FRAME_HEADER_LEN;
+                        self.have_header = false;
+                        continue;
+                    }
+                    Some(sdci_faults::FrameFault::Truncate) => {
+                        // A mid-body cut parses as garbage; poison the
+                        // frame so the connection dies like one.
+                        crate::faulted::record_fault("recv", "truncate");
+                        self.buf.clear();
+                        self.need = FRAME_HEADER_LEN;
+                        self.have_header = false;
+                        return Err(invalid("injected fault: frame truncated on receive"));
+                    }
+                    Some(sdci_faults::FrameFault::Duplicate) => {
+                        crate::faulted::record_fault("recv", "duplicate");
+                        self.replay = Some(self.buf[FRAME_HEADER_LEN..].to_vec());
+                    }
+                    Some(sdci_faults::FrameFault::Delay(dur)) => {
+                        crate::faulted::record_fault("recv", "delay");
+                        std::thread::sleep(dur);
+                    }
+                    Some(sdci_faults::FrameFault::Deliver) | None => {}
+                }
                 let result = std::str::from_utf8(&self.buf[FRAME_HEADER_LEN..])
                     .map_err(invalid)
                     .and_then(|text| serde_json::from_str(text).map_err(invalid));

@@ -1,0 +1,170 @@
+//! Fault-injection regression tests: the deterministic chaos the
+//! `sdci-faults` plan injects at the conn/wire boundary must be
+//! survivable — the lossless push leg stays exactly-once, store
+//! queries stay time-bounded, and a failed thread spawn costs one
+//! connection, never the process.
+
+use sdci_core::{EventStore, SequencedEvent, StoreQuery, StoreReader};
+use sdci_faults::{arm, CrashMode, FaultPlan};
+use sdci_net::store_rpc::StoreRpc;
+use sdci_net::wire::write_msg;
+use sdci_net::{NetConfig, RemoteStore, RetryPolicy, StoreServer, TcpPullServer, TcpPush};
+use sdci_types::{ChangelogKind, EventKind, Fid, FileEvent, MdtIndex, SimTime};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn fast_cfg() -> NetConfig {
+    NetConfig {
+        hwm: 8192,
+        window: 256,
+        retry: RetryPolicy { base: Duration::from_millis(10), max: Duration::from_millis(100) },
+        heartbeat: Duration::from_millis(20),
+        liveness: Duration::from_millis(400),
+        ..NetConfig::default()
+    }
+}
+
+fn faulted_cfg(spec: &str) -> NetConfig {
+    let plan = Arc::new(FaultPlan::parse(spec).expect("valid fault spec"));
+    fast_cfg().with_faults(Some(plan))
+}
+
+fn sev(seq: u64) -> SequencedEvent {
+    SequencedEvent {
+        seq,
+        event: FileEvent {
+            index: seq,
+            mdt: MdtIndex::new(0),
+            changelog_kind: ChangelogKind::Create,
+            kind: EventKind::Created,
+            time: SimTime::from_secs(seq),
+            path: PathBuf::from(format!("/f/{seq}")),
+            src_path: None,
+            target: Fid::new(1, seq as u32, 0),
+            is_dir: false,
+            extracted_unix_ns: None,
+        },
+    }
+}
+
+fn seeded_store(n: u64) -> Arc<EventStore> {
+    let store = EventStore::new(4096);
+    for i in 1..=n {
+        store.insert(sev(i)).unwrap();
+    }
+    Arc::new(store)
+}
+
+/// The §5.2 guarantee under a hostile wire: with frames being dropped,
+/// duplicated, truncated (killing the connection), and delayed on the
+/// pusher's sockets, every item still reaches the pipeline exactly
+/// once, in order — dedup marks plus gap rejection plus resend-on-
+/// reconnect absorb every injected fault. Three seeds, same invariant.
+#[test]
+fn lossy_faulted_push_leg_still_delivers_exactly_once() {
+    for seed in [7u64, 41, 1999] {
+        let server = TcpPullServer::<u64>::bind("127.0.0.1:0", 4096, fast_cfg()).unwrap();
+        let spec = format!("seed={seed},drop=0.06,dup=0.05,trunc=0.03,delay=0.05:1ms");
+        let push = TcpPush::connect(server.local_addr(), "chaos", faulted_cfg(&spec));
+        const N: u64 = 120;
+        for i in 0..N {
+            assert!(push.send(i), "seed {seed}: send rejected");
+        }
+        assert!(push.drain(Duration::from_secs(60)), "seed {seed}: acks never fully arrived");
+
+        let pull = server.pull();
+        let mut got = Vec::new();
+        while let Some(item) = pull.recv_timeout(Duration::from_secs(5)) {
+            got.push(item);
+            if got.len() == N as usize {
+                break;
+            }
+        }
+        assert_eq!(got, (0..N).collect::<Vec<_>>(), "seed {seed}: lost or reordered items");
+        assert_eq!(server.stats().items, N, "seed {seed}: pipeline item count drifted");
+        drop(push);
+        server.shutdown();
+    }
+}
+
+/// A scripted partition black-holes connects: `RemoteStore::query` must
+/// give up within its bounded retry schedule — not hang the caller on
+/// a kernel SYN retry — and account every failed dial.
+#[test]
+fn remote_store_query_is_bounded_during_a_partition() {
+    // The target address never even gets dialed: the partition window
+    // covers the whole test.
+    let cfg = faulted_cfg("seed=3,partition=60s@0ms");
+    let store = RemoteStore::connect("127.0.0.1:9".parse().unwrap(), cfg);
+    let started = Instant::now();
+    let events = store.query(&StoreQuery::after_seq(0));
+    assert!(events.is_empty());
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "query took {:?}; the connect path is not bounded",
+        started.elapsed()
+    );
+    assert_eq!(store.connect_failures(), 2, "both attempts should have failed to dial");
+    assert_eq!(store.failures(), 1);
+}
+
+/// A peer flooding the reply stream with non-`Batch` frames must not
+/// wedge the consumer: the round trip fails after a bounded number of
+/// strays and the query returns empty.
+#[test]
+fn remote_store_round_trip_is_bounded_under_a_non_batch_flood() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let flood = std::thread::spawn(move || {
+        // One connection per query attempt; answer each with Pings
+        // forever (until the client hangs up).
+        for _ in 0..2 {
+            let Ok((stream, _)) = listener.accept() else { return };
+            std::thread::spawn(move || {
+                let mut writer = stream;
+                while write_msg(&mut writer, &StoreRpc::Ping).is_ok() {}
+            });
+        }
+    });
+
+    let store = RemoteStore::connect(addr, fast_cfg());
+    let started = Instant::now();
+    let events = store.query(&StoreQuery::after_seq(0));
+    assert!(events.is_empty());
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "query took {:?}; the stray-reply loop is not bounded",
+        started.elapsed()
+    );
+    assert_eq!(store.failures(), 1);
+    flood.join().unwrap();
+}
+
+/// Thread-spawn failure containment, via the armed fail points the
+/// chaos harness uses: an accept-thread failure surfaces as a `bind`
+/// error (no panic), and a per-connection failure costs exactly that
+/// connection — the retry lands on a freshly spawned handler.
+#[test]
+fn store_server_spawn_failures_are_contained() {
+    let store = seeded_store(25);
+
+    // Accept-thread spawn failure: bind reports it instead of
+    // panicking the process...
+    arm("net.store_rpc.spawn_accept", 1, CrashMode::Error);
+    let err = StoreServer::bind("127.0.0.1:0", Arc::clone(&store), fast_cfg()).unwrap_err();
+    assert!(err.to_string().contains("net.store_rpc.spawn_accept"), "unhelpful error: {err}");
+    // ...and the point self-disarms, so the next bind succeeds.
+    let server = StoreServer::bind("127.0.0.1:0", Arc::clone(&store), fast_cfg()).unwrap();
+
+    // Per-connection spawn failure: the first dial gets a connection
+    // nobody serves (the client times out and redials); the server
+    // survives and the second connection answers.
+    arm("net.store_rpc.spawn_conn", 1, CrashMode::Error);
+    let remote = RemoteStore::connect(server.local_addr(), fast_cfg());
+    let events = remote.query(&StoreQuery::after_seq(0));
+    assert_eq!(events.len(), 25, "query must succeed once a handler thread spawns");
+    assert_eq!(server.queries(), 1);
+    server.shutdown();
+}

@@ -19,6 +19,13 @@
 //!                    [--timeout SECS]
 //! ```
 //!
+//! Every distributed role also takes `--faults SPEC` (or the
+//! `SDCI_FAULTS` env var): a deterministic `sdci_faults::FaultPlan`
+//! spec like `seed=42,drop=0.05,delay=0.1:2ms,partition=500ms@2s`
+//! installed on that role's sockets, for chaos testing. Crash points
+//! (`SDCI_CRASH_POINTS=store.flush.manifest_commit:1:abort,...`) kill
+//! or fail the process at named store/net steps.
+//!
 //! Port convention: the aggregator's `--bind` port `P` carries the
 //! Collector PUSH leg; `P+1` serves the consumer feed (PUB/SUB); `P+2`
 //! serves store-backfill RPC. `--connect` always takes the base
@@ -27,8 +34,8 @@
 //!
 //! `--snapshot DIR` flushes the store every 200 ms into a snapshot
 //! *directory*: immutable per-segment NDJSON files written exactly
-//! once, plus a rewritten `head.ndjson` and `MANIFEST.json` (the commit
-//! point) — so steady-state flush I/O is proportional to new events,
+//! once, plus a generation-named `head-*.ndjson` and `MANIFEST.json`
+//! (the commit point) — so steady-state flush I/O is proportional to new events,
 //! not the retained window. Beside it, a `DIR.marks` sidecar holds the
 //! per-collector push dedup marks; a restart restores both, so
 //! collectors that resend their unacked window are deduplicated against
@@ -58,6 +65,9 @@ fn main() {
     // Anchor the log timestamp offset at process start; filtering is
     // configured from SDCI_LOG (default: info).
     sdci_obs::log::init_from_env();
+    // Arm any SDCI_CRASH_POINTS before worker threads spin up, so the
+    // very first seal/flush/spawn can fire a scheduled crash.
+    sdci_faults::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("aggregator") => run_aggregator(&args[1..]),
@@ -137,6 +147,29 @@ impl<'a> Flags<'a> {
     }
 }
 
+/// Builds a role's [`NetConfig`], installing the deterministic fault
+/// plan from `--faults SPEC` (the `SDCI_FAULTS` env var when the flag
+/// is absent). A malformed spec is a startup error, never a silently
+/// fault-free run.
+fn net_config(flags: &Flags) -> Result<NetConfig, String> {
+    let plan = match flags.get("--faults") {
+        Some(spec) => Some(Arc::new(
+            sdci_faults::FaultPlan::parse(spec).map_err(|e| format!("--faults: {e}"))?,
+        )),
+        None => {
+            sdci_faults::load_env_plan().map_err(|e| format!("{}: {e}", sdci_faults::ENV_FAULTS))?
+        }
+    };
+    if let Some(plan) = &plan {
+        sdci_obs::warn!(
+            target: "sdcimon",
+            "fault injection armed";
+            plan = format!("{plan}"),
+        );
+    }
+    Ok(NetConfig::default().with_faults(plan))
+}
+
 fn offset_addr(base: SocketAddr, offset: u16) -> Result<SocketAddr, String> {
     let port = base.port().checked_add(offset).ok_or_else(|| {
         format!(
@@ -155,14 +188,14 @@ fn offset_addr(base: SocketAddr, offset: u16) -> Result<SocketAddr, String> {
 fn run_aggregator(args: &[String]) -> Result<(), String> {
     let flags = Flags::new(
         args,
-        &["--bind", "--store-capacity", "--feed-hwm", "--snapshot", "--metrics-addr"],
+        &["--bind", "--store-capacity", "--feed-hwm", "--snapshot", "--metrics-addr", "--faults"],
     )?;
     let bind: SocketAddr = flags.parse("--bind", "127.0.0.1:7070".parse().unwrap())?;
     let store_capacity: usize = flags.parse("--store-capacity", 1_000_000)?;
     let feed_hwm: usize = flags.parse("--feed-hwm", 65_536)?;
     let snapshot = flags.get("--snapshot").map(std::path::PathBuf::from);
 
-    let cfg = NetConfig::default();
+    let cfg = net_config(&flags)?;
     // Dedup marks are restored before the listener opens, so even the
     // first reconnecting collector is deduplicated against the events
     // the restored store already holds.
@@ -358,7 +391,7 @@ fn write_marks_atomically(
 // ---------------------------------------------------------------------------
 
 fn run_collector(args: &[String]) -> Result<(), String> {
-    let flags = Flags::new(args, &["--connect", "--client", "--files"])?;
+    let flags = Flags::new(args, &["--connect", "--client", "--files", "--faults"])?;
     let connect: SocketAddr = flags
         .get("--connect")
         .ok_or("collector requires --connect ADDR")?
@@ -372,7 +405,7 @@ fn run_collector(args: &[String]) -> Result<(), String> {
     let lfs = Arc::new(Mutex::new(LustreFs::new(
         LustreConfig::builder(client.clone()).mdt_count(1).build(),
     )));
-    let push = TcpPush::<FileEvent>::connect(connect, client.clone(), NetConfig::default());
+    let push = TcpPush::<FileEvent>::connect(connect, client.clone(), net_config(&flags)?);
     let mut collector =
         Collector::new(Arc::clone(&lfs), MdtIndex::new(0), push.clone(), MonitorConfig::default());
     {
@@ -415,7 +448,7 @@ fn run_collector(args: &[String]) -> Result<(), String> {
 fn run_consumer(args: &[String]) -> Result<(), String> {
     let flags = Flags::with_switches(
         args,
-        &["--connect", "--expect", "--under", "--timeout"],
+        &["--connect", "--expect", "--under", "--timeout", "--faults"],
         &["--verbose"],
     )?;
     let verbose = flags.has("--verbose");
@@ -430,7 +463,7 @@ fn run_consumer(args: &[String]) -> Result<(), String> {
     };
     let timeout = Duration::from_secs(flags.parse("--timeout", 30u64)?);
 
-    let cfg = NetConfig::default();
+    let cfg = net_config(&flags)?;
     let feed_addr = offset_addr(connect, 1)?;
     let store_addr = offset_addr(connect, 2)?;
     let feed = TcpSubscriber::connect(feed_addr, &["feed/"], cfg.clone());
@@ -519,10 +552,11 @@ fn parse_demo_args(args: &[String]) -> Result<Options, String> {
                     "usage: sdcimon [--testbed aws|iota] [--mdts N] [--seconds S] \
                      [--ops-per-tick N] [--no-cache]\n\
                      \x20      sdcimon aggregator [--bind ADDR] [--store-capacity N] \
-                     [--feed-hwm N] [--snapshot DIR]\n\
-                     \x20      sdcimon collector --connect ADDR [--client ID] [--files N]\n\
+                     [--feed-hwm N] [--snapshot DIR] [--faults SPEC]\n\
+                     \x20      sdcimon collector --connect ADDR [--client ID] [--files N] \
+                     [--faults SPEC]\n\
                      \x20      sdcimon consumer --connect ADDR [--expect N] [--under PREFIX] \
-                     [--timeout SECS]"
+                     [--timeout SECS] [--faults SPEC]"
                 );
                 std::process::exit(0);
             }

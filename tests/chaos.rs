@@ -1,0 +1,267 @@
+//! Chaos harness: the three-OS-process pipeline under deterministic,
+//! seed-reproducible fault schedules.
+//!
+//! Faults ride on the collector→aggregator push leg only (dropped,
+//! duplicated, truncated, delayed frames on the pusher's sockets): the
+//! push protocol is the lossless leg, so the invariant under chaos is
+//! strict — every event delivered exactly once, in order, with the
+//! aggregator's received/stored/published counters all agreeing. The
+//! consumer's feed and backfill legs stay clean because a faulted
+//! backfill reply is *allowed* to surface as loss (`EventConsumer`
+//! counts an event lost once backfill cannot produce it); the chaos
+//! the consumer must absorb is the aggregator dying, covered below by
+//! a crash-point abort in the middle of a snapshot flush.
+//!
+//! Every schedule is reproducible: the seed is printed, and replaying
+//! it is `sdcimon collector --faults "<printed spec>"` against a clean
+//! aggregator. Children are managed strictly through
+//! [`std::process::Child`] handles, so a crashed test cannot take
+//! unrelated processes down with it.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+const BIN: &str = env!("CARGO_BIN_EXE_sdcimon");
+
+/// Events one collector run emits: one mkdir plus `--files` creates.
+const EVENTS_PER_COLLECTOR: usize = 101;
+
+/// The push-leg schedule: aggressive enough that every seed injects
+/// dozens of faults across a 101-event run, mild enough that the
+/// bounded-retry drain (60 s) always converges.
+fn chaos_spec(seed: u64) -> String {
+    format!("seed={seed},drop=0.08,dup=0.06,trunc=0.04,delay=0.05:1ms")
+}
+
+/// A child process that is SIGKILLed when the test panics.
+struct Reaped(Option<Child>);
+
+impl Reaped {
+    fn child(&mut self) -> &mut Child {
+        self.0.as_mut().expect("child already consumed")
+    }
+
+    fn into_child(mut self) -> Child {
+        self.0.take().expect("child already consumed")
+    }
+}
+
+impl Drop for Reaped {
+    fn drop(&mut self) {
+        if let Some(mut child) = self.0.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+fn spawn_env(args: &[&str], envs: &[(&str, &str)]) -> Reaped {
+    let mut cmd = Command::new(BIN);
+    cmd.args(args).stdout(Stdio::piped()).stderr(Stdio::inherit());
+    for (key, value) in envs {
+        cmd.env(key, value);
+    }
+    Reaped(Some(cmd.spawn().expect("spawn sdcimon")))
+}
+
+fn wait_for_listen_addr(agg: &mut Reaped) -> String {
+    let stdout = agg.child().stdout.take().expect("aggregator stdout piped");
+    let mut lines = BufReader::new(stdout).lines();
+    for line in &mut lines {
+        let line = line.expect("read aggregator stdout");
+        if let Some(rest) = line.split("listening on ").nth(1) {
+            let addr = rest.split_whitespace().next().expect("addr token");
+            std::thread::spawn(move || for _ in lines {});
+            return addr.to_string();
+        }
+    }
+    panic!("aggregator exited without printing a readiness line");
+}
+
+fn scrape_metrics(events_addr: &str) -> String {
+    use std::io::{Read, Write};
+    let base: std::net::SocketAddr = events_addr.parse().expect("events addr");
+    let metrics_addr = std::net::SocketAddr::new(base.ip(), base.port() + 3);
+    let mut stream = std::net::TcpStream::connect(metrics_addr).expect("connect metrics endpoint");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    write!(stream, "GET /metrics HTTP/1.1\r\nHost: sdci\r\nConnection: close\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read metrics response");
+    assert!(response.starts_with("HTTP/1.1 200"), "unexpected scrape status: {response}");
+    let body_at = response.find("\r\n\r\n").expect("header/body separator") + 4;
+    response[body_at..].to_string()
+}
+
+/// Reads one counter from a scrape body; a counter that never fired is
+/// absent from the registry and reads as 0.
+fn metric_value(body: &str, name: &str) -> u64 {
+    let prefix = format!("{name} ");
+    body.lines()
+        .find_map(|l| l.strip_prefix(&prefix).and_then(|v| v.trim().parse().ok()))
+        .unwrap_or(0)
+}
+
+/// Runs a collector to completion, its push sockets under `faults`.
+fn run_collector(addr: &str, client: &str, faults: Option<&str>) {
+    let mut args = vec!["collector", "--connect", addr, "--client", client, "--files", "100"];
+    if let Some(spec) = faults {
+        args.extend_from_slice(&["--faults", spec]);
+    }
+    let status = Command::new(BIN).args(&args).status().expect("run collector");
+    assert!(status.success(), "collector {client} failed: {status:?}");
+}
+
+/// Asserts the per-client `event` lines are path-resolved and arrive in
+/// creation order, and returns how many event lines were seen in total.
+fn check_consumer_output(out: &str, clients: &[&str]) -> usize {
+    for client in clients {
+        let prefix = format!("/{client}/f");
+        let indices: Vec<usize> = out
+            .lines()
+            .filter_map(|l| l.strip_prefix("event Created ")?.strip_prefix(&prefix)?.parse().ok())
+            .collect();
+        let expected: Vec<usize> = (0..100).collect();
+        assert_eq!(indices, expected, "client {client}: file events out of order or missing");
+    }
+    out.lines().filter(|l| l.starts_with("event ")).count()
+}
+
+/// Exactly-once delivery under a hostile push leg, across three seeds.
+/// Dedup marks, gap rejection, and resend-on-reconnect must absorb
+/// every injected drop/duplicate/truncation, and the aggregator's
+/// counters must reconcile exactly: received == stored == published ==
+/// the number of source events, with zero insert errors.
+#[test]
+fn faulted_push_legs_deliver_exactly_once_across_seeds() {
+    for seed in [11u64, 313, 97031] {
+        let spec_c1 = chaos_spec(seed);
+        let spec_c2 = chaos_spec(seed + 1);
+        println!("chaos schedule: seed {seed} (c1 spec {spec_c1}, c2 spec {spec_c2})");
+
+        let mut agg = spawn_env(&["aggregator", "--bind", "127.0.0.1:0"], &[]);
+        let addr = wait_for_listen_addr(&mut agg);
+        let expect = (2 * EVENTS_PER_COLLECTOR).to_string();
+        let consumer = spawn_env(
+            &["consumer", "--connect", &addr, "--verbose", "--expect", &expect, "--timeout", "120"],
+            &[],
+        );
+
+        run_collector(&addr, "c1", Some(&spec_c1));
+        run_collector(&addr, "c2", Some(&spec_c2));
+
+        let out = consumer.into_child().wait_with_output().expect("wait for consumer");
+        assert!(out.status.success(), "seed {seed}: consumer failed: {:?}", out.status);
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let events = check_consumer_output(&stdout, &["c1", "c2"]);
+        assert_eq!(events, 2 * EVENTS_PER_COLLECTOR, "seed {seed}: wrong count:\n{stdout}");
+        let done = stdout.lines().last().unwrap_or_default();
+        assert!(done.contains("lost 0"), "seed {seed}: consumer reported loss: {done}");
+
+        // Counter reconciliation: the pipeline agrees with itself end to
+        // end. A duplicate the dedup marks missed would inflate
+        // `received`; a gap the server accepted would show up as a
+        // `stored`/`published` shortfall against the consumer's 202.
+        let body = scrape_metrics(&addr);
+        let received = metric_value(&body, "sdci_aggregator_received_total");
+        let stored = metric_value(&body, "sdci_aggregator_stored_total");
+        let published = metric_value(&body, "sdci_aggregator_published_total");
+        let expected = 2 * EVENTS_PER_COLLECTOR as u64;
+        assert_eq!(received, expected, "seed {seed}: duplicate or lost frames reached ingest");
+        assert_eq!(stored, expected, "seed {seed}: store insert count drifted");
+        assert_eq!(published, expected, "seed {seed}: feed publish count drifted");
+        assert_eq!(
+            metric_value(&body, "sdci_aggregator_insert_errors_total"),
+            0,
+            "seed {seed}: ingest halted on a store insert error"
+        );
+    }
+}
+
+/// The §5.2 fault story under crash-point injection: the aggregator
+/// aborts *between* writing the new head generation and renaming the
+/// manifest — the exact window where the pre-versioned-head snapshot
+/// layout corrupted itself — and the restarted process must restore
+/// every flushed event and hand the consumer a loss-free stream.
+///
+/// The abort is scheduled on the 25th flush (~5 s in, flushes tick
+/// every 200 ms), leaving collector c1 ample room to finish and be
+/// covered by a committed flush plus the marks sidecar that follows it.
+#[test]
+fn aggregator_aborted_mid_manifest_commit_restarts_without_losing_events() {
+    let snapshot = std::env::temp_dir().join(format!("sdci-chaos-snap-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&snapshot);
+    let snap = snapshot.to_str().expect("utf-8 temp path");
+
+    let mut agg = spawn_env(
+        &["aggregator", "--bind", "127.0.0.1:0", "--snapshot", snap],
+        &[("SDCI_CRASH_POINTS", "store.flush.manifest_commit:25:abort")],
+    );
+    let addr = wait_for_listen_addr(&mut agg);
+
+    let expect = (2 * EVENTS_PER_COLLECTOR).to_string();
+    let consumer = spawn_env(
+        &["consumer", "--connect", &addr, "--verbose", "--expect", &expect, "--timeout", "120"],
+        &[],
+    );
+
+    run_collector(&addr, "c1", Some(&chaos_spec(501)));
+
+    // The armed crash point fires mid-flush and aborts the process; no
+    // kill from the test, the injected schedule is the whole fault.
+    let status = agg.child().wait().expect("wait for aborted aggregator");
+    assert!(!status.success(), "the armed crash point should have aborted the aggregator");
+
+    // The snapshot directory must be restorable *right now*, with the
+    // interrupted flush's head generation left orphaned and the prior
+    // manifest still the commit point. (Before head files were
+    // generation-named, this exact crash left the committed manifest
+    // pointing at a disagreeing head — an unrestorable snapshot.)
+    let restored = sdci::monitor::restore_snapshot(&snapshot, 1_000_000)
+        .expect("snapshot must restore after a mid-commit abort");
+    assert_eq!(
+        restored.len(),
+        EVENTS_PER_COLLECTOR,
+        "the committed manifest should cover all of c1's flushed events"
+    );
+
+    // The second collector starts into the dead port and retries with
+    // backoff until the aggregator returns — under its own fault
+    // schedule on top.
+    let spec_c2 = chaos_spec(502);
+    let mut c2 = Reaped(Some(
+        Command::new(BIN)
+            .args([
+                "collector",
+                "--connect",
+                &addr,
+                "--client",
+                "c2",
+                "--files",
+                "100",
+                "--faults",
+                &spec_c2,
+            ])
+            .stdout(Stdio::inherit())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn collector c2"),
+    ));
+    std::thread::sleep(Duration::from_millis(500));
+
+    let _agg2 = spawn_env(&["aggregator", "--bind", &addr, "--snapshot", snap], &[]);
+
+    let c2_status = c2.child().wait().expect("wait collector c2");
+    assert!(c2_status.success(), "collector c2 failed: {c2_status:?}");
+
+    let out = consumer.into_child().wait_with_output().expect("wait for consumer");
+    assert!(out.status.success(), "consumer failed: {:?}", out.status);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let events = check_consumer_output(&stdout, &["c1", "c2"]);
+    assert_eq!(events, 2 * EVENTS_PER_COLLECTOR, "wrong event count:\n{stdout}");
+    let done = stdout.lines().last().unwrap_or_default();
+    assert!(done.contains("lost 0"), "consumer reported loss: {done}");
+
+    assert!(snapshot.join("MANIFEST.json").is_file(), "snapshot directory has a manifest");
+    let _ = std::fs::remove_dir_all(&snapshot);
+}
