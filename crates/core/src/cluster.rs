@@ -1,4 +1,5 @@
-//! Wiring: one Collector thread per MDT + the Aggregator (Figure 2).
+//! Wiring: one Collector thread per MDT + the Aggregator (Figure 2),
+//! plus the [`ShardMap`] a sharded aggregator tier partitions by.
 
 use crate::aggregator::{Aggregator, AggregatorSnapshot};
 use crate::collector::{Collector, CollectorStats};
@@ -10,6 +11,7 @@ use parking_lot::Mutex;
 use sdci_mq::pubsub::Broker;
 use sdci_mq::transport::Transport;
 use sdci_types::{FileEvent, MdtIndex};
+use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -212,6 +214,139 @@ impl MonitorCluster {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Shard map: how a sharded aggregator tier partitions the event space
+// ---------------------------------------------------------------------------
+
+/// Identity of one shard in a sharded aggregator tier.
+pub type ShardId = u32;
+
+/// One shard's entry in a [`ShardMap`]: its identity and the base
+/// address of its port trio (push leg at `addr`, feed at `+1`, store
+/// RPC at `+2`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardInfo {
+    /// Stable shard identity; survives map version bumps.
+    pub id: ShardId,
+    /// Base address of the shard's port trio, e.g. `"127.0.0.1:7070"`.
+    pub addr: String,
+}
+
+/// The versioned partition table of a sharded aggregator tier.
+///
+/// Every role — collectors routing events, the query front-end
+/// scattering reads, operators adding shards — holds a copy of the same
+/// map (it is served over the wire by the front-end), so the partition
+/// decision is a pure function every process computes identically:
+///
+/// * the **routing key** is the event path's first component (its
+///   *path root*, `/projA/...` → `projA`), hashed with FNV-1a — a
+///   fixed, seedless hash, so different builds and processes agree;
+/// * an event whose path has no root component (e.g. an event on `/`
+///   itself) falls back to hashing its FID, which every event carries;
+/// * the key hash picks a slot by modulo over the shard list.
+///
+/// Adding a shard appends a [`ShardInfo`] and bumps `version`; routers
+/// compare versions to decide whether a cutover is needed. Collectors
+/// that still hold the old map keep routing by it — consistently, just
+/// to the old owners — until they pick up the new one, so a map change
+/// never splits one path root across shards *within* one router.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardMap {
+    version: u64,
+    shards: Vec<ShardInfo>,
+}
+
+impl ShardMap {
+    /// A version-1 map over `addrs`, with shard ids assigned 0..n in
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addrs` is empty — a tier with no shards cannot route.
+    pub fn new(addrs: impl IntoIterator<Item = impl Into<String>>) -> ShardMap {
+        let shards: Vec<ShardInfo> = addrs
+            .into_iter()
+            .enumerate()
+            .map(|(i, addr)| ShardInfo { id: i as ShardId, addr: addr.into() })
+            .collect();
+        assert!(!shards.is_empty(), "a shard map needs at least one shard");
+        ShardMap { version: 1, shards }
+    }
+
+    /// The map version; bumped by every membership change.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The shards, in slot order.
+    pub fn shards(&self) -> &[ShardInfo] {
+        &self.shards
+    }
+
+    /// Returns a new map with `addr` appended as a fresh shard and the
+    /// version bumped. The new shard gets the lowest id not in use.
+    #[must_use]
+    pub fn with_shard(&self, addr: impl Into<String>) -> ShardMap {
+        let id = self.shards.iter().map(|s| s.id + 1).max().unwrap_or(0);
+        let mut shards = self.shards.clone();
+        shards.push(ShardInfo { id, addr: addr.into() });
+        ShardMap { version: self.version + 1, shards }
+    }
+
+    /// The shard that owns `path` (by path-root hash, falling back to
+    /// the FID when the path has no root component).
+    pub fn route(&self, path: &std::path::Path, fid: sdci_types::Fid) -> &ShardInfo {
+        &self.shards[self.route_index(path, fid)]
+    }
+
+    /// Slot index of the owner of `path` — the same decision as
+    /// [`ShardMap::route`], for callers indexing parallel arrays.
+    pub fn route_index(&self, path: &std::path::Path, fid: sdci_types::Fid) -> usize {
+        let hash = match path_root(path) {
+            Some(root) => fnv1a(root.as_bytes()),
+            None => {
+                let mut h = fnv1a(&fid.seq.to_le_bytes());
+                h = fnv1a_continue(h, &fid.oid.to_le_bytes());
+                fnv1a_continue(h, &fid.ver.to_le_bytes())
+            }
+        };
+        (hash % self.shards.len() as u64) as usize
+    }
+
+    /// The shard that owns `event` (routing by its path and FID).
+    pub fn route_event(&self, event: &FileEvent) -> &ShardInfo {
+        self.route(&event.path, event.target)
+    }
+}
+
+/// The first normal component of `path` — the routing key. `None` for
+/// paths with no component below the root (e.g. `/` itself).
+fn path_root(path: &std::path::Path) -> Option<&str> {
+    path.components().find_map(|c| match c {
+        std::path::Component::Normal(os) => os.to_str(),
+        _ => None,
+    })
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over `bytes`: tiny, seedless, and stable across processes —
+/// the property the shard map needs (`std`'s hashers randomize per
+/// process, which would make two roles disagree on ownership).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_continue(FNV_OFFSET, bytes)
+}
+
+fn fnv1a_continue(mut hash: u64, bytes: &[u8]) -> u64 {
+    for b in bytes {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -315,6 +450,40 @@ mod tests {
         assert_eq!(consumer.stats().recovered, 20);
         assert_eq!(got.last().unwrap().path, std::path::PathBuf::from("/late"));
         cluster.shutdown();
+    }
+
+    #[test]
+    fn shard_map_routes_by_path_root_with_fid_fallback() {
+        use sdci_types::Fid;
+        let map = ShardMap::new(["127.0.0.1:7070", "127.0.0.1:7080"]);
+        assert_eq!(map.version(), 1);
+        let fid = Fid::new(0x2_0000_0400, 7, 0);
+        // Every path under the same root lands on the same shard,
+        // whatever the FID says.
+        let owner = map.route(std::path::Path::new("/projA"), fid).id;
+        for p in ["/projA/f1", "/projA/deep/nested/f2", "/projA"] {
+            assert_eq!(map.route(std::path::Path::new(p), Fid::new(9, 9, 9)).id, owner, "{p}");
+        }
+        // Rootless paths fall back to the FID — and deterministically.
+        let root = std::path::Path::new("/");
+        assert_eq!(map.route(root, fid).id, map.route(root, fid).id);
+        // With enough distinct roots, both shards own something.
+        let owners: std::collections::HashSet<ShardId> =
+            (0..64).map(|i| map.route(std::path::Path::new(&format!("/dir{i}")), fid).id).collect();
+        assert_eq!(owners.len(), 2, "64 roots must spread over both shards");
+    }
+
+    #[test]
+    fn shard_map_add_bumps_version_and_keeps_ids_stable() {
+        let v1 = ShardMap::new(["127.0.0.1:7070"]);
+        let v2 = v1.with_shard("127.0.0.1:7080");
+        assert_eq!(v2.version(), 2);
+        assert_eq!(v2.shards()[0], v1.shards()[0]);
+        assert_eq!(v2.shards()[1].id, 1);
+        // The map is what goes over the wire: it must round-trip.
+        let json = serde_json::to_string(&v2).unwrap();
+        let back: ShardMap = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, v2);
     }
 
     #[test]

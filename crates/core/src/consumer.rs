@@ -31,6 +31,9 @@ pub struct ConsumerStats {
     pub lost: u64,
     /// Events consumed but suppressed by the path filter.
     pub filtered_out: u64,
+    /// Backfill queries re-issued because the previous attempt came
+    /// back empty (e.g. the store was mid-restart).
+    pub backfill_retries: u64,
 }
 
 /// An ordered, gap-recovering event stream, optionally restricted to a
@@ -46,6 +49,10 @@ pub struct EventConsumer<F = Subscriber<FeedMessage>, R = SharedStore> {
     backlog: VecDeque<SequencedEvent>,
     filter: Option<PathBuf>,
     stats: ConsumerStats,
+    /// Extra attempts for a backfill query that returned empty.
+    backfill_retries: u32,
+    /// Delay before the first retry; doubles on each further attempt.
+    backfill_backoff: Duration,
 }
 
 impl<F, R> fmt::Debug for EventConsumer<F, R> {
@@ -70,7 +77,19 @@ impl<F: Subscribe<FeedMessage>, R: StoreReader> EventConsumer<F, R> {
             backlog: VecDeque::new(),
             filter: None,
             stats: ConsumerStats::default(),
+            backfill_retries: 3,
+            backfill_backoff: Duration::from_millis(25),
         }
+    }
+
+    /// Configures the bounded retry of backfill queries that return
+    /// empty: up to `attempts` extra queries, the first after `backoff`
+    /// and doubling from there. `attempts = 0` makes a single query
+    /// authoritative again.
+    pub fn with_backfill_retry(mut self, attempts: u32, backoff: Duration) -> Self {
+        self.backfill_retries = attempts;
+        self.backfill_backoff = backoff;
+        self
     }
 
     /// Restricts the stream to events whose path is under `prefix`.
@@ -185,8 +204,8 @@ impl<F: Subscribe<FeedMessage>, R: StoreReader> EventConsumer<F, R> {
         }
         // Fetch (horizon, last_seq] from the store; results are ordered
         // and all beyond the backlog, so appending keeps it sorted.
-        let missing =
-            self.store.query(&StoreQuery::after_seq(horizon).limit((last_seq - horizon) as usize));
+        let missing = self
+            .query_with_retry(&StoreQuery::after_seq(horizon).limit((last_seq - horizon) as usize));
         self.stats.recovered += missing.len() as u64;
         sdci_obs::static_metric!(counter, "sdci_consumer_recovered_total")
             .add(missing.len() as u64);
@@ -206,7 +225,7 @@ impl<F: Subscribe<FeedMessage>, R: StoreReader> EventConsumer<F, R> {
     /// Queries the store for the missing range `[next_seq, up_to)` and
     /// prepends whatever is still retained.
     fn backfill_to(&mut self, up_to: u64) {
-        let missing = self.store.query(
+        let missing = self.query_with_retry(
             &StoreQuery::after_seq(self.next_seq - 1).limit((up_to - self.next_seq) as usize),
         );
         let recovered: Vec<SequencedEvent> =
@@ -217,6 +236,32 @@ impl<F: Subscribe<FeedMessage>, R: StoreReader> EventConsumer<F, R> {
         for sev in recovered.into_iter().rev() {
             self.backlog.push_front(sev);
         }
+    }
+
+    /// Queries the store, retrying a bounded number of times (with a
+    /// doubling backoff) when the result comes back empty. A store
+    /// mid-restart answers queries with nothing while its snapshot is
+    /// restoring; treating that transient as authoritative would
+    /// convert recoverable events into permanently-counted losses. A
+    /// genuinely rotated-out range still resolves immediately in the
+    /// common case, because the store then returns the retained tail
+    /// (non-empty) rather than nothing.
+    fn query_with_retry(&mut self, query: &StoreQuery) -> Vec<SequencedEvent> {
+        let mut backoff = self.backfill_backoff;
+        for attempt in 0..=self.backfill_retries {
+            let got = self.store.query(query);
+            if !got.is_empty() {
+                return got;
+            }
+            if attempt == self.backfill_retries {
+                break;
+            }
+            self.stats.backfill_retries += 1;
+            sdci_obs::static_metric!(counter, "sdci_consumer_backfill_retries_total").inc();
+            std::thread::sleep(backoff);
+            backoff = backoff.saturating_mul(2);
+        }
+        Vec::new()
     }
 
     /// Counter snapshot.
@@ -362,6 +407,74 @@ mod tests {
         assert_eq!(stats.delivered, 1);
         assert_eq!(stats.filtered_out, 14);
         assert_eq!(stats.lost, 0);
+    }
+
+    /// A store that answers its first `fail_first` queries with nothing
+    /// — the observable behavior of a store mid-restart — and delegates
+    /// to the real store afterwards.
+    struct FlakyStore {
+        inner: Arc<EventStore>,
+        fail_first: std::sync::atomic::AtomicU32,
+    }
+
+    impl StoreReader for FlakyStore {
+        fn query(&self, query: &StoreQuery) -> Vec<SequencedEvent> {
+            use std::sync::atomic::Ordering;
+            let left = self.fail_first.load(Ordering::Relaxed);
+            if left > 0 {
+                self.fail_first.store(left - 1, Ordering::Relaxed);
+                return Vec::new();
+            }
+            self.inner.query(query)
+        }
+    }
+
+    #[test]
+    fn empty_backfill_is_retried_before_counting_lost() {
+        let broker: Broker<FeedMessage> = Broker::new(1024);
+        let store = Arc::new(EventStore::new(100));
+        for i in 1..=5 {
+            store.insert(sev(i)).unwrap();
+        }
+        let flaky = FlakyStore {
+            inner: Arc::clone(&store),
+            fail_first: std::sync::atomic::AtomicU32::new(2),
+        };
+        let mut consumer = EventConsumer::new(broker.subscribe(&["feed/"]), flaky, 0)
+            .with_backfill_retry(3, Duration::from_millis(1));
+        // Only the newest event arrives live; 1..=4 must backfill, and
+        // the first two (empty) answers must not be taken as loss.
+        broker.publisher().publish("feed/all", FeedMessage::Event(sev(5)));
+        let got: Vec<u64> = std::iter::from_fn(|| consumer.try_next().map(|e| e.index)).collect();
+        assert_eq!(got, (1..=5).collect::<Vec<_>>());
+        let s = consumer.stats();
+        assert_eq!(s.lost, 0, "transient empty answers must not count as lost");
+        assert_eq!(s.recovered, 4);
+        assert_eq!(s.backfill_retries, 2);
+    }
+
+    #[test]
+    fn exhausted_backfill_retries_still_bound_the_stall() {
+        let broker: Broker<FeedMessage> = Broker::new(1024);
+        let store = Arc::new(EventStore::new(100));
+        for i in 1..=5 {
+            store.insert(sev(i)).unwrap();
+        }
+        // The store never answers within the retry budget.
+        let flaky = FlakyStore {
+            inner: Arc::clone(&store),
+            fail_first: std::sync::atomic::AtomicU32::new(u32::MAX),
+        };
+        let mut consumer = EventConsumer::new(broker.subscribe(&["feed/"]), flaky, 0)
+            .with_backfill_retry(2, Duration::from_millis(1));
+        broker.publisher().publish("feed/all", FeedMessage::Event(sev(5)));
+        let got: Vec<u64> = std::iter::from_fn(|| consumer.try_next().map(|e| e.index)).collect();
+        // Recovery gave up: the gap is acknowledged as loss and the
+        // stream moves on instead of stalling forever.
+        assert_eq!(got, vec![5]);
+        let s = consumer.stats();
+        assert_eq!(s.lost, 4);
+        assert_eq!(s.backfill_retries, 2);
     }
 
     #[test]

@@ -79,7 +79,9 @@ mod store;
 pub use aggregator::{
     Aggregator, AggregatorSnapshot, AggregatorStats, FeedMessage, SequencedEvent,
 };
-pub use cluster::{ClusterStats, MonitorCluster, MonitorClusterBuilder};
+pub use cluster::{
+    ClusterStats, MonitorCluster, MonitorClusterBuilder, ShardId, ShardInfo, ShardMap,
+};
 pub use collector::{Collector, CollectorCheckpoint, CollectorStats};
 pub use config::MonitorConfig;
 pub use consumer::{ConsumerStats, EventConsumer};
@@ -87,6 +89,6 @@ pub use metrics::{IntervalRates, MetricsRecorder, MetricsSample};
 pub use pathcache::{CacheStats, PathCache};
 pub use resource::{ComponentUsage, ResourceModel, ResourceReport};
 pub use store::{
-    restore_snapshot, EventStore, FlushStats, SharedStore, SnapshotDir, StoreOrderError,
-    StoreQuery, StoreReader, StoreStats,
+    merge_seq_ordered, restore_snapshot, EventStore, FlushError, FlushStats, SharedStore,
+    SnapshotDir, StoreOrderError, StoreQuery, StoreReader, StoreStats,
 };

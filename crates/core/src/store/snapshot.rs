@@ -91,6 +91,43 @@ pub struct FlushStats {
     pub head_events: u64,
 }
 
+/// A failed [`SnapshotDir::flush`], carrying whether the flush had
+/// already passed its commit point (the manifest rename) when the
+/// error hit.
+///
+/// The distinction matters to callers that gate work on "the snapshot
+/// now holds state X": a flush that errored *after* the rename has
+/// committed — e.g. the best-effort sweep's crash hook fired — and
+/// treating it as "did not commit" makes such callers redo or re-send
+/// work the snapshot already covers.
+#[derive(Debug)]
+pub struct FlushError {
+    /// Whether the manifest rename — the commit point — had already
+    /// happened when the error occurred.
+    pub committed: bool,
+    /// The underlying I/O failure.
+    pub source: io::Error,
+}
+
+impl std::fmt::Display for FlushError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let when = if self.committed { "after commit" } else { "before commit" };
+        write!(f, "flush failed {when}: {}", self.source)
+    }
+}
+
+impl std::error::Error for FlushError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+impl From<FlushError> for io::Error {
+    fn from(e: FlushError) -> io::Error {
+        io::Error::new(e.source.kind(), e.to_string())
+    }
+}
+
 #[derive(Debug, Serialize, Deserialize)]
 struct ManifestSegment {
     file: String,
@@ -210,16 +247,59 @@ impl SnapshotDir {
     ///
     /// # Errors
     ///
-    /// Propagates I/O failures. On error the previous manifest remains
-    /// the committed state.
-    pub fn flush(&self, store: &EventStore) -> io::Result<FlushStats> {
+    /// Returns a [`FlushError`] whose `committed` flag says whether the
+    /// manifest rename — the commit point — had already happened: on a
+    /// pre-commit error the previous manifest remains the committed
+    /// state, while a post-commit error (from the best-effort epilogue)
+    /// leaves the *new* manifest committed.
+    pub fn flush(&self, store: &EventStore) -> Result<FlushStats, FlushError> {
         self.flush_state(&store.snapshot_state())
     }
 
-    pub(crate) fn flush_state(&self, state: &StoreState) -> io::Result<FlushStats> {
+    pub(crate) fn flush_state(&self, state: &StoreState) -> Result<FlushStats, FlushError> {
         let _flush_timer =
             sdci_obs::static_metric!(histogram, "sdci_store_flush_seconds").start_timer();
         let mut stats = FlushStats::default();
+        let live = self
+            .flush_until_commit(state, &mut stats)
+            .map_err(|source| FlushError { committed: false, source })?;
+        if let Err(source) = sdci_faults::crash_point("store.flush.committed") {
+            return Err(FlushError { committed: true, source });
+        }
+        // Committed. The sweep of rotated-out segment files and stray
+        // tmps is best-effort: the manifest rename above was the commit
+        // point, so a sweep failure must not report the flush as failed
+        // (callers would skip work that depends on a committed snapshot,
+        // e.g. sdcimon's dedup-marks sidecar). Anything left behind is
+        // retried next flush and swept again at open.
+        if let Ok(entries) = fs::read_dir(&self.dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                let is_stale_segment = is_segment_name(&name) && !live.contains(&*name);
+                // Previous head generations (and any legacy fixed-name
+                // head) are swept too, but only segment GC is reported
+                // in the stats — the head turnover is a constant of
+                // the commit protocol, not data leaving the window.
+                let is_stale_head = is_head_name(&name) && !live.contains(&*name);
+                let sweep = is_stale_segment || is_stale_head || name.ends_with(".tmp");
+                if sweep && fs::remove_file(entry.path()).is_ok() && is_stale_segment {
+                    stats.files_removed += 1;
+                }
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Everything up to and including the manifest rename — the part of
+    /// a flush whose failure means "the previous manifest is still the
+    /// committed state". Returns the set of live file names for the
+    /// post-commit sweep.
+    fn flush_until_commit(
+        &self,
+        state: &StoreState,
+        stats: &mut FlushStats,
+    ) -> io::Result<HashSet<String>> {
         let mut live: HashSet<String> = HashSet::new();
         let mut manifest_segs = Vec::with_capacity(state.segs.len());
         for seg in &state.segs {
@@ -266,30 +346,7 @@ impl SnapshotDir {
         fs::write(&tmp, json.as_bytes())?;
         sdci_faults::crash_point("store.flush.manifest_commit")?;
         fs::rename(&tmp, &manifest_path)?;
-        sdci_faults::crash_point("store.flush.committed")?;
-        // Committed. The sweep of rotated-out segment files and stray
-        // tmps is best-effort: the manifest rename above was the commit
-        // point, so a sweep failure must not report the flush as failed
-        // (callers would skip work that depends on a committed snapshot,
-        // e.g. sdcimon's dedup-marks sidecar). Anything left behind is
-        // retried next flush and swept again at open.
-        if let Ok(entries) = fs::read_dir(&self.dir) {
-            for entry in entries.flatten() {
-                let name = entry.file_name();
-                let name = name.to_string_lossy();
-                let is_stale_segment = is_segment_name(&name) && !live.contains(&*name);
-                // Previous head generations (and any legacy fixed-name
-                // head) are swept too, but only segment GC is reported
-                // in the stats — the head turnover is a constant of
-                // the commit protocol, not data leaving the window.
-                let is_stale_head = is_head_name(&name) && !live.contains(&*name);
-                let sweep = is_stale_segment || is_stale_head || name.ends_with(".tmp");
-                if sweep && fs::remove_file(entry.path()).is_ok() && is_stale_segment {
-                    stats.files_removed += 1;
-                }
-            }
-        }
-        Ok(stats)
+        Ok(live)
     }
 
     fn write_events_atomically<'a>(

@@ -71,6 +71,7 @@ fn assert_failed_flush_preserves(
     arm(point, 1, CrashMode::Error);
     let err = dir.flush(store).unwrap_err();
     assert!(err.to_string().contains(point), "error does not name the crash point: {err}");
+    assert!(!err.committed, "a failure at {point} precedes the commit point");
     let recovered = restore_snapshot(dir.path(), 4096).unwrap();
     assert_eq!(
         recovered.last_seq(),
@@ -113,6 +114,7 @@ fn injected_crashes_through_the_flush_path_never_move_the_commit_point() {
     arm("store.flush.committed", 1, CrashMode::Error);
     let err = dir.flush(&store).unwrap_err();
     assert!(err.to_string().contains("store.flush.committed"));
+    assert!(err.committed, "a post-rename failure must report the flush as committed");
     assert_eq!(restore_snapshot(scratch.path(), 4096).unwrap().last_seq(), 42);
 
     // A migration killed between removing the legacy file and renaming

@@ -23,6 +23,11 @@
 //! * [`store_rpc`] — a minimal query RPC ([`StoreServer`],
 //!   [`RemoteStore`]) exposing the Aggregator's [`EventStore`] so a
 //!   remote `EventConsumer` can backfill gaps after reconnecting.
+//! * [`cluster`] — the sharded-tier fabric: shard-map distribution
+//!   ([`MapServer`]), collector-side per-shard routing
+//!   ([`ShardRouter`]), and the scatter-gather query front-end
+//!   ([`ScatterStore`]) that keeps a sharded tier looking like one
+//!   logical store.
 //! * [`faulted`] — enforcement of an `sdci_faults::FaultPlan`
 //!   installed on [`conn::NetConfig`]: every endpoint above inherits
 //!   deterministic frame drop/duplicate/truncate/delay and scripted
@@ -40,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod conn;
 pub mod faulted;
 pub mod pipe;
@@ -47,6 +53,9 @@ pub mod pubsub;
 pub mod store_rpc;
 pub mod wire;
 
+pub use cluster::{
+    add_shard, fetch_map, shard_store_addr, ClusterRpc, MapServer, ScatterStore, ShardRouter,
+};
 pub use conn::{Backoff, NetConfig, RetryPolicy};
 pub use faulted::FaultedWriter;
 pub use pipe::{TcpPullServer, TcpPush};

@@ -60,6 +60,9 @@ pub struct PullServerStats {
     /// next dense sequence number — frames were lost in transit, and
     /// accepting the jump would silently lose the gap forever.
     pub gap_rejects: u64,
+    /// Gap `Nack`s sent to proto-≥2 pushers naming the expected
+    /// sequence, so they fast-rewind in place instead of reconnecting.
+    pub nacks: u64,
 }
 
 #[derive(Debug, Default)]
@@ -69,6 +72,7 @@ struct ServerCounters {
     duplicates: AtomicU64,
     batches: AtomicU64,
     gap_rejects: AtomicU64,
+    nacks: AtomicU64,
 }
 
 /// Per-client dedup high-water marks. Each client's mark has its own
@@ -186,6 +190,7 @@ where
             duplicates: self.counters.duplicates.load(Ordering::Relaxed),
             batches: self.counters.batches.load(Ordering::Relaxed),
             gap_rejects: self.counters.gap_rejects.load(Ordering::Relaxed),
+            nacks: self.counters.nacks.load(Ordering::Relaxed),
         }
     }
 
@@ -305,10 +310,10 @@ fn serve_pusher<T>(
     // Handshake: learn the client identity, tell it where we are. A
     // peer gets a full liveness window to complete its hello.
     let opened = Instant::now();
-    let (client, resume_after) = loop {
+    let (client, resume_after, client_proto) = loop {
         match reader.read_msg::<Frame<T>>() {
-            Ok(Frame::HelloPush { client, resume_after, proto: _ }) => {
-                break (client, resume_after)
+            Ok(Frame::HelloPush { client, resume_after, proto }) => {
+                break (client, resume_after, proto.unwrap_or(1))
             }
             Err(e) if timed_out(&e) && opened.elapsed() <= cfg.liveness => {}
             _ => return,
@@ -342,6 +347,12 @@ fn serve_pusher<T>(
         return;
     }
     let mut last_traffic = Instant::now();
+    // The expected seq named by the last gap `Nack` and when it was
+    // sent, so a stalled mark draws one nack per heartbeat however many
+    // in-flight frames sail past the gap before the rewound resend
+    // arrives — while a rewound resend that is itself lost still earns
+    // a fresh nack once the window has passed.
+    let mut nacked_at: Option<(u64, Instant)> = None;
     // `stop` is checked every iteration, not just on timeouts, so a
     // client streaming at full rate cannot pin the handler past
     // shutdown. Unacked in-flight items are re-sent to the next server.
@@ -352,38 +363,63 @@ fn serve_pusher<T>(
                 // The mark's mutex is held across check-push-update so
                 // the dedup decision and the pipeline hand-off are one
                 // atomic step per client.
-                let up_to = {
+                let outcome = {
                     let mut m = mark.lock();
                     // A client sends densely from its last ack, so a
                     // jump past mark+1 means frames vanished in
                     // transit. Advancing the mark over the gap would
                     // ack — and thereby lose — items that never
-                    // arrived; killing the connection instead makes
-                    // the client resend its unacked window. (The
-                    // client treats non-advancing acks as liveness, so
+                    // arrived. A proto-≥2 client is told the expected
+                    // seq so it rewinds and retransmits in place; a
+                    // proto-1 client gets the connection killed, which
+                    // makes it resend its unacked window. (The client
+                    // treats non-advancing acks as liveness, so
                     // stalling acks here would livelock, not recover.)
                     if seq > *m + 1 {
-                        gap_reject(&counters, *m, seq);
-                        return;
-                    }
-                    if seq > *m {
-                        // Ack only after the pipeline takes it: an ack
-                        // means "processed", so a crash before this
-                        // point makes the client re-send, never lose.
-                        if !push.send(payload) {
+                        if client_proto < 2 {
+                            gap_reject(&counters, *m, seq);
                             return;
                         }
-                        *m = seq;
-                        counters.items.fetch_add(1, Ordering::Relaxed);
-                        sdci_obs::static_metric!(counter, "sdci_net_pull_items_total").inc();
+                        Err(*m + 1)
                     } else {
-                        counters.duplicates.fetch_add(1, Ordering::Relaxed);
-                        sdci_obs::static_metric!(counter, "sdci_net_dedup_hits_total").inc();
+                        if seq > *m {
+                            // Ack only after the pipeline takes it: an ack
+                            // means "processed", so a crash before this
+                            // point makes the client re-send, never lose.
+                            if !push.send(payload) {
+                                return;
+                            }
+                            *m = seq;
+                            counters.items.fetch_add(1, Ordering::Relaxed);
+                            sdci_obs::static_metric!(counter, "sdci_net_pull_items_total").inc();
+                        } else {
+                            counters.duplicates.fetch_add(1, Ordering::Relaxed);
+                            sdci_obs::static_metric!(counter, "sdci_net_dedup_hits_total").inc();
+                        }
+                        Ok(*m)
                     }
-                    *m
                 };
-                if write_msg(&mut writer, &Frame::<T>::Ack { up_to, proto: None }).is_err() {
-                    return;
+                match outcome {
+                    Ok(up_to) => {
+                        nacked_at = None;
+                        if write_msg(&mut writer, &Frame::<T>::Ack { up_to, proto: None }).is_err()
+                        {
+                            return;
+                        }
+                    }
+                    Err(expected) => {
+                        if nack_gap::<T>(
+                            &mut writer,
+                            &counters,
+                            &mut nacked_at,
+                            expected,
+                            cfg.heartbeat,
+                        )
+                        .is_err()
+                        {
+                            return;
+                        }
+                    }
                 }
             }
             Ok(Frame::ItemBatch { first_seq, payloads }) => {
@@ -393,39 +429,62 @@ fn serve_pusher<T>(
                 // Same atomicity as the single-item path — the mark's
                 // mutex spans every member's check-push-update — but the
                 // lock is taken once and the whole run gets one `Ack`.
-                let up_to = {
+                let outcome = {
                     let mut m = mark.lock();
                     // Batch members are dense from `first_seq`, so one
                     // check covers the whole frame — same gap policy
                     // as the single-item path above.
                     if first_seq > *m + 1 {
-                        gap_reject(&counters, *m, first_seq);
-                        return;
-                    }
-                    let mut fresh = 0u64;
-                    let mut dups = 0u64;
-                    for (i, payload) in payloads.into_iter().enumerate() {
-                        let seq = first_seq + i as u64;
-                        if seq > *m {
-                            if !push.send(payload) {
-                                return;
+                        if client_proto < 2 {
+                            gap_reject(&counters, *m, first_seq);
+                            return;
+                        }
+                        Err(*m + 1)
+                    } else {
+                        let mut fresh = 0u64;
+                        let mut dups = 0u64;
+                        for (i, payload) in payloads.into_iter().enumerate() {
+                            let seq = first_seq + i as u64;
+                            if seq > *m {
+                                if !push.send(payload) {
+                                    return;
+                                }
+                                *m = seq;
+                                fresh += 1;
+                            } else {
+                                // A re-sent batch may be only partially
+                                // stale: accept the tail, drop the prefix.
+                                dups += 1;
                             }
-                            *m = seq;
-                            fresh += 1;
-                        } else {
-                            // A re-sent batch may be only partially
-                            // stale: accept the tail, drop the prefix.
-                            dups += 1;
+                        }
+                        counters.items.fetch_add(fresh, Ordering::Relaxed);
+                        sdci_obs::static_metric!(counter, "sdci_net_pull_items_total").add(fresh);
+                        counters.duplicates.fetch_add(dups, Ordering::Relaxed);
+                        sdci_obs::static_metric!(counter, "sdci_net_dedup_hits_total").add(dups);
+                        Ok(*m)
+                    }
+                };
+                match outcome {
+                    Ok(up_to) => {
+                        nacked_at = None;
+                        if write_msg(&mut writer, &Frame::<T>::Ack { up_to, proto: None }).is_err()
+                        {
+                            return;
                         }
                     }
-                    counters.items.fetch_add(fresh, Ordering::Relaxed);
-                    sdci_obs::static_metric!(counter, "sdci_net_pull_items_total").add(fresh);
-                    counters.duplicates.fetch_add(dups, Ordering::Relaxed);
-                    sdci_obs::static_metric!(counter, "sdci_net_dedup_hits_total").add(dups);
-                    *m
-                };
-                if write_msg(&mut writer, &Frame::<T>::Ack { up_to, proto: None }).is_err() {
-                    return;
+                    Err(expected) => {
+                        if nack_gap::<T>(
+                            &mut writer,
+                            &counters,
+                            &mut nacked_at,
+                            expected,
+                            cfg.heartbeat,
+                        )
+                        .is_err()
+                        {
+                            return;
+                        }
+                    }
                 }
             }
             Ok(Frame::Ping) => {
@@ -452,6 +511,31 @@ fn timed_out(e: &std::io::Error) -> bool {
     matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
 }
 
+/// Tells a proto-≥2 pusher where the stream must resume: one `Nack`
+/// per stalled mark value and heartbeat window (later in-flight frames
+/// past the same gap are dropped silently, without ack), so the pusher
+/// rewinds its resend buffer in place instead of waiting out the
+/// liveness window.
+fn nack_gap<T: Serialize>(
+    writer: &mut impl std::io::Write,
+    counters: &ServerCounters,
+    nacked_at: &mut Option<(u64, Instant)>,
+    expected: u64,
+    repeat_after: Duration,
+) -> std::io::Result<()> {
+    if nacked_at.is_some_and(|(e, at)| e == expected && at.elapsed() < repeat_after) {
+        return Ok(());
+    }
+    *nacked_at = Some((expected, Instant::now()));
+    counters.nacks.fetch_add(1, Ordering::Relaxed);
+    sdci_obs::static_metric!(counter, "sdci_net_gap_nacks_total").inc();
+    sdci_obs::warn!(
+        "sequence gap on the push leg; nacking to request an in-place rewind";
+        expected = expected,
+    );
+    write_msg(writer, &Frame::<T>::Nack { expected })
+}
+
 /// Accounts a sequence-gap rejection before the handler drops the
 /// connection (see the gap checks in `serve_pusher`).
 fn gap_reject(counters: &ServerCounters, mark: u64, offered: u64) {
@@ -472,6 +556,8 @@ struct PushState {
     acked: AtomicU64,
     /// Successful connections (>1 means the link was re-established).
     connections: AtomicU64,
+    /// In-place window resends performed in answer to a gap `Nack`.
+    rewinds: AtomicU64,
 }
 
 /// The PUSH side: a cloneable, supervised sender whose items are
@@ -556,6 +642,12 @@ where
     pub fn connections(&self) -> u64 {
         self.state.connections.load(Ordering::Relaxed)
     }
+
+    /// Fast rewinds so far: in-place window resends answering a server
+    /// gap `Nack`, each one a reconnect-and-wait avoided.
+    pub fn fast_rewinds(&self) -> u64 {
+        self.state.rewinds.load(Ordering::Relaxed)
+    }
 }
 
 /// Lets a [`TcpPush`] stand in where a pub-sub publisher is expected
@@ -574,6 +666,41 @@ where
             PublishOutcome::Shed
         }
     }
+}
+
+/// Retransmits every unacked item with fresh send timestamps — after a
+/// reconnect, or in place when a gap `Nack` arrives. Sequences in
+/// `unacked` are dense, so on a batched session the whole window
+/// re-ships as a few `ItemBatch` runs instead of one frame per item.
+fn resend_window<T: Clone + Serialize>(
+    writer: &mut impl std::io::Write,
+    unacked: &mut VecDeque<(u64, T, Instant)>,
+    batched: bool,
+    max_batch: usize,
+) -> std::io::Result<()> {
+    sdci_obs::static_metric!(counter, "sdci_net_push_resends_total").add(unacked.len() as u64);
+    if batched && unacked.len() > 1 {
+        let now = Instant::now();
+        let first_seq = unacked.front().map_or(0, |(seq, _, _)| *seq);
+        let payloads: Vec<T> = unacked
+            .iter_mut()
+            .map(|(_, item, sent_at)| {
+                *sent_at = now;
+                item.clone()
+            })
+            .collect();
+        let mut offset = 0u64;
+        for chunk in payloads.chunks(max_batch) {
+            write_item_batch(writer, first_seq + offset, chunk)?;
+            offset += chunk.len() as u64;
+        }
+    } else {
+        for (seq, item, sent_at) in unacked.iter_mut() {
+            *sent_at = Instant::now();
+            write_msg(writer, &Frame::Item { seq: *seq, payload: item.clone() })?;
+        }
+    }
+    Ok(())
 }
 
 fn push_worker<T>(
@@ -685,38 +812,10 @@ fn push_worker<T>(
         } else {
             ack_up_to(server_mark, &mut unacked, &mut last_acked, &state);
         }
-        // Re-send everything the server has not seen. Sequences in
-        // `unacked` are dense, so on a batched session the whole window
-        // re-ships as a few `ItemBatch` runs instead of one frame per
-        // item.
-        sdci_obs::static_metric!(counter, "sdci_net_push_resends_total").add(unacked.len() as u64);
-        if batched && unacked.len() > 1 {
-            let now = Instant::now();
-            let first_seq = unacked.front().map_or(0, |(seq, _, _)| *seq);
-            let payloads: Vec<T> = unacked
-                .iter_mut()
-                .map(|(_, item, sent_at)| {
-                    *sent_at = now;
-                    item.clone()
-                })
-                .collect();
-            let mut offset = 0u64;
-            for chunk in payloads.chunks(max_batch) {
-                if write_item_batch(&mut writer, first_seq + offset, chunk).is_err() {
-                    backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
-                    continue 'reconnect;
-                }
-                offset += chunk.len() as u64;
-            }
-        } else {
-            for (seq, item, sent_at) in unacked.iter_mut() {
-                *sent_at = Instant::now();
-                let frame = Frame::Item { seq: *seq, payload: item.clone() };
-                if write_msg(&mut writer, &frame).is_err() {
-                    backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
-                    continue 'reconnect;
-                }
-            }
+        // Re-send everything the server has not seen.
+        if resend_window(&mut writer, &mut unacked, batched, max_batch).is_err() {
+            backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
+            continue 'reconnect;
         }
         if state.connections.fetch_add(1, Ordering::Relaxed) > 0 {
             sdci_obs::static_metric!(counter, "sdci_net_pusher_reconnects_total").inc();
@@ -833,6 +932,26 @@ fn push_worker<T>(
                     Ok(Frame::Ack { up_to, proto: _ }) => {
                         last_traffic = Instant::now();
                         ack_up_to(up_to, &mut unacked, &mut last_acked, &state);
+                    }
+                    Ok(Frame::Nack { expected }) => {
+                        last_traffic = Instant::now();
+                        // Frames vanished mid-stream: everything before
+                        // `expected` landed, everything from it on must
+                        // re-ship. Rewind and retransmit on this very
+                        // connection instead of waiting out liveness.
+                        ack_up_to(
+                            expected.saturating_sub(1),
+                            &mut unacked,
+                            &mut last_acked,
+                            &state,
+                        );
+                        state.rewinds.fetch_add(1, Ordering::Relaxed);
+                        sdci_obs::static_metric!(counter, "sdci_net_push_fast_rewinds_total").inc();
+                        if resend_window(&mut writer, &mut unacked, batched, max_batch).is_err() {
+                            backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
+                            continue 'reconnect;
+                        }
+                        last_write = Instant::now();
                     }
                     Ok(_) => last_traffic = Instant::now(),
                     Err(e) if timed_out(&e) => {

@@ -18,7 +18,7 @@
 use crate::conn::NetConfig;
 use crate::faulted::{conn_faults, spawn_worker, FaultedWriter};
 use crate::wire::{write_msg, FrameReader};
-use sdci_core::{SequencedEvent, SharedStore, StoreQuery, StoreReader};
+use sdci_core::{SequencedEvent, StoreQuery, StoreReader};
 use serde::{Deserialize, Serialize};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -43,7 +43,10 @@ pub enum StoreRpc {
     Ping,
 }
 
-/// Serves [`StoreRpc`] queries against a [`SharedStore`].
+/// Serves [`StoreRpc`] queries against any [`StoreReader`] — a local
+/// [`SharedStore`](sdci_core::SharedStore) in the single-aggregator
+/// deployment, or a [`ScatterStore`](crate::cluster::ScatterStore)
+/// fronting a sharded tier.
 pub struct StoreServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
@@ -66,9 +69,9 @@ impl StoreServer {
     /// Propagates the listener bind failure — including a failure to
     /// spawn the accept thread (a server that cannot accept is not
     /// bound, so `bind` reports it instead of panicking the process).
-    pub fn bind(
+    pub fn bind<R: StoreReader + Clone + Sync>(
         addr: impl ToSocketAddrs,
-        store: SharedStore,
+        store: R,
         cfg: NetConfig,
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
@@ -122,9 +125,9 @@ impl Drop for StoreServer {
     }
 }
 
-fn store_accept_loop(
+fn store_accept_loop<R: StoreReader + Clone + Sync>(
     listener: TcpListener,
-    store: SharedStore,
+    store: R,
     cfg: NetConfig,
     stop: Arc<AtomicBool>,
     conns: Arc<parking_lot::Mutex<Vec<JoinHandle<()>>>>,
@@ -133,7 +136,7 @@ fn store_accept_loop(
     while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, peer)) => {
-                let store = Arc::clone(&store);
+                let store = store.clone();
                 let cfg = cfg.clone();
                 let stop = Arc::clone(&stop);
                 let queries = Arc::clone(&queries);
@@ -166,9 +169,9 @@ fn store_accept_loop(
     }
 }
 
-fn serve_store_client(
+fn serve_store_client<R: StoreReader>(
     stream: TcpStream,
-    store: SharedStore,
+    store: R,
     cfg: NetConfig,
     stop: Arc<AtomicBool>,
     queries: Arc<AtomicU64>,
@@ -297,6 +300,54 @@ impl RemoteStore {
         }
     }
 
+    /// Runs `query` against the remote store, reporting failure instead
+    /// of swallowing it — the error-aware twin of the [`StoreReader`]
+    /// impl. A scatter-gather front-end uses this to attribute a failed
+    /// leg to its shard; plain consumers keep the empty-on-failure
+    /// contract via [`StoreReader::query`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the last transport error once both attempts (cached
+    /// connection, then a fresh dial) are exhausted.
+    pub fn try_query(&self, query: &StoreQuery) -> std::io::Result<Vec<SequencedEvent>> {
+        let mut last_err = None;
+        for attempt in 0..2 {
+            // Take the cached connection *out* of the lock: the slow
+            // parts (connect, round trip, retry sleep) must not
+            // serialize concurrent queriers behind one dead peer.
+            let cached = self.conn.lock().take();
+            let mut conn = match cached.or_else(|| self.open()) {
+                Some(conn) => conn,
+                None => {
+                    if attempt == 0 {
+                        std::thread::sleep(self.cfg.retry.base);
+                    }
+                    continue;
+                }
+            };
+            // On error the stale connection is dropped and the next
+            // attempt dials fresh.
+            match self.round_trip(&mut conn, query) {
+                Ok(events) => {
+                    // Another querier may have cached its own fresh
+                    // connection meanwhile; last one wins, the loser is
+                    // simply closed.
+                    *self.conn.lock() = Some(conn);
+                    return Ok(events);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        self.failures.fetch_add(1, Ordering::Relaxed);
+        Err(last_err.unwrap_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::NotConnected,
+                format!("store server {} is unreachable", self.addr),
+            )
+        }))
+    }
+
     fn round_trip(
         &self,
         conn: &mut StoreConn,
@@ -341,31 +392,6 @@ impl RemoteStore {
 
 impl StoreReader for RemoteStore {
     fn query(&self, query: &StoreQuery) -> Vec<SequencedEvent> {
-        for attempt in 0..2 {
-            // Take the cached connection *out* of the lock: the slow
-            // parts (connect, round trip, retry sleep) must not
-            // serialize concurrent queriers behind one dead peer.
-            let cached = self.conn.lock().take();
-            let mut conn = match cached.or_else(|| self.open()) {
-                Some(conn) => conn,
-                None => {
-                    if attempt == 0 {
-                        std::thread::sleep(self.cfg.retry.base);
-                    }
-                    continue;
-                }
-            };
-            // On error the stale connection is dropped and the next
-            // attempt dials fresh.
-            if let Ok(events) = self.round_trip(&mut conn, query) {
-                // Another querier may have cached its own fresh
-                // connection meanwhile; last one wins, the loser is
-                // simply closed.
-                *self.conn.lock() = Some(conn);
-                return events;
-            }
-        }
-        self.failures.fetch_add(1, Ordering::Relaxed);
-        Vec::new()
+        self.try_query(query).unwrap_or_default()
     }
 }

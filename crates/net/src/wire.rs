@@ -28,7 +28,9 @@ pub const MAX_FRAME_LEN: usize = 64 << 20;
 ///
 /// * **1** — the PR 1 protocol: one event per `Item`/`Publish` frame.
 /// * **2** — adds the batched variants [`Frame::ItemBatch`] and
-///   [`Frame::PublishBatch`].
+///   [`Frame::PublishBatch`]. A proto-2 pusher also understands the
+///   gap [`Frame::Nack`], which the pull server only sends to clients
+///   that announced proto ≥ 2 in their `HelloPush`.
 ///
 /// Versions are exchanged at the `Hello*` handshake as an *optional*
 /// field: a proto-1 peer never sends it and ignores unknown fields, so
@@ -99,6 +101,15 @@ pub enum Frame<T> {
         /// The payloads, in publish order. Never empty.
         payloads: Vec<T>,
     },
+    /// Puller → pusher: a sequence gap was detected — the server
+    /// expected `expected` but saw something later. The pusher should
+    /// rewind its resend buffer to `expected` and retransmit in place,
+    /// instead of waiting out the liveness timeout and reconnecting.
+    /// Only sent to clients that announced proto ≥ 2 in `HelloPush`.
+    Nack {
+        /// The sequence number the server will accept next.
+        expected: u64,
+    },
     /// Puller → pusher: everything up to and including `up_to` has been
     /// handed to the local pipeline — the pusher may drop it.
     Ack {
@@ -154,6 +165,7 @@ impl<T: Serialize> Serialize for Frame<T> {
                 "PublishBatch",
                 vec![("topic", topic.to_value()), ("payloads", payloads.to_value())],
             ),
+            Frame::Nack { expected } => variant("Nack", vec![("expected", expected.to_value())]),
             Frame::Ack { up_to, proto } => {
                 let mut fields = vec![("up_to", up_to.to_value())];
                 if let Some(p) = proto {
@@ -226,6 +238,9 @@ impl<T: Deserialize> Deserialize for Frame<T> {
                             "PublishBatch",
                             "payloads",
                         )?)?,
+                    }),
+                    "Nack" => Ok(Frame::Nack {
+                        expected: Deserialize::from_value(field(body, "Nack", "expected")?)?,
                     }),
                     "Ack" => Ok(Frame::Ack {
                         up_to: Deserialize::from_value(field(body, "Ack", "up_to")?)?,
@@ -601,6 +616,7 @@ mod tests {
             topic: "events/mdt0".into(),
             payloads: vec![event(1), event(2), event(3)],
         });
+        roundtrip(Frame::Nack { expected: 12 });
         roundtrip(Frame::Ack { up_to: 9, proto: None });
         roundtrip(Frame::Ack { up_to: 0, proto: Some(WIRE_PROTO) });
         roundtrip(Frame::Ping);

@@ -32,7 +32,7 @@ pub mod metrics;
 
 pub use expose::MetricsServer;
 pub use log::Level;
-pub use metrics::{registry, Counter, Gauge, Histogram, Registry, ScopedTimer};
+pub use metrics::{registry, Counter, CounterVec, Gauge, Histogram, Registry, ScopedTimer};
 
 /// Wall-clock nanoseconds since the UNIX epoch.
 ///
@@ -64,6 +64,11 @@ macro_rules! static_metric {
         static METRIC: ::std::sync::OnceLock<$crate::metrics::Counter> =
             ::std::sync::OnceLock::new();
         METRIC.get_or_init(|| $crate::registry().counter($name))
+    }};
+    (counter_vec, $name:expr, $key:expr) => {{
+        static METRIC: ::std::sync::OnceLock<$crate::metrics::CounterVec> =
+            ::std::sync::OnceLock::new();
+        METRIC.get_or_init(|| $crate::registry().counter_vec($name, $key))
     }};
     (gauge, $name:expr) => {{
         static METRIC: ::std::sync::OnceLock<$crate::metrics::Gauge> = ::std::sync::OnceLock::new();

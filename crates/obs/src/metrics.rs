@@ -12,10 +12,10 @@
 //! most 2x relative error, which is plenty for the paper's Fig. 5/6
 //! millisecond-scale delivery latencies.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::{Duration, Instant};
 
 const BUCKETS: usize = 64;
@@ -225,6 +225,46 @@ impl Metric {
     }
 }
 
+/// A cached family of [`Counter`]s sharing one name and one label key,
+/// built by [`Registry::counter_vec`]. See that method for the caching
+/// contract.
+pub struct CounterVec {
+    registry: &'static Registry,
+    name: String,
+    key: String,
+    cells: RwLock<HashMap<String, Counter>>,
+}
+
+impl std::fmt::Debug for CounterVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CounterVec").field("name", &self.name).field("key", &self.key).finish()
+    }
+}
+
+impl CounterVec {
+    /// The counter for `value`, registering the
+    /// `name{key="value"}` series on first use and answering from the
+    /// cache afterwards.
+    pub fn with(&self, value: &str) -> Counter {
+        if let Some(c) = self.cells.read().unwrap().get(value) {
+            return c.clone();
+        }
+        let counter = self.registry.counter_with(&self.name, &[(self.key.as_str(), value)]);
+        let mut cells = self.cells.write().unwrap();
+        cells.entry(value.to_string()).or_insert(counter).clone()
+    }
+
+    /// Adds 1 to the counter for `value`.
+    pub fn inc(&self, value: &str) {
+        self.with(value).inc();
+    }
+
+    /// Adds `n` to the counter for `value`.
+    pub fn add(&self, value: &str, n: u64) {
+        self.with(value).add(n);
+    }
+}
+
 /// `(metric name, sorted label pairs)` — one time series.
 type Key = (String, Vec<(String, String)>);
 
@@ -268,6 +308,25 @@ impl Registry {
             Metric::Counter(c) => c,
             m => panic!("metric {name} already registered as a {}", m.kind()),
         }
+    }
+
+    /// A cached counter family over one label key — the hot-path form
+    /// of [`Registry::counter_with`] for call sites whose label value
+    /// varies at runtime (per shard, per topic, per client).
+    ///
+    /// [`CounterVec::with`] resolves a label value to its [`Counter`]
+    /// through a read-mostly cache, so only the *first* observation of
+    /// each value pays the registry lock; after that it is one map read
+    /// plus the atomic add. Requires `'static` because the cells keep
+    /// registering new series against this registry for as long as the
+    /// vec lives — the process-global [`registry()`](crate::registry)
+    /// qualifies, and tests can `Box::leak` their own.
+    pub fn counter_vec(
+        &'static self,
+        name: impl Into<String>,
+        key: impl Into<String>,
+    ) -> CounterVec {
+        CounterVec { registry: self, name: name.into(), key: key.into(), cells: RwLock::default() }
     }
 
     /// Registers (or fetches) a gauge.
@@ -457,6 +516,23 @@ mod tests {
         assert_eq!(r.counter_with("drops_total", &[("topic", "a")]).get(), 1);
         assert_eq!(r.counter_with("drops_total", &[("topic", "b")]).get(), 2);
         assert_eq!(r.series_count(), 2);
+    }
+
+    #[test]
+    fn counter_vec_caches_per_label_cells() {
+        let r: &'static Registry = Box::leak(Box::new(Registry::new()));
+        let vec = r.counter_vec("shard_events_total", "shard");
+        vec.inc("0");
+        vec.add("1", 3);
+        vec.inc("0");
+        // The cells are the registry's own series, not shadow copies.
+        assert_eq!(r.counter_with("shard_events_total", &[("shard", "0")]).get(), 2);
+        assert_eq!(r.counter_with("shard_events_total", &[("shard", "1")]).get(), 3);
+        assert_eq!(r.series_count(), 2);
+        // A cached cell and a fresh registry lookup share the atomic.
+        let cell = vec.with("1");
+        r.counter_with("shard_events_total", &[("shard", "1")]).inc();
+        assert_eq!(cell.get(), 4);
     }
 
     #[test]

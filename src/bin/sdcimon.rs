@@ -14,10 +14,23 @@
 //! ```text
 //! sdcimon aggregator [--bind ADDR] [--store-capacity N] [--feed-hwm N]
 //!                    [--snapshot DIR]
-//! sdcimon collector  --connect ADDR [--client ID] [--files N]
+//! sdcimon collector  --connect ADDR | --cluster ADDR [--client ID] [--files N]
 //! sdcimon consumer   --connect ADDR [--expect N] [--under PREFIX]
 //!                    [--timeout SECS]
+//! sdcimon shard      --shard-id N [--bind ADDR] [--store-capacity N]
+//!                    [--feed-hwm N] [--snapshot DIR]
+//! sdcimon front      --shards A,B,... [--bind ADDR]
 //! ```
+//!
+//! The last two run the *sharded* tier: each `shard` is a full
+//! aggregator (own port trio, own segmented store, snapshot dir, and
+//! marks sidecar) owning one partition of the shard map, and `front`
+//! serves the map (base port `P`) plus a scatter-gather store RPC
+//! (`P+2`) that merges every shard's answer into one seq-ordered
+//! logical store. Collectors started with `--cluster FRONT_ADDR` fetch
+//! the map, keep one push pipe per shard, route each event by its path
+//! root, and re-route live when the map version bumps (draining
+//! in-flight pushes to the old owners before the cutover).
 //!
 //! Every distributed role also takes `--faults SPEC` (or the
 //! `SDCI_FAULTS` env var): a deterministic `sdci_faults::FaultPlan`
@@ -49,11 +62,12 @@ use parking_lot::Mutex;
 use sdci::lustre::{DnePolicy, LustreConfig, LustreFs};
 use sdci::monitor::{
     restore_snapshot, Aggregator, ClusterStats, Collector, EventConsumer, MetricsRecorder,
-    MonitorClusterBuilder, MonitorConfig, SnapshotDir,
+    MonitorClusterBuilder, MonitorConfig, ShardId, ShardMap, SnapshotDir, StoreReader,
 };
-use sdci::mq::transport::PullSubscriber;
+use sdci::mq::transport::{Publish, PullSubscriber};
 use sdci::net::{
-    NetConfig, RemoteStore, StoreServer, TcpBroker, TcpPullServer, TcpPush, TcpSubscriber,
+    fetch_map, MapServer, NetConfig, RemoteStore, ScatterStore, ShardRouter, StoreServer,
+    TcpBroker, TcpPullServer, TcpPush, TcpSubscriber,
 };
 use sdci::types::{ByteSize, FileEvent, MdtIndex, SimTime};
 use sdci::workloads::{EventGenerator, OpMix};
@@ -73,6 +87,8 @@ fn main() {
         Some("aggregator") => run_aggregator(&args[1..]),
         Some("collector") => run_collector(&args[1..]),
         Some("consumer") => run_consumer(&args[1..]),
+        Some("shard") => run_shard(&args[1..]),
+        Some("front") => run_front(&args[1..]),
         _ => run_demo(&args),
     };
     if let Err(e) = result {
@@ -190,12 +206,41 @@ fn run_aggregator(args: &[String]) -> Result<(), String> {
         args,
         &["--bind", "--store-capacity", "--feed-hwm", "--snapshot", "--metrics-addr", "--faults"],
     )?;
+    run_store_node(&flags, None)
+}
+
+/// One shard of the sharded tier: a full aggregator (own port trio,
+/// own store, snapshot dir, and marks sidecar) that happens to own one
+/// partition of the shard map. The shard id labels its metrics so a
+/// scrape across the tier attributes load per shard.
+fn run_shard(args: &[String]) -> Result<(), String> {
+    let flags = Flags::new(
+        args,
+        &[
+            "--shard-id",
+            "--bind",
+            "--store-capacity",
+            "--feed-hwm",
+            "--snapshot",
+            "--metrics-addr",
+            "--faults",
+        ],
+    )?;
+    let id: ShardId = flags
+        .get("--shard-id")
+        .ok_or("shard requires --shard-id N")?
+        .parse()
+        .map_err(|e| format!("--shard-id: {e}"))?;
+    run_store_node(&flags, Some(id))
+}
+
+fn run_store_node(flags: &Flags, shard: Option<ShardId>) -> Result<(), String> {
     let bind: SocketAddr = flags.parse("--bind", "127.0.0.1:7070".parse().unwrap())?;
     let store_capacity: usize = flags.parse("--store-capacity", 1_000_000)?;
     let feed_hwm: usize = flags.parse("--feed-hwm", 65_536)?;
     let snapshot = flags.get("--snapshot").map(std::path::PathBuf::from);
 
-    let cfg = net_config(&flags)?;
+    let cfg = net_config(flags)?;
     // Dedup marks are restored before the listener opens, so even the
     // first reconnecting collector is deduplicated against the events
     // the restored store already holds.
@@ -287,12 +332,27 @@ fn run_aggregator(args: &[String]) -> Result<(), String> {
         .map_err(|e| format!("bind metrics {metrics_addr}: {e}"))?;
 
     // Readiness line: tests and operators parse "listening on ADDR".
+    let role = match shard {
+        Some(id) => format!("shard {id}"),
+        None => "aggregator".to_string(),
+    };
     println!(
-        "sdcimon aggregator listening on {base} (feed {}, store {}, metrics {})",
+        "sdcimon {role} listening on {base} (feed {}, store {}, metrics {})",
         feed_srv.local_addr(),
         store_srv.local_addr(),
         metrics_srv.local_addr()
     );
+
+    // Per-shard series let one scrape across the tier attribute load:
+    // the label value is this process's shard id.
+    let shard_label = shard.map(|id| id.to_string());
+    let shard_metrics = shard_label.as_deref().map(|label| {
+        (
+            sdci_obs::static_metric!(counter_vec, "sdci_shard_ingest_total", "shard"),
+            sdci_obs::registry().gauge_with("sdci_shard_store_events", &[("shard", label)]),
+        )
+    });
+    let mut last_inserted = agg.store().stats().inserted;
 
     let mut metrics = MetricsRecorder::new();
     metrics.record(aggregator_sample(&agg));
@@ -300,10 +360,24 @@ fn run_aggregator(args: &[String]) -> Result<(), String> {
     loop {
         std::thread::sleep(Duration::from_millis(200));
         ticks += 1;
+        if let Some((ingest, store_events)) = &shard_metrics {
+            let inserted = agg.store().stats().inserted;
+            ingest
+                .add(shard_label.as_deref().unwrap_or(""), inserted.saturating_sub(last_inserted));
+            last_inserted = inserted;
+            store_events.set(agg.store().len() as i64);
+        }
         if let Some(dir) = &snapshot_dir {
             if let Err(e) = dir.flush(&agg.store()) {
                 sdci_obs::error!(target: "sdcimon::aggregator", "snapshot failed: {}", e);
-                continue;
+                // A failure *after* the manifest rename still committed
+                // the new snapshot — the marks sidecar below must be
+                // written for it, or a restart would replay (and the
+                // store would dedup) a full resend window for nothing.
+                // Only an uncommitted flush skips the marks capture.
+                if !e.committed {
+                    continue;
+                }
             }
             // Marks are captured strictly after the store snapshot: a
             // client's mark advances before its event can reach the
@@ -387,16 +461,106 @@ fn write_marks_atomically(
 }
 
 // ---------------------------------------------------------------------------
+// front (sharded tier)
+// ---------------------------------------------------------------------------
+
+/// The scatter front the [`StoreServer`] serves, swappable so a map
+/// version bump (a shard added at runtime) re-fans the scatter without
+/// rebinding the RPC listener. Queries clone the current scatter out of
+/// the lock, so an in-flight fan-out never blocks the swap.
+#[derive(Clone)]
+struct SwappableScatter(Arc<parking_lot::RwLock<ScatterStore>>);
+
+impl StoreReader for SwappableScatter {
+    fn query(&self, query: &sdci::monitor::StoreQuery) -> Vec<sdci::monitor::SequencedEvent> {
+        let scatter = self.0.read().clone();
+        scatter.query(query)
+    }
+}
+
+/// The sharded tier's front-end: serves the authoritative [`ShardMap`]
+/// on the base port and a scatter-gather store RPC on base+2, so
+/// `RemoteStore` consumers see the whole tier as one logical store.
+fn run_front(args: &[String]) -> Result<(), String> {
+    let flags = Flags::new(args, &["--bind", "--shards", "--metrics-addr", "--faults"])?;
+    let bind: SocketAddr = flags.parse("--bind", "127.0.0.1:7170".parse().unwrap())?;
+    let shards: Vec<String> = flags
+        .get("--shards")
+        .ok_or("front requires --shards ADDR,ADDR,...")?
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if shards.is_empty() {
+        return Err("front requires at least one shard address".into());
+    }
+    let cfg = net_config(&flags)?;
+
+    let map = ShardMap::new(shards);
+    let map_srv =
+        MapServer::bind(bind, map.clone(), cfg.clone()).map_err(|e| format!("bind {bind}: {e}"))?;
+    let base = map_srv.local_addr();
+    let scatter = ScatterStore::from_map(&map, cfg.clone()).map_err(|e| e.to_string())?;
+    let swappable = SwappableScatter(Arc::new(parking_lot::RwLock::new(scatter)));
+    let store_addr = offset_addr(base, 2)?;
+    let store_srv = StoreServer::bind(store_addr, swappable.clone(), cfg.clone())
+        .map_err(|e| format!("bind store {store_addr}: {e}"))?;
+    let metrics_addr: SocketAddr = match flags.get("--metrics-addr") {
+        Some(raw) => raw.parse().map_err(|e| format!("--metrics-addr: {e}"))?,
+        None => offset_addr(base, 3)?,
+    };
+    let metrics_srv = sdci_obs::MetricsServer::bind(metrics_addr)
+        .map_err(|e| format!("bind metrics {metrics_addr}: {e}"))?;
+
+    // Readiness line: tests and operators parse "listening on ADDR".
+    println!(
+        "sdcimon front listening on {base} (store {}, metrics {}, shards {})",
+        store_srv.local_addr(),
+        metrics_srv.local_addr(),
+        map_srv.map().shards().len()
+    );
+
+    let mut served_version = map_srv.map().version();
+    let mut ticks = 0u64;
+    loop {
+        std::thread::sleep(Duration::from_millis(200));
+        ticks += 1;
+        // An AddShard bumped the map: re-fan the scatter so queries see
+        // the new shard's store. Collectors pick the same map up on
+        // their next poll and re-route with the drain-first cutover.
+        let current = map_srv.map();
+        if current.version() != served_version {
+            let scatter = ScatterStore::from_map(&current, cfg.clone())
+                .map_err(|e| format!("re-fan scatter: {e}"))?;
+            *swappable.0.write() = scatter;
+            served_version = current.version();
+            sdci_obs::info!(
+                target: "sdcimon::front",
+                "scatter re-fanned over the bumped shard map";
+                version = served_version,
+                shards = current.shards().len(),
+            );
+        }
+        if ticks.is_multiple_of(25) {
+            let scatter = swappable.0.read().clone();
+            sdci_obs::info!(
+                target: "sdcimon::front",
+                "front status";
+                map_version = served_version,
+                map_fetches = map_srv.fetches(),
+                queries = store_srv.queries(),
+                degraded = scatter.degraded(),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // collector
 // ---------------------------------------------------------------------------
 
 fn run_collector(args: &[String]) -> Result<(), String> {
-    let flags = Flags::new(args, &["--connect", "--client", "--files", "--faults"])?;
-    let connect: SocketAddr = flags
-        .get("--connect")
-        .ok_or("collector requires --connect ADDR")?
-        .parse()
-        .map_err(|e| format!("--connect: {e}"))?;
+    let flags = Flags::new(args, &["--connect", "--cluster", "--client", "--files", "--faults"])?;
     let client = flags.get("--client").unwrap_or("collector").to_string();
     let files: u64 = flags.parse("--files", 100)?;
 
@@ -405,9 +569,94 @@ fn run_collector(args: &[String]) -> Result<(), String> {
     let lfs = Arc::new(Mutex::new(LustreFs::new(
         LustreConfig::builder(client.clone()).mdt_count(1).build(),
     )));
-    let push = TcpPush::<FileEvent>::connect(connect, client.clone(), net_config(&flags)?);
+    let cfg = net_config(&flags)?;
+
+    match (flags.get("--connect"), flags.get("--cluster")) {
+        (Some(raw), None) => {
+            let connect: SocketAddr = raw.parse().map_err(|e| format!("--connect: {e}"))?;
+            let push = TcpPush::<FileEvent>::connect(connect, client.clone(), cfg);
+            let collector = pump_collector(&lfs, &client, push.clone(), files, || {})?;
+            // The §5.2 guarantee hinges on this: exit only once every
+            // processed event has been acknowledged by the aggregator.
+            let drained = push.drain(Duration::from_secs(60));
+            println!(
+                "sdcimon collector {client}: {} events processed, {} acked, drained: {drained}",
+                collector.stats().processed,
+                push.acked()
+            );
+            if drained {
+                Ok(())
+            } else {
+                std::process::exit(1);
+            }
+        }
+        (None, Some(raw)) => {
+            let front: SocketAddr = raw.parse().map_err(|e| format!("--cluster: {e}"))?;
+            let map = fetch_map_with_retry(front, &cfg, Duration::from_secs(30))?;
+            sdci_obs::info!(
+                target: "sdcimon::collector",
+                "routing over shard map";
+                version = map.version(),
+                shards = map.shards().len(),
+            );
+            let router = ShardRouter::connect(map, client.clone(), cfg.clone())
+                .map_err(|e| e.to_string())?;
+            // Live re-route: poll the front for a newer map between
+            // ChangeLog batches and cut over with the drain-first
+            // protocol. A failed cutover (a shard not draining) keeps
+            // the old map and is retried at the next poll.
+            let mut last_poll = Instant::now();
+            let poll_router = router.clone();
+            let poll_cfg = cfg.clone();
+            let collector = pump_collector(&lfs, &client, router.clone(), files, move || {
+                if last_poll.elapsed() < Duration::from_millis(250) {
+                    return;
+                }
+                last_poll = Instant::now();
+                let Ok(map) = fetch_map(front, &poll_cfg) else { return };
+                if map.version() > poll_router.map_version() {
+                    if let Err(e) = poll_router.update_map(map, Duration::from_secs(10)) {
+                        sdci_obs::warn!(
+                            target: "sdcimon::collector",
+                            "map cutover not acked; keeping the old map";
+                            error = e.to_string(),
+                        );
+                    }
+                }
+            })?;
+            let drained = router.drain(Duration::from_secs(60));
+            let routed: Vec<String> =
+                router.routed().iter().map(|(id, n)| format!("s{id}={n}")).collect();
+            println!(
+                "sdcimon collector {client}: {} events processed, routed [{}] over map v{}, drained: {drained}",
+                collector.stats().processed,
+                routed.join(" "),
+                router.map_version()
+            );
+            if drained {
+                Ok(())
+            } else {
+                std::process::exit(1);
+            }
+        }
+        _ => Err("collector requires exactly one of --connect ADDR or --cluster ADDR".into()),
+    }
+}
+
+/// Registers the Collector (a ChangeLog user sees only records
+/// appended after registration), drives the `/{client}/f*` workload,
+/// and runs until every event is processed, invoking `tick` on idle
+/// iterations (the `--cluster` mode polls for map bumps there). Acks
+/// and purges the ChangeLog before returning.
+fn pump_collector<P: Publish<FileEvent>>(
+    lfs: &Arc<Mutex<LustreFs>>,
+    client: &str,
+    publisher: P,
+    files: u64,
+    mut tick: impl FnMut(),
+) -> Result<Collector<P>, String> {
     let mut collector =
-        Collector::new(Arc::clone(&lfs), MdtIndex::new(0), push.clone(), MonitorConfig::default());
+        Collector::new(Arc::clone(lfs), MdtIndex::new(0), publisher, MonitorConfig::default());
     {
         let mut guard = lfs.lock();
         guard.mkdir(format!("/{client}"), SimTime::EPOCH).map_err(|e| e.to_string())?;
@@ -418,26 +667,32 @@ fn run_collector(args: &[String]) -> Result<(), String> {
         }
     }
     let total = lfs.lock().total_events();
-
     while collector.stats().processed < total {
         if collector.run_once() == 0 {
+            tick();
             std::thread::sleep(Duration::from_millis(1));
         }
     }
     collector.ack_and_purge();
+    Ok(collector)
+}
 
-    // The §5.2 guarantee hinges on this: exit only once every processed
-    // event has been acknowledged by the aggregator.
-    let drained = push.drain(Duration::from_secs(60));
-    println!(
-        "sdcimon collector {client}: {} events processed, {} acked, drained: {drained}",
-        collector.stats().processed,
-        push.acked()
-    );
-    if drained {
-        Ok(())
-    } else {
-        std::process::exit(1);
+/// Fetches the shard map from the front, retrying while it comes up —
+/// collectors routinely start before the front finishes binding.
+fn fetch_map_with_retry(
+    front: SocketAddr,
+    cfg: &NetConfig,
+    timeout: Duration,
+) -> Result<ShardMap, String> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match fetch_map(front, cfg) {
+            Ok(map) => return Ok(map),
+            Err(e) if Instant::now() >= deadline => {
+                return Err(format!("fetch shard map from {front}: {e}"));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(100)),
+        }
     }
 }
 
@@ -553,10 +808,13 @@ fn parse_demo_args(args: &[String]) -> Result<Options, String> {
                      [--ops-per-tick N] [--no-cache]\n\
                      \x20      sdcimon aggregator [--bind ADDR] [--store-capacity N] \
                      [--feed-hwm N] [--snapshot DIR] [--faults SPEC]\n\
-                     \x20      sdcimon collector --connect ADDR [--client ID] [--files N] \
-                     [--faults SPEC]\n\
+                     \x20      sdcimon collector --connect ADDR | --cluster ADDR [--client ID] \
+                     [--files N] [--faults SPEC]\n\
                      \x20      sdcimon consumer --connect ADDR [--expect N] [--under PREFIX] \
-                     [--timeout SECS] [--faults SPEC]"
+                     [--timeout SECS] [--faults SPEC]\n\
+                     \x20      sdcimon shard --shard-id N [--bind ADDR] [--store-capacity N] \
+                     [--feed-hwm N] [--snapshot DIR] [--faults SPEC]\n\
+                     \x20      sdcimon front --shards A,B,... [--bind ADDR] [--faults SPEC]"
                 );
                 std::process::exit(0);
             }

@@ -1,0 +1,295 @@
+//! End-to-end tests of the *sharded* monitor tier: per-shard `sdcimon
+//! shard` processes, a `front` serving the shard map plus the
+//! scatter-gather store RPC, and collectors routing per event with
+//! `--cluster`. Asserts the tentpole guarantees: exactly-once delivery
+//! across shards, scatter-gather equivalence with a single-aggregator
+//! baseline, degraded-but-answered queries when a shard dies, and live
+//! re-routing after a shard-map version bump.
+//!
+//! Children are managed strictly through [`std::process::Child`]
+//! handles (never `pkill`), so a crashed test cannot take unrelated
+//! processes down with it.
+
+use sdci::monitor::{ShardMap, StoreQuery, StoreReader};
+use sdci::net::{add_shard, fetch_map, NetConfig, RemoteStore};
+use sdci::types::Fid;
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_sdcimon");
+
+/// Events one collector run emits: one mkdir plus `--files` creates.
+const EVENTS_PER_COLLECTOR: usize = 101;
+
+/// A child process that is SIGKILLed when the test panics.
+struct Reaped(Option<Child>);
+
+impl Reaped {
+    fn child(&mut self) -> &mut Child {
+        self.0.as_mut().expect("child already consumed")
+    }
+}
+
+impl Drop for Reaped {
+    fn drop(&mut self) {
+        if let Some(mut child) = self.0.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+fn spawn(args: &[&str]) -> Reaped {
+    let child = Command::new(BIN)
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn sdcimon");
+    Reaped(Some(child))
+}
+
+/// Reads a role's readiness line and returns its base address.
+fn wait_for_listen_addr(role: &mut Reaped) -> String {
+    let stdout = role.child().stdout.take().expect("role stdout piped");
+    let mut lines = BufReader::new(stdout).lines();
+    for line in &mut lines {
+        let line = line.expect("read role stdout");
+        if let Some(rest) = line.split("listening on ").nth(1) {
+            let addr = rest.split_whitespace().next().expect("addr token");
+            // Keep draining stdout in the background so the child can
+            // never block on a full pipe.
+            std::thread::spawn(move || for _ in lines {});
+            return addr.to_string();
+        }
+    }
+    panic!("role exited without printing a readiness line");
+}
+
+/// Scrapes a role's Prometheus endpoint (base port + 3).
+fn scrape_metrics(base_addr: &str) -> String {
+    use std::io::{Read, Write};
+    let base: SocketAddr = base_addr.parse().expect("base addr");
+    let metrics_addr = SocketAddr::new(base.ip(), base.port() + 3);
+    let mut stream = std::net::TcpStream::connect(metrics_addr).expect("connect metrics endpoint");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    write!(stream, "GET /metrics HTTP/1.1\r\nHost: sdci\r\nConnection: close\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read metrics response");
+    assert!(response.starts_with("HTTP/1.1 200"), "unexpected scrape status: {response}");
+    let body_at = response.find("\r\n\r\n").expect("header/body separator") + 4;
+    response[body_at..].to_string()
+}
+
+/// Polls a role's scrape endpoint until `needle` appears in the body
+/// (metrics sampled on a periodic tick can lag the pipeline), panicking
+/// with the last body after ten seconds.
+fn scrape_until(base_addr: &str, needle: &str) -> String {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let body = scrape_metrics(base_addr);
+        if body.contains(needle) {
+            return body;
+        }
+        assert!(Instant::now() < deadline, "never scraped {needle:?}; last body:\n{body}");
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+/// Runs one collector to completion, returning its stdout.
+fn run_collector(mode: &str, addr: &str, client: &str) -> String {
+    let out = Command::new(BIN)
+        .args(["collector", mode, addr, "--client", client, "--files", "100"])
+        .output()
+        .expect("run collector");
+    assert!(
+        out.status.success(),
+        "collector {client} failed: {:?}\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stdout)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// Two client names whose path roots land on *different* shards of a
+/// two-shard map — routing is by path-root hash, so this only depends
+/// on the root string and the shard count.
+fn split_clients() -> (String, String) {
+    let map = ShardMap::new(["127.0.0.1:1", "127.0.0.1:2"]);
+    let fid = Fid::new(1, 1, 0);
+    let owner = |name: &str| map.route(Path::new(&format!("/{name}")), fid).id;
+    let first = (0..32).map(|i| format!("c{i}")).find(|n| owner(n) == 0).expect("a shard-0 root");
+    let second = (0..32).map(|i| format!("c{i}")).find(|n| owner(n) == 1).expect("a shard-1 root");
+    (first, second)
+}
+
+/// Polls the store RPC at `base+2` until at least `min` events are
+/// visible (ingest is async behind the push-leg ack) or the deadline
+/// passes, returning the final result.
+fn query_store(base_addr: &str, min: usize, timeout: Duration) -> Vec<(u64, PathBuf)> {
+    let base: SocketAddr = base_addr.parse().expect("base addr");
+    let store_addr = SocketAddr::new(base.ip(), base.port() + 2);
+    let remote = RemoteStore::connect(store_addr, NetConfig::default());
+    let deadline = Instant::now() + timeout;
+    loop {
+        let events = remote.query(&StoreQuery::after_seq(0));
+        if events.len() >= min || Instant::now() >= deadline {
+            return events.into_iter().map(|e| (e.seq, e.event.path)).collect();
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+/// The paths one collector's workload creates, in creation order.
+fn expected_paths(client: &str) -> Vec<PathBuf> {
+    std::iter::once(PathBuf::from(format!("/{client}")))
+        .chain((0..100).map(|i| PathBuf::from(format!("/{client}/f{i}"))))
+        .collect()
+}
+
+/// Asserts `events` holds each of `clients`' workloads exactly once,
+/// in non-decreasing merged seq order with per-client creation order
+/// preserved.
+fn assert_scattered_exactly_once(events: &[(u64, PathBuf)], clients: &[&str]) {
+    let mut counts: BTreeMap<&PathBuf, usize> = BTreeMap::new();
+    for (_, path) in events {
+        *counts.entry(path).or_default() += 1;
+    }
+    assert!(counts.values().all(|&n| n == 1), "duplicated events in the scatter result");
+    assert_eq!(events.len(), clients.len() * EVENTS_PER_COLLECTOR, "missing events");
+    assert!(
+        events.windows(2).all(|w| w[0].0 <= w[1].0),
+        "merged result is not seq-ordered: {events:?}"
+    );
+    for client in clients {
+        let got: Vec<&PathBuf> = events
+            .iter()
+            .filter(|(_, p)| p.starts_with(format!("/{client}")))
+            .map(|(_, p)| p)
+            .collect();
+        let want = expected_paths(client);
+        assert_eq!(got, want.iter().collect::<Vec<_>>(), "client {client} order broken");
+    }
+}
+
+#[test]
+fn two_shard_pipeline_is_exactly_once_and_matches_the_single_store_baseline() {
+    let mut shard0 = spawn(&["shard", "--shard-id", "0", "--bind", "127.0.0.1:0"]);
+    let mut shard1 = spawn(&["shard", "--shard-id", "1", "--bind", "127.0.0.1:0"]);
+    let addr0 = wait_for_listen_addr(&mut shard0);
+    let addr1 = wait_for_listen_addr(&mut shard1);
+    let shards = format!("{addr0},{addr1}");
+    let mut front = spawn(&["front", "--bind", "127.0.0.1:0", "--shards", &shards]);
+    let front_addr = wait_for_listen_addr(&mut front);
+
+    // One collector per shard: the two roots hash to different owners,
+    // so the scatter below genuinely merges two shards.
+    let (c_zero, c_one) = split_clients();
+    let out0 = run_collector("--cluster", &front_addr, &c_zero);
+    let out1 = run_collector("--cluster", &front_addr, &c_one);
+    assert!(out0.contains("drained: true"), "collector {c_zero} not drained:\n{out0}");
+    assert!(out1.contains("drained: true"), "collector {c_one} not drained:\n{out1}");
+    // The routing tallies prove single-shard affinity per root.
+    assert!(
+        out0.contains(&format!("s0={EVENTS_PER_COLLECTOR} s1=0")),
+        "{c_zero} should route everything to shard 0:\n{out0}"
+    );
+    assert!(
+        out1.contains(&format!("s0=0 s1={EVENTS_PER_COLLECTOR}")),
+        "{c_one} should route everything to shard 1:\n{out1}"
+    );
+
+    let scattered = query_store(&front_addr, 2 * EVENTS_PER_COLLECTOR, Duration::from_secs(30));
+    assert_scattered_exactly_once(&scattered, &[&c_zero, &c_one]);
+
+    // Baseline: the same workload through one aggregator must yield the
+    // same result set, and both must be seq-ordered (per-shard seq
+    // spaces are independent, so only the *set* and per-client order
+    // are comparable — and that is the contract RemoteStore consumers
+    // rely on).
+    let mut agg = spawn(&["aggregator", "--bind", "127.0.0.1:0"]);
+    let agg_addr = wait_for_listen_addr(&mut agg);
+    run_collector("--connect", &agg_addr, &c_zero);
+    run_collector("--connect", &agg_addr, &c_one);
+    let baseline = query_store(&agg_addr, 2 * EVENTS_PER_COLLECTOR, Duration::from_secs(30));
+    assert_scattered_exactly_once(&baseline, &[&c_zero, &c_one]);
+    let set = |evs: &[(u64, PathBuf)]| {
+        evs.iter().map(|(_, p)| p.clone()).collect::<std::collections::BTreeSet<_>>()
+    };
+    assert_eq!(
+        set(&scattered),
+        set(&baseline),
+        "scatter-gather result set differs from the single-store baseline"
+    );
+
+    // Per-shard series from the shard processes themselves. The shard
+    // samples its store every 200ms, so poll: the pipeline can finish
+    // well inside the first tick.
+    scrape_until(&addr0, "sdci_shard_ingest_total{shard=\"0\"} 101");
+
+    // Kill shard 1: the scatter query degrades but still answers with
+    // shard 0's events, and the front attributes the failure.
+    shard1.child().kill().expect("kill shard 1");
+    shard1.child().wait().expect("reap shard 1");
+    let degraded = query_store(&front_addr, EVENTS_PER_COLLECTOR, Duration::from_secs(30));
+    assert_eq!(
+        degraded.len(),
+        EVENTS_PER_COLLECTOR,
+        "the live shard's events must still be answered"
+    );
+    assert!(
+        degraded.iter().all(|(_, p)| p.starts_with(format!("/{c_zero}"))),
+        "degraded answer must hold exactly the live shard's events"
+    );
+    let front_metrics = scrape_metrics(&front_addr);
+    let degraded_total = front_metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("sdci_cluster_degraded_queries_total "))
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .expect("degraded-query counter exported");
+    assert!(degraded_total >= 1, "degraded queries must be counted:\n{front_metrics}");
+    let shard1_errors = front_metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("sdci_cluster_shard_query_errors_total{shard=\"1\"} "))
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .expect("per-shard error counter exported");
+    assert!(shard1_errors >= 1, "shard 1's failed legs must be attributed:\n{front_metrics}");
+}
+
+#[test]
+fn adding_a_shard_bumps_the_map_and_reroutes_new_collectors() {
+    let mut shard0 = spawn(&["shard", "--shard-id", "0", "--bind", "127.0.0.1:0"]);
+    let addr0 = wait_for_listen_addr(&mut shard0);
+    let mut front = spawn(&["front", "--bind", "127.0.0.1:0", "--shards", &addr0]);
+    let front_addr = wait_for_listen_addr(&mut front);
+    let front_sock: SocketAddr = front_addr.parse().expect("front addr");
+    let cfg = NetConfig::default();
+
+    // With one shard, everything routes to it.
+    let (c_zero, c_one) = split_clients();
+    let out0 = run_collector("--cluster", &front_addr, &c_zero);
+    assert!(out0.contains("over map v1"), "first collector should route by v1:\n{out0}");
+
+    // Grow the tier: a second shard joins, the front bumps the map, and
+    // the scatter re-fans. Collectors starting afterwards route by v2.
+    let mut shard1 = spawn(&["shard", "--shard-id", "1", "--bind", "127.0.0.1:0"]);
+    let addr1 = wait_for_listen_addr(&mut shard1);
+    let bumped = add_shard(front_sock, &addr1, &cfg).expect("add shard");
+    assert_eq!(bumped.version(), 2);
+    assert_eq!(fetch_map(front_sock, &cfg).expect("fetch map").version(), 2);
+
+    let out1 = run_collector("--cluster", &front_addr, &c_one);
+    assert!(out1.contains("over map v2"), "second collector should route by v2:\n{out1}");
+    assert!(
+        out1.contains(&format!("s0=0 s1={EVENTS_PER_COLLECTOR}")),
+        "{c_one} should route everything to the new shard:\n{out1}"
+    );
+
+    // The scatter sees both shards' stores through one logical query.
+    let merged = query_store(&front_addr, 2 * EVENTS_PER_COLLECTOR, Duration::from_secs(30));
+    assert_scattered_exactly_once(&merged, &[&c_zero, &c_one]);
+}
