@@ -12,7 +12,7 @@
 //! anything a consumer has seen announced is retrievable from the
 //! historic API.
 
-use crate::store::{EventStore, SharedStore};
+use crate::store::{EventBackend, EventStore, MeterNames, MeteredBackend, StoreError};
 use sdci_mq::pipe::{pipeline, Pull, Push};
 use sdci_mq::pubsub::Broker;
 use sdci_mq::transport::Subscribe;
@@ -84,21 +84,25 @@ pub struct AggregatorSnapshot {
 }
 
 /// The running Aggregator: two threads plus shared store.
-pub struct Aggregator {
-    store: SharedStore,
+///
+/// Generic over its [`EventBackend`], defaulting to the in-process
+/// segmented [`EventStore`]; `sdcimon` hands it a whole layered stack
+/// (`Arc<dyn EventBackend>`) via [`Aggregator::start_with_backend`].
+pub struct Aggregator<B: EventBackend + ?Sized = EventStore> {
+    store: Arc<B>,
     feed: Broker<FeedMessage>,
     stats: Arc<AggregatorStats>,
     stop: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
 }
 
-impl fmt::Debug for Aggregator {
+impl<B: EventBackend + ?Sized> fmt::Debug for Aggregator<B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Aggregator").field("threads", &self.threads.len()).finish()
     }
 }
 
-impl Aggregator {
+impl Aggregator<EventStore> {
     /// Starts the Aggregator over `events` (the Collector-side
     /// subscription), with a store retaining `store_capacity` events and
     /// a consumer feed with the given high-water mark.
@@ -122,8 +126,20 @@ impl Aggregator {
     where
         S: Subscribe<FileEvent>,
     {
+        Aggregator::start_with_backend(events, Arc::new(store), feed_hwm)
+    }
+}
+
+impl<B: EventBackend + ?Sized + 'static> Aggregator<B> {
+    /// Starts the Aggregator over any [`EventBackend`] — a bare store,
+    /// or a full middleware stack built by
+    /// [`StoreStack`](crate::StoreStack). Sequence numbering resumes
+    /// after the backend's last event.
+    pub fn start_with_backend<S>(events: S, store: Arc<B>, feed_hwm: usize) -> Self
+    where
+        S: Subscribe<FileEvent>,
+    {
         let resume_seq = store.last_seq();
-        let store: SharedStore = Arc::new(store);
         let feed: Broker<FeedMessage> = Broker::new(feed_hwm);
         let stats = Arc::new(AggregatorStats::default());
         let stop = Arc::new(AtomicBool::new(false));
@@ -139,8 +155,17 @@ impl Aggregator {
         // the store's write lock is taken once per burst, not once per
         // event; when the feed is trickling the batch degenerates to one
         // event and behaves exactly like the per-event path.
+        //
+        // Inserts go through a metrics layer carrying the aggregator's
+        // long-standing series names (stored/insert-error counters, the
+        // end-to-end insert-lag histogram), so they survive no matter
+        // what backend is underneath.
         let ingest = {
-            let store = Arc::clone(&store);
+            let store = MeteredBackend::with_names(
+                MeterNames::prefixed("sdci_aggregator")
+                    .insert_lag_histogram("sdci_e2e_store_insert_latency_seconds"),
+                Arc::clone(&store),
+            );
             let stats = Arc::clone(&stats);
             let stop = Arc::clone(&stop);
             let last_seq = Arc::clone(&last_seq);
@@ -173,42 +198,30 @@ impl Aggregator {
                     stats.received.fetch_add(n, Ordering::Relaxed);
                     sdci_obs::static_metric!(counter, "sdci_aggregator_received_total").add(n);
                     if let Err(err) = store.insert_batch(batch.clone()) {
-                        // The store refused a sequence this thread just
-                        // assigned. That only happens when something else
-                        // wrote to the shared store behind our back;
-                        // pressing on would publish events the historic
-                        // API cannot serve, so halt ingest and surface
-                        // the fault through stats and metrics instead of
-                        // crashing the process.
-                        sdci_obs::error!(
-                            "aggregator ingest halted: store rejected batch: {err}";
-                            last_seq = err.last_seq,
-                            offered_seq = err.offered_seq,
-                            batch_len = n
-                        );
+                        // The store refused a batch this thread just
+                        // sequenced. An ordering rejection only happens
+                        // when something else wrote to the shared store
+                        // behind our back; pressing on would publish
+                        // events the historic API cannot serve, so halt
+                        // ingest and surface the fault through stats and
+                        // metrics instead of crashing the process.
+                        match &err {
+                            StoreError::Order(order) => sdci_obs::error!(
+                                "aggregator ingest halted: store rejected batch: {order}";
+                                last_seq = order.last_seq,
+                                offered_seq = order.offered_seq,
+                                batch_len = n
+                            ),
+                            other => sdci_obs::error!(
+                                "aggregator ingest halted: store rejected batch: {other}";
+                                batch_len = n
+                            ),
+                        }
                         stats.insert_errors.fetch_add(1, Ordering::Relaxed);
-                        sdci_obs::static_metric!(counter, "sdci_aggregator_insert_errors_total")
-                            .inc();
                         stop.store(true, Ordering::Relaxed);
                         break 'ingest;
                     }
                     stats.stored.fetch_add(n, Ordering::Relaxed);
-                    sdci_obs::static_metric!(counter, "sdci_aggregator_stored_total").add(n);
-                    // Extract -> resolve -> publish -> store-insert: the
-                    // first half of the paper's Fig. 5/6 e2e latency,
-                    // measured against the collector's wall-clock stamp
-                    // (same host). Stamped per event even when inserted
-                    // as a batch.
-                    let now = sdci_obs::unix_now_ns();
-                    for sev in &batch {
-                        if let Some(extracted) = sev.event.extracted_unix_ns {
-                            sdci_obs::static_metric!(
-                                histogram,
-                                "sdci_e2e_store_insert_latency_seconds"
-                            )
-                            .observe_ns(now.saturating_sub(extracted));
-                        }
-                    }
                     last_seq.store(seq, Ordering::Relaxed);
                     for sev in batch {
                         if !to_publish.send(sev) {
@@ -268,8 +281,10 @@ impl Aggregator {
     }
 
     /// The historic-event store (the Aggregator's query API). Reads
-    /// never block ingest: all query paths take `&self`.
-    pub fn store(&self) -> SharedStore {
+    /// never block ingest: all query paths take `&self`. For the
+    /// default backend this is the [`SharedStore`](crate::SharedStore)
+    /// handle callers have always had.
+    pub fn store(&self) -> Arc<B> {
         Arc::clone(&self.store)
     }
 
@@ -293,7 +308,7 @@ impl Aggregator {
     }
 }
 
-impl Drop for Aggregator {
+impl<B: EventBackend + ?Sized> Drop for Aggregator<B> {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
     }

@@ -417,7 +417,16 @@ mod tests {
         fail_first: std::sync::atomic::AtomicU32,
     }
 
-    impl StoreReader for FlakyStore {
+    // Implemented as an `EventBackend` (the read half arrives through
+    // the blanket `StoreReader` impl, like every other backend).
+    impl crate::store::EventBackend for FlakyStore {
+        fn insert_batch(
+            &self,
+            events: Vec<SequencedEvent>,
+        ) -> Result<(), crate::store::StoreError> {
+            self.inner.insert_batch(events)
+        }
+
         fn query(&self, query: &StoreQuery) -> Vec<SequencedEvent> {
             use std::sync::atomic::Ordering;
             let left = self.fail_first.load(Ordering::Relaxed);
@@ -425,7 +434,15 @@ mod tests {
                 self.fail_first.store(left - 1, Ordering::Relaxed);
                 return Vec::new();
             }
-            self.inner.query(query)
+            self.inner.as_ref().query(query)
+        }
+
+        fn last_seq(&self) -> u64 {
+            self.inner.last_seq()
+        }
+
+        fn len(&self) -> usize {
+            self.inner.len()
         }
     }
 

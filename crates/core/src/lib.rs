@@ -89,6 +89,8 @@ pub use metrics::{IntervalRates, MetricsRecorder, MetricsSample};
 pub use pathcache::{CacheStats, PathCache};
 pub use resource::{ComponentUsage, ResourceModel, ResourceReport};
 pub use store::{
-    merge_seq_ordered, restore_snapshot, EventStore, FlushError, FlushStats, SharedStore,
-    SnapshotDir, StoreOrderError, StoreQuery, StoreReader, StoreStats,
+    merge_seq_ordered, restore_snapshot, CachedBackend, EventBackend, EventStore, FlushError,
+    FlushStats, MemBackend, MeterNames, MeteredBackend, SegmentedBackend, SharedStore, SnapshotDir,
+    StoreError, StoreOrderError, StoreQuery, StoreReader, StoreStack, StoreStats, TenantBackend,
+    TenantPolicy,
 };

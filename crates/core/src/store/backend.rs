@@ -1,0 +1,320 @@
+//! The storage middleware interface: one narrow trait every store
+//! speaks, so a cache, a metrics layer, or a remote/sharded tier is
+//! just another layer instead of a rewrite.
+//!
+//! [`EventBackend`] is the full read/write surface (insert, query,
+//! stats, flush), object-safe so stacks compose as
+//! `Arc<dyn EventBackend>`. The segmented [`EventStore`] is the
+//! production implementation ([`SegmentedBackend`]); [`MemBackend`] is
+//! a deliberately naive flat-buffer backend for tests and baselines;
+//! `sdci-net`'s `RemoteStore` and `ScatterStore` implement the same
+//! trait over the wire. The composable layers — `CachedBackend`,
+//! `MeteredBackend`, `TenantBackend` — live in
+//! [`layers`](super::layers) and wrap any backend.
+//!
+//! [`StoreReader`] (the consumer's read-only backfill view) is a
+//! blanket impl over every backend, so `StoreServer`, `ScatterStore`
+//! fronts, and `EventConsumer` serve any backend unchanged.
+
+use super::{EventStore, SharedStore, StoreOrderError, StoreQuery, StoreReader, StoreStats};
+use crate::aggregator::SequencedEvent;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Why a backend refused or failed an operation.
+///
+/// The segmented store's inherent methods keep returning the precise
+/// [`StoreOrderError`]; the trait folds every backend's failures into
+/// this one enum so layers can pass errors through without knowing
+/// what is underneath.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The batch broke the strictly-increasing sequence contract; the
+    /// store is unchanged.
+    Order(StoreOrderError),
+    /// A tenant layer refused the operation: `path` is outside the
+    /// tenant's allowed prefixes.
+    Denied {
+        /// The tenant whose policy refused the operation.
+        tenant: String,
+        /// The first offending path.
+        path: PathBuf,
+    },
+    /// The backend is a read-only view (a remote or scatter front) and
+    /// cannot accept writes.
+    ReadOnly(&'static str),
+    /// A durability flush failed; `committed` tells whether the flush
+    /// had already passed its commit point (see
+    /// [`FlushError`](super::FlushError)).
+    Flush {
+        /// Whether the commit point (manifest rename) had already
+        /// happened when the error occurred.
+        committed: bool,
+        /// The underlying I/O failure.
+        source: std::io::Error,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Order(e) => write!(f, "{e}"),
+            StoreError::Denied { tenant, path } => {
+                write!(f, "tenant {tenant:?} denied access to {}", path.display())
+            }
+            StoreError::ReadOnly(what) => write!(f, "{what} is a read-only backend"),
+            StoreError::Flush { committed, source } => {
+                let when = if *committed { "after commit" } else { "before commit" };
+                write!(f, "flush failed {when}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Order(e) => Some(e),
+            StoreError::Flush { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreOrderError> for StoreError {
+    fn from(e: StoreOrderError) -> Self {
+        StoreError::Order(e)
+    }
+}
+
+/// A pluggable event store: the one interface the aggregator, the
+/// store RPC, and the middleware layers are written against.
+///
+/// Object-safe and `Send + Sync`, so a layer stack is an
+/// `Arc<dyn EventBackend>` built once (see
+/// [`StoreStack`](super::StoreStack)) and shared by every thread.
+///
+/// `stats`, `last_seq`, and `len` default to "unknown" (zeroes) so
+/// remote or scatter views — which cannot see occupancy cheaply —
+/// only implement what they can answer; local backends override all
+/// three.
+pub trait EventBackend: Send + Sync {
+    /// Inserts a batch of events atomically, in strictly increasing
+    /// sequence order (all-or-nothing on violation).
+    fn insert_batch(&self, events: Vec<SequencedEvent>) -> Result<(), StoreError>;
+
+    /// Inserts one event; equivalent to a one-element
+    /// [`EventBackend::insert_batch`].
+    fn insert(&self, event: SequencedEvent) -> Result<(), StoreError> {
+        self.insert_batch(vec![event])
+    }
+
+    /// Runs `query` over the retained window, oldest first.
+    fn query(&self, query: &StoreQuery) -> Vec<SequencedEvent>;
+
+    /// Counters and gauges for the backend (zeroes when unknowable).
+    fn stats(&self) -> StoreStats {
+        StoreStats::default()
+    }
+
+    /// Newest retained sequence number (0 when empty or unknowable).
+    fn last_seq(&self) -> u64 {
+        0
+    }
+
+    /// Retained events right now (0 when unknowable).
+    fn len(&self) -> usize {
+        0
+    }
+
+    /// Whether the backend currently retains nothing.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flushes durable state, if the backend has any; the default is a
+    /// no-op for purely in-memory backends.
+    fn flush(&self) -> Result<(), StoreError> {
+        Ok(())
+    }
+}
+
+/// Sharing a backend is a plain `Arc`: the whole surface takes
+/// `&self`.
+impl<T: EventBackend + ?Sized> EventBackend for Arc<T> {
+    fn insert_batch(&self, events: Vec<SequencedEvent>) -> Result<(), StoreError> {
+        (**self).insert_batch(events)
+    }
+    fn insert(&self, event: SequencedEvent) -> Result<(), StoreError> {
+        (**self).insert(event)
+    }
+    fn query(&self, query: &StoreQuery) -> Vec<SequencedEvent> {
+        (**self).query(query)
+    }
+    fn stats(&self) -> StoreStats {
+        (**self).stats()
+    }
+    fn last_seq(&self) -> u64 {
+        (**self).last_seq()
+    }
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn is_empty(&self) -> bool {
+        (**self).is_empty()
+    }
+    fn flush(&self) -> Result<(), StoreError> {
+        (**self).flush()
+    }
+}
+
+/// Every backend is a [`StoreReader`]: the consumer's backfill view is
+/// just the read half of the trait. (This blanket is why no concrete
+/// type may implement `StoreReader` by hand.)
+impl<T: EventBackend + 'static> StoreReader for T {
+    fn query(&self, query: &StoreQuery) -> Vec<SequencedEvent> {
+        EventBackend::query(self, query)
+    }
+}
+
+/// The production backend: the segmented, indexed [`EventStore`].
+pub type SegmentedBackend = EventStore;
+
+impl EventBackend for EventStore {
+    fn insert_batch(&self, events: Vec<SequencedEvent>) -> Result<(), StoreError> {
+        EventStore::insert_batch(self, events).map_err(StoreError::from)
+    }
+
+    fn insert(&self, event: SequencedEvent) -> Result<(), StoreError> {
+        EventStore::insert(self, event).map_err(StoreError::from)
+    }
+
+    fn query(&self, query: &StoreQuery) -> Vec<SequencedEvent> {
+        EventStore::query(self, query)
+    }
+
+    fn stats(&self) -> StoreStats {
+        EventStore::stats(self)
+    }
+
+    fn last_seq(&self) -> u64 {
+        EventStore::last_seq(self)
+    }
+
+    fn len(&self) -> usize {
+        EventStore::len(self)
+    }
+
+    /// Flushes the attached [`SnapshotDir`](super::SnapshotDir), or
+    /// nothing when the store runs without durability.
+    fn flush(&self) -> Result<(), StoreError> {
+        match self.snapshot_dir() {
+            Some(dir) => dir
+                .flush(self)
+                .map(|_| ())
+                .map_err(|e| StoreError::Flush { committed: e.committed, source: e.source }),
+            None => Ok(()),
+        }
+    }
+}
+
+/// A deliberately naive in-memory backend: one flat `VecDeque` behind
+/// a mutex, per-event rotation, linear-scan queries.
+///
+/// This is the executable form of the proptest reference model — no
+/// segments, no indexes — useful as a test oracle, a bench baseline,
+/// and a `--store-backend mem` mode where segment bookkeeping is pure
+/// overhead (tiny windows). It intentionally shares the segmented
+/// store's externally observable contract: strictly increasing
+/// sequence numbers, all-or-nothing batches, oldest-first query
+/// results.
+#[derive(Debug)]
+pub struct MemBackend {
+    capacity: usize,
+    events: Mutex<VecDeque<SequencedEvent>>,
+    last_seq: AtomicU64,
+    bytes: AtomicU64,
+    inserted: AtomicU64,
+    rotated: AtomicU64,
+    queries: AtomicU64,
+}
+
+impl MemBackend {
+    /// Creates a backend retaining at most `capacity` events
+    /// (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        MemBackend {
+            capacity: capacity.max(1),
+            events: Mutex::new(VecDeque::new()),
+            last_seq: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            inserted: AtomicU64::new(0),
+            rotated: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+        }
+    }
+}
+
+impl EventBackend for MemBackend {
+    fn insert_batch(&self, events: Vec<SequencedEvent>) -> Result<(), StoreError> {
+        if events.is_empty() {
+            return Ok(());
+        }
+        let mut buf = self.events.lock();
+        let mut last = self.last_seq.load(Ordering::Relaxed);
+        for event in &events {
+            if event.seq <= last {
+                return Err(StoreOrderError { last_seq: last, offered_seq: event.seq }.into());
+            }
+            last = event.seq;
+        }
+        for event in events {
+            self.last_seq.store(event.seq, Ordering::Relaxed);
+            self.bytes.fetch_add(event.event.footprint_bytes() as u64, Ordering::Relaxed);
+            self.inserted.fetch_add(1, Ordering::Relaxed);
+            buf.push_back(event);
+            while buf.len() > self.capacity {
+                let old = buf.pop_front().expect("over-capacity buffer has a front");
+                self.bytes.fetch_sub(old.event.footprint_bytes() as u64, Ordering::Relaxed);
+                self.rotated.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(())
+    }
+
+    fn query(&self, query: &StoreQuery) -> Vec<SequencedEvent> {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let limit = if query.limit == 0 { usize::MAX } else { query.limit };
+        self.events.lock().iter().filter(|e| query.matches(e)).take(limit).cloned().collect()
+    }
+
+    fn stats(&self) -> StoreStats {
+        StoreStats {
+            inserted: self.inserted.load(Ordering::Relaxed),
+            rotated: self.rotated.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            segments: 0,
+            resident_bytes: self.bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    fn last_seq(&self) -> u64 {
+        self.last_seq.load(Ordering::Relaxed)
+    }
+
+    fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+}
+
+/// `SharedStore` remains the conventional spelling for an in-process
+/// segmented backend handle; assert it still satisfies every bound the
+/// servers need.
+#[allow(dead_code)]
+fn _shared_store_is_a_backend(s: SharedStore) -> Arc<dyn EventBackend> {
+    s
+}

@@ -38,9 +38,15 @@
 //! [`EventStore::snapshot_to`] / [`EventStore::restore_from`] keep the
 //! legacy single-file NDJSON form alive for migration.
 
+mod backend;
+mod layers;
 mod segment;
 mod snapshot;
 
+pub use backend::{EventBackend, MemBackend, SegmentedBackend, StoreError};
+pub use layers::{
+    CachedBackend, MeterNames, MeteredBackend, StoreStack, TenantBackend, TenantPolicy,
+};
 pub use snapshot::{restore_snapshot, FlushError, FlushStats, SnapshotDir};
 
 use crate::aggregator::SequencedEvent;
@@ -52,7 +58,7 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Counters and gauges for an [`EventStore`].
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -228,6 +234,9 @@ pub struct EventStore {
     inserted: AtomicU64,
     rotated: AtomicU64,
     queries: AtomicU64,
+    /// Attached durability: set once via [`EventStore::attach_snapshot`]
+    /// so the trait-level [`EventBackend::flush`] knows where to write.
+    snapshot: OnceLock<SnapshotDir>,
 }
 
 impl fmt::Debug for EventStore {
@@ -271,7 +280,20 @@ impl EventStore {
             inserted: AtomicU64::new(0),
             rotated: AtomicU64::new(0),
             queries: AtomicU64::new(0),
+            snapshot: OnceLock::new(),
         }
+    }
+
+    /// Attaches the [`SnapshotDir`] this store flushes to, making
+    /// [`EventBackend::flush`] durable. Returns `false` (and drops
+    /// `dir`) if a snapshot directory was already attached.
+    pub fn attach_snapshot(&self, dir: SnapshotDir) -> bool {
+        self.snapshot.set(dir).is_ok()
+    }
+
+    /// The attached snapshot directory, if any.
+    pub fn snapshot_dir(&self) -> Option<&SnapshotDir> {
+        self.snapshot.get()
     }
 
     /// Inserts an event, rotating the oldest out at capacity.
@@ -339,17 +361,15 @@ impl EventStore {
         }
     }
 
-    /// Post-append bookkeeping: rotate down to capacity and refresh the
-    /// occupancy gauges. Caller holds the head lock.
+    /// Post-append bookkeeping: rotate down to capacity. Caller holds
+    /// the head lock. (Occupancy gauges are the [`MeteredBackend`]
+    /// layer's job, not the store's.)
     fn finish_locked(&self, head: &mut Head) {
         let mut len = self.len.load(Ordering::Relaxed);
         while len > self.capacity {
             self.rotate_one(head);
             len = self.len.fetch_sub(1, Ordering::Relaxed) - 1;
         }
-        sdci_obs::static_metric!(gauge, "sdci_store_head_events").set(head.events.len() as i64);
-        sdci_obs::static_metric!(gauge, "sdci_store_resident_bytes")
-            .set(self.bytes.load(Ordering::Relaxed) as i64);
     }
 
     /// Seals the head into an immutable segment on the chain.
@@ -367,7 +387,6 @@ impl EventStore {
         head.bytes = 0;
         let mut chain = self.sealed.write();
         chain.segs.push_back(Arc::new(Segment::build(events)));
-        sdci_obs::static_metric!(gauge, "sdci_store_segments").set(chain.segs.len() as i64);
     }
 
     /// Rotates the single oldest retained event out: advance the chain's
@@ -384,8 +403,6 @@ impl EventStore {
                     if chain.trim == front_len {
                         chain.segs.pop_front();
                         chain.trim = 0;
-                        sdci_obs::static_metric!(gauge, "sdci_store_segments")
-                            .set(chain.segs.len() as i64);
                     }
                     Some(footprint)
                 }
@@ -675,6 +692,7 @@ impl EventStore {
             inserted: AtomicU64::new(len as u64),
             rotated: AtomicU64::new(0),
             queries: AtomicU64::new(0),
+            snapshot: OnceLock::new(),
         }
     }
 }
@@ -721,17 +739,15 @@ pub type SharedStore = Arc<EventStore>;
 /// against this trait, so backfill works identically whether the store
 /// lives in the same process ([`SharedStore`]) or behind `sdci-net`'s
 /// query RPC (`RemoteStore`).
+///
+/// Blanket-implemented for every [`EventBackend`] — do not implement
+/// it by hand; implement `EventBackend` instead and the read half
+/// follows.
 pub trait StoreReader: Send + 'static {
     /// Runs `query` over the retained window, oldest first. A reader
     /// that cannot reach the store returns an empty result (the
     /// consumer then accounts the gap as lost).
     fn query(&self, query: &StoreQuery) -> Vec<SequencedEvent>;
-}
-
-impl StoreReader for SharedStore {
-    fn query(&self, query: &StoreQuery) -> Vec<SequencedEvent> {
-        EventStore::query(self, query)
-    }
 }
 
 /// K-way merges per-shard query results, each already in ascending
@@ -1055,7 +1071,7 @@ mod tests {
                     // having observed the complete window.
                     while !done {
                         done = stop.load(Ordering::Relaxed);
-                        let got = store.query(&StoreQuery::after_seq(0));
+                        let got = store.as_ref().query(&StoreQuery::after_seq(0));
                         for pair in got.windows(2) {
                             assert_eq!(pair[0].seq + 1, pair[1].seq, "gap in query result");
                         }
@@ -1072,7 +1088,7 @@ mod tests {
         for r in readers {
             assert_eq!(r.join().unwrap(), 5_000, "readers observed the full ingest");
         }
-        assert_eq!(store.query(&StoreQuery::after_seq(0)).len(), 5_000);
+        assert_eq!(store.as_ref().query(&StoreQuery::after_seq(0)).len(), 5_000);
     }
 
     #[test]

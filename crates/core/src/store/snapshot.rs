@@ -257,8 +257,8 @@ impl SnapshotDir {
     }
 
     pub(crate) fn flush_state(&self, state: &StoreState) -> Result<FlushStats, FlushError> {
-        let _flush_timer =
-            sdci_obs::static_metric!(histogram, "sdci_store_flush_seconds").start_timer();
+        // Flush timing is the MeteredBackend layer's job
+        // (`{prefix}_flush_seconds`), not the snapshot writer's.
         let mut stats = FlushStats::default();
         let live = self
             .flush_until_commit(state, &mut stats)

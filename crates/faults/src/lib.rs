@@ -30,6 +30,6 @@ mod plan;
 
 pub use crash::{arm, armed_spec, crash_point, disarm, disarm_all, init_from_env, CrashMode};
 pub use plan::{
-    load_env_plan, Direction, FaultPlan, FaultProfile, FrameFault, PartitionWindow, StreamFaults,
-    ENV_FAULTS,
+    load_env_plan, process_epoch, Direction, FaultPlan, FaultProfile, FrameFault, PartitionWindow,
+    StreamFaults, ENV_FAULTS,
 };

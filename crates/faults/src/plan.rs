@@ -60,14 +60,29 @@ impl FaultProfile {
     }
 }
 
-/// A scripted total-partition window, relative to the instant the plan
-/// was constructed (process start, for env-installed plans).
+/// A scripted total-partition window, relative to the shared
+/// [`process_epoch`] — so every plan (and hence every connection) in a
+/// process sees the same partition at the same wall-clock moment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PartitionWindow {
-    /// Offset from plan epoch when the partition begins.
+    /// Offset from the process epoch when the partition begins.
     pub start: Duration,
-    /// Offset from plan epoch when the partition heals.
+    /// Offset from the process epoch when the partition heals.
     pub end: Duration,
+}
+
+/// The process-wide partition epoch: pinned the first time anything
+/// asks for it (in practice, when the first plan is built — process
+/// start for env-installed plans).
+///
+/// Partition windows used to be anchored per-plan-construction, so two
+/// plans parsed at different times disagreed about when "the"
+/// partition was — connections opened later saw the window restart.
+/// One shared epoch makes `partition=DUR@OFFSET` mean the same
+/// wall-clock interval everywhere in the process.
+pub fn process_epoch() -> Instant {
+    static EPOCH: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
 }
 
 /// What to do with one complete wire frame.
@@ -108,15 +123,15 @@ pub struct FaultPlan {
 }
 
 impl FaultPlan {
-    /// Builds a plan with explicit profiles; the partition epoch is
-    /// "now".
+    /// Builds a plan with explicit profiles; partition windows are
+    /// anchored to the shared [`process_epoch`].
     pub fn new(
         seed: u64,
         send: FaultProfile,
         recv: FaultProfile,
         partitions: Vec<PartitionWindow>,
     ) -> Self {
-        FaultPlan { seed, send, recv, partitions, epoch: Instant::now(), conns: AtomicU64::new(0) }
+        FaultPlan { seed, send, recv, partitions, epoch: process_epoch(), conns: AtomicU64::new(0) }
     }
 
     /// Parses a compact spec string, e.g.
@@ -130,7 +145,8 @@ impl FaultPlan {
     /// * `delay=P:DUR` — with probability `P` stall a frame for `DUR`
     ///   (same `send.`/`recv.` prefixes apply).
     /// * `partition=DUR@OFFSET` — a total partition lasting `DUR`
-    ///   starting `OFFSET` after the plan is installed; repeatable.
+    ///   starting `OFFSET` after the shared [`process_epoch`];
+    ///   repeatable.
     ///
     /// Durations take `ms`, `s`, or `us` suffixes.
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
@@ -223,7 +239,7 @@ impl FaultPlan {
 
 impl fmt::Display for FaultPlan {
     /// Renders a spec string that parses back to an equivalent plan
-    /// (modulo the epoch, which is always "now").
+    /// (windows re-anchor to the same shared process epoch).
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "seed={}", self.seed)?;
         for (dir, p) in [("send", &self.send), ("recv", &self.recv)] {

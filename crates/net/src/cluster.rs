@@ -32,7 +32,9 @@ use crate::faulted::{conn_faults, spawn_worker, FaultedWriter};
 use crate::pipe::TcpPush;
 use crate::store_rpc::RemoteStore;
 use crate::wire::{write_msg, FrameReader};
-use sdci_core::{merge_seq_ordered, SequencedEvent, ShardId, ShardMap, StoreQuery, StoreReader};
+use sdci_core::{
+    merge_seq_ordered, EventBackend, SequencedEvent, ShardId, ShardMap, StoreError, StoreQuery,
+};
 use sdci_mq::transport::{Publish, PublishOutcome};
 use sdci_obs::metrics::Counter;
 use sdci_types::FileEvent;
@@ -639,7 +641,16 @@ impl ScatterStore {
     }
 }
 
-impl StoreReader for ScatterStore {
+/// The scatter front is a read-only [`EventBackend`]: a shard tier is
+/// "just another backend" to whatever serves it (the [`StoreServer`]
+/// on a front node serves it through the blanket `StoreReader` impl).
+/// Writes are refused — events reach shards through per-shard push
+/// pipelines, routed by the [`ShardRouter`].
+impl EventBackend for ScatterStore {
+    fn insert_batch(&self, _events: Vec<SequencedEvent>) -> Result<(), StoreError> {
+        Err(StoreError::ReadOnly("ScatterStore"))
+    }
+
     fn query(&self, query: &StoreQuery) -> Vec<SequencedEvent> {
         // One scoped thread per shard: the fan-out is bounded by the
         // slowest live leg, not the sum, and a dead shard costs one

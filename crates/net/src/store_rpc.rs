@@ -3,9 +3,10 @@
 //! The in-process consumer backfills gaps by querying the store through
 //! a shared [`SharedStore`](sdci_core::SharedStore) handle. A remote
 //! consumer gets the same
-//! capability from [`RemoteStore`], which implements
-//! [`sdci_core::StoreReader`] by round-tripping a [`StoreRpc::Query`]
-//! to the Aggregator process's [`StoreServer`].
+//! capability from [`RemoteStore`], a read-only
+//! [`sdci_core::EventBackend`] that round-trips a [`StoreRpc::Query`]
+//! to the Aggregator process's [`StoreServer`]; the
+//! [`sdci_core::StoreReader`] view follows from the blanket impl.
 //!
 //! The protocol is deliberately tiny: one request frame, one response
 //! frame, same length-prefixed JSON framing as the rest of sdci-net.
@@ -18,7 +19,7 @@
 use crate::conn::NetConfig;
 use crate::faulted::{conn_faults, spawn_worker, FaultedWriter};
 use crate::wire::{write_msg, FrameReader};
-use sdci_core::{SequencedEvent, StoreQuery, StoreReader};
+use sdci_core::{EventBackend, SequencedEvent, StoreError, StoreQuery, StoreReader};
 use serde::{Deserialize, Serialize};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -193,6 +194,14 @@ fn serve_store_client<R: StoreReader>(
             Ok(StoreRpc::Query { query }) => {
                 let events = store.query(&query);
                 queries.fetch_add(1, Ordering::Relaxed);
+                // Reply-path crash point: the query has run but the
+                // reply has not been written. Error mode costs this one
+                // connection (the client redials and retries); abort
+                // mode kills the process mid-reply for the chaos
+                // harness's restart/re-query coverage.
+                if sdci_faults::crash_point("net.store_rpc.reply").is_err() {
+                    return;
+                }
                 if write_msg(&mut writer, &StoreRpc::Batch { events }).is_err() {
                     return;
                 }
@@ -390,7 +399,17 @@ impl RemoteStore {
     }
 }
 
-impl StoreReader for RemoteStore {
+/// The remote store is a read-only [`EventBackend`]: queries go over
+/// the wire; writes are refused (events reach an aggregator's store
+/// through the push pipeline, never through the query RPC); occupancy
+/// (`stats`/`last_seq`/`len`) is unknowable from here and reports the
+/// trait's zero defaults. The [`StoreReader`] view (empty result on
+/// failure) arrives through the blanket impl.
+impl EventBackend for RemoteStore {
+    fn insert_batch(&self, _events: Vec<SequencedEvent>) -> Result<(), StoreError> {
+        Err(StoreError::ReadOnly("RemoteStore"))
+    }
+
     fn query(&self, query: &StoreQuery) -> Vec<SequencedEvent> {
         self.try_query(query).unwrap_or_default()
     }

@@ -5,7 +5,7 @@
 //! connection, never the process.
 
 use sdci_core::{EventStore, SequencedEvent, StoreQuery, StoreReader};
-use sdci_faults::{arm, CrashMode, FaultPlan};
+use sdci_faults::{arm, process_epoch, CrashMode, FaultPlan};
 use sdci_net::store_rpc::StoreRpc;
 use sdci_net::wire::write_msg;
 use sdci_net::{NetConfig, RemoteStore, RetryPolicy, StoreServer, TcpPullServer, TcpPush};
@@ -166,5 +166,42 @@ fn store_server_spawn_failures_are_contained() {
     let events = remote.query(&StoreQuery::after_seq(0));
     assert_eq!(events.len(), 25, "query must succeed once a handler thread spawns");
     assert_eq!(server.queries(), 1);
+
+    // Reply-path failure: the handler dies *between* running the query
+    // and writing the reply. The client sees a dead connection, redials,
+    // and the retry lands on a fresh handler that answers.
+    arm("net.store_rpc.reply", 1, CrashMode::Error);
+    let events = remote.query(&StoreQuery::after_seq(0));
+    assert_eq!(events.len(), 25, "retry after a killed reply must be answered");
+    assert_eq!(server.queries(), 3, "the killed reply's query still ran server-side");
     server.shutdown();
+}
+
+/// Partition windows are anchored to one shared process epoch, not to
+/// each plan's construction time: a spec parsed *after* its window has
+/// closed must agree that the partition is over. (The old per-plan
+/// anchoring restarted the window on every parse, so connections
+/// created later saw a partition everyone else had already healed
+/// from.)
+#[test]
+fn partition_windows_share_one_process_epoch() {
+    let epoch = process_epoch();
+    // A window open from the epoch until ~300ms from now.
+    let window_end = epoch.elapsed() + Duration::from_millis(300);
+    let spec = format!("seed=5,partition={}us@0us", window_end.as_micros());
+
+    let first = FaultPlan::parse(&spec).unwrap();
+    assert!(first.partitioned(), "a window covering process-start..now+300ms must be active");
+
+    std::thread::sleep(Duration::from_millis(500));
+
+    // Re-parsing the same spec after the window closed must not
+    // restart it; per-plan anchoring would report elapsed ≈ 0 here and
+    // call the partition active again.
+    let second = FaultPlan::parse(&spec).unwrap();
+    assert!(
+        !second.partitioned(),
+        "a plan parsed after the window closed must share the healed epoch"
+    );
+    assert!(!first.partitioned(), "the original plan agrees the window closed");
 }

@@ -13,14 +13,22 @@
 //!
 //! ```text
 //! sdcimon aggregator [--bind ADDR] [--store-capacity N] [--feed-hwm N]
-//!                    [--snapshot DIR]
+//!                    [--snapshot DIR] [--store-backend seg|mem] [--store-cache N]
 //! sdcimon collector  --connect ADDR | --cluster ADDR [--client ID] [--files N]
 //! sdcimon consumer   --connect ADDR [--expect N] [--under PREFIX]
 //!                    [--timeout SECS]
 //! sdcimon shard      --shard-id N [--bind ADDR] [--store-capacity N]
-//!                    [--feed-hwm N] [--snapshot DIR]
+//!                    [--feed-hwm N] [--snapshot DIR] [--store-backend seg|mem]
+//!                    [--store-cache N]
 //! sdcimon front      --shards A,B,... [--bind ADDR]
 //! ```
+//!
+//! The store behind an aggregator or shard is a middleware stack
+//! ([`StoreStack`]): `--store-backend` picks the base (`seg`, the
+//! default segmented store, or `mem`, a flat bounded ring with no
+//! snapshot support) and `--store-cache N` layers a read-through query
+//! cache of N entries over it. The metrics layer (`sdci_store_*`
+//! series) is always present.
 //!
 //! The last two run the *sharded* tier: each `shard` is a full
 //! aggregator (own port trio, own segmented store, snapshot dir, and
@@ -61,8 +69,9 @@
 use parking_lot::Mutex;
 use sdci::lustre::{DnePolicy, LustreConfig, LustreFs};
 use sdci::monitor::{
-    restore_snapshot, Aggregator, ClusterStats, Collector, EventConsumer, MetricsRecorder,
-    MonitorClusterBuilder, MonitorConfig, ShardId, ShardMap, SnapshotDir, StoreReader,
+    restore_snapshot, Aggregator, ClusterStats, Collector, EventBackend, EventConsumer, EventStore,
+    MetricsRecorder, MonitorClusterBuilder, MonitorConfig, ShardId, ShardMap, SnapshotDir,
+    StoreError, StoreStack,
 };
 use sdci::mq::transport::{Publish, PullSubscriber};
 use sdci::net::{
@@ -204,7 +213,16 @@ fn offset_addr(base: SocketAddr, offset: u16) -> Result<SocketAddr, String> {
 fn run_aggregator(args: &[String]) -> Result<(), String> {
     let flags = Flags::new(
         args,
-        &["--bind", "--store-capacity", "--feed-hwm", "--snapshot", "--metrics-addr", "--faults"],
+        &[
+            "--bind",
+            "--store-capacity",
+            "--store-backend",
+            "--store-cache",
+            "--feed-hwm",
+            "--snapshot",
+            "--metrics-addr",
+            "--faults",
+        ],
     )?;
     run_store_node(&flags, None)
 }
@@ -220,6 +238,8 @@ fn run_shard(args: &[String]) -> Result<(), String> {
             "--shard-id",
             "--bind",
             "--store-capacity",
+            "--store-backend",
+            "--store-cache",
             "--feed-hwm",
             "--snapshot",
             "--metrics-addr",
@@ -238,7 +258,17 @@ fn run_store_node(flags: &Flags, shard: Option<ShardId>) -> Result<(), String> {
     let bind: SocketAddr = flags.parse("--bind", "127.0.0.1:7070".parse().unwrap())?;
     let store_capacity: usize = flags.parse("--store-capacity", 1_000_000)?;
     let feed_hwm: usize = flags.parse("--feed-hwm", 65_536)?;
+    let cache_entries: usize = flags.parse("--store-cache", 0)?;
+    let backend_kind = flags.get("--store-backend").unwrap_or("seg");
+    if !matches!(backend_kind, "seg" | "mem") {
+        return Err(format!("--store-backend: unknown backend {backend_kind} (use seg or mem)"));
+    }
     let snapshot = flags.get("--snapshot").map(std::path::PathBuf::from);
+    if backend_kind == "mem" && snapshot.is_some() {
+        return Err(
+            "--store-backend mem has no snapshot support; drop --snapshot or use seg".into()
+        );
+    }
 
     let cfg = net_config(flags)?;
     // Dedup marks are restored before the listener opens, so even the
@@ -309,10 +339,24 @@ fn run_store_node(flags: &Flags, shard: Option<ShardId>) -> Result<(), String> {
         None => None,
     };
     let events = PullSubscriber::new(events_srv.pull(), "events/remote");
-    let agg = match restored {
-        Some(store) => Aggregator::start_with_store(events, store, feed_hwm),
-        None => Aggregator::start(events, store_capacity, feed_hwm),
+    // The aggregator's store is a middleware stack over the chosen
+    // base backend: metered always (the `sdci_store_*` series), cached
+    // when --store-cache is set. The segmented base carries its
+    // snapshot dir so the trait-level flush() below reaches the same
+    // writer regardless of how many layers sit on top.
+    let has_snapshot = snapshot_dir.is_some();
+    let base_store: Arc<dyn EventBackend> = match backend_kind {
+        "mem" => Arc::new(sdci::monitor::MemBackend::new(store_capacity)),
+        _ => {
+            let store = restored.unwrap_or_else(|| EventStore::new(store_capacity));
+            if let Some(dir) = snapshot_dir {
+                store.attach_snapshot(dir);
+            }
+            Arc::new(store)
+        }
     };
+    let store = StoreStack::over(base_store).metered("sdci_store").cache(cache_entries).build();
+    let agg = Aggregator::start_with_backend(events, store, feed_hwm);
     let feed_addr = offset_addr(base, 1)?;
     let store_addr = offset_addr(base, 2)?;
     let feed_srv = TcpBroker::serve(agg.feed().clone(), feed_addr, cfg.clone())
@@ -367,15 +411,15 @@ fn run_store_node(flags: &Flags, shard: Option<ShardId>) -> Result<(), String> {
             last_inserted = inserted;
             store_events.set(agg.store().len() as i64);
         }
-        if let Some(dir) = &snapshot_dir {
-            if let Err(e) = dir.flush(&agg.store()) {
+        if has_snapshot {
+            if let Err(e) = agg.store().flush() {
                 sdci_obs::error!(target: "sdcimon::aggregator", "snapshot failed: {}", e);
                 // A failure *after* the manifest rename still committed
                 // the new snapshot — the marks sidecar below must be
                 // written for it, or a restart would replay (and the
                 // store would dedup) a full resend window for nothing.
                 // Only an uncommitted flush skips the marks capture.
-                if !e.committed {
+                if !matches!(&e, StoreError::Flush { committed: true, .. }) {
                     continue;
                 }
             }
@@ -427,7 +471,7 @@ fn run_store_node(flags: &Flags, shard: Option<ShardId>) -> Result<(), String> {
 
 /// A [`MetricsRecorder`] sample for a standalone aggregator process
 /// (no in-process Collectors to report on).
-fn aggregator_sample(agg: &Aggregator) -> ClusterStats {
+fn aggregator_sample<B: EventBackend + ?Sized + 'static>(agg: &Aggregator<B>) -> ClusterStats {
     ClusterStats { collectors: Vec::new(), aggregator: agg.snapshot(), store: agg.store().stats() }
 }
 
@@ -471,7 +515,11 @@ fn write_marks_atomically(
 #[derive(Clone)]
 struct SwappableScatter(Arc<parking_lot::RwLock<ScatterStore>>);
 
-impl StoreReader for SwappableScatter {
+impl EventBackend for SwappableScatter {
+    fn insert_batch(&self, _events: Vec<sdci::monitor::SequencedEvent>) -> Result<(), StoreError> {
+        Err(StoreError::ReadOnly("SwappableScatter"))
+    }
+
     fn query(&self, query: &sdci::monitor::StoreQuery) -> Vec<sdci::monitor::SequencedEvent> {
         let scatter = self.0.read().clone();
         scatter.query(query)
@@ -807,13 +855,15 @@ fn parse_demo_args(args: &[String]) -> Result<Options, String> {
                     "usage: sdcimon [--testbed aws|iota] [--mdts N] [--seconds S] \
                      [--ops-per-tick N] [--no-cache]\n\
                      \x20      sdcimon aggregator [--bind ADDR] [--store-capacity N] \
-                     [--feed-hwm N] [--snapshot DIR] [--faults SPEC]\n\
+                     [--feed-hwm N] [--snapshot DIR] [--store-backend seg|mem] \
+                     [--store-cache N] [--faults SPEC]\n\
                      \x20      sdcimon collector --connect ADDR | --cluster ADDR [--client ID] \
                      [--files N] [--faults SPEC]\n\
                      \x20      sdcimon consumer --connect ADDR [--expect N] [--under PREFIX] \
                      [--timeout SECS] [--faults SPEC]\n\
                      \x20      sdcimon shard --shard-id N [--bind ADDR] [--store-capacity N] \
-                     [--feed-hwm N] [--snapshot DIR] [--faults SPEC]\n\
+                     [--feed-hwm N] [--snapshot DIR] [--store-backend seg|mem] \
+                     [--store-cache N] [--faults SPEC]\n\
                      \x20      sdcimon front --shards A,B,... [--bind ADDR] [--faults SPEC]"
                 );
                 std::process::exit(0);

@@ -265,3 +265,64 @@ fn aggregator_aborted_mid_manifest_commit_restarts_without_losing_events() {
     assert!(snapshot.join("MANIFEST.json").is_file(), "snapshot directory has a manifest");
     let _ = std::fs::remove_dir_all(&snapshot);
 }
+
+/// The store-RPC server killed mid-reply: a crash point aborts the
+/// aggregator *after* the query ran server-side but *before* the reply
+/// frame is written. The client must surface a clean empty result
+/// within its bounded retries (no hang on the dead socket), and an
+/// aggregator restarted from the snapshot must answer the exact query
+/// the abort killed, in full.
+#[test]
+fn store_rpc_server_aborted_mid_reply_recovers_on_restart() {
+    use sdci::monitor::{StoreQuery, StoreReader};
+    use sdci::net::{NetConfig, RemoteStore, RetryPolicy};
+
+    let snapshot = std::env::temp_dir().join(format!("sdci-chaos-reply-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&snapshot);
+    let snap = snapshot.to_str().expect("utf-8 temp path");
+
+    let mut agg = spawn_env(
+        &["aggregator", "--bind", "127.0.0.1:0", "--snapshot", snap],
+        &[("SDCI_CRASH_POINTS", "net.store_rpc.reply:1:abort")],
+    );
+    let addr = wait_for_listen_addr(&mut agg);
+    run_collector(&addr, "c1", None);
+
+    // Give the 200 ms flush loop time to commit a snapshot covering
+    // every acked event — the abort below takes the whole process.
+    std::thread::sleep(Duration::from_millis(1500));
+
+    let base: std::net::SocketAddr = addr.parse().expect("events addr");
+    let store_addr = std::net::SocketAddr::new(base.ip(), base.port() + 2);
+    let cfg = NetConfig {
+        retry: RetryPolicy { base: Duration::from_millis(10), max: Duration::from_millis(100) },
+        ..NetConfig::default()
+    };
+    let remote = RemoteStore::connect(store_addr, cfg);
+
+    // The armed point fires between running the query and writing the
+    // reply; the retry redials a process that no longer exists, so the
+    // query must come back empty, not wedge the caller.
+    let events = remote.query(&StoreQuery::after_seq(0));
+    assert!(events.is_empty(), "a reply the abort killed must not deliver events");
+    let status = agg.child().wait().expect("wait for aborted aggregator");
+    assert!(!status.success(), "the armed crash point should have aborted the aggregator");
+
+    // Restart on the same address from the same snapshot (no crash
+    // points this time): the killed query must now be answered in full.
+    let _agg2 = spawn_env(&["aggregator", "--bind", &addr, "--snapshot", snap], &[]);
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    let recovered = loop {
+        let events = remote.query(&StoreQuery::after_seq(0));
+        if events.len() >= EVENTS_PER_COLLECTOR || std::time::Instant::now() >= deadline {
+            break events;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    };
+    assert_eq!(
+        recovered.len(),
+        EVENTS_PER_COLLECTOR,
+        "the restarted aggregator must answer the killed query from its snapshot"
+    );
+    let _ = std::fs::remove_dir_all(&snapshot);
+}
