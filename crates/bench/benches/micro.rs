@@ -41,6 +41,7 @@ fn file_event(i: u64) -> FileEvent {
         target: Fid::new(0x100, i as u32, 0),
         is_dir: false,
         extracted_unix_ns: None,
+        trace: None,
     }
 }
 

@@ -12,12 +12,17 @@
 //! * `tcp per-event` — sdci-net framed TCP forced to wire proto 1
 //!   (one `Item` frame per event, one ack each), the pre-batching wire;
 //! * `tcp batched` — the same transport with proto-2 `ItemBatch`
-//!   frames and the adaptive flush (size threshold or deadline).
+//!   frames and the adaptive flush (size threshold or deadline);
+//! * `tcp batched traced 1/64` — the batched wire again with the
+//!   distributed tracer sampling one extraction in 64 (the production
+//!   default), so the cost of head sampling plus on-wire contexts is
+//!   measured against the untraced arm.
 //!
 //! Emits `BENCH_a4_transports.json` with both TCP rates and their
 //! ratio, and exits non-zero if the batched wire is slower than the
-//! per-event wire — CI runs `--smoke` so frame batching can't silently
-//! regress into overhead.
+//! per-event wire or if 1/64 tracing costs the batched arm more than
+//! 5% throughput — CI runs `--smoke` so frame batching can't silently
+//! regress into overhead and tracing can't silently stop being cheap.
 //!
 //! ```text
 //! a4_transports [--smoke]
@@ -26,7 +31,7 @@
 use sdci_mq::pipe::pipeline;
 use sdci_mq::pubsub::Broker;
 use sdci_net::{NetConfig, TcpPullServer, TcpPush};
-use sdci_types::{ChangelogKind, EventKind, Fid, FileEvent, MdtIndex, SimTime};
+use sdci_types::{ChangelogKind, EventKind, Fid, FileEvent, MdtIndex, SimTime, TraceContext};
 use serde::Serialize;
 use std::path::PathBuf;
 use std::thread;
@@ -50,6 +55,9 @@ struct A4Report {
     tcp_batched_events_per_sec: f64,
     tcp_batched_frames: u64,
     tcp_batched_speedup: f64,
+    trace_sample_every: u64,
+    tcp_batched_traced_events_per_sec: f64,
+    trace_overhead_pct: f64,
 }
 
 fn event(i: u64) -> FileEvent {
@@ -64,6 +72,7 @@ fn event(i: u64) -> FileEvent {
         target: Fid::new(0x100, i as u32, 0),
         is_dir: false,
         extracted_unix_ns: None,
+        trace: None,
     }
 }
 
@@ -164,9 +173,12 @@ fn run_pubsub_batched(events: u64, batch: usize) -> (f64, u64) {
 }
 
 /// One loopback PULL server, `PRODUCERS` pusher clients, `events`
-/// `FileEvent`s end to end, under the given wire config. Returns
-/// (events/s, delivered, batch frames seen by the server).
-fn run_tcp_push_pull(events: u64, cfg: NetConfig) -> (f64, u64, u64) {
+/// `FileEvent`s end to end, under the given wire config. With `traced`
+/// each producer opens a trace root per event the way the collector
+/// does (head sampling decides which events carry context on the
+/// wire). Returns (events/s, delivered, batch frames seen by the
+/// server).
+fn run_tcp_push_pull(events: u64, cfg: NetConfig, traced: bool) -> (f64, u64, u64) {
     let server = TcpPullServer::<FileEvent>::bind("127.0.0.1:0", 65_536, cfg.clone())
         .expect("bind loopback pull server");
     let addr = server.local_addr();
@@ -178,7 +190,14 @@ fn run_tcp_push_pull(events: u64, cfg: NetConfig) -> (f64, u64, u64) {
             thread::spawn(move || {
                 let push = TcpPush::<FileEvent>::connect(addr, format!("bench-p{p}"), cfg);
                 for i in 0..events / PRODUCERS {
-                    push.send(event(p * 1_000_000 + i));
+                    let mut ev = event(p * 1_000_000 + i);
+                    if traced {
+                        let span = sdci_obs::trace::root("bench.extract");
+                        if let Some(sc) = span.context() {
+                            ev.trace = Some(TraceContext::sampled(sc.trace_id, sc.span_id));
+                        }
+                    }
+                    push.send(ev);
                 }
                 push.drain(std::time::Duration::from_secs(60));
             })
@@ -216,9 +235,27 @@ fn main() {
 
     let batched_cfg = NetConfig::default();
     let per_event_cfg = NetConfig { proto: 1, ..NetConfig::default() };
-    let (tcp1_rate, tcp1_recv, tcp1_batches) = run_tcp_push_pull(events, per_event_cfg);
-    let (tcp2_rate, tcp2_recv, tcp2_batches) = run_tcp_push_pull(events, batched_cfg.clone());
+    let (tcp1_rate, tcp1_recv, tcp1_batches) = run_tcp_push_pull(events, per_event_cfg, false);
+    let (tcp2_rate, tcp2_recv, tcp2_batches) =
+        run_tcp_push_pull(events, batched_cfg.clone(), false);
     let wire_speedup = tcp2_rate / tcp1_rate;
+
+    // The same batched wire with the production sampling rate: every
+    // extraction pays the head-sampling check, one in 64 records a span
+    // and ships its context inside the event.
+    const SAMPLE_EVERY: u64 = 64;
+    sdci_obs::trace::set_process("a4-bench");
+    sdci_obs::trace::set_sample_every(SAMPLE_EVERY);
+    let (mut tcp3_rate, tcp3_recv, _) = run_tcp_push_pull(events, batched_cfg.clone(), true);
+    let mut trace_overhead_pct = (tcp2_rate - tcp3_rate) / tcp2_rate * 100.0;
+    if trace_overhead_pct > 5.0 {
+        // One retry damps scheduler noise before declaring a regression.
+        let (retry_rate, retry_recv, _) = run_tcp_push_pull(events, batched_cfg.clone(), true);
+        assert_eq!(retry_recv, events, "tcp batched traced (retry) may not lose events");
+        tcp3_rate = tcp3_rate.max(retry_rate);
+        trace_overhead_pct = (tcp2_rate - tcp3_rate) / tcp2_rate * 100.0;
+    }
+    sdci_obs::trace::set_sample_every(0);
 
     sdci_bench::print_table(
         &["transport", "throughput (events/s)", "delivered", "semantics"],
@@ -253,11 +290,18 @@ fn main() {
                 format!("{tcp2_recv}/{events}"),
                 "ItemBatch frames, one ack per batch".into(),
             ],
+            vec![
+                format!("tcp batched traced 1/{SAMPLE_EVERY}"),
+                format!("{tcp3_rate:.0}"),
+                format!("{tcp3_recv}/{events}"),
+                format!("head-sampled spans + wire context ({trace_overhead_pct:+.1}%)"),
+            ],
         ],
     );
     assert_eq!(pp_recv, events, "push/pull may not lose events");
     assert_eq!(tcp1_recv, events, "tcp per-event may not lose events");
     assert_eq!(tcp2_recv, events, "tcp batched may not lose events");
+    assert_eq!(tcp3_recv, events, "tcp batched traced may not lose events");
     assert_eq!(tcp1_batches, 0, "a proto-1 session must not carry batch frames");
     assert!(tcp2_batches > 0, "a proto-2 session at this rate should coalesce frames");
     println!(
@@ -281,6 +325,9 @@ fn main() {
         tcp_batched_events_per_sec: tcp2_rate,
         tcp_batched_frames: tcp2_batches,
         tcp_batched_speedup: wire_speedup,
+        trace_sample_every: SAMPLE_EVERY,
+        tcp_batched_traced_events_per_sec: tcp3_rate,
+        trace_overhead_pct,
     };
     let out = "BENCH_a4_transports.json";
     let body = serde_json::to_string_pretty(&report).expect("serialize bench report");
@@ -291,6 +338,14 @@ fn main() {
         eprintln!(
             "\nA4 REGRESSION: batched wire slower than per-event \
              ({tcp2_rate:.0} vs {tcp1_rate:.0} events/s, {wire_speedup:.2}x)"
+        );
+        std::process::exit(1);
+    }
+    if trace_overhead_pct > 5.0 {
+        eprintln!(
+            "\nA4 REGRESSION: 1/{SAMPLE_EVERY} tracing costs the batched wire \
+             {trace_overhead_pct:.1}% ({tcp3_rate:.0} vs {tcp2_rate:.0} events/s); \
+             the 5% budget is exceeded"
         );
         std::process::exit(1);
     }

@@ -81,6 +81,7 @@ fn sev(seq: u64) -> SequencedEvent {
             target: Fid::new(0x100, seq as u32, 0),
             is_dir: false,
             extracted_unix_ns: None,
+            trace: None,
         },
     }
 }
@@ -215,6 +216,7 @@ fn shard_event(seq: u64) -> SequencedEvent {
             target: Fid::new(0x100, seq as u32, 0),
             is_dir: false,
             extracted_unix_ns: None,
+            trace: None,
         },
     }
 }

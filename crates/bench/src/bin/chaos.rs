@@ -85,6 +85,7 @@ fn event(i: u64) -> FileEvent {
         target: Fid::new(0x200, i as u32, 0),
         is_dir: false,
         extracted_unix_ns: None,
+        trace: None,
     }
 }
 

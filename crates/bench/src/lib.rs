@@ -22,6 +22,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod trace;
+
 /// Prints a padded, pipe-separated table: a header row then data rows.
 pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();

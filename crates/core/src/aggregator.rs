@@ -16,7 +16,7 @@ use crate::store::{EventBackend, EventStore, MeterNames, MeteredBackend, StoreEr
 use sdci_mq::pipe::{pipeline, Pull, Push};
 use sdci_mq::pubsub::Broker;
 use sdci_mq::transport::Subscribe;
-use sdci_types::FileEvent;
+use sdci_types::{FileEvent, TraceCarrier, TraceContext};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -51,6 +51,34 @@ pub enum FeedMessage {
         /// The highest sequence number assigned so far.
         last_seq: u64,
     },
+}
+
+/// A sequenced event carries whatever context its inner event does, so
+/// network endpoints treat both shapes uniformly.
+impl TraceCarrier for SequencedEvent {
+    fn trace_context(&self) -> Option<TraceContext> {
+        self.event.trace_context()
+    }
+
+    fn set_trace_context(&mut self, ctx: Option<TraceContext>) {
+        self.event.set_trace_context(ctx);
+    }
+}
+
+/// Heartbeats carry no context; events delegate to the payload.
+impl TraceCarrier for FeedMessage {
+    fn trace_context(&self) -> Option<TraceContext> {
+        match self {
+            FeedMessage::Event(sev) => sev.trace_context(),
+            FeedMessage::Heartbeat { .. } => None,
+        }
+    }
+
+    fn set_trace_context(&mut self, ctx: Option<TraceContext>) {
+        if let FeedMessage::Event(sev) = self {
+            sev.set_trace_context(ctx);
+        }
+    }
 }
 
 /// Counters for the [`Aggregator`].
@@ -197,6 +225,22 @@ impl<B: EventBackend + ?Sized + 'static> Aggregator<B> {
                     let n = batch.len() as u64;
                     stats.received.fetch_add(n, Ordering::Relaxed);
                     sdci_obs::static_metric!(counter, "sdci_aggregator_received_total").add(n);
+                    // Ingest span, adopting the first sampled event's
+                    // carried context. It is the thread's current span
+                    // while the insert runs, so the store middleware's
+                    // layers (cache, meter, tenant, backend) nest under
+                    // it without any plumbing.
+                    let mut ingest_span =
+                        batch.iter().find_map(|s| s.event.trace.filter(|t| t.sampled)).map(|t| {
+                            sdci_obs::trace::child_of(
+                                t.trace_id,
+                                t.parent_span_id,
+                                "aggregator.ingest",
+                            )
+                        });
+                    if let Some(span) = ingest_span.as_mut() {
+                        span.set_detail(format!("{n} events"));
+                    }
                     if let Err(err) = store.insert_batch(batch.clone()) {
                         // The store refused a batch this thread just
                         // sequenced. An ordering rejection only happens
@@ -223,6 +267,7 @@ impl<B: EventBackend + ?Sized + 'static> Aggregator<B> {
                     }
                     stats.stored.fetch_add(n, Ordering::Relaxed);
                     last_seq.store(seq, Ordering::Relaxed);
+                    drop(ingest_span);
                     for sev in batch {
                         if !to_publish.send(sev) {
                             break 'ingest; // publisher gone
@@ -298,6 +343,27 @@ impl<B: EventBackend + ?Sized + 'static> Aggregator<B> {
         }
     }
 
+    /// Registers a readiness probe under `name` with the process-wide
+    /// health registry (served on `/healthz`). The probe reports
+    /// unhealthy once ingest has halted — either because the store
+    /// rejected a batch or because shutdown has been signalled. Opt-in
+    /// rather than automatic so unit tests that spin up throwaway
+    /// aggregators do not pollute the global registry.
+    pub fn register_health_probe(&self, name: &str) {
+        let stats = Arc::clone(&self.stats);
+        let stop = Arc::clone(&self.stop);
+        sdci_obs::health::register_probe(name, move || {
+            let errors = stats.insert_errors.load(Ordering::Relaxed);
+            if errors > 0 {
+                return Err(format!("ingest halted after {errors} store rejection(s)"));
+            }
+            if stop.load(Ordering::Relaxed) {
+                return Err("aggregator stopped".to_string());
+            }
+            Ok(())
+        });
+    }
+
     /// Signals the threads to stop once their queues drain and joins
     /// them.
     pub fn shutdown(mut self) {
@@ -333,6 +399,7 @@ mod tests {
             target: Fid::new(1, i as u32, 0),
             is_dir: false,
             extracted_unix_ns: None,
+            trace: None,
         }
     }
 

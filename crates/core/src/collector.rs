@@ -12,7 +12,7 @@ use lustre_sim::{ChangelogUser, LustreFs};
 use parking_lot::Mutex;
 use sdci_mq::pubsub::Publisher;
 use sdci_mq::transport::{Publish, PublishOutcome};
-use sdci_types::{ChangelogKind, FileEvent, MdtIndex, RawChangelogRecord};
+use sdci_types::{ChangelogKind, FileEvent, MdtIndex, RawChangelogRecord, TraceContext};
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -166,6 +166,10 @@ impl<P: Publish<FileEvent>> Collector<P> {
         sdci_obs::static_metric!(counter, "sdci_collector_extracted_total").add(batch.len() as u64);
         for record in &batch {
             self.last_seen = record.index;
+            // Every extraction is a trace root: head sampling decides
+            // which events carry context downstream, and unsampled
+            // roots still feed the slow-trace tail capture.
+            let mut extract_span = sdci_obs::trace::root("collector.extract");
             let resolve_timer =
                 sdci_obs::static_metric!(histogram, "sdci_collector_resolve_latency_seconds")
                     .start_timer();
@@ -175,10 +179,13 @@ impl<P: Publish<FileEvent>> Collector<P> {
                 Some(event) => {
                     self.stats.processed += 1;
                     sdci_obs::static_metric!(counter, "sdci_collector_processed_total").inc();
-                    let outcome = self.publisher.publish(
-                        &format!("events/mdt{}", self.mdt.as_u32()),
-                        event.with_extracted_unix_ns(extracted_ns),
-                    );
+                    extract_span.set_detail(event.path.display().to_string());
+                    let mut event = event.with_extracted_unix_ns(extracted_ns);
+                    if let Some(sc) = extract_span.context() {
+                        event = event.with_trace(TraceContext::sampled(sc.trace_id, sc.span_id));
+                    }
+                    let outcome =
+                        self.publisher.publish(&format!("events/mdt{}", self.mdt.as_u32()), event);
                     if outcome == PublishOutcome::Shed {
                         self.stats.shed += 1;
                         sdci_obs::static_metric!(counter, "sdci_collector_shed_total").inc();

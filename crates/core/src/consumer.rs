@@ -141,6 +141,14 @@ impl<F: Subscribe<FeedMessage>, R: StoreReader> EventConsumer<F, R> {
             _ => {
                 self.stats.delivered += 1;
                 sdci_obs::static_metric!(counter, "sdci_consumer_delivered_total").inc();
+                // Terminal span of the ingest trace: parented on the
+                // context the event has carried since extraction.
+                let mut delivery_span = ev.trace.filter(|t| t.sampled).map(|t| {
+                    sdci_obs::trace::child_of(t.trace_id, t.parent_span_id, "consumer.delivery")
+                });
+                if let Some(span) = delivery_span.as_mut() {
+                    span.set_detail(ev.path.display().to_string());
+                }
                 // Extract -> consumer-delivery: the full Fig. 5/6 e2e
                 // latency, against the collector's wall-clock stamp.
                 if let Some(extracted) = ev.extracted_unix_ns {
@@ -298,6 +306,7 @@ mod tests {
                 target: Fid::new(1, seq as u32, 0),
                 is_dir: false,
                 extracted_unix_ns: None,
+                trace: None,
             },
         }
     }

@@ -186,15 +186,21 @@ pub type SegmentedBackend = EventStore;
 
 impl EventBackend for EventStore {
     fn insert_batch(&self, events: Vec<SequencedEvent>) -> Result<(), StoreError> {
+        let mut span = sdci_obs::trace::child("store.seg.insert");
+        span.set_detail(format!("{} events", events.len()));
         EventStore::insert_batch(self, events).map_err(StoreError::from)
     }
 
     fn insert(&self, event: SequencedEvent) -> Result<(), StoreError> {
+        let _span = sdci_obs::trace::child("store.seg.insert");
         EventStore::insert(self, event).map_err(StoreError::from)
     }
 
     fn query(&self, query: &StoreQuery) -> Vec<SequencedEvent> {
-        EventStore::query(self, query)
+        let mut span = sdci_obs::trace::child("store.seg.query");
+        let events = EventStore::query(self, query);
+        span.set_detail(format!("{} events", events.len()));
+        events
     }
 
     fn stats(&self) -> StoreStats {
@@ -264,6 +270,8 @@ impl EventBackend for MemBackend {
         if events.is_empty() {
             return Ok(());
         }
+        let mut span = sdci_obs::trace::child("store.mem.insert");
+        span.set_detail(format!("{} events", events.len()));
         let mut buf = self.events.lock();
         let mut last = self.last_seq.load(Ordering::Relaxed);
         for event in &events {
@@ -287,9 +295,13 @@ impl EventBackend for MemBackend {
     }
 
     fn query(&self, query: &StoreQuery) -> Vec<SequencedEvent> {
+        let mut span = sdci_obs::trace::child("store.mem.query");
         self.queries.fetch_add(1, Ordering::Relaxed);
         let limit = if query.limit == 0 { usize::MAX } else { query.limit };
-        self.events.lock().iter().filter(|e| query.matches(e)).take(limit).cloned().collect()
+        let events: Vec<SequencedEvent> =
+            self.events.lock().iter().filter(|e| query.matches(e)).take(limit).cloned().collect();
+        span.set_detail(format!("{} events", events.len()));
+        events
     }
 
     fn stats(&self) -> StoreStats {

@@ -141,6 +141,7 @@ impl<B: EventBackend> EventBackend for CachedBackend<B> {
         if events.is_empty() {
             return self.inner.insert_batch(events);
         }
+        let mut span = sdci_obs::trace::child("store.cache.insert");
         let mut state = self.state.lock();
         // Decide what the batch can affect before it moves: an entry is
         // stale iff it could still grow and some new event matches it.
@@ -156,9 +157,11 @@ impl<B: EventBackend> EventBackend for CachedBackend<B> {
         self.inner.insert_batch(events)?;
         let rotated = self.inner.stats().rotated;
         if rotated != state.rotated {
+            span.set_detail("cleared (rotation)");
             state.entries.clear();
             state.rotated = rotated;
         } else {
+            span.set_detail(format!("{} entries invalidated", stale.len()));
             for key in &stale {
                 state.entries.remove(key);
             }
@@ -167,6 +170,7 @@ impl<B: EventBackend> EventBackend for CachedBackend<B> {
     }
 
     fn query(&self, query: &StoreQuery) -> Vec<SequencedEvent> {
+        let mut span = sdci_obs::trace::child("store.cache.query");
         let key = CacheKey::normalize(query);
         let mut state = self.state.lock();
         self.clear_if_rotated(&mut state);
@@ -175,9 +179,11 @@ impl<B: EventBackend> EventBackend for CachedBackend<B> {
         if let Some(entry) = state.entries.get_mut(&key) {
             entry.stamp = tick;
             self.hits.inc();
+            span.set_detail("hit");
             return entry.result.clone();
         }
         self.misses.inc();
+        span.set_detail("miss");
         let result = self.inner.query(query);
         if state.entries.len() >= self.capacity {
             if let Some(oldest) =
@@ -294,6 +300,7 @@ impl<B: EventBackend> MeteredBackend<B> {
 
 impl<B: EventBackend> EventBackend for MeteredBackend<B> {
     fn insert_batch(&self, events: Vec<SequencedEvent>) -> Result<(), StoreError> {
+        let _span = sdci_obs::trace::child("store.meter.insert");
         let count = events.len() as u64;
         // Collect extraction stamps before the batch moves; lag is only
         // observed for events that actually landed.
@@ -316,6 +323,7 @@ impl<B: EventBackend> EventBackend for MeteredBackend<B> {
     }
 
     fn query(&self, query: &StoreQuery) -> Vec<SequencedEvent> {
+        let _span = sdci_obs::trace::child("store.meter.query");
         self.queries.inc();
         let _timer = self.query_time.start_timer();
         self.inner.query(query)
@@ -423,8 +431,11 @@ impl<B: EventBackend> TenantBackend<B> {
 
 impl<B: EventBackend> EventBackend for TenantBackend<B> {
     fn insert_batch(&self, events: Vec<SequencedEvent>) -> Result<(), StoreError> {
+        let mut span = sdci_obs::trace::child("store.tenant.insert");
+        span.set_detail(self.policy.tenant.clone());
         if let Some(outside) = events.iter().find(|e| !self.policy.allows_path(&e.event.path)) {
             self.denied.inc();
+            span.set_detail(format!("{} denied", self.policy.tenant));
             return Err(StoreError::Denied {
                 tenant: self.policy.tenant.clone(),
                 path: outside.event.path.clone(),
@@ -437,8 +448,11 @@ impl<B: EventBackend> EventBackend for TenantBackend<B> {
     }
 
     fn query(&self, query: &StoreQuery) -> Vec<SequencedEvent> {
+        let mut span = sdci_obs::trace::child("store.tenant.query");
+        span.set_detail(self.policy.tenant.clone());
         if !self.policy.allows_query(query) {
             self.denied.inc();
+            span.set_detail(format!("{} denied", self.policy.tenant));
             return Vec::new();
         }
         self.queries.inc();

@@ -217,6 +217,7 @@ struct Chain {
 ///             target: Fid::ZERO,
 ///             is_dir: false,
 ///             extracted_unix_ns: None,
+///             trace: None,
 ///         },
 ///     })
 ///     .unwrap();
@@ -812,6 +813,7 @@ mod tests {
                 target: Fid::new(1, seq as u32, 0),
                 is_dir: false,
                 extracted_unix_ns: None,
+                trace: None,
             },
         }
     }

@@ -189,6 +189,7 @@ mod tests {
                 target: Fid::new(1, seq as u32, 0),
                 is_dir: false,
                 extracted_unix_ns: None,
+                trace: None,
             },
         }
     }

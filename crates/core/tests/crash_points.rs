@@ -26,6 +26,7 @@ fn sev(seq: u64) -> SequencedEvent {
             target: Fid::new(1, seq as u32, 0),
             is_dir: false,
             extracted_unix_ns: None,
+            trace: None,
         },
     }
 }

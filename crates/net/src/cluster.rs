@@ -37,7 +37,7 @@ use sdci_core::{
 };
 use sdci_mq::transport::{Publish, PublishOutcome};
 use sdci_obs::metrics::Counter;
-use sdci_types::FileEvent;
+use sdci_types::{FileEvent, TraceContext};
 use serde::{Deserialize, Serialize};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -474,6 +474,10 @@ impl ShardRouter {
         if new_map.version() <= self.inner.state.read().map.version() {
             return Ok(());
         }
+        // Cutovers are rare, operator-relevant moments: trace each one
+        // as its own root so drain stalls show up on `/tracez`.
+        let mut cutover_span = sdci_obs::trace::root("router.cutover");
+        cutover_span.set_detail(format!("to v{}", new_map.version()));
         let deadline = Instant::now() + drain_timeout;
         // Bulk of the drain happens outside the write lock so publishers
         // are not stalled while the old owners catch up.
@@ -527,16 +531,27 @@ impl ShardRouter {
 /// publisher: the topic is dropped (the push leg is point-to-point)
 /// and the shard map picks the pipe.
 impl Publish<FileEvent> for ShardRouter {
-    fn publish(&self, _topic: &str, payload: FileEvent) -> PublishOutcome {
+    fn publish(&self, _topic: &str, mut payload: FileEvent) -> PublishOutcome {
         // Clone the pipe handle out of the lock: `send` blocks on
         // backpressure, and a blocked reader must not starve a cutover
         // waiting for the write lock.
-        let (push, routed) = {
+        let (push, routed, shard) = {
             let state = self.inner.state.read();
             let idx = state.map.route_index(&payload.path, payload.target);
             let pipe = &state.pipes[idx];
-            (pipe.push.clone(), pipe.routed.clone())
+            (pipe.push.clone(), pipe.routed.clone(), pipe.id)
         };
+        // The routing decision is a traced hop: re-parent the event's
+        // context under a `router.publish` span naming the chosen
+        // shard, so the shard's ingest hangs under it in the trace.
+        if let Some(t) = payload.trace.filter(|t| t.sampled) {
+            let mut span =
+                sdci_obs::trace::child_of(t.trace_id, t.parent_span_id, "router.publish");
+            span.set_detail(format!("shard {shard}"));
+            if let Some(sc) = span.context() {
+                payload.trace = Some(TraceContext::sampled(sc.trace_id, sc.span_id));
+            }
+        }
         routed.inc();
         if push.send(payload) {
             PublishOutcome::Queued
@@ -652,6 +667,13 @@ impl EventBackend for ScatterStore {
     }
 
     fn query(&self, query: &StoreQuery) -> Vec<SequencedEvent> {
+        // The fan-out span nests under whatever is current (e.g. the
+        // front node's `store_rpc.serve`); its context is captured
+        // *before* the scope because worker threads have their own
+        // thread-local current, and re-established per leg below.
+        let mut scatter_span = sdci_obs::trace::child("scatter.query");
+        scatter_span.set_detail(format!("{} shards", self.inner.shards.len()));
+        let parent = scatter_span.context();
         // One scoped thread per shard: the fan-out is bounded by the
         // slowest live leg, not the sum, and a dead shard costs one
         // liveness window instead of failing the query.
@@ -660,7 +682,20 @@ impl EventBackend for ScatterStore {
                 .inner
                 .shards
                 .iter()
-                .map(|shard| scope.spawn(move || shard.remote.try_query(query)))
+                .map(|shard| {
+                    scope.spawn(move || {
+                        // Per-shard child span, current for this worker
+                        // thread so the RemoteStore round trip carries
+                        // it to the shard's store RPC.
+                        let mut leg = parent.map(|p| {
+                            sdci_obs::trace::child_of(p.trace_id, p.span_id, "scatter.shard")
+                        });
+                        if let Some(span) = leg.as_mut() {
+                            span.set_detail(format!("shard {}", shard.id));
+                        }
+                        shard.remote.try_query(query)
+                    })
+                })
                 .collect();
             handles
                 .into_iter()

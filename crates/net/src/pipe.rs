@@ -33,9 +33,10 @@
 
 use crate::conn::{Backoff, NetConfig};
 use crate::faulted::{conn_faults, spawn_worker, FaultedWriter};
-use crate::wire::{write_item_batch, write_msg, Frame, FrameReader};
+use crate::wire::{write_item_batch_traced, write_msg, Frame, FrameReader};
 use sdci_mq::pipe::{pipeline, Pull, Push};
 use sdci_mq::transport::{Publish, PublishOutcome};
+use sdci_types::{TraceCarrier, TraceContext};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -422,10 +423,20 @@ fn serve_pusher<T>(
                     }
                 }
             }
-            Ok(Frame::ItemBatch { first_seq, payloads }) => {
+            Ok(Frame::ItemBatch { first_seq, payloads, trace }) => {
                 last_traffic = Instant::now();
                 counters.batches.fetch_add(1, Ordering::Relaxed);
                 sdci_obs::static_metric!(counter, "sdci_net_pull_batches_total").inc();
+                // The frame-level context marks the network hop: one
+                // receive span per batch, parented under the sender's
+                // `net.push.send`. Event-level contexts stay embedded
+                // in the payloads for the stages downstream.
+                let mut recv_span = trace.filter(|t| t.sampled).map(|t| {
+                    sdci_obs::trace::child_of(t.trace_id, t.parent_span_id, "net.pull.recv")
+                });
+                if let Some(span) = recv_span.as_mut() {
+                    span.set_detail(format!("{} items", payloads.len()));
+                }
                 // Same atomicity as the single-item path — the mark's
                 // mutex spans every member's check-push-update — but the
                 // lock is taken once and the whole run gets one `Ack`.
@@ -587,7 +598,7 @@ impl<T> std::fmt::Debug for TcpPush<T> {
 
 impl<T> TcpPush<T>
 where
-    T: Clone + Send + Serialize + Deserialize + 'static,
+    T: Clone + Send + Serialize + Deserialize + TraceCarrier + 'static,
 {
     /// Starts a supervised pusher toward `addr`. `client` must be
     /// stable across restarts of the same logical pusher — it keys the
@@ -655,7 +666,7 @@ where
 /// leg is point-to-point and events carry their own MDT index.
 impl<T> Publish<T> for TcpPush<T>
 where
-    T: Clone + Send + Serialize + Deserialize + 'static,
+    T: Clone + Send + Serialize + Deserialize + TraceCarrier + 'static,
 {
     fn publish(&self, _topic: &str, payload: T) -> PublishOutcome {
         // `send` only fails when the worker is gone, which never
@@ -672,11 +683,12 @@ where
 /// reconnect, or in place when a gap `Nack` arrives. Sequences in
 /// `unacked` are dense, so on a batched session the whole window
 /// re-ships as a few `ItemBatch` runs instead of one frame per item.
-fn resend_window<T: Clone + Serialize>(
+fn resend_window<T: Clone + Serialize + TraceCarrier>(
     writer: &mut impl std::io::Write,
     unacked: &mut VecDeque<(u64, T, Instant)>,
     batched: bool,
     max_batch: usize,
+    carry_ctx: bool,
 ) -> std::io::Result<()> {
     sdci_obs::static_metric!(counter, "sdci_net_push_resends_total").add(unacked.len() as u64);
     if batched && unacked.len() > 1 {
@@ -691,13 +703,22 @@ fn resend_window<T: Clone + Serialize>(
             .collect();
         let mut offset = 0u64;
         for chunk in payloads.chunks(max_batch) {
-            write_item_batch(writer, first_seq + offset, chunk)?;
+            let trace = chunk.iter().find_map(|i| i.trace_context().filter(|c| c.sampled));
+            write_item_batch_traced(writer, first_seq + offset, chunk, trace)?;
             offset += chunk.len() as u64;
         }
     } else {
         for (seq, item, sent_at) in unacked.iter_mut() {
             *sent_at = Instant::now();
-            write_msg(writer, &Frame::Item { seq: *seq, payload: item.clone() })?;
+            let mut payload = item.clone();
+            if !carry_ctx {
+                // Proto-1 session: the peer would not propagate (or
+                // even understand dropping) the context — strip it from
+                // the wire copy so the trace truncates cleanly. The
+                // resend buffer keeps the original.
+                payload.set_trace_context(None);
+            }
+            write_msg(writer, &Frame::Item { seq: *seq, payload })?;
         }
     }
     Ok(())
@@ -710,7 +731,7 @@ fn push_worker<T>(
     rx: crossbeam_channel::Receiver<T>,
     state: Arc<PushState>,
 ) where
-    T: Clone + Send + Serialize + Deserialize + 'static,
+    T: Clone + Send + Serialize + Deserialize + TraceCarrier + 'static,
 {
     let window = cfg.window.max(1);
     let mut backoff = Backoff::new(cfg.retry);
@@ -800,6 +821,10 @@ fn push_worker<T>(
         // unknown `ItemBatch` variant and the resends would livelock.
         let batched = cfg.proto.min(server_proto) >= 2 && cfg.max_batch > 1;
         let max_batch = if batched { cfg.max_batch } else { 1 };
+        // Trace context rides the wire only on proto-≥2 sessions; a
+        // proto-1 peer predates the field, so the sender strips it and
+        // the trace truncates at this hop instead of erroring.
+        let carry_ctx = cfg.proto.min(server_proto) >= 2;
         if next_seq == 1 {
             // First contact of a fresh pusher process: nothing has been
             // sequenced locally yet. A nonzero server mark then belongs
@@ -813,7 +838,7 @@ fn push_worker<T>(
             ack_up_to(server_mark, &mut unacked, &mut last_acked, &state);
         }
         // Re-send everything the server has not seen.
-        if resend_window(&mut writer, &mut unacked, batched, max_batch).is_err() {
+        if resend_window(&mut writer, &mut unacked, batched, max_batch, carry_ctx).is_err() {
             backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
             continue 'reconnect;
         }
@@ -886,10 +911,32 @@ fn push_worker<T>(
                 // A lone item still travels as a plain `Item` — same
                 // bytes as proto 1, and nothing to split.
                 let ok = if batch.len() == 1 {
-                    let payload = batch.pop().expect("batch has one item");
+                    let mut payload = batch.pop().expect("batch has one item");
+                    if !carry_ctx {
+                        // See `resend_window`: a proto-1 session drops
+                        // context at the wire (the unacked copy keeps it).
+                        payload.set_trace_context(None);
+                    }
                     write_msg(&mut writer, &Frame::Item { seq: first_seq, payload }).is_ok()
                 } else {
-                    write_item_batch(&mut writer, first_seq, &batch).is_ok()
+                    // The batch frame carries the first sampled event's
+                    // context re-parented under a send span, so the
+                    // receive side can mark the network hop itself.
+                    let carried =
+                        batch.iter().find_map(|i| i.trace_context().filter(|c| c.sampled));
+                    let mut send_span = carried.map(|t| {
+                        sdci_obs::trace::child_of(t.trace_id, t.parent_span_id, "net.push.send")
+                    });
+                    if let Some(span) = send_span.as_mut() {
+                        span.set_detail(format!("{} items", batch.len()));
+                    }
+                    let frame_trace = match send_span.as_ref().and_then(|s| s.context()) {
+                        Some(sc) => Some(TraceContext::sampled(sc.trace_id, sc.span_id)),
+                        // Tracing disabled in this process: forward the
+                        // carried context unchanged.
+                        None => carried,
+                    };
+                    write_item_batch_traced(&mut writer, first_seq, &batch, frame_trace).is_ok()
                 };
                 if !ok {
                     backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
@@ -947,7 +994,9 @@ fn push_worker<T>(
                         );
                         state.rewinds.fetch_add(1, Ordering::Relaxed);
                         sdci_obs::static_metric!(counter, "sdci_net_push_fast_rewinds_total").inc();
-                        if resend_window(&mut writer, &mut unacked, batched, max_batch).is_err() {
+                        if resend_window(&mut writer, &mut unacked, batched, max_batch, carry_ctx)
+                            .is_err()
+                        {
                             backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
                             continue 'reconnect;
                         }

@@ -20,9 +20,10 @@
 
 use crate::conn::{Backoff, NetConfig};
 use crate::faulted::{conn_faults, spawn_worker, FaultedWriter};
-use crate::wire::{write_msg, write_publish_batch, Frame, FrameReader};
+use crate::wire::{write_msg, write_publish_batch_traced, Frame, FrameReader};
 use sdci_mq::pubsub::{Broker, Message};
 use sdci_mq::transport::{Publish, PublishOutcome, Subscribe, Transport};
+use sdci_types::{TraceCarrier, TraceContext};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -274,6 +275,12 @@ fn serve_publisher<T>(
     // `Ack`. A proto-1 publisher never reads its socket and is
     // unaffected; a proto-2 one waits briefly for this frame and falls
     // back to per-event `Publish` frames when it doesn't arrive.
+    // Crash point: a broker that dies mid-greeting leaves the publisher
+    // waiting out its heartbeat and falling back to per-event frames —
+    // the chaos tests kill here to prove clients survive it.
+    if sdci_faults::crash_point("net.pubsub.greet").is_err() {
+        return;
+    }
     if cfg.proto >= 2
         && write_msg(writer, &Frame::<T>::Ack { up_to: 0, proto: Some(cfg.proto) }).is_err()
     {
@@ -286,14 +293,32 @@ fn serve_publisher<T>(
     while !stop.load(Ordering::Relaxed) {
         match reader.read_msg::<Frame<T>>() {
             Ok(Frame::Publish { topic, payload }) => {
+                // Crash point: dying between the socket read and the
+                // local republish loses in-flight messages — exactly
+                // the lossy-leg contract the chaos tests exercise.
+                if sdci_faults::crash_point("net.pubsub.dispatch").is_err() {
+                    return;
+                }
                 counters.frames_in.fetch_add(1, Ordering::Relaxed);
                 counters.messages_in.fetch_add(1, Ordering::Relaxed);
                 publisher.publish(&topic, payload);
                 last_traffic = Instant::now();
             }
-            Ok(Frame::PublishBatch { topic, payloads }) => {
+            Ok(Frame::PublishBatch { topic, payloads, trace }) => {
+                if sdci_faults::crash_point("net.pubsub.dispatch").is_err() {
+                    return;
+                }
                 counters.frames_in.fetch_add(1, Ordering::Relaxed);
                 counters.messages_in.fetch_add(payloads.len() as u64, Ordering::Relaxed);
+                // One dispatch span per batch frame, parented under the
+                // remote publisher's send span; the payloads keep their
+                // own event-level contexts for the stages downstream.
+                let mut dispatch = trace.filter(|t| t.sampled).map(|t| {
+                    sdci_obs::trace::child_of(t.trace_id, t.parent_span_id, "net.pubsub.dispatch")
+                });
+                if let Some(span) = dispatch.as_mut() {
+                    span.set_detail(format!("{} messages on {topic}", payloads.len()));
+                }
                 for payload in payloads {
                     publisher.publish(&topic, payload);
                 }
@@ -394,7 +419,7 @@ impl<T> std::fmt::Debug for TcpPublisher<T> {
 
 impl<T> TcpPublisher<T>
 where
-    T: Serialize + Send + 'static,
+    T: Serialize + Send + TraceCarrier + 'static,
 {
     /// Starts a supervised publisher toward `addr`. Returns immediately;
     /// the connection is established (and re-established) in the
@@ -448,14 +473,14 @@ impl<T> Drop for TcpPublisher<T> {
 
 impl<T> Publish<T> for TcpPublisher<T>
 where
-    T: Serialize + Send + 'static,
+    T: Serialize + Send + TraceCarrier + 'static,
 {
     fn publish(&self, topic: &str, payload: T) -> PublishOutcome {
         TcpPublisher::publish(self, topic, payload)
     }
 }
 
-fn publisher_worker<T: Serialize + Send + 'static>(
+fn publisher_worker<T: Serialize + Send + TraceCarrier + 'static>(
     addr: SocketAddr,
     cfg: NetConfig,
     rx: crossbeam_channel::Receiver<(String, T)>,
@@ -486,7 +511,7 @@ fn publisher_worker<T: Serialize + Send + 'static>(
         // most a heartbeat for it, then settle on per-event frames —
         // messages queue locally in the meantime, nothing is lost that
         // the lossy leg wouldn't shed anyway.
-        let batched = cfg.proto >= 2 && cfg.max_batch > 1 && {
+        let server_proto = if cfg.proto >= 2 {
             let mut server_proto = 1u32;
             if let Ok(read_half) = stream.get_ref().try_clone() {
                 let _ = read_half.set_read_timeout(Some(cfg.heartbeat));
@@ -510,8 +535,15 @@ fn publisher_worker<T: Serialize + Send + 'static>(
                     }
                 }
             }
-            server_proto >= 2
+            server_proto
+        } else {
+            1
         };
+        let batched = cfg.proto.min(server_proto) >= 2 && cfg.max_batch > 1;
+        // Trace context rides the wire only on proto-≥2 sessions (see
+        // the push leg): against an older broker, strip it in place —
+        // the worker owns the payloads — so the trace truncates here.
+        let carry_ctx = cfg.proto.min(server_proto) >= 2;
         if counters.connections.fetch_add(1, Ordering::Relaxed) > 0 {
             sdci_obs::static_metric!(counter, "sdci_net_publisher_reconnects_total").inc();
         }
@@ -559,10 +591,33 @@ fn publisher_worker<T: Serialize + Send + 'static>(
                             run.push(batch.pop_front().map(|(_, p)| p).expect("peeked front"));
                         }
                         let ok = if run.len() == 1 {
-                            let payload = run.pop().expect("run has one payload");
+                            let mut payload = run.pop().expect("run has one payload");
+                            if !carry_ctx {
+                                payload.set_trace_context(None);
+                            }
                             write_msg(&mut stream, &Frame::Publish { topic, payload }).is_ok()
                         } else {
-                            write_publish_batch(&mut stream, &topic, &run).is_ok()
+                            // The batch frame carries the first sampled
+                            // event's context, re-parented under a send
+                            // span marking the publisher→broker hop.
+                            let carried =
+                                run.iter().find_map(|p| p.trace_context().filter(|c| c.sampled));
+                            let mut send_span = carried.map(|t| {
+                                sdci_obs::trace::child_of(
+                                    t.trace_id,
+                                    t.parent_span_id,
+                                    "net.pub.send",
+                                )
+                            });
+                            if let Some(span) = send_span.as_mut() {
+                                span.set_detail(format!("{} messages on {topic}", run.len()));
+                            }
+                            let frame_trace = match send_span.as_ref().and_then(|s| s.context()) {
+                                Some(sc) => Some(TraceContext::sampled(sc.trace_id, sc.span_id)),
+                                None => carried,
+                            };
+                            write_publish_batch_traced(&mut stream, &topic, &run, frame_trace)
+                                .is_ok()
                         };
                         if !ok {
                             // Everything not yet on the wire is lost
@@ -790,7 +845,7 @@ impl TcpTransport {
 
 impl<T> Transport<T> for TcpTransport
 where
-    T: Clone + Send + Serialize + Deserialize + 'static,
+    T: Clone + Send + Serialize + Deserialize + TraceCarrier + 'static,
 {
     type Publisher = TcpPublisher<T>;
     type Subscriber = TcpSubscriber<T>;

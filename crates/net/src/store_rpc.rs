@@ -34,6 +34,12 @@ pub enum StoreRpc {
     Query {
         /// The query to run.
         query: StoreQuery,
+        /// Caller's trace context, when the query runs under a sampled
+        /// span — the server parents its `store_rpc.serve` span under
+        /// it. Old peers ignore the extra key / read a missing one as
+        /// `None`, so mixed versions interoperate (the trace simply
+        /// truncates at the hop).
+        trace: Option<sdci_types::TraceContext>,
     },
     /// Server → consumer: the matching events, in sequence order.
     Batch {
@@ -191,8 +197,18 @@ fn serve_store_client<R: StoreReader>(
     // the handler past shutdown.
     while !stop.load(Ordering::Relaxed) {
         match reader.read_msg::<StoreRpc>() {
-            Ok(StoreRpc::Query { query }) => {
+            Ok(StoreRpc::Query { query, trace }) => {
+                // The serve span becomes the thread's current context,
+                // so the store middleware's own spans (cache hit/miss,
+                // segment scan) nest under it without plumbing.
+                let mut serve_span = trace.filter(|t| t.sampled).map(|t| {
+                    sdci_obs::trace::child_of(t.trace_id, t.parent_span_id, "store_rpc.serve")
+                });
                 let events = store.query(&query);
+                if let Some(span) = serve_span.as_mut() {
+                    span.set_detail(format!("{} events", events.len()));
+                }
+                drop(serve_span);
                 queries.fetch_add(1, Ordering::Relaxed);
                 // Reply-path crash point: the query has run but the
                 // reply has not been written. Error mode costs this one
@@ -362,7 +378,12 @@ impl RemoteStore {
         conn: &mut StoreConn,
         query: &StoreQuery,
     ) -> std::io::Result<Vec<SequencedEvent>> {
-        write_msg(&mut conn.writer, &StoreRpc::Query { query: query.clone() })?;
+        // Carry the caller's sampled context (if any) so the server can
+        // parent its serve span — the query leg of the distributed trace.
+        let trace = sdci_obs::trace::current()
+            .filter(|c| c.sampled)
+            .map(|c| sdci_types::TraceContext::sampled(c.trace_id, c.span_id));
+        write_msg(&mut conn.writer, &StoreRpc::Query { query: query.clone(), trace })?;
         let deadline = Instant::now() + self.cfg.liveness;
         let mut strays = 0u32;
         loop {

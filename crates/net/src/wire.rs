@@ -13,6 +13,7 @@
 //! JSON keeps the protocol debuggable with `nc`/`tcpdump`; the length
 //! prefix keeps parsing trivial and rejects runaway frames early.
 
+use sdci_types::TraceContext;
 use serde::{DeError, Deserialize, Serialize, Value};
 use std::io::{self, Read, Write};
 use std::time::Duration;
@@ -92,6 +93,12 @@ pub enum Frame<T> {
         first_seq: u64,
         /// The payloads, in sequence order. Never empty.
         payloads: Vec<T>,
+        /// Tracing context for the *send leg* span covering this
+        /// frame (the first sampled payload's, re-parented to the
+        /// sender's network span). Omitted on the wire when `None`;
+        /// batch frames only exist on proto ≥ 2 sessions, so adding
+        /// the field never changes what a proto-1 peer reads.
+        trace: Option<TraceContext>,
     },
     /// Publisher → broker: several payloads for one topic in one frame
     /// (proto ≥ 2, lossy leg).
@@ -100,6 +107,8 @@ pub enum Frame<T> {
         topic: String,
         /// The payloads, in publish order. Never empty.
         payloads: Vec<T>,
+        /// Send-leg tracing context, as on [`Frame::ItemBatch`].
+        trace: Option<TraceContext>,
     },
     /// Puller → pusher: a sequence gap was detected — the server
     /// expected `expected` but saw something later. The pusher should
@@ -157,14 +166,22 @@ impl<T: Serialize> Serialize for Frame<T> {
             Frame::Item { seq, payload } => {
                 variant("Item", vec![("seq", seq.to_value()), ("payload", payload.to_value())])
             }
-            Frame::ItemBatch { first_seq, payloads } => variant(
-                "ItemBatch",
-                vec![("first_seq", first_seq.to_value()), ("payloads", payloads.to_value())],
-            ),
-            Frame::PublishBatch { topic, payloads } => variant(
-                "PublishBatch",
-                vec![("topic", topic.to_value()), ("payloads", payloads.to_value())],
-            ),
+            Frame::ItemBatch { first_seq, payloads, trace } => {
+                let mut fields =
+                    vec![("first_seq", first_seq.to_value()), ("payloads", payloads.to_value())];
+                if let Some(t) = trace {
+                    fields.push(("trace", t.to_value()));
+                }
+                variant("ItemBatch", fields)
+            }
+            Frame::PublishBatch { topic, payloads, trace } => {
+                let mut fields =
+                    vec![("topic", topic.to_value()), ("payloads", payloads.to_value())];
+                if let Some(t) = trace {
+                    fields.push(("trace", t.to_value()));
+                }
+                variant("PublishBatch", fields)
+            }
             Frame::Nack { expected } => variant("Nack", vec![("expected", expected.to_value())]),
             Frame::Ack { up_to, proto } => {
                 let mut fields = vec![("up_to", up_to.to_value())];
@@ -230,6 +247,10 @@ impl<T: Deserialize> Deserialize for Frame<T> {
                     "ItemBatch" => Ok(Frame::ItemBatch {
                         first_seq: Deserialize::from_value(field(body, "ItemBatch", "first_seq")?)?,
                         payloads: Deserialize::from_value(field(body, "ItemBatch", "payloads")?)?,
+                        trace: match body.get("trace") {
+                            Some(v) => Deserialize::from_value(v)?,
+                            None => None,
+                        },
                     }),
                     "PublishBatch" => Ok(Frame::PublishBatch {
                         topic: Deserialize::from_value(field(body, "PublishBatch", "topic")?)?,
@@ -238,6 +259,10 @@ impl<T: Deserialize> Deserialize for Frame<T> {
                             "PublishBatch",
                             "payloads",
                         )?)?,
+                        trace: match body.get("trace") {
+                            Some(v) => Deserialize::from_value(v)?,
+                            None => None,
+                        },
                     }),
                     "Nack" => Ok(Frame::Nack {
                         expected: Deserialize::from_value(field(body, "Nack", "expected")?)?,
@@ -307,7 +332,18 @@ pub fn write_item_batch<T: Serialize>(
     first_seq: u64,
     payloads: &[T],
 ) -> io::Result<usize> {
-    write_item_batch_capped(w, first_seq, payloads, MAX_FRAME_LEN)
+    write_item_batch_traced(w, first_seq, payloads, None)
+}
+
+/// [`write_item_batch`] carrying a send-leg tracing context on each
+/// written frame (every split chunk repeats it).
+pub fn write_item_batch_traced<T: Serialize>(
+    w: &mut impl Write,
+    first_seq: u64,
+    payloads: &[T],
+    trace: Option<TraceContext>,
+) -> io::Result<usize> {
+    write_item_batch_capped(w, first_seq, payloads, trace, MAX_FRAME_LEN)
 }
 
 /// [`write_item_batch`] with an explicit frame-size cap (exercised with
@@ -316,11 +352,12 @@ pub(crate) fn write_item_batch_capped<T: Serialize>(
     w: &mut impl Write,
     first_seq: u64,
     payloads: &[T],
+    trace: Option<TraceContext>,
     max_len: usize,
 ) -> io::Result<usize> {
     let values: Vec<Value> = payloads.iter().map(Serialize::to_value).collect();
     write_split(w, &values, 0, max_len, &|lo, chunk| {
-        batch_frame("ItemBatch", ("first_seq", (first_seq + lo as u64).to_value()), chunk)
+        batch_frame("ItemBatch", ("first_seq", (first_seq + lo as u64).to_value()), chunk, trace)
     })
 }
 
@@ -336,7 +373,18 @@ pub fn write_publish_batch<T: Serialize>(
     topic: &str,
     payloads: &[T],
 ) -> io::Result<usize> {
-    write_publish_batch_capped(w, topic, payloads, MAX_FRAME_LEN)
+    write_publish_batch_traced(w, topic, payloads, None)
+}
+
+/// [`write_publish_batch`] carrying a send-leg tracing context on each
+/// written frame (every split chunk repeats it).
+pub fn write_publish_batch_traced<T: Serialize>(
+    w: &mut impl Write,
+    topic: &str,
+    payloads: &[T],
+    trace: Option<TraceContext>,
+) -> io::Result<usize> {
+    write_publish_batch_capped(w, topic, payloads, trace, MAX_FRAME_LEN)
 }
 
 /// [`write_publish_batch`] with an explicit frame-size cap.
@@ -344,16 +392,26 @@ pub(crate) fn write_publish_batch_capped<T: Serialize>(
     w: &mut impl Write,
     topic: &str,
     payloads: &[T],
+    trace: Option<TraceContext>,
     max_len: usize,
 ) -> io::Result<usize> {
     let values: Vec<Value> = payloads.iter().map(Serialize::to_value).collect();
     write_split(w, &values, 0, max_len, &|_, chunk| {
-        batch_frame("PublishBatch", ("topic", topic.to_value()), chunk)
+        batch_frame("PublishBatch", ("topic", topic.to_value()), chunk, trace)
     })
 }
 
-fn batch_frame(name: &str, head: (&str, Value), chunk: &[Value]) -> Value {
-    variant(name, vec![head, ("payloads", Value::Seq(chunk.to_vec()))])
+fn batch_frame(
+    name: &str,
+    head: (&str, Value),
+    chunk: &[Value],
+    trace: Option<TraceContext>,
+) -> Value {
+    let mut fields = vec![head, ("payloads", Value::Seq(chunk.to_vec()))];
+    if let Some(t) = trace {
+        fields.push(("trace", t.to_value()));
+    }
+    variant(name, fields)
 }
 
 /// Recursively halves `values` until each frame fits `max_len`, writing
@@ -581,6 +639,7 @@ mod tests {
             target: Fid::new(1, i as u32, 0),
             is_dir: false,
             extracted_unix_ns: None,
+            trace: None,
         }
     }
 
@@ -611,10 +670,25 @@ mod tests {
         roundtrip(Frame::Publish { topic: "events/mdt0".into(), payload: event(1) });
         roundtrip(Frame::Deliver { topic: "feed/all".into(), payload: event(2) });
         roundtrip(Frame::Item { seq: 9, payload: event(3) });
-        roundtrip(Frame::ItemBatch { first_seq: 7, payloads: vec![event(7), event(8)] });
+        roundtrip(Frame::ItemBatch {
+            first_seq: 7,
+            payloads: vec![event(7), event(8)],
+            trace: None,
+        });
+        roundtrip(Frame::ItemBatch {
+            first_seq: 7,
+            payloads: vec![event(7), event(8)],
+            trace: Some(sdci_types::TraceContext::sampled(0xabcd, 0x1234)),
+        });
         roundtrip(Frame::PublishBatch {
             topic: "events/mdt0".into(),
             payloads: vec![event(1), event(2), event(3)],
+            trace: None,
+        });
+        roundtrip(Frame::PublishBatch {
+            topic: "events/mdt0".into(),
+            payloads: vec![event(1)],
+            trace: Some(sdci_types::TraceContext::sampled(7, 9)),
         });
         roundtrip(Frame::Nack { expected: 12 });
         roundtrip(Frame::Ack { up_to: 9, proto: None });
@@ -650,7 +724,8 @@ mod tests {
         let frames = write_item_batch(&mut via_helper, 5, &payloads).unwrap();
         assert_eq!(frames, 1);
         let mut via_frame = Vec::new();
-        write_msg(&mut via_frame, &Frame::ItemBatch { first_seq: 5, payloads }).unwrap();
+        write_msg(&mut via_frame, &Frame::ItemBatch { first_seq: 5, payloads, trace: None })
+            .unwrap();
         assert_eq!(via_helper, via_frame);
     }
 
@@ -659,14 +734,18 @@ mod tests {
         let payloads: Vec<FileEvent> = (0..16).map(event).collect();
         let one_event_frame = {
             let mut buf = Vec::new();
-            write_msg(&mut buf, &Frame::ItemBatch { first_seq: 1, payloads: vec![event(0)] })
-                .unwrap();
+            write_msg(
+                &mut buf,
+                &Frame::ItemBatch { first_seq: 1, payloads: vec![event(0)], trace: None },
+            )
+            .unwrap();
             buf.len()
         };
         // A cap of roughly three events forces recursive splitting.
         let cap = one_event_frame * 3;
         let mut buf = Vec::new();
-        let frames = write_item_batch_capped(&mut buf, 1, &payloads, cap).unwrap();
+        let trace = Some(sdci_types::TraceContext::sampled(0xfeed, 0xbeef));
+        let frames = write_item_batch_capped(&mut buf, 1, &payloads, trace, cap).unwrap();
         assert!(frames > 1, "cap {cap} should split 16 events, got {frames} frame(s)");
 
         let mut cursor = &buf[..];
@@ -674,8 +753,9 @@ mod tests {
         let mut got = Vec::new();
         for _ in 0..frames {
             match read_msg::<Frame<FileEvent>>(&mut cursor).unwrap() {
-                Frame::ItemBatch { first_seq, payloads } => {
+                Frame::ItemBatch { first_seq, payloads, trace: got_trace } => {
                     assert_eq!(first_seq, next_seq, "split frames must stay contiguous");
+                    assert_eq!(got_trace, trace, "every split chunk repeats the frame context");
                     next_seq += payloads.len() as u64;
                     got.extend(payloads);
                 }
@@ -690,14 +770,16 @@ mod tests {
     fn publish_batch_split_preserves_topic_and_order() {
         let payloads: Vec<FileEvent> = (0..8).map(event).collect();
         let mut buf = Vec::new();
-        let frames = write_publish_batch_capped(&mut buf, "events/mdt0", &payloads, 256).unwrap();
+        let frames =
+            write_publish_batch_capped(&mut buf, "events/mdt0", &payloads, None, 256).unwrap();
         assert!(frames > 1);
         let mut cursor = &buf[..];
         let mut got = Vec::new();
         for _ in 0..frames {
             match read_msg::<Frame<FileEvent>>(&mut cursor).unwrap() {
-                Frame::PublishBatch { topic, payloads } => {
+                Frame::PublishBatch { topic, payloads, trace } => {
                     assert_eq!(topic, "events/mdt0");
+                    assert_eq!(trace, None);
                     got.extend(payloads);
                 }
                 other => panic!("expected PublishBatch, got {other:?}"),

@@ -37,6 +37,7 @@ fn fev(path: &str, i: u64) -> FileEvent {
         target: Fid::new(1, i as u32, 0),
         is_dir: false,
         extracted_unix_ns: None,
+        trace: None,
     }
 }
 

@@ -6,9 +6,13 @@
 
 use sdci_net::wire::{read_msg, write_item_batch, write_msg, Frame};
 use sdci_net::{NetConfig, RetryPolicy, TcpPullServer, TcpPush};
+use sdci_types::{
+    ChangelogKind, EventKind, Fid, FileEvent, MdtIndex, SimTime, TraceCarrier, TraceContext,
+};
 use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::TcpStream;
+use std::path::PathBuf;
 use std::time::Duration;
 
 fn fast_cfg() -> NetConfig {
@@ -75,6 +79,106 @@ fn per_event_pusher_against_batched_server_is_lossless() {
     assert_eq!(stats.items, N);
     assert_eq!(stats.duplicates, 0);
     assert_eq!(stats.batches, 0, "a proto-1 pusher never sends batch frames");
+    server.shutdown();
+}
+
+fn traced_event(i: u64) -> FileEvent {
+    FileEvent {
+        index: i,
+        mdt: MdtIndex::new(0),
+        changelog_kind: ChangelogKind::Create,
+        kind: EventKind::Created,
+        time: SimTime::from_secs(i),
+        path: PathBuf::from(format!("/t/f{i}")),
+        src_path: None,
+        target: Fid::new(1, i as u32, 0),
+        is_dir: false,
+        extracted_unix_ns: None,
+        trace: Some(TraceContext::sampled(0x1111_2222_3333_4444, i + 1)),
+    }
+}
+
+fn drain_events(server: &TcpPullServer<FileEvent>, n: usize) -> Vec<FileEvent> {
+    let pull = server.pull();
+    let mut got = Vec::new();
+    while let Some(item) = pull.recv_timeout(Duration::from_secs(2)) {
+        got.push(item);
+        if got.len() == n {
+            break;
+        }
+    }
+    got
+}
+
+#[test]
+fn trace_context_is_stripped_for_a_proto1_server_and_the_trace_truncates_cleanly() {
+    // The server predates TraceContext entirely: the proto-2 pusher
+    // must not put the context on the wire (neither as a frame field
+    // nor inside payloads), so the session stays byte-compatible and
+    // the distributed trace simply truncates at this hop — no wire
+    // error, no lost events.
+    let server = TcpPullServer::<FileEvent>::bind("127.0.0.1:0", 4096, proto1_cfg()).unwrap();
+    let push = TcpPush::connect(server.local_addr(), "traced-new", fast_cfg());
+    const N: u64 = 100;
+    for i in 0..N {
+        assert!(push.send(traced_event(i)));
+    }
+    assert!(push.drain(Duration::from_secs(10)), "traced mixed-version session never drained");
+    let got = drain_events(&server, N as usize);
+    assert_eq!(got.len(), N as usize, "context stripping must not lose events");
+    assert!(
+        got.iter().all(|ev| ev.trace_context().is_none()),
+        "a proto-1 session must not carry trace context"
+    );
+    let stats = server.stats();
+    assert_eq!(stats.items, N);
+    assert_eq!(stats.batches, 0, "a proto-1 server must never receive batch frames");
+    server.shutdown();
+}
+
+#[test]
+fn proto1_pusher_delivers_contextless_events_to_a_proto2_server() {
+    // The other fallback direction: an old pusher feeding a new server.
+    // A genuinely old peer would not even have the field; emulate it
+    // with a proto-1 session, which strips the context on send. The
+    // proto-2 server must accept the events unchanged and read the
+    // absent context as None.
+    let server = TcpPullServer::<FileEvent>::bind("127.0.0.1:0", 4096, fast_cfg()).unwrap();
+    let push = TcpPush::connect(server.local_addr(), "traced-old", proto1_cfg());
+    const N: u64 = 100;
+    for i in 0..N {
+        assert!(push.send(traced_event(i)));
+    }
+    assert!(push.drain(Duration::from_secs(10)), "traced mixed-version session never drained");
+    let got = drain_events(&server, N as usize);
+    assert_eq!(got.len(), N as usize);
+    assert!(
+        got.iter().all(|ev| ev.trace_context().is_none()),
+        "a proto-1 pusher's events must arrive without context"
+    );
+    assert_eq!(server.stats().duplicates, 0);
+    server.shutdown();
+}
+
+#[test]
+fn matched_proto2_session_carries_the_context_end_to_end() {
+    // Control for the two fallback tests: when both peers speak
+    // proto 2 the context must survive the hop intact.
+    let server = TcpPullServer::<FileEvent>::bind("127.0.0.1:0", 4096, fast_cfg()).unwrap();
+    let push = TcpPush::connect(server.local_addr(), "traced-both", fast_cfg());
+    const N: u64 = 100;
+    for i in 0..N {
+        assert!(push.send(traced_event(i)));
+    }
+    assert!(push.drain(Duration::from_secs(10)));
+    let got = drain_events(&server, N as usize);
+    assert_eq!(got.len(), N as usize);
+    for ev in &got {
+        let ctx = ev.trace_context().expect("proto-2 session must carry the context");
+        assert_eq!(ctx.trace_id, 0x1111_2222_3333_4444);
+        assert_eq!(ctx.parent_span_id, ev.index + 1);
+        assert!(ctx.sampled);
+    }
     server.shutdown();
 }
 

@@ -127,7 +127,26 @@ fn serve_connection(mut stream: TcpStream) -> std::io::Result<()> {
             response.push_str(&body);
             stream.write_all(response.as_bytes())
         }
-        _ => respond(&mut stream, "404 Not Found", "try /metrics\n"),
+        "/tracez" => {
+            let body = crate::trace::render_tracez();
+            let response = format!(
+                "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\
+                 Connection: close\r\n\r\n{body}",
+                body.len()
+            );
+            stream.write_all(response.as_bytes())
+        }
+        "/healthz" => match crate::health::check() {
+            Ok(()) => respond(&mut stream, "200 OK", "ok\n"),
+            Err(failures) => {
+                let mut body = String::new();
+                for (name, reason) in failures {
+                    body.push_str(&format!("not ready: {name}: {reason}\n"));
+                }
+                respond(&mut stream, "503 Service Unavailable", &body)
+            }
+        },
+        _ => respond(&mut stream, "404 Not Found", "try /metrics, /tracez, or /healthz\n"),
     }
 }
 
@@ -188,6 +207,25 @@ mod tests {
 
         let (status, _) = http_get(addr, "/metrics", "POST");
         assert!(status.contains("405"), "{status}");
+
+        // /healthz: ready with no failing probes, 503 once one fails.
+        let (status, body) = http_get(addr, "/healthz", "GET");
+        assert!(status.contains("200"), "{status}");
+        assert_eq!(body, "ok\n");
+        crate::health::register_probe("expose.test", || Err("down for the test".into()));
+        let (status, body) = http_get(addr, "/healthz", "GET");
+        assert!(status.contains("503"), "{status}");
+        assert!(body.contains("expose.test: down for the test"), "{body}");
+        crate::health::register_probe("expose.test", || Ok(()));
+
+        // /tracez: well-formed JSON document with the span arrays.
+        let _rate = crate::trace::test_support::rate_lock();
+        crate::trace::set_sample_every(1);
+        drop(crate::trace::root("expose.test.span"));
+        let (status, body) = http_get(addr, "/tracez", "GET");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("\"spans\":["), "{body}");
+        assert!(body.contains("expose.test.span"), "{body}");
 
         server.shutdown();
         // Port is released after shutdown: a fresh connect fails or the

@@ -27,8 +27,10 @@
 #![warn(missing_docs)]
 
 pub mod expose;
+pub mod health;
 pub mod log;
 pub mod metrics;
+pub mod trace;
 
 pub use expose::MetricsServer;
 pub use log::Level;

@@ -90,6 +90,7 @@ impl WatchdogSource {
             is_dir: ev.is_dir,
             // The watchdog source is itself an extraction point.
             extracted_unix_ns: Some(sdci_obs::unix_now_ns()),
+            trace: None,
         }
     }
 }
@@ -472,6 +473,7 @@ mod tests {
                 target: Fid::ZERO,
                 is_dir: false,
                 extracted_unix_ns: None,
+                trace: None,
             },
             kind: ActionKind::Transfer {
                 dest_agent: AgentId::new("dst"),
@@ -504,6 +506,7 @@ mod tests {
                 target: Fid::ZERO,
                 is_dir: false,
                 extracted_unix_ns: None,
+                trace: None,
             },
             kind: ActionKind::Transfer {
                 dest_agent: AgentId::new("dst"),
@@ -533,6 +536,7 @@ mod tests {
                 target: Fid::ZERO,
                 is_dir: false,
                 extracted_unix_ns: None,
+                trace: None,
             },
             kind: ActionKind::Purge,
             agent: AgentId::new("store"),
@@ -556,6 +560,7 @@ mod tests {
             target: Fid::ZERO,
             is_dir: false,
             extracted_unix_ns: None,
+            trace: None,
         };
         for kind in [
             ActionKind::Bash { command: "analyze {path} --tag {name}".into() },

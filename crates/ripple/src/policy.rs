@@ -56,6 +56,7 @@ impl BatchPolicy {
             target: Fid::ZERO,
             is_dir: false,
             extracted_unix_ns: None,
+            trace: None,
         }
     }
 }

@@ -174,6 +174,7 @@ mod tests {
             target: Fid::new(1, 1, 0),
             is_dir: false,
             extracted_unix_ns: None,
+            trace: None,
         }
     }
 

@@ -72,6 +72,7 @@ fn event(path: &str, kind: EventKind) -> FileEvent {
         target: Fid::ZERO,
         is_dir: false,
         extracted_unix_ns: None,
+        trace: None,
     }
 }
 

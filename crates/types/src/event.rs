@@ -5,8 +5,8 @@
 //! (path-resolved, consumer-friendly events, §4 step 2) which the
 //! Aggregator stores and publishes (§4 step 3).
 
-use crate::{Fid, MdtIndex, SimTime};
-use serde::{Deserialize, Serialize};
+use crate::{Fid, MdtIndex, SimTime, TraceCarrier, TraceContext};
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -252,7 +252,14 @@ impl fmt::Display for RawChangelogRecord {
 
 /// A processed, path-resolved file event — what the Aggregator stores and
 /// publishes to consumers such as Ripple agents.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Serde is implemented by hand (not derived) for one reason: the
+/// `trace` field must be *omitted* when `None`, not serialized as
+/// `null`, so unsampled events, old snapshot lines, and proto-1 wire
+/// frames stay byte-identical to what the pre-tracing code emitted.
+/// Every other field keeps the derive's exact layout (declaration
+/// order, `Option`s as explicit `null`).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FileEvent {
     /// ChangeLog record number on the originating MDT.
     pub index: u64,
@@ -279,6 +286,11 @@ pub struct FileEvent {
     /// `None` for events that predate the field (e.g. old snapshot
     /// lines) or synthetic events built outside the extraction path.
     pub extracted_unix_ns: Option<u64>,
+    /// Distributed-tracing context, attached at extraction when the
+    /// event was head-sampled and re-parented at each recorded span so
+    /// every hop links to the one before it. `None` (the overwhelmingly
+    /// common case) is omitted from the serialized form entirely.
+    pub trace: Option<TraceContext>,
 }
 
 impl FileEvent {
@@ -296,12 +308,19 @@ impl FileEvent {
             target: record.target,
             is_dir: record.kind.is_directory_op(),
             extracted_unix_ns: None,
+            trace: None,
         }
     }
 
     /// Sets the extraction wall-clock stamp (builder style).
     pub fn with_extracted_unix_ns(mut self, ns: u64) -> FileEvent {
         self.extracted_unix_ns = Some(ns);
+        self
+    }
+
+    /// Sets the tracing context (builder style).
+    pub fn with_trace(mut self, ctx: TraceContext) -> FileEvent {
+        self.trace = Some(ctx);
         self
     }
 
@@ -334,6 +353,65 @@ impl fmt::Display for FileEvent {
             write!(f, " (from {})", src.display())?;
         }
         Ok(())
+    }
+}
+
+impl TraceCarrier for FileEvent {
+    fn trace_context(&self) -> Option<TraceContext> {
+        self.trace
+    }
+
+    fn set_trace_context(&mut self, ctx: Option<TraceContext>) {
+        self.trace = ctx;
+    }
+}
+
+impl Serialize for FileEvent {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("index".to_string(), self.index.to_value()),
+            ("mdt".to_string(), self.mdt.to_value()),
+            ("changelog_kind".to_string(), self.changelog_kind.to_value()),
+            ("kind".to_string(), self.kind.to_value()),
+            ("time".to_string(), self.time.to_value()),
+            ("path".to_string(), self.path.to_value()),
+            ("src_path".to_string(), self.src_path.to_value()),
+            ("target".to_string(), self.target.to_value()),
+            ("is_dir".to_string(), self.is_dir.to_value()),
+            ("extracted_unix_ns".to_string(), self.extracted_unix_ns.to_value()),
+        ];
+        // Omitted-when-None: unsampled events serialize exactly as they
+        // did before the field existed.
+        if let Some(trace) = &self.trace {
+            fields.push(("trace".to_string(), trace.to_value()));
+        }
+        Value::Map(fields)
+    }
+}
+
+fn event_field<T: Deserialize>(map: &Value, name: &str) -> Result<T, DeError> {
+    T::from_value(map.get(name).unwrap_or(&Value::Null))
+        .map_err(|e| DeError::msg(format!("FileEvent.{name}: {e}")))
+}
+
+impl Deserialize for FileEvent {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(FileEvent {
+            index: event_field(value, "index")?,
+            mdt: event_field(value, "mdt")?,
+            changelog_kind: event_field(value, "changelog_kind")?,
+            kind: event_field(value, "kind")?,
+            time: event_field(value, "time")?,
+            path: event_field(value, "path")?,
+            src_path: event_field(value, "src_path")?,
+            target: event_field(value, "target")?,
+            is_dir: event_field(value, "is_dir")?,
+            extracted_unix_ns: event_field(value, "extracted_unix_ns")?,
+            // A missing key reads as None, so events serialized before
+            // the field existed (old snapshots, proto-1 peers)
+            // deserialize cleanly with no context.
+            trace: event_field(value, "trace")?,
+        })
     }
 }
 
@@ -421,6 +499,24 @@ mod tests {
         let ev = FileEvent::from_record(&rec, MdtIndex::new(2), PathBuf::from("/a/b"));
         let json = serde_json::to_string(&ev).unwrap();
         assert_eq!(serde_json::from_str::<FileEvent>(&json).unwrap(), ev);
+    }
+
+    #[test]
+    fn trace_field_is_omitted_when_none_and_roundtrips_when_some() {
+        let rec = sample_record();
+        let ev = FileEvent::from_record(&rec, MdtIndex::new(0), PathBuf::from("/a"));
+        let json = serde_json::to_string(&ev).unwrap();
+        assert!(!json.contains("trace"), "None must be omitted, not null: {json}");
+
+        let traced = ev.clone().with_trace(TraceContext::sampled(0xabc, 7));
+        let json = serde_json::to_string(&traced).unwrap();
+        assert!(json.contains("\"trace\""), "Some must serialize: {json}");
+        assert_eq!(serde_json::from_str::<FileEvent>(&json).unwrap(), traced);
+
+        // A pre-tracing serialized event (no trace key at all) must
+        // deserialize with trace: None.
+        let legacy = serde_json::to_string(&ev).unwrap();
+        assert_eq!(serde_json::from_str::<FileEvent>(&legacy).unwrap().trace, None);
     }
 
     #[test]

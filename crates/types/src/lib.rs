@@ -44,9 +44,11 @@ mod fid;
 mod ids;
 mod rate;
 mod time;
+mod trace;
 
 pub use event::{ChangelogKind, EventKind, FileEvent, RawChangelogRecord};
 pub use fid::{Fid, FidSequence, ParseFidError};
 pub use ids::{AgentId, CollectorId, ConsumerId, MdtIndex, OstIndex, RuleId, SubscriptionId};
 pub use rate::{ByteSize, EventsPerSec};
 pub use time::{SimDuration, SimTime};
+pub use trace::{TraceCarrier, TraceContext};

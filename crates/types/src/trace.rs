@@ -1,0 +1,92 @@
+//! Distributed-tracing context that travels *with* events.
+//!
+//! The tracer itself (span recording, sampling, the `/tracez` ring)
+//! lives in `sdci-obs::trace`; this module holds only the vocabulary
+//! that must cross crate and process boundaries: [`TraceContext`], the
+//! causal link serialized onto [`FileEvent`](crate::FileEvent)s and
+//! wire frames, and [`TraceCarrier`], the capability the net layer
+//! uses to read, re-parent, or strip that link from a generic payload
+//! without knowing its concrete type.
+//!
+//! A context is three words: the trace id (shared by every span of one
+//! end-to-end story), the span id of the *producing* span (which the
+//! next hop adopts as its parent), and the head-sampling decision made
+//! once at the root. Contexts are only ever attached to sampled
+//! events, so `sampled` is carried mostly for forward compatibility
+//! with tail-based schemes.
+
+use serde::{Deserialize, Serialize};
+
+/// The causal link one pipeline hop hands to the next.
+///
+/// Serialized as a three-field JSON object wherever it travels; the
+/// carrying field is omitted entirely when `None` (see
+/// [`FileEvent`](crate::FileEvent)'s manual serde), so unsampled
+/// traffic and proto-1 peers observe byte-identical wire frames and
+/// snapshot lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceContext {
+    /// Identifier shared by every span of one end-to-end trace.
+    pub trace_id: u64,
+    /// Span id of the producing span: the parent of whatever span the
+    /// receiving hop records.
+    pub parent_span_id: u64,
+    /// The head-sampling decision made at the trace root.
+    pub sampled: bool,
+}
+
+impl TraceContext {
+    /// A sampled context parented at (`trace_id`, `parent_span_id`).
+    pub fn sampled(trace_id: u64, parent_span_id: u64) -> TraceContext {
+        TraceContext { trace_id, parent_span_id, sampled: true }
+    }
+}
+
+/// Payloads the net layer can inspect for a trace context.
+///
+/// Both methods default to "carries nothing", so plain test payloads
+/// (`u64`, benchmark blobs) satisfy the bound for free; event-shaped
+/// payloads override both. The setter exists so a sender falling back
+/// to a proto-1 session can strip the context (the old peer would
+/// *tolerate* the unknown field, but stripping keeps the fallback
+/// frames byte-identical to what a proto-1 sender emits) and so
+/// pipeline stages can re-parent an event at each recorded span.
+pub trait TraceCarrier {
+    /// The context this payload carries, if any.
+    fn trace_context(&self) -> Option<TraceContext> {
+        None
+    }
+
+    /// Replaces (or strips, with `None`) the carried context. The
+    /// default is a no-op for payloads that carry nothing.
+    fn set_trace_context(&mut self, _ctx: Option<TraceContext>) {}
+}
+
+/// Plain numeric test/bench payloads carry no context.
+impl TraceCarrier for u64 {}
+/// Unit payloads (handshake-only frames) carry no context.
+impl TraceCarrier for () {}
+/// String payloads carry no context.
+impl TraceCarrier for String {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_roundtrips_through_serde() {
+        let ctx = TraceContext::sampled(0xdead_beef_0123, 42);
+        let json = serde_json::to_string(&ctx).unwrap();
+        let back: TraceContext = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ctx);
+        assert!(json.contains("\"trace_id\""), "named fields on the wire: {json}");
+    }
+
+    #[test]
+    fn plain_payloads_carry_nothing() {
+        let mut n = 7u64;
+        assert_eq!(n.trace_context(), None);
+        n.set_trace_context(Some(TraceContext::sampled(1, 2)));
+        assert_eq!(n.trace_context(), None, "setter is a no-op on plain payloads");
+    }
+}

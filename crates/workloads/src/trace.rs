@@ -297,6 +297,7 @@ mod tests {
             target: Fid::ZERO,
             is_dir: false,
             extracted_unix_ns: None,
+            trace: None,
         };
         assert_eq!(TraceRecord::from_event(&event).unwrap().op, TraceOp::Create);
         event.is_dir = true;

@@ -47,6 +47,15 @@
 //! (`SDCI_CRASH_POINTS=store.flush.manifest_commit:1:abort,...`) kill
 //! or fail the process at named store/net steps.
 //!
+//! Every role takes `--trace-sample N` (or `1/N`; also the
+//! `SDCI_TRACE_SAMPLE` env var) to head-sample 1-in-N distributed
+//! traces. Server roles expose their span buffers as JSON at
+//! `GET /tracez` on the metrics port (next to `/metrics` and
+//! `/healthz`); run-to-completion roles (collector, consumer) take
+//! `--trace-out PATH` to dump the same JSON at exit. An aggregator or
+//! shard's `/healthz` turns 503 once ingest halts on a store
+//! rejection.
+//!
 //! Port convention: the aggregator's `--bind` port `P` carries the
 //! Collector PUSH leg; `P+1` serves the consumer feed (PUB/SUB); `P+2`
 //! serves store-backfill RPC. `--connect` always takes the base
@@ -91,6 +100,9 @@ fn main() {
     // Arm any SDCI_CRASH_POINTS before worker threads spin up, so the
     // very first seal/flush/spawn can fire a scheduled crash.
     sdci_faults::init_from_env();
+    // SDCI_TRACE_SAMPLE enables tracing before the first extraction;
+    // the per-role --trace-sample flag overrides it once parsed.
+    sdci_obs::trace::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("aggregator") => run_aggregator(&args[1..]),
@@ -195,6 +207,32 @@ fn net_config(flags: &Flags) -> Result<NetConfig, String> {
     Ok(NetConfig::default().with_faults(plan))
 }
 
+/// Applies a role's tracing flags: `--trace-sample N` (or `1/N`)
+/// enables head sampling over the `SDCI_TRACE_SAMPLE` default, and the
+/// process is named on `/tracez` output so a cross-process collector
+/// can attribute spans.
+fn trace_setup(flags: &Flags, role: &str) -> Result<(), String> {
+    if let Some(raw) = flags.get("--trace-sample") {
+        let n = raw.trim();
+        let n = n.strip_prefix("1/").unwrap_or(n);
+        let every: u64 = n.parse().map_err(|e| format!("--trace-sample: {e}"))?;
+        sdci_obs::trace::set_sample_every(every);
+    }
+    sdci_obs::trace::set_process(role);
+    Ok(())
+}
+
+/// Dumps this process's `/tracez` JSON to `--trace-out PATH` if set —
+/// the exit-time escape hatch for roles (collector, consumer) that run
+/// to completion without a metrics listener to scrape.
+fn trace_dump(flags: &Flags) {
+    if let Some(path) = flags.get("--trace-out") {
+        if let Err(e) = std::fs::write(path, sdci_obs::trace::render_tracez()) {
+            sdci_obs::warn!(target: "sdcimon", "trace dump to {path} failed: {}", e);
+        }
+    }
+}
+
 fn offset_addr(base: SocketAddr, offset: u16) -> Result<SocketAddr, String> {
     let port = base.port().checked_add(offset).ok_or_else(|| {
         format!(
@@ -222,6 +260,7 @@ fn run_aggregator(args: &[String]) -> Result<(), String> {
             "--snapshot",
             "--metrics-addr",
             "--faults",
+            "--trace-sample",
         ],
     )?;
     run_store_node(&flags, None)
@@ -244,6 +283,7 @@ fn run_shard(args: &[String]) -> Result<(), String> {
             "--snapshot",
             "--metrics-addr",
             "--faults",
+            "--trace-sample",
         ],
     )?;
     let id: ShardId = flags
@@ -255,6 +295,11 @@ fn run_shard(args: &[String]) -> Result<(), String> {
 }
 
 fn run_store_node(flags: &Flags, shard: Option<ShardId>) -> Result<(), String> {
+    let role = match shard {
+        Some(id) => format!("shard{id}"),
+        None => "aggregator".to_string(),
+    };
+    trace_setup(flags, &role)?;
     let bind: SocketAddr = flags.parse("--bind", "127.0.0.1:7070".parse().unwrap())?;
     let store_capacity: usize = flags.parse("--store-capacity", 1_000_000)?;
     let feed_hwm: usize = flags.parse("--feed-hwm", 65_536)?;
@@ -357,6 +402,9 @@ fn run_store_node(flags: &Flags, shard: Option<ShardId>) -> Result<(), String> {
     };
     let store = StoreStack::over(base_store).metered("sdci_store").cache(cache_entries).build();
     let agg = Aggregator::start_with_backend(events, store, feed_hwm);
+    // /healthz flips to 503 the moment ingest halts on a store
+    // rejection — the readiness signal a supervisor restarts on.
+    agg.register_health_probe(&role);
     let feed_addr = offset_addr(base, 1)?;
     let store_addr = offset_addr(base, 2)?;
     let feed_srv = TcpBroker::serve(agg.feed().clone(), feed_addr, cfg.clone())
@@ -530,7 +578,9 @@ impl EventBackend for SwappableScatter {
 /// on the base port and a scatter-gather store RPC on base+2, so
 /// `RemoteStore` consumers see the whole tier as one logical store.
 fn run_front(args: &[String]) -> Result<(), String> {
-    let flags = Flags::new(args, &["--bind", "--shards", "--metrics-addr", "--faults"])?;
+    let flags =
+        Flags::new(args, &["--bind", "--shards", "--metrics-addr", "--faults", "--trace-sample"])?;
+    trace_setup(&flags, "front")?;
     let bind: SocketAddr = flags.parse("--bind", "127.0.0.1:7170".parse().unwrap())?;
     let shards: Vec<String> = flags
         .get("--shards")
@@ -608,8 +658,20 @@ fn run_front(args: &[String]) -> Result<(), String> {
 // ---------------------------------------------------------------------------
 
 fn run_collector(args: &[String]) -> Result<(), String> {
-    let flags = Flags::new(args, &["--connect", "--cluster", "--client", "--files", "--faults"])?;
+    let flags = Flags::new(
+        args,
+        &[
+            "--connect",
+            "--cluster",
+            "--client",
+            "--files",
+            "--faults",
+            "--trace-sample",
+            "--trace-out",
+        ],
+    )?;
     let client = flags.get("--client").unwrap_or("collector").to_string();
+    trace_setup(&flags, &client)?;
     let files: u64 = flags.parse("--files", 100)?;
 
     // Each collector process monitors its own (simulated) MDT and
@@ -632,6 +694,7 @@ fn run_collector(args: &[String]) -> Result<(), String> {
                 collector.stats().processed,
                 push.acked()
             );
+            trace_dump(&flags);
             if drained {
                 Ok(())
             } else {
@@ -681,6 +744,7 @@ fn run_collector(args: &[String]) -> Result<(), String> {
                 routed.join(" "),
                 router.map_version()
             );
+            trace_dump(&flags);
             if drained {
                 Ok(())
             } else {
@@ -751,9 +815,18 @@ fn fetch_map_with_retry(
 fn run_consumer(args: &[String]) -> Result<(), String> {
     let flags = Flags::with_switches(
         args,
-        &["--connect", "--expect", "--under", "--timeout", "--faults"],
+        &[
+            "--connect",
+            "--expect",
+            "--under",
+            "--timeout",
+            "--faults",
+            "--trace-sample",
+            "--trace-out",
+        ],
         &["--verbose"],
     )?;
+    trace_setup(&flags, "consumer")?;
     let verbose = flags.has("--verbose");
     let connect: SocketAddr = flags
         .get("--connect")
@@ -811,6 +884,7 @@ fn run_consumer(args: &[String]) -> Result<(), String> {
         "sdcimon consumer done: delivered {} recovered {} lost {}",
         stats.delivered, stats.recovered, stats.lost
     );
+    trace_dump(&flags);
     match expect {
         Some(n) if delivered < n => std::process::exit(1),
         _ => Ok(()),
@@ -856,15 +930,16 @@ fn parse_demo_args(args: &[String]) -> Result<Options, String> {
                      [--ops-per-tick N] [--no-cache]\n\
                      \x20      sdcimon aggregator [--bind ADDR] [--store-capacity N] \
                      [--feed-hwm N] [--snapshot DIR] [--store-backend seg|mem] \
-                     [--store-cache N] [--faults SPEC]\n\
+                     [--store-cache N] [--faults SPEC] [--trace-sample N]\n\
                      \x20      sdcimon collector --connect ADDR | --cluster ADDR [--client ID] \
-                     [--files N] [--faults SPEC]\n\
+                     [--files N] [--faults SPEC] [--trace-sample N] [--trace-out PATH]\n\
                      \x20      sdcimon consumer --connect ADDR [--expect N] [--under PREFIX] \
-                     [--timeout SECS] [--faults SPEC]\n\
+                     [--timeout SECS] [--faults SPEC] [--trace-sample N] [--trace-out PATH]\n\
                      \x20      sdcimon shard --shard-id N [--bind ADDR] [--store-capacity N] \
                      [--feed-hwm N] [--snapshot DIR] [--store-backend seg|mem] \
-                     [--store-cache N] [--faults SPEC]\n\
-                     \x20      sdcimon front --shards A,B,... [--bind ADDR] [--faults SPEC]"
+                     [--store-cache N] [--faults SPEC] [--trace-sample N]\n\
+                     \x20      sdcimon front --shards A,B,... [--bind ADDR] [--faults SPEC] \
+                     [--trace-sample N]"
                 );
                 std::process::exit(0);
             }

@@ -326,3 +326,82 @@ fn store_rpc_server_aborted_mid_reply_recovers_on_restart() {
     );
     let _ = std::fs::remove_dir_all(&snapshot);
 }
+
+/// The PUB/SUB server path killed by abort-mode crash points: one
+/// aggregator dies greeting a remote publisher, its replacement dies
+/// dispatching the first publish, and the third runs clean. The
+/// supervised client endpoints (publisher and subscriber both
+/// reconnect forever with backoff) must resubscribe across each
+/// restart, ending with a message flowing end to end — the feed leg is
+/// lossy by contract, so the invariant is recovery, not delivery of
+/// the frames each abort swallowed.
+#[test]
+fn pubsub_server_aborted_on_greet_and_dispatch_recovers_after_restarts() {
+    use sdci::monitor::FeedMessage;
+    use sdci::mq::transport::Subscribe;
+    use sdci::net::{NetConfig, RetryPolicy, TcpPublisher, TcpSubscriber};
+
+    let mut agg = spawn_env(
+        &["aggregator", "--bind", "127.0.0.1:0"],
+        &[("SDCI_CRASH_POINTS", "net.pubsub.greet:1:abort")],
+    );
+    let addr = wait_for_listen_addr(&mut agg);
+    let base: std::net::SocketAddr = addr.parse().expect("events addr");
+    let feed_addr = std::net::SocketAddr::new(base.ip(), base.port() + 1);
+    let cfg = NetConfig {
+        retry: RetryPolicy { base: Duration::from_millis(10), max: Duration::from_millis(100) },
+        heartbeat: Duration::from_millis(20),
+        liveness: Duration::from_millis(500),
+        ..NetConfig::default()
+    };
+
+    // The subscriber rides along through every restart below.
+    let subscriber = TcpSubscriber::<FeedMessage>::connect(feed_addr, &["chaos/"], cfg.clone());
+    // The publisher's very first connection greets the broker, which
+    // aborts before acking — taking the whole aggregator down.
+    let publisher = TcpPublisher::<FeedMessage>::connect(feed_addr, cfg.clone());
+    let status = agg.child().wait().expect("wait for greet-aborted aggregator");
+    assert!(!status.success(), "the greet crash point should have aborted the aggregator");
+
+    // Restart #1, armed to abort on the first publish dispatch instead.
+    let mut agg2 = spawn_env(
+        &["aggregator", "--bind", &addr],
+        &[("SDCI_CRASH_POINTS", "net.pubsub.dispatch:1:abort")],
+    );
+    wait_for_listen_addr(&mut agg2);
+    // Publish until the reconnected session's first dispatched frame
+    // fires the point; the fire disarms it, so the child must die.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    let status = loop {
+        publisher.publish("chaos/x", FeedMessage::Heartbeat { last_seq: 1 });
+        if let Some(status) = agg2.child().try_wait().expect("poll dispatch-aborted aggregator") {
+            break status;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "the dispatch crash point never fired (publisher reconnects: {})",
+            publisher.connections()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert!(!status.success(), "the dispatch crash point should have aborted the aggregator");
+
+    // Restart #2 runs clean: both supervised endpoints must reconnect
+    // and a published message must reach the resubscribed consumer.
+    let mut agg3 = spawn_env(&["aggregator", "--bind", &addr], &[]);
+    wait_for_listen_addr(&mut agg3);
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        publisher.publish("chaos/x", FeedMessage::Heartbeat { last_seq: 2 });
+        if let Some(msg) = subscriber.recv_timeout(Duration::from_millis(50)) {
+            assert!(msg.topic.starts_with("chaos/"), "unexpected topic {}", msg.topic);
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no message flowed after the clean restart (subscriber reconnects: {})",
+            subscriber.connections()
+        );
+    }
+    assert!(publisher.connections() >= 2, "the publisher should have reconnected at least once");
+}

@@ -249,6 +249,7 @@ fn legacy_single_file_snapshot_is_restored_and_migrated() {
                         target: Fid::new(1, i as u32, 0),
                         is_dir: false,
                         extracted_unix_ns: None,
+                        trace: None,
                     },
                 })
                 .unwrap();
