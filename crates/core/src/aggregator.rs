@@ -53,6 +53,45 @@ pub enum FeedMessage {
     },
 }
 
+/// Binary layout: `seq` (LE u64) then the event's own binary form.
+impl sdci_types::BinPayload for SequencedEvent {
+    fn encode_bin(&self, buf: &mut Vec<u8>) {
+        self.seq.encode_bin(buf);
+        self.event.encode_bin(buf);
+    }
+
+    fn decode_bin(r: &mut sdci_types::BinReader<'_>) -> Result<Self, sdci_types::BinDecodeError> {
+        Ok(SequencedEvent { seq: r.u64()?, event: FileEvent::decode_bin(r)? })
+    }
+}
+
+/// Binary layout: a one-byte variant tag (`0` = `Event`, `1` =
+/// `Heartbeat`) followed by the variant's fields.
+impl sdci_types::BinPayload for FeedMessage {
+    fn encode_bin(&self, buf: &mut Vec<u8>) {
+        match self {
+            FeedMessage::Event(sev) => {
+                buf.push(0);
+                sev.encode_bin(buf);
+            }
+            FeedMessage::Heartbeat { last_seq } => {
+                buf.push(1);
+                last_seq.encode_bin(buf);
+            }
+        }
+    }
+
+    fn decode_bin(r: &mut sdci_types::BinReader<'_>) -> Result<Self, sdci_types::BinDecodeError> {
+        match r.u8()? {
+            0 => Ok(FeedMessage::Event(SequencedEvent::decode_bin(r)?)),
+            1 => Ok(FeedMessage::Heartbeat { last_seq: r.u64()? }),
+            other => {
+                Err(sdci_types::BinDecodeError::msg(format!("invalid FeedMessage tag {other}")))
+            }
+        }
+    }
+}
+
 /// A sequenced event carries whatever context its inner event does, so
 /// network endpoints treat both shapes uniformly.
 impl TraceCarrier for SequencedEvent {

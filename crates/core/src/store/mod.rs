@@ -154,7 +154,12 @@ impl StoreQuery {
         self
     }
 
-    pub(crate) fn matches(&self, ev: &SequencedEvent) -> bool {
+    /// Whether `ev` satisfies every constraint of this query. Remote
+    /// readers use this to validate that a reply frame is a plausible
+    /// answer to the query they actually sent — a stale reply replayed
+    /// by a faulted link fails it and is discarded instead of being
+    /// mis-correlated.
+    pub fn matches(&self, ev: &SequencedEvent) -> bool {
         if let Some(after) = self.after_seq {
             if ev.seq <= after {
                 return false;

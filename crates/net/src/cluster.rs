@@ -69,6 +69,18 @@ pub enum ClusterRpc {
     Ping,
 }
 
+/// Map-service traffic is rare, tiny control plane — it stays JSON at
+/// every protocol version, so `nc` against a map server keeps working.
+impl crate::wire::BinFrame for ClusterRpc {
+    fn encode_bin(&self, _buf: &mut Vec<u8>) -> bool {
+        false
+    }
+
+    fn decode_bin(_body: &[u8]) -> io::Result<Self> {
+        Err(crate::wire::invalid("ClusterRpc has no binary form"))
+    }
+}
+
 /// Resolves the store-RPC address of a shard whose port trio is based
 /// at `base` (e.g. `"127.0.0.1:7070"` → port 7072).
 ///

@@ -66,6 +66,25 @@ impl<W: Write> Write for FaultedWriter<W> {
         Ok(buf.len())
     }
 
+    /// Clean connections pass vectored writes straight through (one
+    /// `writev` for a proto-3 header + body); faulted ones buffer every
+    /// slice so the whole frame still draws a single fault decision at
+    /// flush time.
+    fn write_vectored(&mut self, bufs: &[io::IoSlice<'_>]) -> io::Result<usize> {
+        if self.faults.is_none() {
+            return self.inner.write_vectored(bufs);
+        }
+        if self.dead {
+            return Err(injected_dead());
+        }
+        let mut n = 0;
+        for buf in bufs {
+            self.buf.extend_from_slice(buf);
+            n += buf.len();
+        }
+        Ok(n)
+    }
+
     fn flush(&mut self) -> io::Result<()> {
         let Some(faults) = self.faults.as_mut() else {
             return self.inner.flush();

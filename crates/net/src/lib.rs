@@ -5,10 +5,15 @@
 //! across processes, so Collector → Aggregator → Consumer can run as
 //! three OS processes (or three hosts):
 //!
-//! * [`wire`] — the framing: 4-byte big-endian length prefix + one
-//!   JSON-encoded [`wire::Frame`]. Proto ≥ 2 sessions (negotiated at
-//!   the `Hello*` handshake, see [`wire::WIRE_PROTO`]) may coalesce
-//!   many payloads into one `ItemBatch`/`PublishBatch` frame.
+//! * [`wire`] — the framing: 4-byte big-endian length word + one
+//!   frame body. Proto ≥ 2 sessions (negotiated at the `Hello*`
+//!   handshake, see [`wire::WIRE_PROTO`]) may coalesce many payloads
+//!   into one `ItemBatch`/`PublishBatch` frame; proto ≥ 3 sessions
+//!   additionally encode those hot-path batch frames in a compact
+//!   binary form (the length word's high bit, [`BIN_FRAME_BIT`], marks
+//!   a binary body). Control frames — handshakes, acks, pings — stay
+//!   JSON at every version, so the session remains debuggable with
+//!   `nc` even when the bulk data is binary.
 //! * [`conn`] — supervision policy: jittered exponential reconnect
 //!   backoff, heartbeat/liveness tunables ([`conn::NetConfig`]).
 //! * [`pubsub`] — lossy PUB/SUB ([`TcpBroker`], [`TcpPublisher`],
@@ -61,4 +66,6 @@ pub use faulted::FaultedWriter;
 pub use pipe::{TcpPullServer, TcpPush};
 pub use pubsub::{TcpBroker, TcpPublisher, TcpSubscriber, TcpTransport};
 pub use store_rpc::{RemoteStore, StoreServer};
-pub use wire::{Frame, FRAME_HEADER_LEN, MAX_FRAME_LEN, WIRE_PROTO};
+pub use wire::{
+    BinEncoder, BinFrame, Frame, BIN_FRAME_BIT, FRAME_HEADER_LEN, MAX_FRAME_LEN, WIRE_PROTO,
+};

@@ -33,10 +33,12 @@
 
 use crate::conn::{Backoff, NetConfig};
 use crate::faulted::{conn_faults, spawn_worker, FaultedWriter};
-use crate::wire::{write_item_batch_traced, write_msg, Frame, FrameReader};
+use crate::wire::{
+    write_item_batch_bin, write_item_batch_traced, write_msg, BinEncoder, Frame, FrameReader,
+};
 use sdci_mq::pipe::{pipeline, Pull, Push};
 use sdci_mq::transport::{Publish, PublishOutcome};
-use sdci_types::{TraceCarrier, TraceContext};
+use sdci_types::{BinPayload, TraceCarrier, TraceContext};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -104,7 +106,7 @@ impl<T> std::fmt::Debug for TcpPullServer<T> {
 
 impl<T> TcpPullServer<T>
 where
-    T: Send + Serialize + Deserialize + 'static,
+    T: Send + Serialize + Deserialize + BinPayload + 'static,
 {
     /// Binds `addr` and starts accepting pushers. `capacity` bounds the
     /// local pipeline; when the puller falls that far behind, incoming
@@ -248,7 +250,7 @@ fn pull_accept_loop<T>(
     conns: Arc<parking_lot::Mutex<Vec<JoinHandle<()>>>>,
     counters: Arc<ServerCounters>,
 ) where
-    T: Send + Serialize + Deserialize + 'static,
+    T: Send + Serialize + Deserialize + BinPayload + 'static,
 {
     while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
@@ -295,7 +297,7 @@ fn serve_pusher<T>(
     stop: Arc<AtomicBool>,
     counters: Arc<ServerCounters>,
 ) where
-    T: Send + Serialize + Deserialize + 'static,
+    T: Send + Serialize + Deserialize + BinPayload + 'static,
 {
     let _ = stream.set_nodelay(true);
     if stream.set_read_timeout(Some(cfg.heartbeat)).is_err() {
@@ -598,7 +600,7 @@ impl<T> std::fmt::Debug for TcpPush<T> {
 
 impl<T> TcpPush<T>
 where
-    T: Clone + Send + Serialize + Deserialize + TraceCarrier + 'static,
+    T: Clone + Send + Serialize + Deserialize + TraceCarrier + BinPayload + 'static,
 {
     /// Starts a supervised pusher toward `addr`. `client` must be
     /// stable across restarts of the same logical pusher — it keys the
@@ -666,7 +668,7 @@ where
 /// leg is point-to-point and events carry their own MDT index.
 impl<T> Publish<T> for TcpPush<T>
 where
-    T: Clone + Send + Serialize + Deserialize + TraceCarrier + 'static,
+    T: Clone + Send + Serialize + Deserialize + TraceCarrier + BinPayload + 'static,
 {
     fn publish(&self, _topic: &str, payload: T) -> PublishOutcome {
         // `send` only fails when the worker is gone, which never
@@ -683,10 +685,12 @@ where
 /// reconnect, or in place when a gap `Nack` arrives. Sequences in
 /// `unacked` are dense, so on a batched session the whole window
 /// re-ships as a few `ItemBatch` runs instead of one frame per item.
-fn resend_window<T: Clone + Serialize + TraceCarrier>(
+fn resend_window<T: Clone + Serialize + TraceCarrier + BinPayload>(
     writer: &mut impl std::io::Write,
+    enc: &mut BinEncoder,
     unacked: &mut VecDeque<(u64, T, Instant)>,
     batched: bool,
+    binary: bool,
     max_batch: usize,
     carry_ctx: bool,
 ) -> std::io::Result<()> {
@@ -704,7 +708,14 @@ fn resend_window<T: Clone + Serialize + TraceCarrier>(
         let mut offset = 0u64;
         for chunk in payloads.chunks(max_batch) {
             let trace = chunk.iter().find_map(|i| i.trace_context().filter(|c| c.sampled));
-            write_item_batch_traced(writer, first_seq + offset, chunk, trace)?;
+            if binary {
+                // Proto-3 session: the window re-ships binary, and the
+                // encoder re-splits any chunk whose encoded size would
+                // overrun a frame.
+                write_item_batch_bin(writer, enc, first_seq + offset, chunk, trace)?;
+            } else {
+                write_item_batch_traced(writer, first_seq + offset, chunk, trace)?;
+            }
             offset += chunk.len() as u64;
         }
     } else {
@@ -731,9 +742,11 @@ fn push_worker<T>(
     rx: crossbeam_channel::Receiver<T>,
     state: Arc<PushState>,
 ) where
-    T: Clone + Send + Serialize + Deserialize + TraceCarrier + 'static,
+    T: Clone + Send + Serialize + Deserialize + TraceCarrier + BinPayload + 'static,
 {
     let window = cfg.window.max(1);
+    // Proto-3 scratch buffers, reused across batches and reconnects.
+    let mut enc = BinEncoder::new();
     let mut backoff = Backoff::new(cfg.retry);
     // Each entry carries its last transmission instant, so an ack's
     // round-trip is measured against the send (or resend) it answers.
@@ -825,6 +838,10 @@ fn push_worker<T>(
         // proto-1 peer predates the field, so the sender strips it and
         // the trace truncates at this hop instead of erroring.
         let carry_ctx = cfg.proto.min(server_proto) >= 2;
+        // Binary hot-path frames only when *both* ends speak proto ≥ 3
+        // (the greeting `Ack` announced the server's version); older
+        // peers keep receiving the JSON `ItemBatch` they understand.
+        let binary = batched && cfg.proto.min(server_proto) >= 3;
         if next_seq == 1 {
             // First contact of a fresh pusher process: nothing has been
             // sequenced locally yet. A nonzero server mark then belongs
@@ -838,7 +855,9 @@ fn push_worker<T>(
             ack_up_to(server_mark, &mut unacked, &mut last_acked, &state);
         }
         // Re-send everything the server has not seen.
-        if resend_window(&mut writer, &mut unacked, batched, max_batch, carry_ctx).is_err() {
+        if resend_window(&mut writer, &mut enc, &mut unacked, batched, binary, max_batch, carry_ctx)
+            .is_err()
+        {
             backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
             continue 'reconnect;
         }
@@ -936,7 +955,12 @@ fn push_worker<T>(
                         // carried context unchanged.
                         None => carried,
                     };
-                    write_item_batch_traced(&mut writer, first_seq, &batch, frame_trace).is_ok()
+                    if binary {
+                        write_item_batch_bin(&mut writer, &mut enc, first_seq, &batch, frame_trace)
+                            .is_ok()
+                    } else {
+                        write_item_batch_traced(&mut writer, first_seq, &batch, frame_trace).is_ok()
+                    }
                 };
                 if !ok {
                     backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
@@ -994,8 +1018,16 @@ fn push_worker<T>(
                         );
                         state.rewinds.fetch_add(1, Ordering::Relaxed);
                         sdci_obs::static_metric!(counter, "sdci_net_push_fast_rewinds_total").inc();
-                        if resend_window(&mut writer, &mut unacked, batched, max_batch, carry_ctx)
-                            .is_err()
+                        if resend_window(
+                            &mut writer,
+                            &mut enc,
+                            &mut unacked,
+                            batched,
+                            binary,
+                            max_batch,
+                            carry_ctx,
+                        )
+                        .is_err()
                         {
                             backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
                             continue 'reconnect;

@@ -20,10 +20,12 @@
 
 use crate::conn::{Backoff, NetConfig};
 use crate::faulted::{conn_faults, spawn_worker, FaultedWriter};
-use crate::wire::{write_msg, write_publish_batch_traced, Frame, FrameReader};
+use crate::wire::{
+    write_msg, write_publish_batch_bin, write_publish_batch_traced, BinEncoder, Frame, FrameReader,
+};
 use sdci_mq::pubsub::{Broker, Message};
 use sdci_mq::transport::{Publish, PublishOutcome, Subscribe, Transport};
-use sdci_types::{TraceCarrier, TraceContext};
+use sdci_types::{BinPayload, TraceCarrier, TraceContext};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -80,7 +82,7 @@ impl<T> std::fmt::Debug for TcpBroker<T> {
 
 impl<T> TcpBroker<T>
 where
-    T: Clone + Send + Serialize + Deserialize + 'static,
+    T: Clone + Send + Serialize + Deserialize + BinPayload + 'static,
 {
     /// Binds `addr` and serves a freshly created broker with the given
     /// high-water mark.
@@ -190,7 +192,7 @@ fn accept_loop<T>(
     conns: Arc<parking_lot::Mutex<Vec<JoinHandle<()>>>>,
     counters: Arc<BrokerCounters>,
 ) where
-    T: Clone + Send + Serialize + Deserialize + 'static,
+    T: Clone + Send + Serialize + Deserialize + BinPayload + 'static,
 {
     while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
@@ -233,7 +235,7 @@ fn serve_connection<T>(
     stop: Arc<AtomicBool>,
     counters: Arc<BrokerCounters>,
 ) where
-    T: Clone + Send + Serialize + Deserialize + 'static,
+    T: Clone + Send + Serialize + Deserialize + BinPayload + 'static,
 {
     let _ = stream.set_nodelay(true);
     if stream.set_read_timeout(Some(cfg.liveness)).is_err() {
@@ -266,7 +268,7 @@ fn serve_publisher<T>(
     stop: Arc<AtomicBool>,
     counters: Arc<BrokerCounters>,
 ) where
-    T: Clone + Send + Serialize + Deserialize + 'static,
+    T: Clone + Send + Serialize + Deserialize + BinPayload + 'static,
 {
     let publisher = local.publisher();
     let _ = reader.get_ref().set_read_timeout(Some(cfg.heartbeat));
@@ -369,6 +371,15 @@ fn serve_subscriber<T>(
         }
         match sub.recv_timeout(cfg.heartbeat) {
             Some(msg) => {
+                // Crash point: dying between the local dequeue and the
+                // socket write loses the in-flight message for this
+                // subscriber only — the lossy fanout contract. The
+                // chaos tests kill here to prove a mid-fanout broker
+                // death never wedges or corrupts reconnecting
+                // subscribers.
+                if sdci_faults::crash_point("net.pubsub.fanout").is_err() {
+                    return;
+                }
                 let frame = Frame::Deliver { topic: msg.topic, payload: msg.payload };
                 if write_msg(writer, &frame).is_err() {
                     return; // peer gone; dropping `sub` detaches from the broker
@@ -419,7 +430,7 @@ impl<T> std::fmt::Debug for TcpPublisher<T> {
 
 impl<T> TcpPublisher<T>
 where
-    T: Serialize + Send + TraceCarrier + 'static,
+    T: Serialize + Send + TraceCarrier + BinPayload + 'static,
 {
     /// Starts a supervised publisher toward `addr`. Returns immediately;
     /// the connection is established (and re-established) in the
@@ -473,14 +484,14 @@ impl<T> Drop for TcpPublisher<T> {
 
 impl<T> Publish<T> for TcpPublisher<T>
 where
-    T: Serialize + Send + TraceCarrier + 'static,
+    T: Serialize + Send + TraceCarrier + BinPayload + 'static,
 {
     fn publish(&self, topic: &str, payload: T) -> PublishOutcome {
         TcpPublisher::publish(self, topic, payload)
     }
 }
 
-fn publisher_worker<T: Serialize + Send + TraceCarrier + 'static>(
+fn publisher_worker<T: Serialize + Send + TraceCarrier + BinPayload + 'static>(
     addr: SocketAddr,
     cfg: NetConfig,
     rx: crossbeam_channel::Receiver<(String, T)>,
@@ -488,6 +499,8 @@ fn publisher_worker<T: Serialize + Send + TraceCarrier + 'static>(
     counters: Arc<ClientCounters>,
 ) {
     let mut backoff = Backoff::new(cfg.retry);
+    // Proto-3 scratch buffers, reused across batches and reconnects.
+    let mut enc = BinEncoder::new();
     'reconnect: loop {
         if stop.load(Ordering::Relaxed) {
             return;
@@ -544,6 +557,9 @@ fn publisher_worker<T: Serialize + Send + TraceCarrier + 'static>(
         // the push leg): against an older broker, strip it in place —
         // the worker owns the payloads — so the trace truncates here.
         let carry_ctx = cfg.proto.min(server_proto) >= 2;
+        // Binary hot-path frames only when *both* ends speak proto ≥ 3;
+        // older brokers keep receiving the JSON `PublishBatch`.
+        let binary = batched && cfg.proto.min(server_proto) >= 3;
         if counters.connections.fetch_add(1, Ordering::Relaxed) > 0 {
             sdci_obs::static_metric!(counter, "sdci_net_publisher_reconnects_total").inc();
         }
@@ -616,8 +632,19 @@ fn publisher_worker<T: Serialize + Send + TraceCarrier + 'static>(
                                 Some(sc) => Some(TraceContext::sampled(sc.trace_id, sc.span_id)),
                                 None => carried,
                             };
-                            write_publish_batch_traced(&mut stream, &topic, &run, frame_trace)
+                            if binary {
+                                write_publish_batch_bin(
+                                    &mut stream,
+                                    &mut enc,
+                                    &topic,
+                                    &run,
+                                    frame_trace,
+                                )
                                 .is_ok()
+                            } else {
+                                write_publish_batch_traced(&mut stream, &topic, &run, frame_trace)
+                                    .is_ok()
+                            }
                         };
                         if !ok {
                             // Everything not yet on the wire is lost
@@ -677,7 +704,7 @@ impl<T> std::fmt::Debug for TcpSubscriber<T> {
 
 impl<T> TcpSubscriber<T>
 where
-    T: Serialize + Deserialize + Send + 'static,
+    T: Serialize + Deserialize + Send + BinPayload + 'static,
 {
     /// Starts a supervised subscription to `addr` for the given topic
     /// prefixes. Returns immediately; connection management happens in
@@ -717,7 +744,7 @@ impl<T> Drop for TcpSubscriber<T> {
 
 impl<T> Subscribe<T> for TcpSubscriber<T>
 where
-    T: Serialize + Deserialize + Send + 'static,
+    T: Serialize + Deserialize + Send + BinPayload + 'static,
 {
     fn recv(&self) -> Option<Message<T>> {
         self.rx.recv().ok()
@@ -732,7 +759,7 @@ where
     }
 }
 
-fn subscriber_worker<T: Serialize + Deserialize + Send + 'static>(
+fn subscriber_worker<T: Serialize + Deserialize + Send + BinPayload + 'static>(
     addr: SocketAddr,
     prefixes: Vec<String>,
     cfg: NetConfig,
@@ -845,7 +872,7 @@ impl TcpTransport {
 
 impl<T> Transport<T> for TcpTransport
 where
-    T: Clone + Send + Serialize + Deserialize + TraceCarrier + 'static,
+    T: Clone + Send + Serialize + Deserialize + TraceCarrier + BinPayload + 'static,
 {
     type Publisher = TcpPublisher<T>;
     type Subscriber = TcpSubscriber<T>;

@@ -40,6 +40,13 @@ pub enum StoreRpc {
         /// `None`, so mixed versions interoperate (the trace simply
         /// truncates at the hop).
         trace: Option<sdci_types::TraceContext>,
+        /// The client's wire-protocol version, announced per request
+        /// (the store RPC has no handshake). A server at proto ≥ 3
+        /// answers a `Some(p >= 3)` query with a binary `Batch`; a
+        /// missing or older announcement gets JSON. Same
+        /// unknown-key/missing-key tolerance as `trace`, so mixed
+        /// versions interoperate.
+        proto: Option<u32>,
     },
     /// Server → consumer: the matching events, in sequence order.
     Batch {
@@ -48,6 +55,41 @@ pub enum StoreRpc {
     },
     /// Liveness probe; the server echoes it.
     Ping,
+}
+
+/// Only the bulky reply leg has a binary form: `Batch` travels as a
+/// proto-3 binary frame when the query announced a proto-3 peer, while
+/// the tiny `Query`/`Ping` control frames stay JSON at every version.
+impl crate::wire::BinFrame for StoreRpc {
+    fn encode_bin(&self, buf: &mut Vec<u8>) -> bool {
+        match self {
+            StoreRpc::Batch { events } => {
+                crate::wire::bin_header(buf, crate::wire::BIN_KIND_STORE_BATCH, None);
+                crate::wire::bin_put_payloads(buf, events);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn decode_bin(body: &[u8]) -> std::io::Result<Self> {
+        let mut r = sdci_types::BinReader::new(body);
+        let (kind, trace) = crate::wire::bin_read_header(&mut r)?;
+        if kind != crate::wire::BIN_KIND_STORE_BATCH {
+            return Err(crate::wire::invalid(format!("unknown binary store-RPC kind {kind}")));
+        }
+        if trace.is_some() {
+            return Err(crate::wire::invalid("store-RPC batch replies carry no trace section"));
+        }
+        let events = crate::wire::bin_read_payloads(&mut r)?;
+        if !r.is_empty() {
+            return Err(crate::wire::invalid(format!(
+                "binary store-RPC frame has {} trailing bytes",
+                r.remaining()
+            )));
+        }
+        Ok(StoreRpc::Batch { events })
+    }
 }
 
 /// Serves [`StoreRpc`] queries against any [`StoreReader`] — a local
@@ -193,11 +235,13 @@ fn serve_store_client<R: StoreReader>(
     let (send_faults, recv_faults) = conn_faults(&cfg);
     let mut reader = FrameReader::with_faults(read_half, recv_faults);
     let mut writer = FaultedWriter::new(stream, send_faults);
+    // Per-connection scratch for binary replies; reused across queries.
+    let mut enc = crate::wire::BinEncoder::new();
     // `stop` is checked every iteration so a chatty client cannot pin
     // the handler past shutdown.
     while !stop.load(Ordering::Relaxed) {
         match reader.read_msg::<StoreRpc>() {
-            Ok(StoreRpc::Query { query, trace }) => {
+            Ok(StoreRpc::Query { query, trace, proto }) => {
                 // The serve span becomes the thread's current context,
                 // so the store middleware's own spans (cache hit/miss,
                 // segment scan) nest under it without plumbing.
@@ -218,7 +262,17 @@ fn serve_store_client<R: StoreReader>(
                 if sdci_faults::crash_point("net.store_rpc.reply").is_err() {
                     return;
                 }
-                if write_msg(&mut writer, &StoreRpc::Batch { events }).is_err() {
+                // Binary replies only when *both* sides are at proto 3:
+                // the query's announcement covers the client, `cfg`
+                // covers this server.
+                let reply = StoreRpc::Batch { events };
+                let binary = proto.is_some_and(|p| p.min(cfg.proto) >= 3);
+                let sent = if binary {
+                    crate::wire::write_msg_bin(&mut writer, &mut enc, &reply)
+                } else {
+                    write_msg(&mut writer, &reply)
+                };
+                if sent.is_err() {
                     return;
                 }
             }
@@ -245,6 +299,25 @@ fn serve_store_client<R: StoreReader>(
 /// is declared garbage. One in-flight `Ping` echo is legitimate; a peer
 /// streaming junk must not wedge the consumer forever.
 const MAX_STRAY_REPLIES: u32 = 8;
+
+/// Whether `events` is a plausible reply to `query`: every event
+/// satisfies the query's constraints, the batch respects its limit, and
+/// sequence numbers never descend (every store answers in seq order,
+/// but a scatter front merges shards with *independent* seq spaces, so
+/// a merged reply may repeat a seq — strict ascent would reject it).
+/// The store RPC has no request ids, so this range check is the
+/// reply-correlation mechanism: a stale reply duplicated by a faulted
+/// link fails it (its events predate the new query's `after_seq`) and
+/// is skipped rather than delivered as the answer to the wrong query.
+/// An empty batch is always plausible — it is what a rotated-out range
+/// legitimately returns, and the consumer's bounded retry already
+/// treats it as non-authoritative.
+fn batch_answers(query: &StoreQuery, events: &[SequencedEvent]) -> bool {
+    if query.limit > 0 && events.len() > query.limit {
+        return false;
+    }
+    events.iter().all(|e| query.matches(e)) && events.windows(2).all(|w| w[0].seq <= w[1].seq)
+}
 
 /// An established store-RPC connection: faulted write half + resumable
 /// read half.
@@ -383,12 +456,32 @@ impl RemoteStore {
         let trace = sdci_obs::trace::current()
             .filter(|c| c.sampled)
             .map(|c| sdci_types::TraceContext::sampled(c.trace_id, c.span_id));
-        write_msg(&mut conn.writer, &StoreRpc::Query { query: query.clone(), trace })?;
+        let proto = (self.cfg.proto >= 3).then_some(self.cfg.proto);
+        write_msg(&mut conn.writer, &StoreRpc::Query { query: query.clone(), trace, proto })?;
         let deadline = Instant::now() + self.cfg.liveness;
         let mut strays = 0u32;
         loop {
             match conn.reader.read_msg::<StoreRpc>() {
-                Ok(StoreRpc::Batch { events }) => return Ok(events),
+                Ok(StoreRpc::Batch { events }) if batch_answers(query, &events) => {
+                    return Ok(events)
+                }
+                Ok(StoreRpc::Batch { .. }) => {
+                    // A batch that cannot be an answer to *this* query —
+                    // a faulted link replayed the reply to an earlier
+                    // one. Requests and replies pair up strictly in
+                    // order on this connection, so swallowing the stale
+                    // frame and reading on re-aligns the stream; taking
+                    // it at face value would hand the consumer events
+                    // from the wrong range (surfacing as phantom loss
+                    // or duplication in its gap accounting).
+                    strays += 1;
+                    if strays > MAX_STRAY_REPLIES {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            "store reply stream flooded with stale Batch frames",
+                        ));
+                    }
+                }
                 Ok(_) => {
                     // A stray `Ping` echo is fine; an unbounded stream
                     // of non-`Batch` frames would wedge the consumer,

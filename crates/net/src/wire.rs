@@ -1,21 +1,33 @@
-//! Wire format: 4-byte big-endian length prefix + a JSON-encoded frame.
+//! Wire format: 4-byte big-endian length word + one frame body.
 //!
-//! Every message on an sdci-net socket is one [`Frame`], serialized with
-//! the workspace's serde conventions (externally tagged enums) and
-//! prefixed with its byte length so the reader can frame the stream:
+//! Every message on an sdci-net socket is one [`Frame`], prefixed with a
+//! length word so the reader can frame the stream. The word's low 31
+//! bits are the body length; its high bit selects the body encoding:
 //!
 //! ```text
-//! +------------+---------------------------+
-//! | len: u32be | body: len bytes of JSON   |
-//! +------------+---------------------------+
+//! +--------------+---------------------------------------+
+//! | word: u32be  | body: (word & 0x7FFFFFFF) bytes       |
+//! +--------------+---------------------------------------+
+//!   bit 31 clear → body is JSON (every frame, proto 1/2)
+//!   bit 31 set   → body is proto-3 binary (hot-path batches only)
 //! ```
 //!
-//! JSON keeps the protocol debuggable with `nc`/`tcpdump`; the length
-//! prefix keeps parsing trivial and rejects runaway frames early.
+//! JSON — the workspace's serde conventions, externally tagged enums —
+//! keeps the protocol debuggable with `nc`/`tcpdump` and is the only
+//! encoding proto-1/2 peers emit or accept. Proto-3 sessions
+//! additionally carry their *hot-path batch frames*
+//! ([`Frame::ItemBatch`], [`Frame::PublishBatch`], store-RPC batch
+//! replies) as compact binary bodies (see [`BinFrame`] and
+//! [`sdci_types::bin`]); handshakes, acks, and every other control
+//! frame stay JSON at every version. The high bit is unambiguous
+//! because [`MAX_FRAME_LEN`] is far below `2^31`, and it is safe
+//! because binary frames are only sent on sessions that negotiated
+//! proto ≥ 3 — an old peer never sees one.
 
+use sdci_types::bin::{put_bytes, BinPayload, BinReader};
 use sdci_types::TraceContext;
 use serde::{DeError, Deserialize, Serialize, Value};
-use std::io::{self, Read, Write};
+use std::io::{self, IoSlice, Read, Write};
 use std::time::Duration;
 
 /// Length-prefix size in bytes.
@@ -25,6 +37,11 @@ pub const FRAME_HEADER_LEN: usize = 4;
 /// corrupt stream rather than an allocation request.
 pub const MAX_FRAME_LEN: usize = 64 << 20;
 
+/// High bit of the length word: set when the frame body is proto-3
+/// binary instead of JSON. Never ambiguous — [`MAX_FRAME_LEN`] keeps
+/// legal JSON lengths far below this bit.
+pub const BIN_FRAME_BIT: u32 = 1 << 31;
+
 /// Highest wire protocol version this build speaks.
 ///
 /// * **1** — the PR 1 protocol: one event per `Item`/`Publish` frame.
@@ -32,12 +49,15 @@ pub const MAX_FRAME_LEN: usize = 64 << 20;
 ///   [`Frame::PublishBatch`]. A proto-2 pusher also understands the
 ///   gap [`Frame::Nack`], which the pull server only sends to clients
 ///   that announced proto ≥ 2 in their `HelloPush`.
+/// * **3** — same frame vocabulary as proto 2, but hot-path batch
+///   frames travel as compact binary bodies (length word high bit set,
+///   see [`BinFrame`]) instead of JSON. Control frames stay JSON.
 ///
 /// Versions are exchanged at the `Hello*` handshake as an *optional*
 /// field: a proto-1 peer never sends it and ignores unknown fields, so
 /// both directions of a mixed-version session degrade to per-event
 /// frames. The effective session version is `min(ours, theirs)`.
-pub const WIRE_PROTO: u32 = 2;
+pub const WIRE_PROTO: u32 = 3;
 
 /// One protocol message. `T` is the event payload type (e.g. `FileEvent`
 /// on the Collector leg, `FeedMessage` on the consumer leg).
@@ -282,8 +302,372 @@ impl<T: Deserialize> Deserialize for Frame<T> {
     }
 }
 
-fn invalid(err: impl std::fmt::Display) -> io::Error {
+pub(crate) fn invalid(err: impl std::fmt::Display) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, err.to_string())
+}
+
+// ---------------------------------------------------------------------------
+// Proto-3 binary codec
+// ---------------------------------------------------------------------------
+
+/// Binary body kind byte: [`Frame::ItemBatch`].
+const BIN_KIND_ITEM_BATCH: u8 = 1;
+/// Binary body kind byte: [`Frame::PublishBatch`].
+const BIN_KIND_PUBLISH_BATCH: u8 = 2;
+/// Binary body kind byte: a store-RPC batch reply (`StoreRpc::Batch`).
+pub(crate) const BIN_KIND_STORE_BATCH: u8 = 3;
+
+/// Flags bit: a [`TraceContext`] section follows the fixed header.
+const BIN_FLAG_TRACE: u8 = 1;
+
+/// A message with an (optional) proto-3 binary form.
+///
+/// Binary body layout — fixed little-endian header, then the variant's
+/// fields, strings and payloads `u32`-LE length-prefixed:
+///
+/// ```text
+/// +------+-------+-----------------------+----------------------------+
+/// | kind | flags | trace (17B, flags&1)  | variant fields             |
+/// |  u8  |  u8   | id u64, span u64, u8  |                            |
+/// +------+-------+-----------------------+----------------------------+
+/// kind 1 ItemBatch:    first_seq u64 | count u32 | count × (len u32 + payload)
+/// kind 2 PublishBatch: topic (len u32 + bytes) | count u32 | count × (len u32 + payload)
+/// kind 3 StoreBatch:   count u32 | count × (len u32 + SequencedEvent)
+/// ```
+///
+/// The trace section is the binary twin of the JSON format's
+/// omitted-when-`None` `trace` field: absent from the bytes entirely
+/// unless the flags bit says otherwise. Only hot-path batch frames have
+/// a binary form; `encode_bin` returns `false` for everything else and
+/// the writer falls back to JSON.
+pub trait BinFrame: Sized {
+    /// Appends this message's binary body to `buf` and returns `true`,
+    /// or returns `false` (leaving `buf` untouched) when the message
+    /// has no binary form and must travel as JSON.
+    fn encode_bin(&self, buf: &mut Vec<u8>) -> bool;
+
+    /// Decodes a binary frame body.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on unknown kind bytes, truncated fields, or
+    /// trailing garbage — the stream is treated as corrupt, exactly
+    /// like undecodable JSON.
+    fn decode_bin(body: &[u8]) -> io::Result<Self>;
+}
+
+/// Writes the fixed binary header: kind byte, flags byte, and the
+/// optional trace section.
+pub(crate) fn bin_header(buf: &mut Vec<u8>, kind: u8, trace: Option<TraceContext>) {
+    buf.push(kind);
+    match trace {
+        None => buf.push(0),
+        Some(t) => {
+            buf.push(BIN_FLAG_TRACE);
+            t.encode_bin(buf);
+        }
+    }
+}
+
+/// Reads the fixed binary header back: `(kind, trace)`.
+pub(crate) fn bin_read_header(r: &mut BinReader<'_>) -> io::Result<(u8, Option<TraceContext>)> {
+    let kind = r.u8().map_err(invalid)?;
+    let flags = r.u8().map_err(invalid)?;
+    if flags & !BIN_FLAG_TRACE != 0 {
+        return Err(invalid(format!("unknown binary frame flags {flags:#x}")));
+    }
+    let trace = if flags & BIN_FLAG_TRACE != 0 {
+        Some(TraceContext::decode_bin(r).map_err(invalid)?)
+    } else {
+        None
+    };
+    Ok((kind, trace))
+}
+
+/// Appends `count` + each payload `u32`-LE length-prefixed.
+pub(crate) fn bin_put_payloads<T: BinPayload>(buf: &mut Vec<u8>, payloads: &[T]) {
+    buf.extend_from_slice(&(payloads.len() as u32).to_le_bytes());
+    for p in payloads {
+        // Length placeholder, patched once the payload is encoded — one
+        // pass, no per-payload scratch allocation.
+        let at = buf.len();
+        buf.extend_from_slice(&[0; 4]);
+        p.encode_bin(buf);
+        let len = (buf.len() - at - 4) as u32;
+        buf[at..at + 4].copy_from_slice(&len.to_le_bytes());
+    }
+}
+
+/// Reads a length-prefixed payload sequence back.
+pub(crate) fn bin_read_payloads<T: BinPayload>(r: &mut BinReader<'_>) -> io::Result<Vec<T>> {
+    let count = r.u32().map_err(invalid)? as usize;
+    let mut out = Vec::with_capacity(count.min(r.remaining()));
+    for _ in 0..count {
+        let bytes = r.bytes().map_err(invalid)?;
+        let mut pr = BinReader::new(bytes);
+        let payload = T::decode_bin(&mut pr).map_err(invalid)?;
+        if !pr.is_empty() {
+            return Err(invalid(format!("binary payload has {} trailing bytes", pr.remaining())));
+        }
+        out.push(payload);
+    }
+    Ok(out)
+}
+
+impl<T: BinPayload> BinFrame for Frame<T> {
+    fn encode_bin(&self, buf: &mut Vec<u8>) -> bool {
+        match self {
+            Frame::ItemBatch { first_seq, payloads, trace } => {
+                bin_header(buf, BIN_KIND_ITEM_BATCH, *trace);
+                buf.extend_from_slice(&first_seq.to_le_bytes());
+                bin_put_payloads(buf, payloads);
+                true
+            }
+            Frame::PublishBatch { topic, payloads, trace } => {
+                bin_header(buf, BIN_KIND_PUBLISH_BATCH, *trace);
+                put_bytes(buf, topic.as_bytes());
+                bin_put_payloads(buf, payloads);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn decode_bin(body: &[u8]) -> io::Result<Self> {
+        let mut r = BinReader::new(body);
+        let (kind, trace) = bin_read_header(&mut r)?;
+        let frame = match kind {
+            BIN_KIND_ITEM_BATCH => Frame::ItemBatch {
+                first_seq: r.u64().map_err(invalid)?,
+                payloads: bin_read_payloads(&mut r)?,
+                trace,
+            },
+            BIN_KIND_PUBLISH_BATCH => Frame::PublishBatch {
+                topic: r.str().map_err(invalid)?.to_string(),
+                payloads: bin_read_payloads(&mut r)?,
+                trace,
+            },
+            other => return Err(invalid(format!("unknown binary frame kind {other}"))),
+        };
+        if !r.is_empty() {
+            return Err(invalid(format!("binary frame has {} trailing bytes", r.remaining())));
+        }
+        Ok(frame)
+    }
+}
+
+/// Per-connection reusable scratch for proto-3 encoding: payload bytes
+/// and their spans are laid out once, then chunked into frames without
+/// re-encoding — the binary analogue of the JSON path's `Value` reuse,
+/// minus all the allocation.
+#[derive(Debug, Default)]
+pub struct BinEncoder {
+    /// Every batch member's encoding, back to back.
+    payloads: Vec<u8>,
+    /// `(offset, len)` of each member inside `payloads`.
+    spans: Vec<(usize, usize)>,
+    /// Frame-body assembly buffer.
+    body: Vec<u8>,
+}
+
+impl BinEncoder {
+    /// A fresh encoder; buffers grow to the session's working set and
+    /// are then reused for every batch.
+    pub fn new() -> BinEncoder {
+        BinEncoder::default()
+    }
+
+    /// Encodes every member once, recording spans for chunking.
+    fn load<T: BinPayload>(&mut self, payloads: &[T]) {
+        self.payloads.clear();
+        self.spans.clear();
+        for p in payloads {
+            let start = self.payloads.len();
+            p.encode_bin(&mut self.payloads);
+            self.spans.push((start, self.payloads.len() - start));
+        }
+    }
+
+    /// Greedily packs loaded members into frames of at most `max_len`
+    /// body bytes (`overhead` = fixed header cost per frame; each member
+    /// costs 4 length bytes + its encoding). A single member that alone
+    /// exceeds the cap still gets its own frame — it cannot be split,
+    /// and the u32/[`MAX_FRAME_LEN`] checks remain the backstop. Calls
+    /// `emit(lo, members)` once per frame, in order.
+    fn chunk(
+        &mut self,
+        overhead: usize,
+        max_len: usize,
+        mut emit: impl FnMut(&mut Vec<u8>, usize, &[(usize, usize)], &[u8]) -> io::Result<()>,
+    ) -> io::Result<usize> {
+        let mut frames = 0;
+        let mut lo = 0;
+        while lo < self.spans.len() {
+            let mut hi = lo;
+            let mut size = overhead;
+            while hi < self.spans.len() {
+                let cost = 4 + self.spans[hi].1;
+                if hi > lo && size + cost > max_len {
+                    break;
+                }
+                size += cost;
+                hi += 1;
+            }
+            self.body.clear();
+            // The borrow checker cannot see that `emit` only reads
+            // `payloads`/`spans` and writes `body`, so pass the parts.
+            let body = &mut self.body;
+            emit(body, lo, &self.spans[lo..hi], &self.payloads)?;
+            frames += 1;
+            lo = hi;
+        }
+        Ok(frames)
+    }
+}
+
+/// Appends one chunk's members (`count`, then length-prefixed bytes
+/// copied from the already-encoded pool).
+fn bin_body_members(body: &mut Vec<u8>, spans: &[(usize, usize)], pool: &[u8]) {
+    body.extend_from_slice(&(spans.len() as u32).to_le_bytes());
+    for &(off, len) in spans {
+        body.extend_from_slice(&(len as u32).to_le_bytes());
+        body.extend_from_slice(&pool[off..off + len]);
+    }
+}
+
+/// Fixed per-frame body overhead: kind + flags + the member-count word
+/// every batch body carries + optional 17-byte trace section. Without
+/// the count word a chunk sized exactly at the cap would overshoot it
+/// by four bytes — fatal at [`MAX_FRAME_LEN`], where [`write_bin_frame`]
+/// rejects the frame instead of splitting it.
+fn bin_overhead(trace: Option<TraceContext>) -> usize {
+    2 + 4 + if trace.is_some() { 17 } else { 0 }
+}
+
+/// Writes `payloads` as proto-3 binary [`Frame::ItemBatch`] frames
+/// (member `i` carrying sequence `first_seq + i`), splitting by
+/// *binary* encoded size so no frame body exceeds [`MAX_FRAME_LEN`].
+/// Returns the number of frames written.
+///
+/// # Errors
+///
+/// Propagates I/O failures from the underlying writer.
+pub fn write_item_batch_bin<T: BinPayload>(
+    w: &mut impl Write,
+    enc: &mut BinEncoder,
+    first_seq: u64,
+    payloads: &[T],
+    trace: Option<TraceContext>,
+) -> io::Result<usize> {
+    write_item_batch_bin_capped(w, enc, first_seq, payloads, trace, MAX_FRAME_LEN)
+}
+
+/// [`write_item_batch_bin`] with an explicit frame-size cap (exercised
+/// with a tiny cap in tests; production callers use [`MAX_FRAME_LEN`]).
+pub(crate) fn write_item_batch_bin_capped<T: BinPayload>(
+    w: &mut impl Write,
+    enc: &mut BinEncoder,
+    first_seq: u64,
+    payloads: &[T],
+    trace: Option<TraceContext>,
+    max_len: usize,
+) -> io::Result<usize> {
+    enc.load(payloads);
+    let overhead = bin_overhead(trace) + 8;
+    enc.chunk(overhead, max_len, |body, lo, spans, pool| {
+        bin_header(body, BIN_KIND_ITEM_BATCH, trace);
+        body.extend_from_slice(&(first_seq + lo as u64).to_le_bytes());
+        bin_body_members(body, spans, pool);
+        write_bin_frame(w, body)
+    })
+}
+
+/// Writes `payloads` as proto-3 binary [`Frame::PublishBatch`] frames
+/// on `topic`, splitting by binary encoded size. Returns the number of
+/// frames written.
+///
+/// # Errors
+///
+/// Propagates I/O failures from the underlying writer.
+pub fn write_publish_batch_bin<T: BinPayload>(
+    w: &mut impl Write,
+    enc: &mut BinEncoder,
+    topic: &str,
+    payloads: &[T],
+    trace: Option<TraceContext>,
+) -> io::Result<usize> {
+    write_publish_batch_bin_capped(w, enc, topic, payloads, trace, MAX_FRAME_LEN)
+}
+
+/// [`write_publish_batch_bin`] with an explicit frame-size cap.
+pub(crate) fn write_publish_batch_bin_capped<T: BinPayload>(
+    w: &mut impl Write,
+    enc: &mut BinEncoder,
+    topic: &str,
+    payloads: &[T],
+    trace: Option<TraceContext>,
+    max_len: usize,
+) -> io::Result<usize> {
+    enc.load(payloads);
+    let overhead = bin_overhead(trace) + 4 + topic.len();
+    enc.chunk(overhead, max_len, |body, _lo, spans, pool| {
+        bin_header(body, BIN_KIND_PUBLISH_BATCH, trace);
+        put_bytes(body, topic.as_bytes());
+        bin_body_members(body, spans, pool);
+        write_bin_frame(w, body)
+    })
+}
+
+/// Writes `msg` as one binary frame when it has a binary form, falling
+/// back to JSON otherwise. The scratch encoder's body buffer is reused
+/// across calls.
+///
+/// # Errors
+///
+/// Propagates I/O failures from the underlying writer.
+pub fn write_msg_bin<M: Serialize + BinFrame>(
+    w: &mut impl Write,
+    enc: &mut BinEncoder,
+    msg: &M,
+) -> io::Result<()> {
+    enc.body.clear();
+    let mut body = std::mem::take(&mut enc.body);
+    let took = msg.encode_bin(&mut body);
+    let result = if took { write_bin_frame(w, &body) } else { write_msg(w, msg) };
+    enc.body = body;
+    result
+}
+
+/// Writes one binary frame: length word with [`BIN_FRAME_BIT`] set,
+/// then the body, as a single vectored write and exactly one flush (the
+/// frame-alignment invariant [`crate::faulted::FaultedWriter`] relies
+/// on).
+pub(crate) fn write_bin_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
+    if body.len() > MAX_FRAME_LEN {
+        return Err(invalid(format!("frame length {} exceeds {MAX_FRAME_LEN}", body.len())));
+    }
+    let word = (body.len() as u32) | BIN_FRAME_BIT;
+    let header = word.to_be_bytes();
+    let mut headed = 0; // bytes of the header written so far
+    let mut bodied = 0; // bytes of the body written so far
+    while headed < header.len() || bodied < body.len() {
+        let n = if headed < header.len() {
+            w.write_vectored(&[IoSlice::new(&header[headed..]), IoSlice::new(body)])?
+        } else {
+            w.write(&body[bodied..])?
+        };
+        if n == 0 {
+            return Err(io::Error::new(io::ErrorKind::WriteZero, "binary frame write stalled"));
+        }
+        let into_header = n.min(header.len() - headed);
+        headed += into_header;
+        bodied += n - into_header;
+    }
+    w.flush()?;
+    sdci_obs::static_metric!(counter, "sdci_net_frames_out_total").inc();
+    sdci_obs::static_metric!(counter, "sdci_net_bytes_out_total")
+        .add((FRAME_HEADER_LEN + body.len()) as u64);
+    Ok(())
 }
 
 /// Writes one length-prefixed message and flushes the writer.
@@ -449,13 +833,16 @@ fn write_split(
 ///
 /// # Errors
 ///
-/// Returns `InvalidData` on oversized lengths, non-UTF-8 bodies, or JSON
-/// that does not decode as `M`; otherwise propagates reader failures
-/// (including timeouts configured on the stream).
-pub fn read_msg<M: Deserialize>(r: &mut impl Read) -> io::Result<M> {
+/// Returns `InvalidData` on oversized lengths, non-UTF-8 JSON bodies,
+/// or bodies that do not decode as `M` in the encoding the length word
+/// announces; otherwise propagates reader failures (including timeouts
+/// configured on the stream).
+pub fn read_msg<M: Deserialize + BinFrame>(r: &mut impl Read) -> io::Result<M> {
     let mut header = [0u8; FRAME_HEADER_LEN];
     r.read_exact(&mut header)?;
-    let len = u32::from_be_bytes(header) as usize;
+    let word = u32::from_be_bytes(header);
+    let is_bin = word & BIN_FRAME_BIT != 0;
+    let len = (word & !BIN_FRAME_BIT) as usize;
     if len > MAX_FRAME_LEN {
         return Err(invalid(format!("frame length {len} exceeds {MAX_FRAME_LEN}")));
     }
@@ -464,7 +851,16 @@ pub fn read_msg<M: Deserialize>(r: &mut impl Read) -> io::Result<M> {
     sdci_obs::static_metric!(counter, "sdci_net_frames_in_total").inc();
     sdci_obs::static_metric!(counter, "sdci_net_bytes_in_total")
         .add((FRAME_HEADER_LEN + len) as u64);
-    let text = std::str::from_utf8(&body).map_err(invalid)?;
+    decode_body(is_bin, &body)
+}
+
+/// Decodes one complete frame body in the encoding its length word
+/// announced.
+fn decode_body<M: Deserialize + BinFrame>(is_bin: bool, body: &[u8]) -> io::Result<M> {
+    if is_bin {
+        return M::decode_bin(body);
+    }
+    let text = std::str::from_utf8(body).map_err(invalid)?;
     serde_json::from_str(text).map_err(invalid)
 }
 
@@ -486,11 +882,14 @@ pub struct FrameReader<R> {
     need: usize,
     /// Whether `need` already accounts for the body length.
     have_header: bool,
+    /// Whether the current frame's length word announced a proto-3
+    /// binary body ([`BIN_FRAME_BIT`]).
+    bin: bool,
     /// Installed recv-side fault stream; `None` is a clean wire.
     faults: Option<sdci_faults::StreamFaults>,
-    /// Raw body of a frame an injected *duplicate* fault will deliver
-    /// again on the next call.
-    replay: Option<Vec<u8>>,
+    /// Raw body (and its encoding) of a frame an injected *duplicate*
+    /// fault will deliver again on the next call.
+    replay: Option<(bool, Vec<u8>)>,
 }
 
 impl<R> std::fmt::Debug for FrameReader<R> {
@@ -518,6 +917,7 @@ impl<R: Read> FrameReader<R> {
             buf: Vec::new(),
             need: FRAME_HEADER_LEN,
             have_header: false,
+            bin: false,
             faults,
             replay: None,
         }
@@ -535,11 +935,10 @@ impl<R: Read> FrameReader<R> {
     /// `WouldBlock`/`TimedOut` are resumable: call again to continue
     /// the same frame. Any other error — including the `InvalidData`
     /// cases of [`read_msg`] — means the stream is no longer usable.
-    pub fn read_msg<M: Deserialize>(&mut self) -> io::Result<M> {
-        if let Some(body) = self.replay.take() {
+    pub fn read_msg<M: Deserialize + BinFrame>(&mut self) -> io::Result<M> {
+        if let Some((was_bin, body)) = self.replay.take() {
             // The second delivery of an injected duplicate.
-            let text = std::str::from_utf8(&body).map_err(invalid)?;
-            return serde_json::from_str(text).map_err(invalid);
+            return decode_body(was_bin, &body);
         }
         if let Some(faults) = &self.faults {
             if faults.partitioned() {
@@ -593,7 +992,7 @@ impl<R: Read> FrameReader<R> {
                     }
                     Some(sdci_faults::FrameFault::Duplicate) => {
                         crate::faulted::record_fault("recv", "duplicate");
-                        self.replay = Some(self.buf[FRAME_HEADER_LEN..].to_vec());
+                        self.replay = Some((self.bin, self.buf[FRAME_HEADER_LEN..].to_vec()));
                     }
                     Some(sdci_faults::FrameFault::Delay(dur)) => {
                         crate::faulted::record_fault("recv", "delay");
@@ -601,9 +1000,7 @@ impl<R: Read> FrameReader<R> {
                     }
                     Some(sdci_faults::FrameFault::Deliver) | None => {}
                 }
-                let result = std::str::from_utf8(&self.buf[FRAME_HEADER_LEN..])
-                    .map_err(invalid)
-                    .and_then(|text| serde_json::from_str(text).map_err(invalid));
+                let result = decode_body(self.bin, &self.buf[FRAME_HEADER_LEN..]);
                 self.buf.clear();
                 self.need = FRAME_HEADER_LEN;
                 self.have_header = false;
@@ -611,7 +1008,9 @@ impl<R: Read> FrameReader<R> {
             }
             let header: [u8; FRAME_HEADER_LEN] =
                 self.buf[..FRAME_HEADER_LEN].try_into().expect("header length");
-            let len = u32::from_be_bytes(header) as usize;
+            let word = u32::from_be_bytes(header);
+            self.bin = word & BIN_FRAME_BIT != 0;
+            let len = (word & !BIN_FRAME_BIT) as usize;
             if len > MAX_FRAME_LEN {
                 return Err(invalid(format!("frame length {len} exceeds {MAX_FRAME_LEN}")));
             }
@@ -893,6 +1292,285 @@ mod tests {
         buf.extend_from_slice(&(body.len() as u32).to_be_bytes());
         buf.extend_from_slice(body);
         let err = read_msg::<Frame<FileEvent>>(&mut &buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    // -- proto-3 binary codec ------------------------------------------------
+
+    /// Splits `buf` into raw `(is_binary, body)` frames without decoding.
+    fn raw_frames(mut buf: &[u8]) -> Vec<(bool, Vec<u8>)> {
+        let mut out = Vec::new();
+        while !buf.is_empty() {
+            let word = u32::from_be_bytes(buf[..4].try_into().unwrap());
+            let len = (word & !BIN_FRAME_BIT) as usize;
+            out.push((word & BIN_FRAME_BIT != 0, buf[4..4 + len].to_vec()));
+            buf = &buf[4 + len..];
+        }
+        out
+    }
+
+    #[test]
+    fn binary_item_batch_roundtrips_with_and_without_trace() {
+        for trace in [None, Some(sdci_types::TraceContext::sampled(0xabcd, 0x1234))] {
+            let payloads: Vec<FileEvent> = (0..4).map(event).collect();
+            let mut enc = BinEncoder::new();
+            let mut buf = Vec::new();
+            let frames = write_item_batch_bin(&mut buf, &mut enc, 7, &payloads, trace).unwrap();
+            assert_eq!(frames, 1);
+            let (bin, _) = raw_frames(&buf)[0].clone();
+            assert!(bin, "length word must carry BIN_FRAME_BIT");
+            let back: Frame<FileEvent> = read_msg(&mut &buf[..]).unwrap();
+            assert_eq!(back, Frame::ItemBatch { first_seq: 7, payloads, trace });
+        }
+    }
+
+    #[test]
+    fn binary_publish_batch_roundtrips() {
+        let payloads: Vec<FileEvent> = (0..3).map(event).collect();
+        let trace = Some(sdci_types::TraceContext::sampled(1, 2));
+        let mut enc = BinEncoder::new();
+        let mut buf = Vec::new();
+        let frames =
+            write_publish_batch_bin(&mut buf, &mut enc, "events/mdt0", &payloads, trace).unwrap();
+        assert_eq!(frames, 1);
+        let back: Frame<FileEvent> = read_msg(&mut &buf[..]).unwrap();
+        assert_eq!(back, Frame::PublishBatch { topic: "events/mdt0".into(), payloads, trace });
+    }
+
+    /// One `FrameReader` must switch decoders frame by frame: proto-3
+    /// sessions still send control frames (acks, pings, handshakes) as
+    /// JSON between binary batches.
+    #[test]
+    fn binary_and_json_frames_interleave_on_one_stream() {
+        let mut enc = BinEncoder::new();
+        let mut buf = Vec::new();
+        write_msg(
+            &mut buf,
+            &Frame::<FileEvent>::HelloPush {
+                client: "mdt0".into(),
+                resume_after: 0,
+                proto: Some(WIRE_PROTO),
+            },
+        )
+        .unwrap();
+        write_item_batch_bin(&mut buf, &mut enc, 1, &[event(1), event(2)], None).unwrap();
+        write_msg(&mut buf, &Frame::<FileEvent>::Ping).unwrap();
+        write_item_batch_bin(&mut buf, &mut enc, 3, &[event(3)], None).unwrap();
+
+        let mut reader = FrameReader::new(&buf[..]);
+        assert!(matches!(reader.read_msg::<Frame<FileEvent>>().unwrap(), Frame::HelloPush { .. }));
+        assert_eq!(
+            reader.read_msg::<Frame<FileEvent>>().unwrap(),
+            Frame::ItemBatch { first_seq: 1, payloads: vec![event(1), event(2)], trace: None }
+        );
+        assert_eq!(reader.read_msg::<Frame<FileEvent>>().unwrap(), Frame::<FileEvent>::Ping);
+        assert_eq!(
+            reader.read_msg::<Frame<FileEvent>>().unwrap(),
+            Frame::ItemBatch { first_seq: 3, payloads: vec![event(3)], trace: None }
+        );
+    }
+
+    /// `write_msg_bin` falls back to JSON for frames with no binary
+    /// form — the stream stays `nc`-debuggable for control traffic.
+    #[test]
+    fn write_msg_bin_falls_back_to_json_for_control_frames() {
+        let mut enc = BinEncoder::new();
+        let mut buf = Vec::new();
+        write_msg_bin(&mut buf, &mut enc, &Frame::<FileEvent>::Ack { up_to: 9, proto: None })
+            .unwrap();
+        let frames = raw_frames(&buf);
+        assert_eq!(frames.len(), 1);
+        assert!(!frames[0].0, "control frames must stay JSON");
+        assert!(std::str::from_utf8(&frames[0].1).unwrap().contains("Ack"));
+    }
+
+    /// Satellite check: the chunker's size accounting must match the
+    /// bytes actually emitted, or a chunk sized exactly at the cap
+    /// overshoots it — at [`MAX_FRAME_LEN`] that turns a splittable
+    /// batch into a hard `write_bin_frame` rejection. `u64` payloads
+    /// encode to exactly 8 bytes, so frame sizes are fully predictable:
+    /// body = kind(1) + flags(1) + first_seq(8) + count(4) + n×(4+8).
+    #[test]
+    fn binary_chunk_cap_is_exact_at_the_boundary() {
+        let payloads: Vec<u64> = (0..9).collect();
+        let three_member_body = 14 + 3 * 12;
+        let mut enc = BinEncoder::new();
+
+        // Cap exactly at a three-member body: three members per frame,
+        // and every emitted body is within the cap.
+        let mut buf = Vec::new();
+        let frames =
+            write_item_batch_bin_capped(&mut buf, &mut enc, 1, &payloads, None, three_member_body)
+                .unwrap();
+        assert_eq!(frames, 3);
+        for (bin, body) in raw_frames(&buf) {
+            assert!(bin);
+            assert_eq!(body.len(), three_member_body);
+        }
+
+        // One byte under the cap must drop to two members per frame.
+        let mut buf = Vec::new();
+        let frames = write_item_batch_bin_capped(
+            &mut buf,
+            &mut enc,
+            1,
+            &payloads,
+            None,
+            three_member_body - 1,
+        )
+        .unwrap();
+        assert_eq!(frames, 5, "9 payloads at 2/frame");
+        for (_, body) in raw_frames(&buf) {
+            assert!(body.len() < three_member_body);
+        }
+    }
+
+    #[test]
+    fn binary_split_keeps_seq_contiguous_and_repeats_trace() {
+        let payloads: Vec<FileEvent> = (0..16).map(event).collect();
+        let trace = Some(sdci_types::TraceContext::sampled(0xfeed, 0xbeef));
+        let one_event_body = {
+            let mut enc = BinEncoder::new();
+            let mut buf = Vec::new();
+            write_item_batch_bin(&mut buf, &mut enc, 1, &payloads[..1], trace).unwrap();
+            buf.len() - FRAME_HEADER_LEN
+        };
+        let cap = one_event_body * 3;
+        let mut enc = BinEncoder::new();
+        let mut buf = Vec::new();
+        let frames =
+            write_item_batch_bin_capped(&mut buf, &mut enc, 1, &payloads, trace, cap).unwrap();
+        assert!(frames > 1, "cap {cap} should split 16 events, got {frames} frame(s)");
+
+        let mut cursor = &buf[..];
+        let mut next_seq = 1u64;
+        let mut got = Vec::new();
+        for _ in 0..frames {
+            match read_msg::<Frame<FileEvent>>(&mut cursor).unwrap() {
+                Frame::ItemBatch { first_seq, payloads, trace: got_trace } => {
+                    assert_eq!(first_seq, next_seq, "split frames must stay contiguous");
+                    assert_eq!(got_trace, trace, "every split chunk repeats the frame context");
+                    next_seq += payloads.len() as u64;
+                    got.extend(payloads);
+                }
+                other => panic!("expected ItemBatch, got {other:?}"),
+            }
+        }
+        assert!(cursor.is_empty());
+        assert_eq!(got, payloads);
+    }
+
+    /// A single member larger than the cap cannot be split — it still
+    /// gets its own frame (the `u32`/[`MAX_FRAME_LEN`] checks remain the
+    /// backstop, exactly like the JSON path).
+    #[test]
+    fn binary_oversized_single_member_still_gets_a_frame() {
+        let payloads = vec!["x".repeat(100), "y".into()];
+        let mut enc = BinEncoder::new();
+        let mut buf = Vec::new();
+        let frames =
+            write_item_batch_bin_capped(&mut buf, &mut enc, 1, &payloads, None, 20).unwrap();
+        assert_eq!(frames, 2);
+        let mut cursor = &buf[..];
+        let mut got: Vec<String> = Vec::new();
+        for _ in 0..frames {
+            match read_msg::<Frame<String>>(&mut cursor).unwrap() {
+                Frame::ItemBatch { payloads, .. } => got.extend(payloads),
+                other => panic!("expected ItemBatch, got {other:?}"),
+            }
+        }
+        assert_eq!(got, payloads);
+    }
+
+    #[test]
+    fn binary_publish_split_preserves_topic_and_order() {
+        let payloads: Vec<FileEvent> = (0..8).map(event).collect();
+        let mut enc = BinEncoder::new();
+        let mut buf = Vec::new();
+        let frames =
+            write_publish_batch_bin_capped(&mut buf, &mut enc, "events/mdt0", &payloads, None, 256)
+                .unwrap();
+        assert!(frames > 1);
+        let mut cursor = &buf[..];
+        let mut got = Vec::new();
+        for _ in 0..frames {
+            match read_msg::<Frame<FileEvent>>(&mut cursor).unwrap() {
+                Frame::PublishBatch { topic, payloads, trace } => {
+                    assert_eq!(topic, "events/mdt0");
+                    assert_eq!(trace, None);
+                    got.extend(payloads);
+                }
+                other => panic!("expected PublishBatch, got {other:?}"),
+            }
+        }
+        assert!(cursor.is_empty());
+        assert_eq!(got, payloads);
+    }
+
+    #[test]
+    fn binary_frame_with_trailing_garbage_is_rejected() {
+        let mut enc = BinEncoder::new();
+        let mut buf = Vec::new();
+        write_item_batch_bin(&mut buf, &mut enc, 1, &[event(1)], None).unwrap();
+        // Stretch the length word over one junk byte appended to the body.
+        buf.push(0xff);
+        let word = (u32::from_be_bytes(buf[..4].try_into().unwrap()) & !BIN_FRAME_BIT) + 1;
+        buf[..4].copy_from_slice(&(word | BIN_FRAME_BIT).to_be_bytes());
+        let err = read_msg::<Frame<FileEvent>>(&mut &buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("trailing"), "got: {err}");
+    }
+
+    #[test]
+    fn binary_unknown_kind_and_flags_are_rejected() {
+        for body in [vec![9u8, 0], vec![BIN_KIND_ITEM_BATCH, 0x7e]] {
+            let mut buf = Vec::new();
+            buf.extend_from_slice(&((body.len() as u32) | BIN_FRAME_BIT).to_be_bytes());
+            buf.extend_from_slice(&body);
+            let err = read_msg::<Frame<FileEvent>>(&mut &buf[..]).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        }
+    }
+
+    /// A hostile count word must not pre-allocate beyond the bytes that
+    /// actually arrived.
+    #[test]
+    fn binary_hostile_count_is_rejected_not_allocated() {
+        let mut body = Vec::new();
+        bin_header(&mut body, BIN_KIND_ITEM_BATCH, None);
+        body.extend_from_slice(&1u64.to_le_bytes());
+        body.extend_from_slice(&u32::MAX.to_le_bytes()); // count
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&((body.len() as u32) | BIN_FRAME_BIT).to_be_bytes());
+        buf.extend_from_slice(&body);
+        let err = read_msg::<Frame<FileEvent>>(&mut &buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn store_batch_binary_roundtrips_and_rejects_trace_section() {
+        use crate::store_rpc::StoreRpc;
+        use sdci_core::SequencedEvent;
+
+        let events: Vec<SequencedEvent> =
+            (1..4).map(|i| SequencedEvent { seq: i, event: event(i) }).collect();
+        let reply = StoreRpc::Batch { events };
+        let mut enc = BinEncoder::new();
+        let mut buf = Vec::new();
+        write_msg_bin(&mut buf, &mut enc, &reply).unwrap();
+        assert!(raw_frames(&buf)[0].0, "store batch replies go binary");
+        let back: StoreRpc = read_msg(&mut &buf[..]).unwrap();
+        assert_eq!(back, reply);
+
+        // Store batches carry no trace section; a flags bit claiming one
+        // is corruption, not a quiet skip.
+        let mut body = Vec::new();
+        bin_header(&mut body, BIN_KIND_STORE_BATCH, Some(sdci_types::TraceContext::sampled(1, 2)));
+        body.extend_from_slice(&0u32.to_le_bytes());
+        let mut framed = Vec::new();
+        framed.extend_from_slice(&((body.len() as u32) | BIN_FRAME_BIT).to_be_bytes());
+        framed.extend_from_slice(&body);
+        let err = read_msg::<StoreRpc>(&mut &framed[..]).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 }

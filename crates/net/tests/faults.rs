@@ -178,6 +178,105 @@ fn store_server_spawn_failures_are_contained() {
     server.shutdown();
 }
 
+/// Reply correlation on the store RPC: the protocol has no request ids,
+/// so a stale `Batch` reply replayed by a faulted link (a duplicated
+/// frame sitting in the socket buffer) arrives exactly where the answer
+/// to the *next* query is expected. The client must reject it by range
+/// — its events predate the new query's `after_seq` — and keep reading
+/// until the genuine reply, instead of handing the consumer events from
+/// the wrong range.
+#[test]
+fn stale_replayed_batch_reply_never_answers_the_wrong_query() {
+    use sdci_net::wire::FrameReader;
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().expect("accept store client");
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = FrameReader::new(stream);
+
+        // Query #1 answered correctly.
+        let q1 = reader.read_msg::<StoreRpc>().expect("read first query");
+        assert!(matches!(q1, StoreRpc::Query { .. }));
+        let batch1: Vec<SequencedEvent> = (1..=5).map(sev).collect();
+        write_msg(&mut writer, &StoreRpc::Batch { events: batch1.clone() }).unwrap();
+
+        // Query #2's reply is preceded by a replay of reply #1 — the
+        // observable effect of a duplicate fault on the reply stream.
+        let q2 = reader.read_msg::<StoreRpc>().expect("read second query");
+        assert!(matches!(q2, StoreRpc::Query { .. }));
+        write_msg(&mut writer, &StoreRpc::Batch { events: batch1 }).unwrap();
+        write_msg(&mut writer, &StoreRpc::Batch { events: (6..=10).map(sev).collect() }).unwrap();
+    });
+
+    let remote = RemoteStore::connect(addr, fast_cfg());
+    let first = remote.query(&StoreQuery::after_seq(0));
+    assert_eq!(first.iter().map(|e| e.seq).collect::<Vec<_>>(), (1..=5).collect::<Vec<_>>());
+
+    // The stale replay answers this query's range check with seqs <= 5;
+    // it must be skipped, not returned.
+    let second = remote.query(&StoreQuery::after_seq(5));
+    assert_eq!(
+        second.iter().map(|e| e.seq).collect::<Vec<_>>(),
+        (6..=10).collect::<Vec<_>>(),
+        "a replayed stale reply must never be taken as the answer to a later query"
+    );
+    assert_eq!(remote.failures(), 0);
+    server.join().unwrap();
+}
+
+/// A fanout-leg death between the broker's local dequeue and the socket
+/// write (the `net.pubsub.fanout` crash point in error mode) costs that
+/// subscriber one in-flight message and one connection — the lossy feed
+/// contract — and nothing else: the broker survives, the supervised
+/// subscriber reconnects and resubscribes, and later messages flow.
+#[test]
+fn fanout_crash_point_costs_one_subscriber_connection() {
+    use sdci_mq::transport::Subscribe;
+    use sdci_net::{TcpBroker, TcpPublisher, TcpSubscriber};
+
+    let cfg = fast_cfg();
+    let broker = TcpBroker::<u64>::bind("127.0.0.1:0", 8192, cfg.clone()).unwrap();
+    let addr = broker.local_addr();
+    let subscriber = TcpSubscriber::<u64>::connect(addr, &["events/"], cfg.clone());
+    let publisher = TcpPublisher::<u64>::connect(addr, cfg);
+
+    // Publish probes until one demonstrably flows end to end, so the
+    // armed point below fires on an established fanout leg.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        publisher.publish("events/probe", u64::MAX);
+        if subscriber.recv_timeout(Duration::from_millis(10)).is_some() {
+            break;
+        }
+        assert!(Instant::now() < deadline, "pub/sub loopback never became ready");
+    }
+
+    // The next dequeued message dies mid-fanout: dropped for this
+    // subscriber only, connection closed.
+    arm("net.pubsub.fanout", 1, CrashMode::Error);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut delivered_after_kill = None;
+    for i in 0u64.. {
+        publisher.publish("events/e", i);
+        if let Some(msg) = subscriber.recv_timeout(Duration::from_millis(10)) {
+            if subscriber.connections() >= 2 {
+                delivered_after_kill = Some(msg.payload);
+                break;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no delivery after the fanout kill (connections: {})",
+            subscriber.connections()
+        );
+    }
+    assert!(delivered_after_kill.is_some());
+    assert!(subscriber.connections() >= 2, "the killed fanout leg should have forced a reconnect");
+    broker.shutdown();
+}
+
 /// Partition windows are anchored to one shared process epoch, not to
 /// each plan's construction time: a spec parsed *after* its window has
 /// closed must agree that the partition is over. (The old per-plan

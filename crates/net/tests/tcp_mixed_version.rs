@@ -1,10 +1,13 @@
-//! Mixed-version wire sessions: a proto-2 (batching) peer and a
-//! proto-1 (per-event) peer must interoperate losslessly in either
-//! direction, and batched sessions must keep the exactly-once contract
-//! across a server kill-restart — including deduplication of a resent
-//! partially-applied batch.
+//! Mixed-version wire sessions: proto-1 (per-event JSON), proto-2
+//! (batched JSON), and proto-3 (batched binary) peers must interoperate
+//! losslessly in every pairing — the full 3×3 matrix — with trace
+//! context carried exactly when both ends are ≥ 2, and batched sessions
+//! must keep the exactly-once contract across a server kill-restart,
+//! including deduplication of a resent partially-applied batch.
 
-use sdci_net::wire::{read_msg, write_item_batch, write_msg, Frame};
+use sdci_net::wire::{
+    read_msg, write_item_batch, write_item_batch_bin, write_msg, BinEncoder, Frame,
+};
 use sdci_net::{NetConfig, RetryPolicy, TcpPullServer, TcpPush};
 use sdci_types::{
     ChangelogKind, EventKind, Fid, FileEvent, MdtIndex, SimTime, TraceCarrier, TraceContext,
@@ -29,6 +32,11 @@ fn fast_cfg() -> NetConfig {
 /// A config that emulates a peer from before the batch protocol existed.
 fn proto1_cfg() -> NetConfig {
     NetConfig { proto: 1, ..fast_cfg() }
+}
+
+/// A config pinned to an explicit protocol version.
+fn proto_cfg(proto: u32) -> NetConfig {
+    NetConfig { proto, ..fast_cfg() }
 }
 
 fn drain_all(server: &TcpPullServer<u64>, n: usize) -> Vec<u64> {
@@ -183,6 +191,99 @@ fn matched_proto2_session_carries_the_context_end_to_end() {
 }
 
 #[test]
+fn full_proto_matrix_is_lossless_with_correct_trace_and_batch_semantics() {
+    // Every (server, client) pairing of protocols 1, 2, and 3 must move
+    // the same traced events with zero loss and zero duplication. The
+    // effective session is min(server, client): trace context rides the
+    // wire iff the session is ≥ 2 (older sessions strip it and the
+    // trace truncates cleanly), and batch frames appear iff the session
+    // is ≥ 2 (a proto-1 side must never see one, whatever the other end
+    // offered).
+    const N: u64 = 200;
+    for server_proto in [1u32, 2, 3] {
+        for client_proto in [1u32, 2, 3] {
+            let cell = format!("server proto {server_proto} / client proto {client_proto}");
+            let server =
+                TcpPullServer::<FileEvent>::bind("127.0.0.1:0", 4096, proto_cfg(server_proto))
+                    .unwrap();
+            let push = TcpPush::connect(
+                server.local_addr(),
+                format!("matrix-s{server_proto}-c{client_proto}"),
+                proto_cfg(client_proto),
+            );
+            for i in 0..N {
+                assert!(push.send(traced_event(i)));
+            }
+            assert!(push.drain(Duration::from_secs(10)), "{cell}: session never drained");
+            let got = drain_events(&server, N as usize);
+            assert_eq!(got.len(), N as usize, "{cell}: lost events");
+            let session = server_proto.min(client_proto);
+            for (i, ev) in got.iter().enumerate() {
+                let i = i as u64;
+                assert_eq!(ev.index, i, "{cell}: events reordered");
+                assert_eq!(ev.path, PathBuf::from(format!("/t/f{i}")), "{cell}: payload corrupted");
+                assert_eq!(ev.target, Fid::new(1, i as u32, 0), "{cell}: payload corrupted");
+                if session >= 2 {
+                    let ctx = ev.trace_context().unwrap_or_else(|| {
+                        panic!("{cell}: a proto-{session} session must carry the trace context")
+                    });
+                    assert_eq!(ctx.trace_id, 0x1111_2222_3333_4444, "{cell}: context corrupted");
+                    assert_eq!(ctx.parent_span_id, i + 1, "{cell}: context corrupted");
+                } else {
+                    assert!(
+                        ev.trace_context().is_none(),
+                        "{cell}: a proto-1 session must strip the trace context"
+                    );
+                }
+            }
+            let stats = server.stats();
+            assert_eq!(stats.items, N, "{cell}: item count off");
+            assert_eq!(stats.duplicates, 0, "{cell}: duplicated items");
+            if session >= 2 {
+                assert!(stats.batches > 0, "{cell}: a batched session should coalesce frames");
+            } else {
+                assert_eq!(stats.batches, 0, "{cell}: a proto-1 side must never see batch frames");
+            }
+            server.shutdown();
+        }
+    }
+}
+
+#[test]
+fn raw_proto3_binary_batch_is_accepted_and_acked() {
+    // Byte-level compatibility check for the proto-3 leg: a hand-rolled
+    // client announces proto 3, receives the server's JSON greeting (the
+    // control plane stays JSON at every version), ships one *binary*
+    // `ItemBatch`, and must be acked exactly like its JSON twin.
+    let server = TcpPullServer::<u64>::bind("127.0.0.1:0", 64, fast_cfg()).unwrap();
+
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    write_msg(
+        &mut writer,
+        &Frame::<u64>::HelloPush { client: "bin".into(), resume_after: 0, proto: Some(3) },
+    )
+    .unwrap();
+    assert_eq!(
+        read_msg::<Frame<u64>>(&mut reader).unwrap(),
+        Frame::Ack { up_to: 0, proto: Some(3) }
+    );
+
+    let payloads: Vec<u64> = (1..=10).collect();
+    let mut enc = BinEncoder::new();
+    assert_eq!(write_item_batch_bin(&mut writer, &mut enc, 1, &payloads, None).unwrap(), 1);
+    assert_eq!(read_msg::<Frame<u64>>(&mut reader).unwrap(), Frame::Ack { up_to: 10, proto: None });
+    write_msg(&mut writer, &Frame::<u64>::Fin).unwrap();
+
+    let stats = server.stats();
+    assert_eq!(stats.items, 10);
+    assert_eq!(stats.batches, 1);
+    assert_eq!(drain_all(&server, 10), (1..=10).collect::<Vec<_>>());
+    server.shutdown();
+}
+
+#[test]
 fn batched_session_survives_server_kill_restart_without_loss() {
     let cfg = fast_cfg();
     let server1 = TcpPullServer::<u64>::bind("127.0.0.1:0", 8192, cfg.clone()).unwrap();
@@ -245,7 +346,9 @@ fn resent_partial_batch_is_deduplicated_not_reapplied() {
     .unwrap();
     assert_eq!(
         read_msg::<Frame<u64>>(&mut reader).unwrap(),
-        Frame::Ack { up_to: 5, proto: Some(2) }
+        // The server always announces its own version (now 3); the
+        // proto-2 client simply settles on min(2, 3) = 2.
+        Frame::Ack { up_to: 5, proto: Some(3) }
     );
 
     let payloads: Vec<u64> = (1..=10).collect();

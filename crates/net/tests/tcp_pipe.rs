@@ -155,7 +155,7 @@ fn marks_restored_at_bind_deduplicate_resends() {
     // client simply ignores it.
     assert_eq!(
         read_msg::<Frame<u64>>(&mut reader).unwrap(),
-        Frame::Ack { up_to: 50, proto: Some(2) }
+        Frame::Ack { up_to: 50, proto: Some(3) }
     );
 
     // A resend of something the restored state already holds is
@@ -184,7 +184,7 @@ fn marks_restored_at_bind_deduplicate_resends() {
     .unwrap();
     assert_eq!(
         read_msg::<Frame<u64>>(&mut reader2).unwrap(),
-        Frame::Ack { up_to: 70, proto: Some(2) }
+        Frame::Ack { up_to: 70, proto: Some(3) }
     );
     write_msg(&mut writer2, &Frame::<u64>::Fin).unwrap();
     assert_eq!(server.marks().get("c"), Some(&70));
@@ -295,7 +295,7 @@ fn server_stats_stay_exact_across_an_abrupt_pusher_death_and_resend() {
         .unwrap();
         assert_eq!(
             read_msg::<Frame<u64>>(&mut reader).unwrap(),
-            Frame::Ack { up_to: 0, proto: Some(2) }
+            Frame::Ack { up_to: 0, proto: Some(3) }
         );
         for seq in 1..=5u64 {
             write_msg(&mut writer, &Frame::<u64>::Item { seq, payload: seq }).unwrap();
@@ -322,7 +322,7 @@ fn server_stats_stay_exact_across_an_abrupt_pusher_death_and_resend() {
     // server's authoritative mark.
     assert_eq!(
         read_msg::<Frame<u64>>(&mut reader).unwrap(),
-        Frame::Ack { up_to: 5, proto: Some(2) }
+        Frame::Ack { up_to: 5, proto: Some(3) }
     );
     for seq in 3..=7u64 {
         write_msg(&mut writer, &Frame::<u64>::Item { seq, payload: seq }).unwrap();
@@ -372,7 +372,7 @@ fn gap_nack_rewinds_a_proto2_pusher_in_place() {
     .unwrap();
     assert_eq!(
         read_msg::<Frame<u64>>(&mut reader).unwrap(),
-        Frame::Ack { up_to: 0, proto: Some(2) }
+        Frame::Ack { up_to: 0, proto: Some(3) }
     );
     write_msg(&mut writer, &Frame::<u64>::Item { seq: 1, payload: 1 }).unwrap();
     assert_eq!(read_msg::<Frame<u64>>(&mut reader).unwrap(), Frame::Ack { up_to: 1, proto: None });
@@ -423,7 +423,7 @@ fn gap_from_a_proto1_pusher_still_drops_the_connection() {
     .unwrap();
     assert_eq!(
         read_msg::<Frame<u64>>(&mut reader).unwrap(),
-        Frame::Ack { up_to: 0, proto: Some(2) }
+        Frame::Ack { up_to: 0, proto: Some(3) }
     );
     // A proto-1 client would not understand a Nack, so the gap policy
     // stays what it always was: kill the connection to force a resend.

@@ -14,9 +14,10 @@
 //!
 //! # Sampling
 //!
-//! Head-based: [`root`] samples every Nth trace (set via
+//! Head-based: [`root`] samples every Nth trace per thread (set via
 //! [`set_sample_every`], `0` disables tracing entirely and makes every
-//! guard inert). Only sampled roots propagate context; unsampled
+//! guard inert; the tick is thread-local so the per-event decision
+//! never touches a shared cache line). Only sampled roots propagate context; unsampled
 //! roots are still *timed*, feeding a small tail-capture buffer of the
 //! slowest root spans — so a latency outlier is visible on `/tracez`
 //! even when head sampling missed it (with root-only detail; full span
@@ -76,7 +77,6 @@ pub struct Span {
 // ---------------------------------------------------------------------------
 
 static SAMPLE_EVERY: AtomicU64 = AtomicU64::new(0);
-static HEAD_COUNTER: AtomicU64 = AtomicU64::new(0);
 static ID_COUNTER: AtomicU64 = AtomicU64::new(0);
 static SLOW_FLOOR: AtomicU64 = AtomicU64::new(0);
 
@@ -105,6 +105,11 @@ fn slow_buffer() -> &'static Mutex<Vec<Span>> {
 
 thread_local! {
     static CURRENT: std::cell::Cell<Option<SpanContext>> = const { std::cell::Cell::new(None) };
+    // Head-sampling tick, kept per thread so the every-event sampling
+    // decision is a plain cell bump instead of a fetch_add on a cache
+    // line shared by every extraction thread. Each long-lived thread
+    // still samples exactly one root in N.
+    static HEAD_TICK: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
 }
 
 /// Enables tracing, sampling one trace root in every `n` (`1` samples
@@ -191,10 +196,17 @@ impl SpanGuard {
         name: &'static str,
         is_root: bool,
     ) -> SpanGuard {
-        let ctx = SpanContext { trace_id, span_id: next_id(), sampled };
+        // A root reuses its (freshly minted) trace id as its span id —
+        // still unique, and one fewer contended atomic on the
+        // every-event head-sampling path. An *unsampled* root arrives
+        // with `trace_id == 0`: its ids are minted lazily on drop, and
+        // only if it proves slow enough for tail capture.
+        let span_id = if is_root { trace_id } else { next_id() };
+        let ctx = SpanContext { trace_id, span_id, sampled };
         // Only sampled spans become the thread's current context:
-        // children of an unsampled (tail-timed) root stay inert.
-        let prev = if sampled { CURRENT.with(|c| c.replace(Some(ctx))) } else { current() };
+        // children of an unsampled (tail-timed) root stay inert, and
+        // drop never restores `prev` for them either.
+        let prev = if sampled { CURRENT.with(|c| c.replace(Some(ctx))) } else { None };
         SpanGuard {
             live: Some(LiveSpan {
                 ctx,
@@ -230,9 +242,25 @@ impl Drop for SpanGuard {
             CURRENT.with(|c| c.set(live.prev));
         }
         let duration_ns = u64::try_from(live.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        // Unsampled roots exist only to feed tail capture; when they
+        // beat the slow floor there is nothing to record at all, so
+        // skip building the span (and its wall-clock read) entirely —
+        // this is the head-sampled hot path, N-1 of every N roots.
+        if !live.ctx.sampled && (!live.is_root || duration_ns <= SLOW_FLOOR.load(Ordering::Relaxed))
+        {
+            return;
+        }
+        // An unsampled root deferred its id mint to here — the one
+        // case that reaches this point is a tail-capture candidate.
+        let (trace_id, span_id) = if live.ctx.trace_id == 0 {
+            let id = next_id();
+            (id, id)
+        } else {
+            (live.ctx.trace_id, live.ctx.span_id)
+        };
         let span = Span {
-            trace_id: live.ctx.trace_id,
-            span_id: live.ctx.span_id,
+            trace_id,
+            span_id,
             parent_span_id: live.parent_span_id,
             name: live.name,
             detail: live.detail,
@@ -290,8 +318,18 @@ pub fn root(name: &'static str) -> SpanGuard {
     if every == 0 {
         return SpanGuard::INERT;
     }
-    let sampled = HEAD_COUNTER.fetch_add(1, Ordering::Relaxed).is_multiple_of(every);
-    SpanGuard::open(next_id(), 0, sampled, name, true)
+    let sampled = HEAD_TICK
+        .with(|c| {
+            let n = c.get();
+            c.set(n.wrapping_add(1));
+            n
+        })
+        .is_multiple_of(every);
+    // Unsampled roots are timed but almost never recorded; they get
+    // ids on drop iff they prove slow, so N-1 of every N roots skip
+    // the id counter entirely.
+    let trace_id = if sampled { next_id() } else { 0 };
+    SpanGuard::open(trace_id, 0, sampled, name, true)
 }
 
 /// Opens a span under the thread's current context; inert when there

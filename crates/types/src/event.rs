@@ -176,6 +176,17 @@ impl EventKind {
         EventKind::AttribChanged,
         EventKind::Other,
     ];
+
+    /// A stable numeric code (the kind's position in [`EventKind::ALL`]),
+    /// used by the proto-3 binary payload encoding.
+    pub const fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Looks a kind up by its numeric code.
+    pub fn from_code(code: u8) -> Option<EventKind> {
+        Self::ALL.get(code as usize).copied()
+    }
 }
 
 impl fmt::Display for EventKind {
@@ -415,6 +426,53 @@ impl Deserialize for FileEvent {
     }
 }
 
+/// Binary layout: fields in declaration order using the [`crate::bin`]
+/// primitives — fixed LE integers, one-byte enum codes
+/// ([`ChangelogKind::code`], [`EventKind::code`]), length-prefixed path
+/// strings, and one-byte presence tags for the three `Option` fields
+/// (the binary twin of the JSON format's omitted-when-`None` `trace`).
+impl crate::bin::BinPayload for FileEvent {
+    fn encode_bin(&self, buf: &mut Vec<u8>) {
+        self.index.encode_bin(buf);
+        self.mdt.encode_bin(buf);
+        buf.push(self.changelog_kind.code());
+        buf.push(self.kind.code());
+        self.time.encode_bin(buf);
+        self.path.encode_bin(buf);
+        self.src_path.encode_bin(buf);
+        self.target.encode_bin(buf);
+        self.is_dir.encode_bin(buf);
+        self.extracted_unix_ns.encode_bin(buf);
+        self.trace.encode_bin(buf);
+    }
+
+    fn decode_bin(r: &mut crate::bin::BinReader<'_>) -> Result<Self, crate::bin::BinDecodeError> {
+        use crate::bin::BinDecodeError;
+        Ok(FileEvent {
+            index: u64::decode_bin(r)?,
+            mdt: MdtIndex::decode_bin(r)?,
+            changelog_kind: {
+                let code = r.u8()?;
+                ChangelogKind::from_code(code).ok_or_else(|| {
+                    BinDecodeError::msg(format!("invalid ChangelogKind code {code}"))
+                })?
+            },
+            kind: {
+                let code = r.u8()?;
+                EventKind::from_code(code)
+                    .ok_or_else(|| BinDecodeError::msg(format!("invalid EventKind code {code}")))?
+            },
+            time: SimTime::decode_bin(r)?,
+            path: PathBuf::decode_bin(r)?,
+            src_path: Option::<PathBuf>::decode_bin(r)?,
+            target: Fid::decode_bin(r)?,
+            is_dir: bool::decode_bin(r)?,
+            extracted_unix_ns: Option::<u64>::decode_bin(r)?,
+            trace: Option::<TraceContext>::decode_bin(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -517,6 +575,46 @@ mod tests {
         // deserialize with trace: None.
         let legacy = serde_json::to_string(&ev).unwrap();
         assert_eq!(serde_json::from_str::<FileEvent>(&legacy).unwrap().trace, None);
+    }
+
+    #[test]
+    fn event_kind_codes_roundtrip() {
+        for kind in EventKind::ALL {
+            assert_eq!(EventKind::from_code(kind.code()), Some(kind));
+        }
+        assert_eq!(EventKind::from_code(6), None);
+    }
+
+    #[test]
+    fn binary_event_roundtrips_and_packs_denser_than_json() {
+        use crate::bin::{BinPayload, BinReader};
+        let rec = sample_record();
+        let mut ev = FileEvent::from_record(&rec, MdtIndex::new(2), PathBuf::from("/a/b.txt"));
+        ev.src_path = Some(PathBuf::from("/a/old.txt"));
+        ev = ev.with_extracted_unix_ns(123_456).with_trace(TraceContext::sampled(0xabc, 7));
+        let mut buf = Vec::new();
+        ev.encode_bin(&mut buf);
+        let mut r = BinReader::new(&buf);
+        assert_eq!(FileEvent::decode_bin(&mut r).unwrap(), ev);
+        assert!(r.is_empty());
+        let json = serde_json::to_string(&ev).unwrap();
+        assert!(
+            buf.len() * 2 < json.len(),
+            "binary ({}) should be well under half of JSON ({})",
+            buf.len(),
+            json.len()
+        );
+    }
+
+    #[test]
+    fn binary_event_rejects_invalid_enum_codes() {
+        use crate::bin::{BinPayload, BinReader};
+        let ev = FileEvent::from_record(&sample_record(), MdtIndex::new(0), PathBuf::from("/x"));
+        let mut buf = Vec::new();
+        ev.encode_bin(&mut buf);
+        // Byte 12 is the ChangelogKind code (after index u64 + mdt u32).
+        buf[12] = 99;
+        assert!(FileEvent::decode_bin(&mut BinReader::new(&buf)).is_err());
     }
 
     #[test]

@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bin;
 mod event;
 mod fid;
 mod ids;
@@ -46,6 +47,7 @@ mod rate;
 mod time;
 mod trace;
 
+pub use bin::{BinDecodeError, BinPayload, BinReader};
 pub use event::{ChangelogKind, EventKind, FileEvent, RawChangelogRecord};
 pub use fid::{Fid, FidSequence, ParseFidError};
 pub use ids::{AgentId, CollectorId, ConsumerId, MdtIndex, OstIndex, RuleId, SubscriptionId};

@@ -178,6 +178,64 @@ fn faulted_push_legs_deliver_exactly_once_across_seeds() {
     }
 }
 
+/// The mirror image of the faulted-push test: producers are clean, and
+/// the randomized schedule rides the *consumer's* legs instead — its
+/// feed subscription (dropped/duplicated/truncated `Deliver` frames,
+/// killed subscriptions) and its backfill RPC (faulted queries and
+/// replies). The feed is lossy by contract, but every feed loss is
+/// recoverable from the store, so the end-to-end invariant stays
+/// strict: every event delivered exactly once, in order, zero counted
+/// loss. This is the schedule that flushed out stale-reply
+/// mis-correlation on the store RPC — a duplicated `Batch` reply
+/// answering the *next* query's range — which surfaced as phantom loss
+/// in the consumer's gap accounting.
+#[test]
+fn faulted_consumer_legs_still_deliver_exactly_once() {
+    for seed in [29u64, 7177] {
+        let spec = chaos_spec(seed);
+        println!("consumer-leg chaos schedule: seed {seed} (spec {spec})");
+
+        let mut agg = spawn_env(&["aggregator", "--bind", "127.0.0.1:0"], &[]);
+        let addr = wait_for_listen_addr(&mut agg);
+        let expect = (2 * EVENTS_PER_COLLECTOR).to_string();
+        let consumer = spawn_env(
+            &[
+                "consumer",
+                "--connect",
+                &addr,
+                "--verbose",
+                "--expect",
+                &expect,
+                "--timeout",
+                "120",
+                "--faults",
+                &spec,
+            ],
+            &[],
+        );
+
+        run_collector(&addr, "c1", None);
+        run_collector(&addr, "c2", None);
+
+        let out = consumer.into_child().wait_with_output().expect("wait for consumer");
+        assert!(out.status.success(), "seed {seed}: consumer failed: {:?}", out.status);
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let events = check_consumer_output(&stdout, &["c1", "c2"]);
+        assert_eq!(events, 2 * EVENTS_PER_COLLECTOR, "seed {seed}: wrong count:\n{stdout}");
+        let done = stdout.lines().last().unwrap_or_default();
+        assert!(done.contains("lost 0"), "seed {seed}: consumer reported loss: {done}");
+
+        // The producers ran clean, so the pipeline's own counters must
+        // be exact — consumer-side faults must not reflect back into
+        // ingest.
+        let body = scrape_metrics(&addr);
+        let expected = 2 * EVENTS_PER_COLLECTOR as u64;
+        assert_eq!(metric_value(&body, "sdci_aggregator_received_total"), expected);
+        assert_eq!(metric_value(&body, "sdci_aggregator_stored_total"), expected);
+        assert_eq!(metric_value(&body, "sdci_aggregator_published_total"), expected);
+    }
+}
+
 /// The §5.2 fault story under crash-point injection: the aggregator
 /// aborts *between* writing the new head generation and renaming the
 /// manifest — the exact window where the pre-versioned-head snapshot
@@ -324,6 +382,60 @@ fn store_rpc_server_aborted_mid_reply_recovers_on_restart() {
         EVENTS_PER_COLLECTOR,
         "the restarted aggregator must answer the killed query from its snapshot"
     );
+    let _ = std::fs::remove_dir_all(&snapshot);
+}
+
+/// The aggregator killed *mid-fanout*: the `net.pubsub.fanout` crash
+/// point aborts the process between dequeuing a feed message for a
+/// subscriber and writing it to the socket — the exact window where a
+/// broker death takes an in-flight delivery with it. The in-flight
+/// frame is gone (the lossy feed contract), but nothing the consumer
+/// ultimately sees may be: c1's events were flushed before the abort,
+/// so after a restart from the snapshot the consumer must recover all
+/// of them through backfill and still end at exactly-once, zero-loss
+/// delivery.
+#[test]
+fn aggregator_aborted_mid_fanout_recovers_without_consumer_loss() {
+    let snapshot = std::env::temp_dir().join(format!("sdci-chaos-fanout-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&snapshot);
+    let snap = snapshot.to_str().expect("utf-8 temp path");
+
+    let mut agg = spawn_env(
+        &["aggregator", "--bind", "127.0.0.1:0", "--snapshot", snap],
+        &[("SDCI_CRASH_POINTS", "net.pubsub.fanout:1:abort")],
+    );
+    let addr = wait_for_listen_addr(&mut agg);
+
+    // No subscriber is connected yet, so nothing fans out and the armed
+    // point stays cold while c1 pushes its events; the flush loop then
+    // gets time to commit a snapshot covering all of them.
+    run_collector(&addr, "c1", None);
+    std::thread::sleep(Duration::from_millis(1500));
+
+    // The consumer subscribes into the armed broker: the first feed
+    // message fanned out to it (the idle loop heartbeats every ~20 ms)
+    // dies between dequeue and write, taking the aggregator with it.
+    let expect = (2 * EVENTS_PER_COLLECTOR).to_string();
+    let consumer = spawn_env(
+        &["consumer", "--connect", &addr, "--verbose", "--expect", &expect, "--timeout", "120"],
+        &[],
+    );
+    let status = agg.child().wait().expect("wait for fanout-aborted aggregator");
+    assert!(!status.success(), "the fanout crash point should have aborted the aggregator");
+
+    // Restart from the snapshot on the same address, then run c2 clean.
+    // The consumer's first live event (seq 102+) exposes the gap back
+    // to seq 1; backfill against the restored store must close it.
+    let _agg2 = spawn_env(&["aggregator", "--bind", &addr, "--snapshot", snap], &[]);
+    run_collector(&addr, "c2", None);
+
+    let out = consumer.into_child().wait_with_output().expect("wait for consumer");
+    assert!(out.status.success(), "consumer failed: {:?}", out.status);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let events = check_consumer_output(&stdout, &["c1", "c2"]);
+    assert_eq!(events, 2 * EVENTS_PER_COLLECTOR, "wrong event count:\n{stdout}");
+    let done = stdout.lines().last().unwrap_or_default();
+    assert!(done.contains("lost 0"), "consumer reported loss: {done}");
     let _ = std::fs::remove_dir_all(&snapshot);
 }
 
