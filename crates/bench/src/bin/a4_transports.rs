@@ -22,15 +22,26 @@
 //!   default), so the cost of head sampling plus on-wire contexts is
 //!   measured against the untraced arm.
 //!
-//! Emits `BENCH_a4_transports.json` with all TCP rates and their
-//! ratios, and exits non-zero if the JSON-batched wire is slower than
-//! the per-event wire, if the binary wire is less than 5x the
-//! JSON-batched wire, or if 1/64 tracing costs the default arm more
-//! than 10% throughput — CI runs `--smoke` so frame batching and the
-//! binary codec can't silently regress and tracing can't silently
-//! stop being cheap. (The trace budget was 5% when the default wire
-//! was JSON at ~8µs/event; against the ~6x-faster binary wire, 10%
-//! is a *stricter* absolute bound — ~140ns/event vs ~390ns.)
+//! A second ladder measures the *deliver* direction — consumer
+//! scaling: 1→256 subscribers on one topic, comparing the broker's
+//! encode-once fan-out (each batch rendered once per negotiated proto,
+//! the frozen bytes shared across legs) against the per-subscriber
+//! re-encode baseline (`fanout_encode_once: false`). The subscriber
+//! clients are deliberately drain-only raw sockets, so the measured
+//! cost is the broker's, not 256 deserializers fighting for the CPU.
+//!
+//! Emits `BENCH_a4_transports.json` (push arms) and
+//! `BENCH_a4_consumer_scaling.json` (fan-out ladder) with all rates
+//! and their ratios, and exits non-zero if the JSON-batched wire is
+//! slower than the per-event wire, if the binary wire is less than 5x
+//! the JSON-batched wire, if 1/64 tracing costs the default arm more
+//! than 10% throughput, or if encode-once beats the per-subscriber
+//! baseline by less than 2x at 256 subscribers — CI runs `--smoke` so
+//! frame batching, the binary codec, cheap tracing, and the shared
+//! fan-out encode can't silently regress. (The trace budget was 5%
+//! when the default wire was JSON at ~8µs/event; against the
+//! ~6x-faster binary wire, 10% is a *stricter* absolute bound —
+//! ~140ns/event vs ~390ns.)
 //!
 //! ```text
 //! a4_transports [--smoke]
@@ -38,14 +49,20 @@
 
 use sdci_mq::pipe::pipeline;
 use sdci_mq::pubsub::Broker;
-use sdci_net::{NetConfig, TcpPullServer, TcpPush};
+use sdci_net::wire::{write_msg, Frame, BIN_FRAME_BIT};
+use sdci_net::{NetConfig, TcpBroker, TcpPullServer, TcpPush};
 use sdci_types::{ChangelogKind, EventKind, Fid, FileEvent, MdtIndex, SimTime, TraceContext};
 use serde::Serialize;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread;
 use std::time::Instant;
 
 const PRODUCERS: u64 = 4;
+
+/// Subscriber counts for the consumer-scaling (fan-out) ladder.
+const FANOUT_LADDER: [usize; 5] = [1, 4, 16, 64, 256];
 
 /// The machine-readable result CI archives (`BENCH_a4_transports.json`).
 #[derive(Serialize)]
@@ -70,6 +87,19 @@ struct A4Report {
     trace_sample_every: u64,
     tcp_batched_traced_events_per_sec: f64,
     trace_overhead_pct: f64,
+}
+
+/// The machine-readable fan-out ladder CI archives
+/// (`BENCH_a4_consumer_scaling.json`).
+#[derive(Serialize)]
+struct A4FanoutReport {
+    bench: &'static str,
+    mode: &'static str,
+    events: u64,
+    topic_subscribers: Vec<u64>,
+    encode_once_deliveries_per_sec: Vec<f64>,
+    per_subscriber_encode_deliveries_per_sec: Vec<f64>,
+    encode_once_speedup_at_max: f64,
 }
 
 fn event(i: u64) -> FileEvent {
@@ -254,6 +284,104 @@ fn tcp_runs(runs: u32, events: u64, cfg: &NetConfig, traced: bool) -> (Vec<f64>,
     (rates, best.1)
 }
 
+/// A control-path marker event the drain subscribers can spot by
+/// scanning raw frame bytes for its path, no deserialization needed.
+fn marker_event(path: &str) -> FileEvent {
+    FileEvent { path: PathBuf::from(path), ..event(u64::MAX) }
+}
+
+fn frame_contains(frame: &[u8], needle: &[u8]) -> bool {
+    frame.windows(needle.len()).any(|w| w == needle)
+}
+
+/// A minimal drain-only subscriber: sends the subscriber hello
+/// announcing proto 2 (JSON batch bodies), then reads and discards
+/// frames as fast as the socket yields them, watching small frames for
+/// the PROBE/FIN path markers. Keeping the client this thin isolates
+/// the broker-side fan-out cost — 256 real consumers' deserializers
+/// would otherwise dominate the measurement and mask the encode delta.
+fn drain_subscriber(addr: std::net::SocketAddr, ready: Arc<AtomicU64>) -> thread::JoinHandle<()> {
+    thread::spawn(move || {
+        use std::io::Read;
+        let stream = std::net::TcpStream::connect(addr).expect("connect fan-out subscriber");
+        let mut writer = stream.try_clone().expect("clone fan-out stream");
+        write_msg(
+            &mut writer,
+            &Frame::<FileEvent>::HelloSubscriber {
+                prefixes: vec!["bench/".into()],
+                proto: Some(2),
+            },
+        )
+        .expect("subscriber hello");
+        let mut reader = std::io::BufReader::with_capacity(1 << 16, stream);
+        let mut announced = false;
+        let mut frame = Vec::new();
+        loop {
+            let mut word = [0u8; 4];
+            reader.read_exact(&mut word).expect("read frame length");
+            let len = (u32::from_be_bytes(word) & !BIN_FRAME_BIT) as usize;
+            frame.resize(len, 0);
+            reader.read_exact(&mut frame).expect("read frame body");
+            // Markers ride singleton `Deliver` frames, which are small;
+            // bulk batch frames are skipped without scanning.
+            if len < 1024 {
+                if !announced && frame_contains(&frame, b"/bench/PROBE") {
+                    announced = true;
+                    ready.fetch_add(1, Ordering::Relaxed);
+                }
+                if frame_contains(&frame, b"/bench/FIN") {
+                    return;
+                }
+            }
+        }
+    })
+}
+
+/// One consumer-scaling run: `subs` drain-only subscribers on one
+/// topic, `events` `FileEvent`s published once through the broker.
+/// Returns aggregate deliveries/s (`subs * events / wall`), timed from
+/// the first publish to the last subscriber swallowing the FIN
+/// sentinel. Sentinel receipt implies full delivery: every queue on
+/// the path is FIFO and sized above the run, and the sentinel is
+/// published last.
+fn run_fanout(subs: usize, events: u64, encode_once: bool) -> f64 {
+    let cfg = NetConfig { fanout_encode_once: encode_once, ..NetConfig::default() };
+    let broker = TcpBroker::<FileEvent>::bind("127.0.0.1:0", 65_536, cfg.clone())
+        .expect("bind loopback fan-out broker");
+    let addr = broker.local_addr();
+    let ready = Arc::new(AtomicU64::new(0));
+    let consumers: Vec<_> = (0..subs).map(|_| drain_subscriber(addr, Arc::clone(&ready))).collect();
+
+    // Probe until every leg demonstrably delivers, so the timed window
+    // measures fan-out, not connection establishment.
+    let publisher = broker.publisher();
+    while ready.load(Ordering::Relaxed) < subs as u64 {
+        publisher.publish("bench/probe", marker_event("/bench/PROBE"));
+        thread::sleep(std::time::Duration::from_millis(2));
+    }
+
+    let start = Instant::now();
+    for i in 0..events {
+        publisher.publish("bench/e", event(i));
+    }
+    // A distinct topic keeps the sentinel out of the burst's runs, so
+    // it stays a small singleton frame the scanners can spot.
+    publisher.publish("bench/fin", marker_event("/bench/FIN"));
+    for consumer in consumers {
+        consumer.join().expect("fan-out subscriber panicked");
+    }
+    let rate = (subs as u64 * events) as f64 / start.elapsed().as_secs_f64();
+    broker.shutdown();
+    rate
+}
+
+/// Runs a fan-out cell `runs` times; returns the rates ascending.
+fn fanout_runs(runs: u32, subs: usize, events: u64, encode_once: bool) -> Vec<f64> {
+    let mut rates: Vec<f64> = (0..runs).map(|_| run_fanout(subs, events, encode_once)).collect();
+    rates.sort_by(f64::total_cmp);
+    rates
+}
+
 fn median(rates: &[f64]) -> f64 {
     rates[rates.len() / 2]
 }
@@ -318,6 +446,29 @@ fn main() {
     }
     sdci_obs::trace::set_sample_every(0);
 
+    // Consumer scaling: the fan-out ladder. The deliver session is
+    // pinned to proto 2 by the drain clients' hello (JSON batch
+    // bodies), so the per-subscriber work the encode-once dispatcher
+    // amortizes is the expensive text codec; the baseline re-runs the
+    // ladder with the shared-frame path disabled — the old
+    // re-serialize-per-leg broker. The gated high end gets the
+    // best-vs-median treatment the other gates use.
+    let fanout_events: u64 = if smoke { 2_000 } else { 6_000 };
+    let top = *FANOUT_LADDER.last().expect("non-empty ladder");
+    let mut fanout_once = Vec::new();
+    let mut fanout_per_leg = Vec::new();
+    let mut fanout_speedup = 0.0f64;
+    for &subs in &FANOUT_LADDER {
+        let runs = if subs == top { 3 } else { 1 };
+        let once = fanout_runs(runs, subs, fanout_events, true);
+        let per_leg = fanout_runs(runs, subs, fanout_events, false);
+        if subs == top {
+            fanout_speedup = best(&once) / median(&per_leg);
+        }
+        fanout_once.push(best(&once));
+        fanout_per_leg.push(best(&per_leg));
+    }
+
     sdci_bench::print_table(
         &["transport", "throughput (events/s)", "delivered", "semantics"],
         &[
@@ -365,6 +516,28 @@ fn main() {
             ],
         ],
     );
+    println!();
+    sdci_bench::print_table(
+        &[
+            "topic subscribers",
+            "encode-once (deliveries/s)",
+            "per-subscriber encode (deliveries/s)",
+            "ratio",
+        ],
+        &FANOUT_LADDER
+            .iter()
+            .enumerate()
+            .map(|(i, subs)| {
+                vec![
+                    format!("{subs}"),
+                    format!("{:.0}", fanout_once[i]),
+                    format!("{:.0}", fanout_per_leg[i]),
+                    format!("{:.1}x", fanout_once[i] / fanout_per_leg[i]),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
     // Every TCP arm already asserted full delivery inside tcp_runs.
     assert_eq!(pp_recv, events, "push/pull may not lose events");
     assert_eq!(tcp1_batches, 0, "a proto-1 session must not carry batch frames");
@@ -405,6 +578,20 @@ fn main() {
     std::fs::write(out, body + "\n").expect("write bench report");
     println!("\nwrote {out}");
 
+    let fanout_report = A4FanoutReport {
+        bench: "a4_consumer_scaling",
+        mode: if smoke { "smoke" } else { "full" },
+        events: fanout_events,
+        topic_subscribers: FANOUT_LADDER.iter().map(|&s| s as u64).collect(),
+        encode_once_deliveries_per_sec: fanout_once.clone(),
+        per_subscriber_encode_deliveries_per_sec: fanout_per_leg.clone(),
+        encode_once_speedup_at_max: fanout_speedup,
+    };
+    let fanout_out = "BENCH_a4_consumer_scaling.json";
+    let body = serde_json::to_string_pretty(&fanout_report).expect("serialize fan-out report");
+    std::fs::write(fanout_out, body + "\n").expect("write fan-out report");
+    println!("wrote {fanout_out}");
+
     if wire_speedup < 1.0 {
         eprintln!(
             "\nA4 REGRESSION: batched wire slower than per-event \
@@ -424,6 +611,13 @@ fn main() {
             "\nA4 REGRESSION: 1/{SAMPLE_EVERY} tracing costs the batched wire \
              {trace_overhead_pct:.1}% ({tcp3_rate:.0} vs {bin_rate:.0} events/s); \
              the 10% budget is exceeded"
+        );
+        std::process::exit(1);
+    }
+    if fanout_speedup < 2.0 {
+        eprintln!(
+            "\nA4 REGRESSION: encode-once fan-out must be at least 2x the \
+             per-subscriber re-encode at {top} subscribers (got {fanout_speedup:.2}x)"
         );
         std::process::exit(1);
     }

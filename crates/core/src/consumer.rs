@@ -161,32 +161,44 @@ impl<F: Subscribe<FeedMessage>, R: StoreReader> EventConsumer<F, R> {
     }
 
     fn pop_ready(&mut self) -> Option<FileEvent> {
-        // Drop stale duplicates (e.g. an event that arrived both live
-        // and via backfill).
-        while self.backlog.front().is_some_and(|f| f.seq < self.next_seq) {
-            self.backlog.pop_front();
-        }
-        let front = self.backlog.front()?;
-        if front.seq == self.next_seq {
-            let sev = self.backlog.pop_front().expect("peeked entry");
-            self.next_seq += 1;
-            Some(sev.event)
-        } else {
+        // Iterative on purpose: a gap-dense backlog (thousands of
+        // single-seq holes after a long partition) walks one loop
+        // iteration per hole instead of growing the call stack.
+        loop {
+            // Drop stale duplicates (e.g. an event that arrived both
+            // live and via backfill).
+            while self.backlog.front().is_some_and(|f| f.seq < self.next_seq) {
+                self.backlog.pop_front();
+            }
+            let front_seq = self.backlog.front()?.seq;
+            if front_seq == self.next_seq {
+                let sev = self.backlog.pop_front().expect("peeked entry");
+                self.next_seq += 1;
+                return Some(sev.event);
+            }
             // Still gapped: try to backfill, then re-check.
-            self.backfill_to(front.seq);
-            let front = self.backlog.front()?;
-            if front.seq == self.next_seq {
-                self.pop_ready()
-            } else {
-                // Rotated out of the store: acknowledge the loss and move
-                // on rather than stalling forever.
-                let lost = front.seq - self.next_seq;
-                self.stats.lost += lost;
-                sdci_obs::static_metric!(counter, "sdci_consumer_lost_total").add(lost);
-                self.next_seq = front.seq;
-                self.pop_ready()
+            self.backfill_to(front_seq);
+            let front_seq = self.backlog.front()?.seq;
+            if front_seq != self.next_seq {
+                // Rotated out of the store: acknowledge the loss and
+                // move on rather than stalling forever.
+                self.count_lost_through(front_seq - 1);
             }
         }
+    }
+
+    /// Accounts sequence numbers `[next_seq, up_to]` as permanently
+    /// lost and advances the cursor past them. Coupling the counter to
+    /// the `next_seq` advance is what makes loss accounting idempotent:
+    /// a range can only be counted while the cursor still points below
+    /// it, so re-observing the same gap (e.g. a repeated heartbeat)
+    /// cannot add it to [`ConsumerStats::lost`] twice.
+    fn count_lost_through(&mut self, up_to: u64) {
+        debug_assert!(up_to >= self.next_seq, "loss range must be ahead of the cursor");
+        let lost = up_to - self.next_seq + 1;
+        self.stats.lost += lost;
+        sdci_obs::static_metric!(counter, "sdci_consumer_lost_total").add(lost);
+        self.next_seq = up_to + 1;
     }
 
     fn ingest(&mut self, msg: FeedMessage) {
@@ -218,15 +230,20 @@ impl<F: Subscribe<FeedMessage>, R: StoreReader> EventConsumer<F, R> {
         sdci_obs::static_metric!(counter, "sdci_consumer_recovered_total")
             .add(missing.len() as u64);
         self.backlog.extend(missing);
-        // Whatever the store no longer retains is gone for good.
+        // Whatever the store no longer retains is gone for good — but
+        // only account it once the cursor can move past it. With a
+        // non-empty backlog the range past `recovered_to` is not yet
+        // resolved (earlier gaps still separate the cursor from it);
+        // counting it here *without* advancing `next_seq` is exactly
+        // the double-count bug: the next heartbeat with the same
+        // `last_seq` would re-query the gone range and re-add the same
+        // loss. Deferring is safe: either a later heartbeat lands after
+        // the backlog drains, or later live events arrive and
+        // `pop_ready` accounts the gap — each path counts it exactly
+        // once, because both go through `count_lost_through`.
         let recovered_to = self.backlog.back().map_or(self.next_seq - 1, |b| b.seq);
-        if recovered_to < last_seq {
-            self.stats.lost += last_seq - recovered_to;
-            sdci_obs::static_metric!(counter, "sdci_consumer_lost_total")
-                .add(last_seq - recovered_to);
-            if self.backlog.is_empty() {
-                self.next_seq = last_seq + 1;
-            }
+        if recovered_to < last_seq && self.backlog.is_empty() {
+            self.count_lost_through(last_seq);
         }
     }
 
@@ -280,6 +297,59 @@ impl<F: Subscribe<FeedMessage>, R: StoreReader> EventConsumer<F, R> {
     /// The next sequence number this consumer expects.
     pub fn next_seq(&self) -> u64 {
         self.next_seq
+    }
+
+    /// The durable cursor: the highest sequence number this consumer
+    /// has fully consumed (0 before anything). Persist it (e.g. via
+    /// [`ConsumerCursor`]) and hand it back to [`EventConsumer::new`]
+    /// as `last_seen_seq` to resume from the same stream position —
+    /// not from "now" — after a restart.
+    pub fn cursor(&self) -> u64 {
+        self.next_seq - 1
+    }
+}
+
+/// A durable consumer position: one sequence number in a sidecar file,
+/// replaced atomically (write-tmp-rename, like the collector's
+/// changelog-marks sidecar) so a crash mid-checkpoint leaves the
+/// previous cursor intact rather than a torn file.
+#[derive(Debug, Clone)]
+pub struct ConsumerCursor {
+    path: PathBuf,
+    tmp: PathBuf,
+}
+
+impl ConsumerCursor {
+    /// Binds the cursor to `path`; nothing is read or written yet.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        let path = path.into();
+        let tmp = path.with_extension("cursor.tmp");
+        ConsumerCursor { path, tmp }
+    }
+
+    /// Loads the checkpointed cursor, or `None` when no checkpoint
+    /// exists yet (a fresh consumer). A torn or corrupt file is a hard
+    /// error, not a silent restart from 0: resuming from the wrong seq
+    /// re-delivers (or skips) events.
+    pub fn load(&self) -> std::io::Result<Option<u64>> {
+        match std::fs::read_to_string(&self.path) {
+            Ok(body) => body.trim().parse::<u64>().map(Some).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("corrupt cursor file {}: {e}", self.path.display()),
+                )
+            }),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Checkpoints `seq` (an [`EventConsumer::cursor`] value)
+    /// atomically: the sidecar is fully written, then renamed over the
+    /// cursor file in one step.
+    pub fn save(&self, seq: u64) -> std::io::Result<()> {
+        std::fs::write(&self.tmp, format!("{seq}\n"))?;
+        std::fs::rename(&self.tmp, &self.path)
     }
 }
 
@@ -501,6 +571,80 @@ mod tests {
         let s = consumer.stats();
         assert_eq!(s.lost, 4);
         assert_eq!(s.backfill_retries, 2);
+    }
+
+    #[test]
+    fn repeated_heartbeats_count_loss_exactly_once() {
+        // Store retains only seq 7: seqs 1-6 and 8-10 are gone for
+        // good. The first heartbeat recovers 7 into the backlog and
+        // observes the lost tail (7, 10] while the backlog is
+        // non-empty — the shape that used to be counted again by every
+        // further heartbeat carrying the same `last_seq`.
+        let broker: Broker<FeedMessage> = Broker::new(1024);
+        let store = Arc::new(EventStore::new(1));
+        store.insert(sev(7)).unwrap();
+        let mut consumer = EventConsumer::new(broker.subscribe(&["feed/"]), Arc::clone(&store), 0)
+            .with_backfill_retry(0, Duration::from_millis(1));
+        let p = broker.publisher();
+        p.publish("feed/all", FeedMessage::Heartbeat { last_seq: 10 });
+        p.publish("feed/all", FeedMessage::Heartbeat { last_seq: 10 });
+        let got: Vec<u64> = std::iter::from_fn(|| consumer.try_next().map(|e| e.index)).collect();
+        assert_eq!(got, vec![7]);
+        let s = consumer.stats();
+        assert_eq!(s.recovered, 1);
+        assert_eq!(s.lost, 9, "seqs 1-6 and 8-10 must each count as lost exactly once");
+        assert_eq!(consumer.next_seq(), 11);
+    }
+
+    #[test]
+    fn gap_dense_backlog_does_not_overflow_the_stack() {
+        // 10k single-seq holes: the store retains every even seq up to
+        // 20000, every odd seq is lost. One heartbeat loads the whole
+        // gap-dense range into the backlog, and draining it must walk
+        // the holes iteratively rather than recursing per gap.
+        const HOLES: u64 = 10_000;
+        let broker: Broker<FeedMessage> = Broker::new(1024);
+        let store = Arc::new(EventStore::new(HOLES as usize));
+        for k in 1..=HOLES {
+            store.insert(sev(2 * k)).unwrap();
+        }
+        let mut consumer = EventConsumer::new(broker.subscribe(&["feed/"]), Arc::clone(&store), 0)
+            .with_backfill_retry(0, Duration::from_millis(1));
+        broker.publisher().publish("feed/all", FeedMessage::Heartbeat { last_seq: 2 * HOLES });
+        let got: Vec<u64> = std::iter::from_fn(|| consumer.try_next().map(|e| e.index)).collect();
+        assert_eq!(got, (1..=HOLES).map(|k| 2 * k).collect::<Vec<_>>());
+        let s = consumer.stats();
+        assert_eq!(s.recovered, HOLES);
+        assert_eq!(s.lost, HOLES, "one lost odd seq per hole, each counted once");
+    }
+
+    #[test]
+    fn cursor_checkpoint_roundtrip_and_corruption_detection() {
+        let dir = std::env::temp_dir().join(format!("sdci-cursor-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cursor = ConsumerCursor::new(dir.join("consumer.cursor"));
+        assert_eq!(cursor.load().unwrap(), None, "fresh cursor has no checkpoint");
+        cursor.save(41).unwrap();
+        cursor.save(42).unwrap();
+        assert_eq!(cursor.load().unwrap(), Some(42));
+        // A consumer resumed from the checkpoint picks up at seq 43.
+        let (broker, store, _fresh) = harness(100);
+        for i in 1..=45 {
+            store.insert(sev(i)).unwrap();
+        }
+        let mut consumer = EventConsumer::new(
+            broker.subscribe(&["feed/"]),
+            Arc::clone(&store),
+            cursor.load().unwrap().unwrap_or(0),
+        );
+        broker.publisher().publish("feed/all", FeedMessage::Event(sev(45)));
+        let got: Vec<u64> = std::iter::from_fn(|| consumer.try_next().map(|e| e.index)).collect();
+        assert_eq!(got, vec![43, 44, 45]);
+        assert_eq!(consumer.cursor(), 45);
+        // Corruption is a hard error, never a silent restart from 0.
+        std::fs::write(dir.join("consumer.cursor"), "not-a-seq\n").unwrap();
+        assert!(cursor.load().is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

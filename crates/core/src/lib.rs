@@ -84,7 +84,7 @@ pub use cluster::{
 };
 pub use collector::{Collector, CollectorCheckpoint, CollectorStats};
 pub use config::MonitorConfig;
-pub use consumer::{ConsumerStats, EventConsumer};
+pub use consumer::{ConsumerCursor, ConsumerStats, EventConsumer};
 pub use metrics::{IntervalRates, MetricsRecorder, MetricsSample};
 pub use pathcache::{CacheStats, PathCache};
 pub use resource::{ComponentUsage, ResourceModel, ResourceReport};

@@ -110,7 +110,17 @@ impl<T: Clone + Send + 'static> Broker<T> {
     /// Registers a subscriber for the given topic prefixes. An empty
     /// prefix (`""`) subscribes to everything.
     pub fn subscribe(&self, prefixes: &[&str]) -> Subscriber<T> {
-        let (tx, rx) = bounded(self.hwm);
+        self.subscribe_with_hwm(prefixes, self.hwm)
+    }
+
+    /// [`Broker::subscribe`] with a per-subscription high-water mark
+    /// overriding the broker default. Relay subscriptions that fan a
+    /// whole broker out to further consumers (e.g. the TCP broker's
+    /// encode-once dispatcher) use a deeper queue than an ordinary
+    /// subscriber, so a burst sheds at the *remote* legs' own marks
+    /// rather than silently at the relay's.
+    pub fn subscribe_with_hwm(&self, prefixes: &[&str], hwm: usize) -> Subscriber<T> {
+        let (tx, rx) = bounded(hwm.max(1));
         let dropped = Arc::new(AtomicU64::new(0));
         self.state.lock().subscribers.push(SubscriberSlot {
             prefixes: prefixes.iter().map(|p| p.to_string()).collect(),
@@ -408,6 +418,20 @@ mod tests {
         assert!(slow.try_recv().is_none());
         assert_eq!(slow.dropped(), 3);
         assert_eq!(broker.dropped(), 3);
+    }
+
+    #[test]
+    fn per_subscription_hwm_overrides_broker_default() {
+        let broker: Broker<u32> = Broker::new(2);
+        let deep = broker.subscribe_with_hwm(&[""], 8);
+        let shallow = broker.subscribe(&[""]);
+        let p = broker.publisher();
+        for i in 0..5 {
+            p.publish("t", i);
+        }
+        assert_eq!(deep.dropped(), 0);
+        assert_eq!(deep.queued(), 5);
+        assert_eq!(shallow.dropped(), 3, "the broker default still bounds other subscribers");
     }
 
     #[test]

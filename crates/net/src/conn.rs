@@ -65,6 +65,12 @@ pub struct NetConfig {
     /// every connection this config opens or accepts; `None` (the
     /// default) is a clean wire.
     pub faults: Option<Arc<FaultPlan>>,
+    /// Broker-side fan-out strategy: `true` (the default) encodes each
+    /// delivered batch once per negotiated proto and shares the frozen
+    /// frame bytes across all same-proto subscriber legs; `false`
+    /// re-serializes per leg. The slow path exists only as the
+    /// benchmark baseline — there is no behavioural difference.
+    pub fanout_encode_once: bool,
 }
 
 impl Default for NetConfig {
@@ -80,6 +86,7 @@ impl Default for NetConfig {
             proto: crate::WIRE_PROTO,
             connect_timeout: Duration::from_secs(1),
             faults: None,
+            fanout_encode_once: true,
         }
     }
 }

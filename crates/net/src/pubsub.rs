@@ -6,7 +6,14 @@
 //! * **publishers** ([`TcpPublisher`]) stream `Publish` frames that the
 //!   server republishes into the local broker;
 //! * **subscribers** ([`TcpSubscriber`]) send their topic-prefix list
-//!   and receive `Deliver` frames fanned out from a local subscription.
+//!   (plus, since proto 2, their wire version) and receive `Deliver` /
+//!   `DeliverBatch` frames fanned out from a local subscription.
+//!
+//! The deliver direction is **encode-once**: a single dispatcher
+//! thread per broker drains one relay subscription, renders each
+//! same-topic run once per negotiated proto into frozen frame bytes
+//! (`Arc<[u8]>`), and hands the same buffer to every same-proto
+//! subscriber leg. N subscribers cost one encode, not N.
 //!
 //! Semantics match `sdci_mq::pubsub`: best-effort delivery with a
 //! per-subscriber high-water mark. Backpressure from a slow socket
@@ -21,13 +28,16 @@
 use crate::conn::{Backoff, NetConfig};
 use crate::faulted::{conn_faults, spawn_worker, FaultedWriter};
 use crate::wire::{
-    write_msg, write_publish_batch_bin, write_publish_batch_traced, BinEncoder, Frame, FrameReader,
+    write_deliver_batch, write_deliver_batch_bin, write_deliver_events, write_msg,
+    write_publish_batch_bin, write_publish_batch_traced, BinEncoder, Frame, FrameReader,
+    BIN_FRAME_BIT,
 };
 use sdci_mq::pubsub::{Broker, Message};
 use sdci_mq::transport::{Publish, PublishOutcome, Subscribe, Transport};
 use sdci_types::{BinPayload, TraceCarrier, TraceContext};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -72,6 +82,47 @@ pub struct TcpBroker<T> {
     accept: Option<JoinHandle<()>>,
     conns: Arc<parking_lot::Mutex<Vec<JoinHandle<()>>>>,
     counters: Arc<BrokerCounters>,
+    fanout: Arc<FanoutHub>,
+}
+
+/// One encoded batch, frozen for fan-out: the frame bytes are rendered
+/// once per negotiated wire form and shared by reference across every
+/// subscriber leg speaking that form.
+#[derive(Clone)]
+struct DeliverChunk {
+    /// One or more complete wire frames, concatenated.
+    bytes: Arc<[u8]>,
+    /// Frames in `bytes`, for `frames_out` accounting.
+    frames: u64,
+    /// Messages across those frames, for shed accounting.
+    msgs: u64,
+}
+
+/// A connected remote subscriber, as the fan-out dispatcher sees it.
+struct FanoutLeg {
+    prefixes: Vec<String>,
+    /// Negotiated session proto (`min(broker, announced)`): ≥3 receives
+    /// binary `DeliverBatch`, 2 the JSON form, 1 per-event `Deliver`.
+    proto: u32,
+    tx: crossbeam_channel::Sender<DeliverChunk>,
+}
+
+impl FanoutLeg {
+    /// Same prefix semantics as the local broker's fan-out: an empty
+    /// prefix (`""`) matches everything.
+    fn matches(&self, topic: &str) -> bool {
+        self.prefixes.iter().any(|p| topic.starts_with(p.as_str()))
+    }
+}
+
+/// Shared fan-out state on a [`TcpBroker`]: the registered subscriber
+/// legs plus the dispatcher thread that encodes for them, spawned
+/// lazily with the first remote subscriber so brokers that never see
+/// one never pay for it.
+#[derive(Default)]
+struct FanoutHub {
+    legs: parking_lot::Mutex<Vec<FanoutLeg>>,
+    dispatcher: parking_lot::Mutex<Option<JoinHandle<()>>>,
 }
 
 impl<T> std::fmt::Debug for TcpBroker<T> {
@@ -111,20 +162,22 @@ where
         let stop = Arc::new(AtomicBool::new(false));
         let conns: Arc<parking_lot::Mutex<Vec<JoinHandle<()>>>> = Arc::default();
         let counters = Arc::new(BrokerCounters::default());
+        let fanout = Arc::new(FanoutHub::default());
         let accept = {
             let local = local.clone();
             let stop = Arc::clone(&stop);
             let conns = Arc::clone(&conns);
             let counters = Arc::clone(&counters);
+            let fanout = Arc::clone(&fanout);
             spawn_worker(
                 format!("sdci-net-accept-{}", addr.port()),
                 "net.pubsub.spawn_accept",
                 move || {
-                    accept_loop(listener, local, cfg, stop, conns, counters);
+                    accept_loop(listener, local, cfg, stop, conns, counters, fanout);
                 },
             )?
         };
-        Ok(TcpBroker { local, addr, stop, accept: Some(accept), conns, counters })
+        Ok(TcpBroker { local, addr, stop, accept: Some(accept), conns, counters, fanout })
     }
 
     /// The address actually bound (resolves port 0).
@@ -168,6 +221,13 @@ where
         if let Some(t) = self.accept.take() {
             let _ = t.join();
         }
+        // The dispatcher's exit is what releases the subscriber legs
+        // (its final flush drains into their queues, then their senders
+        // drop), so it must be joined before the connection threads.
+        let dispatcher = self.fanout.dispatcher.lock().take();
+        if let Some(t) = dispatcher {
+            let _ = t.join();
+        }
         let handles: Vec<JoinHandle<()>> = self.conns.lock().drain(..).collect();
         for t in handles {
             let _ = t.join();
@@ -191,6 +251,7 @@ fn accept_loop<T>(
     stop: Arc<AtomicBool>,
     conns: Arc<parking_lot::Mutex<Vec<JoinHandle<()>>>>,
     counters: Arc<BrokerCounters>,
+    fanout: Arc<FanoutHub>,
 ) where
     T: Clone + Send + Serialize + Deserialize + BinPayload + 'static,
 {
@@ -202,9 +263,10 @@ fn accept_loop<T>(
                 let cfg = cfg.clone();
                 let stop = Arc::clone(&stop);
                 let counters = Arc::clone(&counters);
+                let fanout = Arc::clone(&fanout);
                 let spawned =
                     spawn_worker("sdci-net-conn".into(), "net.pubsub.spawn_conn", move || {
-                        serve_connection(stream, local, cfg, stop, counters)
+                        serve_connection(stream, local, cfg, stop, counters, fanout)
                     });
                 match spawned {
                     Ok(handle) => {
@@ -234,6 +296,7 @@ fn serve_connection<T>(
     cfg: NetConfig,
     stop: Arc<AtomicBool>,
     counters: Arc<BrokerCounters>,
+    fanout: Arc<FanoutHub>,
 ) where
     T: Clone + Send + Serialize + Deserialize + BinPayload + 'static,
 {
@@ -251,8 +314,8 @@ fn serve_connection<T>(
         Ok(Frame::HelloPublisher) => {
             serve_publisher(&mut reader, &mut writer, local, cfg, stop, counters)
         }
-        Ok(Frame::HelloSubscriber { prefixes }) => {
-            serve_subscriber(&mut writer, local, &prefixes, cfg, stop, counters)
+        Ok(Frame::HelloSubscriber { prefixes, proto }) => {
+            serve_subscriber(&mut writer, local, &prefixes, proto, cfg, stop, counters, fanout)
         }
         _ => {} // bad handshake: drop the connection
     }
@@ -339,63 +402,247 @@ fn serve_publisher<T>(
     }
 }
 
-/// Fans a local subscription out to one remote subscriber, probing with
-/// `Ping` while idle; on shutdown drains the queue and sends `Fin`.
+/// Serves one remote subscriber: negotiates the deliver proto, then
+/// ships the shared dispatcher's encode-once chunks down this socket,
+/// probing with `Ping` while idle. On shutdown the dispatcher's final
+/// flush lands in this leg's queue and drains — through the same
+/// crash-pointed write path as live traffic — before the `Fin`.
+#[allow(clippy::too_many_arguments)]
 fn serve_subscriber<T>(
     writer: &mut FaultedWriter<TcpStream>,
     local: Broker<T>,
     prefixes: &[String],
+    announced: Option<u32>,
     cfg: NetConfig,
     stop: Arc<AtomicBool>,
     counters: Arc<BrokerCounters>,
+    hub: Arc<FanoutHub>,
 ) where
-    T: Clone + Send + Serialize + Deserialize + 'static,
+    T: Clone + Send + Serialize + Deserialize + BinPayload + 'static,
 {
-    let refs: Vec<&str> = prefixes.iter().map(String::as_str).collect();
-    let sub = local.subscribe(&refs);
+    // Deliver-direction negotiation, mirroring the publish leg: the
+    // session speaks min(ours, announced). A hello with no `proto`
+    // field is a pre-versioned subscriber and must only ever see
+    // per-event `Deliver` frames.
+    let session = cfg.proto.min(announced.unwrap_or(1));
+    // Crash point: a broker that dies mid-greeting leaves the client
+    // reconnecting with backoff — the chaos tests kill here to prove
+    // subscribers survive it.
+    if sdci_faults::crash_point("net.pubsub.greet").is_err() {
+        return;
+    }
+    if cfg.proto >= 2
+        && write_msg(writer, &Frame::<T>::Ack { up_to: 0, proto: Some(cfg.proto) }).is_err()
+    {
+        return;
+    }
+    if !ensure_dispatcher(&hub, &local, &cfg, &stop) {
+        return; // spawn failed: drop the connection, the client retries
+    }
+    let (tx, rx) = crossbeam_channel::bounded::<DeliverChunk>(cfg.hwm.max(1));
+    hub.legs.lock().push(FanoutLeg { prefixes: prefixes.to_vec(), proto: session, tx });
     let mut last_write = Instant::now();
     loop {
-        // Checked every iteration so a busy feed cannot pin the handler
-        // past shutdown.
-        if stop.load(Ordering::Relaxed) {
-            // Graceful drain: everything already queued still goes out.
-            while let Some(msg) = sub.try_recv() {
-                let frame = Frame::Deliver { topic: msg.topic, payload: msg.payload };
-                if write_msg(writer, &frame).is_err() {
-                    return;
-                }
-                counters.frames_out.fetch_add(1, Ordering::Relaxed);
-            }
-            let _ = write_msg(writer, &Frame::<T>::Fin);
-            return;
-        }
-        match sub.recv_timeout(cfg.heartbeat) {
-            Some(msg) => {
-                // Crash point: dying between the local dequeue and the
-                // socket write loses the in-flight message for this
-                // subscriber only — the lossy fanout contract. The
-                // chaos tests kill here to prove a mid-fanout broker
-                // death never wedges or corrupts reconnecting
-                // subscribers.
+        match rx.recv_timeout(cfg.heartbeat) {
+            Ok(chunk) => {
+                // Crash point: dying between the dispatcher dequeue and
+                // the socket write loses the in-flight chunk for this
+                // subscriber only — the lossy fanout contract. Both the
+                // live path and the shutdown drain pass through here,
+                // so chaos schedules can fault the graceful drain too.
                 if sdci_faults::crash_point("net.pubsub.fanout").is_err() {
                     return;
                 }
-                let frame = Frame::Deliver { topic: msg.topic, payload: msg.payload };
-                if write_msg(writer, &frame).is_err() {
-                    return; // peer gone; dropping `sub` detaches from the broker
+                if write_chunk(writer, &chunk.bytes).is_err() {
+                    return; // peer gone; dropping `rx` detaches the leg
                 }
-                counters.frames_out.fetch_add(1, Ordering::Relaxed);
+                counters.frames_out.fetch_add(chunk.frames, Ordering::Relaxed);
                 last_write = Instant::now();
             }
-            None => {
+            Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
                 if last_write.elapsed() >= cfg.heartbeat
                     && write_msg(writer, &Frame::<T>::Ping).is_err()
                 {
                     return;
                 }
             }
+            Err(crossbeam_channel::RecvTimeoutError::Disconnected) => {
+                // The dispatcher flushed everything queued for this leg
+                // and dropped its sender: graceful drain complete.
+                let _ = write_msg(writer, &Frame::<T>::Fin);
+                return;
+            }
         }
     }
+}
+
+/// Spawns the fan-out dispatcher on first use. The relay subscription
+/// is created here, synchronously, so a message published right after
+/// the first subscriber's hello is already queued by the time the
+/// dispatcher thread starts. Returns `false` when the spawn fails (an
+/// armed fail point or a real EAGAIN).
+fn ensure_dispatcher<T>(
+    hub: &Arc<FanoutHub>,
+    local: &Broker<T>,
+    cfg: &NetConfig,
+    stop: &Arc<AtomicBool>,
+) -> bool
+where
+    T: Clone + Send + Serialize + BinPayload + 'static,
+{
+    let mut slot = hub.dispatcher.lock();
+    if slot.is_some() {
+        return true;
+    }
+    // The relay tap is deeper than an ordinary subscription: bursts
+    // shed at each leg's own bounded queue, not at this shared feed.
+    let sub = local.subscribe_with_hwm(&[""], cfg.hwm.max(1));
+    let cfg = cfg.clone();
+    let stop = Arc::clone(stop);
+    let hub = Arc::clone(hub);
+    match spawn_worker("sdci-net-fanout".into(), "net.pubsub.spawn_fanout", move || {
+        fanout_dispatcher(sub, cfg, stop, hub)
+    }) {
+        Ok(handle) => {
+            *slot = Some(handle);
+            true
+        }
+        Err(e) => {
+            sdci_obs::error!("fanout dispatcher spawn failed; dropping subscriber"; error = e.to_string());
+            sdci_obs::static_metric!(counter, "sdci_net_spawn_failures_total").inc();
+            false
+        }
+    }
+}
+
+/// The per-broker fan-out dispatcher: drains the relay subscription,
+/// coalesces whatever is queued into maximal same-topic runs, and
+/// encodes each run once per wire form for all matching legs. On
+/// shutdown it flushes everything already queued into the legs, then
+/// drops their senders, releasing each leg to drain and `Fin`.
+fn fanout_dispatcher<T>(
+    sub: sdci_mq::pubsub::Subscriber<T>,
+    cfg: NetConfig,
+    stop: Arc<AtomicBool>,
+    hub: Arc<FanoutHub>,
+) where
+    T: Send + Serialize + BinPayload + 'static,
+{
+    let mut enc = BinEncoder::new();
+    let mut batch: VecDeque<Message<T>> = VecDeque::new();
+    loop {
+        let draining = stop.load(Ordering::Relaxed);
+        if draining {
+            // Graceful drain: everything already queued still goes out.
+            while let Some(msg) = sub.try_recv() {
+                batch.push_back(msg);
+            }
+        } else {
+            match sub.recv_timeout(cfg.heartbeat) {
+                Some(msg) => {
+                    batch.push_back(msg);
+                    while batch.len() < cfg.max_batch.max(1) {
+                        match sub.try_recv() {
+                            Some(m) => batch.push_back(m),
+                            None => break,
+                        }
+                    }
+                }
+                None => continue,
+            }
+        }
+        while let Some(Message { topic, payload }) = batch.pop_front() {
+            let mut run: Vec<T> = vec![payload];
+            while batch.front().is_some_and(|m| m.topic == topic) {
+                run.push(batch.pop_front().expect("peeked front").payload);
+            }
+            fan_out_run(&mut enc, &topic, &run, &cfg, &hub);
+        }
+        if draining {
+            break;
+        }
+    }
+    hub.legs.lock().clear();
+}
+
+/// Encodes one same-topic run and feeds it to every matching leg. With
+/// `fanout_encode_once` (the default) each wire form is rendered once
+/// and the frozen bytes shared across legs; the per-leg re-serialize
+/// path exists only as the benchmark baseline.
+fn fan_out_run<T: Serialize + BinPayload>(
+    enc: &mut BinEncoder,
+    topic: &str,
+    run: &[T],
+    cfg: &NetConfig,
+    hub: &FanoutHub,
+) {
+    let mut legs = hub.legs.lock();
+    if legs.is_empty() {
+        return;
+    }
+    // One slot per wire form: [unused, per-event JSON, JSON batch,
+    // binary batch].
+    let mut shared: [Option<DeliverChunk>; 4] = [None, None, None, None];
+    legs.retain(|leg| {
+        if !leg.matches(topic) {
+            return true;
+        }
+        // Lone messages take the per-event form on every session,
+        // mirroring the publish leg's plain `Publish` for a run of one.
+        let form = if run.len() == 1 { 1 } else { leg.proto.min(3) } as usize;
+        let chunk = if cfg.fanout_encode_once {
+            if shared[form].is_none() {
+                shared[form] = encode_run(enc, form as u32, topic, run).ok();
+            }
+            shared[form].clone()
+        } else {
+            encode_run(enc, form as u32, topic, run).ok()
+        };
+        let Some(chunk) = chunk else { return true };
+        match leg.tx.try_send(chunk) {
+            Ok(()) => true,
+            Err(crossbeam_channel::TrySendError::Full(c)) => {
+                // This leg's socket fell behind: shed for it alone —
+                // the same high-water-mark contract as in-process.
+                sdci_obs::static_metric!(counter, "sdci_net_fanout_shed_total").add(c.msgs);
+                true
+            }
+            Err(crossbeam_channel::TrySendError::Disconnected(_)) => false,
+        }
+    });
+}
+
+/// Renders one run in the given wire form: `3` binary `DeliverBatch`,
+/// `2` JSON `DeliverBatch`, anything else per-event JSON `Deliver`.
+fn encode_run<T: Serialize + BinPayload>(
+    enc: &mut BinEncoder,
+    form: u32,
+    topic: &str,
+    run: &[T],
+) -> std::io::Result<DeliverChunk> {
+    let mut buf = Vec::new();
+    let frames = match form {
+        3 => write_deliver_batch_bin(&mut buf, enc, topic, run, None)?,
+        2 => write_deliver_batch(&mut buf, topic, run, None)?,
+        _ => write_deliver_events(&mut buf, topic, run)?,
+    };
+    Ok(DeliverChunk { bytes: buf.into(), frames: frames as u64, msgs: run.len() as u64 })
+}
+
+/// Writes one fan-out chunk, re-splitting the concatenated frames so
+/// each gets its own `flush` — the frame-alignment invariant
+/// [`FaultedWriter`] relies on to keep injected faults from
+/// desynchronizing the length-prefixed stream.
+fn write_chunk(w: &mut impl Write, bytes: &[u8]) -> std::io::Result<()> {
+    let mut off = 0;
+    while off + 4 <= bytes.len() {
+        let word = u32::from_be_bytes(bytes[off..off + 4].try_into().expect("4-byte slice"));
+        let end = off + 4 + (word & !BIN_FRAME_BIT) as usize;
+        w.write_all(&bytes[off..end])?;
+        w.flush()?;
+        off = end;
+    }
+    Ok(())
 }
 
 fn timed_out(e: &std::io::Error) -> bool {
@@ -759,6 +1006,27 @@ where
     }
 }
 
+/// Feeds one received message into the local bounded queue, shedding
+/// (and counting) at the high-water mark. Returns `false` only when
+/// the owning subscriber is gone.
+fn enqueue_delivery<T>(
+    tx: &crossbeam_channel::Sender<Message<T>>,
+    counters: &ClientCounters,
+    msg: Message<T>,
+) -> bool {
+    match tx.try_send(msg) {
+        Ok(()) => true,
+        Err(crossbeam_channel::TrySendError::Full(msg)) => {
+            counters.dropped.fetch_add(1, Ordering::Relaxed);
+            sdci_obs::registry()
+                .counter_with("sdci_net_sub_dropped_total", &[("topic", &msg.topic)])
+                .inc();
+            true
+        }
+        Err(crossbeam_channel::TrySendError::Disconnected(_)) => false,
+    }
+}
+
 fn subscriber_worker<T: Serialize + Deserialize + Send + BinPayload + 'static>(
     addr: SocketAddr,
     prefixes: Vec<String>,
@@ -787,7 +1055,14 @@ fn subscriber_worker<T: Serialize + Deserialize + Send + BinPayload + 'static>(
                 continue;
             }
         };
-        let hello = Frame::<T>::HelloSubscriber { prefixes: prefixes.clone() };
+        // Announce our deliver proto the way the publish leg does; the
+        // field is omitted entirely at proto 1, keeping the hello
+        // byte-identical to pre-versioned builds (which a broker reads
+        // as "per-event frames only").
+        let hello = Frame::<T>::HelloSubscriber {
+            prefixes: prefixes.clone(),
+            proto: (cfg.proto >= 2).then_some(cfg.proto),
+        };
         if write_msg(&mut writer, &hello).is_err() {
             backoff.sleep_after_failure(session.elapsed(), cfg.liveness);
             continue;
@@ -803,20 +1078,23 @@ fn subscriber_worker<T: Serialize + Deserialize + Send + BinPayload + 'static>(
             match reader.read_msg::<Frame<T>>() {
                 Ok(Frame::Deliver { topic, payload }) => {
                     last_traffic = Instant::now();
-                    match tx.try_send(Message { topic, payload }) {
-                        Ok(()) => {}
-                        Err(crossbeam_channel::TrySendError::Full(msg)) => {
-                            counters.dropped.fetch_add(1, Ordering::Relaxed);
-                            sdci_obs::registry()
-                                .counter_with(
-                                    "sdci_net_sub_dropped_total",
-                                    &[("topic", &msg.topic)],
-                                )
-                                .inc();
-                        }
-                        Err(crossbeam_channel::TrySendError::Disconnected(_)) => return,
+                    if !enqueue_delivery(&tx, &counters, Message { topic, payload }) {
+                        return;
                     }
                 }
+                Ok(Frame::DeliverBatch { topic, payloads, trace: _ }) => {
+                    last_traffic = Instant::now();
+                    for payload in payloads {
+                        let msg = Message { topic: topic.clone(), payload };
+                        if !enqueue_delivery(&tx, &counters, msg) {
+                            return;
+                        }
+                    }
+                }
+                // The broker's greeting (its version volunteer); the
+                // deliver direction needs no reply — what the broker
+                // sends is governed by what *we* announced.
+                Ok(Frame::Ack { .. }) => last_traffic = Instant::now(),
                 Ok(Frame::Ping) => last_traffic = Instant::now(),
                 Ok(Frame::Fin) => {
                     // Broker drained and went away; it may be restarted

@@ -45,10 +45,12 @@ pub const BIN_FRAME_BIT: u32 = 1 << 31;
 /// Highest wire protocol version this build speaks.
 ///
 /// * **1** — the PR 1 protocol: one event per `Item`/`Publish` frame.
-/// * **2** — adds the batched variants [`Frame::ItemBatch`] and
-///   [`Frame::PublishBatch`]. A proto-2 pusher also understands the
-///   gap [`Frame::Nack`], which the pull server only sends to clients
-///   that announced proto ≥ 2 in their `HelloPush`.
+/// * **2** — adds the batched variants [`Frame::ItemBatch`],
+///   [`Frame::PublishBatch`] and [`Frame::DeliverBatch`]. A proto-2
+///   pusher also understands the gap [`Frame::Nack`], which the pull
+///   server only sends to clients that announced proto ≥ 2 in their
+///   `HelloPush`; a broker only sends `DeliverBatch` to subscribers
+///   that announced proto ≥ 2 in their `HelloSubscriber`.
 /// * **3** — same frame vocabulary as proto 2, but hot-path batch
 ///   frames travel as compact binary bodies (length word high bit set,
 ///   see [`BinFrame`]) instead of JSON. Control frames stay JSON.
@@ -69,6 +71,12 @@ pub enum Frame<T> {
     HelloSubscriber {
         /// Topic prefixes to subscribe to (empty string = everything).
         prefixes: Vec<String>,
+        /// Wire protocol version the subscriber speaks ([`WIRE_PROTO`]).
+        /// Omitted on the wire when `None`; absent means proto 1 — the
+        /// subscriber leg had no version field before the deliver
+        /// direction learned to batch, so an old subscriber is
+        /// indistinguishable from (and treated as) a proto-1 one.
+        proto: Option<u32>,
     },
     /// Client handshake for the lossless PUSH leg. `client` identifies
     /// the pusher across reconnects so the server can deduplicate
@@ -96,6 +104,17 @@ pub enum Frame<T> {
         topic: String,
         /// The payload.
         payload: T,
+    },
+    /// Broker → subscriber: several publications on one topic in one
+    /// frame (proto ≥ 2, lossy leg) — the deliver-direction twin of
+    /// [`Frame::PublishBatch`].
+    DeliverBatch {
+        /// Topic every payload was published on.
+        topic: String,
+        /// The payloads, in publish order. Never empty.
+        payloads: Vec<T>,
+        /// Send-leg tracing context, as on [`Frame::ItemBatch`].
+        trace: Option<TraceContext>,
     },
     /// Pusher → puller: item `seq` of this client's stream (lossless
     /// leg; retransmitted verbatim after a reconnect until acked).
@@ -164,8 +183,12 @@ impl<T: Serialize> Serialize for Frame<T> {
     fn to_value(&self) -> Value {
         match self {
             Frame::HelloPublisher => Value::Str("HelloPublisher".into()),
-            Frame::HelloSubscriber { prefixes } => {
-                variant("HelloSubscriber", vec![("prefixes", prefixes.to_value())])
+            Frame::HelloSubscriber { prefixes, proto } => {
+                let mut fields = vec![("prefixes", prefixes.to_value())];
+                if let Some(p) = proto {
+                    fields.push(("proto", p.to_value()));
+                }
+                variant("HelloSubscriber", fields)
             }
             Frame::HelloPush { client, resume_after, proto } => {
                 let mut fields =
@@ -183,6 +206,14 @@ impl<T: Serialize> Serialize for Frame<T> {
                 "Deliver",
                 vec![("topic", topic.to_value()), ("payload", payload.to_value())],
             ),
+            Frame::DeliverBatch { topic, payloads, trace } => {
+                let mut fields =
+                    vec![("topic", topic.to_value()), ("payloads", payloads.to_value())];
+                if let Some(t) = trace {
+                    fields.push(("trace", t.to_value()));
+                }
+                variant("DeliverBatch", fields)
+            }
             Frame::Item { seq, payload } => {
                 variant("Item", vec![("seq", seq.to_value()), ("payload", payload.to_value())])
             }
@@ -238,6 +269,11 @@ impl<T: Deserialize> Deserialize for Frame<T> {
                             "HelloSubscriber",
                             "prefixes",
                         )?)?,
+                        // Absent on proto-1 wires; treat as "not stated".
+                        proto: match body.get("proto") {
+                            Some(v) => Deserialize::from_value(v)?,
+                            None => None,
+                        },
                     }),
                     "HelloPush" => Ok(Frame::HelloPush {
                         client: Deserialize::from_value(field(body, "HelloPush", "client")?)?,
@@ -259,6 +295,18 @@ impl<T: Deserialize> Deserialize for Frame<T> {
                     "Deliver" => Ok(Frame::Deliver {
                         topic: Deserialize::from_value(field(body, "Deliver", "topic")?)?,
                         payload: Deserialize::from_value(field(body, "Deliver", "payload")?)?,
+                    }),
+                    "DeliverBatch" => Ok(Frame::DeliverBatch {
+                        topic: Deserialize::from_value(field(body, "DeliverBatch", "topic")?)?,
+                        payloads: Deserialize::from_value(field(
+                            body,
+                            "DeliverBatch",
+                            "payloads",
+                        )?)?,
+                        trace: match body.get("trace") {
+                            Some(v) => Deserialize::from_value(v)?,
+                            None => None,
+                        },
                     }),
                     "Item" => Ok(Frame::Item {
                         seq: Deserialize::from_value(field(body, "Item", "seq")?)?,
@@ -316,6 +364,8 @@ const BIN_KIND_ITEM_BATCH: u8 = 1;
 const BIN_KIND_PUBLISH_BATCH: u8 = 2;
 /// Binary body kind byte: a store-RPC batch reply (`StoreRpc::Batch`).
 pub(crate) const BIN_KIND_STORE_BATCH: u8 = 3;
+/// Binary body kind byte: [`Frame::DeliverBatch`].
+const BIN_KIND_DELIVER_BATCH: u8 = 4;
 
 /// Flags bit: a [`TraceContext`] section follows the fixed header.
 const BIN_FLAG_TRACE: u8 = 1;
@@ -333,6 +383,7 @@ const BIN_FLAG_TRACE: u8 = 1;
 /// kind 1 ItemBatch:    first_seq u64 | count u32 | count × (len u32 + payload)
 /// kind 2 PublishBatch: topic (len u32 + bytes) | count u32 | count × (len u32 + payload)
 /// kind 3 StoreBatch:   count u32 | count × (len u32 + SequencedEvent)
+/// kind 4 DeliverBatch: topic (len u32 + bytes) | count u32 | count × (len u32 + payload)
 /// ```
 ///
 /// The trace section is the binary twin of the JSON format's
@@ -429,6 +480,12 @@ impl<T: BinPayload> BinFrame for Frame<T> {
                 bin_put_payloads(buf, payloads);
                 true
             }
+            Frame::DeliverBatch { topic, payloads, trace } => {
+                bin_header(buf, BIN_KIND_DELIVER_BATCH, *trace);
+                put_bytes(buf, topic.as_bytes());
+                bin_put_payloads(buf, payloads);
+                true
+            }
             _ => false,
         }
     }
@@ -443,6 +500,11 @@ impl<T: BinPayload> BinFrame for Frame<T> {
                 trace,
             },
             BIN_KIND_PUBLISH_BATCH => Frame::PublishBatch {
+                topic: r.str().map_err(invalid)?.to_string(),
+                payloads: bin_read_payloads(&mut r)?,
+                trace,
+            },
+            BIN_KIND_DELIVER_BATCH => Frame::DeliverBatch {
                 topic: r.str().map_err(invalid)?.to_string(),
                 payloads: bin_read_payloads(&mut r)?,
                 trace,
@@ -618,6 +680,44 @@ pub(crate) fn write_publish_batch_bin_capped<T: BinPayload>(
     })
 }
 
+/// Writes `payloads` as proto-3 binary [`Frame::DeliverBatch`] frames
+/// on `topic`, splitting by binary encoded size. Returns the number of
+/// frames written. This is the encode-once half of the subscriber
+/// fan-out: the broker writes into a shared byte buffer exactly once
+/// per batch, and every proto-3 subscriber leg ships the same bytes.
+///
+/// # Errors
+///
+/// Propagates I/O failures from the underlying writer.
+pub fn write_deliver_batch_bin<T: BinPayload>(
+    w: &mut impl Write,
+    enc: &mut BinEncoder,
+    topic: &str,
+    payloads: &[T],
+    trace: Option<TraceContext>,
+) -> io::Result<usize> {
+    write_deliver_batch_bin_capped(w, enc, topic, payloads, trace, MAX_FRAME_LEN)
+}
+
+/// [`write_deliver_batch_bin`] with an explicit frame-size cap.
+pub(crate) fn write_deliver_batch_bin_capped<T: BinPayload>(
+    w: &mut impl Write,
+    enc: &mut BinEncoder,
+    topic: &str,
+    payloads: &[T],
+    trace: Option<TraceContext>,
+    max_len: usize,
+) -> io::Result<usize> {
+    enc.load(payloads);
+    let overhead = bin_overhead(trace) + 4 + topic.len();
+    enc.chunk(overhead, max_len, |body, _lo, spans, pool| {
+        bin_header(body, BIN_KIND_DELIVER_BATCH, trace);
+        put_bytes(body, topic.as_bytes());
+        bin_body_members(body, spans, pool);
+        write_bin_frame(w, body)
+    })
+}
+
 /// Writes `msg` as one binary frame when it has a binary form, falling
 /// back to JSON otherwise. The scratch encoder's body buffer is reused
 /// across calls.
@@ -783,6 +883,59 @@ pub(crate) fn write_publish_batch_capped<T: Serialize>(
     write_split(w, &values, 0, max_len, &|_, chunk| {
         batch_frame("PublishBatch", ("topic", topic.to_value()), chunk, trace)
     })
+}
+
+/// Writes `payloads` as JSON [`Frame::DeliverBatch`] frames on `topic`
+/// (proto-2 sessions), splitting when the encoded batch would exceed
+/// [`MAX_FRAME_LEN`]. Returns the number of frames written.
+///
+/// # Errors
+///
+/// Propagates I/O failures from the underlying writer.
+pub fn write_deliver_batch<T: Serialize>(
+    w: &mut impl Write,
+    topic: &str,
+    payloads: &[T],
+    trace: Option<TraceContext>,
+) -> io::Result<usize> {
+    write_deliver_batch_capped(w, topic, payloads, trace, MAX_FRAME_LEN)
+}
+
+/// [`write_deliver_batch`] with an explicit frame-size cap.
+pub(crate) fn write_deliver_batch_capped<T: Serialize>(
+    w: &mut impl Write,
+    topic: &str,
+    payloads: &[T],
+    trace: Option<TraceContext>,
+    max_len: usize,
+) -> io::Result<usize> {
+    let values: Vec<Value> = payloads.iter().map(Serialize::to_value).collect();
+    write_split(w, &values, 0, max_len, &|_, chunk| {
+        batch_frame("DeliverBatch", ("topic", topic.to_value()), chunk, trace)
+    })
+}
+
+///// Writes `payloads` as one JSON [`Frame::Deliver`] frame each — the
+/// proto-1 deliver wire. Borrows the payloads (no per-subscriber
+/// clone), so the encode-once fan-out can render the legacy form from
+/// the same shared batch it renders the batched forms from. Returns
+/// the number of frames written (always `payloads.len()`).
+///
+/// # Errors
+///
+/// Propagates I/O failures from the underlying writer.
+pub fn write_deliver_events<T: Serialize>(
+    w: &mut impl Write,
+    topic: &str,
+    payloads: &[T],
+) -> io::Result<usize> {
+    for p in payloads {
+        let frame =
+            variant("Deliver", vec![("topic", topic.to_value()), ("payload", p.to_value())]);
+        let body = serde_json::to_string(&RawValue(&frame)).map_err(invalid)?;
+        write_body(w, &body)?;
+    }
+    Ok(payloads.len())
 }
 
 fn batch_frame(
@@ -1059,7 +1212,14 @@ mod tests {
     #[test]
     fn frames_roundtrip() {
         roundtrip(Frame::HelloPublisher);
-        roundtrip(Frame::HelloSubscriber { prefixes: vec!["events/".into(), String::new()] });
+        roundtrip(Frame::HelloSubscriber {
+            prefixes: vec!["events/".into(), String::new()],
+            proto: None,
+        });
+        roundtrip(Frame::HelloSubscriber {
+            prefixes: vec!["feed/".into()],
+            proto: Some(WIRE_PROTO),
+        });
         roundtrip(Frame::HelloPush { client: "mdt0".into(), resume_after: 41, proto: None });
         roundtrip(Frame::HelloPush {
             client: "mdt0".into(),
@@ -1068,6 +1228,16 @@ mod tests {
         });
         roundtrip(Frame::Publish { topic: "events/mdt0".into(), payload: event(1) });
         roundtrip(Frame::Deliver { topic: "feed/all".into(), payload: event(2) });
+        roundtrip(Frame::DeliverBatch {
+            topic: "feed/all".into(),
+            payloads: vec![event(4), event(5)],
+            trace: None,
+        });
+        roundtrip(Frame::DeliverBatch {
+            topic: "feed/all".into(),
+            payloads: vec![event(4)],
+            trace: Some(sdci_types::TraceContext::sampled(3, 5)),
+        });
         roundtrip(Frame::Item { seq: 9, payload: event(3) });
         roundtrip(Frame::ItemBatch {
             first_seq: 7,
@@ -1114,6 +1284,14 @@ mod tests {
         let frame: Frame<FileEvent> = serde_json::from_str(old_ack).unwrap();
         assert_eq!(frame, Frame::Ack { up_to: 9, proto: None });
         assert_eq!(serde_json::to_string(&frame).unwrap(), old_ack);
+
+        // The subscriber handshake predates its `proto` field entirely;
+        // the exact bytes an old subscriber sends must keep parsing (as
+        // proto 1) and a proto-`None` hello must re-serialize to them.
+        let old_sub = r#"{"HelloSubscriber":{"prefixes":["feed/"]}}"#;
+        let frame: Frame<FileEvent> = serde_json::from_str(old_sub).unwrap();
+        assert_eq!(frame, Frame::HelloSubscriber { prefixes: vec!["feed/".into()], proto: None });
+        assert_eq!(serde_json::to_string(&frame).unwrap(), old_sub);
     }
 
     #[test]
@@ -1335,6 +1513,81 @@ mod tests {
         assert_eq!(frames, 1);
         let back: Frame<FileEvent> = read_msg(&mut &buf[..]).unwrap();
         assert_eq!(back, Frame::PublishBatch { topic: "events/mdt0".into(), payloads, trace });
+    }
+
+    #[test]
+    fn binary_deliver_batch_roundtrips_with_and_without_trace() {
+        for trace in [None, Some(sdci_types::TraceContext::sampled(0xcafe, 0x77))] {
+            let payloads: Vec<FileEvent> = (0..4).map(event).collect();
+            let mut enc = BinEncoder::new();
+            let mut buf = Vec::new();
+            let frames =
+                write_deliver_batch_bin(&mut buf, &mut enc, "feed/all", &payloads, trace).unwrap();
+            assert_eq!(frames, 1);
+            assert!(raw_frames(&buf)[0].0, "deliver batches go binary on proto-3 legs");
+            let back: Frame<FileEvent> = read_msg(&mut &buf[..]).unwrap();
+            assert_eq!(back, Frame::DeliverBatch { topic: "feed/all".into(), payloads, trace });
+        }
+    }
+
+    #[test]
+    fn binary_deliver_split_preserves_topic_and_order() {
+        let payloads: Vec<FileEvent> = (0..8).map(event).collect();
+        let mut enc = BinEncoder::new();
+        let mut buf = Vec::new();
+        let frames =
+            write_deliver_batch_bin_capped(&mut buf, &mut enc, "feed/all", &payloads, None, 256)
+                .unwrap();
+        assert!(frames > 1);
+        let mut cursor = &buf[..];
+        let mut got = Vec::new();
+        for _ in 0..frames {
+            match read_msg::<Frame<FileEvent>>(&mut cursor).unwrap() {
+                Frame::DeliverBatch { topic, payloads, trace } => {
+                    assert_eq!(topic, "feed/all");
+                    assert_eq!(trace, None);
+                    got.extend(payloads);
+                }
+                other => panic!("expected DeliverBatch, got {other:?}"),
+            }
+        }
+        assert!(cursor.is_empty());
+        assert_eq!(got, payloads);
+    }
+
+    #[test]
+    fn json_deliver_batch_writer_matches_frame_encoding() {
+        let payloads = vec![event(1), event(2)];
+        let mut via_helper = Vec::new();
+        let frames = write_deliver_batch(&mut via_helper, "feed/all", &payloads, None).unwrap();
+        assert_eq!(frames, 1);
+        let mut via_frame = Vec::new();
+        write_msg(
+            &mut via_frame,
+            &Frame::DeliverBatch { topic: "feed/all".into(), payloads, trace: None },
+        )
+        .unwrap();
+        assert_eq!(via_helper, via_frame);
+    }
+
+    /// The proto-1 fallback renders byte-identical frames to the
+    /// per-event `Deliver` path it replaces — old subscribers cannot
+    /// tell the encode-once fan-out happened.
+    #[test]
+    fn deliver_events_writer_matches_per_event_frames() {
+        let payloads = vec![event(1), event(2), event(3)];
+        let mut via_helper = Vec::new();
+        let frames = write_deliver_events(&mut via_helper, "feed/all", &payloads).unwrap();
+        assert_eq!(frames, 3);
+        let mut via_frames = Vec::new();
+        for p in &payloads {
+            write_msg(
+                &mut via_frames,
+                &Frame::Deliver { topic: "feed/all".into(), payload: p.clone() },
+            )
+            .unwrap();
+        }
+        assert_eq!(via_helper, via_frames);
     }
 
     /// One `FrameReader` must switch decoders frame by frame: proto-3

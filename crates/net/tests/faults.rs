@@ -277,6 +277,75 @@ fn fanout_crash_point_costs_one_subscriber_connection() {
     broker.shutdown();
 }
 
+/// Child body for `shutdown_drain_is_faultable_in_abort_mode`: inert in
+/// a normal suite run, armed only when that test re-executes this
+/// binary with `SDCI_DRAIN_ABORT_CHILD=1`. The sequence pins the drain:
+/// the leg is proven live and then quiesced *before* the crash point is
+/// armed, so the only frames left to cross it are the burst queued
+/// immediately ahead of `shutdown()` — the graceful-drain flush.
+#[test]
+fn drain_abort_child() {
+    use sdci_mq::transport::Subscribe;
+    use sdci_net::{TcpBroker, TcpSubscriber};
+
+    if std::env::var("SDCI_DRAIN_ABORT_CHILD").is_err() {
+        return;
+    }
+    let cfg = fast_cfg();
+    let broker = TcpBroker::<u64>::bind("127.0.0.1:0", 8192, cfg.clone()).unwrap();
+    let subscriber = TcpSubscriber::<u64>::connect(broker.local_addr(), &["q/"], cfg);
+    let publisher = broker.publisher();
+
+    // Prove the fanout leg end-to-end live...
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        publisher.publish("q/probe", 0);
+        if subscriber.recv_timeout(Duration::from_millis(10)).is_some() {
+            break;
+        }
+        assert!(Instant::now() < deadline, "pub/sub loopback never became ready");
+    }
+    // ...then quiesce it: every probe the client has received was
+    // already written by the leg (the crash point passed, unarmed), and
+    // once the stream stays silent nothing else is in flight.
+    while subscriber.recv_timeout(Duration::from_millis(100)).is_some() {}
+    println!("leg-live-and-quiet");
+
+    arm("net.pubsub.fanout", 1, CrashMode::Abort);
+    for i in 0..32u64 {
+        publisher.publish("q/drain", i);
+    }
+    broker.shutdown();
+    // The armed abort fires while the queued burst is being flushed to
+    // the subscriber; this line is unreachable unless the drain skipped
+    // the crash point.
+    println!("DRAIN-COMPLETE");
+}
+
+/// The graceful-drain path must not bypass fault injection: the old
+/// shutdown flush wrote directly to the socket and skipped the
+/// `net.pubsub.fanout` crash point entirely, so no chaos schedule could
+/// ever fault it. Live delivery and the shutdown drain now share one
+/// delivery site, and an armed abort timed at the drain kills the
+/// process mid-flush — observed here as a child that dies by signal
+/// after quiescing but before completing `shutdown()`.
+#[test]
+fn shutdown_drain_is_faultable_in_abort_mode() {
+    let exe = std::env::current_exe().unwrap();
+    let out = std::process::Command::new(exe)
+        .args(["drain_abort_child", "--exact", "--test-threads=1", "--nocapture"])
+        .env("SDCI_DRAIN_ABORT_CHILD", "1")
+        .output()
+        .expect("re-exec test binary");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("leg-live-and-quiet"), "child never quiesced its leg:\n{stdout}");
+    assert!(!out.status.success(), "armed drain abort did not kill the child:\n{stdout}");
+    assert!(
+        !stdout.contains("DRAIN-COMPLETE"),
+        "shutdown drain completed past an armed fanout abort:\n{stdout}"
+    );
+}
+
 /// Partition windows are anchored to one shared process epoch, not to
 /// each plan's construction time: a spec parsed *after* its window has
 /// closed must agree that the partition is over. (The old per-plan

@@ -365,3 +365,82 @@ fn resent_partial_batch_is_deduplicated_not_reapplied() {
     assert_eq!(server.marks().get("c"), Some(&10));
     server.shutdown();
 }
+
+#[test]
+fn deliver_direction_proto_matrix_is_lossless_across_all_nine_cells() {
+    // The mirror of the push matrix, for the fan-out direction: every
+    // (broker, subscriber) pairing of protocols 1, 2, and 3 must
+    // deliver a published burst losslessly and in order. The effective
+    // session is min(broker, subscriber): a session ≥ 2 coalesces the
+    // burst into `DeliverBatch` frames (strictly fewer frames than
+    // messages), a proto-1 session gets exactly one `Deliver` frame per
+    // message. Trace context is embedded in the payload on this leg, so
+    // it survives every cell — stripping is a publish-leg concern.
+    use sdci_mq::transport::Subscribe;
+    use sdci_net::{TcpBroker, TcpSubscriber};
+    use std::time::Instant;
+
+    const N: u64 = 200;
+    for broker_proto in [1u32, 2, 3] {
+        for sub_proto in [1u32, 2, 3] {
+            let cell = format!("broker proto {broker_proto} / subscriber proto {sub_proto}");
+            let broker =
+                TcpBroker::<FileEvent>::bind("127.0.0.1:0", 8192, proto_cfg(broker_proto)).unwrap();
+            let subscriber = TcpSubscriber::<FileEvent>::connect(
+                broker.local_addr(),
+                &["t/"],
+                proto_cfg(sub_proto),
+            );
+            let publisher = broker.publisher();
+
+            // Probe until the leg demonstrably delivers, then quiesce so
+            // the frame counter baseline below excludes the probes.
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                publisher.publish("t/probe", traced_event(u64::MAX));
+                if subscriber.recv_timeout(Duration::from_millis(10)).is_some() {
+                    break;
+                }
+                assert!(Instant::now() < deadline, "{cell}: loopback never became ready");
+            }
+            while subscriber.recv_timeout(Duration::from_millis(100)).is_some() {}
+            let frames_before = broker.stats().frames_out;
+
+            for i in 0..N {
+                publisher.publish("t/e", traced_event(i));
+            }
+            let mut got = Vec::new();
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while got.len() < N as usize && Instant::now() < deadline {
+                if let Some(msg) = subscriber.recv_timeout(Duration::from_millis(100)) {
+                    if msg.payload.index != u64::MAX {
+                        got.push(msg.payload);
+                    }
+                }
+            }
+            assert_eq!(got.len(), N as usize, "{cell}: lost deliveries");
+            for (i, ev) in got.iter().enumerate() {
+                let i = i as u64;
+                assert_eq!(ev.index, i, "{cell}: deliveries reordered");
+                assert_eq!(ev.path, PathBuf::from(format!("/t/f{i}")), "{cell}: payload corrupted");
+                let ctx = ev
+                    .trace_context()
+                    .unwrap_or_else(|| panic!("{cell}: payload-embedded context dropped"));
+                assert_eq!(ctx.parent_span_id, i + 1, "{cell}: context corrupted");
+            }
+
+            let delta = broker.stats().frames_out - frames_before;
+            let session = broker_proto.min(sub_proto);
+            if session >= 2 {
+                assert!(
+                    delta < N,
+                    "{cell}: a batched session should deliver the burst in fewer frames \
+                     than messages (got {delta} frames for {N} messages)"
+                );
+            } else {
+                assert_eq!(delta, N, "{cell}: a proto-1 session is one frame per message");
+            }
+            broker.shutdown();
+        }
+    }
+}

@@ -18,6 +18,12 @@
 //! decoding borrows from the received frame via [`BinReader`]. Both
 //! sides are infallible on well-formed input and reject truncated or
 //! trailing bytes with a [`BinDecodeError`].
+//!
+//! The scratch-buffer design is what makes the broker's encode-once
+//! fan-out cheap on the deliver direction too: a `DeliverBatch` run is
+//! rendered through one encoder into one frozen byte buffer that every
+//! same-proto subscriber leg then shares by reference — the encode
+//! cost is paid once per run, not once per subscriber.
 
 use crate::{Fid, MdtIndex, SimTime, TraceContext};
 use std::fmt;

@@ -78,9 +78,9 @@
 use parking_lot::Mutex;
 use sdci::lustre::{DnePolicy, LustreConfig, LustreFs};
 use sdci::monitor::{
-    restore_snapshot, Aggregator, ClusterStats, Collector, EventBackend, EventConsumer, EventStore,
-    MetricsRecorder, MonitorClusterBuilder, MonitorConfig, ShardId, ShardMap, SnapshotDir,
-    StoreError, StoreStack,
+    restore_snapshot, Aggregator, ClusterStats, Collector, ConsumerCursor, EventBackend,
+    EventConsumer, EventStore, MetricsRecorder, MonitorClusterBuilder, MonitorConfig, ShardId,
+    ShardMap, SnapshotDir, StoreError, StoreStack,
 };
 use sdci::mq::transport::{Publish, PullSubscriber};
 use sdci::net::{
@@ -820,6 +820,7 @@ fn run_consumer(args: &[String]) -> Result<(), String> {
             "--expect",
             "--under",
             "--timeout",
+            "--cursor",
             "--faults",
             "--trace-sample",
             "--trace-out",
@@ -842,13 +843,21 @@ fn run_consumer(args: &[String]) -> Result<(), String> {
     let cfg = net_config(&flags)?;
     let feed_addr = offset_addr(connect, 1)?;
     let store_addr = offset_addr(connect, 2)?;
+    // A durable cursor resumes the stream from the last *consumed*
+    // sequence — not from "now" — so a restarted consumer backfills
+    // everything published while it was down instead of skipping it.
+    let cursor = flags.get("--cursor").map(ConsumerCursor::new);
+    let start = match &cursor {
+        Some(c) => c.load().map_err(|e| format!("--cursor: {e}"))?.unwrap_or(0),
+        None => 0,
+    };
     let feed = TcpSubscriber::connect(feed_addr, &["feed/"], cfg.clone());
     let store = RemoteStore::connect(store_addr, cfg);
-    let mut consumer = EventConsumer::new(feed, store, 0);
+    let mut consumer = EventConsumer::new(feed, store, start);
     if let Some(prefix) = flags.get("--under") {
         consumer = consumer.under(prefix);
     }
-    println!("sdcimon consumer reading feed at {feed_addr}");
+    println!("sdcimon consumer reading feed at {feed_addr} from seq {}", start + 1);
 
     let deadline = Instant::now() + timeout;
     let mut delivered: u64 = 0;
@@ -877,6 +886,16 @@ fn run_consumer(args: &[String]) -> Result<(), String> {
                 println!("event {:?} {}", event.kind, event.path.display());
             }
             delivered += 1;
+            // Checkpoint *after* the event is externally visible: a
+            // crash at the armed point below restarts exactly at the
+            // next sequence — nothing replayed, nothing skipped. The
+            // write-tmp-rename inside `save` mirrors the marks sidecar.
+            if let Some(c) = &cursor {
+                c.save(consumer.cursor()).map_err(|e| format!("cursor checkpoint: {e}"))?;
+                if sdci_faults::crash_point("consumer.cursor.checkpoint").is_err() {
+                    return Err("injected crash: consumer.cursor.checkpoint".into());
+                }
+            }
         }
     }
     let stats = consumer.stats();

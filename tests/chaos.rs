@@ -517,3 +517,93 @@ fn pubsub_server_aborted_on_greet_and_dispatch_recovers_after_restarts() {
     }
     assert!(publisher.connections() >= 2, "the publisher should have reconnected at least once");
 }
+
+/// The durable-cursor contract, pinned kill-to-restart: a consumer
+/// checkpointing `--cursor` is aborted at the checkpoint boundary (the
+/// `consumer.cursor.checkpoint` point fires *after* the event is
+/// printed and the cursor saved), and its replacement — same cursor
+/// file, no crash schedule — must resume from the checkpointed
+/// *sequence*, not from "now". The union of the two runs' event lines
+/// must cover every source event exactly once: zero loss, zero
+/// duplication, order preserved across the kill.
+#[test]
+fn killed_consumer_resumes_from_durable_cursor_without_loss_or_duplication() {
+    let dir = std::env::temp_dir().join(format!("sdci-chaos-cursor-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create cursor dir");
+    let cursor = dir.join("consumer.cursor");
+    let cursor_arg = cursor.to_str().expect("utf-8 temp path");
+
+    let mut agg = spawn_env(&["aggregator", "--bind", "127.0.0.1:0"], &[]);
+    let addr = wait_for_listen_addr(&mut agg);
+
+    // Run #1 dies on its 40th checkpoint — deterministically 40 events
+    // printed, cursor file committed at seq 40 by write-tmp-rename.
+    let expect = EVENTS_PER_COLLECTOR.to_string();
+    let consumer1 = spawn_env(
+        &[
+            "consumer",
+            "--connect",
+            &addr,
+            "--verbose",
+            "--expect",
+            &expect,
+            "--timeout",
+            "120",
+            "--cursor",
+            cursor_arg,
+        ],
+        &[("SDCI_CRASH_POINTS", "consumer.cursor.checkpoint:40:abort")],
+    );
+    run_collector(&addr, "c1", None);
+
+    let out1 = consumer1.into_child().wait_with_output().expect("wait for aborted consumer");
+    assert!(!out1.status.success(), "the armed checkpoint abort should have killed run #1");
+    let stdout1 = String::from_utf8_lossy(&out1.stdout);
+    let seen1 = stdout1.lines().filter(|l| l.starts_with("event ")).count();
+    assert_eq!(seen1, 40, "run #1 should print exactly the checkpointed prefix:\n{stdout1}");
+    let committed: u64 = std::fs::read_to_string(&cursor)
+        .expect("cursor file survives the abort")
+        .trim()
+        .parse()
+        .expect("cursor file holds a sequence");
+    assert_eq!(committed, 40, "cursor must sit exactly at the last printed event");
+
+    // Run #2 resumes from the cursor. Everything past seq 40 backfills
+    // from the store — the feed's live edge is long gone by now.
+    let expect2 = (EVENTS_PER_COLLECTOR - seen1).to_string();
+    let consumer2 = spawn_env(
+        &[
+            "consumer",
+            "--connect",
+            &addr,
+            "--verbose",
+            "--expect",
+            &expect2,
+            "--timeout",
+            "120",
+            "--cursor",
+            cursor_arg,
+        ],
+        &[],
+    );
+    let out2 = consumer2.into_child().wait_with_output().expect("wait for resumed consumer");
+    assert!(out2.status.success(), "resumed consumer failed: {:?}", out2.status);
+    let stdout2 = String::from_utf8_lossy(&out2.stdout);
+    assert!(
+        stdout2.contains("from seq 41"),
+        "run #2 must announce resumption from the checkpointed sequence:\n{stdout2}"
+    );
+    let done = stdout2.lines().rfind(|l| l.starts_with("sdcimon consumer done"));
+    assert!(done.is_some_and(|l| l.contains("lost 0")), "resumed consumer reported loss: {done:?}");
+
+    // The two runs splice into one exactly-once stream: per-client file
+    // events f0..f99 in order, no seam artifacts, 101 lines total.
+    let combined = format!("{stdout1}{stdout2}");
+    let events = check_consumer_output(&combined, &["c1"]);
+    assert_eq!(
+        events, EVENTS_PER_COLLECTOR,
+        "the union of both runs must cover every event exactly once:\n{combined}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
